@@ -1,0 +1,454 @@
+//! Scalar expressions evaluated against tuples.
+
+use crate::error::ExecError;
+use crate::funcs::FunctionRegistry;
+use crate::schema::Tuple;
+use nimble_xml::{Atomic, Path, Value};
+use std::sync::Arc;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// SQL LIKE with `%` (any run) and `_` (any char).
+    Like,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+/// Aggregate functions for [`crate::ops::GroupAggOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+    /// Collect input values into a `Value::List` preserving arrival order
+    /// (used by Skolem-ID grouping in CONSTRUCT).
+    Collect,
+}
+
+/// A scalar expression tree over tuple columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// Column reference by position.
+    Col(usize),
+    /// Literal value.
+    Lit(Value),
+    Cmp(CmpOp, Box<ScalarExpr>, Box<ScalarExpr>),
+    And(Box<ScalarExpr>, Box<ScalarExpr>),
+    Or(Box<ScalarExpr>, Box<ScalarExpr>),
+    Not(Box<ScalarExpr>),
+    Arith(ArithOp, Box<ScalarExpr>, Box<ScalarExpr>),
+    Neg(Box<ScalarExpr>),
+    /// Call into the function registry.
+    Call(String, Vec<ScalarExpr>),
+    /// Navigate a path from a node-valued expression; yields the first
+    /// match or `Null`.
+    PathFirst(Box<ScalarExpr>, Path),
+}
+
+impl ScalarExpr {
+    /// Literal constructor accepting anything convertible to [`Value`].
+    pub fn lit(v: impl Into<Value>) -> ScalarExpr {
+        ScalarExpr::Lit(v.into())
+    }
+
+    /// Comparison constructor.
+    pub fn cmp(op: CmpOp, left: ScalarExpr, right: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Cmp(op, Box::new(left), Box::new(right))
+    }
+
+    /// Conjunction of a list of predicates (`true` when empty).
+    pub fn conjunction(mut preds: Vec<ScalarExpr>) -> ScalarExpr {
+        match preds.len() {
+            0 => ScalarExpr::Lit(Value::Atomic(Atomic::Bool(true))),
+            1 => preds.pop().unwrap(),
+            _ => {
+                let mut it = preds.into_iter();
+                let first = it.next().unwrap();
+                it.fold(first, |acc, p| {
+                    ScalarExpr::And(Box::new(acc), Box::new(p))
+                })
+            }
+        }
+    }
+
+    /// Evaluate against a tuple.
+    pub fn eval(&self, tuple: &Tuple, funcs: &FunctionRegistry) -> Result<Value, ExecError> {
+        match self {
+            ScalarExpr::Col(i) => tuple
+                .get(*i)
+                .cloned()
+                .ok_or(ExecError::ColumnOutOfRange {
+                    index: *i,
+                    width: tuple.len(),
+                }),
+            ScalarExpr::Lit(v) => Ok(v.clone()),
+            ScalarExpr::Cmp(op, l, r) => {
+                let lv = l.eval(tuple, funcs)?;
+                let rv = r.eval(tuple, funcs)?;
+                Ok(Value::Atomic(Atomic::Bool(compare(*op, &lv, &rv))))
+            }
+            ScalarExpr::And(l, r) => {
+                // Short-circuit.
+                if !l.eval(tuple, funcs)?.truthy() {
+                    return Ok(Value::Atomic(Atomic::Bool(false)));
+                }
+                Ok(Value::Atomic(Atomic::Bool(r.eval(tuple, funcs)?.truthy())))
+            }
+            ScalarExpr::Or(l, r) => {
+                if l.eval(tuple, funcs)?.truthy() {
+                    return Ok(Value::Atomic(Atomic::Bool(true)));
+                }
+                Ok(Value::Atomic(Atomic::Bool(r.eval(tuple, funcs)?.truthy())))
+            }
+            ScalarExpr::Not(e) => Ok(Value::Atomic(Atomic::Bool(
+                !e.eval(tuple, funcs)?.truthy(),
+            ))),
+            ScalarExpr::Arith(op, l, r) => {
+                let lv = l.eval(tuple, funcs)?.atomize();
+                let rv = r.eval(tuple, funcs)?.atomize();
+                arith(*op, &lv, &rv).map(Value::Atomic)
+            }
+            ScalarExpr::Neg(e) => {
+                let v = e.eval(tuple, funcs)?.atomize();
+                match v {
+                    Atomic::Int(i) => Ok(Value::Atomic(Atomic::Int(-i))),
+                    Atomic::Float(f) => Ok(Value::Atomic(Atomic::Float(-f))),
+                    other => Err(ExecError::Arithmetic(format!(
+                        "cannot negate {:?}",
+                        other
+                    ))),
+                }
+            }
+            ScalarExpr::Call(name, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.eval(tuple, funcs)?);
+                }
+                funcs.call(name, &vals)
+            }
+            ScalarExpr::PathFirst(base, path) => {
+                let v = base.eval(tuple, funcs)?;
+                match v {
+                    Value::Node(n) => Ok(path.eval_first(&n).unwrap_or_else(Value::null)),
+                    _ => Ok(Value::null()),
+                }
+            }
+        }
+    }
+
+    /// Evaluate as a boolean predicate.
+    pub fn eval_bool(&self, tuple: &Tuple, funcs: &FunctionRegistry) -> Result<bool, ExecError> {
+        Ok(self.eval(tuple, funcs)?.truthy())
+    }
+
+    /// Column indices referenced anywhere in the expression.
+    pub fn columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            ScalarExpr::Col(i) => out.push(*i),
+            ScalarExpr::Lit(_) => {}
+            ScalarExpr::Cmp(_, a, b)
+            | ScalarExpr::And(a, b)
+            | ScalarExpr::Or(a, b)
+            | ScalarExpr::Arith(_, a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            ScalarExpr::Not(e) | ScalarExpr::Neg(e) | ScalarExpr::PathFirst(e, _) => {
+                e.collect_columns(out)
+            }
+            ScalarExpr::Call(_, args) => {
+                for a in args {
+                    a.collect_columns(out);
+                }
+            }
+        }
+    }
+
+    /// Rewrite column references through a mapping (old index → new index).
+    /// Used when pushing expressions through projections and joins.
+    pub fn remap_columns(&self, map: &dyn Fn(usize) -> usize) -> ScalarExpr {
+        match self {
+            ScalarExpr::Col(i) => ScalarExpr::Col(map(*i)),
+            ScalarExpr::Lit(v) => ScalarExpr::Lit(v.clone()),
+            ScalarExpr::Cmp(op, a, b) => ScalarExpr::Cmp(
+                *op,
+                Box::new(a.remap_columns(map)),
+                Box::new(b.remap_columns(map)),
+            ),
+            ScalarExpr::And(a, b) => ScalarExpr::And(
+                Box::new(a.remap_columns(map)),
+                Box::new(b.remap_columns(map)),
+            ),
+            ScalarExpr::Or(a, b) => ScalarExpr::Or(
+                Box::new(a.remap_columns(map)),
+                Box::new(b.remap_columns(map)),
+            ),
+            ScalarExpr::Not(e) => ScalarExpr::Not(Box::new(e.remap_columns(map))),
+            ScalarExpr::Neg(e) => ScalarExpr::Neg(Box::new(e.remap_columns(map))),
+            ScalarExpr::Arith(op, a, b) => ScalarExpr::Arith(
+                *op,
+                Box::new(a.remap_columns(map)),
+                Box::new(b.remap_columns(map)),
+            ),
+            ScalarExpr::Call(name, args) => ScalarExpr::Call(
+                name.clone(),
+                args.iter().map(|a| a.remap_columns(map)).collect(),
+            ),
+            ScalarExpr::PathFirst(e, p) => {
+                ScalarExpr::PathFirst(Box::new(e.remap_columns(map)), p.clone())
+            }
+        }
+    }
+}
+
+fn compare(op: CmpOp, l: &Value, r: &Value) -> bool {
+    use std::cmp::Ordering;
+    if op == CmpOp::Like {
+        return like_match(&l.atomize().lexical(), &r.atomize().lexical());
+    }
+    let la = l.atomize();
+    let ra = r.atomize();
+    // SQL-ish null semantics for comparisons: anything compared with
+    // Null is false except Null = Null.
+    if la.is_null() || ra.is_null() {
+        return match op {
+            CmpOp::Eq => la.is_null() && ra.is_null(),
+            CmpOp::Ne => la.is_null() != ra.is_null(),
+            _ => false,
+        };
+    }
+    // Numeric-looking strings compare numerically against numbers, which
+    // matters because parsed XML content is textual.
+    let ord = match (coerce_num(&la), coerce_num(&ra)) {
+        (Some(x), Some(y)) => x.total_cmp(&y),
+        _ => la.total_cmp(&ra),
+    };
+    match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+        CmpOp::Like => unreachable!(),
+    }
+}
+
+fn coerce_num(a: &Atomic) -> Option<f64> {
+    match a {
+        Atomic::Int(i) => Some(*i as f64),
+        Atomic::Float(f) => Some(*f),
+        Atomic::Str(s) => s.trim().parse::<f64>().ok(),
+        _ => None,
+    }
+}
+
+/// SQL LIKE matcher: `%` matches any run, `_` any single char.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    fn rec(t: &[char], p: &[char]) -> bool {
+        match p.split_first() {
+            None => t.is_empty(),
+            Some(('%', rest)) => {
+                (0..=t.len()).any(|k| rec(&t[k..], rest))
+            }
+            Some(('_', rest)) => match t.split_first() {
+                Some((_, t_rest)) => rec(t_rest, rest),
+                None => false,
+            },
+            Some((c, rest)) => match t.split_first() {
+                Some((tc, t_rest)) => tc == c && rec(t_rest, rest),
+                None => false,
+            },
+        }
+    }
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&t, &p)
+}
+
+fn arith(op: ArithOp, l: &Atomic, r: &Atomic) -> Result<Atomic, ExecError> {
+    // Integer arithmetic stays integral; anything float-tainted widens.
+    if let (Atomic::Int(a), Atomic::Int(b)) = (l, r) {
+        return match op {
+            ArithOp::Add => Ok(Atomic::Int(a.wrapping_add(*b))),
+            ArithOp::Sub => Ok(Atomic::Int(a.wrapping_sub(*b))),
+            ArithOp::Mul => Ok(Atomic::Int(a.wrapping_mul(*b))),
+            ArithOp::Div => {
+                if *b == 0 {
+                    Err(ExecError::Arithmetic("division by zero".into()))
+                } else {
+                    Ok(Atomic::Int(a / b))
+                }
+            }
+            ArithOp::Mod => {
+                if *b == 0 {
+                    Err(ExecError::Arithmetic("modulo by zero".into()))
+                } else {
+                    Ok(Atomic::Int(a % b))
+                }
+            }
+        };
+    }
+    let a = coerce_num(l)
+        .ok_or_else(|| ExecError::Arithmetic(format!("non-numeric operand {:?}", l)))?;
+    let b = coerce_num(r)
+        .ok_or_else(|| ExecError::Arithmetic(format!("non-numeric operand {:?}", r)))?;
+    let v = match op {
+        ArithOp::Add => a + b,
+        ArithOp::Sub => a - b,
+        ArithOp::Mul => a * b,
+        ArithOp::Div => {
+            if b == 0.0 {
+                return Err(ExecError::Arithmetic("division by zero".into()));
+            }
+            a / b
+        }
+        ArithOp::Mod => {
+            if b == 0.0 {
+                return Err(ExecError::Arithmetic("modulo by zero".into()));
+            }
+            a % b
+        }
+    };
+    Ok(Atomic::Float(v))
+}
+
+/// Convenience: a registry wrapped for sharing across operators.
+pub fn shared_registry() -> Arc<FunctionRegistry> {
+    Arc::new(FunctionRegistry::with_builtins())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn funcs() -> FunctionRegistry {
+        FunctionRegistry::with_builtins()
+    }
+
+    #[test]
+    fn comparisons_numeric_coercion() {
+        let f = funcs();
+        let t: Tuple = vec![Value::from("10")];
+        // "10" > 9 numerically, even though "10" < "9" lexically.
+        let e = ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::Col(0), ScalarExpr::lit(9i64));
+        assert!(e.eval_bool(&t, &f).unwrap());
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("data integration", "%integr%"));
+        assert!(like_match("abc", "a_c"));
+        assert!(!like_match("abc", "a_d"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("x", ""));
+        assert!(like_match("a%b", "a%b"));
+    }
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        let f = funcs();
+        let t: Tuple = vec![];
+        let e = ScalarExpr::Arith(
+            ArithOp::Add,
+            Box::new(ScalarExpr::lit(2i64)),
+            Box::new(ScalarExpr::lit(3i64)),
+        );
+        assert_eq!(e.eval(&t, &f).unwrap().atomize(), Atomic::Int(5));
+        let e = ScalarExpr::Arith(
+            ArithOp::Div,
+            Box::new(ScalarExpr::lit(1i64)),
+            Box::new(ScalarExpr::Lit(Value::Atomic(Atomic::Float(2.0)))),
+        );
+        assert_eq!(e.eval(&t, &f).unwrap().atomize(), Atomic::Float(0.5));
+    }
+
+    #[test]
+    fn division_by_zero() {
+        let f = funcs();
+        let e = ScalarExpr::Arith(
+            ArithOp::Div,
+            Box::new(ScalarExpr::lit(1i64)),
+            Box::new(ScalarExpr::lit(0i64)),
+        );
+        assert!(matches!(
+            e.eval(&vec![], &f),
+            Err(ExecError::Arithmetic(_))
+        ));
+    }
+
+    #[test]
+    fn null_comparison_semantics() {
+        let f = funcs();
+        let t: Tuple = vec![Value::null()];
+        let eq_null = ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::Col(0), ScalarExpr::lit(1i64));
+        assert!(!eq_null.eval_bool(&t, &f).unwrap());
+        let lt_null = ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::Col(0), ScalarExpr::lit(1i64));
+        assert!(!lt_null.eval_bool(&t, &f).unwrap());
+    }
+
+    #[test]
+    fn short_circuit_and() {
+        let f = funcs();
+        // Right side would error (unknown function) but must not run.
+        let e = ScalarExpr::And(
+            Box::new(ScalarExpr::lit(false)),
+            Box::new(ScalarExpr::Call("no_such_fn".into(), vec![])),
+        );
+        assert!(!e.eval_bool(&vec![], &f).unwrap());
+    }
+
+    #[test]
+    fn column_tracking_and_remap() {
+        let e = ScalarExpr::And(
+            Box::new(ScalarExpr::cmp(
+                CmpOp::Eq,
+                ScalarExpr::Col(2),
+                ScalarExpr::Col(0),
+            )),
+            Box::new(ScalarExpr::Not(Box::new(ScalarExpr::Col(2)))),
+        );
+        assert_eq!(e.columns(), vec![0, 2]);
+        let remapped = e.remap_columns(&|i| i + 10);
+        assert_eq!(remapped.columns(), vec![10, 12]);
+    }
+
+    #[test]
+    fn conjunction_builder() {
+        let f = funcs();
+        assert!(ScalarExpr::conjunction(vec![])
+            .eval_bool(&vec![], &f)
+            .unwrap());
+        let e = ScalarExpr::conjunction(vec![
+            ScalarExpr::lit(true),
+            ScalarExpr::lit(true),
+            ScalarExpr::lit(false),
+        ]);
+        assert!(!e.eval_bool(&vec![], &f).unwrap());
+    }
+}

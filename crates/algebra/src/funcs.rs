@@ -1,0 +1,300 @@
+//! The scalar function registry.
+//!
+//! The paper's product ships "general query language features (data types,
+//! operators) equivalent to a 'standard' SQL query engine"; this registry
+//! supplies the function half of that and is **extensible**: adapters and
+//! applications may register custom functions (the data-cleaning layer
+//! registers its normalization functions here so they are usable from
+//! XML-QL predicates).
+
+use crate::error::ExecError;
+use nimble_xml::{Atomic, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A registered scalar function.
+pub type ScalarFn = dyn Fn(&[Value]) -> Result<Value, ExecError> + Send + Sync;
+
+/// Name → implementation map with the built-in SQL-ish core. Cloning is
+/// cheap (implementations are shared behind `Arc`s), which is how engines
+/// extend a registry copy-on-write.
+#[derive(Clone)]
+pub struct FunctionRegistry {
+    funcs: HashMap<String, Arc<ScalarFn>>,
+}
+
+impl Default for FunctionRegistry {
+    fn default() -> Self {
+        FunctionRegistry::with_builtins()
+    }
+}
+
+impl std::fmt::Debug for FunctionRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&str> = self.funcs.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        f.debug_struct("FunctionRegistry")
+            .field("functions", &names)
+            .finish()
+    }
+}
+
+fn str_arg(func: &str, args: &[Value], i: usize) -> Result<String, ExecError> {
+    args.get(i)
+        .map(|v| v.atomize().lexical())
+        .ok_or_else(|| ExecError::FunctionArgs {
+            func: func.into(),
+            message: format!("missing argument {}", i),
+        })
+}
+
+fn num_arg(func: &str, args: &[Value], i: usize) -> Result<f64, ExecError> {
+    let a = args.get(i).map(|v| v.atomize()).ok_or_else(|| {
+        ExecError::FunctionArgs {
+            func: func.into(),
+            message: format!("missing argument {}", i),
+        }
+    })?;
+    match a {
+        Atomic::Int(v) => Ok(v as f64),
+        Atomic::Float(v) => Ok(v),
+        Atomic::Str(s) => s.trim().parse().map_err(|_| ExecError::FunctionArgs {
+            func: func.into(),
+            message: format!("argument {} is not numeric: {:?}", i, s),
+        }),
+        other => Err(ExecError::FunctionArgs {
+            func: func.into(),
+            message: format!("argument {} is not numeric: {:?}", i, other),
+        }),
+    }
+}
+
+impl FunctionRegistry {
+    /// An empty registry (no functions at all).
+    pub fn empty() -> Self {
+        FunctionRegistry {
+            funcs: HashMap::new(),
+        }
+    }
+
+    /// The standard library: string, numeric, and node functions.
+    pub fn with_builtins() -> Self {
+        let mut r = FunctionRegistry::empty();
+
+        // --- string functions ---
+        r.register("lower", |args| {
+            Ok(Value::from(str_arg("lower", args, 0)?.to_lowercase().as_str()))
+        });
+        r.register("upper", |args| {
+            Ok(Value::from(str_arg("upper", args, 0)?.to_uppercase().as_str()))
+        });
+        r.register("trim", |args| {
+            Ok(Value::from(str_arg("trim", args, 0)?.trim()))
+        });
+        r.register("length", |args| {
+            Ok(Value::from(
+                str_arg("length", args, 0)?.chars().count() as i64
+            ))
+        });
+        r.register("contains", |args| {
+            let hay = str_arg("contains", args, 0)?;
+            let needle = str_arg("contains", args, 1)?;
+            Ok(Value::Atomic(Atomic::Bool(hay.contains(&needle))))
+        });
+        r.register("starts_with", |args| {
+            let hay = str_arg("starts_with", args, 0)?;
+            let prefix = str_arg("starts_with", args, 1)?;
+            Ok(Value::Atomic(Atomic::Bool(hay.starts_with(&prefix))))
+        });
+        r.register("ends_with", |args| {
+            let hay = str_arg("ends_with", args, 0)?;
+            let suffix = str_arg("ends_with", args, 1)?;
+            Ok(Value::Atomic(Atomic::Bool(hay.ends_with(&suffix))))
+        });
+        r.register("concat", |args| {
+            let mut out = String::new();
+            for v in args {
+                out.push_str(&v.atomize().lexical());
+            }
+            Ok(Value::from(out.as_str()))
+        });
+        r.register("substr", |args| {
+            // substr(s, start [, len]) — 1-based, SQL style.
+            let s = str_arg("substr", args, 0)?;
+            let start = num_arg("substr", args, 1)? as i64;
+            let chars: Vec<char> = s.chars().collect();
+            let from = (start.max(1) - 1) as usize;
+            let taken: String = if args.len() > 2 {
+                let len = num_arg("substr", args, 2)?.max(0.0) as usize;
+                chars.iter().skip(from).take(len).collect()
+            } else {
+                chars.iter().skip(from).collect()
+            };
+            Ok(Value::from(taken.as_str()))
+        });
+        r.register("replace", |args| {
+            let s = str_arg("replace", args, 0)?;
+            let from = str_arg("replace", args, 1)?;
+            let to = str_arg("replace", args, 2)?;
+            Ok(Value::from(s.replace(&from, &to).as_str()))
+        });
+
+        // --- numeric functions ---
+        r.register("abs", |args| {
+            let v = num_arg("abs", args, 0)?;
+            Ok(Value::Atomic(Atomic::Float(v.abs())))
+        });
+        r.register("round", |args| {
+            let v = num_arg("round", args, 0)?;
+            Ok(Value::Atomic(Atomic::Int(v.round() as i64)))
+        });
+        r.register("floor", |args| {
+            let v = num_arg("floor", args, 0)?;
+            Ok(Value::Atomic(Atomic::Int(v.floor() as i64)))
+        });
+        r.register("ceil", |args| {
+            let v = num_arg("ceil", args, 0)?;
+            Ok(Value::Atomic(Atomic::Int(v.ceil() as i64)))
+        });
+
+        // --- value/node functions ---
+        r.register("text", |args| {
+            Ok(Value::from(str_arg("text", args, 0)?.as_str()))
+        });
+        r.register("name", |args| match args.first() {
+            Some(Value::Node(n)) => Ok(Value::from(n.name().unwrap_or(""))),
+            _ => Ok(Value::null()),
+        });
+        r.register("number", |args| {
+            let v = num_arg("number", args, 0)?;
+            if v == v.trunc() {
+                Ok(Value::Atomic(Atomic::Int(v as i64)))
+            } else {
+                Ok(Value::Atomic(Atomic::Float(v)))
+            }
+        });
+        r.register("is_null", |args| {
+            Ok(Value::Atomic(Atomic::Bool(
+                args.first().is_none_or(|v| v.is_null()),
+            )))
+        });
+        r.register("coalesce", |args| {
+            for v in args {
+                if !v.is_null() {
+                    return Ok(v.clone());
+                }
+            }
+            Ok(Value::null())
+        });
+        r
+    }
+
+    /// Register (or replace) a function.
+    pub fn register(
+        &mut self,
+        name: &str,
+        f: impl Fn(&[Value]) -> Result<Value, ExecError> + Send + Sync + 'static,
+    ) {
+        self.funcs.insert(name.to_string(), Arc::new(f));
+    }
+
+    /// Call a function by name.
+    pub fn call(&self, name: &str, args: &[Value]) -> Result<Value, ExecError> {
+        match self.funcs.get(name) {
+            Some(f) => f(args),
+            None => Err(ExecError::UnknownFunction(name.to_string())),
+        }
+    }
+
+    /// True if a function with this name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.funcs.contains_key(name)
+    }
+
+    /// Names of all registered functions, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.funcs.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_builtins() {
+        let r = FunctionRegistry::with_builtins();
+        assert_eq!(
+            r.call("lower", &[Value::from("ABC")]).unwrap().lexical(),
+            "abc"
+        );
+        assert_eq!(
+            r.call("substr", &[Value::from("hello"), Value::from(2i64), Value::from(3i64)])
+                .unwrap()
+                .lexical(),
+            "ell"
+        );
+        assert_eq!(
+            r.call("concat", &[Value::from("a"), Value::from(1i64)])
+                .unwrap()
+                .lexical(),
+            "a1"
+        );
+    }
+
+    #[test]
+    fn numeric_builtins() {
+        let r = FunctionRegistry::with_builtins();
+        assert_eq!(
+            r.call("round", &[Value::Atomic(Atomic::Float(2.6))])
+                .unwrap()
+                .atomize(),
+            Atomic::Int(3)
+        );
+    }
+
+    #[test]
+    fn unknown_function_error() {
+        let r = FunctionRegistry::with_builtins();
+        assert!(matches!(
+            r.call("nope", &[]),
+            Err(ExecError::UnknownFunction(_))
+        ));
+    }
+
+    #[test]
+    fn custom_registration() {
+        let mut r = FunctionRegistry::with_builtins();
+        r.register("twice", |args| {
+            let v = args[0].atomize();
+            match v {
+                Atomic::Int(i) => Ok(Value::from(i * 2)),
+                other => Err(ExecError::FunctionArgs {
+                    func: "twice".into(),
+                    message: format!("{:?}", other),
+                }),
+            }
+        });
+        assert_eq!(
+            r.call("twice", &[Value::from(21i64)]).unwrap().atomize(),
+            Atomic::Int(42)
+        );
+    }
+
+    #[test]
+    fn coalesce_and_is_null() {
+        let r = FunctionRegistry::with_builtins();
+        assert_eq!(
+            r.call("coalesce", &[Value::null(), Value::from("x")])
+                .unwrap()
+                .lexical(),
+            "x"
+        );
+        assert!(r
+            .call("is_null", &[Value::null()])
+            .unwrap()
+            .truthy());
+    }
+}

@@ -1,0 +1,92 @@
+//! # nimble-algebra
+//!
+//! The **physical algebra** of the Nimble reproduction and its
+//! Volcano-style (open/next/close) executor.
+//!
+//! The paper (§3.1) distinguishes two roles an algebra can play — an
+//! abstraction of the query language, and a model of the physical
+//! operators the query processor implements — and deliberately designs
+//! only the latter: "In our work we focussed on designing a physical
+//! algebra, because it had direct impact on the design and implementation
+//! of our system." This crate is that physical algebra. The mediator in
+//! `nimble-core` translates XML-QL through a thin internal representation
+//! *directly* into trees of these operators, with no logical-algebra
+//! stage, exactly as the paper describes.
+//!
+//! ## Data model
+//!
+//! Operators exchange [`Tuple`]s of [`nimble_xml::Value`]s — bindings of
+//! query variables to atomics, XML nodes, or lists — described by a
+//! [`Schema`] of variable names. Node bindings are by reference into
+//! shared documents, so tuples are cheap to copy and document order is
+//! preserved end to end.
+//!
+//! ## Operators
+//!
+//! * [`ops::ValuesOp`] — in-memory tuple source.
+//! * [`ops::FilterOp`] — predicate selection.
+//! * [`ops::ProjectOp`] — projection / computed columns / renaming.
+//! * [`ops::NestedLoopJoinOp`], [`ops::HashJoinOp`] (inner & left-outer),
+//!   [`ops::MergeJoinOp`] — joins.
+//! * [`ops::UnionOp`], [`ops::DistinctOp`] — set operations.
+//! * [`ops::SortOp`] — order by value with document-order tiebreak.
+//! * [`ops::GroupAggOp`] — grouping with COUNT/SUM/MIN/MAX/AVG/COLLECT.
+//! * [`ops::NavigateOp`] — path navigation, the XML-specific operator
+//!   that flattens "up, down and sideways" traversals into bindings.
+//! * [`ops::LimitOp`] — row limiting.
+//!
+//! ```
+//! use nimble_algebra::{ops, Schema, ScalarExpr, CmpOp, FunctionRegistry, run_to_vec};
+//! use nimble_xml::Value;
+//! use std::sync::Arc;
+//!
+//! let schema = Schema::new(vec!["x".into()]);
+//! let tuples = (0..10i64).map(|i| vec![Value::from(i)]).collect();
+//! let scan = ops::ValuesOp::new(schema, tuples);
+//! let pred = ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::Col(0), ScalarExpr::lit(6i64));
+//! let mut filter = ops::FilterOp::new(Box::new(scan), pred, Arc::new(FunctionRegistry::with_builtins()));
+//! let rows = run_to_vec(&mut filter).unwrap();
+//! assert_eq!(rows.len(), 3);
+//! ```
+
+pub mod error;
+pub mod expr;
+pub mod funcs;
+pub mod ops;
+pub mod schema;
+
+pub use error::ExecError;
+pub use expr::{AggFunc, ArithOp, CmpOp, ScalarExpr};
+pub use funcs::FunctionRegistry;
+pub use ops::Operator;
+pub use schema::{Schema, Tuple};
+
+/// Drain an operator into a vector (open → next* → close).
+pub fn run_to_vec(op: &mut dyn Operator) -> Result<Vec<Tuple>, ExecError> {
+    op.open()?;
+    let mut out = Vec::new();
+    while let Some(t) = op.next()? {
+        out.push(t);
+    }
+    op.close();
+    Ok(out)
+}
+
+/// Render an operator tree as an indented EXPLAIN listing with row counts
+/// (row counts are populated after execution).
+pub fn explain(op: &dyn Operator) -> String {
+    let mut out = String::new();
+    fn walk(op: &dyn Operator, depth: usize, out: &mut String) {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&op.describe());
+        if op.rows_out() > 0 {
+            out.push_str(&format!("  [rows={}]", op.rows_out()));
+        }
+        out.push('\n');
+        for c in op.children() {
+            walk(c, depth + 1, out);
+        }
+    }
+    walk(op, 0, &mut out);
+    out
+}

@@ -1,0 +1,99 @@
+//! Selection.
+
+use super::{BoxedOp, Operator};
+use crate::error::ExecError;
+use crate::expr::ScalarExpr;
+use crate::funcs::FunctionRegistry;
+use crate::schema::{Schema, Tuple};
+use std::sync::Arc;
+
+/// Keeps tuples for which the predicate is true.
+pub struct FilterOp {
+    child: BoxedOp,
+    predicate: ScalarExpr,
+    funcs: Arc<FunctionRegistry>,
+    rows_out: u64,
+}
+
+impl FilterOp {
+    pub fn new(child: BoxedOp, predicate: ScalarExpr, funcs: Arc<FunctionRegistry>) -> Self {
+        FilterOp {
+            child,
+            predicate,
+            funcs,
+            rows_out: 0,
+        }
+    }
+}
+
+impl Operator for FilterOp {
+    fn schema(&self) -> &Schema {
+        self.child.schema()
+    }
+
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.rows_out = 0;
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        while let Some(t) = self.child.next()? {
+            if self.predicate.eval_bool(&t, &self.funcs)? {
+                self.rows_out += 1;
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+
+    fn describe(&self) -> String {
+        format!("Filter {:?}", self.predicate)
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.child.as_ref()]
+    }
+
+    fn rows_out(&self) -> u64 {
+        self.rows_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use crate::ops::testutil::{int_source, ints};
+    use crate::run_to_vec;
+
+    #[test]
+    fn filters_rows() {
+        let src = int_source(&["x"], &[&[1], &[5], &[3], &[8]]);
+        let pred = ScalarExpr::cmp(CmpOp::Ge, ScalarExpr::Col(0), ScalarExpr::lit(4i64));
+        let mut op = FilterOp::new(
+            Box::new(src),
+            pred,
+            Arc::new(FunctionRegistry::with_builtins()),
+        );
+        let rows = run_to_vec(&mut op).unwrap();
+        assert_eq!(rows.iter().map(|t| ints(t)[0]).collect::<Vec<_>>(), [5, 8]);
+        assert_eq!(op.rows_out(), 2);
+    }
+
+    #[test]
+    fn eval_errors_propagate() {
+        let src = int_source(&["x"], &[&[1]]);
+        let pred = ScalarExpr::Call("missing".into(), vec![]);
+        let mut op = FilterOp::new(
+            Box::new(src),
+            pred,
+            Arc::new(FunctionRegistry::with_builtins()),
+        );
+        op.open().unwrap();
+        assert!(matches!(op.next(), Err(ExecError::UnknownFunction(_))));
+    }
+}

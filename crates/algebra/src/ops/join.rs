@@ -1,0 +1,643 @@
+//! Join operators: nested-loop (arbitrary predicates), hash (equi-join,
+//! inner and left-outer), and merge (pre-sorted single-key inputs).
+//!
+//! All joins output `left.schema ++ right.schema` (planners deduplicate
+//! shared variables with a projection above the join when needed).
+
+use super::{BoxedOp, Operator};
+use crate::error::ExecError;
+use crate::expr::ScalarExpr;
+use crate::funcs::FunctionRegistry;
+use crate::schema::{Schema, Tuple};
+use nimble_xml::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Inner or left-outer semantics (outer pads right columns with nulls).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    Inner,
+    LeftOuter,
+}
+
+fn concat_tuples(left: &Tuple, right: &Tuple) -> Tuple {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    out.extend(left.iter().cloned());
+    out.extend(right.iter().cloned());
+    out
+}
+
+// --- Nested-loop join ---
+
+/// Join with an arbitrary predicate over the concatenated tuple; the
+/// right side is materialized at open.
+pub struct NestedLoopJoinOp {
+    left: BoxedOp,
+    right: BoxedOp,
+    predicate: Option<ScalarExpr>,
+    join_type: JoinType,
+    schema: Schema,
+    funcs: Arc<FunctionRegistry>,
+    right_rows: Vec<Tuple>,
+    current_left: Option<Tuple>,
+    right_cursor: usize,
+    current_matched: bool,
+    rows_out: u64,
+}
+
+impl NestedLoopJoinOp {
+    pub fn new(
+        left: BoxedOp,
+        right: BoxedOp,
+        predicate: Option<ScalarExpr>,
+        join_type: JoinType,
+        funcs: Arc<FunctionRegistry>,
+    ) -> Self {
+        let schema = left.schema().concat(right.schema());
+        NestedLoopJoinOp {
+            left,
+            right,
+            predicate,
+            join_type,
+            schema,
+            funcs,
+            right_rows: Vec::new(),
+            current_left: None,
+            right_cursor: 0,
+            current_matched: false,
+            rows_out: 0,
+        }
+    }
+
+    fn null_padded(&self, left: &Tuple) -> Tuple {
+        let mut out = left.clone();
+        out.extend(std::iter::repeat_n(Value::null(), self.right.schema().len()));
+        out
+    }
+}
+
+impl Operator for NestedLoopJoinOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.rows_out = 0;
+        self.left.open()?;
+        self.right.open()?;
+        self.right_rows.clear();
+        while let Some(t) = self.right.next()? {
+            self.right_rows.push(t);
+        }
+        self.right.close();
+        self.current_left = None;
+        self.right_cursor = 0;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        loop {
+            if self.current_left.is_none() {
+                match self.left.next()? {
+                    None => return Ok(None),
+                    Some(t) => {
+                        self.current_left = Some(t);
+                        self.right_cursor = 0;
+                        self.current_matched = false;
+                    }
+                }
+            }
+            let left = self.current_left.clone().unwrap();
+            while self.right_cursor < self.right_rows.len() {
+                let right = &self.right_rows[self.right_cursor];
+                self.right_cursor += 1;
+                let combined = concat_tuples(&left, right);
+                let ok = match &self.predicate {
+                    None => true,
+                    Some(p) => p.eval_bool(&combined, &self.funcs)?,
+                };
+                if ok {
+                    self.current_matched = true;
+                    self.rows_out += 1;
+                    return Ok(Some(combined));
+                }
+            }
+            // Exhausted right side for this left tuple.
+            let emit_outer = self.join_type == JoinType::LeftOuter && !self.current_matched;
+            let left_for_outer = self.current_left.take().unwrap();
+            if emit_outer {
+                self.rows_out += 1;
+                return Ok(Some(self.null_padded(&left_for_outer)));
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        self.right_rows.clear();
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "NestedLoopJoin ({:?}) on {:?}",
+            self.join_type, self.predicate
+        )
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.left.as_ref(), self.right.as_ref()]
+    }
+
+    fn rows_out(&self) -> u64 {
+        self.rows_out
+    }
+}
+
+// --- Hash join ---
+
+/// Equi-join: builds a hash table on the right input's key columns, then
+/// probes with the left input.
+pub struct HashJoinOp {
+    left: BoxedOp,
+    right: BoxedOp,
+    left_keys: Vec<usize>,
+    right_keys: Vec<usize>,
+    join_type: JoinType,
+    schema: Schema,
+    table: HashMap<String, Vec<Tuple>>,
+    pending: Vec<Tuple>,
+    pending_cursor: usize,
+    rows_out: u64,
+}
+
+/// Hash-join keys are rendered to a canonical string so cross-type equal
+/// values (Int 5 vs Float 5.0 vs node text "5") collide correctly; this
+/// mirrors `Value::key_eq`'s numeric coercion. Integers exactly
+/// representable as f64 render through f64 (so `Int(2) == Float(2.0)`);
+/// larger integers render exactly so distinct i64 keys beyond 2^53 never
+/// conflate.
+fn key_string(tuple: &Tuple, cols: &[usize]) -> String {
+    fn push_num(out: &mut String, f: f64) {
+        out.push_str(&format!("n{}", f));
+    }
+    fn push_int(out: &mut String, i: i64) {
+        if (i as f64) as i64 == i {
+            push_num(out, i as f64);
+        } else {
+            out.push_str(&format!("ix{}", i));
+        }
+    }
+    let mut out = String::new();
+    for &c in cols {
+        let a = tuple[c].atomize();
+        match a {
+            nimble_xml::Atomic::Int(i) => push_int(&mut out, i),
+            nimble_xml::Atomic::Float(f) => push_num(&mut out, f),
+            nimble_xml::Atomic::Str(s) => match s.trim().parse::<i64>() {
+                Ok(i) => push_int(&mut out, i),
+                Err(_) => match s.trim().parse::<f64>() {
+                    Ok(f) => push_num(&mut out, f),
+                    Err(_) => {
+                        out.push('s');
+                        out.push_str(&s);
+                    }
+                },
+            },
+            nimble_xml::Atomic::Bool(b) => out.push_str(if b { "bt" } else { "bf" }),
+            nimble_xml::Atomic::Null => out.push('0'),
+        }
+        out.push('\u{1}');
+    }
+    out
+}
+
+impl HashJoinOp {
+    pub fn new(
+        left: BoxedOp,
+        right: BoxedOp,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        join_type: JoinType,
+    ) -> Self {
+        assert_eq!(left_keys.len(), right_keys.len(), "key arity mismatch");
+        let schema = left.schema().concat(right.schema());
+        HashJoinOp {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+            schema,
+            table: HashMap::new(),
+            pending: Vec::new(),
+            pending_cursor: 0,
+            rows_out: 0,
+        }
+    }
+
+    /// Build a hash join on the variables shared by both inputs.
+    pub fn natural(left: BoxedOp, right: BoxedOp, join_type: JoinType) -> Self {
+        let common = left.schema().common_vars(right.schema());
+        assert!(
+            !common.is_empty(),
+            "natural hash join requires shared variables between {} and {}",
+            left.schema(),
+            right.schema()
+        );
+        let lk = common
+            .iter()
+            .map(|v| left.schema().index_of(v).unwrap())
+            .collect();
+        let rk = common
+            .iter()
+            .map(|v| right.schema().index_of(v).unwrap())
+            .collect();
+        HashJoinOp::new(left, right, lk, rk, join_type)
+    }
+}
+
+impl Operator for HashJoinOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.rows_out = 0;
+        self.table.clear();
+        self.right.open()?;
+        while let Some(t) = self.right.next()? {
+            let k = key_string(&t, &self.right_keys);
+            self.table.entry(k).or_default().push(t);
+        }
+        self.right.close();
+        self.left.open()?;
+        self.pending.clear();
+        self.pending_cursor = 0;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        loop {
+            if self.pending_cursor < self.pending.len() {
+                let t = self.pending[self.pending_cursor].clone();
+                self.pending_cursor += 1;
+                self.rows_out += 1;
+                return Ok(Some(t));
+            }
+            match self.left.next()? {
+                None => return Ok(None),
+                Some(left) => {
+                    let k = key_string(&left, &self.left_keys);
+                    self.pending.clear();
+                    self.pending_cursor = 0;
+                    match self.table.get(&k) {
+                        Some(matches) => {
+                            for m in matches {
+                                self.pending.push(concat_tuples(&left, m));
+                            }
+                        }
+                        None => {
+                            if self.join_type == JoinType::LeftOuter {
+                                let mut padded = left.clone();
+                                padded.extend(
+                                    std::iter::repeat_n(Value::null(), self.right.schema().len()),
+                                );
+                                self.pending.push(padded);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        self.table.clear();
+        self.pending.clear();
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "HashJoin ({:?}) keys {:?}={:?}",
+            self.join_type, self.left_keys, self.right_keys
+        )
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.left.as_ref(), self.right.as_ref()]
+    }
+
+    fn rows_out(&self) -> u64 {
+        self.rows_out
+    }
+}
+
+// --- Merge join ---
+
+/// Single-key inner equi-join over inputs sorted ascending on their key
+/// columns. Verifies sortedness as it goes and errors otherwise.
+pub struct MergeJoinOp {
+    left: BoxedOp,
+    right: BoxedOp,
+    left_key: usize,
+    right_key: usize,
+    schema: Schema,
+    left_cur: Option<Tuple>,
+    right_group: Vec<Tuple>,
+    right_next: Option<Tuple>,
+    group_cursor: usize,
+    rows_out: u64,
+}
+
+impl MergeJoinOp {
+    pub fn new(left: BoxedOp, right: BoxedOp, left_key: usize, right_key: usize) -> Self {
+        let schema = left.schema().concat(right.schema());
+        MergeJoinOp {
+            left,
+            right,
+            left_key,
+            right_key,
+            schema,
+            left_cur: None,
+            right_group: Vec::new(),
+            right_next: None,
+            group_cursor: 0,
+            rows_out: 0,
+        }
+    }
+
+    fn advance_left(&mut self) -> Result<(), ExecError> {
+        let next = self.left.next()?;
+        if let (Some(prev), Some(cur)) = (&self.left_cur, &next) {
+            if prev[self.left_key].total_cmp(&cur[self.left_key]) == std::cmp::Ordering::Greater {
+                return Err(ExecError::Operator(
+                    "merge join: left input not sorted on key".into(),
+                ));
+            }
+        }
+        self.left_cur = next;
+        self.group_cursor = 0;
+        Ok(())
+    }
+
+    /// Load the next run of equal-keyed right tuples into `right_group`.
+    fn load_right_group(&mut self) -> Result<(), ExecError> {
+        self.right_group.clear();
+        let first = match self.right_next.take() {
+            Some(t) => t,
+            None => match self.right.next()? {
+                Some(t) => t,
+                None => return Ok(()),
+            },
+        };
+        let key = first[self.right_key].clone();
+        self.right_group.push(first);
+        loop {
+            match self.right.next()? {
+                None => break,
+                Some(t) => {
+                    match key.total_cmp(&t[self.right_key]) {
+                        std::cmp::Ordering::Equal => self.right_group.push(t),
+                        std::cmp::Ordering::Less => {
+                            self.right_next = Some(t);
+                            break;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            return Err(ExecError::Operator(
+                                "merge join: right input not sorted on key".into(),
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Operator for MergeJoinOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.rows_out = 0;
+        self.left.open()?;
+        self.right.open()?;
+        self.left_cur = None;
+        self.right_next = None;
+        self.right_group.clear();
+        self.advance_left()?;
+        self.load_right_group()?;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        loop {
+            let left = match &self.left_cur {
+                None => return Ok(None),
+                Some(t) => t.clone(),
+            };
+            if self.right_group.is_empty() {
+                return Ok(None);
+            }
+            let lk = &left[self.left_key];
+            let rk = &self.right_group[0][self.right_key];
+            match lk.total_cmp(rk) {
+                std::cmp::Ordering::Less => {
+                    self.advance_left()?;
+                }
+                std::cmp::Ordering::Greater => {
+                    self.load_right_group()?;
+                }
+                std::cmp::Ordering::Equal => {
+                    if self.group_cursor < self.right_group.len() {
+                        let combined =
+                            concat_tuples(&left, &self.right_group[self.group_cursor]);
+                        self.group_cursor += 1;
+                        self.rows_out += 1;
+                        return Ok(Some(combined));
+                    }
+                    self.advance_left()?;
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        self.right.close();
+        self.right_group.clear();
+    }
+
+    fn describe(&self) -> String {
+        format!("MergeJoin keys {}={}", self.left_key, self.right_key)
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.left.as_ref(), self.right.as_ref()]
+    }
+
+    fn rows_out(&self) -> u64 {
+        self.rows_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use crate::ops::testutil::{int_source, ints};
+    use crate::run_to_vec;
+
+    fn rows_of(op: &mut dyn Operator) -> Vec<Vec<i64>> {
+        run_to_vec(op).unwrap().iter().map(ints).collect()
+    }
+
+    #[test]
+    fn nested_loop_theta_join() {
+        let left = int_source(&["a"], &[&[1], &[2], &[3]]);
+        let right = int_source(&["b"], &[&[2], &[3]]);
+        // a < b
+        let pred = ScalarExpr::cmp(CmpOp::Lt, ScalarExpr::Col(0), ScalarExpr::Col(1));
+        let mut op = NestedLoopJoinOp::new(
+            Box::new(left),
+            Box::new(right),
+            Some(pred),
+            JoinType::Inner,
+            Arc::new(FunctionRegistry::with_builtins()),
+        );
+        assert_eq!(rows_of(&mut op), vec![vec![1, 2], vec![1, 3], vec![2, 3]]);
+    }
+
+    #[test]
+    fn nested_loop_left_outer() {
+        let left = int_source(&["a"], &[&[1], &[9]]);
+        let right = int_source(&["b"], &[&[1]]);
+        let pred = ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::Col(0), ScalarExpr::Col(1));
+        let mut op = NestedLoopJoinOp::new(
+            Box::new(left),
+            Box::new(right),
+            Some(pred),
+            JoinType::LeftOuter,
+            Arc::new(FunctionRegistry::with_builtins()),
+        );
+        let rows = run_to_vec(&mut op).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[1][1].is_null());
+    }
+
+    #[test]
+    fn hash_join_inner() {
+        let left = int_source(&["k", "x"], &[&[1, 10], &[2, 20], &[2, 21], &[3, 30]]);
+        let right = int_source(&["k2", "y"], &[&[2, 200], &[3, 300], &[4, 400]]);
+        let mut op = HashJoinOp::new(Box::new(left), Box::new(right), vec![0], vec![0], JoinType::Inner);
+        let mut rows = rows_of(&mut op);
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![vec![2, 20, 2, 200], vec![2, 21, 2, 200], vec![3, 30, 3, 300]]
+        );
+    }
+
+    #[test]
+    fn hash_join_natural_uses_shared_vars() {
+        let left = int_source(&["k", "x"], &[&[1, 10]]);
+        let right = int_source(&["k", "y"], &[&[1, 99], &[2, 98]]);
+        let mut op = HashJoinOp::natural(Box::new(left), Box::new(right), JoinType::Inner);
+        assert_eq!(rows_of(&mut op), vec![vec![1, 10, 1, 99]]);
+    }
+
+    #[test]
+    fn hash_join_left_outer_pads_nulls() {
+        let left = int_source(&["k"], &[&[1], &[5]]);
+        let right = int_source(&["k2", "y"], &[&[1, 11]]);
+        let mut op = HashJoinOp::new(
+            Box::new(left),
+            Box::new(right),
+            vec![0],
+            vec![0],
+            JoinType::LeftOuter,
+        );
+        let rows = run_to_vec(&mut op).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[1][1].is_null() && rows[1][2].is_null());
+    }
+
+    #[test]
+    fn merge_join_sorted_inputs() {
+        let left = int_source(&["k", "x"], &[&[1, 10], &[2, 20], &[2, 21], &[4, 40]]);
+        let right = int_source(&["k2", "y"], &[&[2, 200], &[2, 201], &[3, 300], &[4, 400]]);
+        let mut op = MergeJoinOp::new(Box::new(left), Box::new(right), 0, 0);
+        let mut rows = rows_of(&mut op);
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                vec![2, 20, 2, 200],
+                vec![2, 20, 2, 201],
+                vec![2, 21, 2, 200],
+                vec![2, 21, 2, 201],
+                vec![4, 40, 4, 400]
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_join_detects_unsorted() {
+        let left = int_source(&["k"], &[&[2], &[1]]);
+        let right = int_source(&["k2"], &[&[1], &[2]]);
+        let mut op = MergeJoinOp::new(Box::new(left), Box::new(right), 0, 0);
+        op.open().unwrap();
+        let mut result = Ok(None);
+        for _ in 0..4 {
+            result = op.next();
+            if result.is_err() {
+                break;
+            }
+        }
+        assert!(matches!(result, Err(ExecError::Operator(_))));
+    }
+
+    #[test]
+    fn huge_int_keys_do_not_conflate() {
+        use crate::ops::ValuesOp;
+        use nimble_xml::Value;
+        // 2^53 and 2^53+1 coerce to the same f64; they must not join.
+        let big = 1i64 << 53;
+        let schema_l = Schema::new(vec!["k".into()]);
+        let left = ValuesOp::new(schema_l, vec![vec![Value::from(big + 1)]]);
+        let schema_r = Schema::new(vec!["k2".into()]);
+        let right = ValuesOp::new(schema_r, vec![vec![Value::from(big)]]);
+        let mut op =
+            HashJoinOp::new(Box::new(left), Box::new(right), vec![0], vec![0], JoinType::Inner);
+        assert!(run_to_vec(&mut op).unwrap().is_empty());
+        // Equal huge keys still join.
+        let schema_l = Schema::new(vec!["k".into()]);
+        let left = ValuesOp::new(schema_l, vec![vec![Value::from(big + 1)]]);
+        let schema_r = Schema::new(vec!["k2".into()]);
+        let right = ValuesOp::new(schema_r, vec![vec![Value::from(big + 1)]]);
+        let mut op =
+            HashJoinOp::new(Box::new(left), Box::new(right), vec![0], vec![0], JoinType::Inner);
+        assert_eq!(run_to_vec(&mut op).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn cross_type_keys_join() {
+        use nimble_xml::{Atomic, Value};
+        let schema_l = Schema::new(vec!["k".into()]);
+        let left = ValuesOp::new(schema_l, vec![vec![Value::Atomic(Atomic::Int(5))]]);
+        let schema_r = Schema::new(vec!["k2".into()]);
+        let right = ValuesOp::new(
+            schema_r,
+            vec![
+                vec![Value::Atomic(Atomic::Str("5".into()))],
+                vec![Value::Atomic(Atomic::Float(5.0))],
+            ],
+        );
+        use crate::ops::ValuesOp;
+        let mut op = HashJoinOp::new(Box::new(left), Box::new(right), vec![0], vec![0], JoinType::Inner);
+        assert_eq!(run_to_vec(&mut op).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! Row limiting (LIMIT/OFFSET).
+
+use super::{BoxedOp, Operator};
+use crate::error::ExecError;
+use crate::schema::{Schema, Tuple};
+
+/// Emits at most `limit` tuples after skipping `offset`.
+pub struct LimitOp {
+    child: BoxedOp,
+    limit: usize,
+    offset: usize,
+    seen: usize,
+    emitted: usize,
+    rows_out: u64,
+}
+
+impl LimitOp {
+    pub fn new(child: BoxedOp, limit: usize, offset: usize) -> Self {
+        LimitOp {
+            child,
+            limit,
+            offset,
+            seen: 0,
+            emitted: 0,
+            rows_out: 0,
+        }
+    }
+}
+
+impl Operator for LimitOp {
+    fn schema(&self) -> &Schema {
+        self.child.schema()
+    }
+
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.seen = 0;
+        self.emitted = 0;
+        self.rows_out = 0;
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        if self.emitted >= self.limit {
+            return Ok(None);
+        }
+        while let Some(t) = self.child.next()? {
+            self.seen += 1;
+            if self.seen > self.offset {
+                self.emitted += 1;
+                self.rows_out += 1;
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+
+    fn describe(&self) -> String {
+        format!("Limit {} offset {}", self.limit, self.offset)
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.child.as_ref()]
+    }
+
+    fn rows_out(&self) -> u64 {
+        self.rows_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::{int_source, ints};
+    use crate::run_to_vec;
+
+    #[test]
+    fn limit_and_offset() {
+        let src = int_source(&["x"], &[&[1], &[2], &[3], &[4], &[5]]);
+        let mut op = LimitOp::new(Box::new(src), 2, 1);
+        let rows: Vec<i64> = run_to_vec(&mut op)
+            .unwrap()
+            .iter()
+            .map(|t| ints(t)[0])
+            .collect();
+        assert_eq!(rows, [2, 3]);
+    }
+
+    #[test]
+    fn limit_beyond_input() {
+        let src = int_source(&["x"], &[&[1]]);
+        let mut op = LimitOp::new(Box::new(src), 10, 0);
+        assert_eq!(run_to_vec(&mut op).unwrap().len(), 1);
+    }
+}

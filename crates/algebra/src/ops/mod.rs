@@ -1,0 +1,76 @@
+//! Physical operators (Volcano-style pull iterators).
+//!
+//! Every operator implements [`Operator`]: `open` prepares state, `next`
+//! yields one tuple, `close` releases resources. Operators own their
+//! children as boxed trait objects; plans are trees built by the
+//! mediator's planner.
+
+mod filter;
+mod group;
+mod join;
+mod limit;
+mod navigate;
+mod project;
+mod scan;
+mod setops;
+mod sort;
+
+pub use filter::FilterOp;
+pub use group::{AggSpec, GroupAggOp};
+pub use join::{HashJoinOp, JoinType, MergeJoinOp, NestedLoopJoinOp};
+pub use limit::LimitOp;
+pub use navigate::NavigateOp;
+pub use project::ProjectOp;
+pub use scan::{LazySourceOp, ValuesOp};
+pub use setops::{DistinctOp, UnionOp};
+pub use sort::{SortKey, SortOp};
+
+use crate::error::ExecError;
+use crate::schema::{Schema, Tuple};
+
+/// The physical-operator interface.
+pub trait Operator: Send {
+    /// Output schema (variable names per column).
+    fn schema(&self) -> &Schema;
+    /// Prepare for iteration. Must be called before `next`.
+    fn open(&mut self) -> Result<(), ExecError>;
+    /// Produce the next tuple, or `None` at end of stream.
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError>;
+    /// Release resources. Idempotent.
+    fn close(&mut self);
+    /// One-line description for EXPLAIN output.
+    fn describe(&self) -> String;
+    /// Child operators, for plan walking.
+    fn children(&self) -> Vec<&dyn Operator>;
+    /// Tuples produced so far (monotonic across one execution).
+    fn rows_out(&self) -> u64;
+}
+
+/// Boxed operator alias used throughout planners.
+pub type BoxedOp = Box<dyn Operator>;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use nimble_xml::Value;
+
+    /// Schema + integer rows shorthand for operator tests.
+    pub fn int_source(vars: &[&str], rows: &[&[i64]]) -> ValuesOp {
+        let schema = Schema::new(vars.iter().map(|s| s.to_string()).collect());
+        let tuples = rows
+            .iter()
+            .map(|r| r.iter().map(|&v| Value::from(v)).collect())
+            .collect();
+        ValuesOp::new(schema, tuples)
+    }
+
+    pub fn ints(tuple: &Tuple) -> Vec<i64> {
+        tuple
+            .iter()
+            .map(|v| match v.atomize() {
+                nimble_xml::Atomic::Int(i) => i,
+                other => panic!("expected int, got {:?}", other),
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,181 @@
+//! Path navigation — the XML-specific operator.
+//!
+//! For each input tuple, evaluate a path from a node-valued column and
+//! emit one output tuple per reached value (a flattening "unnest"). This
+//! is how "navigation-style access … up, down and sideways" becomes a
+//! relational-looking stream the rest of the algebra can join and filter.
+
+use super::{BoxedOp, Operator};
+use crate::error::ExecError;
+use crate::schema::{Schema, Tuple};
+use nimble_xml::{Path, Value};
+
+/// Unnests `path` applied to column `input_col` into new column
+/// `out_var`.
+pub struct NavigateOp {
+    child: BoxedOp,
+    input_col: usize,
+    path: Path,
+    schema: Schema,
+    /// When true, tuples whose navigation yields nothing are emitted once
+    /// with a null binding (outer semantics); when false they are dropped.
+    keep_empty: bool,
+    pending: Vec<Tuple>,
+    pending_cursor: usize,
+    rows_out: u64,
+}
+
+impl NavigateOp {
+    pub fn new(
+        child: BoxedOp,
+        input_col: usize,
+        path: Path,
+        out_var: &str,
+        keep_empty: bool,
+    ) -> Self {
+        let schema = child.schema().with(out_var);
+        NavigateOp {
+            child,
+            input_col,
+            path,
+            schema,
+            keep_empty,
+            pending: Vec::new(),
+            pending_cursor: 0,
+            rows_out: 0,
+        }
+    }
+}
+
+impl Operator for NavigateOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.rows_out = 0;
+        self.pending.clear();
+        self.pending_cursor = 0;
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        loop {
+            if self.pending_cursor < self.pending.len() {
+                let t = self.pending[self.pending_cursor].clone();
+                self.pending_cursor += 1;
+                self.rows_out += 1;
+                return Ok(Some(t));
+            }
+            match self.child.next()? {
+                None => return Ok(None),
+                Some(t) => {
+                    self.pending.clear();
+                    self.pending_cursor = 0;
+                    let results = match &t[self.input_col] {
+                        Value::Node(n) => self.path.eval(n),
+                        _ => Vec::new(),
+                    };
+                    if results.is_empty() {
+                        if self.keep_empty {
+                            let mut out = t.clone();
+                            out.push(Value::null());
+                            self.pending.push(out);
+                        }
+                    } else {
+                        for r in results {
+                            let mut out = t.clone();
+                            out.push(r);
+                            self.pending.push(out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+        self.pending.clear();
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "Navigate col {} via {} -> {}",
+            self.input_col,
+            self.path,
+            self.schema.vars().last().map(String::as_str).unwrap_or("?")
+        )
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.child.as_ref()]
+    }
+
+    fn rows_out(&self) -> u64 {
+        self.rows_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::ValuesOp;
+    use crate::run_to_vec;
+    use nimble_xml::parse;
+
+    #[test]
+    fn unnests_path_matches() {
+        let doc = parse("<order><item>a</item><item>b</item></order>").unwrap();
+        let schema = Schema::new(vec!["o".into()]);
+        let src = ValuesOp::new(schema, vec![vec![Value::Node(doc.root())]]);
+        let mut op = NavigateOp::new(
+            Box::new(src),
+            0,
+            Path::parse("item").unwrap(),
+            "i",
+            false,
+        );
+        let rows = run_to_vec(&mut op).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][1].lexical(), "a");
+        assert_eq!(rows[1][1].lexical(), "b");
+        assert_eq!(op.schema().vars(), &["o", "i"]);
+    }
+
+    #[test]
+    fn keep_empty_emits_null() {
+        let doc = parse("<order/>").unwrap();
+        let schema = Schema::new(vec!["o".into()]);
+        let src = ValuesOp::new(schema.clone(), vec![vec![Value::Node(doc.root())]]);
+        let mut drop_op = NavigateOp::new(
+            Box::new(src),
+            0,
+            Path::parse("item").unwrap(),
+            "i",
+            false,
+        );
+        assert!(run_to_vec(&mut drop_op).unwrap().is_empty());
+
+        let src = ValuesOp::new(schema, vec![vec![Value::Node(doc.root())]]);
+        let mut keep_op =
+            NavigateOp::new(Box::new(src), 0, Path::parse("item").unwrap(), "i", true);
+        let rows = run_to_vec(&mut keep_op).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0][1].is_null());
+    }
+
+    #[test]
+    fn non_node_input_behaves_like_empty() {
+        let schema = Schema::new(vec!["x".into()]);
+        let src = ValuesOp::new(schema, vec![vec![Value::from(42i64)]]);
+        let mut op = NavigateOp::new(
+            Box::new(src),
+            0,
+            Path::parse("item").unwrap(),
+            "i",
+            false,
+        );
+        assert!(run_to_vec(&mut op).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Projection: compute output columns from input tuples (subset, rename,
+//! or derived expressions).
+
+use super::{BoxedOp, Operator};
+use crate::error::ExecError;
+use crate::expr::ScalarExpr;
+use crate::funcs::FunctionRegistry;
+use crate::schema::{Schema, Tuple};
+use std::sync::Arc;
+
+/// One output column: a name and the expression that produces it.
+pub struct ProjectOp {
+    child: BoxedOp,
+    exprs: Vec<ScalarExpr>,
+    schema: Schema,
+    funcs: Arc<FunctionRegistry>,
+    rows_out: u64,
+}
+
+impl ProjectOp {
+    /// `columns` pairs output names with expressions over the child's
+    /// schema.
+    pub fn new(
+        child: BoxedOp,
+        columns: Vec<(String, ScalarExpr)>,
+        funcs: Arc<FunctionRegistry>,
+    ) -> Self {
+        let (names, exprs): (Vec<String>, Vec<ScalarExpr>) = columns.into_iter().unzip();
+        ProjectOp {
+            child,
+            exprs,
+            schema: Schema::new(names),
+            funcs,
+            rows_out: 0,
+        }
+    }
+
+    /// Keep only the named columns of the child (classic projection).
+    pub fn keep(child: BoxedOp, vars: &[&str], funcs: Arc<FunctionRegistry>) -> Self {
+        let columns = vars
+            .iter()
+            .map(|v| {
+                let idx = child
+                    .schema()
+                    .index_of(v)
+                    .unwrap_or_else(|| panic!("projection var {:?} not in {}", v, child.schema()));
+                (v.to_string(), ScalarExpr::Col(idx))
+            })
+            .collect();
+        ProjectOp::new(child, columns, funcs)
+    }
+}
+
+impl Operator for ProjectOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.rows_out = 0;
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        match self.child.next()? {
+            None => Ok(None),
+            Some(t) => {
+                let mut out = Vec::with_capacity(self.exprs.len());
+                for e in &self.exprs {
+                    out.push(e.eval(&t, &self.funcs)?);
+                }
+                self.rows_out += 1;
+                Ok(Some(out))
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+
+    fn describe(&self) -> String {
+        format!("Project {}", self.schema)
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.child.as_ref()]
+    }
+
+    fn rows_out(&self) -> u64 {
+        self.rows_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ArithOp;
+    use crate::ops::testutil::{int_source, ints};
+    use crate::run_to_vec;
+
+    #[test]
+    fn keep_subset() {
+        let src = int_source(&["a", "b", "c"], &[&[1, 2, 3]]);
+        let mut op = ProjectOp::keep(
+            Box::new(src),
+            &["c", "a"],
+            Arc::new(FunctionRegistry::with_builtins()),
+        );
+        let rows = run_to_vec(&mut op).unwrap();
+        assert_eq!(ints(&rows[0]), [3, 1]);
+        assert_eq!(op.schema().vars(), &["c", "a"]);
+    }
+
+    #[test]
+    fn computed_column() {
+        let src = int_source(&["a"], &[&[10], &[20]]);
+        let mut op = ProjectOp::new(
+            Box::new(src),
+            vec![(
+                "double".into(),
+                ScalarExpr::Arith(
+                    ArithOp::Mul,
+                    Box::new(ScalarExpr::Col(0)),
+                    Box::new(ScalarExpr::lit(2i64)),
+                ),
+            )],
+            Arc::new(FunctionRegistry::with_builtins()),
+        );
+        let rows = run_to_vec(&mut op).unwrap();
+        assert_eq!(ints(&rows[1]), [40]);
+    }
+}

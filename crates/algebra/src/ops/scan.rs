@@ -1,0 +1,179 @@
+//! Tuple sources: in-memory values and lazily-produced batches.
+
+use super::Operator;
+use crate::error::ExecError;
+use crate::schema::{Schema, Tuple};
+
+/// An in-memory tuple source.
+pub struct ValuesOp {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+    cursor: usize,
+    rows_out: u64,
+    label: String,
+}
+
+impl ValuesOp {
+    pub fn new(schema: Schema, tuples: Vec<Tuple>) -> Self {
+        ValuesOp {
+            schema,
+            tuples,
+            cursor: 0,
+            rows_out: 0,
+            label: "Values".to_string(),
+        }
+    }
+
+    /// Attach a display label (e.g. the source collection name).
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+impl Operator for ValuesOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.cursor = 0;
+        self.rows_out = 0;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        if self.cursor < self.tuples.len() {
+            let t = self.tuples[self.cursor].clone();
+            self.cursor += 1;
+            self.rows_out += 1;
+            Ok(Some(t))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn close(&mut self) {}
+
+    fn describe(&self) -> String {
+        format!("{} {} ({} tuples)", self.label, self.schema, self.tuples.len())
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        Vec::new()
+    }
+
+    fn rows_out(&self) -> u64 {
+        self.rows_out
+    }
+}
+
+/// Producer invoked at `open` time by [`LazySourceOp`].
+pub type TupleProducer = dyn FnMut() -> Result<Vec<Tuple>, ExecError> + Send;
+
+/// A source whose tuples are produced when the plan opens — the hook the
+/// mediator uses to wire remote source fetches (and their failures) into
+/// plans without eager evaluation at plan-build time.
+pub struct LazySourceOp {
+    schema: Schema,
+    producer: Box<TupleProducer>,
+    buffered: Vec<Tuple>,
+    cursor: usize,
+    rows_out: u64,
+    label: String,
+}
+
+impl LazySourceOp {
+    pub fn new(
+        schema: Schema,
+        label: impl Into<String>,
+        producer: impl FnMut() -> Result<Vec<Tuple>, ExecError> + Send + 'static,
+    ) -> Self {
+        LazySourceOp {
+            schema,
+            producer: Box::new(producer),
+            buffered: Vec::new(),
+            cursor: 0,
+            rows_out: 0,
+            label: label.into(),
+        }
+    }
+}
+
+impl Operator for LazySourceOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.buffered = (self.producer)()?;
+        self.cursor = 0;
+        self.rows_out = 0;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        if self.cursor < self.buffered.len() {
+            let t = self.buffered[self.cursor].clone();
+            self.cursor += 1;
+            self.rows_out += 1;
+            Ok(Some(t))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn close(&mut self) {
+        self.buffered.clear();
+        self.cursor = 0;
+    }
+
+    fn describe(&self) -> String {
+        format!("Source {} {}", self.label, self.schema)
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        Vec::new()
+    }
+
+    fn rows_out(&self) -> u64 {
+        self.rows_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_to_vec;
+    use nimble_xml::Value;
+
+    #[test]
+    fn values_replayable() {
+        let schema = Schema::new(vec!["x".into()]);
+        let mut op = ValuesOp::new(schema, vec![vec![Value::from(1i64)], vec![Value::from(2i64)]]);
+        assert_eq!(run_to_vec(&mut op).unwrap().len(), 2);
+        // Reopening restarts.
+        assert_eq!(run_to_vec(&mut op).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn lazy_source_defers_and_propagates_errors() {
+        let schema = Schema::new(vec!["x".into()]);
+        let mut calls = 0u32;
+        let mut op = LazySourceOp::new(schema, "flaky", move || {
+            calls += 1;
+            if calls == 1 {
+                Err(ExecError::Source {
+                    source: "flaky".into(),
+                    message: "offline".into(),
+                })
+            } else {
+                Ok(vec![vec![Value::from(7i64)]])
+            }
+        });
+        assert!(matches!(op.open(), Err(ExecError::Source { .. })));
+        // Second attempt succeeds (source came back).
+        op.open().unwrap();
+        assert_eq!(op.next().unwrap().unwrap()[0].atomize().lexical(), "7");
+    }
+}

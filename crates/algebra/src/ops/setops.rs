@@ -1,0 +1,179 @@
+//! Union and duplicate elimination.
+
+use super::{BoxedOp, Operator};
+use crate::error::ExecError;
+use crate::schema::{Schema, Tuple};
+use std::collections::HashSet;
+
+/// Concatenates the streams of children with identical schemas (UNION
+/// ALL; stack a [`DistinctOp`] for set union).
+pub struct UnionOp {
+    children: Vec<BoxedOp>,
+    current: usize,
+    rows_out: u64,
+}
+
+impl UnionOp {
+    pub fn new(children: Vec<BoxedOp>) -> Result<Self, ExecError> {
+        if children.is_empty() {
+            return Err(ExecError::Operator("union of zero inputs".into()));
+        }
+        let first = children[0].schema().clone();
+        for c in &children[1..] {
+            if c.schema() != &first {
+                return Err(ExecError::Operator(format!(
+                    "union schema mismatch: {} vs {}",
+                    first,
+                    c.schema()
+                )));
+            }
+        }
+        Ok(UnionOp {
+            children,
+            current: 0,
+            rows_out: 0,
+        })
+    }
+}
+
+impl Operator for UnionOp {
+    fn schema(&self) -> &Schema {
+        self.children[0].schema()
+    }
+
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.rows_out = 0;
+        self.current = 0;
+        for c in &mut self.children {
+            c.open()?;
+        }
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        while self.current < self.children.len() {
+            match self.children[self.current].next()? {
+                Some(t) => {
+                    self.rows_out += 1;
+                    return Ok(Some(t));
+                }
+                None => self.current += 1,
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self) {
+        for c in &mut self.children {
+            c.close();
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("Union ({} inputs)", self.children.len())
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        self.children.iter().map(|c| c.as_ref()).collect()
+    }
+
+    fn rows_out(&self) -> u64 {
+        self.rows_out
+    }
+}
+
+/// Removes duplicate tuples (by atomized lexical key — node bindings
+/// deduplicate by their content, matching XML-QL's value semantics).
+pub struct DistinctOp {
+    child: BoxedOp,
+    seen: HashSet<String>,
+    rows_out: u64,
+}
+
+impl DistinctOp {
+    pub fn new(child: BoxedOp) -> Self {
+        DistinctOp {
+            child,
+            seen: HashSet::new(),
+            rows_out: 0,
+        }
+    }
+
+    fn key(t: &Tuple) -> String {
+        let mut out = String::new();
+        for v in t {
+            out.push_str(&v.atomize().lexical());
+            out.push('\u{1}');
+        }
+        out
+    }
+}
+
+impl Operator for DistinctOp {
+    fn schema(&self) -> &Schema {
+        self.child.schema()
+    }
+
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.rows_out = 0;
+        self.seen.clear();
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        while let Some(t) = self.child.next()? {
+            if self.seen.insert(Self::key(&t)) {
+                self.rows_out += 1;
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+        self.seen.clear();
+    }
+
+    fn describe(&self) -> String {
+        "Distinct".to_string()
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.child.as_ref()]
+    }
+
+    fn rows_out(&self) -> u64 {
+        self.rows_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::{int_source, ints};
+    use crate::run_to_vec;
+
+    #[test]
+    fn union_all_concatenates() {
+        let a = int_source(&["x"], &[&[1], &[2]]);
+        let b = int_source(&["x"], &[&[2], &[3]]);
+        let mut op = UnionOp::new(vec![Box::new(a), Box::new(b)]).unwrap();
+        let rows: Vec<i64> = run_to_vec(&mut op).unwrap().iter().map(|t| ints(t)[0]).collect();
+        assert_eq!(rows, [1, 2, 2, 3]);
+    }
+
+    #[test]
+    fn union_schema_mismatch_rejected() {
+        let a = int_source(&["x"], &[]);
+        let b = int_source(&["y"], &[]);
+        assert!(UnionOp::new(vec![Box::new(a), Box::new(b)]).is_err());
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let src = int_source(&["x", "y"], &[&[1, 2], &[1, 2], &[1, 3]]);
+        let mut op = DistinctOp::new(Box::new(src));
+        assert_eq!(run_to_vec(&mut op).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Sorting with document-order tiebreak.
+
+use super::{BoxedOp, Operator};
+use crate::error::ExecError;
+use crate::schema::{Schema, Tuple};
+use std::cmp::Ordering;
+
+/// One sort key: a column and a direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortKey {
+    pub column: usize,
+    pub descending: bool,
+}
+
+/// Materializing sort. Ties preserve the input order (stable sort), which
+/// for single-document scans means **document order is the default
+/// order** — the XML requirement the paper highlights.
+pub struct SortOp {
+    child: BoxedOp,
+    keys: Vec<SortKey>,
+    buffer: Vec<Tuple>,
+    cursor: usize,
+    rows_out: u64,
+}
+
+impl SortOp {
+    pub fn new(child: BoxedOp, keys: Vec<SortKey>) -> Self {
+        SortOp {
+            child,
+            keys,
+            buffer: Vec::new(),
+            cursor: 0,
+            rows_out: 0,
+        }
+    }
+}
+
+impl Operator for SortOp {
+    fn schema(&self) -> &Schema {
+        self.child.schema()
+    }
+
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.rows_out = 0;
+        self.child.open()?;
+        self.buffer.clear();
+        while let Some(t) = self.child.next()? {
+            self.buffer.push(t);
+        }
+        self.child.close();
+        let keys = self.keys.clone();
+        self.buffer.sort_by(|a, b| {
+            for k in &keys {
+                let ord = a[k.column].total_cmp(&b[k.column]);
+                let ord = if k.descending { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        self.cursor = 0;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        if self.cursor < self.buffer.len() {
+            let t = self.buffer[self.cursor].clone();
+            self.cursor += 1;
+            self.rows_out += 1;
+            Ok(Some(t))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn close(&mut self) {
+        self.buffer.clear();
+    }
+
+    fn describe(&self) -> String {
+        let keys: Vec<String> = self
+            .keys
+            .iter()
+            .map(|k| {
+                format!(
+                    "{}{}",
+                    k.column,
+                    if k.descending { " desc" } else { "" }
+                )
+            })
+            .collect();
+        format!("Sort by [{}]", keys.join(", "))
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.child.as_ref()]
+    }
+
+    fn rows_out(&self) -> u64 {
+        self.rows_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testutil::{int_source, ints};
+    use crate::run_to_vec;
+
+    #[test]
+    fn sorts_ascending_and_descending() {
+        let src = int_source(&["x", "y"], &[&[3, 1], &[1, 2], &[2, 3]]);
+        let mut op = SortOp::new(
+            Box::new(src),
+            vec![SortKey {
+                column: 0,
+                descending: false,
+            }],
+        );
+        let rows: Vec<i64> = run_to_vec(&mut op).unwrap().iter().map(|t| ints(t)[0]).collect();
+        assert_eq!(rows, [1, 2, 3]);
+
+        let src = int_source(&["x"], &[&[3], &[1], &[2]]);
+        let mut op = SortOp::new(
+            Box::new(src),
+            vec![SortKey {
+                column: 0,
+                descending: true,
+            }],
+        );
+        let rows: Vec<i64> = run_to_vec(&mut op).unwrap().iter().map(|t| ints(t)[0]).collect();
+        assert_eq!(rows, [3, 2, 1]);
+    }
+
+    #[test]
+    fn stable_on_ties() {
+        let src = int_source(&["k", "seq"], &[&[1, 0], &[1, 1], &[0, 2], &[1, 3]]);
+        let mut op = SortOp::new(
+            Box::new(src),
+            vec![SortKey {
+                column: 0,
+                descending: false,
+            }],
+        );
+        let rows: Vec<Vec<i64>> = run_to_vec(&mut op).unwrap().iter().map(ints).collect();
+        // Ties on k keep input (document) order of seq.
+        assert_eq!(rows, vec![vec![0, 2], vec![1, 0], vec![1, 1], vec![1, 3]]);
+    }
+
+    #[test]
+    fn multi_key() {
+        let src = int_source(&["a", "b"], &[&[1, 2], &[1, 1], &[0, 9]]);
+        let mut op = SortOp::new(
+            Box::new(src),
+            vec![
+                SortKey {
+                    column: 0,
+                    descending: false,
+                },
+                SortKey {
+                    column: 1,
+                    descending: false,
+                },
+            ],
+        );
+        let rows: Vec<Vec<i64>> = run_to_vec(&mut op).unwrap().iter().map(ints).collect();
+        assert_eq!(rows, vec![vec![0, 9], vec![1, 1], vec![1, 2]]);
+    }
+}

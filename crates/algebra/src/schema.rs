@@ -1,0 +1,137 @@
+//! Binding schemas and tuples.
+
+use nimble_xml::Value;
+use std::fmt;
+
+/// A tuple of variable bindings; positions are interpreted through a
+/// [`Schema`].
+pub type Tuple = Vec<Value>;
+
+/// Names the columns (query variables) of a tuple stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    vars: Vec<String>,
+}
+
+impl Schema {
+    /// A schema over the given variable names. Names must be unique.
+    pub fn new(vars: Vec<String>) -> Schema {
+        debug_assert!(
+            {
+                let mut v = vars.clone();
+                v.sort();
+                v.dedup();
+                v.len() == vars.len()
+            },
+            "duplicate variable in schema: {:?}",
+            vars
+        );
+        Schema { vars }
+    }
+
+    /// An empty schema (the unit tuple stream).
+    pub fn empty() -> Schema {
+        Schema { vars: Vec::new() }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True when there are no columns.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Variable names in column order.
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// Column index of a variable.
+    pub fn index_of(&self, var: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == var)
+    }
+
+    /// True if the schema contains the variable.
+    pub fn contains(&self, var: &str) -> bool {
+        self.index_of(var).is_some()
+    }
+
+    /// A new schema with one variable appended.
+    pub fn with(&self, var: &str) -> Schema {
+        let mut vars = self.vars.clone();
+        vars.push(var.to_string());
+        Schema::new(vars)
+    }
+
+    /// Concatenation of two schemas (used by joins). Name collisions keep
+    /// the left copy as-is and rename the right occurrence `name#2`
+    /// (`#3`, …) so every column stays addressable; planners typically
+    /// project the duplicates away above the join.
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut vars = self.vars.clone();
+        for v in &other.vars {
+            if !vars.contains(v) {
+                vars.push(v.clone());
+            } else {
+                let mut n = 2;
+                loop {
+                    let candidate = format!("{}#{}", v, n);
+                    if !vars.contains(&candidate) {
+                        vars.push(candidate);
+                        break;
+                    }
+                    n += 1;
+                }
+            }
+        }
+        Schema::new(vars)
+    }
+
+    /// Variables present in both schemas, in left order — the natural
+    /// join keys.
+    pub fn common_vars(&self, other: &Schema) -> Vec<String> {
+        self.vars
+            .iter()
+            .filter(|v| other.contains(v))
+            .cloned()
+            .collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.vars.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_contains() {
+        let s = Schema::new(vec!["a".into(), "b".into()]);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert!(s.contains("a"));
+        assert!(!s.contains("c"));
+    }
+
+    #[test]
+    fn concat_and_common() {
+        let a = Schema::new(vec!["x".into(), "y".into()]);
+        let b = Schema::new(vec!["z".into()]);
+        assert_eq!(a.concat(&b).vars(), &["x", "y", "z"]);
+        let c = Schema::new(vec!["y".into(), "w".into()]);
+        assert_eq!(a.common_vars(&c), vec!["y"]);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn duplicate_vars_rejected() {
+        let _ = Schema::new(vec!["a".into(), "a".into()]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the physical algebra: join-strategy
+//! equivalence, sort/distinct laws, and the LIKE matcher against a
+//! reference implementation.
+
+use nimble_algebra::ops::{
+    DistinctOp, HashJoinOp, JoinType, MergeJoinOp, NestedLoopJoinOp, SortKey, SortOp, ValuesOp,
+};
+use nimble_algebra::{run_to_vec, CmpOp, FunctionRegistry, ScalarExpr, Schema, Tuple};
+use nimble_algebra::expr::like_match;
+use nimble_xml::Value;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn tuples_of(rows: &[(i64, i64)], vars: [&str; 2]) -> (Schema, Vec<Tuple>) {
+    (
+        Schema::new(vec![vars[0].to_string(), vars[1].to_string()]),
+        rows.iter()
+            .map(|&(a, b)| vec![Value::from(a), Value::from(b)])
+            .collect(),
+    )
+}
+
+fn normalize(rows: Vec<Tuple>) -> Vec<Vec<String>> {
+    let mut out: Vec<Vec<String>> = rows
+        .iter()
+        .map(|t| t.iter().map(|v| v.atomize().lexical()).collect())
+        .collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    /// Hash join, nested-loop join, and merge join (over sorted inputs)
+    /// produce identical result multisets for equi-joins.
+    #[test]
+    fn join_strategies_agree(
+        left in proptest::collection::vec((0i64..8, any::<i64>()), 0..24),
+        right in proptest::collection::vec((0i64..8, any::<i64>()), 0..24),
+    ) {
+        let funcs = Arc::new(FunctionRegistry::with_builtins());
+        let (ls, lt) = tuples_of(&left, ["k", "x"]);
+        let (rs, rt) = tuples_of(&right, ["k2", "y"]);
+
+        let mut hash = HashJoinOp::new(
+            Box::new(ValuesOp::new(ls.clone(), lt.clone())),
+            Box::new(ValuesOp::new(rs.clone(), rt.clone())),
+            vec![0],
+            vec![0],
+            JoinType::Inner,
+        );
+        let hash_rows = normalize(run_to_vec(&mut hash).unwrap());
+
+        let pred = ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::Col(0), ScalarExpr::Col(2));
+        let mut nl = NestedLoopJoinOp::new(
+            Box::new(ValuesOp::new(ls.clone(), lt.clone())),
+            Box::new(ValuesOp::new(rs.clone(), rt.clone())),
+            Some(pred),
+            JoinType::Inner,
+            funcs,
+        );
+        let nl_rows = normalize(run_to_vec(&mut nl).unwrap());
+        prop_assert_eq!(&hash_rows, &nl_rows);
+
+        // Merge join needs sorted inputs.
+        let mut lt_sorted = lt;
+        lt_sorted.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        let mut rt_sorted = rt;
+        rt_sorted.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        let mut merge = MergeJoinOp::new(
+            Box::new(ValuesOp::new(ls, lt_sorted)),
+            Box::new(ValuesOp::new(rs, rt_sorted)),
+            0,
+            0,
+        );
+        let merge_rows = normalize(run_to_vec(&mut merge).unwrap());
+        prop_assert_eq!(hash_rows, merge_rows);
+    }
+
+    /// Left-outer join preserves every left tuple exactly
+    /// max(1, matches) times.
+    #[test]
+    fn left_outer_preserves_left(
+        left in proptest::collection::vec((0i64..6, any::<i64>()), 0..16),
+        right in proptest::collection::vec((0i64..6, any::<i64>()), 0..16),
+    ) {
+        let (ls, lt) = tuples_of(&left, ["k", "x"]);
+        let (rs, rt) = tuples_of(&right, ["k2", "y"]);
+        let mut op = HashJoinOp::new(
+            Box::new(ValuesOp::new(ls, lt)),
+            Box::new(ValuesOp::new(rs, rt)),
+            vec![0],
+            vec![0],
+            JoinType::LeftOuter,
+        );
+        let rows = run_to_vec(&mut op).unwrap();
+        let expected: usize = left
+            .iter()
+            .map(|(k, _)| right.iter().filter(|(rk, _)| rk == k).count().max(1))
+            .sum();
+        prop_assert_eq!(rows.len(), expected);
+    }
+
+    /// Sort output is a permutation of the input and is ordered.
+    #[test]
+    fn sort_is_ordered_permutation(rows in proptest::collection::vec((any::<i64>(), any::<i64>()), 0..40)) {
+        let (s, t) = tuples_of(&rows, ["a", "b"]);
+        let mut op = SortOp::new(
+            Box::new(ValuesOp::new(s, t.clone())),
+            vec![SortKey { column: 0, descending: false }],
+        );
+        let sorted = run_to_vec(&mut op).unwrap();
+        prop_assert_eq!(sorted.len(), t.len());
+        for w in sorted.windows(2) {
+            prop_assert_ne!(
+                w[0][0].total_cmp(&w[1][0]),
+                std::cmp::Ordering::Greater
+            );
+        }
+        prop_assert_eq!(normalize(sorted), normalize(t));
+    }
+
+    /// Distinct is idempotent and yields no duplicate tuples.
+    #[test]
+    fn distinct_laws(rows in proptest::collection::vec((0i64..5, 0i64..5), 0..40)) {
+        let (s, t) = tuples_of(&rows, ["a", "b"]);
+        let mut op = DistinctOp::new(Box::new(ValuesOp::new(s.clone(), t)));
+        let once = run_to_vec(&mut op).unwrap();
+        let as_set: std::collections::HashSet<Vec<String>> =
+            normalize(once.clone()).into_iter().collect();
+        prop_assert_eq!(as_set.len(), once.len());
+
+        let mut op2 = DistinctOp::new(Box::new(ValuesOp::new(s, once.clone())));
+        let twice = run_to_vec(&mut op2).unwrap();
+        prop_assert_eq!(normalize(once), normalize(twice));
+    }
+
+    /// LIKE agrees with a naive reference matcher.
+    #[test]
+    fn like_matches_reference(text in "[ab%_]{0,8}", pattern in "[ab%_]{0,6}") {
+        prop_assert_eq!(like_match(&text, &pattern), reference_like(&text, &pattern));
+    }
+}
+
+/// Exponential reference implementation of SQL LIKE.
+fn reference_like(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    fn go(t: &[char], p: &[char]) -> bool {
+        match (t.first(), p.first()) {
+            (_, None) => t.is_empty(),
+            (_, Some('%')) => go(t, &p[1..]) || (!t.is_empty() && go(&t[1..], p)),
+            (Some(tc), Some('_')) => {
+                let _ = tc;
+                go(&t[1..], &p[1..])
+            }
+            (Some(tc), Some(pc)) => tc == pc && go(&t[1..], &p[1..]),
+            (None, Some(_)) => false,
+        }
+    }
+    go(&t, &p)
+}

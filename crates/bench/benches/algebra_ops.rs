@@ -1,0 +1,118 @@
+//! E7a — Physical-algebra operator microbenchmarks.
+//!
+//! The paper designs a *physical* algebra precisely because operator
+//! cost "had direct impact on the design and implementation of our
+//! system"; these benches characterize the operators: hash vs.
+//! nested-loop joins at increasing cardinality, sort, distinct, and the
+//! XML-specific navigation operator.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nimble_algebra::ops::{
+    DistinctOp, HashJoinOp, JoinType, NavigateOp, NestedLoopJoinOp, SortKey, SortOp, ValuesOp,
+};
+use nimble_algebra::{run_to_vec, CmpOp, FunctionRegistry, ScalarExpr, Schema};
+use nimble_xml::{DocumentBuilder, Path, Value};
+use std::sync::Arc;
+
+fn int_values(var: &str, n: usize, stride: usize) -> ValuesOp {
+    let schema = Schema::new(vec![var.to_string()]);
+    let tuples = (0..n).map(|i| vec![Value::from((i * stride % n) as i64)]).collect();
+    ValuesOp::new(schema, tuples)
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join");
+    for n in [100usize, 1000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("hash", n), &n, |b, &n| {
+            b.iter(|| {
+                let left = int_values("a", n, 7);
+                let right = int_values("b", n, 13);
+                let mut op = HashJoinOp::new(
+                    Box::new(left),
+                    Box::new(right),
+                    vec![0],
+                    vec![0],
+                    JoinType::Inner,
+                );
+                black_box(run_to_vec(&mut op).unwrap().len())
+            })
+        });
+    }
+    // Nested-loop is quadratic; keep inputs smaller.
+    for n in [100usize, 400] {
+        group.bench_with_input(BenchmarkId::new("nested_loop", n), &n, |b, &n| {
+            let funcs = Arc::new(FunctionRegistry::with_builtins());
+            b.iter(|| {
+                let left = int_values("a", n, 7);
+                let right = int_values("b", n, 13);
+                let pred = ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::Col(0), ScalarExpr::Col(1));
+                let mut op = NestedLoopJoinOp::new(
+                    Box::new(left),
+                    Box::new(right),
+                    Some(pred),
+                    JoinType::Inner,
+                    Arc::clone(&funcs),
+                );
+                black_box(run_to_vec(&mut op).unwrap().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sort_distinct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort_distinct");
+    for n in [1000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("sort", n), &n, |b, &n| {
+            b.iter(|| {
+                let src = int_values("x", n, 7919);
+                let mut op = SortOp::new(
+                    Box::new(src),
+                    vec![SortKey {
+                        column: 0,
+                        descending: false,
+                    }],
+                );
+                black_box(run_to_vec(&mut op).unwrap().len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("distinct", n), &n, |b, &n| {
+            b.iter(|| {
+                let src = int_values("x", n, 3);
+                let mut op = DistinctOp::new(Box::new(src));
+                black_box(run_to_vec(&mut op).unwrap().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_navigate(c: &mut Criterion) {
+    // One document with n items; navigation unnests them per input tuple.
+    let mut group = c.benchmark_group("navigate");
+    for n in [100usize, 1000] {
+        let mut b = DocumentBuilder::new("order");
+        for i in 0..n {
+            b.leaf("item", nimble_xml::Atomic::Int(i as i64));
+        }
+        let doc = b.finish();
+        group.bench_with_input(BenchmarkId::new("unnest", n), &n, |bch, _| {
+            bch.iter(|| {
+                let schema = Schema::new(vec!["o".to_string()]);
+                let src = ValuesOp::new(schema, vec![vec![Value::Node(doc.root())]]);
+                let mut op = NavigateOp::new(
+                    Box::new(src),
+                    0,
+                    Path::parse("item").unwrap(),
+                    "i",
+                    false,
+                );
+                black_box(run_to_vec(&mut op).unwrap().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_joins, bench_sort_distinct, bench_navigate);
+criterion_main!(benches);

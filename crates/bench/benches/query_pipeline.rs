@@ -1,0 +1,71 @@
+//! E7b — End-to-end pipeline stage costs.
+//!
+//! The paper translates queries "into an internal representation, and
+//! from there directly to query execution plans in the physical
+//! algebra" — the bet being that the compile path is cheap relative to
+//! execution. These benches split the pipeline: XML parsing, XML-QL
+//! parse+analyze, and full engine execution at increasing data sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nimble_bench::customer_fixture;
+use nimble_core::Engine;
+
+const QUERY: &str = r#"
+    WHERE <row><id>$i</id><name>$n</name><region>"NW"</region></row> IN "customers",
+          <row><cust_id>$i</cust_id><total>$t</total></row> IN "orders",
+          $t > 400
+    CONSTRUCT <hit><name>$n</name><total>$t</total></hit>
+    ORDER-BY $t DESC
+"#;
+
+fn bench_xml_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xml_parse");
+    for n in [100usize, 1000] {
+        let mut xml = String::from("<rows>");
+        for i in 0..n {
+            xml.push_str(&format!(
+                "<row><id>{}</id><name>customer{}</name></row>",
+                i, i
+            ));
+        }
+        xml.push_str("</rows>");
+        group.bench_with_input(BenchmarkId::new("rows", n), &xml, |b, xml| {
+            b.iter(|| black_box(nimble_xml::parse(xml).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_xmlql_compile(c: &mut Criterion) {
+    c.bench_function("xmlql_parse_and_analyze", |b| {
+        b.iter(|| black_box(nimble_xmlql::compile(QUERY).unwrap()))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_query");
+    group.sample_size(20);
+    for customers in [200usize, 1000] {
+        let (catalog, _) = customer_fixture(customers);
+        let engine = Engine::new(catalog);
+        group.bench_with_input(
+            BenchmarkId::new("customers", customers),
+            &engine,
+            |b, engine| {
+                b.iter(|| {
+                    let r = engine.query(QUERY).unwrap();
+                    black_box(r.stats.tuples)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_xml_parse,
+    bench_xmlql_compile,
+    bench_end_to_end
+);
+criterion_main!(benches);

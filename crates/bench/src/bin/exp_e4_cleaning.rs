@@ -1,0 +1,182 @@
+//! E4 — Dynamic data cleaning and the concordance payoff (paper §3.2).
+//!
+//! Claims quantified: the system should be "robust and efficient,
+//! working on large quantities of data", and "during the extraction
+//! phase, past human decisions are reapplied via a concordance
+//! database". We scale the synthetic dirty-customer corpus and compare:
+//!
+//! * `merge_purge_raw`   — sorted-neighborhood over raw records.
+//! * `flow+auto`         — declarative standardization flow, then
+//!   automatic matching.
+//! * `flow+concordance`  — same, after an oracle ("human") resolves the
+//!   uncertain pairs once; the re-run replays them.
+//!
+//! Reported: precision/recall/F1 against ground truth, throughput, and
+//! the human-decision count the concordance amortizes.
+
+use nimble_bench::{emit_jsonl, TablePrinter};
+use nimble_cleaning::matching::{JaroWinkler, QGramJaccard};
+use nimble_cleaning::synth::{generate, SynthConfig};
+use nimble_cleaning::{
+    merge_purge, CleaningFlow, CleaningPipeline, CompositeMatcher, ConcordanceDb, Decision,
+    FlowStep, LineageLog, MergePurgeConfig,
+};
+use std::time::Instant;
+
+fn matcher() -> CompositeMatcher {
+    CompositeMatcher::new(0.90, 0.78)
+        .field("name", Box::new(JaroWinkler), 0.6)
+        .field("address", Box::new(QGramJaccard::default()), 0.4)
+}
+
+fn flow() -> CleaningFlow {
+    CleaningFlow::new("standardize")
+        .step(FlowStep::Normalize {
+            field: "name".into(),
+            normalizer: "name".into(),
+        })
+        .step(FlowStep::Normalize {
+            field: "address".into(),
+            normalizer: "abbrev".into(),
+        })
+        .step(FlowStep::Normalize {
+            field: "address".into(),
+            normalizer: "basic".into(),
+        })
+}
+
+fn main() {
+    println!("E4: cleaning quality and concordance reuse (window 10)\n");
+    let table = TablePrinter::new(&[
+        ("records", 9),
+        ("arm", 20),
+        ("precision", 11),
+        ("recall", 8),
+        ("F1", 7),
+        ("krec/s", 8),
+        ("human", 7),
+        ("reused", 8),
+    ]);
+    for entities in [500usize, 2000, 8000] {
+        let data = generate(&SynthConfig {
+            entities,
+            duplicate_rate: 0.5,
+            seed: 2001,
+            ..SynthConfig::default()
+        });
+        let n = data.records.len();
+        let pipeline = CleaningPipeline::new(matcher(), "name", 10);
+        let mut log = LineageLog::new();
+
+        // Arm 1: merge/purge over raw records.
+        let t0 = Instant::now();
+        let mp = merge_purge(
+            &data.records,
+            &MergePurgeConfig::single_pass(10, "name"),
+            &matcher(),
+        );
+        let elapsed = t0.elapsed().as_secs_f64();
+        let clusters: Vec<Vec<String>> = mp
+            .clusters
+            .iter()
+            .filter(|c| c.len() >= 2)
+            .map(|c| c.iter().map(|&i| data.records[i].id.clone()).collect())
+            .collect();
+        let eval = data.evaluate(&clusters);
+        table.row(&[
+            n.to_string(),
+            "merge_purge_raw".into(),
+            format!("{:.3}", eval.precision),
+            format!("{:.3}", eval.recall),
+            format!("{:.3}", eval.f1),
+            format!("{:.1}", n as f64 / elapsed / 1e3),
+            "0".into(),
+            "0".into(),
+        ]);
+        emit_jsonl(
+            "e4_cleaning",
+            &serde_json::json!({
+                "records": n, "arm": "merge_purge_raw",
+                "precision": eval.precision, "recall": eval.recall, "f1": eval.f1,
+                "records_per_sec": n as f64 / elapsed,
+            }),
+        );
+
+        // Cleaned records shared by arms 2 and 3.
+        let mut cleaned = data.records.clone();
+        flow().apply(&mut cleaned, &mut log).expect("flow applies");
+
+        // Arm 2: automatic matching after the flow.
+        let mut db = ConcordanceDb::new();
+        let t0 = Instant::now();
+        let mining = pipeline.mine(&cleaned, &mut db, &mut log);
+        let elapsed = t0.elapsed().as_secs_f64();
+        let eval = data.evaluate(&mining.clusters);
+        table.row(&[
+            n.to_string(),
+            "flow+auto".into(),
+            format!("{:.3}", eval.precision),
+            format!("{:.3}", eval.recall),
+            format!("{:.3}", eval.f1),
+            format!("{:.1}", n as f64 / elapsed / 1e3),
+            "0".into(),
+            "0".into(),
+        ]);
+        emit_jsonl(
+            "e4_cleaning",
+            &serde_json::json!({
+                "records": n, "arm": "flow_auto",
+                "precision": eval.precision, "recall": eval.recall, "f1": eval.f1,
+                "records_per_sec": n as f64 / elapsed,
+            }),
+        );
+
+        // Arm 3: oracle answers the uncertain pairs once; extraction
+        // replays them.
+        let answers: Vec<_> = mining
+            .pending
+            .iter()
+            .map(|p| {
+                let same = data.truth[&p.left] == data.truth[&p.right];
+                (
+                    p.clone(),
+                    if same {
+                        Decision::SameObject
+                    } else {
+                        Decision::DifferentObjects
+                    },
+                )
+            })
+            .collect();
+        CleaningPipeline::apply_human_decisions(&mut db, &mut log, &answers, "oracle");
+        let t0 = Instant::now();
+        let extraction = pipeline.extract(&cleaned, &mut db, &mut log);
+        let elapsed = t0.elapsed().as_secs_f64();
+        let eval = data.evaluate(&extraction.clusters);
+        table.row(&[
+            n.to_string(),
+            "flow+concordance".into(),
+            format!("{:.3}", eval.precision),
+            format!("{:.3}", eval.recall),
+            format!("{:.3}", eval.f1),
+            format!("{:.1}", n as f64 / elapsed / 1e3),
+            db.human_decisions().to_string(),
+            extraction.reused_decisions.to_string(),
+        ]);
+        emit_jsonl(
+            "e4_cleaning",
+            &serde_json::json!({
+                "records": n, "arm": "flow_concordance",
+                "precision": eval.precision, "recall": eval.recall, "f1": eval.f1,
+                "records_per_sec": n as f64 / elapsed,
+                "human_decisions": db.human_decisions(),
+                "reused_decisions": extraction.reused_decisions,
+                "exceptions": extraction.pending.len(),
+            }),
+        );
+    }
+    println!(
+        "\nshape check: F1 climbs raw → flow+auto → flow+concordance at every size;\n\
+         the extraction re-run performs zero fresh human work (reused > 0, human fixed)"
+    );
+}

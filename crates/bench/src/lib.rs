@@ -1,0 +1,221 @@
+//! # nimble-bench
+//!
+//! Experiment harnesses and shared fixtures.
+//!
+//! The paper is an industrial abstract with no quantitative evaluation,
+//! so there are no tables to match; instead each binary here quantifies
+//! one claim or named challenge from the text (see DESIGN.md §4 and
+//! EXPERIMENTS.md):
+//!
+//! * `exp_e1_virtual_vs_materialized` — §3.3's performance trade-off.
+//! * `exp_e2_view_selection`          — §3.3's view-selection challenge.
+//! * `exp_e3_availability`            — §3.4's partial results.
+//! * `exp_e4_cleaning`                — §3.2's concordance payoff.
+//! * `exp_e5_pushdown_ablation`       — the capability-aware compiler.
+//! * `exp_e6_load_balancing`          — engine-instance scaling.
+//!
+//! Criterion benches `algebra_ops` and `query_pipeline` cover E7 (the
+//! physical algebra and front-end costs).
+//!
+//! Every binary prints an aligned table and appends machine-readable
+//! JSON lines under `target/experiments/`.
+
+use nimble_core::Catalog;
+use nimble_sources::relational::RelationalAdapter;
+use nimble_sources::xmldoc::XmlDocAdapter;
+use std::io::Write;
+use std::sync::Arc;
+
+/// Append a JSON-lines record for an experiment run.
+pub fn emit_jsonl(experiment: &str, record: &serde_json::Value) {
+    let dir = std::path::Path::new("target/experiments");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{}.jsonl", experiment));
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        let _ = writeln!(f, "{}", record);
+    }
+}
+
+/// Simple aligned table printer.
+pub struct TablePrinter {
+    widths: Vec<usize>,
+}
+
+impl TablePrinter {
+    /// Print the header and remember column widths.
+    pub fn new(columns: &[(&str, usize)]) -> TablePrinter {
+        let mut header = String::new();
+        for (name, w) in columns {
+            header.push_str(&format!("{:>width$}", name, width = w));
+        }
+        println!("{}", header);
+        println!("{}", "-".repeat(header.len()));
+        TablePrinter {
+            widths: columns.iter().map(|(_, w)| *w).collect(),
+        }
+    }
+
+    /// Print one row of pre-formatted cells.
+    pub fn row(&self, cells: &[String]) {
+        let mut line = String::new();
+        for (cell, w) in cells.iter().zip(self.widths.iter()) {
+            line.push_str(&format!("{:>width$}", cell, width = w));
+        }
+        println!("{}", line);
+    }
+}
+
+/// Percentile over a sample (p in 0..=100).
+pub fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((p / 100.0) * (samples.len() - 1) as f64).round() as usize;
+    samples[idx]
+}
+
+/// The shared customer-integration fixture: three departmental
+/// relational databases plus an XML press feed, scaled by `customers`.
+pub fn customer_fixture(customers: usize) -> (Arc<Catalog>, Vec<Arc<RelationalAdapter>>) {
+    let catalog = Catalog::new();
+    let mut adapters = Vec::new();
+
+    // crm.customers
+    let mut stmts = vec![
+        "CREATE TABLE customers (id INT, name TEXT, region TEXT)".to_string(),
+        "CREATE INDEX ON customers (id) USING HASH".to_string(),
+    ];
+    let regions = ["NW", "SW", "NE", "SE"];
+    let mut values = Vec::new();
+    for i in 0..customers {
+        values.push(format!(
+            "({}, 'customer{}', '{}')",
+            i,
+            i,
+            regions[i % regions.len()]
+        ));
+        if values.len() == 500 || i == customers - 1 {
+            stmts.push(format!("INSERT INTO customers VALUES {}", values.join(", ")));
+            values.clear();
+        }
+    }
+    let crm = Arc::new(
+        RelationalAdapter::from_statements(
+            "crm",
+            &stmts.iter().map(String::as_str).collect::<Vec<_>>(),
+        )
+        .expect("crm builds"),
+    );
+    adapters.push(Arc::clone(&crm));
+    catalog.register_source(crm).unwrap();
+
+    // billing.orders — ~3 orders per customer.
+    let mut stmts = vec![
+        "CREATE TABLE orders (oid INT, cust_id INT, total FLOAT)".to_string(),
+        "CREATE INDEX ON orders (cust_id) USING HASH".to_string(),
+        "CREATE INDEX ON orders (total)".to_string(),
+    ];
+    let mut values = Vec::new();
+    let mut oid = 0;
+    for i in 0..customers {
+        for k in 0..3 {
+            values.push(format!(
+                "({}, {}, {})",
+                oid,
+                i,
+                ((i * 7 + k * 131) % 1000) as f64 / 2.0
+            ));
+            oid += 1;
+            if values.len() == 500 {
+                stmts.push(format!("INSERT INTO orders VALUES {}", values.join(", ")));
+                values.clear();
+            }
+        }
+    }
+    if !values.is_empty() {
+        stmts.push(format!("INSERT INTO orders VALUES {}", values.join(", ")));
+    }
+    let billing = Arc::new(
+        RelationalAdapter::from_statements(
+            "billing",
+            &stmts.iter().map(String::as_str).collect::<Vec<_>>(),
+        )
+        .expect("billing builds"),
+    );
+    adapters.push(Arc::clone(&billing));
+    catalog.register_source(billing).unwrap();
+
+    // support.tickets — every 5th customer has a ticket.
+    let mut stmts = vec!["CREATE TABLE tickets (tid INT, cust_id INT, severity INT)".to_string()];
+    let mut values = Vec::new();
+    for i in (0..customers).step_by(5) {
+        values.push(format!("({}, {}, {})", i, i, i % 3 + 1));
+        if values.len() == 500 {
+            stmts.push(format!("INSERT INTO tickets VALUES {}", values.join(", ")));
+            values.clear();
+        }
+    }
+    if !values.is_empty() {
+        stmts.push(format!("INSERT INTO tickets VALUES {}", values.join(", ")));
+    }
+    let support = Arc::new(
+        RelationalAdapter::from_statements(
+            "support",
+            &stmts.iter().map(String::as_str).collect::<Vec<_>>(),
+        )
+        .expect("support builds"),
+    );
+    adapters.push(Arc::clone(&support));
+    catalog.register_source(support).unwrap();
+
+    // press.releases — one item per 10th customer.
+    let mut xml = String::from("<releases>");
+    for i in (0..customers).step_by(10) {
+        xml.push_str(&format!(
+            "<item><company>customer{}</company><h>headline {}</h></item>",
+            i, i
+        ));
+    }
+    xml.push_str("</releases>");
+    catalog
+        .register_source(Arc::new(
+            XmlDocAdapter::new("press").add_xml("releases", &xml).unwrap(),
+        ))
+        .unwrap();
+
+    (Arc::new(catalog), adapters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimble_core::Engine;
+
+    #[test]
+    fn fixture_is_queryable() {
+        let (catalog, _) = customer_fixture(50);
+        let engine = Engine::new(catalog);
+        let r = engine
+            .query(
+                r#"WHERE <row><id>$i</id><name>$n</name></row> IN "customers",
+                         <row><cust_id>$i</cust_id><total>$t</total></row> IN "orders",
+                         $t > 200
+                   CONSTRUCT <hit>$n</hit>"#,
+            )
+            .unwrap();
+        assert!(r.complete);
+        assert!(r.document.root().children().count() > 0);
+    }
+
+    #[test]
+    fn percentile_math() {
+        let mut v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&mut v, 0.0), 1.0);
+        assert_eq!(percentile(&mut v, 50.0), 3.0);
+        assert_eq!(percentile(&mut v, 100.0), 5.0);
+        assert_eq!(percentile(&mut [], 50.0), 0.0);
+    }
+}

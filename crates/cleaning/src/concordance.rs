@@ -1,0 +1,159 @@
+//! The concordance database: persistent object-identity decisions.
+//!
+//! "One of features we have found essential in most practical situations
+//! is a separate data store that is created to serve to match records
+//! from two or more different original data sources. We call this a
+//! concordance database." Decisions — human or automatic — are recorded
+//! against canonical record-pair keys; the extraction phase replays them
+//! so "past human decisions are reapplied".
+
+use std::collections::HashMap;
+
+/// A recorded identity decision for a record pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    SameObject,
+    DifferentObjects,
+}
+
+/// Who made a decision (kept for lineage and audit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecisionOrigin {
+    Human(String),
+    Automatic { matcher: String },
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    decision: Decision,
+    origin: DecisionOrigin,
+    reuse_count: u64,
+}
+
+/// The concordance store, keyed by unordered record-id pairs.
+#[derive(Default)]
+pub struct ConcordanceDb {
+    entries: HashMap<(String, String), Entry>,
+    lookups: u64,
+    hits: u64,
+}
+
+fn key(a: &str, b: &str) -> (String, String) {
+    if a <= b {
+        (a.to_string(), b.to_string())
+    } else {
+        (b.to_string(), a.to_string())
+    }
+}
+
+impl ConcordanceDb {
+    pub fn new() -> ConcordanceDb {
+        ConcordanceDb::default()
+    }
+
+    /// Record a human disambiguation ("incorporating human input for
+    /// disambiguation when necessary").
+    pub fn record_human(&mut self, a: &str, b: &str, decision: Decision, who: &str) {
+        self.entries.insert(
+            key(a, b),
+            Entry {
+                decision,
+                origin: DecisionOrigin::Human(who.to_string()),
+                reuse_count: 0,
+            },
+        );
+    }
+
+    /// Record an automatic high-confidence decision.
+    pub fn record_automatic(&mut self, a: &str, b: &str, decision: Decision, matcher: &str) {
+        self.entries.entry(key(a, b)).or_insert(Entry {
+            decision,
+            origin: DecisionOrigin::Automatic {
+                matcher: matcher.to_string(),
+            },
+            reuse_count: 0,
+        });
+    }
+
+    /// Look up a past decision, counting reuse.
+    pub fn lookup(&mut self, a: &str, b: &str) -> Option<Decision> {
+        self.lookups += 1;
+        match self.entries.get_mut(&key(a, b)) {
+            Some(e) => {
+                e.reuse_count += 1;
+                self.hits += 1;
+                Some(e.decision)
+            }
+            None => None,
+        }
+    }
+
+    /// Peek without counting.
+    pub fn peek(&self, a: &str, b: &str) -> Option<Decision> {
+        self.entries.get(&key(a, b)).map(|e| e.decision)
+    }
+
+    /// Remove a decision (a human reversal); true if present. Rollback
+    /// via the lineage log calls this.
+    pub fn retract(&mut self, a: &str, b: &str) -> bool {
+        self.entries.remove(&key(a, b)).is_some()
+    }
+
+    /// Number of stored decisions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Decisions made by humans (the expensive kind the store exists to
+    /// amortize).
+    pub fn human_decisions(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| matches!(e.origin, DecisionOrigin::Human(_)))
+            .count()
+    }
+
+    /// `(lookups, hits)` — reuse statistics for experiment E4.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.lookups, self.hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_symmetric() {
+        let mut db = ConcordanceDb::new();
+        db.record_human("a:1", "b:9", Decision::SameObject, "denise");
+        assert_eq!(db.lookup("b:9", "a:1"), Some(Decision::SameObject));
+        assert_eq!(db.lookup("a:1", "b:9"), Some(Decision::SameObject));
+        assert_eq!(db.stats(), (2, 2));
+    }
+
+    #[test]
+    fn human_overrides_automatic_but_not_vice_versa() {
+        let mut db = ConcordanceDb::new();
+        db.record_automatic("a", "b", Decision::SameObject, "jw");
+        db.record_human("a", "b", Decision::DifferentObjects, "dan");
+        assert_eq!(db.peek("a", "b"), Some(Decision::DifferentObjects));
+        // Later automatic decisions never clobber what's stored.
+        db.record_automatic("a", "b", Decision::SameObject, "jw");
+        assert_eq!(db.peek("a", "b"), Some(Decision::DifferentObjects));
+        assert_eq!(db.human_decisions(), 1);
+    }
+
+    #[test]
+    fn retract_supports_rollback() {
+        let mut db = ConcordanceDb::new();
+        db.record_human("a", "b", Decision::SameObject, "x");
+        assert!(db.retract("b", "a"));
+        assert!(!db.retract("a", "b"));
+        assert_eq!(db.lookup("a", "b"), None);
+    }
+}

@@ -1,0 +1,176 @@
+//! Data lineage: "recording data ancestry, human decisions, and
+//! supporting roll-back whenever possible."
+//!
+//! Every cleaning operation appends an entry with its inputs, outputs,
+//! and actor. [`LineageLog::rollback_to`] returns the entries undone (in
+//! reverse order) so callers can reverse their effects — e.g. retract
+//! concordance decisions or restore field values captured in the entry.
+
+/// What kind of operation an entry records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineageOp {
+    /// A field value was normalized: `(record, field, before, after)`.
+    Normalize {
+        record: String,
+        field: String,
+        before: String,
+        after: String,
+    },
+    /// Two records were declared the same object.
+    Merge { left: String, right: String },
+    /// A pair was declared distinct.
+    Distinguish { left: String, right: String },
+    /// A record was derived from others (e.g. a golden record).
+    Derive {
+        output: String,
+        inputs: Vec<String>,
+    },
+}
+
+/// One log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineageEntry {
+    /// Monotone sequence number.
+    pub seq: u64,
+    pub op: LineageOp,
+    /// Who performed it (`"system"` or a user name).
+    pub actor: String,
+}
+
+/// An append-only lineage log.
+#[derive(Default)]
+pub struct LineageLog {
+    entries: Vec<LineageEntry>,
+    next_seq: u64,
+}
+
+impl LineageLog {
+    pub fn new() -> LineageLog {
+        LineageLog::default()
+    }
+
+    /// Append an operation, returning its sequence number.
+    pub fn record(&mut self, op: LineageOp, actor: &str) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push(LineageEntry {
+            seq,
+            op,
+            actor: actor.to_string(),
+        });
+        seq
+    }
+
+    /// All entries, oldest first.
+    pub fn entries(&self) -> &[LineageEntry] {
+        &self.entries
+    }
+
+    /// Entries mentioning a record id — its ancestry.
+    pub fn ancestry(&self, record: &str) -> Vec<&LineageEntry> {
+        self.entries
+            .iter()
+            .filter(|e| match &e.op {
+                LineageOp::Normalize { record: r, .. } => r == record,
+                LineageOp::Merge { left, right } | LineageOp::Distinguish { left, right } => {
+                    left == record || right == record
+                }
+                LineageOp::Derive { output, inputs } => {
+                    output == record || inputs.iter().any(|i| i == record)
+                }
+            })
+            .collect()
+    }
+
+    /// Undo everything after sequence number `seq` (exclusive); returns
+    /// the undone entries newest-first so callers can reverse effects in
+    /// the right order.
+    pub fn rollback_to(&mut self, seq: u64) -> Vec<LineageEntry> {
+        let keep = self
+            .entries
+            .iter()
+            .position(|e| e.seq > seq)
+            .unwrap_or(self.entries.len());
+        let mut undone: Vec<LineageEntry> = self.entries.split_off(keep);
+        undone.reverse();
+        undone
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_ancestry() {
+        let mut log = LineageLog::new();
+        log.record(
+            LineageOp::Normalize {
+                record: "a:1".into(),
+                field: "name".into(),
+                before: "ADA".into(),
+                after: "ada".into(),
+            },
+            "system",
+        );
+        log.record(
+            LineageOp::Merge {
+                left: "a:1".into(),
+                right: "b:7".into(),
+            },
+            "denise",
+        );
+        log.record(
+            LineageOp::Derive {
+                output: "golden:1".into(),
+                inputs: vec!["a:1".into(), "b:7".into()],
+            },
+            "system",
+        );
+        assert_eq!(log.ancestry("a:1").len(), 3);
+        assert_eq!(log.ancestry("b:7").len(), 2);
+        assert_eq!(log.ancestry("golden:1").len(), 1);
+        assert!(log.ancestry("zzz").is_empty());
+    }
+
+    #[test]
+    fn rollback_returns_newest_first() {
+        let mut log = LineageLog::new();
+        let s0 = log.record(
+            LineageOp::Merge {
+                left: "a".into(),
+                right: "b".into(),
+            },
+            "x",
+        );
+        log.record(
+            LineageOp::Merge {
+                left: "c".into(),
+                right: "d".into(),
+            },
+            "x",
+        );
+        log.record(
+            LineageOp::Distinguish {
+                left: "e".into(),
+                right: "f".into(),
+            },
+            "x",
+        );
+        let undone = log.rollback_to(s0);
+        assert_eq!(undone.len(), 2);
+        assert!(matches!(undone[0].op, LineageOp::Distinguish { .. }));
+        assert_eq!(log.len(), 1);
+        // Rolling back to a future seq is a no-op.
+        assert!(log.rollback_to(999).is_empty());
+    }
+}

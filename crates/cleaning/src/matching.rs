@@ -1,0 +1,409 @@
+//! Matching functions: deciding whether two values (or records) denote
+//! the same real-world object — the paper's *object identity problem*.
+
+use crate::record::Record;
+
+/// Three-way match outcome. `Uncertain` pairs are what the data-mining
+/// phase routes to a human.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MatchOutcome {
+    Match(f64),
+    Uncertain(f64),
+    NonMatch(f64),
+}
+
+impl MatchOutcome {
+    /// The underlying similarity score in [0, 1].
+    pub fn score(&self) -> f64 {
+        match self {
+            MatchOutcome::Match(s) | MatchOutcome::Uncertain(s) | MatchOutcome::NonMatch(s) => *s,
+        }
+    }
+
+    pub fn is_match(&self) -> bool {
+        matches!(self, MatchOutcome::Match(_))
+    }
+}
+
+/// A string similarity in [0, 1].
+pub trait Matcher: Send + Sync {
+    fn name(&self) -> &str;
+    fn similarity(&self, a: &str, b: &str) -> f64;
+}
+
+// --- Levenshtein ---
+
+/// Normalized Levenshtein similarity: `1 - dist / max_len`.
+pub struct Levenshtein;
+
+/// Raw edit distance with the classic two-row DP.
+pub fn levenshtein_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+impl Matcher for Levenshtein {
+    fn name(&self) -> &str {
+        "levenshtein"
+    }
+
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let max = a.chars().count().max(b.chars().count());
+        if max == 0 {
+            return 1.0;
+        }
+        1.0 - levenshtein_distance(a, b) as f64 / max as f64
+    }
+}
+
+// --- Jaro-Winkler ---
+
+/// Jaro-Winkler similarity, the de-facto standard for short name fields.
+pub struct JaroWinkler;
+
+fn jaro(a: &[char], b: &[char]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut a_matched = vec![false; a.len()];
+    let mut b_matched = vec![false; b.len()];
+    let mut matches = 0usize;
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_matched[j] && b[j] == *ca {
+                a_matched[i] = true;
+                b_matched[j] = true;
+                matches += 1;
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Classic transposition count: compare the matched characters of a
+    // (in a-order) against the matched characters of b (in b-order);
+    // half the number of positions that disagree. This formulation is
+    // symmetric in a and b.
+    let a_seq: Vec<char> = a
+        .iter()
+        .zip(&a_matched)
+        .filter(|(_, m)| **m)
+        .map(|(c, _)| *c)
+        .collect();
+    let b_seq: Vec<char> = b
+        .iter()
+        .zip(&b_matched)
+        .filter(|(_, m)| **m)
+        .map(|(c, _)| *c)
+        .collect();
+    let half_transpositions = a_seq
+        .iter()
+        .zip(b_seq.iter())
+        .filter(|(x, y)| x != y)
+        .count();
+    let t = half_transpositions as f64 / 2.0;
+    let m = matches as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+impl Matcher for JaroWinkler {
+    fn name(&self) -> &str {
+        "jaro_winkler"
+    }
+
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        let ac: Vec<char> = a.chars().collect();
+        let bc: Vec<char> = b.chars().collect();
+        let j = jaro(&ac, &bc);
+        // Winkler boost for common prefixes up to 4 chars.
+        let prefix = ac
+            .iter()
+            .zip(bc.iter())
+            .take(4)
+            .take_while(|(x, y)| x == y)
+            .count() as f64;
+        (j + prefix * 0.1 * (1.0 - j)).min(1.0)
+    }
+}
+
+// --- q-gram Jaccard ---
+
+/// Jaccard similarity over character q-grams; robust to token
+/// reordering. `q` is clamped to at least 1 at use.
+pub struct QGramJaccard {
+    pub q: usize,
+}
+
+impl Default for QGramJaccard {
+    fn default() -> Self {
+        QGramJaccard { q: 3 }
+    }
+}
+
+fn qgrams(s: &str, q: usize) -> std::collections::HashSet<String> {
+    let padded: Vec<char> = format!("{}{}{}", "#".repeat(q - 1), s, "#".repeat(q - 1))
+        .chars()
+        .collect();
+    padded
+        .windows(q)
+        .map(|w| w.iter().collect::<String>())
+        .collect()
+}
+
+impl Matcher for QGramJaccard {
+    fn name(&self) -> &str {
+        "qgram_jaccard"
+    }
+
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let q = self.q.max(1);
+        let ga = qgrams(a, q);
+        let gb = qgrams(b, q);
+        let inter = ga.intersection(&gb).count() as f64;
+        let union = ga.union(&gb).count() as f64;
+        inter / union
+    }
+}
+
+// --- Soundex ---
+
+/// American Soundex code (letter + 3 digits).
+pub fn soundex(s: &str) -> String {
+    let letters: Vec<char> = s
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    if letters.is_empty() {
+        return "0000".to_string();
+    }
+    fn code(c: char) -> Option<char> {
+        match c {
+            'B' | 'F' | 'P' | 'V' => Some('1'),
+            'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => Some('2'),
+            'D' | 'T' => Some('3'),
+            'L' => Some('4'),
+            'M' | 'N' => Some('5'),
+            'R' => Some('6'),
+            _ => None,
+        }
+    }
+    let mut out = String::new();
+    out.push(letters[0]);
+    let mut last = code(letters[0]);
+    for &c in &letters[1..] {
+        let this = code(c);
+        // H and W are transparent: they do not reset the run.
+        if c == 'H' || c == 'W' {
+            continue;
+        }
+        if let Some(d) = this {
+            if Some(d) != last {
+                out.push(d);
+                if out.len() == 4 {
+                    break;
+                }
+            }
+        }
+        last = this;
+    }
+    while out.len() < 4 {
+        out.push('0');
+    }
+    out
+}
+
+/// Binary phonetic matcher based on [`soundex`].
+pub struct SoundexMatcher;
+
+impl Matcher for SoundexMatcher {
+    fn name(&self) -> &str {
+        "soundex"
+    }
+
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        if soundex(a) == soundex(b) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+// --- composite record matching ---
+
+/// A weighted combination of per-field matchers, with match/uncertain
+/// thresholds. This is the shape domain-specific customer matchers take.
+pub struct CompositeMatcher {
+    fields: Vec<(String, Box<dyn Matcher>, f64)>,
+    pub match_threshold: f64,
+    pub uncertain_threshold: f64,
+}
+
+impl CompositeMatcher {
+    pub fn new(match_threshold: f64, uncertain_threshold: f64) -> CompositeMatcher {
+        assert!(uncertain_threshold <= match_threshold);
+        CompositeMatcher {
+            fields: Vec::new(),
+            match_threshold,
+            uncertain_threshold,
+        }
+    }
+
+    /// Weight a field with a matcher.
+    pub fn field(mut self, name: &str, matcher: Box<dyn Matcher>, weight: f64) -> Self {
+        self.fields.push((name.to_string(), matcher, weight));
+        self
+    }
+
+    /// Weighted similarity of two records over the configured fields.
+    /// Fields empty on both sides are skipped (re-weighting the rest).
+    pub fn record_similarity(&self, a: &Record, b: &Record) -> f64 {
+        let mut total_weight = 0.0;
+        let mut total = 0.0;
+        for (field, matcher, weight) in &self.fields {
+            let va = a.get(field);
+            let vb = b.get(field);
+            if va.is_empty() && vb.is_empty() {
+                continue;
+            }
+            total += matcher.similarity(va, vb) * weight;
+            total_weight += weight;
+        }
+        if total_weight == 0.0 {
+            0.0
+        } else {
+            total / total_weight
+        }
+    }
+
+    /// Classify a record pair.
+    pub fn classify(&self, a: &Record, b: &Record) -> MatchOutcome {
+        let s = self.record_similarity(a, b);
+        if s >= self.match_threshold {
+            MatchOutcome::Match(s)
+        } else if s >= self.uncertain_threshold {
+            MatchOutcome::Uncertain(s)
+        } else {
+            MatchOutcome::NonMatch(s)
+        }
+    }
+
+    /// A sensible default for person records: name-heavy with address
+    /// support.
+    pub fn default_person() -> CompositeMatcher {
+        CompositeMatcher::new(0.85, 0.65)
+            .field("name", Box::new(JaroWinkler), 0.6)
+            .field("address", Box::new(QGramJaccard::default()), 0.3)
+            .field("phone", Box::new(Levenshtein), 0.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein_distance("kitten", "sitting"), 3);
+        assert_eq!(levenshtein_distance("", "abc"), 3);
+        assert_eq!(levenshtein_distance("same", "same"), 0);
+        assert!((Levenshtein.similarity("abc", "abc") - 1.0).abs() < 1e-9);
+        assert!(Levenshtein.similarity("abc", "xyz") < 0.01);
+    }
+
+    #[test]
+    fn jaro_winkler_prefix_boost() {
+        let jw = JaroWinkler;
+        assert!((jw.similarity("martha", "martha") - 1.0).abs() < 1e-9);
+        let m = jw.similarity("martha", "marhta");
+        assert!(m > 0.94 && m < 1.0, "{}", m);
+        // Prefix agreement scores above suffix agreement.
+        assert!(jw.similarity("prefixed", "prefixes") > jw.similarity("aprefixed", "bprefixed"));
+        assert_eq!(jw.similarity("", ""), 1.0);
+        assert_eq!(jw.similarity("a", ""), 0.0);
+    }
+
+    #[test]
+    fn qgram_token_reorder_tolerance() {
+        let q = QGramJaccard::default();
+        let reordered = q.similarity("acme incorporated", "incorporated acme");
+        let different = q.similarity("acme incorporated", "globex limited");
+        assert!(reordered > different + 0.3);
+    }
+
+    #[test]
+    fn soundex_codes() {
+        assert_eq!(soundex("Robert"), "R163");
+        assert_eq!(soundex("Rupert"), "R163");
+        assert_eq!(soundex("Ashcraft"), "A261");
+        assert_eq!(soundex("Tymczak"), "T522");
+        assert_eq!(soundex(""), "0000");
+        assert_eq!(SoundexMatcher.similarity("Smith", "Smyth"), 1.0);
+    }
+
+    #[test]
+    fn qgram_zero_q_is_clamped_not_panicking() {
+        let q = QGramJaccard { q: 0 };
+        let s = q.similarity("abc", "abd");
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn composite_classification() {
+        let m = CompositeMatcher::default_person();
+        let a = Record::new("a:1", "a")
+            .with("name", "ada lovelace")
+            .with("address", "123 main street seattle wa");
+        let b = Record::new("b:1", "b")
+            .with("name", "ada lovelace")
+            .with("address", "123 main st seattle wa");
+        assert!(m.classify(&a, &b).is_match());
+
+        let c = Record::new("b:2", "b")
+            .with("name", "charles babbage")
+            .with("address", "9 analytical way london");
+        assert!(matches!(m.classify(&a, &c), MatchOutcome::NonMatch(_)));
+    }
+
+    #[test]
+    fn composite_skips_mutually_empty_fields() {
+        let m = CompositeMatcher::new(0.9, 0.5)
+            .field("name", Box::new(Levenshtein), 0.5)
+            .field("phone", Box::new(Levenshtein), 0.5);
+        let a = Record::new("a:1", "a").with("name", "ada");
+        let b = Record::new("b:1", "b").with("name", "ada");
+        // Phone empty on both sides → name alone decides.
+        assert!((m.record_similarity(&a, &b) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,214 @@
+//! Merge/purge: the sorted-neighborhood duplicate-detection baseline
+//! (Hernández & Stolfo, the paper's references 10 and 11).
+//!
+//! Records are sorted by a blocking key; a window of size `w` slides
+//! over the sorted order and only records within the same window are
+//! compared. Multi-pass runs with different keys catch duplicates the
+//! first key's sort separates; pair decisions accumulate in a union-find
+//! so clusters are transitive closures.
+
+use crate::matching::CompositeMatcher;
+use crate::record::Record;
+
+/// A blocking-key extractor for one sorted-neighborhood pass.
+pub type BlockingKey = Box<dyn Fn(&Record) -> String + Send + Sync>;
+
+/// Configuration of a sorted-neighborhood run.
+pub struct MergePurgeConfig {
+    /// Window size (records compared with the `w-1` following them).
+    pub window: usize,
+    /// Key-building functions, one per pass.
+    pub keys: Vec<BlockingKey>,
+}
+
+impl MergePurgeConfig {
+    /// Single pass over a normalized-name key.
+    pub fn single_pass(window: usize, field: &'static str) -> MergePurgeConfig {
+        MergePurgeConfig {
+            window,
+            keys: vec![Box::new(move |r| r.get(field).to_string())],
+        }
+    }
+}
+
+/// Union-find over record indexes.
+pub struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    pub fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    pub fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[rb] = ra;
+        }
+    }
+}
+
+/// Result of a merge/purge run.
+pub struct MergePurgeResult {
+    /// Clusters of record indexes (size ≥ 1; singletons included).
+    pub clusters: Vec<Vec<usize>>,
+    /// Matched pairs (indexes into the input), deduplicated.
+    pub matched_pairs: Vec<(usize, usize)>,
+    /// Pairwise comparisons actually performed.
+    pub comparisons: u64,
+}
+
+/// Run sorted-neighborhood duplicate detection.
+pub fn merge_purge(
+    records: &[Record],
+    config: &MergePurgeConfig,
+    matcher: &CompositeMatcher,
+) -> MergePurgeResult {
+    let mut uf = UnionFind::new(records.len());
+    let mut comparisons = 0u64;
+    let mut matched_pairs = Vec::new();
+
+    for key_fn in &config.keys {
+        let mut order: Vec<usize> = (0..records.len()).collect();
+        order.sort_by_key(|&i| key_fn(&records[i]));
+        for wi in 0..order.len() {
+            let hi = (wi + config.window).min(order.len());
+            for wj in wi + 1..hi {
+                let (i, j) = (order[wi], order[wj]);
+                if uf.find(i) == uf.find(j) {
+                    continue;
+                }
+                comparisons += 1;
+                if matcher.classify(&records[i], &records[j]).is_match() {
+                    uf.union(i, j);
+                    matched_pairs.push((i.min(j), i.max(j)));
+                }
+            }
+        }
+    }
+
+    // Gather clusters.
+    let mut by_root: std::collections::HashMap<usize, Vec<usize>> =
+        std::collections::HashMap::new();
+    for i in 0..records.len() {
+        by_root.entry(uf.find(i)).or_default().push(i);
+    }
+    let mut clusters: Vec<Vec<usize>> = by_root.into_values().collect();
+    clusters.sort_by_key(|c| c[0]);
+    matched_pairs.sort_unstable();
+    matched_pairs.dedup();
+
+    MergePurgeResult {
+        clusters,
+        matched_pairs,
+        comparisons,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{JaroWinkler, Levenshtein};
+
+    fn matcher() -> CompositeMatcher {
+        CompositeMatcher::new(0.88, 0.7)
+            .field("name", Box::new(JaroWinkler), 0.7)
+            .field("city", Box::new(Levenshtein), 0.3)
+    }
+
+    fn records() -> Vec<Record> {
+        vec![
+            Record::new("a:1", "a").with("name", "ada lovelace").with("city", "london"),
+            Record::new("b:1", "b").with("name", "ada lovelace").with("city", "london"),
+            Record::new("a:2", "a").with("name", "grace hopper").with("city", "new york"),
+            Record::new("b:2", "b").with("name", "grace hoper").with("city", "new york"),
+            Record::new("a:3", "a").with("name", "alan turing").with("city", "london"),
+        ]
+    }
+
+    #[test]
+    fn finds_duplicates_in_window() {
+        let rs = records();
+        let res = merge_purge(&rs, &MergePurgeConfig::single_pass(3, "name"), &matcher());
+        // ada×2 and grace×2 cluster; alan stays alone.
+        let sizes: Vec<usize> = {
+            let mut v: Vec<usize> = res.clusters.iter().map(|c| c.len()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(sizes, vec![1, 2, 2]);
+        assert_eq!(res.matched_pairs.len(), 2);
+    }
+
+    #[test]
+    fn window_size_bounds_comparisons() {
+        let rs = records();
+        let narrow = merge_purge(&rs, &MergePurgeConfig::single_pass(2, "name"), &matcher());
+        let wide = merge_purge(&rs, &MergePurgeConfig::single_pass(5, "name"), &matcher());
+        assert!(narrow.comparisons < wide.comparisons);
+        // Full window degenerates to all-pairs: n(n-1)/2 = 10.
+        assert_eq!(wide.comparisons, 10);
+    }
+
+    #[test]
+    fn multi_pass_recovers_split_duplicates() {
+        // Same person, name field corrupted at the *front* so a name sort
+        // separates them; a city key brings them adjacent.
+        let mut rs = vec![
+            Record::new("a:1", "a").with("name", "zada lovelace").with("city", "quito"),
+            Record::new("x:1", "x").with("name", "bob smith").with("city", "austin"),
+            Record::new("x:2", "x").with("name", "carol jones").with("city", "boston"),
+            Record::new("b:1", "b").with("name", "ada lovelace").with("city", "quito"),
+        ];
+        // Fillers are mutually dissimilar in both name and city so they
+        // never match anything.
+        let fillers = [
+            ("nina patel", "helsinki"),
+            ("omar diaz", "jakarta"),
+            ("pia chen", "kigali"),
+            ("quin roe", "lagos"),
+            ("rosa kim", "manila"),
+            ("sam lee", "nairobi"),
+        ];
+        for (i, (name, city)) in fillers.iter().enumerate() {
+            rs.push(
+                Record::new(&format!("f:{}", i), "f")
+                    .with("name", name)
+                    .with("city", city),
+            );
+        }
+        let single = merge_purge(&rs, &MergePurgeConfig::single_pass(2, "name"), &matcher());
+        assert_eq!(single.matched_pairs.len(), 0);
+
+        let multi = MergePurgeConfig {
+            window: 2,
+            keys: vec![
+                Box::new(|r: &Record| r.get("name").to_string()),
+                Box::new(|r: &Record| r.get("city").to_string()),
+            ],
+        };
+        let res = merge_purge(&rs, &multi, &matcher());
+        assert_eq!(res.matched_pairs.len(), 1);
+    }
+
+    #[test]
+    fn union_find_transitivity() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert_eq!(uf.find(0), uf.find(2));
+        assert_ne!(uf.find(0), uf.find(3));
+    }
+}

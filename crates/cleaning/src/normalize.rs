@@ -1,0 +1,313 @@
+//! Normalization functions: canonicalizing field values before matching.
+
+use std::collections::BTreeMap;
+
+/// A normalization function over one string field. Implementations are
+/// registered by name in cleaning flows and in the engine's function
+/// registry.
+pub trait Normalizer: Send + Sync {
+    fn name(&self) -> &str;
+    fn normalize(&self, input: &str) -> String;
+}
+
+/// Lowercase, collapse runs of whitespace, trim, and strip punctuation
+/// except digits/letters/space. The universal first step.
+pub struct BasicNormalizer;
+
+impl Normalizer for BasicNormalizer {
+    fn name(&self) -> &str {
+        "basic"
+    }
+
+    fn normalize(&self, input: &str) -> String {
+        let mut out = String::with_capacity(input.len());
+        let mut last_space = true;
+        for c in input.chars() {
+            if c.is_alphanumeric() {
+                out.extend(c.to_lowercase());
+                last_space = false;
+            } else if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out
+    }
+}
+
+/// Expand domain abbreviations token-wise against a dictionary. Ships
+/// with street/corporate defaults; extensible with customer entries
+/// ("allowing for future enhancements as they are demanded by
+/// customers").
+pub struct AbbrevExpander {
+    dict: BTreeMap<String, String>,
+}
+
+impl Default for AbbrevExpander {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+impl AbbrevExpander {
+    /// Street-suffix and corporate-form defaults.
+    pub fn with_defaults() -> AbbrevExpander {
+        let mut dict = BTreeMap::new();
+        for (k, v) in [
+            ("st", "street"),
+            ("ave", "avenue"),
+            ("rd", "road"),
+            ("blvd", "boulevard"),
+            ("dr", "drive"),
+            ("ln", "lane"),
+            ("hwy", "highway"),
+            ("apt", "apartment"),
+            ("ste", "suite"),
+            ("n", "north"),
+            ("s", "south"),
+            ("e", "east"),
+            ("w", "west"),
+            ("inc", "incorporated"),
+            ("corp", "corporation"),
+            ("co", "company"),
+            ("ltd", "limited"),
+            ("intl", "international"),
+            ("mfg", "manufacturing"),
+            ("&", "and"),
+        ] {
+            dict.insert(k.to_string(), v.to_string());
+        }
+        AbbrevExpander { dict }
+    }
+
+    /// An empty dictionary for fully custom vocabularies.
+    pub fn empty() -> AbbrevExpander {
+        AbbrevExpander {
+            dict: BTreeMap::new(),
+        }
+    }
+
+    /// Add or override an entry.
+    pub fn add(&mut self, abbrev: &str, expansion: &str) {
+        self.dict
+            .insert(abbrev.to_lowercase(), expansion.to_lowercase());
+    }
+}
+
+impl Normalizer for AbbrevExpander {
+    fn name(&self) -> &str {
+        "abbrev"
+    }
+
+    fn normalize(&self, input: &str) -> String {
+        input
+            .split_whitespace()
+            .map(|tok| {
+                let key = tok.trim_end_matches('.').to_lowercase();
+                self.dict
+                    .get(&key)
+                    .cloned()
+                    .unwrap_or_else(|| tok.to_string())
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Standardize person names: `"Last, First"` → `"first last"`, strip
+/// honorifics and suffixes, lowercase.
+pub struct NameStandardizer;
+
+const HONORIFICS: &[&str] = &["mr", "mrs", "ms", "dr", "prof", "sir"];
+const SUFFIXES: &[&str] = &["jr", "sr", "ii", "iii", "iv", "phd", "md"];
+
+impl Normalizer for NameStandardizer {
+    fn name(&self) -> &str {
+        "name"
+    }
+
+    fn normalize(&self, input: &str) -> String {
+        let reordered = match input.split_once(',') {
+            Some((last, first)) => format!("{} {}", first.trim(), last.trim()),
+            None => input.to_string(),
+        };
+        let basic = BasicNormalizer.normalize(&reordered);
+        basic
+            .split_whitespace()
+            .filter(|tok| !HONORIFICS.contains(tok) && !SUFFIXES.contains(tok))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// A parsed US-style postal address — the target of the *translation
+/// problem*: "source A may use several fields (e.g., city, state, …) to
+/// describe what source B models with a single field (address)".
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedAddress {
+    pub number: String,
+    pub street: String,
+    pub city: String,
+    pub state: String,
+    pub zip: String,
+}
+
+impl ParsedAddress {
+    /// Canonical single-line rendering.
+    pub fn canonical(&self) -> String {
+        let mut parts = Vec::new();
+        if !self.number.is_empty() {
+            parts.push(self.number.clone());
+        }
+        if !self.street.is_empty() {
+            parts.push(self.street.clone());
+        }
+        if !self.city.is_empty() {
+            parts.push(self.city.clone());
+        }
+        if !self.state.is_empty() {
+            parts.push(self.state.clone());
+        }
+        if !self.zip.is_empty() {
+            parts.push(self.zip.clone());
+        }
+        parts.join(" ")
+    }
+}
+
+/// Parse `"123 Main St, Seattle, WA 98101"`-style addresses into fields.
+/// Tolerant: missing segments yield empty fields rather than errors.
+pub fn parse_address(input: &str) -> ParsedAddress {
+    let expander = AbbrevExpander::with_defaults();
+    let mut out = ParsedAddress::default();
+    let segments: Vec<&str> = input.split(',').map(str::trim).collect();
+    if segments.is_empty() {
+        return out;
+    }
+    // Segment 1: [number] street...
+    let street_part = BasicNormalizer.normalize(segments[0]);
+    let mut toks = street_part.split_whitespace().peekable();
+    if toks
+        .peek()
+        .is_some_and(|t| t.chars().all(|c| c.is_ascii_digit()))
+    {
+        out.number = toks.next().unwrap().to_string();
+    }
+    out.street = expander.normalize(&toks.collect::<Vec<_>>().join(" "));
+    // Segment 2: city.
+    if segments.len() > 1 {
+        out.city = BasicNormalizer.normalize(segments[1]);
+    }
+    // Segment 3: state [zip].
+    if segments.len() > 2 {
+        let norm = BasicNormalizer.normalize(segments[2]);
+        let mut toks = norm.split_whitespace();
+        if let Some(state) = toks.next() {
+            out.state = state.to_string();
+        }
+        if let Some(zip) = toks.next() {
+            out.zip = zip.to_string();
+        }
+    }
+    out
+}
+
+/// Normalizer facade over [`parse_address`], producing the canonical
+/// one-line form.
+pub struct AddressNormalizer;
+
+impl Normalizer for AddressNormalizer {
+    fn name(&self) -> &str {
+        "address"
+    }
+
+    fn normalize(&self, input: &str) -> String {
+        parse_address(input).canonical()
+    }
+}
+
+/// Look up a built-in normalizer by flow-step name.
+pub fn by_name(name: &str) -> Option<Box<dyn Normalizer>> {
+    match name {
+        "basic" => Some(Box::new(BasicNormalizer)),
+        "abbrev" => Some(Box::new(AbbrevExpander::with_defaults())),
+        "name" => Some(Box::new(NameStandardizer)),
+        "address" => Some(Box::new(AddressNormalizer)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_normalization() {
+        assert_eq!(
+            BasicNormalizer.normalize("  ACME,   Inc.\t(West) "),
+            "acme inc west"
+        );
+        assert_eq!(BasicNormalizer.normalize(""), "");
+    }
+
+    #[test]
+    fn abbreviation_expansion() {
+        let e = AbbrevExpander::with_defaults();
+        assert_eq!(
+            e.normalize("123 Main St. Apt 4"),
+            "123 Main street apartment 4"
+        );
+        let mut custom = AbbrevExpander::empty();
+        custom.add("GmbH", "gesellschaft");
+        assert_eq!(custom.normalize("Acme GmbH"), "Acme gesellschaft");
+    }
+
+    #[test]
+    fn name_standardization() {
+        assert_eq!(NameStandardizer.normalize("Lovelace, Ada"), "ada lovelace");
+        assert_eq!(
+            NameStandardizer.normalize("Dr. Grace Hopper PhD"),
+            "grace hopper"
+        );
+        assert_eq!(NameStandardizer.normalize("Alan Turing Jr."), "alan turing");
+    }
+
+    #[test]
+    fn address_parsing_full() {
+        let a = parse_address("123 Main St, Seattle, WA 98101");
+        assert_eq!(a.number, "123");
+        assert_eq!(a.street, "main street");
+        assert_eq!(a.city, "seattle");
+        assert_eq!(a.state, "wa");
+        assert_eq!(a.zip, "98101");
+        assert_eq!(a.canonical(), "123 main street seattle wa 98101");
+    }
+
+    #[test]
+    fn address_parsing_partial() {
+        let a = parse_address("Oak Ave");
+        assert_eq!(a.number, "");
+        assert_eq!(a.street, "oak avenue");
+        assert_eq!(a.city, "");
+        // Translation equivalence: split fields and a single field
+        // canonicalize identically.
+        let split = format!(
+            "{} {} {}",
+            parse_address("42 Pine Rd").canonical(),
+            "",
+            ""
+        );
+        let joined = parse_address("42 Pine Rd, , ").canonical();
+        assert_eq!(split.trim(), joined);
+    }
+
+    #[test]
+    fn registry_lookup() {
+        assert!(by_name("basic").is_some());
+        assert!(by_name("address").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,284 @@
+//! The two-phase cleaning pipeline.
+//!
+//! "This necessitates breaking the cleansing process into two phases:
+//! datamining and extraction." The **mining** phase runs interactively:
+//! it classifies candidate pairs, auto-records the confident ones, and
+//! surfaces `Uncertain` pairs for a human. The **extraction** phase runs
+//! autonomously: past decisions are replayed from the concordance
+//! database, confident classifications are applied, and residual
+//! uncertain pairs are **trapped as exceptions** "to allow extraction to
+//! continue with cleanup applied post-hoc when a human is available".
+
+use crate::concordance::{ConcordanceDb, Decision};
+use crate::lineage::{LineageLog, LineageOp};
+use crate::matching::{CompositeMatcher, MatchOutcome};
+use crate::merge_purge::UnionFind;
+use crate::record::Record;
+
+/// A candidate pair surfaced for disambiguation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidatePair {
+    pub left: String,
+    pub right: String,
+    pub score: f64,
+}
+
+/// Report of a mining run.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Pairs auto-decided as matches.
+    pub auto_matches: usize,
+    /// Pairs auto-decided as non-matches.
+    pub auto_nonmatches: usize,
+    /// Pairs replayed from the concordance database.
+    pub reused_decisions: usize,
+    /// Pairs needing a human (mining) or trapped (extraction).
+    pub pending: Vec<CandidatePair>,
+    /// Pairwise comparisons performed (excluding concordance hits).
+    pub comparisons: u64,
+    /// Duplicate clusters over record ids (size ≥ 2 only).
+    pub clusters: Vec<Vec<String>>,
+}
+
+/// The configured pipeline: a blocking strategy plus a composite
+/// matcher.
+pub struct CleaningPipeline {
+    pub matcher: CompositeMatcher,
+    /// Field whose sorted order defines the neighborhood.
+    pub blocking_field: String,
+    /// Sorted-neighborhood window.
+    pub window: usize,
+}
+
+impl CleaningPipeline {
+    pub fn new(matcher: CompositeMatcher, blocking_field: &str, window: usize) -> Self {
+        CleaningPipeline {
+            matcher,
+            blocking_field: blocking_field.to_string(),
+            window: window.max(2),
+        }
+    }
+
+    /// Candidate pairs by sorted neighborhood over the blocking field.
+    fn candidates(&self, records: &[Record]) -> Vec<(usize, usize)> {
+        let mut order: Vec<usize> = (0..records.len()).collect();
+        order.sort_by_key(|&i| records[i].get(&self.blocking_field).to_string());
+        let mut out = Vec::new();
+        for wi in 0..order.len() {
+            let hi = (wi + self.window).min(order.len());
+            for wj in wi + 1..hi {
+                out.push((order[wi], order[wj]));
+            }
+        }
+        out
+    }
+
+    /// The interactive mining phase.
+    pub fn mine(
+        &self,
+        records: &[Record],
+        db: &mut ConcordanceDb,
+        log: &mut LineageLog,
+    ) -> PipelineReport {
+        self.run(records, db, log, Phase::Mining)
+    }
+
+    /// The autonomous extraction phase.
+    pub fn extract(
+        &self,
+        records: &[Record],
+        db: &mut ConcordanceDb,
+        log: &mut LineageLog,
+    ) -> PipelineReport {
+        self.run(records, db, log, Phase::Extraction)
+    }
+
+    fn run(
+        &self,
+        records: &[Record],
+        db: &mut ConcordanceDb,
+        log: &mut LineageLog,
+        phase: Phase,
+    ) -> PipelineReport {
+        let mut report = PipelineReport::default();
+        let mut uf = UnionFind::new(records.len());
+        for (i, j) in self.candidates(records) {
+            let (a, b) = (&records[i], &records[j]);
+            // Replay recorded decisions first — this is the concordance
+            // payoff the extraction phase depends on.
+            if let Some(decision) = db.lookup(&a.id, &b.id) {
+                report.reused_decisions += 1;
+                if decision == Decision::SameObject {
+                    uf.union(i, j);
+                }
+                continue;
+            }
+            report.comparisons += 1;
+            match self.matcher.classify(a, b) {
+                MatchOutcome::Match(s) => {
+                    report.auto_matches += 1;
+                    db.record_automatic(&a.id, &b.id, Decision::SameObject, "composite");
+                    log.record(
+                        LineageOp::Merge {
+                            left: a.id.clone(),
+                            right: b.id.clone(),
+                        },
+                        "system",
+                    );
+                    let _ = s;
+                    uf.union(i, j);
+                }
+                MatchOutcome::NonMatch(_) => {
+                    report.auto_nonmatches += 1;
+                }
+                MatchOutcome::Uncertain(s) => {
+                    // Mining: queue for the human. Extraction: trap as an
+                    // exception but keep going.
+                    report.pending.push(CandidatePair {
+                        left: a.id.clone(),
+                        right: b.id.clone(),
+                        score: s,
+                    });
+                    if phase == Phase::Extraction {
+                        log.record(
+                            LineageOp::Distinguish {
+                                left: a.id.clone(),
+                                right: b.id.clone(),
+                            },
+                            "exception-trap",
+                        );
+                    }
+                }
+            }
+        }
+        // Clusters of size ≥ 2.
+        let mut by_root: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for i in 0..records.len() {
+            by_root.entry(uf.find(i)).or_default().push(i);
+        }
+        let mut clusters: Vec<Vec<String>> = by_root
+            .into_values()
+            .filter(|c| c.len() >= 2)
+            .map(|c| c.iter().map(|&i| records[i].id.clone()).collect())
+            .collect();
+        clusters.sort();
+        report.clusters = clusters;
+        report
+    }
+
+    /// Apply a batch of human answers to pending pairs (the UI half of
+    /// the mining loop).
+    pub fn apply_human_decisions(
+        db: &mut ConcordanceDb,
+        log: &mut LineageLog,
+        decisions: &[(CandidatePair, Decision)],
+        who: &str,
+    ) {
+        for (pair, decision) in decisions {
+            db.record_human(&pair.left, &pair.right, *decision, who);
+            let op = match decision {
+                Decision::SameObject => LineageOp::Merge {
+                    left: pair.left.clone(),
+                    right: pair.right.clone(),
+                },
+                Decision::DifferentObjects => LineageOp::Distinguish {
+                    left: pair.left.clone(),
+                    right: pair.right.clone(),
+                },
+            };
+            log.record(op, who);
+        }
+    }
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Phase {
+    Mining,
+    Extraction,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::JaroWinkler;
+
+    fn pipeline() -> CleaningPipeline {
+        let matcher = CompositeMatcher::new(0.97, 0.90)
+            .field("name", Box::new(JaroWinkler), 1.0);
+        CleaningPipeline::new(matcher, "name", 4)
+    }
+
+    fn records() -> Vec<Record> {
+        vec![
+            Record::new("a:1", "a").with("name", "ada lovelace"),
+            Record::new("b:1", "b").with("name", "ada lovelace"),
+            // Similar but not identical → uncertain zone.
+            Record::new("c:1", "c").with("name", "ada loveless"),
+            Record::new("a:2", "a").with("name", "zz completely different"),
+        ]
+    }
+
+    #[test]
+    fn mining_queues_uncertain_pairs() {
+        let mut db = ConcordanceDb::new();
+        let mut log = LineageLog::new();
+        let report = pipeline().mine(&records(), &mut db, &mut log);
+        assert_eq!(report.auto_matches, 1);
+        // lovelace/loveless pairs land in the uncertain band.
+        assert_eq!(report.pending.len(), 2);
+        assert_eq!(report.clusters.len(), 1);
+        assert_eq!(report.clusters[0], vec!["a:1", "b:1"]);
+    }
+
+    #[test]
+    fn human_decisions_are_replayed_in_extraction() {
+        let mut db = ConcordanceDb::new();
+        let mut log = LineageLog::new();
+        let p = pipeline();
+        let mining = p.mine(&records(), &mut db, &mut log);
+
+        // Human resolves every pending pair as a match.
+        let answers: Vec<(CandidatePair, Decision)> = mining
+            .pending
+            .iter()
+            .cloned()
+            .map(|pair| (pair, Decision::SameObject))
+            .collect();
+        CleaningPipeline::apply_human_decisions(&mut db, &mut log, &answers, "denise");
+
+        // Extraction now runs with zero pending pairs and reuses stored
+        // decisions instead of re-deciding.
+        let extraction = p.extract(&records(), &mut db, &mut log);
+        assert!(extraction.pending.is_empty());
+        assert!(extraction.reused_decisions >= answers.len());
+        // ada loveless now clusters with the other two.
+        assert_eq!(extraction.clusters[0].len(), 3);
+    }
+
+    #[test]
+    fn extraction_traps_exceptions_and_continues() {
+        let mut db = ConcordanceDb::new();
+        let mut log = LineageLog::new();
+        let report = pipeline().extract(&records(), &mut db, &mut log);
+        // Exceptions listed, logged as provisional distinctions.
+        assert!(!report.pending.is_empty());
+        assert!(log
+            .entries()
+            .iter()
+            .any(|e| e.actor == "exception-trap"));
+        // The confident match still went through.
+        assert_eq!(report.auto_matches, 1);
+    }
+
+    #[test]
+    fn rerun_is_cheaper_with_concordance() {
+        let mut db = ConcordanceDb::new();
+        let mut log = LineageLog::new();
+        let p = pipeline();
+        let first = p.extract(&records(), &mut db, &mut log);
+        let second = p.extract(&records(), &mut db, &mut log);
+        // Auto-matches were stored; only uncertain pairs are re-compared.
+        assert!(second.comparisons < first.comparisons);
+    }
+}

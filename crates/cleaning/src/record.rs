@@ -1,0 +1,77 @@
+//! Records: the unit of cleaning.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A flat record with named string fields, tagged with its origin source
+/// (object identity spans sources, so provenance matters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Unique id, conventionally `source:local_id`.
+    pub id: String,
+    /// The source this record came from.
+    pub source: String,
+    pub fields: BTreeMap<String, String>,
+}
+
+impl Record {
+    pub fn new(id: &str, source: &str) -> Record {
+        Record {
+            id: id.to_string(),
+            source: source.to_string(),
+            fields: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style field setter.
+    pub fn with(mut self, field: &str, value: &str) -> Record {
+        self.fields.insert(field.to_string(), value.to_string());
+        self
+    }
+
+    /// Field value (empty string when absent).
+    pub fn get(&self, field: &str) -> &str {
+        self.fields.get(field).map(String::as_str).unwrap_or("")
+    }
+
+    /// Set a field in place.
+    pub fn set(&mut self, field: &str, value: String) {
+        self.fields.insert(field.to_string(), value);
+    }
+
+    /// True if the field exists and is non-empty.
+    pub fn has(&self, field: &str) -> bool {
+        !self.get(field).is_empty()
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.id)?;
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}={:?}", k, v)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A set of records under cleaning.
+pub type RecordSet = Vec<Record>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let r = Record::new("a:1", "a").with("name", "Ada").with("city", "");
+        assert_eq!(r.get("name"), "Ada");
+        assert_eq!(r.get("missing"), "");
+        assert!(r.has("name"));
+        assert!(!r.has("city"));
+        assert!(!r.has("missing"));
+    }
+}

@@ -1,0 +1,272 @@
+//! The metadata server: source registry and mediated schemas.
+//!
+//! "The metadata server contains the mappings that allow XML-QL to be
+//! split apart and translated appropriately; mappings are set via the
+//! management tools." A mediated schema here is a set of named **views**,
+//! each defined by an XML-QL query over source collections *or over other
+//! views* — "these schemas can be built in a hierachical fasion",
+//! enabling incremental integration across an organization.
+
+use crate::error::CoreError;
+use nimble_sources::SourceAdapter;
+use nimble_xmlql::ast::Query;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A named view over the mediated schema.
+#[derive(Clone)]
+pub struct ViewDef {
+    pub name: String,
+    /// Original XML-QL text (kept for refresh and display).
+    pub text: String,
+    /// Parsed and checked query.
+    pub query: Arc<Query>,
+    /// Default TTL (logical ticks) when this view is materialized.
+    pub default_ttl: Option<u64>,
+}
+
+/// What a collection name resolves to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolved {
+    /// A mediated view.
+    View(String),
+    /// A concrete source collection.
+    Collection { source: String, collection: String },
+}
+
+/// The shared registry of sources and views.
+#[derive(Default)]
+pub struct Catalog {
+    sources: RwLock<BTreeMap<String, Arc<dyn SourceAdapter>>>,
+    views: RwLock<BTreeMap<String, ViewDef>>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a source adapter under its own name.
+    pub fn register_source(&self, adapter: Arc<dyn SourceAdapter>) -> Result<(), CoreError> {
+        let name = adapter.name().to_string();
+        let mut sources = self.sources.write();
+        if sources.contains_key(&name) {
+            return Err(CoreError::Catalog(format!(
+                "source {:?} already registered",
+                name
+            )));
+        }
+        sources.insert(name, adapter);
+        Ok(())
+    }
+
+    /// Drop a source; true if it existed.
+    pub fn unregister_source(&self, name: &str) -> bool {
+        self.sources.write().remove(name).is_some()
+    }
+
+    /// Look up a source adapter.
+    pub fn source(&self, name: &str) -> Option<Arc<dyn SourceAdapter>> {
+        self.sources.read().get(name).cloned()
+    }
+
+    /// Names of all registered sources.
+    pub fn source_names(&self) -> Vec<String> {
+        self.sources.read().keys().cloned().collect()
+    }
+
+    /// Define (or replace) a mediated view from XML-QL text.
+    pub fn define_view(
+        &self,
+        name: &str,
+        text: &str,
+        default_ttl: Option<u64>,
+    ) -> Result<(), CoreError> {
+        let (query, _info) = nimble_xmlql::compile(text)?;
+        // Reject direct self-reference eagerly; transitive cycles are
+        // caught at evaluation time with a depth guard.
+        for source in referenced_names(&query) {
+            if source == name {
+                return Err(CoreError::CyclicView(name.to_string()));
+            }
+        }
+        self.views.write().insert(
+            name.to_string(),
+            ViewDef {
+                name: name.to_string(),
+                text: text.to_string(),
+                query: Arc::new(query),
+                default_ttl,
+            },
+        );
+        Ok(())
+    }
+
+    /// Look up a view definition.
+    pub fn view(&self, name: &str) -> Option<ViewDef> {
+        self.views.read().get(name).cloned()
+    }
+
+    /// Names of all views.
+    pub fn view_names(&self) -> Vec<String> {
+        self.views.read().keys().cloned().collect()
+    }
+
+    /// Remove a view; true if it existed.
+    pub fn drop_view(&self, name: &str) -> bool {
+        self.views.write().remove(name).is_some()
+    }
+
+    /// Resolve an `IN "name"` reference: views shadow collections;
+    /// `source.collection` qualifies explicitly; a bare collection name
+    /// must be unique across sources.
+    pub fn resolve(&self, name: &str) -> Result<Resolved, CoreError> {
+        if self.views.read().contains_key(name) {
+            return Ok(Resolved::View(name.to_string()));
+        }
+        if let Some((source, collection)) = name.split_once('.') {
+            let adapter = self
+                .source(source)
+                .ok_or_else(|| CoreError::UnknownCollection(name.to_string()))?;
+            if adapter.collections().iter().any(|c| c.name == collection) {
+                return Ok(Resolved::Collection {
+                    source: source.to_string(),
+                    collection: collection.to_string(),
+                });
+            }
+            return Err(CoreError::UnknownCollection(name.to_string()));
+        }
+        let sources = self.sources.read();
+        let mut owners = Vec::new();
+        for (sname, adapter) in sources.iter() {
+            if adapter.collections().iter().any(|c| c.name == name) {
+                owners.push(sname.clone());
+            }
+        }
+        match owners.len() {
+            0 => Err(CoreError::UnknownCollection(name.to_string())),
+            1 => Ok(Resolved::Collection {
+                source: owners.pop().unwrap(),
+                collection: name.to_string(),
+            }),
+            _ => Err(CoreError::AmbiguousCollection {
+                name: name.to_string(),
+                sources: owners,
+            }),
+        }
+    }
+}
+
+/// Every `IN "name"` reference anywhere in a query, including nested
+/// subqueries.
+pub fn referenced_names(query: &Query) -> Vec<String> {
+    use nimble_xmlql::ast::{Condition, SourceRef};
+    let mut out = Vec::new();
+    for c in &query.conditions {
+        if let Condition::Pattern(pb) = c {
+            if let SourceRef::Named(n) = &pb.source {
+                if !out.contains(n) {
+                    out.push(n.clone());
+                }
+            }
+        }
+    }
+    for sub in query.construct.subqueries() {
+        for n in referenced_names(sub) {
+            if !out.contains(&n) {
+                out.push(n);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimble_sources::xmldoc::XmlDocAdapter;
+
+    fn catalog() -> Catalog {
+        let c = Catalog::new();
+        c.register_source(Arc::new(
+            XmlDocAdapter::new("feeds")
+                .add_xml("bib", "<bib/>")
+                .unwrap()
+                .add_xml("news", "<news/>")
+                .unwrap(),
+        ))
+        .unwrap();
+        c.register_source(Arc::new(
+            XmlDocAdapter::new("other").add_xml("news", "<news/>").unwrap(),
+        ))
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn resolution_rules() {
+        let c = catalog();
+        assert_eq!(
+            c.resolve("bib").unwrap(),
+            Resolved::Collection {
+                source: "feeds".into(),
+                collection: "bib".into()
+            }
+        );
+        assert!(matches!(
+            c.resolve("news"),
+            Err(CoreError::AmbiguousCollection { .. })
+        ));
+        assert_eq!(
+            c.resolve("other.news").unwrap(),
+            Resolved::Collection {
+                source: "other".into(),
+                collection: "news".into()
+            }
+        );
+        assert!(matches!(
+            c.resolve("nothere"),
+            Err(CoreError::UnknownCollection(_))
+        ));
+    }
+
+    #[test]
+    fn views_shadow_collections() {
+        let c = catalog();
+        c.define_view("bib", r#"WHERE <bib>$x</bib> IN "feeds.bib" CONSTRUCT <v>$x</v>"#, None)
+            .unwrap();
+        assert_eq!(c.resolve("bib").unwrap(), Resolved::View("bib".into()));
+    }
+
+    #[test]
+    fn self_referential_view_rejected() {
+        let c = catalog();
+        let err = c
+            .define_view("loop", r#"WHERE <x>$v</x> IN "loop" CONSTRUCT <y>$v</y>"#, None)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::CyclicView(_)));
+    }
+
+    #[test]
+    fn duplicate_source_rejected() {
+        let c = catalog();
+        let dup = Arc::new(XmlDocAdapter::new("feeds"));
+        assert!(matches!(
+            c.register_source(dup),
+            Err(CoreError::Catalog(_))
+        ));
+    }
+
+    #[test]
+    fn referenced_names_includes_subqueries() {
+        let (q, _) = nimble_xmlql::compile(
+            r#"WHERE <a/> ELEMENT_AS $e IN "top"
+               CONSTRUCT <o>
+                 WHERE <b>$x</b> IN "nested" CONSTRUCT <i>$x</i>
+               </o>"#,
+        )
+        .unwrap();
+        assert_eq!(referenced_names(&q), vec!["top", "nested"]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Load balancing over multiple engine instances.
+//!
+//! "Load balancing is provided; multiple instances of the integration
+//! engine can be run simultaneously on one or more servers." An
+//! [`EngineCluster`] owns N engines over one shared catalog and a pool of
+//! worker threads; queries are dispatched round-robin or to the
+//! least-loaded instance. Experiment E6 measures throughput and tail
+//! latency against instance count and strategy.
+
+use crate::engine::{Engine, EngineConfig, QueryResult};
+use crate::error::CoreError;
+use crate::Catalog;
+use crossbeam::channel::{bounded, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// How queries map to engine instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchStrategy {
+    RoundRobin,
+    LeastLoaded,
+}
+
+struct Job {
+    text: String,
+    reply: Sender<Result<QueryResult, CoreError>>,
+}
+
+/// A pool of engine instances behind one submission interface.
+pub struct EngineCluster {
+    engines: Vec<Arc<Engine>>,
+    senders: Vec<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    strategy: DispatchStrategy,
+    next: AtomicU64,
+}
+
+impl EngineCluster {
+    /// Spin up `instances` engines (each with `workers_per_instance`
+    /// serving threads) over a shared catalog.
+    pub fn new(
+        catalog: Arc<Catalog>,
+        instances: usize,
+        workers_per_instance: usize,
+        config: EngineConfig,
+        strategy: DispatchStrategy,
+    ) -> EngineCluster {
+        assert!(instances > 0 && workers_per_instance > 0);
+        let mut engines = Vec::with_capacity(instances);
+        let mut senders = Vec::with_capacity(instances);
+        let mut workers = Vec::new();
+        for _ in 0..instances {
+            let engine = Arc::new(Engine::with_config(Arc::clone(&catalog), config.clone()));
+            let (tx, rx) = bounded::<Job>(1024);
+            for _ in 0..workers_per_instance {
+                let engine = Arc::clone(&engine);
+                let rx = rx.clone();
+                workers.push(std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let result = engine.query(&job.text);
+                        // The client may have given up; that's fine.
+                        let _ = job.reply.send(result);
+                    }
+                }));
+            }
+            engines.push(engine);
+            senders.push(tx);
+        }
+        EngineCluster {
+            engines,
+            senders,
+            workers,
+            strategy,
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of engine instances.
+    pub fn instances(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Access an instance (tests and experiments poke at stores).
+    pub fn engine(&self, idx: usize) -> &Arc<Engine> {
+        &self.engines[idx]
+    }
+
+    fn pick(&self) -> usize {
+        match self.strategy {
+            DispatchStrategy::RoundRobin => {
+                (self.next.fetch_add(1, Ordering::SeqCst) as usize) % self.engines.len()
+            }
+            DispatchStrategy::LeastLoaded => self
+                .engines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.load())
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+        }
+    }
+
+    /// Submit a query and wait for its result.
+    pub fn query(&self, text: &str) -> Result<QueryResult, CoreError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        let idx = self.pick();
+        self.senders[idx]
+            .send(Job {
+                text: text.to_string(),
+                reply: reply_tx,
+            })
+            .map_err(|_| CoreError::Exec("cluster is shut down".into()))?;
+        reply_rx
+            .recv()
+            .map_err(|_| CoreError::Exec("worker dropped the query".into()))?
+    }
+
+    /// Submit asynchronously; the receiver yields the result.
+    pub fn submit(&self, text: &str) -> crossbeam::channel::Receiver<Result<QueryResult, CoreError>> {
+        let (reply_tx, reply_rx) = bounded(1);
+        let idx = self.pick();
+        if self.senders[idx]
+            .send(Job {
+                text: text.to_string(),
+                reply: reply_tx.clone(),
+            })
+            .is_err()
+        {
+            let _ = reply_tx.send(Err(CoreError::Exec("cluster is shut down".into())));
+        }
+        reply_rx
+    }
+
+    /// Per-instance query counts (for balance assertions).
+    pub fn served_per_instance(&self) -> Vec<u64> {
+        self.engines.iter().map(|e| e.queries_served()).collect()
+    }
+
+    /// Stop accepting work and join the workers.
+    pub fn shutdown(mut self) {
+        self.senders.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for EngineCluster {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}

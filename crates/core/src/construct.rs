@@ -1,0 +1,434 @@
+//! CONSTRUCT: turning binding tuples into result documents.
+//!
+//! Results are rooted at a synthetic `<results>` element whose children
+//! are one instantiation of the CONSTRUCT template per binding tuple —
+//! or one per *group* when the template carries a Skolem `ID=F($k…)`
+//! attribute, in which case content accumulates across the group's
+//! tuples (duplicate children produced by different tuples of the same
+//! group are emitted once, in first-production order).
+//!
+//! Nested subqueries are delegated to the engine through a callback so
+//! this module stays independent of execution.
+
+use crate::error::CoreError;
+use nimble_algebra::{Schema, Tuple};
+use nimble_xml::{to_string, Atomic, Document, DocumentBuilder, Value};
+use nimble_xmlql::ast::{AggName, ElementTemplate, Query, TemplateNode, TemplateValue};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Callback that evaluates a nested subquery under one outer tuple and
+/// appends its constructed elements to the builder.
+pub type SubqueryEval<'a> =
+    dyn FnMut(&Query, &Schema, &Tuple, &mut DocumentBuilder) -> Result<(), CoreError> + 'a;
+
+/// Build the result document for a query's tuples.
+pub fn build_result_document(
+    template: &ElementTemplate,
+    schema: &Schema,
+    tuples: &[Tuple],
+    eval_subquery: &mut SubqueryEval<'_>,
+) -> Result<Arc<Document>, CoreError> {
+    let mut b = DocumentBuilder::new("results");
+    append_instances(&mut b, template, schema, tuples, eval_subquery)?;
+    Ok(b.finish())
+}
+
+/// Append template instances for a tuple set into an open builder
+/// (shared by the root call and nested subqueries).
+pub fn append_instances(
+    b: &mut DocumentBuilder,
+    template: &ElementTemplate,
+    schema: &Schema,
+    tuples: &[Tuple],
+    eval_subquery: &mut SubqueryEval<'_>,
+) -> Result<(), CoreError> {
+    match &template.skolem {
+        None => {
+            for t in tuples {
+                instantiate_element(b, template, schema, t, None, eval_subquery)?;
+            }
+        }
+        Some(sk) => {
+            // Group by the Skolem arguments, preserving first-seen order.
+            let key_cols: Vec<usize> = sk
+                .args
+                .iter()
+                .map(|v| {
+                    schema.index_of(v).ok_or_else(|| {
+                        CoreError::Exec(format!("Skolem argument ${} not bound", v))
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            let mut order: Vec<String> = Vec::new();
+            let mut groups: std::collections::HashMap<String, Vec<&Tuple>> =
+                std::collections::HashMap::new();
+            for t in tuples {
+                let key: String = key_cols
+                    .iter()
+                    .map(|&c| t[c].lexical())
+                    .collect::<Vec<_>>()
+                    .join("\u{1}");
+                if !groups.contains_key(&key) {
+                    order.push(key.clone());
+                }
+                groups.entry(key).or_default().push(t);
+            }
+            for key in order {
+                let members = &groups[&key];
+                let first = members[0];
+                b.start_element(&template.tag);
+                for (name, value) in &template.attrs {
+                    b.attr(name, &template_attr_value(value, schema, first)?);
+                }
+                // Children accumulate across the group; duplicates
+                // (serialized identically) are emitted once.
+                let mut seen: HashSet<String> = HashSet::new();
+                for t in members {
+                    let mut scratch = DocumentBuilder::new("scratch");
+                    instantiate_children(
+                        &mut scratch,
+                        &template.children,
+                        schema,
+                        t,
+                        Some(members),
+                        eval_subquery,
+                    )?;
+                    let scratch_doc = scratch.finish();
+                    for child in scratch_doc.root().children() {
+                        let rendered = to_string(&child);
+                        if seen.insert(rendered) {
+                            b.copy_subtree(&child);
+                        }
+                    }
+                }
+                b.end_element();
+            }
+        }
+    }
+    Ok(())
+}
+
+fn instantiate_element(
+    b: &mut DocumentBuilder,
+    template: &ElementTemplate,
+    schema: &Schema,
+    tuple: &Tuple,
+    group: Option<&[&Tuple]>,
+    eval_subquery: &mut SubqueryEval<'_>,
+) -> Result<(), CoreError> {
+    b.start_element(&template.tag);
+    for (name, value) in &template.attrs {
+        b.attr(name, &template_attr_value(value, schema, tuple)?);
+    }
+    instantiate_children(b, &template.children, schema, tuple, group, eval_subquery)?;
+    b.end_element();
+    Ok(())
+}
+
+fn instantiate_children(
+    b: &mut DocumentBuilder,
+    children: &[TemplateNode],
+    schema: &Schema,
+    tuple: &Tuple,
+    group: Option<&[&Tuple]>,
+    eval_subquery: &mut SubqueryEval<'_>,
+) -> Result<(), CoreError> {
+    for child in children {
+        match child {
+            TemplateNode::Element(e) => {
+                instantiate_element(b, e, schema, tuple, group, eval_subquery)?
+            }
+            TemplateNode::Text(s) => {
+                b.text_str(s);
+            }
+            TemplateNode::Var(v) => {
+                let value = lookup(schema, tuple, v)?;
+                splice_value(b, &value);
+            }
+            TemplateNode::Subquery(q) => {
+                eval_subquery(q, schema, tuple, b)?;
+            }
+            TemplateNode::Agg { func, var } => {
+                let members = group.ok_or_else(|| {
+                    CoreError::Exec(
+                        "aggregates in CONSTRUCT require a Skolem-grouped \
+                         element (e.g. <r ID=F($k)>…sum($v)…</r>)"
+                            .to_string(),
+                    )
+                })?;
+                let value = compute_agg(*func, var.as_deref(), schema, members)?;
+                splice_value(b, &value);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Compute an aggregate over a group's tuples.
+fn compute_agg(
+    func: AggName,
+    var: Option<&str>,
+    schema: &Schema,
+    members: &[&Tuple],
+) -> Result<Value, CoreError> {
+    let values: Vec<Value> = match var {
+        None => Vec::new(),
+        Some(v) => {
+            let idx = schema.index_of(v).ok_or_else(|| {
+                CoreError::Exec(format!("aggregate argument ${} not bound", v))
+            })?;
+            members.iter().map(|t| t[idx].clone()).collect()
+        }
+    };
+    let non_null: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
+    Ok(match func {
+        AggName::Count => {
+            let n = if var.is_none() {
+                members.len()
+            } else {
+                non_null.len()
+            };
+            Value::from(n as i64)
+        }
+        AggName::Sum => {
+            let mut all_int = true;
+            let mut total = 0.0;
+            for v in &non_null {
+                match v.atomize() {
+                    Atomic::Int(i) => total += i as f64,
+                    Atomic::Float(f) => {
+                        total += f;
+                        all_int = false;
+                    }
+                    Atomic::Str(s) => match s.trim().parse::<f64>() {
+                        Ok(f) => {
+                            total += f;
+                            all_int = all_int && f.fract() == 0.0;
+                        }
+                        Err(_) => {
+                            return Err(CoreError::Exec(format!(
+                                "sum over non-numeric value {:?}",
+                                s
+                            )))
+                        }
+                    },
+                    other => {
+                        return Err(CoreError::Exec(format!(
+                            "sum over non-numeric value {:?}",
+                            other
+                        )))
+                    }
+                }
+            }
+            if all_int {
+                Value::from(total as i64)
+            } else {
+                Value::Atomic(Atomic::Float(total))
+            }
+        }
+        AggName::Min => non_null
+            .iter()
+            .min_by(|a, b| a.total_cmp(b))
+            .map(|v| (*v).clone())
+            .unwrap_or_else(Value::null),
+        AggName::Max => non_null
+            .iter()
+            .max_by(|a, b| a.total_cmp(b))
+            .map(|v| (*v).clone())
+            .unwrap_or_else(Value::null),
+        AggName::Avg => {
+            let nums: Vec<f64> = non_null.iter().filter_map(|v| v.atomize().as_f64()).collect();
+            if nums.is_empty() {
+                Value::null()
+            } else {
+                Value::Atomic(Atomic::Float(nums.iter().sum::<f64>() / nums.len() as f64))
+            }
+        }
+        AggName::Collect => Value::List(Arc::new(values)),
+    })
+}
+
+/// Splice a bound value into element content: nodes are deep-copied,
+/// lists splice each item, atomics become typed text (nulls vanish).
+fn splice_value(b: &mut DocumentBuilder, value: &Value) {
+    match value {
+        Value::Node(n) => b.copy_subtree(n),
+        Value::List(items) => {
+            for item in items.iter() {
+                splice_value(b, item);
+            }
+        }
+        Value::Atomic(a) => {
+            if !a.is_null() {
+                b.text(a.clone());
+            }
+        }
+    }
+}
+
+fn template_attr_value(
+    value: &TemplateValue,
+    schema: &Schema,
+    tuple: &Tuple,
+) -> Result<String, CoreError> {
+    Ok(match value {
+        TemplateValue::Lit(s) => s.clone(),
+        TemplateValue::Var(v) => lookup(schema, tuple, v)?.lexical(),
+    })
+}
+
+fn lookup(schema: &Schema, tuple: &Tuple, var: &str) -> Result<Value, CoreError> {
+    let idx = schema
+        .index_of(var)
+        .ok_or_else(|| CoreError::Exec(format!("template variable ${} not bound", var)))?;
+    Ok(tuple[idx].clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimble_xml::to_string as xml_string;
+
+    fn no_subqueries(
+    ) -> impl FnMut(&Query, &Schema, &Tuple, &mut DocumentBuilder) -> Result<(), CoreError> {
+        |_q, _s, _t, _b| panic!("no subqueries expected in this test")
+    }
+
+    fn template_of(text: &str) -> ElementTemplate {
+        nimble_xmlql::parse_query(text).unwrap().construct
+    }
+
+    #[test]
+    fn one_instance_per_tuple() {
+        let tpl = template_of(r#"WHERE <a>$x</a> IN "s" CONSTRUCT <out id=$x><v>$x</v></out>"#);
+        let schema = Schema::new(vec!["x".into()]);
+        let tuples = vec![vec![Value::from(1i64)], vec![Value::from(2i64)]];
+        let mut cb = no_subqueries();
+        let doc = build_result_document(&tpl, &schema, &tuples, &mut cb).unwrap();
+        assert_eq!(
+            xml_string(&doc.root()),
+            "<results><out id=\"1\"><v>1</v></out><out id=\"2\"><v>2</v></out></results>"
+        );
+    }
+
+    #[test]
+    fn skolem_groups_and_accumulates() {
+        let tpl = template_of(
+            r#"WHERE <a>$n</a> IN "s"
+               CONSTRUCT <person ID=P($n)><name>$n</name><tel>$t</tel></person>"#,
+        );
+        let schema = Schema::new(vec!["n".into(), "t".into()]);
+        let tuples = vec![
+            vec![Value::from("ada"), Value::from("111")],
+            vec![Value::from("ada"), Value::from("222")],
+            vec![Value::from("bob"), Value::from("333")],
+        ];
+        let mut cb = no_subqueries();
+        let doc = build_result_document(&tpl, &schema, &tuples, &mut cb).unwrap();
+        assert_eq!(
+            xml_string(&doc.root()),
+            "<results>\
+             <person><name>ada</name><tel>111</tel><tel>222</tel></person>\
+             <person><name>bob</name><tel>333</tel></person>\
+             </results>"
+        );
+    }
+
+    #[test]
+    fn node_values_are_deep_copied() {
+        let src = nimble_xml::parse("<book><title>X</title></book>").unwrap();
+        let tpl = template_of(r#"WHERE <a/> ELEMENT_AS $e IN "s" CONSTRUCT <out>$e</out>"#);
+        let schema = Schema::new(vec!["e".into()]);
+        let tuples = vec![vec![Value::Node(src.root())]];
+        let mut cb = no_subqueries();
+        let doc = build_result_document(&tpl, &schema, &tuples, &mut cb).unwrap();
+        assert_eq!(
+            xml_string(&doc.root()),
+            "<results><out><book><title>X</title></book></out></results>"
+        );
+    }
+
+    #[test]
+    fn null_atomics_vanish() {
+        let tpl = template_of(r#"WHERE <a>$x</a> IN "s" CONSTRUCT <out>$x</out>"#);
+        let schema = Schema::new(vec!["x".into()]);
+        let tuples = vec![vec![Value::null()]];
+        let mut cb = no_subqueries();
+        let doc = build_result_document(&tpl, &schema, &tuples, &mut cb).unwrap();
+        assert_eq!(xml_string(&doc.root()), "<results><out/></results>");
+    }
+
+    #[test]
+    fn literal_text_and_numbers() {
+        let tpl =
+            template_of(r#"WHERE <a>$x</a> IN "s" CONSTRUCT <out>"n = " $x</out>"#);
+        let schema = Schema::new(vec!["x".into()]);
+        let tuples = vec![vec![Value::from(7i64)]];
+        let mut cb = no_subqueries();
+        let doc = build_result_document(&tpl, &schema, &tuples, &mut cb).unwrap();
+        assert_eq!(doc.root().child("out").unwrap().text(), "n = 7");
+    }
+
+    #[test]
+    fn aggregates_over_skolem_groups() {
+        let tpl = template_of(
+            r#"WHERE <a>$k</a> IN "s"
+               CONSTRUCT <g ID=K($k)><k>$k</k><n>count()</n><s>sum($v)</s>
+                         <lo>min($v)</lo><hi>max($v)</hi><m>avg($v)</m></g>"#,
+        );
+        let schema = Schema::new(vec!["k".into(), "v".into()]);
+        let tuples = vec![
+            vec![Value::from("a"), Value::from(1i64)],
+            vec![Value::from("a"), Value::from(3i64)],
+            vec![Value::from("b"), Value::from(10i64)],
+        ];
+        let mut cb = no_subqueries();
+        let doc = build_result_document(&tpl, &schema, &tuples, &mut cb).unwrap();
+        assert_eq!(
+            xml_string(&doc.root()),
+            "<results>\
+             <g><k>a</k><n>2</n><s>4</s><lo>1</lo><hi>3</hi><m>2.0</m></g>\
+             <g><k>b</k><n>1</n><s>10</s><lo>10</lo><hi>10</hi><m>10.0</m></g>\
+             </results>"
+        );
+    }
+
+    #[test]
+    fn aggregate_outside_group_errors() {
+        let tpl = template_of(r#"WHERE <a>$x</a> IN "s" CONSTRUCT <o>count()</o>"#);
+        let schema = Schema::new(vec!["x".into()]);
+        let tuples = vec![vec![Value::from(1i64)]];
+        let mut cb = no_subqueries();
+        let err = build_result_document(&tpl, &schema, &tuples, &mut cb).unwrap_err();
+        assert!(err.to_string().contains("Skolem"), "{}", err);
+    }
+
+    #[test]
+    fn count_skips_nulls_with_arg_counts_tuples_without() {
+        let tpl = template_of(
+            r#"WHERE <a>$k</a> IN "s"
+               CONSTRUCT <g ID=K($k)><all>count()</all><some>count($v)</some></g>"#,
+        );
+        let schema = Schema::new(vec!["k".into(), "v".into()]);
+        let tuples = vec![
+            vec![Value::from("a"), Value::from(1i64)],
+            vec![Value::from("a"), Value::null()],
+        ];
+        let mut cb = no_subqueries();
+        let doc = build_result_document(&tpl, &schema, &tuples, &mut cb).unwrap();
+        assert_eq!(
+            xml_string(&doc.root()),
+            "<results><g><all>2</all><some>1</some></g></results>"
+        );
+    }
+
+    #[test]
+    fn unbound_template_var_errors() {
+        let tpl = template_of(r#"WHERE <a>$x</a> IN "s" CONSTRUCT <out>$x</out>"#);
+        let schema = Schema::new(vec!["y".into()]);
+        let tuples = vec![vec![Value::from(1i64)]];
+        let mut cb = no_subqueries();
+        assert!(build_result_document(&tpl, &schema, &tuples, &mut cb).is_err());
+    }
+}

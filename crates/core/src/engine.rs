@@ -1,0 +1,748 @@
+//! The integration engine: end-to-end query service.
+
+use crate::catalog::Catalog;
+use crate::construct;
+use crate::error::CoreError;
+use crate::matcher;
+use crate::planner::{self, AtomExec, BindPatternOp};
+use nimble_algebra::ops::{
+    FilterOp, HashJoinOp, JoinType, NestedLoopJoinOp, Operator, ProjectOp, SortKey, SortOp,
+    ValuesOp,
+};
+use nimble_algebra::{explain as explain_ops, run_to_vec, FunctionRegistry, ScalarExpr, Schema, Tuple};
+use nimble_sources::query::{row_field, rows_of};
+use nimble_store::{LogicalClock, ResultCache, ViewStore, WorkloadMonitor};
+use nimble_xml::{Document, DocumentBuilder, Value};
+use nimble_xmlql::ast::Query;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Maximum nesting of view evaluation / subqueries, guarding against
+/// transitively cyclic view definitions.
+const MAX_DEPTH: usize = 16;
+
+/// Optimizer ablation switches (experiment E5 flips these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizerConfig {
+    /// Push selections/projections into capable sources.
+    pub pushdown: bool,
+    /// Merge same-source fragments into pushed joins.
+    pub capability_joins: bool,
+    /// Order the mediator-side join tree by ascending input cardinality.
+    pub order_joins_by_cardinality: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            pushdown: true,
+            capability_joins: true,
+            order_joins_by_cardinality: true,
+        }
+    }
+}
+
+/// What to do when a source is unavailable mid-query (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnavailablePolicy {
+    /// Propagate the failure (the behavior the paper calls "often not
+    /// acceptable").
+    Fail,
+    /// Contribute no tuples for the failed fragment and annotate the
+    /// result as incomplete.
+    SkipAndAnnotate,
+    /// Like `SkipAndAnnotate`, but first fall back to the most recent
+    /// cached copy of the failed fragment, marking the result stale.
+    StaleCache,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    pub optimizer: OptimizerConfig,
+    pub unavailable: UnavailablePolicy,
+    /// Node budget of the fragment/result cache. 0 disables caching
+    /// entirely (including the stale fallback).
+    pub cache_nodes: usize,
+    /// Serve repeated identical queries straight from the cache.
+    pub cache_query_results: bool,
+    /// Fetch independent fragments concurrently (one thread per
+    /// fragment). Query latency then tracks the slowest source instead
+    /// of the sum of all sources.
+    pub parallel_fetch: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            optimizer: OptimizerConfig::default(),
+            unavailable: UnavailablePolicy::Fail,
+            cache_nodes: 200_000,
+            cache_query_results: false,
+            parallel_fetch: true,
+        }
+    }
+}
+
+/// Per-query statistics.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Adapter calls made (fragment executions + collection fetches).
+    pub source_calls: u64,
+    /// Fragments pushed down to sources.
+    pub fragments_pushed: usize,
+    /// Binding tuples that reached CONSTRUCT.
+    pub tuples: usize,
+    /// Rows shipped from sources into the mediator (fragment rows plus
+    /// pattern matches over fetched collections).
+    pub rows_fetched: u64,
+    /// Wall-clock time.
+    pub elapsed_ms: f64,
+    /// EXPLAIN rendering of the physical plan (with row counts) and the
+    /// optimizer's decomposition notes.
+    pub plan: String,
+    /// Whole result served from the query cache.
+    pub from_query_cache: bool,
+}
+
+/// A query answer: the constructed document plus the completeness
+/// annotations of §3.4 ("providing partial results, and indicating to
+/// the user that the results were not complete").
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub document: Arc<Document>,
+    /// False when any source could not contribute.
+    pub complete: bool,
+    /// Sources that failed to contribute.
+    pub missing_sources: Vec<String>,
+    /// True when stale cached data substituted for a live source.
+    pub stale: bool,
+    pub stats: QueryStats,
+}
+
+/// One instance of the integration engine.
+pub struct Engine {
+    catalog: Arc<Catalog>,
+    views: ViewStore,
+    cache: ResultCache,
+    clock: Arc<LogicalClock>,
+    monitor: WorkloadMonitor,
+    config: RwLock<EngineConfig>,
+    funcs: RwLock<Arc<FunctionRegistry>>,
+    in_flight: AtomicU64,
+    queries_served: AtomicU64,
+}
+
+/// Mutable context threaded through one query's evaluation.
+struct ExecCtx {
+    missing: Vec<String>,
+    stale: bool,
+    source_calls: u64,
+    fragments: usize,
+    rows_fetched: u64,
+    plan_text: String,
+}
+
+impl ExecCtx {
+    fn new() -> ExecCtx {
+        ExecCtx {
+            missing: Vec::new(),
+            stale: false,
+            source_calls: 0,
+            fragments: 0,
+            rows_fetched: 0,
+            plan_text: String::new(),
+        }
+    }
+
+    fn miss(&mut self, source: &str) {
+        if !self.missing.iter().any(|s| s == source) {
+            self.missing.push(source.to_string());
+        }
+    }
+
+    /// Fold a per-thread context back into the query's context.
+    fn merge(&mut self, other: ExecCtx) {
+        for m in other.missing {
+            self.miss(&m);
+        }
+        self.stale |= other.stale;
+        self.source_calls += other.source_calls;
+        self.fragments += other.fragments;
+        self.rows_fetched += other.rows_fetched;
+        if self.plan_text.is_empty() {
+            self.plan_text = other.plan_text;
+        }
+    }
+}
+
+impl Engine {
+    pub fn new(catalog: Arc<Catalog>) -> Engine {
+        Engine::with_config(catalog, EngineConfig::default())
+    }
+
+    pub fn with_config(catalog: Arc<Catalog>, config: EngineConfig) -> Engine {
+        Engine {
+            catalog,
+            views: ViewStore::new(),
+            cache: ResultCache::new(config.cache_nodes),
+            clock: Arc::new(LogicalClock::new()),
+            monitor: WorkloadMonitor::new(),
+            config: RwLock::new(config),
+            funcs: RwLock::new(Arc::new(FunctionRegistry::with_builtins())),
+            in_flight: AtomicU64::new(0),
+            queries_served: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared metadata server.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The materialized-view store.
+    pub fn views(&self) -> &ViewStore {
+        &self.views
+    }
+
+    /// The logical clock driving freshness.
+    pub fn clock(&self) -> &Arc<LogicalClock> {
+        &self.clock
+    }
+
+    /// The workload monitor feeding view selection.
+    pub fn monitor(&self) -> &WorkloadMonitor {
+        &self.monitor
+    }
+
+    /// The result/fragment cache.
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Snapshot the configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config.read().clone()
+    }
+
+    /// Replace the unavailability policy.
+    pub fn set_unavailable_policy(&self, policy: UnavailablePolicy) {
+        self.config.write().unavailable = policy;
+    }
+
+    /// Replace the optimizer switches.
+    pub fn set_optimizer(&self, optimizer: OptimizerConfig) {
+        self.config.write().optimizer = optimizer;
+    }
+
+    /// Toggle whole-query result caching.
+    pub fn set_cache_query_results(&self, on: bool) {
+        self.config.write().cache_query_results = on;
+    }
+
+    /// Register a custom scalar function usable from XML-QL predicates
+    /// (the extensibility hook data cleaning uses).
+    pub fn register_function(
+        &self,
+        name: &str,
+        f: impl Fn(&[Value]) -> Result<Value, nimble_algebra::ExecError> + Send + Sync + 'static,
+    ) {
+        let mut guard = self.funcs.write();
+        let mut next = (**guard).clone();
+        next.register(name, f);
+        *guard = Arc::new(next);
+    }
+
+    /// Queries currently executing (used by least-loaded dispatch).
+    pub fn load(&self) -> u64 {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Total queries served.
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served.load(Ordering::SeqCst)
+    }
+
+    /// Answer an XML-QL query.
+    pub fn query(&self, text: &str) -> Result<QueryResult, CoreError> {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let result = self.query_inner(text);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        self.queries_served.fetch_add(1, Ordering::SeqCst);
+        result
+    }
+
+    fn query_inner(&self, text: &str) -> Result<QueryResult, CoreError> {
+        let started = Instant::now();
+        let config = self.config();
+        let cache_key = format!("query:{}", text);
+        if config.cache_query_results && config.cache_nodes > 0 {
+            if let Some(doc) = self.cache.get(&cache_key) {
+                return Ok(QueryResult {
+                    document: doc,
+                    complete: true,
+                    missing_sources: Vec::new(),
+                    stale: false,
+                    stats: QueryStats {
+                        from_query_cache: true,
+                        elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+                        ..QueryStats::default()
+                    },
+                });
+            }
+        }
+
+        let (query, _info) = nimble_xmlql::compile(text)?;
+        let mut ctx = ExecCtx::new();
+        let (schema, tuples) = self.eval(&query, None, 0, &mut ctx)?;
+        let tuple_count = tuples.len();
+        let mut builder = DocumentBuilder::new("results");
+        self.construct_into(&mut builder, &query.construct, &schema, &tuples, 0, &mut ctx)?;
+        let document = builder.finish();
+
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        // Feed the workload monitor: every named reference shares the
+        // measured cost (used by view selection, E2).
+        let names = crate::catalog::referenced_names(&query);
+        if !names.is_empty() {
+            let share = elapsed_ms / names.len() as f64;
+            for n in &names {
+                self.monitor.record(n, share, document.len());
+            }
+        }
+
+        let complete = ctx.missing.is_empty();
+        if config.cache_query_results && config.cache_nodes > 0 && complete && !ctx.stale {
+            self.cache.put(&cache_key, Arc::clone(&document));
+        }
+        Ok(QueryResult {
+            document,
+            complete,
+            missing_sources: ctx.missing,
+            stale: ctx.stale,
+            stats: QueryStats {
+                source_calls: ctx.source_calls,
+                fragments_pushed: ctx.fragments,
+                tuples: tuple_count,
+                rows_fetched: ctx.rows_fetched,
+                elapsed_ms,
+                plan: ctx.plan_text,
+                from_query_cache: false,
+            },
+        })
+    }
+
+    /// Compile and plan, returning the EXPLAIN text (plan notes + the
+    /// physical operator tree with row counts from an actual run).
+    pub fn explain(&self, text: &str) -> Result<String, CoreError> {
+        let result = self.query(text)?;
+        Ok(result.stats.plan)
+    }
+
+    /// Materialize a mediated view into the local store with the given
+    /// TTL (or the view's default). "One materializes views over the
+    /// mediated schema" — the stored artifact is the view's result
+    /// document.
+    pub fn materialize_view(&self, name: &str, ttl: Option<u64>) -> Result<(), CoreError> {
+        let def = self
+            .catalog
+            .view(name)
+            .ok_or_else(|| CoreError::UnknownCollection(name.to_string()))?;
+        let mut ctx = ExecCtx::new();
+        let doc = self.eval_view_virtually(&def.query, 0, &mut ctx)?;
+        if !ctx.missing.is_empty() {
+            return Err(CoreError::Exec(format!(
+                "cannot materialize {:?}: sources unavailable ({})",
+                name,
+                ctx.missing.join(", ")
+            )));
+        }
+        self.views.materialize(
+            name,
+            &def.text,
+            doc,
+            self.clock.now(),
+            ttl.or(def.default_ttl),
+        );
+        Ok(())
+    }
+
+    /// Refresh every view whose TTL has lapsed; returns the refreshed
+    /// names ("should be refreshed on demand").
+    pub fn refresh_stale_views(&self) -> Vec<String> {
+        let mut refreshed = Vec::new();
+        for name in self.views.stale_views(self.clock.now()) {
+            let ttl = self.views.peek(&name).and_then(|v| v.ttl);
+            if self.materialize_view(&name, ttl).is_ok() {
+                refreshed.push(name);
+            }
+        }
+        refreshed
+    }
+
+    /// Evaluate a view definition virtually and construct its document.
+    fn eval_view_virtually(
+        &self,
+        query: &Query,
+        depth: usize,
+        ctx: &mut ExecCtx,
+    ) -> Result<Arc<Document>, CoreError> {
+        let (schema, tuples) = self.eval(query, None, depth, ctx)?;
+        let mut b = DocumentBuilder::new("results");
+        self.construct_into(&mut b, &query.construct, &schema, &tuples, depth, ctx)?;
+        Ok(b.finish())
+    }
+
+    /// The document backing a view reference: fresh materialization if
+    /// present, otherwise virtual evaluation (with stale fallback under
+    /// the `StaleCache` policy).
+    fn view_document(
+        &self,
+        name: &str,
+        depth: usize,
+        ctx: &mut ExecCtx,
+    ) -> Result<Arc<Document>, CoreError> {
+        if depth >= MAX_DEPTH {
+            return Err(CoreError::CyclicView(name.to_string()));
+        }
+        let now = self.clock.now();
+        let cached = self.views.lookup(name, now);
+        if let Some((doc, nimble_store::Freshness::Fresh)) = &cached {
+            return Ok(Arc::clone(doc));
+        }
+        let def = self
+            .catalog
+            .view(name)
+            .ok_or_else(|| CoreError::UnknownCollection(name.to_string()))?;
+        match self.eval_view_virtually(&def.query, depth + 1, ctx) {
+            Ok(doc) => Ok(doc),
+            Err(CoreError::Source(e)) => {
+                if self.config().unavailable == UnavailablePolicy::StaleCache {
+                    if let Some((doc, _)) = cached {
+                        ctx.stale = true;
+                        return Ok(doc);
+                    }
+                }
+                Err(CoreError::Source(e))
+            }
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Evaluate a query's WHERE clause to a binding-tuple relation.
+    fn eval(
+        &self,
+        query: &Query,
+        outer: Option<(&Schema, &Tuple)>,
+        depth: usize,
+        ctx: &mut ExecCtx,
+    ) -> Result<(Schema, Vec<Tuple>), CoreError> {
+        if depth >= MAX_DEPTH {
+            return Err(CoreError::CyclicView("<subquery>".to_string()));
+        }
+        let config = self.config();
+        let plan = planner::plan_query(&self.catalog, query, &config.optimizer)?;
+
+        // Fetch every independent unit (the Scan layer).
+        let mut inputs: Vec<(Schema, Vec<Tuple>)> = Vec::new();
+        if let Some((schema, tuple)) = outer {
+            inputs.push((schema.clone(), vec![tuple.clone()]));
+        }
+        if config.parallel_fetch && plan.independents.len() > 1 {
+            // The Scan layer fans out: one thread per independent unit,
+            // so latency tracks the slowest source, not the sum.
+            let results = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = plan
+                    .independents
+                    .iter()
+                    .map(|atom| {
+                        scope.spawn(move |_| {
+                            let mut local = ExecCtx::new();
+                            let fetched = self.fetch_atom(atom, depth, &mut local);
+                            (fetched, local)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("fetch thread panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("fetch scope");
+            for (fetched, local) in results {
+                ctx.merge(local);
+                let (vars, tuples) = fetched?;
+                ctx.rows_fetched += tuples.len() as u64;
+                inputs.push((Schema::new(vars), tuples));
+            }
+        } else {
+            for atom in &plan.independents {
+                let (vars, tuples) = self.fetch_atom(atom, depth, ctx)?;
+                ctx.rows_fetched += tuples.len() as u64;
+                inputs.push((Schema::new(vars), tuples));
+            }
+        }
+        if inputs.is_empty() {
+            return Err(CoreError::Exec("query has no inputs".into()));
+        }
+
+        // Join ordering: ascending cardinality, keeping the outer context
+        // first so correlated variables bind early.
+        if config.optimizer.order_joins_by_cardinality {
+            let keep_first = outer.is_some();
+            let start = usize::from(keep_first);
+            inputs[start..].sort_by_key(|(_, t)| t.len());
+        }
+
+        // Fold into a physical join tree.
+        let funcs = self.funcs.read().clone();
+        let mut iter = inputs.into_iter();
+        let (first_schema, first_tuples) = iter.next().unwrap();
+        let mut op: Box<dyn Operator> =
+            Box::new(ValuesOp::new(first_schema, first_tuples).labeled("Scan"));
+        for (schema, tuples) in iter {
+            let right: Box<dyn Operator> =
+                Box::new(ValuesOp::new(schema.clone(), tuples).labeled("Scan"));
+            let has_common = !op.schema().common_vars(&schema).is_empty();
+            op = if has_common {
+                Box::new(HashJoinOp::natural(op, right, JoinType::Inner))
+            } else {
+                Box::new(NestedLoopJoinOp::new(
+                    op,
+                    right,
+                    None,
+                    JoinType::Inner,
+                    Arc::clone(&funcs),
+                ))
+            };
+        }
+
+        // Dependent navigation atoms, in syntactic order.
+        for dep in &plan.dependents {
+            op = Box::new(BindPatternOp::new(op, &dep.on_var, dep.pattern.clone())?);
+        }
+
+        // Drop duplicate join columns (`var#2` …).
+        if op.schema().vars().iter().any(|v| v.contains('#')) {
+            let keep: Vec<String> = op
+                .schema()
+                .vars()
+                .iter()
+                .filter(|v| !v.contains('#'))
+                .cloned()
+                .collect();
+            let keep_refs: Vec<&str> = keep.iter().map(String::as_str).collect();
+            op = Box::new(ProjectOp::keep(op, &keep_refs, Arc::clone(&funcs)));
+        }
+
+        // Residual predicates.
+        if !plan.residual_predicates.is_empty() {
+            let translated: Vec<ScalarExpr> = plan
+                .residual_predicates
+                .iter()
+                .map(|e| planner::translate_expr(e, op.schema()))
+                .collect::<Result<_, _>>()?;
+            op = Box::new(FilterOp::new(
+                op,
+                ScalarExpr::conjunction(translated),
+                Arc::clone(&funcs),
+            ));
+        }
+
+        // ORDER-BY.
+        if !plan.order_by.is_empty() {
+            let keys: Vec<SortKey> = plan
+                .order_by
+                .iter()
+                .map(|k| {
+                    op.schema()
+                        .index_of(&k.var)
+                        .map(|column| SortKey {
+                            column,
+                            descending: k.descending,
+                        })
+                        .ok_or_else(|| {
+                            CoreError::Exec(format!("ORDER-BY ${} not bound", k.var))
+                        })
+                })
+                .collect::<Result<_, _>>()?;
+            op = Box::new(SortOp::new(op, keys));
+        }
+
+        let tuples = run_to_vec(op.as_mut())?;
+        let schema = op.schema().clone();
+        // Record the plan (top-level query only).
+        if depth == 0 && ctx.plan_text.is_empty() {
+            let mut text = String::new();
+            for note in &plan.notes {
+                text.push_str("-- ");
+                text.push_str(note);
+                text.push('\n');
+            }
+            text.push_str(&explain_ops(op.as_ref()));
+            ctx.plan_text = text;
+        }
+        Ok((schema, tuples))
+    }
+
+    /// Fetch one independent unit's tuples under the unavailability
+    /// policy.
+    fn fetch_atom(
+        &self,
+        atom: &AtomExec,
+        depth: usize,
+        ctx: &mut ExecCtx,
+    ) -> Result<(Vec<String>, Vec<Tuple>), CoreError> {
+        let config = self.config();
+        match atom {
+            AtomExec::Fragment {
+                source,
+                query,
+                vars,
+            } => {
+                let adapter = self
+                    .catalog
+                    .source(source)
+                    .ok_or_else(|| CoreError::UnknownCollection(source.clone()))?;
+                ctx.source_calls += 1;
+                ctx.fragments += 1;
+                let key = format!("frag:{}:{:?}", source, query);
+                match adapter.execute(query) {
+                    Ok(doc) => {
+                        if config.cache_nodes > 0 {
+                            self.cache.put(&key, Arc::clone(&doc));
+                        }
+                        Ok((vars.clone(), fragment_tuples(&doc, vars)))
+                    }
+                    Err(e) if e.is_unavailable() => self.handle_unavailable(
+                        source,
+                        &key,
+                        vars,
+                        e,
+                        ctx,
+                        &|doc| fragment_tuples(doc, vars),
+                    ),
+                    Err(e) => Err(CoreError::Source(e)),
+                }
+            }
+            AtomExec::FetchMatch {
+                source,
+                collection,
+                pattern,
+                vars,
+            } => {
+                let adapter = self
+                    .catalog
+                    .source(source)
+                    .ok_or_else(|| CoreError::UnknownCollection(source.clone()))?;
+                ctx.source_calls += 1;
+                let key = format!("coll:{}:{}", source, collection);
+                let doc = match adapter.fetch_collection(collection) {
+                    Ok(doc) => {
+                        if config.cache_nodes > 0 {
+                            self.cache.put(&key, Arc::clone(&doc));
+                        }
+                        doc
+                    }
+                    Err(e) if e.is_unavailable() => {
+                        return self.handle_unavailable(
+                            source,
+                            &key,
+                            vars,
+                            e,
+                            ctx,
+                            &|doc| match_tuples(doc, pattern, vars),
+                        )
+                    }
+                    Err(e) => return Err(CoreError::Source(e)),
+                };
+                Ok((vars.clone(), match_tuples(&doc, pattern, vars)))
+            }
+            AtomExec::ViewMatch {
+                view,
+                pattern,
+                vars,
+            } => {
+                let doc = self.view_document(view, depth, ctx)?;
+                Ok((vars.clone(), match_tuples(&doc, pattern, vars)))
+            }
+        }
+    }
+
+    /// Apply the unavailability policy for a failed source call.
+    /// `to_tuples` converts the cached document back into binding tuples
+    /// (fragment rows and collection documents decode differently).
+    fn handle_unavailable(
+        &self,
+        source: &str,
+        cache_key: &str,
+        vars: &[String],
+        err: nimble_sources::SourceError,
+        ctx: &mut ExecCtx,
+        to_tuples: &dyn Fn(&Arc<Document>) -> Vec<Tuple>,
+    ) -> Result<(Vec<String>, Vec<Tuple>), CoreError> {
+        let config = self.config();
+        match config.unavailable {
+            UnavailablePolicy::Fail => Err(CoreError::Source(err)),
+            UnavailablePolicy::SkipAndAnnotate => {
+                ctx.miss(source);
+                Ok((vars.to_vec(), Vec::new()))
+            }
+            UnavailablePolicy::StaleCache => {
+                if config.cache_nodes > 0 {
+                    if let Some(doc) = self.cache.get(cache_key) {
+                        ctx.stale = true;
+                        return Ok((vars.to_vec(), to_tuples(&doc)));
+                    }
+                }
+                ctx.miss(source);
+                Ok((vars.to_vec(), Vec::new()))
+            }
+        }
+    }
+
+    /// Construct template instances into an open builder, recursively
+    /// evaluating nested subqueries.
+    fn construct_into(
+        &self,
+        b: &mut DocumentBuilder,
+        template: &nimble_xmlql::ast::ElementTemplate,
+        schema: &Schema,
+        tuples: &[Tuple],
+        depth: usize,
+        ctx: &mut ExecCtx,
+    ) -> Result<(), CoreError> {
+        let mut cb = |q: &Query, s: &Schema, t: &Tuple, b2: &mut DocumentBuilder| {
+            let (sub_schema, sub_tuples) = self.eval(q, Some((s, t)), depth + 1, ctx)?;
+            self.construct_into(b2, &q.construct, &sub_schema, &sub_tuples, depth + 1, ctx)
+        };
+        construct::append_instances(b, template, schema, tuples, &mut cb)
+    }
+}
+
+/// Convert a `<rows>` fragment result into binding tuples over `vars`
+/// (output names equal variable names by the fragment contract).
+fn fragment_tuples(doc: &Arc<Document>, vars: &[String]) -> Vec<Tuple> {
+    rows_of(doc)
+        .iter()
+        .map(|row| {
+            vars.iter()
+                .map(|v| Value::Atomic(row_field(row, v)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Match a pattern against a document and project bindings to `vars`.
+fn match_tuples(doc: &Arc<Document>, pattern: &nimble_xmlql::ast::Pattern, vars: &[String]) -> Vec<Tuple> {
+    matcher::match_pattern(&doc.root(), pattern)
+        .into_iter()
+        .map(|b| {
+            vars.iter()
+                .map(|v| b.get(v).cloned().unwrap_or_else(Value::null))
+                .collect()
+        })
+        .collect()
+}

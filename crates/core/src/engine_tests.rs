@@ -1,0 +1,570 @@
+//! End-to-end tests of the integration engine: the full Figure-1
+//! pipeline over relational, hierarchical, XML, and CSV sources.
+
+use crate::engine::{Engine, EngineConfig, OptimizerConfig, UnavailablePolicy};
+use crate::Catalog;
+use nimble_sources::hierarchical::{HierarchicalAdapter, Segment};
+use nimble_sources::relational::RelationalAdapter;
+use nimble_sources::sim::{LinkConfig, SimulatedLink};
+use nimble_sources::xmldoc::XmlDocAdapter;
+use nimble_sources::SourceAdapter;
+use nimble_xml::{to_string, Atomic};
+use std::sync::Arc;
+
+/// CRM relational source shared across tests.
+fn crm() -> Arc<RelationalAdapter> {
+    Arc::new(
+        RelationalAdapter::from_statements(
+            "crm",
+            &[
+                "CREATE TABLE customers (id INT, name TEXT, region TEXT)",
+                "INSERT INTO customers VALUES \
+                 (1, 'Acme', 'NW'), (2, 'Globex', 'SW'), (3, 'Initech', 'NW')",
+                "CREATE TABLE orders (id INT, cust_id INT, total FLOAT)",
+                "INSERT INTO orders VALUES \
+                 (10, 1, 250.0), (11, 1, 75.5), (12, 2, 120.0)",
+            ],
+        )
+        .unwrap(),
+    )
+}
+
+fn bib_xml() -> Arc<XmlDocAdapter> {
+    Arc::new(
+        XmlDocAdapter::new("feeds")
+            .add_xml(
+                "bib",
+                "<bib>\
+                 <book year='1999'><title>Web Data</title><publisher>Acme</publisher></book>\
+                 <book year='2001'><title>Integration</title><publisher>Globex</publisher></book>\
+                 </bib>",
+            )
+            .unwrap(),
+    )
+}
+
+fn catalog() -> Arc<Catalog> {
+    let c = Catalog::new();
+    c.register_source(crm()).unwrap();
+    c.register_source(bib_xml()).unwrap();
+    Arc::new(c)
+}
+
+fn engine() -> Engine {
+    Engine::new(catalog())
+}
+
+#[test]
+fn relational_pushdown_end_to_end() {
+    let e = engine();
+    let r = e
+        .query(
+            r#"WHERE <row><name>$n</name><region>"NW"</region></row> IN "customers"
+               CONSTRUCT <c>$n</c> ORDER-BY $n"#,
+        )
+        .unwrap();
+    assert!(r.complete);
+    assert_eq!(
+        to_string(&r.document.root()),
+        "<results><c>Acme</c><c>Initech</c></results>"
+    );
+    assert_eq!(r.stats.fragments_pushed, 1);
+}
+
+#[test]
+fn cross_source_join_xml_and_sql() {
+    let e = engine();
+    // Join XML publishers against relational customer names.
+    let r = e
+        .query(
+            r#"WHERE <bib><book year=$y><title>$t</title><publisher>$n</publisher></book></bib> IN "bib",
+                     <row><name>$n</name><region>$reg</region></row> IN "customers"
+               CONSTRUCT <hit><title>$t</title><region>$reg</region></hit>
+               ORDER-BY $t"#,
+        )
+        .unwrap();
+    assert_eq!(
+        to_string(&r.document.root()),
+        "<results>\
+         <hit><title>Integration</title><region>SW</region></hit>\
+         <hit><title>Web Data</title><region>NW</region></hit>\
+         </results>"
+    );
+}
+
+#[test]
+fn same_source_join_is_pushed_as_sql() {
+    let e = engine();
+    let r = e
+        .query(
+            r#"WHERE <row><id>$i</id><name>$n</name></row> IN "customers",
+                     <row><cust_id>$i</cust_id><total>$tot</total></row> IN "orders",
+                     $tot > 100
+               CONSTRUCT <big><who>$n</who><amt>$tot</amt></big>
+               ORDER-BY $tot DESC"#,
+        )
+        .unwrap();
+    // One merged fragment: customers ⋈ orders with the predicate pushed.
+    assert_eq!(r.stats.fragments_pushed, 1);
+    assert_eq!(r.stats.source_calls, 1);
+    assert_eq!(
+        to_string(&r.document.root()),
+        "<results>\
+         <big><who>Acme</who><amt>250.0</amt></big>\
+         <big><who>Globex</who><amt>120.0</amt></big>\
+         </results>"
+    );
+}
+
+#[test]
+fn predicates_and_functions() {
+    let e = engine();
+    let r = e
+        .query(
+            r#"WHERE <bib><book year=$y><title>$t</title></book></bib> IN "bib",
+                     $y >= 2000 AND contains(lower($t), "integr")
+               CONSTRUCT <t>$t</t>"#,
+        )
+        .unwrap();
+    assert_eq!(to_string(&r.document.root()), "<results><t>Integration</t></results>");
+}
+
+#[test]
+fn custom_function_registration() {
+    let e = engine();
+    e.register_function("shout", |args| {
+        Ok(nimble_xml::Value::from(
+            args[0].atomize().lexical().to_uppercase().as_str(),
+        ))
+    });
+    let r = e
+        .query(
+            r#"WHERE <row><name>$n</name></row> IN "customers", shout($n) = "ACME"
+               CONSTRUCT <c>$n</c>"#,
+        )
+        .unwrap();
+    assert_eq!(to_string(&r.document.root()), "<results><c>Acme</c></results>");
+}
+
+#[test]
+fn navigation_within_bound_elements() {
+    let e = engine();
+    let r = e
+        .query(
+            r#"WHERE <bib><book/> ELEMENT_AS $b</bib> IN "bib",
+                     <title>$t</title> IN $b
+               CONSTRUCT <t>$t</t> ORDER-BY $t"#,
+        )
+        .unwrap();
+    assert_eq!(
+        to_string(&r.document.root()),
+        "<results><t>Integration</t><t>Web Data</t></results>"
+    );
+}
+
+#[test]
+fn nested_subquery_grouping() {
+    let e = engine();
+    let r = e
+        .query(
+            r#"WHERE <bib><book/> ELEMENT_AS $b</bib> IN "bib",
+                     <title>$t</title> IN $b
+               CONSTRUCT <entry><t>$t</t>
+                   WHERE <publisher>$p</publisher> IN $b
+                   CONSTRUCT <pub>$p</pub>
+               </entry> ORDER-BY $t"#,
+        )
+        .unwrap();
+    assert_eq!(
+        to_string(&r.document.root()),
+        "<results>\
+         <entry><t>Integration</t><pub>Globex</pub></entry>\
+         <entry><t>Web Data</t><pub>Acme</pub></entry>\
+         </results>"
+    );
+}
+
+#[test]
+fn skolem_grouping_end_to_end() {
+    let e = engine();
+    let r = e
+        .query(
+            r#"WHERE <row><cust_id>$c</cust_id><total>$t</total></row> IN "orders"
+               CONSTRUCT <cust ID=ByCustomer($c)><id>$c</id><order>$t</order></cust>"#,
+        )
+        .unwrap();
+    let doc = to_string(&r.document.root());
+    // Customer 1 has two orders accumulated under one element.
+    assert!(
+        doc.contains("<cust><id>1</id><order>250.0</order><order>75.5</order></cust>"),
+        "{}",
+        doc
+    );
+}
+
+#[test]
+fn aggregates_end_to_end() {
+    let e = engine();
+    let r = e
+        .query(
+            r#"WHERE <row><cust_id>$c</cust_id><total>$t</total></row> IN "orders"
+               CONSTRUCT <cust ID=C($c)><id>$c</id><orders>count()</orders>
+                         <spend>sum($t)</spend></cust>"#,
+        )
+        .unwrap();
+    let doc = to_string(&r.document.root());
+    assert!(
+        doc.contains("<cust><id>1</id><orders>2</orders><spend>325.5</spend></cust>"),
+        "{}",
+        doc
+    );
+    assert!(
+        doc.contains("<cust><id>2</id><orders>1</orders><spend>120.0</spend></cust>"),
+        "{}",
+        doc
+    );
+}
+
+#[test]
+fn parallel_and_serial_fetch_agree() {
+    let query = r#"WHERE <bib><book><publisher>$n</publisher><title>$t</title></book></bib> IN "bib",
+                         <row><name>$n</name><region>$r</region></row> IN "customers"
+                   CONSTRUCT <hit><t>$t</t><r>$r</r></hit> ORDER-BY $t"#;
+    let parallel = {
+        let e = engine();
+        to_string(&e.query(query).unwrap().document.root())
+    };
+    let serial = {
+        let e = Engine::with_config(
+            catalog(),
+            EngineConfig {
+                parallel_fetch: false,
+                ..EngineConfig::default()
+            },
+        );
+        to_string(&e.query(query).unwrap().document.root())
+    };
+    assert_eq!(parallel, serial);
+}
+
+#[test]
+fn mediated_views_compose_hierarchically() {
+    let e = engine();
+    // Level 1: a view over the relational source.
+    e.catalog()
+        .define_view(
+            "nw_customers",
+            r#"WHERE <row><id>$i</id><name>$n</name><region>"NW"</region></row> IN "customers"
+               CONSTRUCT <cust><id>$i</id><name>$n</name></cust>"#,
+            None,
+        )
+        .unwrap();
+    // Level 2: a view over the level-1 view ("schemas can be built in a
+    // hierarchical fashion").
+    e.catalog()
+        .define_view(
+            "nw_names",
+            r#"WHERE <cust><name>$n</name></cust> IN "nw_customers"
+               CONSTRUCT <n>$n</n>"#,
+            None,
+        )
+        .unwrap();
+    let r = e
+        .query(r#"WHERE <n>$x</n> IN "nw_names" CONSTRUCT <name>$x</name> ORDER-BY $x"#)
+        .unwrap();
+    assert_eq!(
+        to_string(&r.document.root()),
+        "<results><name>Acme</name><name>Initech</name></results>"
+    );
+}
+
+#[test]
+fn materialized_view_used_when_fresh() {
+    let e = engine();
+    e.catalog()
+        .define_view(
+            "all_names",
+            r#"WHERE <row><name>$n</name></row> IN "customers" CONSTRUCT <n>$n</n>"#,
+            Some(10),
+        )
+        .unwrap();
+    e.materialize_view("all_names", None).unwrap();
+
+    // Fresh: answered locally, zero source calls.
+    let r = e
+        .query(r#"WHERE <n>$x</n> IN "all_names" CONSTRUCT <o>$x</o>"#)
+        .unwrap();
+    assert_eq!(r.stats.source_calls, 0);
+    assert_eq!(r.document.root().children().count(), 3);
+
+    // Past TTL: falls back to virtual evaluation (sources contacted).
+    e.clock().advance(11);
+    let r = e
+        .query(r#"WHERE <n>$x</n> IN "all_names" CONSTRUCT <o>$x</o>"#)
+        .unwrap();
+    assert!(r.stats.source_calls > 0);
+
+    // refresh_stale_views re-materializes.
+    assert_eq!(e.refresh_stale_views(), vec!["all_names"]);
+    let r = e
+        .query(r#"WHERE <n>$x</n> IN "all_names" CONSTRUCT <o>$x</o>"#)
+        .unwrap();
+    assert_eq!(r.stats.source_calls, 0);
+}
+
+#[test]
+fn partial_results_policies() {
+    let c = Catalog::new();
+    let link = SimulatedLink::new(crm(), LinkConfig::default());
+    c.register_source(link.clone() as Arc<dyn SourceAdapter>)
+        .unwrap();
+    c.register_source(bib_xml()).unwrap();
+    let e = Engine::new(Arc::new(c));
+    let query = r#"WHERE <row><name>$n</name></row> IN "customers"
+                   CONSTRUCT <c>$n</c>"#;
+
+    // Warm the fragment cache while the source is up.
+    let r = e.query(query).unwrap();
+    assert!(r.complete);
+
+    link.set_up(false);
+
+    // Fail policy: error.
+    assert!(e.query(query).is_err());
+
+    // SkipAndAnnotate: empty but annotated.
+    e.set_unavailable_policy(UnavailablePolicy::SkipAndAnnotate);
+    let r = e.query(query).unwrap();
+    assert!(!r.complete);
+    assert_eq!(r.missing_sources, vec!["crm"]);
+    assert_eq!(r.document.root().children().count(), 0);
+
+    // StaleCache: previous fragment result is served, marked stale.
+    e.set_unavailable_policy(UnavailablePolicy::StaleCache);
+    let r = e.query(query).unwrap();
+    assert!(r.complete);
+    assert!(r.stale);
+    assert_eq!(r.document.root().children().count(), 3);
+}
+
+#[test]
+fn unaffected_sources_still_answer() {
+    let c = Catalog::new();
+    let link = SimulatedLink::new(crm(), LinkConfig::default());
+    link.set_up(false);
+    c.register_source(link as Arc<dyn SourceAdapter>).unwrap();
+    c.register_source(bib_xml()).unwrap();
+    let e = Engine::new(Arc::new(c));
+    e.set_unavailable_policy(UnavailablePolicy::SkipAndAnnotate);
+    // A query that only touches the XML source is complete.
+    let r = e
+        .query(r#"WHERE <bib><book><title>$t</title></book></bib> IN "bib" CONSTRUCT <t>$t</t>"#)
+        .unwrap();
+    assert!(r.complete);
+    assert_eq!(r.document.root().children().count(), 2);
+}
+
+#[test]
+fn optimizer_ablation_changes_work_placement() {
+    // Build the adapter directly so the test can read the database's
+    // scan statistics.
+    let adapter = crm();
+    let db = adapter.database();
+    let c = Catalog::new();
+    c.register_source(adapter).unwrap();
+    let e = Engine::new(Arc::new(c));
+    let query = r#"WHERE <row><name>$n</name><region>"NW"</region></row> IN "customers"
+                   CONSTRUCT <c>$n</c>"#;
+
+    db.write().reset_stats();
+    let r = e.query(query).unwrap();
+    assert_eq!(r.stats.fragments_pushed, 1);
+    // The selection ran inside the source: a SELECT was executed there.
+    assert!(db.read().stats().statements >= 1);
+    assert_eq!(r.document.root().children().count(), 2);
+
+    // Pushdown off: whole collection fetched, matched centrally — the
+    // relational engine sees no SELECT at all.
+    e.set_optimizer(OptimizerConfig {
+        pushdown: false,
+        ..OptimizerConfig::default()
+    });
+    db.write().reset_stats();
+    let r = e.query(query).unwrap();
+    assert_eq!(r.stats.fragments_pushed, 0);
+    assert_eq!(db.read().stats().statements, 0);
+    assert_eq!(r.document.root().children().count(), 2);
+}
+
+#[test]
+fn hierarchical_and_csv_sources_integrate() {
+    let c = Catalog::new();
+    c.register_source(Arc::new(HierarchicalAdapter::new(
+        "legacy",
+        vec![Segment::new(
+            "dealer",
+            vec![("dno", Atomic::Int(7)), ("city", "Seattle".into())],
+        )
+        .with_children(vec![Segment::new(
+            "stock",
+            vec![("pno", Atomic::Int(100)), ("qty", Atomic::Int(3))],
+        )])],
+    )))
+    .unwrap();
+    c.register_source(Arc::new(
+        nimble_sources::csv::CsvAdapter::new("files")
+            .add_csv("parts", "pno,label\n100,widget\n200,gadget\n")
+            .unwrap(),
+    ))
+    .unwrap();
+    let e = Engine::new(Arc::new(c));
+    // Join a hierarchical segment scan against a CSV file.
+    let r = e
+        .query(
+            r#"WHERE <row><pno>$p</pno><qty>$q</qty></row> IN "stock",
+                     <row><pno>$p</pno><label>$l</label></row> IN "parts",
+                     $q > 0
+               CONSTRUCT <avail><part>$l</part><qty>$q</qty></avail>"#,
+        )
+        .unwrap();
+    assert_eq!(
+        to_string(&r.document.root()),
+        "<results><avail><part>widget</part><qty>3</qty></avail></results>"
+    );
+}
+
+#[test]
+fn query_result_cache_roundtrip() {
+    let e = engine();
+    e.set_cache_query_results(true);
+    let q = r#"WHERE <row><name>$n</name></row> IN "customers" CONSTRUCT <c>$n</c>"#;
+    let r1 = e.query(q).unwrap();
+    assert!(!r1.stats.from_query_cache);
+    let r2 = e.query(q).unwrap();
+    assert!(r2.stats.from_query_cache);
+    assert!(r2.document.root().deep_eq(&r1.document.root()));
+}
+
+#[test]
+fn explain_shows_plan() {
+    let e = engine();
+    let plan = e
+        .explain(
+            r#"WHERE <row><name>$n</name></row> IN "customers", $n LIKE "A%"
+               CONSTRUCT <c>$n</c>"#,
+        )
+        .unwrap();
+    assert!(plan.contains("pushdown"), "{}", plan);
+    assert!(plan.contains("Scan"), "{}", plan);
+}
+
+#[test]
+fn content_as_binds_typed_content() {
+    let e = engine();
+    let r = e
+        .query(
+            r#"WHERE <bib><book year=$y><title/> CONTENT_AS $t</book></bib> IN "bib",
+                     $y = 1999
+               CONSTRUCT <t>$t</t>"#,
+        )
+        .unwrap();
+    assert_eq!(to_string(&r.document.root()), "<results><t>Web Data</t></results>");
+}
+
+#[test]
+fn multi_key_order_by_through_engine() {
+    let e = engine();
+    let r = e
+        .query(
+            r#"WHERE <row><cust_id>$c</cust_id><total>$t</total></row> IN "orders"
+               CONSTRUCT <o><c>$c</c><t>$t</t></o> ORDER-BY $c, $t DESC"#,
+        )
+        .unwrap();
+    assert_eq!(
+        to_string(&r.document.root()),
+        "<results>\
+         <o><c>1</c><t>250.0</t></o>\
+         <o><c>1</c><t>75.5</t></o>\
+         <o><c>2</c><t>120.0</t></o>\
+         </results>"
+    );
+}
+
+#[test]
+fn transitive_view_cycles_are_caught() {
+    let e = engine();
+    // a → b and b → a individually pass the direct-self-reference check;
+    // the evaluation depth guard must catch the loop.
+    e.catalog()
+        .define_view("cyc_a", r#"WHERE <x>$v</x> IN "cyc_b" CONSTRUCT <x>$v</x>"#, None)
+        .unwrap_or(());
+    e.catalog()
+        .define_view("cyc_b", r#"WHERE <x>$v</x> IN "cyc_a" CONSTRUCT <x>$v</x>"#, None)
+        .unwrap();
+    // Defining cyc_a first fails resolution (cyc_b unknown yet), so
+    // define it again now that cyc_b exists.
+    e.catalog()
+        .define_view("cyc_a", r#"WHERE <x>$v</x> IN "cyc_b" CONSTRUCT <x>$v</x>"#, None)
+        .unwrap();
+    let err = e
+        .query(r#"WHERE <x>$v</x> IN "cyc_a" CONSTRUCT <o>$v</o>"#)
+        .unwrap_err();
+    assert!(
+        matches!(err, crate::CoreError::CyclicView(_)),
+        "expected cycle error, got {}",
+        err
+    );
+}
+
+#[test]
+fn errors_are_informative() {
+    let e = engine();
+    // Unknown collection.
+    let err = e
+        .query(r#"WHERE <row><x>$x</x></row> IN "nope" CONSTRUCT <o/>"#)
+        .unwrap_err();
+    assert!(err.to_string().contains("nope"));
+    // Syntax error.
+    assert!(e.query("WHERE").is_err());
+    // Unbound variable.
+    assert!(e
+        .query(r#"WHERE <row><x>$x</x></row> IN "customers" CONSTRUCT <o>$zzz</o>"#)
+        .is_err());
+}
+
+#[test]
+fn cluster_balances_queries() {
+    use crate::cluster::{DispatchStrategy, EngineCluster};
+    let cluster = EngineCluster::new(
+        catalog(),
+        3,
+        1,
+        EngineConfig::default(),
+        DispatchStrategy::RoundRobin,
+    );
+    let q = r#"WHERE <row><name>$n</name></row> IN "customers" CONSTRUCT <c>$n</c>"#;
+    for _ in 0..9 {
+        assert!(cluster.query(q).unwrap().complete);
+    }
+    let served = cluster.served_per_instance();
+    assert_eq!(served, vec![3, 3, 3]);
+    cluster.shutdown();
+}
+
+#[test]
+fn cluster_concurrent_submissions() {
+    use crate::cluster::{DispatchStrategy, EngineCluster};
+    let cluster = EngineCluster::new(
+        catalog(),
+        2,
+        2,
+        EngineConfig::default(),
+        DispatchStrategy::LeastLoaded,
+    );
+    let q = r#"WHERE <row><name>$n</name></row> IN "customers" CONSTRUCT <c>$n</c>"#;
+    let receivers: Vec<_> = (0..16).map(|_| cluster.submit(q)).collect();
+    for rx in receivers {
+        assert!(rx.recv().unwrap().unwrap().complete);
+    }
+    cluster.shutdown();
+}

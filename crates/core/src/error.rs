@@ -1,0 +1,65 @@
+//! Mediator errors.
+
+use nimble_sources::SourceError;
+use std::fmt;
+
+/// Any failure between receiving query text and returning a result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// XML-QL front-end failure (syntax or scoping).
+    Compile(String),
+    /// `IN "name"` did not resolve to a view, `source.collection`, or a
+    /// unique collection.
+    UnknownCollection(String),
+    /// `IN "name"` matched collections in several sources.
+    AmbiguousCollection { name: String, sources: Vec<String> },
+    /// A view definition refers (possibly transitively) to itself.
+    CyclicView(String),
+    /// A source failed and the unavailability policy was `Fail`.
+    Source(SourceError),
+    /// Physical execution failed.
+    Exec(String),
+    /// Catalog misuse (duplicate registration etc.).
+    Catalog(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Compile(m) => write!(f, "compile error: {}", m),
+            CoreError::UnknownCollection(n) => {
+                write!(f, "unknown collection or view {:?}", n)
+            }
+            CoreError::AmbiguousCollection { name, sources } => write!(
+                f,
+                "collection {:?} exists in several sources ({}); qualify as \"source.collection\"",
+                name,
+                sources.join(", ")
+            ),
+            CoreError::CyclicView(v) => write!(f, "cyclic view definition through {:?}", v),
+            CoreError::Source(e) => write!(f, "{}", e),
+            CoreError::Exec(m) => write!(f, "execution error: {}", m),
+            CoreError::Catalog(m) => write!(f, "catalog error: {}", m),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<SourceError> for CoreError {
+    fn from(e: SourceError) -> Self {
+        CoreError::Source(e)
+    }
+}
+
+impl From<nimble_algebra::ExecError> for CoreError {
+    fn from(e: nimble_algebra::ExecError) -> Self {
+        CoreError::Exec(e.to_string())
+    }
+}
+
+impl From<nimble_xmlql::CompileError> for CoreError {
+    fn from(e: nimble_xmlql::CompileError) -> Self {
+        CoreError::Compile(e.to_string())
+    }
+}

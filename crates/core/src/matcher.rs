@@ -1,0 +1,338 @@
+//! Tree-pattern matching: XML-QL patterns against documents, producing
+//! variable bindings.
+//!
+//! This is the mediator's central piece of machinery: both native XML
+//! sources and the `<rows>` results of pushed-down fragments become
+//! binding tuples through the same matcher, which is what lets "XML as
+//! the unifying model" actually unify heterogeneous sources.
+
+use nimble_xml::{Atomic, NodeRef, Value};
+use nimble_xmlql::ast::{Pattern, PatternContent, PatternValue, TagPattern};
+use std::collections::HashMap;
+
+/// One match: variable → bound value.
+pub type Bindings = HashMap<String, Value>;
+
+/// Match a pattern against a context element (typically a document
+/// root), returning every consistent set of bindings. XML-QL semantics:
+/// a pattern denotes *all* ways it embeds into the data; repeated
+/// variables join implicitly.
+pub fn match_pattern(context: &NodeRef, pattern: &Pattern) -> Vec<Bindings> {
+    let mut out = Vec::new();
+    for candidate in top_candidates(context, &pattern.tag) {
+        match_element(&candidate, pattern, &Bindings::new(), &mut out);
+    }
+    out
+}
+
+/// Match a pattern against the *children* of a context element — the
+/// shape used by `IN $var` navigation, where the bound element is the
+/// container.
+pub fn match_within(context: &NodeRef, pattern: &Pattern) -> Vec<Bindings> {
+    let mut out = Vec::new();
+    for candidate in child_candidates(context, &pattern.tag) {
+        match_element(&candidate, pattern, &Bindings::new(), &mut out);
+    }
+    out
+}
+
+/// Candidates for a top-level pattern: the root itself (if the tag
+/// admits it) plus, for descendant tags, every matching descendant. As a
+/// usability affordance — queries are written against conceptual
+/// collections, not physical wrappers — a top-level `Name` tag that does
+/// not match the root also tries the root's children (e.g. pattern
+/// `<row>…` against a `<rows>` result document).
+fn top_candidates(context: &NodeRef, tag: &TagPattern) -> Vec<NodeRef> {
+    match tag {
+        TagPattern::Name(n) => {
+            if context.name() == Some(n.as_str()) {
+                vec![context.clone()]
+            } else {
+                context.children_named(n).collect()
+            }
+        }
+        TagPattern::Wildcard => vec![context.clone()],
+        TagPattern::Descendant(n) => {
+            let mut v = Vec::new();
+            if context.name() == Some(n.as_str()) {
+                v.push(context.clone());
+            }
+            v.extend(
+                context
+                    .descendants()
+                    .filter(|d| d.name() == Some(n.as_str())),
+            );
+            v
+        }
+        TagPattern::ClosurePlus(n) => closure_candidates(context, n),
+    }
+}
+
+/// Candidates among the children of `parent` for a nested pattern tag.
+fn child_candidates(parent: &NodeRef, tag: &TagPattern) -> Vec<NodeRef> {
+    match tag {
+        TagPattern::Name(n) => parent.children_named(n).collect(),
+        TagPattern::Wildcard => parent.child_elements().collect(),
+        TagPattern::Descendant(n) => parent
+            .descendants()
+            .filter(|d| d.name() == Some(n.as_str()))
+            .collect(),
+        TagPattern::ClosurePlus(n) => closure_candidates(parent, n),
+    }
+}
+
+/// `name+`: elements reachable from `parent` by one or more steps, each
+/// step descending into a child element named `name`.
+fn closure_candidates(parent: &NodeRef, name: &str) -> Vec<NodeRef> {
+    let mut out = Vec::new();
+    let mut frontier: Vec<NodeRef> = parent.children_named(name).collect();
+    while let Some(node) = frontier.pop() {
+        frontier.extend(node.children_named(name));
+        out.push(node);
+    }
+    // Stable order: document order.
+    out.sort_by(|a, b| a.doc_order(b));
+    out
+}
+
+/// Try to match `pattern` exactly at `element`, extending `inherited`
+/// bindings; push every consistent completion into `out`.
+fn match_element(element: &NodeRef, pattern: &Pattern, inherited: &Bindings, out: &mut Vec<Bindings>) {
+    let mut bindings = inherited.clone();
+
+    // Attributes.
+    for ap in &pattern.attrs {
+        let actual = match element.attr(&ap.name) {
+            Some(v) => Atomic::infer(v),
+            None => return,
+        };
+        match &ap.value {
+            PatternValue::Lit(lit) => {
+                if !actual.key_eq(lit) {
+                    return;
+                }
+            }
+            PatternValue::Var(v) => {
+                if !bind(&mut bindings, v, Value::Atomic(actual)) {
+                    return;
+                }
+            }
+        }
+    }
+
+    // ELEMENT_AS / CONTENT_AS.
+    if let Some(v) = &pattern.element_as {
+        if !bind(&mut bindings, v, Value::Node(element.clone())) {
+            return;
+        }
+    }
+    if let Some(v) = &pattern.content_as {
+        if !bind(&mut bindings, v, Value::Atomic(element.typed_value())) {
+            return;
+        }
+    }
+
+    // Content items combine multiplicatively: each item yields a set of
+    // candidate binding extensions; the element matches with the cross
+    // product of consistent choices.
+    let mut partials: Vec<Bindings> = vec![bindings];
+    for item in &pattern.content {
+        let mut next: Vec<Bindings> = Vec::new();
+        match item {
+            PatternContent::Var(v) => {
+                let value = Value::Atomic(element.typed_value());
+                for p in &partials {
+                    let mut b = p.clone();
+                    if bind(&mut b, v, value.clone()) {
+                        next.push(b);
+                    }
+                }
+            }
+            PatternContent::Lit(lit) => {
+                if element.typed_value().key_eq(lit) {
+                    next = partials.clone();
+                }
+            }
+            PatternContent::Nested(sub) => {
+                let candidates = child_candidates(element, &sub.tag);
+                for p in &partials {
+                    for cand in &candidates {
+                        match_element(cand, sub, p, &mut next);
+                    }
+                }
+            }
+        }
+        partials = next;
+        if partials.is_empty() {
+            return;
+        }
+    }
+    out.extend(partials);
+}
+
+/// Add a binding, enforcing consistency for repeated variables
+/// (implicit join).
+fn bind(bindings: &mut Bindings, var: &str, value: Value) -> bool {
+    match bindings.get(var) {
+        Some(existing) => existing.key_eq(&value),
+        None => {
+            bindings.insert(var.to_string(), value);
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimble_xml::parse;
+    use nimble_xmlql::ast::{Condition, Query};
+
+    /// Parse a query and pull out the first pattern for matcher tests.
+    fn pattern_of(query_text: &str) -> Pattern {
+        let q: Query = nimble_xmlql::parse_query(query_text).unwrap();
+        match q.conditions.into_iter().next().unwrap() {
+            Condition::Pattern(pb) => pb.pattern,
+            other => panic!("{:?}", other),
+        }
+    }
+
+    const BIB: &str = "<bib>\
+        <book year='1999'><title>Web Data</title><author><last>Abiteboul</last></author><author><last>Buneman</last></author></book>\
+        <book year='2001'><title>Integration</title><author><last>Halevy</last></author></book>\
+    </bib>";
+
+    #[test]
+    fn basic_bindings_and_multiplicity() {
+        let doc = parse(BIB).unwrap();
+        let p = pattern_of(
+            r#"WHERE <bib><book year=$y><title>$t</title><author><last>$l</last></author></book></bib> IN "x" CONSTRUCT <o/>"#,
+        );
+        let ms = match_pattern(&doc.root(), &p);
+        // Two authors on book 1, one on book 2 → 3 bindings.
+        assert_eq!(ms.len(), 3);
+        let mut pairs: Vec<(String, String)> = ms
+            .iter()
+            .map(|b| (b["t"].lexical(), b["l"].lexical()))
+            .collect();
+        pairs.sort();
+        assert_eq!(
+            pairs,
+            vec![
+                ("Integration".to_string(), "Halevy".to_string()),
+                ("Web Data".to_string(), "Abiteboul".to_string()),
+                ("Web Data".to_string(), "Buneman".to_string()),
+            ]
+        );
+        // Attribute values are typed.
+        assert!(ms.iter().any(|b| b["y"] == Value::from(1999i64)));
+    }
+
+    #[test]
+    fn literal_content_constrains() {
+        let doc = parse(BIB).unwrap();
+        let p = pattern_of(
+            r#"WHERE <bib><book year=$y><title>"Integration"</title></book></bib> IN "x" CONSTRUCT <o/>"#,
+        );
+        let ms = match_pattern(&doc.root(), &p);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0]["y"], Value::from(2001i64));
+    }
+
+    #[test]
+    fn literal_attribute_constrains() {
+        let doc = parse(BIB).unwrap();
+        let p = pattern_of(
+            r#"WHERE <bib><book year=1999><title>$t</title></book></bib> IN "x" CONSTRUCT <o/>"#,
+        );
+        let ms = match_pattern(&doc.root(), &p);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0]["t"].lexical(), "Web Data");
+    }
+
+    #[test]
+    fn element_as_binds_node() {
+        let doc = parse(BIB).unwrap();
+        let p = pattern_of(
+            r#"WHERE <bib><book/> ELEMENT_AS $b</bib> IN "x" CONSTRUCT <o/>"#,
+        );
+        let ms = match_pattern(&doc.root(), &p);
+        assert_eq!(ms.len(), 2);
+        match &ms[0]["b"] {
+            Value::Node(n) => assert_eq!(n.name(), Some("book")),
+            other => panic!("{:?}", other),
+        }
+    }
+
+    #[test]
+    fn repeated_variable_is_implicit_join() {
+        let doc = parse(
+            "<db><a><k>1</k><v>x</v></a><a><k>2</k><v>y</v></a><b><k>2</k><w>z</w></b></db>",
+        )
+        .unwrap();
+        let p = pattern_of(
+            r#"WHERE <db><a><k>$k</k><v>$v</v></a><b><k>$k</k><w>$w</w></b></db> IN "x" CONSTRUCT <o/>"#,
+        );
+        let ms = match_pattern(&doc.root(), &p);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0]["v"].lexical(), "y");
+        assert_eq!(ms[0]["w"].lexical(), "z");
+    }
+
+    #[test]
+    fn descendant_tag() {
+        let doc = parse("<r><x><deep><leaf>1</leaf></deep></x><leaf>2</leaf></r>").unwrap();
+        let p = pattern_of(r#"WHERE <r><**leaf>$v</></r> IN "x" CONSTRUCT <o/>"#);
+        let ms = match_pattern(&doc.root(), &p);
+        let mut vals: Vec<String> = ms.iter().map(|b| b["v"].lexical()).collect();
+        vals.sort();
+        assert_eq!(vals, vec!["1", "2"]);
+    }
+
+    #[test]
+    fn closure_plus_recursion() {
+        let doc = parse(
+            "<parts><part id='1'><part id='2'><part id='3'/></part></part></parts>",
+        )
+        .unwrap();
+        let p = pattern_of(r#"WHERE <parts><part+ id=$i></></parts> IN "x" CONSTRUCT <o/>"#);
+        let ms = match_pattern(&doc.root(), &p);
+        let mut ids: Vec<String> = ms.iter().map(|b| b["i"].lexical()).collect();
+        ids.sort();
+        assert_eq!(ids, vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn wildcard_tag() {
+        let doc = parse("<r><a>1</a><b>2</b></r>").unwrap();
+        let p = pattern_of(r#"WHERE <r><*>$v</> ELEMENT_AS $e</r> IN "x" CONSTRUCT <o/>"#);
+        let ms = match_pattern(&doc.root(), &p);
+        assert_eq!(ms.len(), 2);
+    }
+
+    #[test]
+    fn rows_affordance_matches_row_children() {
+        // A `<row>` pattern against a `<rows>` document matches rows.
+        let doc = parse("<rows><row><id>1</id></row><row><id>2</id></row></rows>").unwrap();
+        let p = pattern_of(r#"WHERE <row><id>$i</id></row> IN "x" CONSTRUCT <o/>"#);
+        let ms = match_pattern(&doc.root(), &p);
+        assert_eq!(ms.len(), 2);
+    }
+
+    #[test]
+    fn match_within_navigates_bound_element() {
+        let doc = parse(BIB).unwrap();
+        let book = doc.root().child("book").unwrap();
+        let p = pattern_of(r#"WHERE <author><last>$l</last></author> IN $b CONSTRUCT <o/>"#);
+        let ms = match_within(&book, &p);
+        assert_eq!(ms.len(), 2);
+    }
+
+    #[test]
+    fn missing_attribute_fails_match() {
+        let doc = parse("<r><a x='1'/><a/></r>").unwrap();
+        let p = pattern_of(r#"WHERE <r><a x=$x/></r> IN "q" CONSTRUCT <o/>"#);
+        let ms = match_pattern(&doc.root(), &p);
+        assert_eq!(ms.len(), 1);
+    }
+}

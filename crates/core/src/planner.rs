@@ -1,0 +1,613 @@
+//! Query decomposition and physical planning.
+//!
+//! [`plan_query`] turns a checked XML-QL query into a [`Plan`]: the list
+//! of per-source execution units (pushed fragments or fetch-and-match
+//! atoms), dependent navigation atoms, and the residual predicates the
+//! mediator must evaluate itself. The engine then assembles the plan into
+//! a tree of `nimble-algebra` physical operators — there is no
+//! intermediate logical algebra, matching the paper's §3.1 design
+//! decision.
+//!
+//! The ablation switches of experiment E5 live in
+//! [`crate::engine::OptimizerConfig`]: selection/projection pushdown,
+//! capability-aware same-source join pushdown, and cardinality-ordered
+//! join trees.
+
+use crate::catalog::{Catalog, Resolved};
+use crate::compiler;
+use crate::engine::OptimizerConfig;
+use crate::error::CoreError;
+use crate::matcher::{match_within, Bindings};
+use nimble_algebra::ops::Operator;
+use nimble_algebra::{CmpOp, ExecError, ScalarExpr, Schema, Tuple};
+use nimble_sources::relational::RelationalAdapter;
+use nimble_sources::{SourceKind, SourceQuery};
+use nimble_xml::Value;
+use nimble_xmlql::ast::{BinOp, Condition, Expr, OrderKey, Pattern, Query, SourceRef};
+
+/// One independent execution unit.
+#[derive(Debug, Clone)]
+pub enum AtomExec {
+    /// A fragment pushed to a source (possibly covering several merged
+    /// pattern atoms).
+    Fragment {
+        source: String,
+        query: SourceQuery,
+        vars: Vec<String>,
+    },
+    /// Fetch the collection document and match the pattern centrally.
+    FetchMatch {
+        source: String,
+        collection: String,
+        pattern: Pattern,
+        vars: Vec<String>,
+    },
+    /// Evaluate a mediated view (or read its materialization) and match
+    /// the pattern against its result.
+    ViewMatch {
+        view: String,
+        pattern: Pattern,
+        vars: Vec<String>,
+    },
+}
+
+impl AtomExec {
+    /// Variables this unit binds.
+    pub fn vars(&self) -> &[String] {
+        match self {
+            AtomExec::Fragment { vars, .. }
+            | AtomExec::FetchMatch { vars, .. }
+            | AtomExec::ViewMatch { vars, .. } => vars,
+        }
+    }
+
+    /// Which source this unit contacts (`None` for views, which may fan
+    /// out further).
+    pub fn source(&self) -> Option<&str> {
+        match self {
+            AtomExec::Fragment { source, .. } | AtomExec::FetchMatch { source, .. } => {
+                Some(source)
+            }
+            AtomExec::ViewMatch { .. } => None,
+        }
+    }
+}
+
+/// A navigation atom (`pattern IN $var`), run after its variable binds.
+#[derive(Debug, Clone)]
+pub struct DependentAtom {
+    pub on_var: String,
+    pub pattern: Pattern,
+    pub vars: Vec<String>,
+}
+
+/// The decomposed query.
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    pub independents: Vec<AtomExec>,
+    pub dependents: Vec<DependentAtom>,
+    pub residual_predicates: Vec<Expr>,
+    pub order_by: Vec<OrderKey>,
+    /// Human-readable notes on optimizer decisions, surfaced by EXPLAIN.
+    pub notes: Vec<String>,
+}
+
+fn dedup_vars(pattern: &Pattern) -> Vec<String> {
+    let mut out = Vec::new();
+    for v in pattern.bound_vars() {
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Decompose a query against the catalog under the given optimizer
+/// configuration.
+pub fn plan_query(
+    catalog: &Catalog,
+    query: &Query,
+    config: &OptimizerConfig,
+) -> Result<Plan, CoreError> {
+    let mut plan = Plan {
+        order_by: query.order_by.clone(),
+        ..Plan::default()
+    };
+
+    // Phase 1: classify atoms.
+    for cond in &query.conditions {
+        match cond {
+            Condition::Predicate(e) => plan.residual_predicates.push(e.clone()),
+            Condition::Pattern(pb) => {
+                let vars = dedup_vars(&pb.pattern);
+                match &pb.source {
+                    SourceRef::Var(v) => plan.dependents.push(DependentAtom {
+                        on_var: v.clone(),
+                        pattern: pb.pattern.clone(),
+                        vars,
+                    }),
+                    SourceRef::Named(name) => match catalog.resolve(name)? {
+                        Resolved::View(view) => {
+                            plan.independents.push(AtomExec::ViewMatch {
+                                view,
+                                pattern: pb.pattern.clone(),
+                                vars,
+                            });
+                        }
+                        Resolved::Collection { source, collection } => {
+                            let adapter = catalog
+                                .source(&source)
+                                .ok_or_else(|| CoreError::UnknownCollection(name.clone()))?;
+                            let caps = adapter.capabilities();
+                            let pushed = if config.pushdown {
+                                compiler::recognize_row_pattern(&pb.pattern)
+                                    .filter(|rp| compiler::pushable(rp, &caps))
+                            } else {
+                                None
+                            };
+                            match pushed {
+                                Some(rp) => {
+                                    let frag = compiler::build_fragment(&collection, "t", &rp);
+                                    plan.notes.push(format!(
+                                        "pushdown: {} vars to {}.{}",
+                                        rp.fields.len(),
+                                        source,
+                                        collection
+                                    ));
+                                    plan.independents.push(AtomExec::Fragment {
+                                        source,
+                                        query: frag,
+                                        vars: rp
+                                            .fields
+                                            .iter()
+                                            .map(|(v, _)| v.clone())
+                                            .collect(),
+                                    });
+                                }
+                                None => {
+                                    plan.notes.push(format!(
+                                        "fetch+match: {}.{} (caps {})",
+                                        source,
+                                        collection,
+                                        caps.tag()
+                                    ));
+                                    plan.independents.push(AtomExec::FetchMatch {
+                                        source,
+                                        collection,
+                                        pattern: pb.pattern.clone(),
+                                        vars,
+                                    });
+                                }
+                            }
+                        }
+                    },
+                }
+            }
+        }
+    }
+
+    // Phase 2: push simple predicates into fragments.
+    if config.pushdown {
+        let mut remaining = Vec::new();
+        'preds: for pred in std::mem::take(&mut plan.residual_predicates) {
+            for atom in plan.independents.iter_mut() {
+                if let AtomExec::Fragment { source, query, .. } = atom {
+                    let caps = match catalog.source(source) {
+                        Some(a) => a.capabilities(),
+                        None => continue,
+                    };
+                    if compiler::push_predicate(query, &pred, &caps) {
+                        plan.notes
+                            .push(format!("predicate pushed to {}", source));
+                        continue 'preds;
+                    }
+                }
+            }
+            remaining.push(pred);
+        }
+        plan.residual_predicates = remaining;
+    }
+
+    // Phase 3: merge same-source fragments into joined fragments when the
+    // source can join.
+    if config.capability_joins {
+        merge_same_source_fragments(catalog, &mut plan);
+    }
+
+    // Final pass: surface the exact per-source query text that will be
+    // shipped — for relational sources, the generated SQL (the paper's
+    // "if an RDB is being queried, then the compiler generates SQL").
+    for atom in &plan.independents {
+        if let AtomExec::Fragment { source, query, .. } = atom {
+            if catalog
+                .source(source)
+                .is_some_and(|a| a.kind() == SourceKind::Relational)
+            {
+                plan.notes
+                    .push(format!("  {} <- {}", source, RelationalAdapter::to_sql(query)));
+            }
+        }
+    }
+
+    Ok(plan)
+}
+
+/// Fragments grouped under one source name, each with its bound vars.
+type SourceFragments = Vec<(SourceQuery, Vec<String>)>;
+
+fn merge_same_source_fragments(catalog: &Catalog, plan: &mut Plan) {
+    let mut merged: Vec<AtomExec> = Vec::new();
+    let mut by_source: Vec<(String, SourceFragments)> = Vec::new();
+    for atom in plan.independents.drain(..) {
+        match atom {
+            AtomExec::Fragment {
+                source,
+                query,
+                vars,
+            } if catalog
+                .source(&source)
+                .is_some_and(|a| a.capabilities().joins) =>
+            {
+                match by_source.iter_mut().find(|(s, _)| s == &source) {
+                    Some((_, frags)) => frags.push((query, vars)),
+                    None => by_source.push((source, vec![(query, vars)])),
+                }
+            }
+            other => merged.push(other),
+        }
+    }
+    for (source, frags) in by_source {
+        if frags.len() >= 2 {
+            let queries: Vec<SourceQuery> = frags.iter().map(|(q, _)| q.clone()).collect();
+            if let Some(joined) = compiler::merge_fragments(&queries) {
+                let vars: Vec<String> = joined.outputs.iter().map(|(v, _)| v.clone()).collect();
+                plan.notes.push(format!(
+                    "join of {} fragments pushed to {}",
+                    frags.len(),
+                    source
+                ));
+                merged.push(AtomExec::Fragment {
+                    source,
+                    query: joined,
+                    vars,
+                });
+                continue;
+            }
+        }
+        for (query, vars) in frags {
+            merged.push(AtomExec::Fragment {
+                source: source.clone(),
+                query,
+                vars,
+            });
+        }
+    }
+    plan.independents = merged;
+}
+
+/// Translate an XML-QL predicate into a physical scalar expression over
+/// the given schema.
+pub fn translate_expr(expr: &Expr, schema: &Schema) -> Result<ScalarExpr, CoreError> {
+    Ok(match expr {
+        Expr::Var(v) => ScalarExpr::Col(schema.index_of(v).ok_or_else(|| {
+            CoreError::Exec(format!("variable ${} not bound in schema {}", v, schema))
+        })?),
+        Expr::Lit(a) => ScalarExpr::Lit(Value::Atomic(a.clone())),
+        Expr::Not(e) => ScalarExpr::Not(Box::new(translate_expr(e, schema)?)),
+        Expr::Neg(e) => ScalarExpr::Neg(Box::new(translate_expr(e, schema)?)),
+        Expr::Call(name, args) => ScalarExpr::Call(
+            name.clone(),
+            args.iter()
+                .map(|a| translate_expr(a, schema))
+                .collect::<Result<_, _>>()?,
+        ),
+        Expr::Binary(op, l, r) => {
+            let lt = Box::new(translate_expr(l, schema)?);
+            let rt = Box::new(translate_expr(r, schema)?);
+            match op {
+                BinOp::And => ScalarExpr::And(lt, rt),
+                BinOp::Or => ScalarExpr::Or(lt, rt),
+                BinOp::Eq => ScalarExpr::Cmp(CmpOp::Eq, lt, rt),
+                BinOp::Ne => ScalarExpr::Cmp(CmpOp::Ne, lt, rt),
+                BinOp::Lt => ScalarExpr::Cmp(CmpOp::Lt, lt, rt),
+                BinOp::Le => ScalarExpr::Cmp(CmpOp::Le, lt, rt),
+                BinOp::Gt => ScalarExpr::Cmp(CmpOp::Gt, lt, rt),
+                BinOp::Ge => ScalarExpr::Cmp(CmpOp::Ge, lt, rt),
+                BinOp::Like => ScalarExpr::Cmp(CmpOp::Like, lt, rt),
+                BinOp::Add => ScalarExpr::Arith(nimble_algebra::ArithOp::Add, lt, rt),
+                BinOp::Sub => ScalarExpr::Arith(nimble_algebra::ArithOp::Sub, lt, rt),
+                BinOp::Mul => ScalarExpr::Arith(nimble_algebra::ArithOp::Mul, lt, rt),
+                BinOp::Div => ScalarExpr::Arith(nimble_algebra::ArithOp::Div, lt, rt),
+                BinOp::Mod => ScalarExpr::Arith(nimble_algebra::ArithOp::Mod, lt, rt),
+            }
+        }
+    })
+}
+
+/// Physical operator for dependent atoms: for each input tuple, match a
+/// pattern inside the element bound to `on_var`, emitting one extended
+/// tuple per match. Variables already present in the input schema act as
+/// join constraints instead of new columns.
+pub struct BindPatternOp {
+    child: Box<dyn Operator>,
+    on_col: usize,
+    pattern: Pattern,
+    /// New variables appended to the schema, in order.
+    new_vars: Vec<String>,
+    /// Variables shared with the input schema: (name, input column).
+    shared: Vec<(String, usize)>,
+    schema: Schema,
+    pending: Vec<Tuple>,
+    cursor: usize,
+    rows_out: u64,
+}
+
+impl BindPatternOp {
+    pub fn new(child: Box<dyn Operator>, on_var: &str, pattern: Pattern) -> Result<Self, CoreError> {
+        let on_col = child.schema().index_of(on_var).ok_or_else(|| {
+            CoreError::Exec(format!(
+                "navigation variable ${} not bound before use",
+                on_var
+            ))
+        })?;
+        let mut new_vars = Vec::new();
+        let mut shared = Vec::new();
+        for v in dedup_vars(&pattern) {
+            match child.schema().index_of(&v) {
+                Some(idx) => shared.push((v, idx)),
+                None => new_vars.push(v),
+            }
+        }
+        let mut schema = child.schema().clone();
+        for v in &new_vars {
+            schema = schema.with(v);
+        }
+        Ok(BindPatternOp {
+            child,
+            on_col,
+            pattern,
+            new_vars,
+            shared,
+            schema,
+            pending: Vec::new(),
+            cursor: 0,
+            rows_out: 0,
+        })
+    }
+
+    fn expand(&self, tuple: &Tuple) -> Vec<Tuple> {
+        let node = match &tuple[self.on_col] {
+            Value::Node(n) => n.clone(),
+            _ => return Vec::new(),
+        };
+        let matches: Vec<Bindings> = match_within(&node, &self.pattern);
+        let mut out = Vec::new();
+        'matches: for m in matches {
+            for (var, idx) in &self.shared {
+                match m.get(var) {
+                    Some(v) if v.key_eq(&tuple[*idx]) => {}
+                    _ => continue 'matches,
+                }
+            }
+            let mut t = tuple.clone();
+            for var in &self.new_vars {
+                t.push(m.get(var).cloned().unwrap_or_else(Value::null));
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+impl Operator for BindPatternOp {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.rows_out = 0;
+        self.pending.clear();
+        self.cursor = 0;
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        loop {
+            if self.cursor < self.pending.len() {
+                let t = self.pending[self.cursor].clone();
+                self.cursor += 1;
+                self.rows_out += 1;
+                return Ok(Some(t));
+            }
+            match self.child.next()? {
+                None => return Ok(None),
+                Some(t) => {
+                    self.pending = self.expand(&t);
+                    self.cursor = 0;
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+        self.pending.clear();
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "BindPattern in ${} -> [{}]",
+            self.schema.vars()[self.on_col],
+            self.new_vars.join(", ")
+        )
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.child.as_ref()]
+    }
+
+    fn rows_out(&self) -> u64 {
+        self.rows_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimble_sources::relational::RelationalAdapter;
+    use nimble_sources::xmldoc::XmlDocAdapter;
+    use std::sync::Arc;
+
+    fn catalog() -> Catalog {
+        let c = Catalog::new();
+        c.register_source(Arc::new(
+            RelationalAdapter::from_statements(
+                "crm",
+                &[
+                    "CREATE TABLE customers (id INT, name TEXT, region TEXT)",
+                    "INSERT INTO customers VALUES (1, 'Acme', 'NW')",
+                    "CREATE TABLE orders (id INT, cust_id INT, total FLOAT)",
+                    "INSERT INTO orders VALUES (10, 1, 9.5)",
+                ],
+            )
+            .unwrap(),
+        ))
+        .unwrap();
+        c.register_source(Arc::new(
+            XmlDocAdapter::new("feeds")
+                .add_xml("bib", "<bib><book><title>X</title></book></bib>")
+                .unwrap(),
+        ))
+        .unwrap();
+        c
+    }
+
+    fn parse(text: &str) -> Query {
+        nimble_xmlql::parse_query(text).unwrap()
+    }
+
+    #[test]
+    fn pushdown_chosen_for_row_patterns() {
+        let c = catalog();
+        let q = parse(
+            r#"WHERE <row><name>$n</name></row> IN "customers", $n LIKE "A%"
+               CONSTRUCT <o>$n</o>"#,
+        );
+        let plan = plan_query(&c, &q, &OptimizerConfig::default()).unwrap();
+        assert_eq!(plan.independents.len(), 1);
+        match &plan.independents[0] {
+            AtomExec::Fragment { source, query, .. } => {
+                assert_eq!(source, "crm");
+                // LIKE predicate was folded into the fragment.
+                assert_eq!(query.selections.len(), 1);
+            }
+            other => panic!("{:?}", other),
+        }
+        assert!(plan.residual_predicates.is_empty());
+    }
+
+    #[test]
+    fn pushdown_disabled_falls_back() {
+        let c = catalog();
+        let q = parse(
+            r#"WHERE <row><name>$n</name></row> IN "customers" CONSTRUCT <o>$n</o>"#,
+        );
+        let config = OptimizerConfig {
+            pushdown: false,
+            ..OptimizerConfig::default()
+        };
+        let plan = plan_query(&c, &q, &config).unwrap();
+        assert!(matches!(
+            plan.independents[0],
+            AtomExec::FetchMatch { .. }
+        ));
+    }
+
+    #[test]
+    fn same_source_join_merged() {
+        let c = catalog();
+        let q = parse(
+            r#"WHERE <row><id>$i</id><name>$n</name></row> IN "customers",
+                     <row><cust_id>$i</cust_id><total>$t</total></row> IN "orders"
+               CONSTRUCT <o>$n</o>"#,
+        );
+        let plan = plan_query(&c, &q, &OptimizerConfig::default()).unwrap();
+        assert_eq!(plan.independents.len(), 1);
+        match &plan.independents[0] {
+            AtomExec::Fragment { query, vars, .. } => {
+                assert_eq!(query.collections.len(), 2);
+                assert!(vars.contains(&"n".to_string()) && vars.contains(&"t".to_string()));
+            }
+            other => panic!("{:?}", other),
+        }
+
+        // With capability joins off, two separate fragments remain.
+        let config = OptimizerConfig {
+            capability_joins: false,
+            ..OptimizerConfig::default()
+        };
+        let plan = plan_query(&c, &q, &config).unwrap();
+        assert_eq!(plan.independents.len(), 2);
+    }
+
+    #[test]
+    fn xml_source_is_fetch_match() {
+        let c = catalog();
+        let q = parse(r#"WHERE <bib><book><title>$t</title></book></bib> IN "bib" CONSTRUCT <o>$t</o>"#);
+        let plan = plan_query(&c, &q, &OptimizerConfig::default()).unwrap();
+        assert!(matches!(
+            plan.independents[0],
+            AtomExec::FetchMatch { .. }
+        ));
+    }
+
+    #[test]
+    fn dependent_atoms_separated() {
+        let c = catalog();
+        let q = parse(
+            r#"WHERE <bib><book/> ELEMENT_AS $b</bib> IN "bib",
+                     <title>$t</title> IN $b
+               CONSTRUCT <o>$t</o>"#,
+        );
+        let plan = plan_query(&c, &q, &OptimizerConfig::default()).unwrap();
+        assert_eq!(plan.independents.len(), 1);
+        assert_eq!(plan.dependents.len(), 1);
+        assert_eq!(plan.dependents[0].on_var, "b");
+    }
+
+    #[test]
+    fn unknown_collection_errors() {
+        let c = catalog();
+        let q = parse(r#"WHERE <row><x>$x</x></row> IN "missing" CONSTRUCT <o/>"#);
+        assert!(matches!(
+            plan_query(&c, &q, &OptimizerConfig::default()),
+            Err(CoreError::UnknownCollection(_))
+        ));
+    }
+
+    #[test]
+    fn translate_expr_over_schema() {
+        let schema = Schema::new(vec!["x".into(), "y".into()]);
+        let e = Expr::Binary(
+            BinOp::And,
+            Box::new(Expr::Binary(
+                BinOp::Gt,
+                Box::new(Expr::Var("y".into())),
+                Box::new(Expr::Lit(nimble_xml::Atomic::Int(5))),
+            )),
+            Box::new(Expr::Call(
+                "contains".into(),
+                vec![Expr::Var("x".into()), Expr::Lit(nimble_xml::Atomic::Str("a".into()))],
+            )),
+        );
+        let se = translate_expr(&e, &schema).unwrap();
+        let funcs = nimble_algebra::FunctionRegistry::with_builtins();
+        let t: Tuple = vec![Value::from("cat"), Value::from(10i64)];
+        assert!(se.eval_bool(&t, &funcs).unwrap());
+        let t: Tuple = vec![Value::from("dog"), Value::from(10i64)];
+        assert!(!se.eval_bool(&t, &funcs).unwrap());
+
+        let bad = Expr::Var("zzz".into());
+        assert!(translate_expr(&bad, &schema).is_err());
+    }
+}

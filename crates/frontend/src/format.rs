@@ -1,0 +1,283 @@
+//! The formatting template language (the XSL stand-in) with device
+//! targeting.
+//!
+//! Syntax, applied against a query-result document (rooted `<results>`):
+//!
+//! ```text
+//! {{path}}                 text of the first element at `path`
+//! {{#each path}} … {{/each}}   repeat the body with each element at
+//!                              `path` as the context
+//! {{#if path}} … {{/if}}       body only when `path` matches something
+//! {{.}}                    text of the current context element
+//! ```
+//!
+//! Paths use the `nimble-xml` path language relative to the context.
+
+use nimble_xml::{NodeRef, Path};
+use std::fmt;
+
+/// Output device targets — "result formatting can be targeted to
+/// specific devices".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Device {
+    /// Raw template output.
+    PlainText,
+    /// Wrapped in a minimal HTML page.
+    WebBrowser,
+    /// Wrapped in a WML-flavored deck for "wireless devices", with a
+    /// length budget (early-2000s WAP decks were tiny).
+    Wireless { max_chars: usize },
+}
+
+/// A template-expansion failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateError(pub String);
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "template error: {}", self.0)
+    }
+}
+impl std::error::Error for TemplateError {}
+
+/// A parsed template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Template {
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Text(String),
+    Value(String),
+    Each(String, Vec<Node>),
+    If(String, Vec<Node>),
+}
+
+impl Template {
+    /// Parse template text.
+    pub fn parse(text: &str) -> Result<Template, TemplateError> {
+        let mut tokens = tokenize(text);
+        let nodes = parse_nodes(&mut tokens, None)?;
+        Ok(Template { nodes })
+    }
+
+    /// Render against a result document and wrap for the device.
+    pub fn render(&self, root: &NodeRef, device: Device) -> Result<String, TemplateError> {
+        let mut out = String::new();
+        render_nodes(&self.nodes, root, &mut out)?;
+        Ok(match device {
+            Device::PlainText => out,
+            Device::WebBrowser => format!(
+                "<html><body>\n{}\n</body></html>",
+                out
+            ),
+            Device::Wireless { max_chars } => {
+                let mut body: String = out.chars().take(max_chars).collect();
+                if body.len() < out.len() {
+                    body.push('…');
+                }
+                format!("<wml><card>{}</card></wml>", body)
+            }
+        })
+    }
+}
+
+#[derive(Debug, PartialEq)]
+enum Token {
+    Text(String),
+    Open(String),     // {{#each p}} / {{#if p}} tag+arg packed
+    Close(String),    // {{/each}} / {{/if}}
+    Value(String),    // {{p}}
+}
+
+fn tokenize(text: &str) -> std::collections::VecDeque<Token> {
+    let mut out = std::collections::VecDeque::new();
+    let mut rest = text;
+    while let Some(start) = rest.find("{{") {
+        if start > 0 {
+            out.push_back(Token::Text(rest[..start].to_string()));
+        }
+        rest = &rest[start + 2..];
+        let end = match rest.find("}}") {
+            Some(e) => e,
+            None => {
+                out.push_back(Token::Text(format!("{{{{{}", rest)));
+                return out;
+            }
+        };
+        let inner = rest[..end].trim().to_string();
+        rest = &rest[end + 2..];
+        if let Some(arg) = inner.strip_prefix("#each ") {
+            out.push_back(Token::Open(format!("each {}", arg.trim())));
+        } else if let Some(arg) = inner.strip_prefix("#if ") {
+            out.push_back(Token::Open(format!("if {}", arg.trim())));
+        } else if inner == "/each" {
+            out.push_back(Token::Close("each".to_string()));
+        } else if inner == "/if" {
+            out.push_back(Token::Close("if".to_string()));
+        } else {
+            out.push_back(Token::Value(inner));
+        }
+    }
+    if !rest.is_empty() {
+        out.push_back(Token::Text(rest.to_string()));
+    }
+    out
+}
+
+fn parse_nodes(
+    tokens: &mut std::collections::VecDeque<Token>,
+    closing: Option<&str>,
+) -> Result<Vec<Node>, TemplateError> {
+    let mut out = Vec::new();
+    loop {
+        match tokens.pop_front() {
+            None => {
+                if let Some(tag) = closing {
+                    return Err(TemplateError(format!("missing {{{{/{}}}}}", tag)));
+                }
+                return Ok(out);
+            }
+            Some(Token::Text(t)) => out.push(Node::Text(t)),
+            Some(Token::Value(p)) => out.push(Node::Value(p)),
+            Some(Token::Open(spec)) => {
+                let (tag, arg) = spec.split_once(' ').unwrap_or((spec.as_str(), ""));
+                let tag = tag.to_string();
+                let body = parse_nodes(tokens, Some(&tag))?;
+                match tag.as_str() {
+                    "each" => out.push(Node::Each(arg.to_string(), body)),
+                    "if" => out.push(Node::If(arg.to_string(), body)),
+                    other => return Err(TemplateError(format!("unknown block {:?}", other))),
+                }
+            }
+            Some(Token::Close(tag)) => {
+                return if closing == Some(tag.as_str()) {
+                    Ok(out)
+                } else {
+                    Err(TemplateError(format!("unexpected {{{{/{}}}}}", tag)))
+                };
+            }
+        }
+    }
+}
+
+fn select(context: &NodeRef, path_text: &str) -> Result<Vec<NodeRef>, TemplateError> {
+    if path_text == "." {
+        return Ok(vec![context.clone()]);
+    }
+    let path = Path::parse(path_text)
+        .map_err(|e| TemplateError(format!("bad path {:?}: {}", path_text, e)))?;
+    Ok(path.select(context.clone()).collect())
+}
+
+fn value_text(context: &NodeRef, path_text: &str) -> Result<String, TemplateError> {
+    if path_text == "." {
+        return Ok(context.text());
+    }
+    let path = Path::parse(path_text)
+        .map_err(|e| TemplateError(format!("bad path {:?}: {}", path_text, e)))?;
+    Ok(path
+        .eval_first(context)
+        .map(|v| v.lexical())
+        .unwrap_or_default())
+}
+
+fn render_nodes(nodes: &[Node], context: &NodeRef, out: &mut String) -> Result<(), TemplateError> {
+    for node in nodes {
+        match node {
+            Node::Text(t) => out.push_str(t),
+            Node::Value(p) => out.push_str(&value_text(context, p)?),
+            Node::Each(p, body) => {
+                for item in select(context, p)? {
+                    render_nodes(body, &item, out)?;
+                }
+            }
+            Node::If(p, body) => {
+                let matched = if p == "." {
+                    true
+                } else {
+                    // If the path ends at an attribute/text, check the
+                    // value; otherwise check element existence.
+                    !value_text(context, p)?.is_empty() || !select(context, p)?.is_empty()
+                };
+                if matched {
+                    render_nodes(body, context, out)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimble_xml::parse;
+
+    const RESULTS: &str = "<results>\
+        <hit><title>Web Data</title><year>1999</year></hit>\
+        <hit><title>Integration</title><year>2001</year></hit>\
+    </results>";
+
+    #[test]
+    fn values_and_iteration() {
+        let doc = parse(RESULTS).unwrap();
+        let t = Template::parse("Books:\n{{#each hit}}- {{title}} ({{year}})\n{{/each}}").unwrap();
+        let out = t.render(&doc.root(), Device::PlainText).unwrap();
+        assert_eq!(out, "Books:\n- Web Data (1999)\n- Integration (2001)\n");
+    }
+
+    #[test]
+    fn conditional_blocks() {
+        let doc = parse("<results><hit><title>X</title></hit></results>").unwrap();
+        let t = Template::parse(
+            "{{#each hit}}{{#if year}}dated{{/if}}{{#if title}}titled {{title}}{{/if}}{{/each}}",
+        )
+        .unwrap();
+        assert_eq!(
+            t.render(&doc.root(), Device::PlainText).unwrap(),
+            "titled X"
+        );
+    }
+
+    #[test]
+    fn dot_context() {
+        let doc = parse("<results><n>a</n><n>b</n></results>").unwrap();
+        let t = Template::parse("{{#each n}}[{{.}}]{{/each}}").unwrap();
+        assert_eq!(t.render(&doc.root(), Device::PlainText).unwrap(), "[a][b]");
+    }
+
+    #[test]
+    fn device_envelopes() {
+        let doc = parse("<results><n>hello world</n></results>").unwrap();
+        let t = Template::parse("{{n}}").unwrap();
+        assert!(t
+            .render(&doc.root(), Device::WebBrowser)
+            .unwrap()
+            .starts_with("<html>"));
+        let wml = t
+            .render(&doc.root(), Device::Wireless { max_chars: 5 })
+            .unwrap();
+        assert_eq!(wml, "<wml><card>hello…</card></wml>");
+    }
+
+    #[test]
+    fn malformed_templates_rejected() {
+        assert!(Template::parse("{{#each x}}no close").is_err());
+        assert!(Template::parse("{{/each}}").is_err());
+        let doc = parse("<results/>").unwrap();
+        let t = Template::parse("{{bad//path//}}").unwrap();
+        assert!(t.render(&doc.root(), Device::PlainText).is_err());
+    }
+
+    #[test]
+    fn unterminated_braces_degrade_to_text() {
+        let doc = parse("<results/>").unwrap();
+        let t = Template::parse("hello {{oops").unwrap();
+        assert_eq!(
+            t.render(&doc.root(), Device::PlainText).unwrap(),
+            "hello {{oops"
+        );
+    }
+}

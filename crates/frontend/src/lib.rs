@@ -1,0 +1,43 @@
+//! # nimble-frontend
+//!
+//! The system front end: lenses, formatting, authentication, and
+//! monitoring.
+//!
+//! "The system front end is flexible, offering multiple layers of
+//! access. For example, a lens is an object that contains a set of XML
+//! queries, parameters, XSL formatting, and authentication information.
+//! Result formatting can be targeted to specific devices (e.g., web
+//! interface, wireless device). Customers who wish to use a lower-level
+//! interface to the integration engine are also supported."
+//!
+//! * [`lens::Lens`] — named parameterized queries with a formatting
+//!   template, a device target, and a required role.
+//! * [`format`] — the template language standing in for XSL: value
+//!   insertion, iteration over result elements, conditionals, and
+//!   device-specific envelopes (HTML / WML-flavored / plain text).
+//! * [`auth`] — users, roles, and per-lens access checks.
+//! * [`monitor`] — "configuration and management tools that make it
+//!   possible for administrators to set up, monitor, and understand the
+//!   system": per-lens counters and latency aggregates.
+//! * [`management`] — the management console: one place to inventory
+//!   sources, views, materializations, and lenses.
+//! * [`admin`] — the paper's *data administrator sub-system*: offline
+//!   data manipulation (cleaning flows over replicas) and replication.
+//!
+//! The "lower-level interface" remains available: [`nimble_core::Engine`]
+//! is a public API; lenses are a layer above it, not a wall in front of
+//! it.
+
+pub mod admin;
+pub mod auth;
+pub mod format;
+pub mod lens;
+pub mod management;
+pub mod monitor;
+
+pub use admin::DataAdministrator;
+pub use auth::{AuthError, Directory, Role, User};
+pub use management::ManagementConsole;
+pub use format::{Device, Template};
+pub use lens::{Lens, LensError, LensRegistry, ParamDef};
+pub use monitor::SystemMonitor;

@@ -1,0 +1,221 @@
+//! The management console.
+//!
+//! "Configuration and management tools that make it possible for
+//! administrators to set up, monitor, and understand, the system." The
+//! console aggregates everything an administrator needs into one
+//! inventory: registered sources with their kinds, capabilities, and
+//! collections; mediated views and their materialization state; and the
+//! lens registry. It renders as a plain-text report the way the era's
+//! admin consoles did.
+
+use crate::lens::LensRegistry;
+use nimble_core::Engine;
+use nimble_store::Freshness;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// One row of the source inventory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceInfo {
+    pub name: String,
+    pub kind: String,
+    /// Capability tag, e.g. `spjaol` (see `Capabilities::tag`).
+    pub capabilities: String,
+    /// `(collection, estimated_rows)` pairs.
+    pub collections: Vec<(String, Option<u64>)>,
+}
+
+/// One row of the view inventory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewInfo {
+    pub name: String,
+    pub materialized: bool,
+    /// Fresh at the engine's current logical time?
+    pub fresh: Option<bool>,
+    pub hits: u64,
+    pub size_nodes: usize,
+}
+
+/// Aggregated administrative view over one engine.
+pub struct ManagementConsole {
+    engine: Arc<Engine>,
+    lenses: Option<Arc<LensRegistry>>,
+}
+
+impl ManagementConsole {
+    pub fn new(engine: Arc<Engine>) -> ManagementConsole {
+        ManagementConsole {
+            engine,
+            lenses: None,
+        }
+    }
+
+    /// Attach a lens registry so lenses appear in the inventory.
+    pub fn with_lenses(mut self, lenses: Arc<LensRegistry>) -> ManagementConsole {
+        self.lenses = Some(lenses);
+        self
+    }
+
+    /// Inventory of registered sources.
+    pub fn sources(&self) -> Vec<SourceInfo> {
+        let catalog = self.engine.catalog();
+        catalog
+            .source_names()
+            .into_iter()
+            .filter_map(|name| {
+                let adapter = catalog.source(&name)?;
+                Some(SourceInfo {
+                    name,
+                    kind: format!("{:?}", adapter.kind()),
+                    capabilities: adapter.capabilities().tag(),
+                    collections: adapter
+                        .collections()
+                        .into_iter()
+                        .map(|c| (c.name, c.estimated_rows))
+                        .collect(),
+                })
+            })
+            .collect()
+    }
+
+    /// Inventory of mediated views with materialization state.
+    pub fn views(&self) -> Vec<ViewInfo> {
+        let now = self.engine.clock().now();
+        self.engine
+            .catalog()
+            .view_names()
+            .into_iter()
+            .map(|name| match self.engine.views().peek(&name) {
+                Some(m) => ViewInfo {
+                    name,
+                    materialized: true,
+                    fresh: Some(m.freshness(now) == Freshness::Fresh),
+                    hits: m.hits,
+                    size_nodes: m.size_nodes,
+                },
+                None => ViewInfo {
+                    name,
+                    materialized: false,
+                    fresh: None,
+                    hits: 0,
+                    size_nodes: 0,
+                },
+            })
+            .collect()
+    }
+
+    /// The whole inventory as an aligned text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== sources ==");
+        let _ = writeln!(out, "{:<14}{:<14}{:<8}collections", "name", "kind", "caps");
+        for s in self.sources() {
+            let cols: Vec<String> = s
+                .collections
+                .iter()
+                .map(|(c, n)| match n {
+                    Some(n) => format!("{}({})", c, n),
+                    None => c.clone(),
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "{:<14}{:<14}{:<8}{}",
+                s.name,
+                s.kind,
+                s.capabilities,
+                cols.join(", ")
+            );
+        }
+        let _ = writeln!(out, "\n== mediated views ==");
+        let _ = writeln!(
+            out,
+            "{:<20}{:<14}{:<7}{:>6}{:>8}",
+            "name", "materialized", "fresh", "hits", "nodes"
+        );
+        for v in self.views() {
+            let _ = writeln!(
+                out,
+                "{:<20}{:<14}{:<7}{:>6}{:>8}",
+                v.name,
+                v.materialized,
+                v.fresh.map(|f| f.to_string()).unwrap_or_else(|| "-".into()),
+                v.hits,
+                v.size_nodes
+            );
+        }
+        if let Some(lenses) = &self.lenses {
+            let _ = writeln!(out, "\n== lenses ==");
+            for name in lenses.names() {
+                let _ = writeln!(out, "{}", name);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimble_core::Catalog;
+    use nimble_sources::csv::CsvAdapter;
+    use nimble_sources::xmldoc::XmlDocAdapter;
+
+    fn engine() -> Arc<Engine> {
+        let catalog = Catalog::new();
+        catalog
+            .register_source(Arc::new(
+                CsvAdapter::new("files")
+                    .add_csv("leads", "name,score\na,1\nb,2\n")
+                    .unwrap(),
+            ))
+            .unwrap();
+        catalog
+            .register_source(Arc::new(
+                XmlDocAdapter::new("docs").add_xml("feed", "<feed/>").unwrap(),
+            ))
+            .unwrap();
+        catalog
+            .define_view(
+                "hot_leads",
+                r#"WHERE <row><name>$n</name><score>$s</score></row> IN "leads", $s > 1
+                   CONSTRUCT <lead>$n</lead>"#,
+                Some(10),
+            )
+            .unwrap();
+        Arc::new(Engine::new(Arc::new(catalog)))
+    }
+
+    #[test]
+    fn inventories_reflect_state() {
+        let engine = engine();
+        let console = ManagementConsole::new(Arc::clone(&engine));
+        let sources = console.sources();
+        assert_eq!(sources.len(), 2);
+        let files = sources.iter().find(|s| s.name == "files").unwrap();
+        assert_eq!(files.kind, "FlatFile");
+        assert_eq!(files.collections, vec![("leads".to_string(), Some(2))]);
+
+        // Before materialization.
+        let views = console.views();
+        assert_eq!(views.len(), 1);
+        assert!(!views[0].materialized);
+        assert_eq!(views[0].fresh, None);
+
+        // After materialization + TTL lapse.
+        engine.materialize_view("hot_leads", Some(10)).unwrap();
+        assert_eq!(console.views()[0].fresh, Some(true));
+        engine.clock().advance(11);
+        assert_eq!(console.views()[0].fresh, Some(false));
+    }
+
+    #[test]
+    fn report_renders() {
+        let console = ManagementConsole::new(engine());
+        let report = console.render();
+        assert!(report.contains("== sources =="));
+        assert!(report.contains("files"));
+        assert!(report.contains("leads(2)"));
+        assert!(report.contains("hot_leads"));
+    }
+}

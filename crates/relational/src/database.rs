@@ -1,0 +1,344 @@
+//! The database catalog and statement dispatch.
+
+use crate::error::SqlError;
+use crate::exec::execute_select;
+use crate::sql::ast::Statement;
+use crate::sql::parse_statement;
+use crate::table::Table;
+use nimble_xml::Atomic;
+use std::collections::BTreeMap;
+
+/// Rows returned by a SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Atomic>>,
+}
+
+impl ResultSet {
+    /// An empty result (DDL/DML statements return this).
+    pub fn empty() -> ResultSet {
+        ResultSet {
+            columns: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Index of an output column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+}
+
+/// Execution statistics accumulated per statement — the observable the
+/// pushdown/index experiments read.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecStats {
+    /// Base-table rows fetched (full scans count every row; index
+    /// accesses count only matches).
+    pub rows_scanned: u64,
+    /// Number of index probes performed.
+    pub index_lookups: u64,
+    /// `table.column` names of indexes used.
+    pub used_indexes: Vec<String>,
+    /// Number of statements executed since the last reset.
+    pub statements: u64,
+}
+
+/// An in-memory SQL database: a catalog of [`Table`]s plus statement
+/// execution.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+    stats: ExecStats,
+}
+
+impl Database {
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Mutable table lookup (bulk-loading adapters use this).
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name)
+    }
+
+    /// Register a prebuilt table, replacing any existing one of that name.
+    pub fn add_table(&mut self, table: Table) {
+        self.tables.insert(table.name.clone(), table);
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Cumulative execution statistics.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Zero the statistics (experiments call this between measurements).
+    pub fn reset_stats(&mut self) {
+        self.stats = ExecStats::default();
+    }
+
+    /// Parse and execute one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<ResultSet, SqlError> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(stmt)
+    }
+
+    /// Execute a pre-parsed statement.
+    pub fn execute_statement(&mut self, stmt: Statement) -> Result<ResultSet, SqlError> {
+        self.stats.statements += 1;
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                if self.tables.contains_key(&name) {
+                    return Err(SqlError::new(format!("table {:?} already exists", name)));
+                }
+                self.tables.insert(name.clone(), Table::new(&name, columns));
+                Ok(ResultSet::empty())
+            }
+            Statement::CreateIndex {
+                table,
+                column,
+                kind,
+            } => {
+                let t = self
+                    .tables
+                    .get_mut(&table)
+                    .ok_or_else(|| SqlError::new(format!("no table {:?}", table)))?;
+                t.create_index(&column, kind)?;
+                Ok(ResultSet::empty())
+            }
+            Statement::DropIndex { table, column } => {
+                let t = self
+                    .tables
+                    .get_mut(&table)
+                    .ok_or_else(|| SqlError::new(format!("no table {:?}", table)))?;
+                if !t.drop_index(&column) {
+                    return Err(SqlError::new(format!(
+                        "no index on {}.{}",
+                        table, column
+                    )));
+                }
+                Ok(ResultSet::empty())
+            }
+            Statement::Insert { table, rows } => {
+                let t = self
+                    .tables
+                    .get_mut(&table)
+                    .ok_or_else(|| SqlError::new(format!("no table {:?}", table)))?;
+                for row in rows {
+                    t.insert(row)?;
+                }
+                Ok(ResultSet::empty())
+            }
+            Statement::Select(sel) => {
+                let mut stats = std::mem::take(&mut self.stats);
+                let result = execute_select(self, &sel, &mut stats);
+                self.stats = stats;
+                result
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE customers (id INT, name TEXT, region TEXT)")
+            .unwrap();
+        db.execute("CREATE TABLE orders (id INT, cust_id INT, total FLOAT)")
+            .unwrap();
+        db.execute(
+            "INSERT INTO customers VALUES \
+             (1, 'Acme', 'NW'), (2, 'Globex', 'SW'), (3, 'Initech', 'NW')",
+        )
+        .unwrap();
+        db.execute(
+            "INSERT INTO orders VALUES \
+             (10, 1, 250.0), (11, 1, 75.5), (12, 2, 120.0), (13, 9, 5.0)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn simple_select_where() {
+        let mut db = sample_db();
+        let rs = db
+            .execute("SELECT name FROM customers WHERE region = 'NW' ORDER BY name")
+            .unwrap();
+        assert_eq!(rs.columns, vec!["name"]);
+        let names: Vec<String> = rs.rows.iter().map(|r| r[0].lexical()).collect();
+        assert_eq!(names, ["Acme", "Initech"]);
+    }
+
+    #[test]
+    fn join_inner_and_left() {
+        let mut db = sample_db();
+        let rs = db
+            .execute(
+                "SELECT c.name, o.total FROM customers c \
+                 JOIN orders o ON o.cust_id = c.id ORDER BY total DESC",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 3);
+        assert_eq!(rs.rows[0][0].lexical(), "Acme");
+
+        let rs = db
+            .execute(
+                "SELECT c.name, o.id FROM customers c \
+                 LEFT JOIN orders o ON o.cust_id = c.id WHERE c.region = 'NW'",
+            )
+            .unwrap();
+        // Acme has 2 orders, Initech none (padded with NULL).
+        assert_eq!(rs.rows.len(), 3);
+        assert!(rs.rows.iter().any(|r| r[1].is_null()));
+    }
+
+    #[test]
+    fn aggregates_group_by() {
+        let mut db = sample_db();
+        let rs = db
+            .execute(
+                "SELECT cust_id, COUNT(*) AS n, SUM(total) AS t FROM orders \
+                 GROUP BY cust_id ORDER BY n DESC",
+            )
+            .unwrap();
+        assert_eq!(rs.rows[0][1], Atomic::Int(2));
+        assert_eq!(rs.rows[0][2], Atomic::Float(325.5));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty() {
+        let mut db = sample_db();
+        let rs = db
+            .execute("SELECT COUNT(*) FROM orders WHERE total > 9999")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Atomic::Int(0));
+    }
+
+    #[test]
+    fn index_used_and_counted() {
+        let mut db = sample_db();
+        db.execute("CREATE INDEX ON customers (id) USING HASH")
+            .unwrap();
+        db.reset_stats();
+        db.execute("SELECT name FROM customers WHERE id = 2").unwrap();
+        assert_eq!(db.stats().index_lookups, 1);
+        assert_eq!(db.stats().rows_scanned, 1);
+        assert_eq!(db.stats().used_indexes, vec!["customers.id"]);
+
+        db.execute("DROP INDEX ON customers (id)").unwrap();
+        db.reset_stats();
+        db.execute("SELECT name FROM customers WHERE id = 2").unwrap();
+        assert_eq!(db.stats().index_lookups, 0);
+        assert_eq!(db.stats().rows_scanned, 3);
+    }
+
+    #[test]
+    fn btree_range_scan() {
+        let mut db = sample_db();
+        db.execute("CREATE INDEX ON orders (total)").unwrap();
+        db.reset_stats();
+        let rs = db
+            .execute("SELECT id FROM orders WHERE total >= 100.0 ORDER BY id")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(db.stats().rows_scanned, 2);
+        assert_eq!(db.stats().index_lookups, 1);
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let mut db = sample_db();
+        let rs = db
+            .execute("SELECT DISTINCT region FROM customers ORDER BY region")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        let rs = db
+            .execute("SELECT id FROM orders ORDER BY id LIMIT 2")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn in_like_between() {
+        let mut db = sample_db();
+        let rs = db
+            .execute("SELECT name FROM customers WHERE region IN ('SW')")
+            .unwrap();
+        assert_eq!(rs.rows[0][0].lexical(), "Globex");
+        let rs = db
+            .execute("SELECT name FROM customers WHERE name LIKE '%ni%'")
+            .unwrap();
+        assert_eq!(rs.rows[0][0].lexical(), "Initech");
+        let rs = db
+            .execute("SELECT id FROM orders WHERE total BETWEEN 70.0 AND 130.0 ORDER BY id")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn computed_columns() {
+        let mut db = sample_db();
+        let rs = db
+            .execute("SELECT id, total * 2 AS double FROM orders WHERE id = 10")
+            .unwrap();
+        assert_eq!(rs.rows[0][1], Atomic::Float(500.0));
+    }
+
+    #[test]
+    fn errors_surface() {
+        let mut db = sample_db();
+        assert!(db.execute("SELECT nope FROM customers").is_err());
+        assert!(db.execute("SELECT * FROM missing").is_err());
+        assert!(db.execute("CREATE TABLE customers (x INT)").is_err());
+        assert!(db
+            .execute("INSERT INTO customers VALUES (1)")
+            .is_err());
+    }
+
+    #[test]
+    fn ambiguous_order_by_is_rejected() {
+        let mut db = sample_db();
+        let err = db
+            .execute(
+                "SELECT c.id, o.id FROM customers c JOIN orders o ON o.cust_id = c.id \
+                 ORDER BY id",
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("ambiguous"), "{}", err);
+        // Qualifying resolves it.
+        assert!(db
+            .execute(
+                "SELECT c.id, o.id FROM customers c JOIN orders o ON o.cust_id = c.id \
+                 ORDER BY o.id",
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn select_star_qualified_names() {
+        let mut db = sample_db();
+        let rs = db.execute("SELECT * FROM customers LIMIT 1").unwrap();
+        assert_eq!(rs.columns, vec!["id", "name", "region"]);
+        let rs = db
+            .execute("SELECT * FROM customers c JOIN orders o ON o.cust_id = c.id LIMIT 1")
+            .unwrap();
+        assert_eq!(rs.columns.len(), 6);
+        assert!(rs.columns[3].starts_with("o."));
+    }
+}

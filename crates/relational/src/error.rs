@@ -1,0 +1,26 @@
+//! SQL-engine errors.
+
+use std::fmt;
+
+/// Any failure in the SQL substrate: lexing, parsing, catalog lookups,
+/// type mismatches, or runtime evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlError {
+    pub message: String,
+}
+
+impl SqlError {
+    pub fn new(message: impl Into<String>) -> Self {
+        SqlError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}

@@ -1,0 +1,204 @@
+//! SQL abstract syntax.
+
+use crate::table::IndexKind;
+use crate::types::Column;
+use nimble_xml::Atomic;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    CreateTable {
+        name: String,
+        columns: Vec<Column>,
+    },
+    CreateIndex {
+        table: String,
+        column: String,
+        kind: IndexKind,
+    },
+    DropIndex {
+        table: String,
+        column: String,
+    },
+    Insert {
+        table: String,
+        rows: Vec<Vec<Atomic>>,
+    },
+    Select(SelectStmt),
+}
+
+/// A SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: TableRef,
+    pub joins: Vec<Join>,
+    pub where_clause: Option<SqlExpr>,
+    pub group_by: Vec<ColRef>,
+    pub order_by: Vec<(ColRef, bool)>,
+    pub limit: Option<usize>,
+}
+
+/// One output column of a SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — all columns of all tables in FROM order.
+    Star,
+    /// An expression with an optional alias.
+    Expr { expr: SqlExpr, alias: Option<String> },
+}
+
+/// A table reference with an optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name other clauses refer to this table by.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// An `[INNER|LEFT] JOIN t ON a.x = b.y` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    pub table: TableRef,
+    pub left_outer: bool,
+    pub on_left: ColRef,
+    pub on_right: ColRef,
+}
+
+/// A possibly-qualified column reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    pub table: Option<String>,
+    pub column: String,
+}
+
+impl ColRef {
+    pub fn new(table: Option<&str>, column: &str) -> ColRef {
+        ColRef {
+            table: table.map(str::to_string),
+            column: column.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for ColRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{}.{}", t, self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// SQL comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlCmp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// SQL arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlArith {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+/// SQL scalar / boolean expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    Col(ColRef),
+    Lit(Atomic),
+    Cmp(SqlCmp, Box<SqlExpr>, Box<SqlExpr>),
+    And(Box<SqlExpr>, Box<SqlExpr>),
+    Or(Box<SqlExpr>, Box<SqlExpr>),
+    Not(Box<SqlExpr>),
+    Arith(SqlArith, Box<SqlExpr>, Box<SqlExpr>),
+    Like(Box<SqlExpr>, String),
+    In(Box<SqlExpr>, Vec<Atomic>),
+    Between(Box<SqlExpr>, Atomic, Atomic),
+    IsNull(Box<SqlExpr>, /*negated=*/ bool),
+    /// `COUNT(*)` has no argument.
+    Agg(AggKind, Option<Box<SqlExpr>>),
+}
+
+impl SqlExpr {
+    /// All column references in the expression.
+    pub fn columns(&self) -> Vec<&ColRef> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a ColRef>) {
+        match self {
+            SqlExpr::Col(c) => out.push(c),
+            SqlExpr::Lit(_) => {}
+            SqlExpr::Cmp(_, a, b) | SqlExpr::And(a, b) | SqlExpr::Or(a, b)
+            | SqlExpr::Arith(_, a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            SqlExpr::Not(e)
+            | SqlExpr::Like(e, _)
+            | SqlExpr::In(e, _)
+            | SqlExpr::Between(e, _, _)
+            | SqlExpr::IsNull(e, _) => e.collect_columns(out),
+            SqlExpr::Agg(_, e) => {
+                if let Some(e) = e {
+                    e.collect_columns(out);
+                }
+            }
+        }
+    }
+
+    /// True if the expression contains any aggregate call.
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            SqlExpr::Agg(..) => true,
+            SqlExpr::Col(_) | SqlExpr::Lit(_) => false,
+            SqlExpr::Cmp(_, a, b) | SqlExpr::And(a, b) | SqlExpr::Or(a, b)
+            | SqlExpr::Arith(_, a, b) => a.has_aggregate() || b.has_aggregate(),
+            SqlExpr::Not(e)
+            | SqlExpr::Like(e, _)
+            | SqlExpr::In(e, _)
+            | SqlExpr::Between(e, _, _)
+            | SqlExpr::IsNull(e, _) => e.has_aggregate(),
+        }
+    }
+
+    /// Split a conjunctive expression into its AND-ed parts.
+    pub fn split_conjuncts(self) -> Vec<SqlExpr> {
+        match self {
+            SqlExpr::And(a, b) => {
+                let mut out = a.split_conjuncts();
+                out.extend(b.split_conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! SQL tokenizer.
+
+use crate::error::SqlError;
+
+/// SQL tokens. Keywords are recognized case-insensitively and carried as
+/// uppercase `Word`s; the parser matches on the uppercase spelling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlToken {
+    /// A keyword or identifier; `upper` is the uppercase form, `raw` the
+    /// original spelling (identifiers keep their case).
+    Word { upper: String, raw: String },
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Comma,
+    Dot,
+    Star,
+    LParen,
+    RParen,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Slash,
+    Eof,
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize_sql(input: &str) -> Result<Vec<SqlToken>, SqlError> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                // SQL line comment.
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                out.push(SqlToken::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(SqlToken::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(SqlToken::Star);
+                i += 1;
+            }
+            '(' => {
+                out.push(SqlToken::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(SqlToken::RParen);
+                i += 1;
+            }
+            '+' => {
+                out.push(SqlToken::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(SqlToken::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(SqlToken::Slash);
+                i += 1;
+            }
+            '=' => {
+                out.push(SqlToken::Eq);
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(SqlToken::Ne);
+                i += 2;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(SqlToken::Le);
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    out.push(SqlToken::Ne);
+                    i += 2;
+                } else {
+                    out.push(SqlToken::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(SqlToken::Ge);
+                    i += 2;
+                } else {
+                    out.push(SqlToken::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        None => return Err(SqlError::new("unterminated string literal")),
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            // Doubled quote escapes a quote, SQL style.
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&d) => {
+                            s.push(d);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(SqlToken::Str(s));
+            }
+            '"' => {
+                // Quoted identifier.
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        None => return Err(SqlError::new("unterminated quoted identifier")),
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&d) => {
+                            s.push(d);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(SqlToken::Word {
+                    upper: s.to_ascii_uppercase(),
+                    raw: s,
+                });
+            }
+            d if d.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < chars.len()
+                    && chars[i] == '.'
+                    && chars.get(i + 1).is_some_and(|x| x.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    out.push(SqlToken::Float(text.parse().unwrap()));
+                } else {
+                    out.push(SqlToken::Int(text.parse().map_err(|_| {
+                        SqlError::new(format!("integer literal {} overflows i64", text))
+                    })?));
+                }
+            }
+            a if a.is_alphabetic() || a == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_')
+                {
+                    i += 1;
+                }
+                let raw: String = chars[start..i].iter().collect();
+                out.push(SqlToken::Word {
+                    upper: raw.to_ascii_uppercase(),
+                    raw,
+                });
+            }
+            other => {
+                return Err(SqlError::new(format!(
+                    "unexpected character {:?} in SQL",
+                    other
+                )))
+            }
+        }
+    }
+    out.push(SqlToken::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_and_identifiers() {
+        let toks = tokenize_sql("SELECT name FROM People").unwrap();
+        match &toks[0] {
+            SqlToken::Word { upper, .. } => assert_eq!(upper, "SELECT"),
+            other => panic!("{:?}", other),
+        }
+        match &toks[3] {
+            SqlToken::Word { raw, .. } => assert_eq!(raw, "People"),
+            other => panic!("{:?}", other),
+        }
+    }
+
+    #[test]
+    fn strings_with_doubled_quotes() {
+        let toks = tokenize_sql("'it''s'").unwrap();
+        assert_eq!(toks[0], SqlToken::Str("it's".into()));
+    }
+
+    #[test]
+    fn comparison_tokens() {
+        let toks = tokenize_sql("<= >= <> != < >").unwrap();
+        assert_eq!(
+            &toks[..6],
+            &[
+                SqlToken::Le,
+                SqlToken::Ge,
+                SqlToken::Ne,
+                SqlToken::Ne,
+                SqlToken::Lt,
+                SqlToken::Gt
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize_sql("SELECT -- everything\n1").unwrap();
+        assert_eq!(toks.len(), 3);
+    }
+}

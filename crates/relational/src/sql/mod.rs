@@ -1,0 +1,8 @@
+//! The SQL front end of the relational substrate: lexer, AST, parser.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::*;
+pub use parser::parse_statement;

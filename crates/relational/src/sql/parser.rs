@@ -1,0 +1,654 @@
+//! Recursive-descent SQL parser.
+
+use super::ast::*;
+use super::lexer::{tokenize_sql, SqlToken};
+use crate::error::SqlError;
+use crate::table::IndexKind;
+use crate::types::{Column, ColumnType};
+use nimble_xml::Atomic;
+
+/// Parse one SQL statement.
+pub fn parse_statement(sql: &str) -> Result<Statement, SqlError> {
+    let tokens = tokenize_sql(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    // A trailing semicolon-free end is required; we never lex ';' so just
+    // check for EOF.
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<SqlToken>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &SqlToken {
+        &self.tokens[self.pos]
+    }
+
+    fn bump(&mut self) -> SqlToken {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, SqlError> {
+        Err(SqlError::new(format!(
+            "{} (near {:?})",
+            msg.into(),
+            self.peek()
+        )))
+    }
+
+    fn expect_eof(&self) -> Result<(), SqlError> {
+        if matches!(self.peek(), SqlToken::Eof) {
+            Ok(())
+        } else {
+            self.err("trailing tokens after statement")
+        }
+    }
+
+    /// Consume a keyword (uppercase match); false if not present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let SqlToken::Word { upper, .. } = self.peek() {
+            if upper == kw {
+                self.bump();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected {}", kw))
+        }
+    }
+
+    fn eat_tok(&mut self, t: &SqlToken) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_tok(&mut self, t: &SqlToken) -> Result<(), SqlError> {
+        if self.eat_tok(t) {
+            Ok(())
+        } else {
+            self.err(format!("expected {:?}", t))
+        }
+    }
+
+    /// An identifier (non-keyword match is not enforced; SQL's reserved
+    /// words are contextual in this dialect).
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.peek().clone() {
+            SqlToken::Word { raw, .. } => {
+                self.bump();
+                Ok(raw)
+            }
+            _ => self.err("expected identifier"),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, SqlError> {
+        if self.eat_kw("CREATE") {
+            if self.eat_kw("TABLE") {
+                return self.create_table();
+            }
+            if self.eat_kw("INDEX") {
+                return self.create_index();
+            }
+            return self.err("expected TABLE or INDEX after CREATE");
+        }
+        if self.eat_kw("DROP") {
+            self.expect_kw("INDEX")?;
+            self.expect_kw("ON")?;
+            let table = self.ident()?;
+            self.expect_tok(&SqlToken::LParen)?;
+            let column = self.ident()?;
+            self.expect_tok(&SqlToken::RParen)?;
+            return Ok(Statement::DropIndex { table, column });
+        }
+        if self.eat_kw("INSERT") {
+            return self.insert();
+        }
+        if matches!(self.peek(), SqlToken::Word { upper, .. } if upper == "SELECT") {
+            return Ok(Statement::Select(self.select()?));
+        }
+        self.err("expected CREATE, DROP, INSERT, or SELECT")
+    }
+
+    fn create_table(&mut self) -> Result<Statement, SqlError> {
+        let name = self.ident()?;
+        self.expect_tok(&SqlToken::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty_name = self.ident()?;
+            // Swallow optional length like VARCHAR(100).
+            if self.eat_tok(&SqlToken::LParen) {
+                while !matches!(self.peek(), SqlToken::RParen | SqlToken::Eof) {
+                    self.bump();
+                }
+                self.expect_tok(&SqlToken::RParen)?;
+            }
+            columns.push(Column::new(&col, ColumnType::parse(&ty_name)?));
+            if !self.eat_tok(&SqlToken::Comma) {
+                break;
+            }
+        }
+        self.expect_tok(&SqlToken::RParen)?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn create_index(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("ON")?;
+        let table = self.ident()?;
+        self.expect_tok(&SqlToken::LParen)?;
+        let column = self.ident()?;
+        self.expect_tok(&SqlToken::RParen)?;
+        let kind = if self.eat_kw("USING") {
+            let k = self.ident()?;
+            match k.to_ascii_uppercase().as_str() {
+                "HASH" => IndexKind::Hash,
+                "BTREE" => IndexKind::BTree,
+                other => return Err(SqlError::new(format!("unknown index kind {:?}", other))),
+            }
+        } else {
+            IndexKind::BTree
+        };
+        Ok(Statement::CreateIndex {
+            table,
+            column,
+            kind,
+        })
+    }
+
+    fn insert(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_tok(&SqlToken::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.literal()?);
+                if !self.eat_tok(&SqlToken::Comma) {
+                    break;
+                }
+            }
+            self.expect_tok(&SqlToken::RParen)?;
+            rows.push(row);
+            if !self.eat_tok(&SqlToken::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn literal(&mut self) -> Result<Atomic, SqlError> {
+        let negate = self.eat_tok(&SqlToken::Minus);
+        match self.bump() {
+            SqlToken::Int(i) => Ok(Atomic::Int(if negate { -i } else { i })),
+            SqlToken::Float(f) => Ok(Atomic::Float(if negate { -f } else { f })),
+            SqlToken::Str(s) if !negate => Ok(Atomic::Str(s)),
+            SqlToken::Word { upper, .. } if !negate => match upper.as_str() {
+                "NULL" => Ok(Atomic::Null),
+                "TRUE" => Ok(Atomic::Bool(true)),
+                "FALSE" => Ok(Atomic::Bool(false)),
+                other => Err(SqlError::new(format!("expected literal, found {}", other))),
+            },
+            other => Err(SqlError::new(format!(
+                "expected literal, found {:?}",
+                other
+            ))),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, SqlError> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut items = Vec::new();
+        loop {
+            if self.eat_tok(&SqlToken::Star) {
+                items.push(SelectItem::Star);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_tok(&SqlToken::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let left_outer = if self.eat_kw("LEFT") {
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                true
+            } else if self.eat_kw("INNER") {
+                self.expect_kw("JOIN")?;
+                false
+            } else if self.eat_kw("JOIN") {
+                false
+            } else {
+                break;
+            };
+            let table = self.table_ref()?;
+            self.expect_kw("ON")?;
+            let on_left = self.col_ref()?;
+            self.expect_tok(&SqlToken::Eq)?;
+            let on_right = self.col_ref()?;
+            joins.push(Join {
+                table,
+                left_outer,
+                on_left,
+                on_right,
+            });
+        }
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.col_ref()?);
+                if !self.eat_tok(&SqlToken::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let col = self.col_ref()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push((col, desc));
+                if !self.eat_tok(&SqlToken::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.bump() {
+                SqlToken::Int(n) if n >= 0 => Some(n as usize),
+                other => return Err(SqlError::new(format!("bad LIMIT {:?}", other))),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let table = self.ident()?;
+        // Optional alias: `FROM t x` or `FROM t AS x` — but the next word
+        // must not be a clause keyword.
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else if let SqlToken::Word { upper, raw } = self.peek().clone() {
+            const CLAUSES: &[&str] = &[
+                "WHERE", "GROUP", "ORDER", "LIMIT", "JOIN", "LEFT", "INNER", "ON",
+            ];
+            if CLAUSES.contains(&upper.as_str()) {
+                None
+            } else {
+                self.bump();
+                Some(raw)
+            }
+        } else {
+            None
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn col_ref(&mut self) -> Result<ColRef, SqlError> {
+        let first = self.ident()?;
+        if self.eat_tok(&SqlToken::Dot) {
+            let column = self.ident()?;
+            Ok(ColRef {
+                table: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColRef {
+                table: None,
+                column: first,
+            })
+        }
+    }
+
+    // Expression grammar: OR > AND > NOT > cmp/IN/LIKE/BETWEEN > +- > */ > primary.
+    fn expr(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = SqlExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = SqlExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<SqlExpr, SqlError> {
+        if self.eat_kw("NOT") {
+            Ok(SqlExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.predicate()
+        }
+    }
+
+    fn predicate(&mut self) -> Result<SqlExpr, SqlError> {
+        let left = self.add_expr()?;
+        // Postfix predicate forms.
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(SqlExpr::IsNull(Box::new(left), negated));
+        }
+        let negated = {
+            // `x NOT IN (...)` / `x NOT LIKE '...'` / `x NOT BETWEEN a AND b`
+            if let SqlToken::Word { upper, .. } = self.peek() {
+                if upper == "NOT" {
+                    if let Some(SqlToken::Word { upper: next, .. }) =
+                        self.tokens.get(self.pos + 1)
+                    {
+                        if matches!(next.as_str(), "IN" | "LIKE" | "BETWEEN") {
+                            self.bump();
+                            true
+                        } else {
+                            false
+                        }
+                    } else {
+                        false
+                    }
+                } else {
+                    false
+                }
+            } else {
+                false
+            }
+        };
+        if self.eat_kw("IN") {
+            self.expect_tok(&SqlToken::LParen)?;
+            let mut items = Vec::new();
+            loop {
+                items.push(self.literal()?);
+                if !self.eat_tok(&SqlToken::Comma) {
+                    break;
+                }
+            }
+            self.expect_tok(&SqlToken::RParen)?;
+            let e = SqlExpr::In(Box::new(left), items);
+            return Ok(if negated {
+                SqlExpr::Not(Box::new(e))
+            } else {
+                e
+            });
+        }
+        if self.eat_kw("LIKE") {
+            let pat = match self.bump() {
+                SqlToken::Str(s) => s,
+                other => return Err(SqlError::new(format!("LIKE expects string, got {:?}", other))),
+            };
+            let e = SqlExpr::Like(Box::new(left), pat);
+            return Ok(if negated {
+                SqlExpr::Not(Box::new(e))
+            } else {
+                e
+            });
+        }
+        if self.eat_kw("BETWEEN") {
+            let lo = self.literal()?;
+            self.expect_kw("AND")?;
+            let hi = self.literal()?;
+            let e = SqlExpr::Between(Box::new(left), lo, hi);
+            return Ok(if negated {
+                SqlExpr::Not(Box::new(e))
+            } else {
+                e
+            });
+        }
+        let op = match self.peek() {
+            SqlToken::Eq => SqlCmp::Eq,
+            SqlToken::Ne => SqlCmp::Ne,
+            SqlToken::Lt => SqlCmp::Lt,
+            SqlToken::Le => SqlCmp::Le,
+            SqlToken::Gt => SqlCmp::Gt,
+            SqlToken::Ge => SqlCmp::Ge,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.add_expr()?;
+        Ok(SqlExpr::Cmp(op, Box::new(left), Box::new(right)))
+    }
+
+    fn add_expr(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                SqlToken::Plus => SqlArith::Add,
+                SqlToken::Minus => SqlArith::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.mul_expr()?;
+            left = SqlExpr::Arith(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut left = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                SqlToken::Star => SqlArith::Mul,
+                SqlToken::Slash => SqlArith::Div,
+                _ => break,
+            };
+            self.bump();
+            let right = self.primary()?;
+            left = SqlExpr::Arith(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn primary(&mut self) -> Result<SqlExpr, SqlError> {
+        match self.peek().clone() {
+            SqlToken::Int(_) | SqlToken::Float(_) | SqlToken::Str(_) | SqlToken::Minus => {
+                Ok(SqlExpr::Lit(self.literal()?))
+            }
+            SqlToken::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_tok(&SqlToken::RParen)?;
+                Ok(e)
+            }
+            SqlToken::Word { upper, .. } => {
+                // Aggregates.
+                let agg = match upper.as_str() {
+                    "COUNT" => Some(AggKind::Count),
+                    "SUM" => Some(AggKind::Sum),
+                    "MIN" => Some(AggKind::Min),
+                    "MAX" => Some(AggKind::Max),
+                    "AVG" => Some(AggKind::Avg),
+                    _ => None,
+                };
+                if let Some(kind) = agg {
+                    if matches!(self.tokens.get(self.pos + 1), Some(SqlToken::LParen)) {
+                        self.bump(); // function name
+                        self.bump(); // (
+                        if self.eat_tok(&SqlToken::Star) {
+                            self.expect_tok(&SqlToken::RParen)?;
+                            return Ok(SqlExpr::Agg(kind, None));
+                        }
+                        let inner = self.expr()?;
+                        self.expect_tok(&SqlToken::RParen)?;
+                        return Ok(SqlExpr::Agg(kind, Some(Box::new(inner))));
+                    }
+                }
+                match upper.as_str() {
+                    "NULL" | "TRUE" | "FALSE" => Ok(SqlExpr::Lit(self.literal()?)),
+                    _ => Ok(SqlExpr::Col(self.col_ref()?)),
+                }
+            }
+            other => Err(SqlError::new(format!(
+                "expected expression, found {:?}",
+                other
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table() {
+        let s = parse_statement("CREATE TABLE t (id INT, name VARCHAR(40), w FLOAT)").unwrap();
+        match s {
+            Statement::CreateTable { name, columns } => {
+                assert_eq!(name, "t");
+                assert_eq!(columns.len(), 3);
+                assert_eq!(columns[1].ty, ColumnType::Text);
+            }
+            other => panic!("{:?}", other),
+        }
+    }
+
+    #[test]
+    fn insert_multi_row() {
+        let s = parse_statement("INSERT INTO t VALUES (1, 'a', NULL), (-2, 'b', 3.5)").unwrap();
+        match s {
+            Statement::Insert { rows, .. } => {
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0][2], Atomic::Null);
+                assert_eq!(rows[1][0], Atomic::Int(-2));
+            }
+            other => panic!("{:?}", other),
+        }
+    }
+
+    #[test]
+    fn select_with_everything() {
+        let s = parse_statement(
+            "SELECT o.id, c.name AS customer, COUNT(*) AS n \
+             FROM orders o JOIN customers c ON o.cust_id = c.id \
+             WHERE o.total > 100 AND c.region IN ('NW', 'SW') \
+             GROUP BY o.id, c.name ORDER BY n DESC LIMIT 10",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.items.len(), 3);
+                assert_eq!(sel.joins.len(), 1);
+                assert_eq!(sel.group_by.len(), 2);
+                assert_eq!(sel.limit, Some(10));
+                assert!(sel.order_by[0].1);
+            }
+            other => panic!("{:?}", other),
+        }
+    }
+
+    #[test]
+    fn like_between_not_in() {
+        let s = parse_statement(
+            "SELECT * FROM t WHERE a LIKE '%x%' AND b BETWEEN 1 AND 5 AND c NOT IN (1,2)",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(sel) => {
+                let conjuncts = sel.where_clause.unwrap().split_conjuncts();
+                assert_eq!(conjuncts.len(), 3);
+                assert!(matches!(conjuncts[0], SqlExpr::Like(..)));
+                assert!(matches!(conjuncts[1], SqlExpr::Between(..)));
+                assert!(matches!(conjuncts[2], SqlExpr::Not(..)));
+            }
+            other => panic!("{:?}", other),
+        }
+    }
+
+    #[test]
+    fn is_null() {
+        let s = parse_statement("SELECT * FROM t WHERE a IS NOT NULL").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert!(matches!(
+                    sel.where_clause.unwrap(),
+                    SqlExpr::IsNull(_, true)
+                ));
+            }
+            other => panic!("{:?}", other),
+        }
+    }
+
+    #[test]
+    fn create_index_kinds() {
+        match parse_statement("CREATE INDEX ON t (a) USING HASH").unwrap() {
+            Statement::CreateIndex { kind, .. } => assert_eq!(kind, IndexKind::Hash),
+            other => panic!("{:?}", other),
+        }
+        match parse_statement("CREATE INDEX ON t (a)").unwrap() {
+            Statement::CreateIndex { kind, .. } => assert_eq!(kind, IndexKind::BTree),
+            other => panic!("{:?}", other),
+        }
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse_statement("SELECT * FROM t garbage garbage").is_err());
+    }
+
+    #[test]
+    fn alias_not_confused_with_clause() {
+        let s = parse_statement("SELECT * FROM t WHERE x = 1").unwrap();
+        match s {
+            Statement::Select(sel) => assert_eq!(sel.from.alias, None),
+            other => panic!("{:?}", other),
+        }
+    }
+}

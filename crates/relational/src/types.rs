@@ -1,0 +1,124 @@
+//! Column types and coercions.
+
+use crate::error::SqlError;
+use nimble_xml::Atomic;
+use std::fmt;
+
+/// SQL column types supported by the substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    Int,
+    Float,
+    Text,
+    Bool,
+}
+
+impl ColumnType {
+    /// Parse a type name from DDL (case-insensitive, with the common
+    /// aliases real databases accept).
+    pub fn parse(name: &str) -> Result<ColumnType, SqlError> {
+        match name.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" => Ok(ColumnType::Int),
+            "FLOAT" | "REAL" | "DOUBLE" | "DECIMAL" | "NUMERIC" => Ok(ColumnType::Float),
+            "TEXT" | "VARCHAR" | "CHAR" | "STRING" => Ok(ColumnType::Text),
+            "BOOL" | "BOOLEAN" => Ok(ColumnType::Bool),
+            other => Err(SqlError::new(format!("unknown column type {:?}", other))),
+        }
+    }
+
+    /// Coerce a value into this column type at insert time; `Null` passes
+    /// through.
+    pub fn coerce(self, value: Atomic) -> Result<Atomic, SqlError> {
+        if value.is_null() {
+            return Ok(Atomic::Null);
+        }
+        match (self, &value) {
+            (ColumnType::Int, Atomic::Int(_))
+            | (ColumnType::Float, Atomic::Float(_))
+            | (ColumnType::Text, Atomic::Str(_))
+            | (ColumnType::Bool, Atomic::Bool(_)) => Ok(value),
+            (ColumnType::Float, Atomic::Int(i)) => Ok(Atomic::Float(*i as f64)),
+            (ColumnType::Int, Atomic::Float(f)) if f.fract() == 0.0 => {
+                Ok(Atomic::Int(*f as i64))
+            }
+            (ColumnType::Int, Atomic::Str(s)) => s
+                .trim()
+                .parse::<i64>()
+                .map(Atomic::Int)
+                .map_err(|_| SqlError::new(format!("cannot coerce {:?} to INT", s))),
+            (ColumnType::Float, Atomic::Str(s)) => s
+                .trim()
+                .parse::<f64>()
+                .map(Atomic::Float)
+                .map_err(|_| SqlError::new(format!("cannot coerce {:?} to FLOAT", s))),
+            (ColumnType::Text, other) => Ok(Atomic::Str(other.lexical())),
+            (ColumnType::Bool, Atomic::Str(s)) => match s.trim() {
+                "true" | "TRUE" | "1" => Ok(Atomic::Bool(true)),
+                "false" | "FALSE" | "0" => Ok(Atomic::Bool(false)),
+                _ => Err(SqlError::new(format!("cannot coerce {:?} to BOOL", s))),
+            },
+            (ty, other) => Err(SqlError::new(format!(
+                "cannot coerce {:?} to {:?}",
+                other, ty
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ColumnType::Int => "INT",
+            ColumnType::Float => "FLOAT",
+            ColumnType::Text => "TEXT",
+            ColumnType::Bool => "BOOL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub ty: ColumnType,
+}
+
+impl Column {
+    pub fn new(name: &str, ty: ColumnType) -> Column {
+        Column {
+            name: name.to_string(),
+            ty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!(ColumnType::parse("varchar").unwrap(), ColumnType::Text);
+        assert_eq!(ColumnType::parse("INTEGER").unwrap(), ColumnType::Int);
+        assert!(ColumnType::parse("BLOB").is_err());
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(
+            ColumnType::Float.coerce(Atomic::Int(2)).unwrap(),
+            Atomic::Float(2.0)
+        );
+        assert_eq!(
+            ColumnType::Int.coerce(Atomic::Str("42".into())).unwrap(),
+            Atomic::Int(42)
+        );
+        assert!(ColumnType::Int.coerce(Atomic::Str("x".into())).is_err());
+        assert_eq!(
+            ColumnType::Text.coerce(Atomic::Int(1)).unwrap(),
+            Atomic::Str("1".into())
+        );
+        assert_eq!(ColumnType::Int.coerce(Atomic::Null).unwrap(), Atomic::Null);
+    }
+}

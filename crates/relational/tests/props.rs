@@ -1,0 +1,160 @@
+//! Property-based tests for the SQL substrate: the planner's index
+//! choices never change answers, and WHERE evaluation matches a direct
+//! reference filter.
+
+use nimble_relational::Database;
+use nimble_xml::Atomic;
+use proptest::prelude::*;
+
+fn build_db(rows: &[(i64, i64, String)]) -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (k INT, v INT, s TEXT)").unwrap();
+    for (k, v, s) in rows {
+        db.execute(&format!(
+            "INSERT INTO t VALUES ({}, {}, '{}')",
+            k,
+            v,
+            s.replace('\'', "''")
+        ))
+        .unwrap();
+    }
+    db
+}
+
+fn rows_of(db: &mut Database, sql: &str) -> Vec<Vec<String>> {
+    let rs = db.execute(sql).unwrap();
+    let mut out: Vec<Vec<String>> = rs
+        .rows
+        .iter()
+        .map(|r| r.iter().map(Atomic::lexical).collect())
+        .collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    /// Arbitrary input never panics the SQL front end or executor.
+    #[test]
+    fn sql_never_panics(input in "\\PC{0,60}") {
+        let mut db = build_db(&[]);
+        let _ = db.execute(&input);
+    }
+
+    /// SQL-token soup never panics either.
+    #[test]
+    fn sql_token_soup_never_panics(tokens in proptest::collection::vec(
+        prop_oneof![
+            Just("SELECT".to_string()),
+            Just("FROM".to_string()),
+            Just("WHERE".to_string()),
+            Just("JOIN".to_string()),
+            Just("GROUP".to_string()),
+            Just("BY".to_string()),
+            Just("t".to_string()),
+            Just("k".to_string()),
+            Just("*".to_string()),
+            Just("=".to_string()),
+            Just("(".to_string()),
+            Just(")".to_string()),
+            Just(",".to_string()),
+            Just("'s'".to_string()),
+            Just("1".to_string()),
+            Just("COUNT".to_string()),
+        ],
+        0..15,
+    )) {
+        let mut db = build_db(&[(1, 2, "a".to_string())]);
+        let _ = db.execute(&tokens.join(" "));
+    }
+
+    /// Answers are identical with no index, a hash index, and a B-tree
+    /// index — across equality, range, IN, and BETWEEN predicates.
+    #[test]
+    fn index_choice_never_changes_answers(
+        rows in proptest::collection::vec((0i64..10, -20i64..20, "[a-c]{0,3}"), 0..30),
+        probe in 0i64..10,
+        lo in -20i64..0,
+        hi in 0i64..20,
+    ) {
+        let queries = [
+            format!("SELECT k, v, s FROM t WHERE k = {}", probe),
+            format!("SELECT k, v, s FROM t WHERE k > {}", probe),
+            format!("SELECT k, v, s FROM t WHERE v BETWEEN {} AND {}", lo, hi),
+            format!("SELECT k, v, s FROM t WHERE k IN (1, 3, {})", probe),
+            "SELECT k, COUNT(*) AS n FROM t GROUP BY k".to_string(),
+        ];
+        let mut plain = build_db(&rows);
+        let mut hashed = build_db(&rows);
+        hashed.execute("CREATE INDEX ON t (k) USING HASH").unwrap();
+        let mut btreed = build_db(&rows);
+        btreed.execute("CREATE INDEX ON t (k)").unwrap();
+        btreed.execute("CREATE INDEX ON t (v)").unwrap();
+        for q in &queries {
+            let expected = rows_of(&mut plain, q);
+            prop_assert_eq!(&rows_of(&mut hashed, q), &expected, "hash index diverged on {}", q);
+            prop_assert_eq!(&rows_of(&mut btreed, q), &expected, "btree index diverged on {}", q);
+        }
+    }
+
+    /// WHERE k = c matches exactly the rows a direct scan predicts.
+    #[test]
+    fn where_matches_reference_filter(
+        rows in proptest::collection::vec((0i64..6, -5i64..5, "[ab]{0,2}"), 0..25),
+        probe in 0i64..6,
+    ) {
+        let mut db = build_db(&rows);
+        let got = rows_of(&mut db, &format!("SELECT k, v, s FROM t WHERE k = {}", probe));
+        let mut expected: Vec<Vec<String>> = rows
+            .iter()
+            .filter(|(k, _, _)| *k == probe)
+            .map(|(k, v, s)| vec![k.to_string(), v.to_string(), s.clone()])
+            .collect();
+        expected.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// ORDER BY really sorts and LIMIT really truncates.
+    #[test]
+    fn order_and_limit(
+        rows in proptest::collection::vec((0i64..50, 0i64..50, "[a-z]{1,2}"), 1..25),
+        limit in 1usize..10,
+    ) {
+        let mut db = build_db(&rows);
+        let rs = db
+            .execute(&format!("SELECT v FROM t ORDER BY v DESC LIMIT {}", limit))
+            .unwrap();
+        prop_assert!(rs.rows.len() <= limit);
+        for w in rs.rows.windows(2) {
+            prop_assert_ne!(
+                w[0][0].total_cmp(&w[1][0]),
+                std::cmp::Ordering::Less
+            );
+        }
+        let mut all: Vec<i64> = rows.iter().map(|(_, v, _)| *v).collect();
+        all.sort_unstable_by(|a, b| b.cmp(a));
+        let expected: Vec<String> = all.into_iter().take(limit).map(|v| v.to_string()).collect();
+        let got: Vec<String> = rs.rows.iter().map(|r| r[0].lexical()).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Aggregates agree with direct computation.
+    #[test]
+    fn aggregates_match_reference(rows in proptest::collection::vec((0i64..4, -100i64..100), 1..30)) {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
+        for (k, v) in &rows {
+            db.execute(&format!("INSERT INTO t VALUES ({}, {})", k, v)).unwrap();
+        }
+        let rs = db
+            .execute("SELECT k, COUNT(*) AS n, SUM(v) AS s, MIN(v) AS lo, MAX(v) AS hi FROM t GROUP BY k")
+            .unwrap();
+        for row in &rs.rows {
+            let k: i64 = match row[0] { Atomic::Int(i) => i, _ => unreachable!() };
+            let group: Vec<i64> = rows.iter().filter(|(rk, _)| *rk == k).map(|(_, v)| *v).collect();
+            prop_assert_eq!(row[1].clone(), Atomic::Int(group.len() as i64));
+            prop_assert_eq!(row[2].clone(), Atomic::Int(group.iter().sum()));
+            prop_assert_eq!(row[3].clone(), Atomic::Int(*group.iter().min().unwrap()));
+            prop_assert_eq!(row[4].clone(), Atomic::Int(*group.iter().max().unwrap()));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Capability declarations consumed by the optimizer.
+
+/// What query work a source can execute itself. The mediator's fragment
+/// compiler pushes down exactly the work a source declares, and performs
+/// the rest centrally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Field-level predicates (`price > 10`).
+    pub selections: bool,
+    /// Choosing/renaming output fields.
+    pub projections: bool,
+    /// Joins between this source's own collections.
+    pub joins: bool,
+    /// Grouped aggregates.
+    pub aggregates: bool,
+    /// Sorted output.
+    pub order_by: bool,
+    /// Row limits.
+    pub limit: bool,
+}
+
+impl Capabilities {
+    /// A full SQL engine.
+    pub fn full() -> Capabilities {
+        Capabilities {
+            selections: true,
+            projections: true,
+            joins: true,
+            aggregates: true,
+            order_by: true,
+            limit: true,
+        }
+    }
+
+    /// Selections and projections only (hierarchical stores, filtered
+    /// files).
+    pub fn select_project() -> Capabilities {
+        Capabilities {
+            selections: true,
+            projections: true,
+            joins: false,
+            aggregates: false,
+            order_by: false,
+            limit: true,
+        }
+    }
+
+    /// Fetch-only: the source can only hand over whole collections
+    /// (native XML documents).
+    pub fn fetch_only() -> Capabilities {
+        Capabilities {
+            selections: false,
+            projections: false,
+            joins: false,
+            aggregates: false,
+            order_by: false,
+            limit: false,
+        }
+    }
+
+    /// A short tag for EXPLAIN output, e.g. `spjaol` / `sp---l` / `------`.
+    pub fn tag(&self) -> String {
+        let f = |b: bool, c: char| if b { c } else { '-' };
+        [
+            f(self.selections, 's'),
+            f(self.projections, 'p'),
+            f(self.joins, 'j'),
+            f(self.aggregates, 'a'),
+            f(self.order_by, 'o'),
+            f(self.limit, 'l'),
+        ]
+        .iter()
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags() {
+        assert_eq!(Capabilities::full().tag(), "spjaol");
+        assert_eq!(Capabilities::fetch_only().tag(), "------");
+        assert_eq!(Capabilities::select_project().tag(), "sp---l");
+    }
+}

@@ -1,0 +1,70 @@
+//! Source-side failures.
+
+use std::fmt;
+
+/// Why a source call failed. `Unavailable` is the case the paper's §3.4
+/// designs for: "in many applications, it's never the case that all
+/// sources are available".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceError {
+    pub source: String,
+    pub kind: SourceErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceErrorKind {
+    /// The source is offline or the (simulated) network dropped the call.
+    Unavailable(String),
+    /// The source rejected the query (unknown collection, bad predicate,
+    /// generated SQL failed, …).
+    Query(String),
+    /// Anything else.
+    Internal(String),
+}
+
+impl SourceError {
+    pub fn unavailable(source: &str, message: impl Into<String>) -> SourceError {
+        SourceError {
+            source: source.to_string(),
+            kind: SourceErrorKind::Unavailable(message.into()),
+        }
+    }
+
+    pub fn query(source: &str, message: impl Into<String>) -> SourceError {
+        SourceError {
+            source: source.to_string(),
+            kind: SourceErrorKind::Query(message.into()),
+        }
+    }
+
+    pub fn internal(source: &str, message: impl Into<String>) -> SourceError {
+        SourceError {
+            source: source.to_string(),
+            kind: SourceErrorKind::Internal(message.into()),
+        }
+    }
+
+    /// True when retrying later could succeed (drives the partial-result
+    /// policies).
+    pub fn is_unavailable(&self) -> bool {
+        matches!(self.kind, SourceErrorKind::Unavailable(_))
+    }
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            SourceErrorKind::Unavailable(m) => {
+                write!(f, "source {:?} unavailable: {}", self.source, m)
+            }
+            SourceErrorKind::Query(m) => {
+                write!(f, "source {:?} rejected query: {}", self.source, m)
+            }
+            SourceErrorKind::Internal(m) => {
+                write!(f, "source {:?} internal error: {}", self.source, m)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}

@@ -1,0 +1,253 @@
+//! The fragment language: what the mediator pushes to adapters, and the
+//! `<rows>` result contract helpers.
+
+use nimble_xml::{Atomic, AtomicType, Document, DocumentBuilder, NodeRef};
+use std::fmt;
+use std::sync::Arc;
+
+/// A collection a source exports: a name, typed fields, and a row
+/// estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectionInfo {
+    pub name: String,
+    pub fields: Vec<(String, AtomicType)>,
+    pub estimated_rows: Option<u64>,
+}
+
+/// A collection reference within a fragment, with the alias output
+/// fields use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectionRef {
+    pub alias: String,
+    pub collection: String,
+}
+
+/// A field of an aliased collection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldRef {
+    pub alias: String,
+    pub field: String,
+}
+
+impl FieldRef {
+    pub fn new(alias: &str, field: &str) -> FieldRef {
+        FieldRef {
+            alias: alias.to_string(),
+            field: field.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for FieldRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.alias, self.field)
+    }
+}
+
+/// Predicate operators a fragment may carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Like,
+}
+
+impl PredOp {
+    /// SQL spelling, used by the relational adapter's generator.
+    pub fn sql(self) -> &'static str {
+        match self {
+            PredOp::Eq => "=",
+            PredOp::Ne => "<>",
+            PredOp::Lt => "<",
+            PredOp::Le => "<=",
+            PredOp::Gt => ">",
+            PredOp::Ge => ">=",
+            PredOp::Like => "LIKE",
+        }
+    }
+
+    /// Evaluate against two atomics (adapters that filter in-process).
+    pub fn eval(self, left: &Atomic, right: &Atomic) -> bool {
+        use std::cmp::Ordering;
+        if self == PredOp::Like {
+            return like(&left.lexical(), &right.lexical());
+        }
+        if left.is_null() || right.is_null() {
+            return false;
+        }
+        let ord = left.total_cmp(right);
+        match self {
+            PredOp::Eq => ord == Ordering::Equal,
+            PredOp::Ne => ord != Ordering::Equal,
+            PredOp::Lt => ord == Ordering::Less,
+            PredOp::Le => ord != Ordering::Greater,
+            PredOp::Gt => ord == Ordering::Greater,
+            PredOp::Ge => ord != Ordering::Less,
+            PredOp::Like => unreachable!(),
+        }
+    }
+}
+
+fn like(text: &str, pattern: &str) -> bool {
+    fn rec(t: &[char], p: &[char]) -> bool {
+        match p.split_first() {
+            None => t.is_empty(),
+            Some(('%', rest)) => (0..=t.len()).any(|k| rec(&t[k..], rest)),
+            Some(('_', rest)) => t.split_first().is_some_and(|(_, tr)| rec(tr, rest)),
+            Some((c, rest)) => t
+                .split_first()
+                .is_some_and(|(tc, tr)| tc == c && rec(tr, rest)),
+        }
+    }
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&t, &p)
+}
+
+/// One pushed selection: `field <op> literal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    pub field: FieldRef,
+    pub op: PredOp,
+    pub value: Atomic,
+}
+
+/// A fragment the mediator asks a source to run. Single-collection
+/// fragments use one [`CollectionRef`] and no join conditions; sources
+/// whose [`crate::Capabilities::joins`] is true may receive several.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceQuery {
+    pub collections: Vec<CollectionRef>,
+    /// Equi-join conditions between aliased fields (same source only).
+    pub join_conds: Vec<(FieldRef, FieldRef)>,
+    pub selections: Vec<Selection>,
+    /// Output columns: `(output_name, source_field)`. Output names become
+    /// the row element names in the result document.
+    pub outputs: Vec<(String, FieldRef)>,
+    pub limit: Option<usize>,
+}
+
+impl SourceQuery {
+    /// A single-collection scan of the named fields.
+    pub fn scan(collection: &str, outputs: &[(&str, &str)]) -> SourceQuery {
+        SourceQuery {
+            collections: vec![CollectionRef {
+                alias: "t".to_string(),
+                collection: collection.to_string(),
+            }],
+            join_conds: Vec::new(),
+            selections: Vec::new(),
+            outputs: outputs
+                .iter()
+                .map(|(out, field)| (out.to_string(), FieldRef::new("t", field)))
+                .collect(),
+            limit: None,
+        }
+    }
+
+    /// Add a selection on the single scanned collection.
+    pub fn with_selection(mut self, field: &str, op: PredOp, value: Atomic) -> SourceQuery {
+        let alias = self.collections[0].alias.clone();
+        self.selections.push(Selection {
+            field: FieldRef::new(&alias, field),
+            op,
+            value,
+        });
+        self
+    }
+}
+
+/// Builds the `<rows><row>…` result document adapters return.
+pub struct RowsBuilder {
+    builder: DocumentBuilder,
+    rows: usize,
+}
+
+impl Default for RowsBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RowsBuilder {
+    pub fn new() -> RowsBuilder {
+        RowsBuilder {
+            builder: DocumentBuilder::new("rows"),
+            rows: 0,
+        }
+    }
+
+    /// Append one row of `(field, value)` pairs.
+    pub fn row(&mut self, fields: &[(&str, Atomic)]) {
+        self.builder.start_element("row");
+        for (name, value) in fields {
+            self.builder.leaf(name, value.clone());
+        }
+        self.builder.end_element();
+        self.rows += 1;
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    pub fn finish(self) -> Arc<Document> {
+        self.builder.finish()
+    }
+}
+
+/// Iterate the `<row>` elements of a result document.
+pub fn rows_of(doc: &Arc<Document>) -> Vec<NodeRef> {
+    doc.root().children_named("row").collect()
+}
+
+/// Read a named field of a row as a typed atomic (`Null` when absent).
+pub fn row_field(row: &NodeRef, name: &str) -> Atomic {
+    row.child(name).map(|c| c.typed_value()).unwrap_or(Atomic::Null)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_roundtrip() {
+        let mut b = RowsBuilder::new();
+        b.row(&[("id", Atomic::Int(1)), ("name", Atomic::Str("a".into()))]);
+        b.row(&[("id", Atomic::Int(2)), ("name", Atomic::Null)]);
+        assert_eq!(b.len(), 2);
+        let doc = b.finish();
+        let rows = rows_of(&doc);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(row_field(&rows[0], "id"), Atomic::Int(1));
+        assert_eq!(row_field(&rows[1], "name"), Atomic::Null);
+        assert_eq!(row_field(&rows[1], "missing"), Atomic::Null);
+    }
+
+    #[test]
+    fn predop_eval() {
+        assert!(PredOp::Gt.eval(&Atomic::Int(5), &Atomic::Int(3)));
+        assert!(PredOp::Like.eval(
+            &Atomic::Str("hello world".into()),
+            &Atomic::Str("%wor%".into())
+        ));
+        assert!(!PredOp::Eq.eval(&Atomic::Null, &Atomic::Int(1)));
+    }
+
+    #[test]
+    fn scan_builder() {
+        let q = SourceQuery::scan("orders", &[("oid", "id"), ("t", "total")])
+            .with_selection("total", PredOp::Gt, Atomic::Float(10.0));
+        assert_eq!(q.collections[0].collection, "orders");
+        assert_eq!(q.outputs[0].0, "oid");
+        assert_eq!(q.selections.len(), 1);
+    }
+}

@@ -1,0 +1,265 @@
+//! Availability and latency simulation.
+//!
+//! The paper's §3.4: "they may be offline, or network connectivity may not
+//! be available … In the worst case, there may be so many data sources
+//! that the probability that they are all available simultaneously is
+//! nearly zero." [`SimulatedLink`] wraps any adapter and injects exactly
+//! those conditions — deterministically (seeded), so experiments E1/E3
+//! are repeatable, and with optional *real* sleeping so latency sweeps
+//! measure true wall-clock effects.
+
+use crate::error::SourceError;
+use crate::query::{CollectionInfo, SourceQuery};
+use crate::{Capabilities, SourceAdapter, SourceKind};
+use nimble_xml::Document;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Link configuration. All fields can be changed at run time through the
+/// [`SimulatedLink`] handles.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Round-trip latency added to every call, in milliseconds.
+    pub latency_ms: u64,
+    /// Probability each call fails transiently even when the source is
+    /// "up" (a flaky network), in [0, 1].
+    pub fail_probability: f64,
+    /// When false, latency is only *accounted* (for fast deterministic
+    /// tests); when true the calling thread actually sleeps (for
+    /// wall-clock benchmarks).
+    pub real_sleep: bool,
+    /// RNG seed for the failure coin flips.
+    pub seed: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency_ms: 0,
+            fail_probability: 0.0,
+            real_sleep: false,
+            seed: 7,
+        }
+    }
+}
+
+/// Per-link observability counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Calls attempted (execute + fetch).
+    pub calls: u64,
+    /// Calls refused because the source was down or the coin flip failed.
+    pub failures: u64,
+    /// Total latency charged, in milliseconds (whether or not slept).
+    pub charged_latency_ms: u64,
+}
+
+/// An adapter wrapped with a simulated (un)reliable link.
+pub struct SimulatedLink {
+    inner: Arc<dyn SourceAdapter>,
+    up: AtomicBool,
+    latency_ms: AtomicU64,
+    /// fail probability ×1e6, stored atomically.
+    fail_ppm: AtomicU64,
+    real_sleep: AtomicBool,
+    rng: Mutex<StdRng>,
+    calls: AtomicU64,
+    failures: AtomicU64,
+    charged_latency_ms: AtomicU64,
+}
+
+impl SimulatedLink {
+    pub fn new(inner: Arc<dyn SourceAdapter>, config: LinkConfig) -> Arc<SimulatedLink> {
+        Arc::new(SimulatedLink {
+            inner,
+            up: AtomicBool::new(true),
+            latency_ms: AtomicU64::new(config.latency_ms),
+            fail_ppm: AtomicU64::new((config.fail_probability * 1e6) as u64),
+            real_sleep: AtomicBool::new(config.real_sleep),
+            rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
+            calls: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            charged_latency_ms: AtomicU64::new(0),
+        })
+    }
+
+    /// Take the source offline / bring it back.
+    pub fn set_up(&self, up: bool) {
+        self.up.store(up, Ordering::SeqCst);
+    }
+
+    /// True when the simulated source is online.
+    pub fn is_up(&self) -> bool {
+        self.up.load(Ordering::SeqCst)
+    }
+
+    /// Change the added latency.
+    pub fn set_latency_ms(&self, ms: u64) {
+        self.latency_ms.store(ms, Ordering::SeqCst);
+    }
+
+    /// Change the per-call transient failure probability.
+    pub fn set_fail_probability(&self, p: f64) {
+        self.fail_ppm
+            .store((p.clamp(0.0, 1.0) * 1e6) as u64, Ordering::SeqCst);
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> LinkStats {
+        LinkStats {
+            calls: self.calls.load(Ordering::SeqCst),
+            failures: self.failures.load(Ordering::SeqCst),
+            charged_latency_ms: self.charged_latency_ms.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Gate every call: count it, charge latency, and decide failure.
+    fn gate(&self) -> Result<(), SourceError> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        let ms = self.latency_ms.load(Ordering::SeqCst);
+        self.charged_latency_ms.fetch_add(ms, Ordering::SeqCst);
+        if ms > 0 && self.real_sleep.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        if !self.up.load(Ordering::SeqCst) {
+            self.failures.fetch_add(1, Ordering::SeqCst);
+            return Err(SourceError::unavailable(
+                self.inner.name(),
+                "source is offline",
+            ));
+        }
+        let ppm = self.fail_ppm.load(Ordering::SeqCst);
+        if ppm > 0 {
+            let roll: f64 = self.rng.lock().gen();
+            if roll < ppm as f64 / 1e6 {
+                self.failures.fetch_add(1, Ordering::SeqCst);
+                return Err(SourceError::unavailable(
+                    self.inner.name(),
+                    "transient network failure",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl SourceAdapter for SimulatedLink {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn kind(&self) -> SourceKind {
+        self.inner.kind()
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        self.inner.capabilities()
+    }
+
+    fn collections(&self) -> Vec<CollectionInfo> {
+        // Metadata is served from the mediator's catalog even when the
+        // link is down, matching how real deployments cache schemas.
+        self.inner.collections()
+    }
+
+    fn execute(&self, query: &SourceQuery) -> Result<Arc<Document>, SourceError> {
+        self.gate()?;
+        self.inner.execute(query)
+    }
+
+    fn fetch_collection(&self, name: &str) -> Result<Arc<Document>, SourceError> {
+        self.gate()?;
+        self.inner.fetch_collection(name)
+    }
+
+    fn estimated_rows(&self, collection: &str) -> Option<u64> {
+        self.inner.estimated_rows(collection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xmldoc::XmlDocAdapter;
+
+    fn base() -> Arc<dyn SourceAdapter> {
+        Arc::new(
+            XmlDocAdapter::new("feed")
+                .add_xml("d", "<d><x>1</x></d>")
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn offline_source_fails_with_unavailable() {
+        let link = SimulatedLink::new(base(), LinkConfig::default());
+        assert!(link.fetch_collection("d").is_ok());
+        link.set_up(false);
+        let err = link.fetch_collection("d").unwrap_err();
+        assert!(err.is_unavailable());
+        link.set_up(true);
+        assert!(link.fetch_collection("d").is_ok());
+        assert_eq!(link.stats().failures, 1);
+        assert_eq!(link.stats().calls, 3);
+    }
+
+    #[test]
+    fn flaky_link_fails_deterministically() {
+        let link = SimulatedLink::new(
+            base(),
+            LinkConfig {
+                fail_probability: 0.5,
+                seed: 42,
+                ..LinkConfig::default()
+            },
+        );
+        let outcomes: Vec<bool> = (0..20)
+            .map(|_| link.fetch_collection("d").is_ok())
+            .collect();
+        let failures = outcomes.iter().filter(|ok| !**ok).count();
+        assert!(failures > 3 && failures < 17, "got {} failures", failures);
+
+        // Same seed → same outcome sequence.
+        let link2 = SimulatedLink::new(
+            base(),
+            LinkConfig {
+                fail_probability: 0.5,
+                seed: 42,
+                ..LinkConfig::default()
+            },
+        );
+        let outcomes2: Vec<bool> = (0..20)
+            .map(|_| link2.fetch_collection("d").is_ok())
+            .collect();
+        assert_eq!(outcomes, outcomes2);
+    }
+
+    #[test]
+    fn latency_charged_without_sleeping() {
+        let link = SimulatedLink::new(
+            base(),
+            LinkConfig {
+                latency_ms: 50,
+                ..LinkConfig::default()
+            },
+        );
+        let t0 = std::time::Instant::now();
+        for _ in 0..10 {
+            link.fetch_collection("d").unwrap();
+        }
+        assert!(t0.elapsed() < Duration::from_millis(100));
+        assert_eq!(link.stats().charged_latency_ms, 500);
+    }
+
+    #[test]
+    fn metadata_survives_downtime() {
+        let link = SimulatedLink::new(base(), LinkConfig::default());
+        link.set_up(false);
+        assert_eq!(link.collections().len(), 1);
+        assert_eq!(link.estimated_rows("d"), Some(1));
+    }
+}

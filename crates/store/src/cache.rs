@@ -1,0 +1,214 @@
+//! An LRU result cache with a node-count budget.
+
+use nimble_xml::Document;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Entry {
+    doc: Arc<Document>,
+    size: usize,
+    /// Recency stamp from the cache's internal counter.
+    last_used: u64,
+}
+
+/// Statistics exported for experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub current_size: usize,
+}
+
+/// Cache of whole query results keyed by (normalized) query text. The
+/// budget is in document nodes, the same size proxy the view store uses.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    budget: usize,
+}
+
+struct Inner {
+    entries: HashMap<String, Entry>,
+    tick: u64,
+    size: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// A cache that holds at most `budget_nodes` document nodes.
+    pub fn new(budget_nodes: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                tick: 0,
+                size: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            budget: budget_nodes,
+        }
+    }
+
+    /// Look up a result, refreshing its recency.
+    pub fn get(&self, key: &str) -> Option<Arc<Document>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(key) {
+            Some(e) => {
+                e.last_used = tick;
+                let doc = Arc::clone(&e.doc);
+                inner.hits += 1;
+                Some(doc)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a result, evicting least-recently-used entries until the
+    /// budget holds. Results larger than the whole budget are not cached.
+    pub fn put(&self, key: &str, doc: Arc<Document>) {
+        let size = doc.len();
+        if size > self.budget {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.entries.remove(key) {
+            inner.size -= old.size;
+        }
+        while inner.size + size > self.budget {
+            // Evict the least recently used entry.
+            let victim = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    let e = inner.entries.remove(&k).expect("victim exists");
+                    inner.size -= e.size;
+                    inner.evictions += 1;
+                }
+                None => break,
+            }
+        }
+        inner.size += size;
+        inner.entries.insert(
+            key.to_string(),
+            Entry {
+                doc,
+                size,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.size = 0;
+    }
+
+    /// Invalidate one key; true if it was present.
+    pub fn invalidate(&self, key: &str) -> bool {
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner.entries.remove(key) {
+            inner.size -= e.size;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            current_size: inner.size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimble_xml::parse;
+
+    fn doc_of_size(n: usize) -> Arc<Document> {
+        // Root + (n-1) children.
+        let mut xml = String::from("<r>");
+        for _ in 0..n.saturating_sub(1) {
+            xml.push_str("<x/>");
+        }
+        xml.push_str("</r>");
+        parse(&xml).unwrap()
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let c = ResultCache::new(100);
+        assert!(c.get("q1").is_none());
+        c.put("q1", doc_of_size(5));
+        assert!(c.get("q1").is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let c = ResultCache::new(10);
+        c.put("a", doc_of_size(4));
+        c.put("b", doc_of_size(4));
+        // Touch `a` so `b` is the LRU victim.
+        c.get("a");
+        c.put("c", doc_of_size(4));
+        assert!(c.get("a").is_some());
+        assert!(c.get("b").is_none());
+        assert!(c.get("c").is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_entries_not_cached() {
+        let c = ResultCache::new(3);
+        c.put("big", doc_of_size(10));
+        assert!(c.get("big").is_none());
+        assert_eq!(c.stats().current_size, 0);
+    }
+
+    #[test]
+    fn replace_same_key_adjusts_size() {
+        let c = ResultCache::new(10);
+        c.put("a", doc_of_size(8));
+        c.put("a", doc_of_size(3));
+        assert_eq!(c.stats().current_size, 3);
+        c.put("b", doc_of_size(7));
+        // Both fit exactly now.
+        assert!(c.get("a").is_some());
+        assert!(c.get("b").is_some());
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let c = ResultCache::new(10);
+        c.put("a", doc_of_size(2));
+        assert!(c.invalidate("a"));
+        assert!(!c.invalidate("a"));
+        c.put("b", doc_of_size(2));
+        c.clear();
+        assert!(c.get("b").is_none());
+    }
+}

@@ -1,0 +1,41 @@
+//! Logical time for deterministic freshness.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing logical clock shared by the store and the
+/// refresh machinery. Experiments advance it explicitly instead of
+/// depending on wall-clock time.
+#[derive(Debug, Default)]
+pub struct LogicalClock {
+    ticks: AtomicU64,
+}
+
+impl LogicalClock {
+    pub fn new() -> LogicalClock {
+        LogicalClock::default()
+    }
+
+    /// Current tick.
+    pub fn now(&self) -> u64 {
+        self.ticks.load(Ordering::SeqCst)
+    }
+
+    /// Advance by `n` ticks and return the new time.
+    pub fn advance(&self, n: u64) -> u64 {
+        self.ticks.fetch_add(n, Ordering::SeqCst) + n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let c = LogicalClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(5), 5);
+        assert_eq!(c.advance(1), 6);
+        assert_eq!(c.now(), 6);
+    }
+}

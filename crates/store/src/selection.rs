@@ -1,0 +1,224 @@
+//! View-selection policies and the workload monitor feeding them.
+//!
+//! The paper names this its central §3.3 research challenge: which views
+//! over the mediated schema to materialize, given that (1) sources are
+//! autonomous and overlapping, (2) the query load shifts, and (3) remote
+//! cost estimates are poor. The [`WorkloadMonitor`] observes the actual
+//! load (frequencies and *measured* fragment costs — sidestepping the
+//! estimation problem), and [`select_views`] turns those observations
+//! into a materialization set under a storage budget. Experiment E2
+//! compares the policies.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// A candidate view with the observed statistics the selector needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateView {
+    pub name: String,
+    /// Queries answered by this view in the observation window.
+    pub frequency: u64,
+    /// Measured mean cost of answering virtually (milliseconds).
+    pub virtual_cost_ms: f64,
+    /// Materialized size in nodes.
+    pub size_nodes: usize,
+}
+
+impl CandidateView {
+    /// Benefit rate: latency saved per unit of storage if materialized.
+    /// (Answering from the store is charged ~zero; refresh cost is the
+    /// policy user's concern via TTLs.)
+    pub fn benefit_per_node(&self) -> f64 {
+        if self.size_nodes == 0 {
+            return 0.0;
+        }
+        (self.frequency as f64 * self.virtual_cost_ms) / self.size_nodes as f64
+    }
+}
+
+/// Materialization policies compared in experiment E2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionPolicy {
+    /// Pure virtual integration: nothing materialized.
+    None,
+    /// No pre-materialization; rely on the LRU result cache only.
+    CacheOnly,
+    /// Greedy knapsack by benefit-per-node under the budget.
+    Greedy,
+    /// Materialize every candidate that fits cumulatively (the emulated
+    /// "warehouse" arm: everything local, freshness via TTL refresh).
+    All,
+}
+
+/// Choose which views to materialize under `budget_nodes`.
+pub fn select_views(
+    policy: SelectionPolicy,
+    candidates: &[CandidateView],
+    budget_nodes: usize,
+) -> Vec<String> {
+    match policy {
+        SelectionPolicy::None | SelectionPolicy::CacheOnly => Vec::new(),
+        SelectionPolicy::All => {
+            let mut used = 0usize;
+            candidates
+                .iter()
+                .filter(|c| {
+                    if used + c.size_nodes <= budget_nodes {
+                        used += c.size_nodes;
+                        true
+                    } else {
+                        false
+                    }
+                })
+                .map(|c| c.name.clone())
+                .collect()
+        }
+        SelectionPolicy::Greedy => {
+            let mut sorted: Vec<&CandidateView> = candidates.iter().collect();
+            sorted.sort_by(|a, b| {
+                b.benefit_per_node()
+                    .total_cmp(&a.benefit_per_node())
+                    .then_with(|| a.name.cmp(&b.name))
+            });
+            let mut used = 0usize;
+            let mut out = Vec::new();
+            for c in sorted {
+                if c.frequency == 0 {
+                    continue;
+                }
+                if used + c.size_nodes <= budget_nodes {
+                    used += c.size_nodes;
+                    out.push(c.name.clone());
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Observes the live query load per view: frequencies and measured
+/// virtual costs. "We may need to adjust the set of materialized views
+/// over time depending on the query load" — re-running selection over a
+/// fresh window does exactly that.
+#[derive(Default)]
+pub struct WorkloadMonitor {
+    inner: Mutex<HashMap<String, (u64, f64, usize)>>,
+}
+
+impl WorkloadMonitor {
+    pub fn new() -> WorkloadMonitor {
+        WorkloadMonitor::default()
+    }
+
+    /// Record one virtually-answered query against a view: its measured
+    /// cost and the result size.
+    pub fn record(&self, view: &str, cost_ms: f64, size_nodes: usize) {
+        let mut inner = self.inner.lock();
+        let e = inner.entry(view.to_string()).or_insert((0, 0.0, 0));
+        e.0 += 1;
+        e.1 += cost_ms;
+        e.2 = e.2.max(size_nodes);
+    }
+
+    /// Snapshot candidates with mean costs, sorted by name.
+    pub fn candidates(&self) -> Vec<CandidateView> {
+        let inner = self.inner.lock();
+        let mut out: Vec<CandidateView> = inner
+            .iter()
+            .map(|(name, (freq, total_cost, size))| CandidateView {
+                name: name.clone(),
+                frequency: *freq,
+                virtual_cost_ms: if *freq > 0 {
+                    total_cost / *freq as f64
+                } else {
+                    0.0
+                },
+                size_nodes: *size,
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Start a new observation window.
+    pub fn reset(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cands() -> Vec<CandidateView> {
+        vec![
+            CandidateView {
+                name: "hot_small".into(),
+                frequency: 100,
+                virtual_cost_ms: 50.0,
+                size_nodes: 10,
+            },
+            CandidateView {
+                name: "hot_big".into(),
+                frequency: 100,
+                virtual_cost_ms: 50.0,
+                size_nodes: 1000,
+            },
+            CandidateView {
+                name: "cold".into(),
+                frequency: 1,
+                virtual_cost_ms: 50.0,
+                size_nodes: 10,
+            },
+            CandidateView {
+                name: "unused".into(),
+                frequency: 0,
+                virtual_cost_ms: 0.0,
+                size_nodes: 5,
+            },
+        ]
+    }
+
+    #[test]
+    fn none_and_cache_only_materialize_nothing() {
+        assert!(select_views(SelectionPolicy::None, &cands(), 10_000).is_empty());
+        assert!(select_views(SelectionPolicy::CacheOnly, &cands(), 10_000).is_empty());
+    }
+
+    #[test]
+    fn greedy_prefers_benefit_per_node() {
+        let picked = select_views(SelectionPolicy::Greedy, &cands(), 30);
+        // hot_small (500/node) then cold (5/node); hot_big doesn't fit.
+        assert_eq!(picked, vec!["hot_small", "cold"]);
+    }
+
+    #[test]
+    fn greedy_skips_unused() {
+        let picked = select_views(SelectionPolicy::Greedy, &cands(), 10_000);
+        assert!(!picked.contains(&"unused".to_string()));
+    }
+
+    #[test]
+    fn all_fills_in_order_until_budget() {
+        let picked = select_views(SelectionPolicy::All, &cands(), 25);
+        // Takes hot_small (10), skips hot_big (1000), takes cold (10),
+        // takes unused (5).
+        assert_eq!(picked, vec!["hot_small", "cold", "unused"]);
+    }
+
+    #[test]
+    fn monitor_aggregates() {
+        let m = WorkloadMonitor::new();
+        m.record("v1", 10.0, 100);
+        m.record("v1", 20.0, 90);
+        m.record("v2", 5.0, 10);
+        let c = m.candidates();
+        assert_eq!(c.len(), 2);
+        let v1 = c.iter().find(|c| c.name == "v1").unwrap();
+        assert_eq!(v1.frequency, 2);
+        assert!((v1.virtual_cost_ms - 15.0).abs() < 1e-9);
+        assert_eq!(v1.size_nodes, 100);
+        m.reset();
+        assert!(m.candidates().is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! Materialized views over the mediated schema.
+
+use nimble_xml::Document;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Freshness verdict for a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Freshness {
+    /// Within TTL (or no TTL set).
+    Fresh,
+    /// Present but older than its TTL; usable only under a stale-tolerant
+    /// policy.
+    Stale,
+}
+
+/// One materialized view: the stored result of a mediated-schema query.
+#[derive(Debug, Clone)]
+pub struct MaterializedView {
+    /// The mediated collection (or query label) this materializes.
+    pub name: String,
+    /// The defining query text, kept for refresh.
+    pub definition: String,
+    /// The stored result.
+    pub document: Arc<Document>,
+    /// Logical time of the last refresh.
+    pub refreshed_at: u64,
+    /// Maximum age (ticks) before the view counts as stale; `None` means
+    /// refresh-on-demand only (never auto-stale).
+    pub ttl: Option<u64>,
+    /// Lookup hits since materialization.
+    pub hits: u64,
+    /// Node count, the size proxy used against storage budgets.
+    pub size_nodes: usize,
+}
+
+impl MaterializedView {
+    /// Freshness at a given logical time.
+    pub fn freshness(&self, now: u64) -> Freshness {
+        match self.ttl {
+            Some(ttl) if now.saturating_sub(self.refreshed_at) > ttl => Freshness::Stale,
+            _ => Freshness::Fresh,
+        }
+    }
+}
+
+/// Thread-safe store of materialized views, keyed by view name.
+#[derive(Default)]
+pub struct ViewStore {
+    views: RwLock<HashMap<String, MaterializedView>>,
+}
+
+impl ViewStore {
+    pub fn new() -> ViewStore {
+        ViewStore::default()
+    }
+
+    /// Materialize (or re-materialize) a view.
+    pub fn materialize(
+        &self,
+        name: &str,
+        definition: &str,
+        document: Arc<Document>,
+        now: u64,
+        ttl: Option<u64>,
+    ) {
+        let size_nodes = document.len();
+        let mut views = self.views.write();
+        let hits = views.get(name).map(|v| v.hits).unwrap_or(0);
+        views.insert(
+            name.to_string(),
+            MaterializedView {
+                name: name.to_string(),
+                definition: definition.to_string(),
+                document,
+                refreshed_at: now,
+                ttl,
+                hits,
+                size_nodes,
+            },
+        );
+    }
+
+    /// Look up a view, counting the hit. Returns the stored document and
+    /// its freshness at `now`.
+    pub fn lookup(&self, name: &str, now: u64) -> Option<(Arc<Document>, Freshness)> {
+        let mut views = self.views.write();
+        let v = views.get_mut(name)?;
+        v.hits += 1;
+        Some((Arc::clone(&v.document), v.freshness(now)))
+    }
+
+    /// Peek without counting a hit.
+    pub fn peek(&self, name: &str) -> Option<MaterializedView> {
+        self.views.read().get(name).cloned()
+    }
+
+    /// Remove a view; true if it existed.
+    pub fn drop_view(&self, name: &str) -> bool {
+        self.views.write().remove(name).is_some()
+    }
+
+    /// Names of all views needing refresh at `now` (stale by TTL).
+    pub fn stale_views(&self, now: u64) -> Vec<String> {
+        self.views
+            .read()
+            .values()
+            .filter(|v| v.freshness(now) == Freshness::Stale)
+            .map(|v| v.name.clone())
+            .collect()
+    }
+
+    /// All view names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.views.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Total stored size in nodes.
+    pub fn total_size(&self) -> usize {
+        self.views.read().values().map(|v| v.size_nodes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimble_xml::parse;
+
+    fn doc(xml: &str) -> Arc<Document> {
+        parse(xml).unwrap()
+    }
+
+    #[test]
+    fn materialize_and_lookup() {
+        let store = ViewStore::new();
+        store.materialize("customers", "WHERE ...", doc("<rows><row/></rows>"), 10, Some(5));
+        let (d, f) = store.lookup("customers", 12).unwrap();
+        assert_eq!(f, Freshness::Fresh);
+        assert_eq!(d.root().name(), Some("rows"));
+        assert_eq!(store.peek("customers").unwrap().hits, 1);
+    }
+
+    #[test]
+    fn ttl_staleness() {
+        let store = ViewStore::new();
+        store.materialize("v", "q", doc("<r/>"), 0, Some(5));
+        assert_eq!(store.lookup("v", 5).unwrap().1, Freshness::Fresh);
+        assert_eq!(store.lookup("v", 6).unwrap().1, Freshness::Stale);
+        assert_eq!(store.stale_views(6), vec!["v"]);
+        // Refresh resets the clock and keeps the hit count.
+        store.materialize("v", "q", doc("<r/>"), 6, Some(5));
+        assert_eq!(store.lookup("v", 7).unwrap().1, Freshness::Fresh);
+        assert_eq!(store.peek("v").unwrap().hits, 3);
+    }
+
+    #[test]
+    fn no_ttl_never_stale() {
+        let store = ViewStore::new();
+        store.materialize("v", "q", doc("<r/>"), 0, None);
+        assert_eq!(store.lookup("v", u64::MAX).unwrap().1, Freshness::Fresh);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let store = Arc::new(ViewStore::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let name = format!("v{}", (t + i) % 4);
+                    store.materialize(&name, "q", doc("<r/>"), i, Some(5));
+                    let _ = store.lookup(&name, i);
+                    let _ = store.stale_views(i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.names().len(), 4);
+    }
+
+    #[test]
+    fn drop_and_sizes() {
+        let store = ViewStore::new();
+        store.materialize("a", "q", doc("<r><x>1</x></r>"), 0, None);
+        store.materialize("b", "q", doc("<r/>"), 0, None);
+        assert_eq!(store.names(), vec!["a", "b"]);
+        assert!(store.total_size() >= 4);
+        assert!(store.drop_view("a"));
+        assert!(!store.drop_view("a"));
+        assert_eq!(store.names(), vec!["b"]);
+    }
+}

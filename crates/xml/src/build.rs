@@ -1,0 +1,216 @@
+//! Construction of immutable documents.
+//!
+//! [`DocumentBuilder`] appends nodes in document order (pre-order), which
+//! is what keeps `NodeId` comparison equivalent to document order. It is
+//! the single write path for documents: the parser, the source adapters,
+//! and the algebra's `Construct` operator all build through it.
+
+use crate::atomic::Atomic;
+use crate::node::{Document, NodeData, NodeId, NodeKind, NodeRef};
+use std::sync::Arc;
+
+/// Incrementally builds a [`Document`] with a cursor-based API.
+///
+/// ```
+/// use nimble_xml::DocumentBuilder;
+///
+/// let mut b = DocumentBuilder::new("people");
+/// b.start_element("person");
+/// b.attr("id", "1");
+/// b.text_str("Ada");
+/// b.end_element();
+/// let doc = b.finish();
+/// assert_eq!(doc.root().child("person").unwrap().text(), "Ada");
+/// ```
+pub struct DocumentBuilder {
+    nodes: Vec<NodeData>,
+    /// Stack of open elements; the root stays at the bottom until `finish`.
+    open: Vec<NodeId>,
+}
+
+impl DocumentBuilder {
+    /// Start a new document whose root element has the given tag name.
+    pub fn new(root_name: &str) -> Self {
+        let root = NodeData {
+            kind: NodeKind::Element {
+                name: root_name.to_string(),
+                attrs: Vec::new(),
+            },
+            parent: None,
+            children: Vec::new(),
+        };
+        DocumentBuilder {
+            nodes: vec![root],
+            open: vec![NodeId(0)],
+        }
+    }
+
+    fn push_node(&mut self, kind: NodeKind) -> NodeId {
+        let parent = *self.open.last().expect("builder has no open element");
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            kind,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.0 as usize].children.push(id);
+        id
+    }
+
+    /// Open a child element; subsequent nodes nest inside it until
+    /// [`end_element`](Self::end_element).
+    pub fn start_element(&mut self, name: &str) -> NodeId {
+        let id = self.push_node(NodeKind::Element {
+            name: name.to_string(),
+            attrs: Vec::new(),
+        });
+        self.open.push(id);
+        id
+    }
+
+    /// Close the innermost open element. Panics on attempts to close the
+    /// root (the root is closed by [`finish`](Self::finish)).
+    pub fn end_element(&mut self) {
+        assert!(
+            self.open.len() > 1,
+            "end_element would close the document root"
+        );
+        self.open.pop();
+    }
+
+    /// Add an attribute to the innermost open element.
+    pub fn attr(&mut self, name: &str, value: &str) {
+        let cur = *self.open.last().unwrap();
+        match &mut self.nodes[cur.0 as usize].kind {
+            NodeKind::Element { attrs, .. } => attrs.push((name.to_string(), value.to_string())),
+            _ => unreachable!("open stack only holds elements"),
+        }
+    }
+
+    /// Append a typed text node.
+    pub fn text(&mut self, value: Atomic) -> NodeId {
+        self.push_node(NodeKind::Text(value))
+    }
+
+    /// Append a string text node.
+    pub fn text_str(&mut self, value: &str) -> NodeId {
+        self.text(Atomic::Str(value.to_string()))
+    }
+
+    /// Append a comment node.
+    pub fn comment(&mut self, text: &str) -> NodeId {
+        self.push_node(NodeKind::Comment(text.to_string()))
+    }
+
+    /// Append a processing instruction.
+    pub fn pi(&mut self, target: &str, data: &str) -> NodeId {
+        self.push_node(NodeKind::Pi {
+            target: target.to_string(),
+            data: data.to_string(),
+        })
+    }
+
+    /// Convenience: `<name>value</name>` as a single call.
+    pub fn leaf(&mut self, name: &str, value: Atomic) -> NodeId {
+        let id = self.start_element(name);
+        if !value.is_null() {
+            self.text(value);
+        }
+        self.end_element();
+        id
+    }
+
+    /// Deep-copy an existing subtree (possibly from another document) as a
+    /// child of the current element. Used by `Construct` when query results
+    /// embed source fragments.
+    pub fn copy_subtree(&mut self, node: &NodeRef) {
+        match node.kind() {
+            NodeKind::Element { name, attrs } => {
+                let name = name.clone();
+                let attrs = attrs.clone();
+                self.start_element(&name);
+                for (k, v) in &attrs {
+                    self.attr(k, v);
+                }
+                let children: Vec<NodeRef> = node.children().collect();
+                for c in &children {
+                    self.copy_subtree(c);
+                }
+                self.end_element();
+            }
+            NodeKind::Text(a) => {
+                self.text(a.clone());
+            }
+            NodeKind::Comment(c) => {
+                self.comment(&c.clone());
+            }
+            NodeKind::Pi { target, data } => {
+                self.pi(&target.clone(), &data.clone());
+            }
+        }
+    }
+
+    /// Depth of currently open elements (1 = only the root is open).
+    pub fn depth(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Close any open elements and freeze the document.
+    pub fn finish(mut self) -> Arc<Document> {
+        self.open.clear();
+        Arc::new(Document {
+            nodes: self.nodes,
+            root: NodeId(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize::to_string;
+
+    #[test]
+    fn build_nested() {
+        let mut b = DocumentBuilder::new("db");
+        b.start_element("book");
+        b.attr("year", "1999");
+        b.leaf("title", Atomic::Str("Data on the Web".into()));
+        b.end_element();
+        let doc = b.finish();
+        assert_eq!(
+            to_string(&doc.root()),
+            "<db><book year=\"1999\"><title>Data on the Web</title></book></db>"
+        );
+    }
+
+    #[test]
+    fn typed_leaves_preserve_types() {
+        let mut b = DocumentBuilder::new("row");
+        b.leaf("n", Atomic::Int(7));
+        b.leaf("f", Atomic::Float(1.5));
+        let doc = b.finish();
+        assert_eq!(doc.root().child("n").unwrap().typed_value(), Atomic::Int(7));
+        assert_eq!(
+            doc.root().child("f").unwrap().typed_value(),
+            Atomic::Float(1.5)
+        );
+    }
+
+    #[test]
+    fn copy_subtree_across_documents() {
+        let src = crate::parse::parse("<a><b x='1'>t<!--c--></b></a>").unwrap();
+        let mut b = DocumentBuilder::new("out");
+        let node = src.root().child("b").unwrap();
+        b.copy_subtree(&node);
+        let doc = b.finish();
+        assert!(doc.root().child("b").unwrap().deep_eq(&node));
+    }
+
+    #[test]
+    #[should_panic(expected = "close the document root")]
+    fn cannot_close_root() {
+        let mut b = DocumentBuilder::new("r");
+        b.end_element();
+    }
+}

@@ -1,0 +1,405 @@
+//! Arena-based ordered XML trees.
+//!
+//! A [`Document`] owns all its nodes in a single `Vec`; a [`NodeId`] is an
+//! index into that arena. Nodes are allocated in pre-order, so **document
+//! order is the numeric order of ids** — the property the paper leans on
+//! for XML's "intrinsic ordering". Documents are immutable once built (see
+//! [`crate::build::DocumentBuilder`]) and shared via `Arc`, which makes
+//! binding tuples in the algebra cheap to copy.
+
+use crate::atomic::Atomic;
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of a node within its [`Document`] arena. Ordering of ids is
+/// document (pre-)order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The arena slot, mostly useful for diagnostics.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The kind-specific payload of a node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// An element with a tag name and attributes (in source order).
+    Element {
+        name: String,
+        attrs: Vec<(String, String)>,
+    },
+    /// A text node holding a typed atomic value. Parsed documents store
+    /// `Atomic::Str`; adapter-built documents keep source types.
+    Text(Atomic),
+    /// A comment (`<!-- ... -->`).
+    Comment(String),
+    /// A processing instruction (`<?target data?>`).
+    Pi { target: String, data: String },
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct NodeData {
+    pub kind: NodeKind,
+    pub parent: Option<NodeId>,
+    pub children: Vec<NodeId>,
+}
+
+/// An immutable XML document: a tree of elements, text, comments, and
+/// processing instructions rooted at a single element.
+#[derive(Debug, Clone)]
+pub struct Document {
+    pub(crate) nodes: Vec<NodeData>,
+    pub(crate) root: NodeId,
+}
+
+impl Document {
+    /// The root element of the document.
+    pub fn root(self: &Arc<Self>) -> NodeRef {
+        NodeRef {
+            doc: Arc::clone(self),
+            id: self.root,
+        }
+    }
+
+    /// Resolve an id to a reference. Panics if the id does not belong to
+    /// this document's arena.
+    pub fn node(self: &Arc<Self>, id: NodeId) -> NodeRef {
+        assert!(
+            (id.0 as usize) < self.nodes.len(),
+            "NodeId {} out of bounds for document with {} nodes",
+            id.0,
+            self.nodes.len()
+        );
+        NodeRef {
+            doc: Arc::clone(self),
+            id,
+        }
+    }
+
+    /// Total number of nodes (all kinds) in the document.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the document has no nodes (only possible for the empty
+    /// placeholder document).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// An empty single-element document `<name/>`, used as the identity
+    /// result of constructions.
+    pub fn empty(name: &str) -> Arc<Document> {
+        let b = crate::build::DocumentBuilder::new(name);
+        b.finish()
+    }
+
+    pub(crate) fn data(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id.0 as usize]
+    }
+}
+
+/// A cheap handle to one node of a shared document: an `Arc` plus an index.
+#[derive(Clone)]
+pub struct NodeRef {
+    pub(crate) doc: Arc<Document>,
+    pub(crate) id: NodeId,
+}
+
+impl NodeRef {
+    /// The node's id within its document (document-order comparable).
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The owning document.
+    pub fn document(&self) -> &Arc<Document> {
+        &self.doc
+    }
+
+    /// The node's payload.
+    pub fn kind(&self) -> &NodeKind {
+        &self.doc.data(self.id).kind
+    }
+
+    /// True if this node is an element.
+    pub fn is_element(&self) -> bool {
+        matches!(self.kind(), NodeKind::Element { .. })
+    }
+
+    /// Element tag name, or `None` for non-elements.
+    pub fn name(&self) -> Option<&str> {
+        match self.kind() {
+            NodeKind::Element { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Attribute lookup by name (elements only).
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        match self.kind() {
+            NodeKind::Element { attrs, .. } => attrs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// All attributes in source order (empty for non-elements).
+    pub fn attrs(&self) -> &[(String, String)] {
+        match self.kind() {
+            NodeKind::Element { attrs, .. } => attrs,
+            _ => &[],
+        }
+    }
+
+    /// Parent node, `None` at the root.
+    pub fn parent(&self) -> Option<NodeRef> {
+        self.doc.data(self.id).parent.map(|p| NodeRef {
+            doc: Arc::clone(&self.doc),
+            id: p,
+        })
+    }
+
+    /// All children in document order.
+    pub fn children(&self) -> impl Iterator<Item = NodeRef> + '_ {
+        self.doc
+            .data(self.id)
+            .children
+            .iter()
+            .map(move |&c| NodeRef {
+                doc: Arc::clone(&self.doc),
+                id: c,
+            })
+    }
+
+    /// Child elements only, in document order.
+    pub fn child_elements(&self) -> impl Iterator<Item = NodeRef> + '_ {
+        self.children().filter(|c| c.is_element())
+    }
+
+    /// Child elements with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = NodeRef> + 'a {
+        self.child_elements().filter(move |c| c.name() == Some(name))
+    }
+
+    /// First child element with the given name.
+    pub fn child(&self, name: &str) -> Option<NodeRef> {
+        self.children_named(name).next()
+    }
+
+    /// The next sibling in document order ("sideways" navigation).
+    pub fn following_sibling(&self) -> Option<NodeRef> {
+        let parent = self.doc.data(self.id).parent?;
+        let siblings = &self.doc.data(parent).children;
+        let pos = siblings.iter().position(|&c| c == self.id)?;
+        siblings.get(pos + 1).map(|&c| NodeRef {
+            doc: Arc::clone(&self.doc),
+            id: c,
+        })
+    }
+
+    /// The previous sibling in document order.
+    pub fn preceding_sibling(&self) -> Option<NodeRef> {
+        let parent = self.doc.data(self.id).parent?;
+        let siblings = &self.doc.data(parent).children;
+        let pos = siblings.iter().position(|&c| c == self.id)?;
+        if pos == 0 {
+            None
+        } else {
+            Some(NodeRef {
+                doc: Arc::clone(&self.doc),
+                id: siblings[pos - 1],
+            })
+        }
+    }
+
+    /// All descendant elements (not including self), pre-order.
+    pub fn descendants(&self) -> Descendants {
+        Descendants {
+            doc: Arc::clone(&self.doc),
+            stack: self
+                .doc
+                .data(self.id)
+                .children
+                .iter()
+                .rev()
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Concatenated text content of this node and its descendants.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        self.collect_text(&mut out);
+        out
+    }
+
+    fn collect_text(&self, out: &mut String) {
+        match self.kind() {
+            NodeKind::Text(a) => out.push_str(&a.lexical()),
+            NodeKind::Element { .. } => {
+                for c in self.children() {
+                    c.collect_text(out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The typed value of this node: for a text node its atomic, for an
+    /// element with a single text child that child's atomic, otherwise the
+    /// concatenated text as a string (empty elements yield `Null`).
+    pub fn typed_value(&self) -> Atomic {
+        match self.kind() {
+            NodeKind::Text(a) => a.clone(),
+            NodeKind::Element { .. } => {
+                let children = &self.doc.data(self.id).children;
+                if children.is_empty() {
+                    return Atomic::Null;
+                }
+                if children.len() == 1 {
+                    if let NodeKind::Text(a) = &self.doc.data(children[0]).kind {
+                        return a.clone();
+                    }
+                }
+                Atomic::Str(self.text())
+            }
+            NodeKind::Comment(_) | NodeKind::Pi { .. } => Atomic::Null,
+        }
+    }
+
+    /// True when both refs point to the same node of the same document
+    /// (node identity, not structural equality).
+    pub fn same_node(&self, other: &NodeRef) -> bool {
+        Arc::ptr_eq(&self.doc, &other.doc) && self.id == other.id
+    }
+
+    /// Document-order comparison; only meaningful within one document.
+    /// Across documents, orders by document pointer to stay total.
+    pub fn doc_order(&self, other: &NodeRef) -> std::cmp::Ordering {
+        if Arc::ptr_eq(&self.doc, &other.doc) {
+            self.id.cmp(&other.id)
+        } else {
+            (Arc::as_ptr(&self.doc) as usize).cmp(&(Arc::as_ptr(&other.doc) as usize))
+        }
+    }
+
+    /// Structural (deep) equality of the subtrees rooted here.
+    pub fn deep_eq(&self, other: &NodeRef) -> bool {
+        if self.kind() != other.kind() {
+            return false;
+        }
+        let a: Vec<NodeRef> = self.children().collect();
+        let b: Vec<NodeRef> = other.children().collect();
+        a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.deep_eq(y))
+    }
+
+    /// Number of nodes in the subtree rooted here (including self).
+    pub fn subtree_size(&self) -> usize {
+        1 + self.children().map(|c| c.subtree_size()).sum::<usize>()
+    }
+}
+
+impl fmt::Debug for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind() {
+            NodeKind::Element { name, .. } => write!(f, "NodeRef(<{}> #{})", name, self.id.0),
+            NodeKind::Text(a) => write!(f, "NodeRef(text {:?} #{})", a.lexical(), self.id.0),
+            NodeKind::Comment(_) => write!(f, "NodeRef(comment #{})", self.id.0),
+            NodeKind::Pi { target, .. } => write!(f, "NodeRef(pi {} #{})", target, self.id.0),
+        }
+    }
+}
+
+/// Pre-order iterator over descendant elements.
+pub struct Descendants {
+    doc: Arc<Document>,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants {
+    type Item = NodeRef;
+
+    fn next(&mut self) -> Option<NodeRef> {
+        while let Some(id) = self.stack.pop() {
+            let data = self.doc.data(id);
+            for &c in data.children.iter().rev() {
+                self.stack.push(c);
+            }
+            if matches!(data.kind, NodeKind::Element { .. }) {
+                return Some(NodeRef {
+                    doc: Arc::clone(&self.doc),
+                    id,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse::parse;
+
+    #[test]
+    fn navigation_up_down_sideways() {
+        let doc = parse("<a><b>1</b><c>2</c><b>3</b></a>").unwrap();
+        let root = doc.root();
+        assert_eq!(root.name(), Some("a"));
+        let first_b = root.child("b").unwrap();
+        assert_eq!(first_b.text(), "1");
+        let c = first_b.following_sibling().unwrap();
+        assert_eq!(c.name(), Some("c"));
+        assert_eq!(c.parent().unwrap().name(), Some("a"));
+        assert_eq!(c.preceding_sibling().unwrap().text(), "1");
+        let bs: Vec<String> = root.children_named("b").map(|n| n.text()).collect();
+        assert_eq!(bs, vec!["1", "3"]);
+    }
+
+    #[test]
+    fn document_order_is_id_order() {
+        let doc = parse("<a><b><d/></b><c/></a>").unwrap();
+        let names: Vec<String> = doc
+            .root()
+            .descendants()
+            .map(|n| n.name().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["b", "d", "c"]);
+        let d = doc.root().descendants().find(|n| n.name() == Some("d")).unwrap();
+        let c = doc.root().descendants().find(|n| n.name() == Some("c")).unwrap();
+        assert_eq!(d.doc_order(&c), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn typed_value_of_simple_element() {
+        let doc = parse("<n>42</n>").unwrap();
+        // Parsed text stays a string; adapters produce typed atoms.
+        assert_eq!(doc.root().typed_value().lexical(), "42");
+    }
+
+    #[test]
+    fn deep_eq_and_subtree_size() {
+        let a = parse("<x><y>1</y></x>").unwrap();
+        let b = parse("<x><y>1</y></x>").unwrap();
+        let c = parse("<x><y>2</y></x>").unwrap();
+        assert!(a.root().deep_eq(&b.root()));
+        assert!(!a.root().deep_eq(&c.root()));
+        assert_eq!(a.root().subtree_size(), 3);
+    }
+
+    #[test]
+    fn same_node_identity() {
+        let a = parse("<x><y/></x>").unwrap();
+        let y1 = a.root().child("y").unwrap();
+        let y2 = a.root().child("y").unwrap();
+        assert!(y1.same_node(&y2));
+        let b = parse("<x><y/></x>").unwrap();
+        assert!(!y1.same_node(&b.root().child("y").unwrap()));
+    }
+}

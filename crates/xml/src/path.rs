@@ -1,0 +1,304 @@
+//! A compact path-navigation language over documents.
+//!
+//! Paths express the "navigation-style access" the paper lists among its
+//! required XML features. The grammar is a pragmatic XPath-like subset:
+//!
+//! ```text
+//! path  := step ('/' step)*
+//! step  := name          child elements named `name`
+//!        | '*'           any child element
+//!        | '//' name     descendant elements named `name` (written a//b)
+//!        | '..'          parent
+//!        | '@' name      attribute value (must be the last step)
+//!        | 'text()'      typed value of the context node
+//! ```
+
+use crate::atomic::Atomic;
+use crate::node::NodeRef;
+use crate::value::Value;
+use std::fmt;
+
+/// One navigation step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// `name` — child elements with this tag.
+    Child(String),
+    /// `*` — all child elements.
+    AnyChild,
+    /// `//name` — descendant elements with this tag.
+    Descendant(String),
+    /// `..` — parent element.
+    Parent,
+    /// `@name` — attribute value; terminal.
+    Attr(String),
+    /// `text()` — the node's typed value; terminal.
+    Text,
+}
+
+/// A parsed path expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    pub steps: Vec<Step>,
+}
+
+/// Error produced by [`Path::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathParseError(pub String);
+
+impl fmt::Display for PathParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid path: {}", self.0)
+    }
+}
+impl std::error::Error for PathParseError {}
+
+impl Path {
+    /// Parse a textual path like `book//author/@id`.
+    pub fn parse(text: &str) -> Result<Path, PathParseError> {
+        if text.trim().is_empty() {
+            return Err(PathParseError("empty path".into()));
+        }
+        let mut steps = Vec::new();
+        let mut rest = text.trim();
+        let mut first = true;
+        while !rest.is_empty() {
+            let descendant = if rest.starts_with("//") {
+                rest = &rest[2..];
+                true
+            } else if rest.starts_with('/') {
+                if first {
+                    return Err(PathParseError("paths are relative; no leading '/'".into()));
+                }
+                rest = &rest[1..];
+                false
+            } else if !first {
+                return Err(PathParseError(format!("expected '/' before {:?}", rest)));
+            } else {
+                false
+            };
+            first = false;
+            let end = rest.find('/').unwrap_or(rest.len());
+            let token = &rest[..end];
+            rest = &rest[end..];
+            if token.is_empty() {
+                return Err(PathParseError("empty step".into()));
+            }
+            let step = if descendant {
+                if !is_valid_name(token) {
+                    return Err(PathParseError(format!(
+                        "descendant step must be a name, got {:?}",
+                        token
+                    )));
+                }
+                Step::Descendant(token.to_string())
+            } else if token == "*" {
+                Step::AnyChild
+            } else if token == ".." {
+                Step::Parent
+            } else if token == "text()" {
+                Step::Text
+            } else if let Some(attr) = token.strip_prefix('@') {
+                if !is_valid_name(attr) {
+                    return Err(PathParseError(format!("invalid attribute name {:?}", attr)));
+                }
+                Step::Attr(attr.to_string())
+            } else {
+                if !is_valid_name(token) {
+                    return Err(PathParseError(format!("invalid step {:?}", token)));
+                }
+                Step::Child(token.to_string())
+            };
+            let terminal = matches!(step, Step::Attr(_) | Step::Text);
+            steps.push(step);
+            if terminal && !rest.is_empty() {
+                return Err(PathParseError(
+                    "attribute/text() step must be last".into(),
+                ));
+            }
+        }
+        Ok(Path { steps })
+    }
+
+    /// Evaluate the path from a context node, yielding matched **values**:
+    /// element steps yield nodes, `@attr`/`text()` yield atomics.
+    pub fn eval(&self, context: &NodeRef) -> Vec<Value> {
+        let mut current: Vec<Value> = vec![Value::Node(context.clone())];
+        for step in &self.steps {
+            let mut next = Vec::new();
+            for v in &current {
+                let node = match v {
+                    Value::Node(n) => n,
+                    _ => continue,
+                };
+                match step {
+                    Step::Child(name) => {
+                        next.extend(node.children_named(name).map(Value::Node));
+                    }
+                    Step::AnyChild => next.extend(node.child_elements().map(Value::Node)),
+                    Step::Descendant(name) => next.extend(
+                        node.descendants()
+                            .filter(|d| d.name() == Some(name.as_str()))
+                            .map(Value::Node),
+                    ),
+                    Step::Parent => {
+                        if let Some(p) = node.parent() {
+                            next.push(Value::Node(p));
+                        }
+                    }
+                    Step::Attr(name) => {
+                        if let Some(a) = node.attr(name) {
+                            next.push(Value::Atomic(Atomic::infer(a)));
+                        }
+                    }
+                    Step::Text => next.push(Value::Atomic(node.typed_value())),
+                }
+            }
+            current = next;
+        }
+        current
+    }
+
+    /// Like [`eval`](Self::eval) but keeps only element nodes, which is
+    /// what scan operators want.
+    pub fn select<'a>(&self, context: NodeRef) -> impl Iterator<Item = NodeRef> + 'a {
+        self.eval(&context).into_iter().filter_map(|v| match v {
+            Value::Node(n) => Some(n),
+            _ => None,
+        })
+    }
+
+    /// First matched value, if any.
+    pub fn eval_first(&self, context: &NodeRef) -> Option<Value> {
+        self.eval(context).into_iter().next()
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            match s {
+                Step::Child(n) => {
+                    if i > 0 {
+                        f.write_str("/")?;
+                    }
+                    f.write_str(n)?;
+                }
+                Step::AnyChild => {
+                    if i > 0 {
+                        f.write_str("/")?;
+                    }
+                    f.write_str("*")?;
+                }
+                Step::Descendant(n) => {
+                    f.write_str("//")?;
+                    f.write_str(n)?;
+                }
+                Step::Parent => {
+                    if i > 0 {
+                        f.write_str("/")?;
+                    }
+                    f.write_str("..")?;
+                }
+                Step::Attr(n) => {
+                    if i > 0 {
+                        f.write_str("/")?;
+                    }
+                    write!(f, "@{}", n)?;
+                }
+                Step::Text => {
+                    if i > 0 {
+                        f.write_str("/")?;
+                    }
+                    f.write_str("text()")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn is_valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| {
+            c.is_alphabetic() || c == '_' || c == ':'
+        })
+        && s.chars()
+            .all(|c| c.is_alphanumeric() || matches!(c, '_' | ':' | '-' | '.'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    const DOC: &str = "<db>\
+        <book year='1999'><title>Web Data</title><author><last>Abiteboul</last></author></book>\
+        <book year='2001'><title>Integration</title><author><last>Halevy</last></author></book>\
+        <journal><title>TODS</title></journal>\
+    </db>";
+
+    #[test]
+    fn child_steps() {
+        let doc = parse(DOC).unwrap();
+        let p = Path::parse("book/title").unwrap();
+        let titles: Vec<String> = p.select(doc.root()).map(|n| n.text()).collect();
+        assert_eq!(titles, vec!["Web Data", "Integration"]);
+    }
+
+    #[test]
+    fn descendant_step() {
+        let doc = parse(DOC).unwrap();
+        let p = Path::parse("//title").unwrap();
+        assert_eq!(p.select(doc.root()).count(), 3);
+        let p = Path::parse("book//last").unwrap();
+        let names: Vec<String> = p.select(doc.root()).map(|n| n.text()).collect();
+        assert_eq!(names, vec!["Abiteboul", "Halevy"]);
+    }
+
+    #[test]
+    fn wildcard_and_parent() {
+        let doc = parse(DOC).unwrap();
+        let p = Path::parse("*/title/..").unwrap();
+        let names: Vec<String> = p
+            .select(doc.root())
+            .map(|n| n.name().unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["book", "book", "journal"]);
+    }
+
+    #[test]
+    fn attribute_values_typed() {
+        let doc = parse(DOC).unwrap();
+        let p = Path::parse("book/@year").unwrap();
+        let years = p.eval(&doc.root());
+        assert_eq!(years.len(), 2);
+        assert_eq!(years[0], Value::Atomic(Atomic::Int(1999)));
+    }
+
+    #[test]
+    fn text_step() {
+        let doc = parse(DOC).unwrap();
+        let p = Path::parse("journal/title/text()").unwrap();
+        assert_eq!(
+            p.eval_first(&doc.root()),
+            Some(Value::Atomic(Atomic::Str("TODS".into())))
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Path::parse("").is_err());
+        assert!(Path::parse("/abs").is_err());
+        assert!(Path::parse("a//").is_err());
+        assert!(Path::parse("@x/y").is_err());
+        assert!(Path::parse("a/<b>").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for text in ["a/b", "a//b/@id", "*/..", "book/text()"] {
+            let p = Path::parse(text).unwrap();
+            assert_eq!(Path::parse(&p.to_string()).unwrap(), p);
+        }
+    }
+}

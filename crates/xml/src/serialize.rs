@@ -1,0 +1,133 @@
+//! Serialization of documents back to XML text.
+
+use crate::node::{NodeKind, NodeRef};
+use std::fmt::Write;
+
+/// Serialize a subtree to compact XML (no added whitespace).
+pub fn to_string(node: &NodeRef) -> String {
+    let mut out = String::new();
+    write_node(&mut out, node, None, 0);
+    out
+}
+
+/// Serialize a subtree with two-space indentation, one element per line.
+/// Mixed content (elements with text siblings) is kept inline so text is
+/// not distorted.
+pub fn to_string_pretty(node: &NodeRef) -> String {
+    let mut out = String::new();
+    write_node(&mut out, node, Some(2), 0);
+    out
+}
+
+fn write_node(out: &mut String, node: &NodeRef, indent: Option<usize>, depth: usize) {
+    match node.kind() {
+        NodeKind::Element { name, attrs } => {
+            if let Some(w) = indent {
+                if depth > 0 {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(w * depth));
+                }
+            }
+            out.push('<');
+            out.push_str(name);
+            for (k, v) in attrs {
+                let _ = write!(out, " {}=\"{}\"", k, escape_attr(v));
+            }
+            let children: Vec<NodeRef> = node.children().collect();
+            if children.is_empty() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            let mixed = children
+                .iter()
+                .any(|c| matches!(c.kind(), NodeKind::Text(_)));
+            let child_indent = if mixed { None } else { indent };
+            for c in &children {
+                write_node(out, c, child_indent, depth + 1);
+            }
+            if let Some(w) = indent {
+                if !mixed {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(w * depth));
+                }
+            }
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+        NodeKind::Text(a) => out.push_str(&escape_text(&a.lexical())),
+        NodeKind::Comment(c) => {
+            let _ = write!(out, "<!--{}-->", c);
+        }
+        NodeKind::Pi { target, data } => {
+            if data.is_empty() {
+                let _ = write!(out, "<?{}?>", target);
+            } else {
+                let _ = write!(out, "<?{} {}?>", target, data);
+            }
+        }
+    }
+}
+
+/// Escape text content: `<`, `>`, `&`.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape an attribute value for double-quoted output.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn escaping_roundtrips() {
+        let doc = parse("<a x=\"q&quot;u&amp;o\">a &lt; b &amp; c</a>").unwrap();
+        let text = to_string(&doc.root());
+        let doc2 = parse(&text).unwrap();
+        assert!(doc.root().deep_eq(&doc2.root()));
+    }
+
+    #[test]
+    fn pretty_printing_indents_elements() {
+        let doc = parse("<a><b><c/></b><d/></a>").unwrap();
+        let pretty = to_string_pretty(&doc.root());
+        assert_eq!(pretty, "<a>\n  <b>\n    <c/>\n  </b>\n  <d/>\n</a>");
+    }
+
+    #[test]
+    fn pretty_printing_keeps_mixed_content_inline() {
+        let doc = parse("<p>hello <b>world</b>!</p>").unwrap();
+        let pretty = to_string_pretty(&doc.root());
+        assert_eq!(pretty, "<p>hello <b>world</b>!</p>");
+    }
+
+    #[test]
+    fn empty_elements_self_close() {
+        let doc = parse("<a><b></b></a>").unwrap();
+        assert_eq!(to_string(&doc.root()), "<a><b/></a>");
+    }
+}

@@ -1,0 +1,345 @@
+//! Shapes: the "slightly more structured" layer over XML.
+//!
+//! A [`Shape`] describes the regular structure of an element the way a
+//! relational or hierarchical source would export it. Source adapters
+//! publish shapes as their schemas; the mediator composes them; validation
+//! checks that a document conforms. Shapes deliberately stop short of a
+//! full grammar formalism — they capture records, homogeneous lists, and
+//! typed leaves, which is what relational/hierarchical data needs, while
+//! `Any` keeps arbitrary XML admissible.
+
+use crate::atomic::AtomicType;
+use crate::node::{NodeKind, NodeRef};
+use std::fmt;
+
+/// How many occurrences of a field are allowed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Multiplicity {
+    /// Exactly one.
+    One,
+    /// Zero or one.
+    Optional,
+    /// Zero or more.
+    Many,
+    /// One or more.
+    AtLeastOne,
+}
+
+impl Multiplicity {
+    fn admits(self, count: usize) -> bool {
+        match self {
+            Multiplicity::One => count == 1,
+            Multiplicity::Optional => count <= 1,
+            Multiplicity::Many => true,
+            Multiplicity::AtLeastOne => count >= 1,
+        }
+    }
+}
+
+/// A named field of a record shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    pub name: String,
+    pub multiplicity: Multiplicity,
+    pub shape: Shape,
+}
+
+/// The structure of an element's content.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Shape {
+    /// A typed leaf: text content of the given atomic type. `Str` admits
+    /// any text; numeric types require parseable content.
+    Leaf(AtomicType),
+    /// Record-like content: named child elements with multiplicities, in
+    /// any order. This is the natural export of a relational row or a
+    /// hierarchical segment.
+    Record(Vec<Field>),
+    /// List-like content: zero or more children all named `item_name`,
+    /// each with the given shape. The natural export of a table or a
+    /// repeating segment.
+    List {
+        item_name: String,
+        item: Box<Shape>,
+    },
+    /// Unconstrained XML content.
+    Any,
+}
+
+/// A violation found during validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeError {
+    /// Path from the validated root, e.g. `people/person[2]/age`.
+    pub path: String,
+    pub message: String,
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path, self.message)
+    }
+}
+impl std::error::Error for ShapeError {}
+
+impl Shape {
+    /// Shorthand for a string leaf.
+    pub fn str_leaf() -> Shape {
+        Shape::Leaf(AtomicType::Str)
+    }
+
+    /// Shorthand for an integer leaf.
+    pub fn int_leaf() -> Shape {
+        Shape::Leaf(AtomicType::Int)
+    }
+
+    /// A record with all-`One` string fields — the shape of a simple row.
+    pub fn row(fields: &[&str]) -> Shape {
+        Shape::Record(
+            fields
+                .iter()
+                .map(|f| Field {
+                    name: f.to_string(),
+                    multiplicity: Multiplicity::One,
+                    shape: Shape::str_leaf(),
+                })
+                .collect(),
+        )
+    }
+
+    /// Validate a subtree, returning all violations (empty = conforms).
+    pub fn validate(&self, node: &NodeRef) -> Vec<ShapeError> {
+        let mut errors = Vec::new();
+        self.validate_into(node, "", &mut errors);
+        errors
+    }
+
+    /// Validate and convert to `Result`.
+    pub fn check(&self, node: &NodeRef) -> Result<(), ShapeError> {
+        match self.validate(node).into_iter().next() {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    fn validate_into(&self, node: &NodeRef, path: &str, errors: &mut Vec<ShapeError>) {
+        let here = if path.is_empty() {
+            node.name().unwrap_or("?").to_string()
+        } else {
+            path.to_string()
+        };
+        match self {
+            Shape::Any => {}
+            Shape::Leaf(t) => {
+                if node.child_elements().next().is_some() {
+                    errors.push(ShapeError {
+                        path: here,
+                        message: "expected leaf content, found child elements".into(),
+                    });
+                    return;
+                }
+                let text = node.text();
+                let ok = match t {
+                    AtomicType::Str | AtomicType::Null => true,
+                    AtomicType::Int => text.trim().is_empty() || text.trim().parse::<i64>().is_ok(),
+                    AtomicType::Float => {
+                        text.trim().is_empty() || text.trim().parse::<f64>().is_ok()
+                    }
+                    AtomicType::Bool => {
+                        matches!(text.trim(), "" | "true" | "false" | "TRUE" | "FALSE")
+                    }
+                };
+                if !ok {
+                    errors.push(ShapeError {
+                        path: here,
+                        message: format!("content {:?} is not a valid {:?}", text, t),
+                    });
+                }
+            }
+            Shape::Record(fields) => {
+                for field in fields {
+                    let matches: Vec<NodeRef> = node.children_named(&field.name).collect();
+                    if !field.multiplicity.admits(matches.len()) {
+                        errors.push(ShapeError {
+                            path: here.clone(),
+                            message: format!(
+                                "field {:?} occurs {} times, violating {:?}",
+                                field.name,
+                                matches.len(),
+                                field.multiplicity
+                            ),
+                        });
+                    }
+                    for (i, m) in matches.iter().enumerate() {
+                        let mut child_path = format!("{}/{}", here, field.name);
+                        if matches.len() > 1 {
+                            child_path.push_str(&format!("[{}]", i + 1));
+                        }
+                        field.shape.validate_into(m, &child_path, errors);
+                    }
+                }
+                let known: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                for c in node.child_elements() {
+                    if let Some(n) = c.name() {
+                        if !known.contains(&n) {
+                            errors.push(ShapeError {
+                                path: here.clone(),
+                                message: format!("unexpected field {:?}", n),
+                            });
+                        }
+                    }
+                }
+            }
+            Shape::List { item_name, item } => {
+                for (i, c) in node.child_elements().enumerate() {
+                    if c.name() != Some(item_name.as_str()) {
+                        errors.push(ShapeError {
+                            path: here.clone(),
+                            message: format!(
+                                "list of {:?} contains {:?}",
+                                item_name,
+                                c.name().unwrap_or("?")
+                            ),
+                        });
+                    } else {
+                        let child_path = format!("{}/{}[{}]", here, item_name, i + 1);
+                        item.validate_into(&c, &child_path, errors);
+                    }
+                }
+                if node
+                    .children()
+                    .any(|c| matches!(c.kind(), NodeKind::Text(a) if !a.lexical().trim().is_empty()))
+                {
+                    errors.push(ShapeError {
+                        path: here,
+                        message: "list content must not contain text".into(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Infer a shape from a sample document: element children with uniform
+    /// names become lists, mixed named children become records, text-only
+    /// elements become typed leaves.
+    pub fn infer(node: &NodeRef) -> Shape {
+        let children: Vec<NodeRef> = node.child_elements().collect();
+        if children.is_empty() {
+            let text = node.text();
+            return Shape::Leaf(crate::atomic::Atomic::infer(&text).atomic_type());
+        }
+        let first_name = children[0].name().unwrap_or("").to_string();
+        let uniform = children.len() > 1
+            && children
+                .iter()
+                .all(|c| c.name() == Some(first_name.as_str()));
+        if uniform {
+            Shape::List {
+                item_name: first_name,
+                item: Box::new(Shape::infer(&children[0])),
+            }
+        } else {
+            let mut fields: Vec<Field> = Vec::new();
+            for c in &children {
+                let name = c.name().unwrap_or("").to_string();
+                if let Some(existing) = fields.iter_mut().find(|f| f.name == name) {
+                    existing.multiplicity = Multiplicity::Many;
+                } else {
+                    fields.push(Field {
+                        name,
+                        multiplicity: Multiplicity::One,
+                        shape: Shape::infer(c),
+                    });
+                }
+            }
+            Shape::Record(fields)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn person_shape() -> Shape {
+        Shape::Record(vec![
+            Field {
+                name: "name".into(),
+                multiplicity: Multiplicity::One,
+                shape: Shape::str_leaf(),
+            },
+            Field {
+                name: "age".into(),
+                multiplicity: Multiplicity::Optional,
+                shape: Shape::int_leaf(),
+            },
+            Field {
+                name: "email".into(),
+                multiplicity: Multiplicity::Many,
+                shape: Shape::str_leaf(),
+            },
+        ])
+    }
+
+    #[test]
+    fn valid_record() {
+        let doc = parse("<p><name>Ada</name><age>36</age><email>a@x</email><email>b@x</email></p>")
+            .unwrap();
+        assert!(person_shape().validate(&doc.root()).is_empty());
+    }
+
+    #[test]
+    fn missing_required_field() {
+        let doc = parse("<p><age>36</age></p>").unwrap();
+        let errs = person_shape().validate(&doc.root());
+        assert!(errs.iter().any(|e| e.message.contains("\"name\"")));
+    }
+
+    #[test]
+    fn type_violation() {
+        let doc = parse("<p><name>Ada</name><age>old</age></p>").unwrap();
+        let errs = person_shape().validate(&doc.root());
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].path.contains("age"));
+    }
+
+    #[test]
+    fn unexpected_field() {
+        let doc = parse("<p><name>Ada</name><ssn>1</ssn></p>").unwrap();
+        let errs = person_shape().validate(&doc.root());
+        assert!(errs.iter().any(|e| e.message.contains("\"ssn\"")));
+    }
+
+    #[test]
+    fn list_shape() {
+        let shape = Shape::List {
+            item_name: "row".into(),
+            item: Box::new(Shape::row(&["a", "b"])),
+        };
+        let good = parse("<t><row><a>1</a><b>2</b></row><row><a>3</a><b>4</b></row></t>").unwrap();
+        assert!(shape.validate(&good.root()).is_empty());
+        let bad = parse("<t><row><a>1</a><b>2</b></row><other/></t>").unwrap();
+        assert!(!shape.validate(&bad.root()).is_empty());
+    }
+
+    #[test]
+    fn inference_list_and_record() {
+        let doc =
+            parse("<t><row><a>1</a><b>x</b></row><row><a>2</a><b>y</b></row></t>").unwrap();
+        let shape = Shape::infer(&doc.root());
+        match &shape {
+            Shape::List { item_name, item } => {
+                assert_eq!(item_name, "row");
+                match item.as_ref() {
+                    Shape::Record(fields) => {
+                        assert_eq!(fields.len(), 2);
+                        assert_eq!(fields[0].shape, Shape::Leaf(AtomicType::Int));
+                    }
+                    other => panic!("expected record, got {:?}", other),
+                }
+            }
+            other => panic!("expected list, got {:?}", other),
+        }
+        // Inferred shape validates its own source.
+        assert!(shape.validate(&doc.root()).is_empty());
+    }
+}

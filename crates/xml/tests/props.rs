@@ -1,0 +1,261 @@
+//! Property-based tests for the XML data model: parse/serialize
+//! roundtrips over generated documents, atomic-order laws, and path
+//! display/parse stability.
+
+use nimble_xml::{parse, to_string, to_string_pretty, Atomic, AtomicKey, DocumentBuilder, Path};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Generated document description: a tree of elements with text and
+/// attributes drawn from awkward character sets.
+#[derive(Debug, Clone)]
+enum GenNode {
+    Element {
+        name: String,
+        attrs: Vec<(String, String)>,
+        children: Vec<GenNode>,
+    },
+    Text(String),
+    Comment(String),
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_.-]{0,8}"
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Includes the characters that must be escaped, plus unicode.
+    proptest::collection::vec(
+        prop_oneof![
+            Just('<'),
+            Just('>'),
+            Just('&'),
+            Just('"'),
+            Just('\''),
+            Just('é'),
+            Just('本'),
+            proptest::char::range('a', 'z'),
+            Just(' '),
+        ],
+        1..12,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn attr_strategy() -> impl Strategy<Value = (String, String)> {
+    (name_strategy(), text_strategy())
+}
+
+fn node_strategy() -> impl Strategy<Value = GenNode> {
+    let leaf = prop_oneof![
+        text_strategy().prop_map(GenNode::Text),
+        // Comments must not contain "--".
+        "[a-z ]{0,10}".prop_map(GenNode::Comment),
+        (name_strategy(), proptest::collection::vec(attr_strategy(), 0..3)).prop_map(
+            |(name, attrs)| GenNode::Element {
+                name,
+                attrs,
+                children: vec![],
+            }
+        ),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec(attr_strategy(), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| GenNode::Element {
+                name,
+                attrs,
+                children,
+            })
+    })
+}
+
+/// Build children under the currently-open element, coalescing adjacent
+/// text nodes (they would merge on reparse) so the generated tree is in
+/// parser-normal form. Shared by the root and nested elements.
+fn build_children(children: &[GenNode], b: &mut DocumentBuilder) {
+    let mut pending_text = String::new();
+    for c in children {
+        if let GenNode::Text(t) = c {
+            pending_text.push_str(t);
+            continue;
+        }
+        if !pending_text.trim().is_empty() {
+            b.text_str(&pending_text);
+        }
+        pending_text.clear();
+        build(c, b);
+    }
+    if !pending_text.trim().is_empty() {
+        b.text_str(&pending_text);
+    }
+}
+
+fn build(node: &GenNode, b: &mut DocumentBuilder) {
+    match node {
+        GenNode::Element {
+            name,
+            attrs,
+            children,
+        } => {
+            b.start_element(name);
+            let mut seen = std::collections::HashSet::new();
+            for (k, v) in attrs {
+                // Duplicate attribute names are not well-formed XML.
+                if seen.insert(k.clone()) {
+                    b.attr(k, v);
+                }
+            }
+            build_children(children, b);
+            b.end_element();
+        }
+        GenNode::Text(t) => {
+            // Whitespace-only text is dropped by the parser by design;
+            // generate only meaningful text. (Callers coalesce adjacency.)
+            if !t.trim().is_empty() {
+                b.text_str(t);
+            }
+        }
+        GenNode::Comment(c) => {
+            b.comment(c);
+        }
+    }
+}
+
+fn doc_strategy() -> impl Strategy<Value = Arc<nimble_xml::Document>> {
+    (name_strategy(), proptest::collection::vec(node_strategy(), 0..4)).prop_map(
+        |(root, children)| {
+            let mut b = DocumentBuilder::new(&root);
+            build_children(&children, &mut b);
+            b.finish()
+        },
+    )
+}
+
+proptest! {
+    /// serialize → parse is the identity on document structure.
+    #[test]
+    fn serialize_parse_roundtrip(doc in doc_strategy()) {
+        let text = to_string(&doc.root());
+        let back = parse(&text).unwrap();
+        prop_assert!(doc.root().deep_eq(&back.root()), "roundtrip failed for {}", text);
+    }
+
+    /// Pretty-printing parses back to a document with identical text
+    /// content and element structure names.
+    #[test]
+    fn pretty_parse_keeps_element_structure(doc in doc_strategy()) {
+        let pretty = to_string_pretty(&doc.root());
+        let back = parse(&pretty).unwrap();
+        let names = |d: &Arc<nimble_xml::Document>| -> Vec<String> {
+            d.root()
+                .descendants()
+                .filter_map(|n| n.name().map(str::to_string))
+                .collect()
+        };
+        prop_assert_eq!(names(&doc), names(&back));
+    }
+
+    /// Document order (node-id order) matches pre-order traversal.
+    #[test]
+    fn node_ids_are_preorder(doc in doc_strategy()) {
+        let ids: Vec<u32> = doc
+            .root()
+            .descendants()
+            .map(|n| n.id().index() as u32)
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(ids, sorted);
+    }
+
+    /// Atomic total order is antisymmetric and transitive (checked by
+    /// sorting consistency) and key_eq agrees with Ordering::Equal.
+    #[test]
+    fn atomic_order_laws(values in proptest::collection::vec(atomic_strategy(), 2..12)) {
+        use std::cmp::Ordering;
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        for w in sorted.windows(2) {
+            prop_assert_ne!(w[0].total_cmp(&w[1]), Ordering::Greater);
+        }
+        for a in &values {
+            for b in &values {
+                prop_assert_eq!(a.key_eq(b), a.total_cmp(b) == Ordering::Equal);
+                prop_assert_eq!(a.total_cmp(b), b.total_cmp(a).reverse());
+            }
+        }
+    }
+
+    /// AtomicKey hashing is consistent with equality.
+    #[test]
+    fn atomic_key_hash_consistency(a in atomic_strategy(), b in atomic_strategy()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |k: &AtomicKey| {
+            let mut s = DefaultHasher::new();
+            k.hash(&mut s);
+            s.finish()
+        };
+        let (ka, kb) = (AtomicKey(a), AtomicKey(b));
+        if ka == kb {
+            prop_assert_eq!(h(&ka), h(&kb));
+        }
+    }
+
+    /// Arbitrary input never panics the XML parser or the path parser.
+    #[test]
+    fn parsers_never_panic(input in "\\PC{0,60}") {
+        let _ = parse(&input);
+        let _ = Path::parse(&input);
+    }
+
+    /// Tag-soup-ish input never panics either.
+    #[test]
+    fn tag_soup_never_panics(parts in proptest::collection::vec(
+        prop_oneof![
+            Just("<a>".to_string()),
+            Just("</a>".to_string()),
+            Just("<a".to_string()),
+            Just("/>".to_string()),
+            Just("<!--".to_string()),
+            Just("-->".to_string()),
+            Just("<![CDATA[".to_string()),
+            Just("]]>".to_string()),
+            Just("&amp;".to_string()),
+            Just("&#x41;".to_string()),
+            Just("&bogus;".to_string()),
+            Just("x='1'".to_string()),
+            Just("text".to_string()),
+        ],
+        0..12,
+    )) {
+        let _ = parse(&parts.concat());
+    }
+
+    /// Path display/parse is stable.
+    #[test]
+    fn path_display_roundtrip(steps in proptest::collection::vec("[a-z][a-z0-9]{0,5}", 1..4), desc in any::<bool>()) {
+        let mut text = steps.join("/");
+        if desc {
+            text = format!("{}//{}", text, "leaf");
+        }
+        let p = Path::parse(&text).unwrap();
+        let p2 = Path::parse(&p.to_string()).unwrap();
+        prop_assert_eq!(p, p2);
+    }
+}
+
+fn atomic_strategy() -> impl Strategy<Value = Atomic> {
+    prop_oneof![
+        Just(Atomic::Null),
+        any::<bool>().prop_map(Atomic::Bool),
+        any::<i64>().prop_map(Atomic::Int),
+        // Finite floats only; the engine normalizes NaN away.
+        (-1e12f64..1e12).prop_map(Atomic::Float),
+        "[ -~]{0,12}".prop_map(Atomic::Str),
+    ]
+}

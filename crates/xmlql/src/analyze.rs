@@ -1,0 +1,220 @@
+//! Semantic analysis: variable scoping, source references, and the
+//! query-shape summary the mediator's planner consumes.
+
+use crate::ast::*;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A semantic error (all carry the offending variable or source name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// A predicate, template, ORDER-BY, or `IN $var` references a variable
+    /// no pattern binds.
+    UnboundVariable(String),
+    /// `IN $var` must refer to a variable bound by an *earlier* pattern.
+    SourceVarBoundLater(String),
+    /// A query must have at least one pattern (else there is nothing to
+    /// iterate over).
+    NoPatterns,
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::UnboundVariable(v) => write!(f, "unbound variable ${}", v),
+            AnalysisError::SourceVarBoundLater(v) => write!(
+                f,
+                "source variable ${} must be bound by an earlier pattern",
+                v
+            ),
+            AnalysisError::NoPatterns => write!(f, "query has no patterns in its WHERE clause"),
+        }
+    }
+}
+impl std::error::Error for AnalysisError {}
+
+/// Summary of a checked query, used by the planner.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueryInfo {
+    /// All variables bound by patterns, in binding order.
+    pub bound_vars: Vec<String>,
+    /// Named sources/views referenced by `IN "name"`, deduplicated.
+    pub named_sources: Vec<String>,
+    /// Variables bound more than once — implicit equi-joins.
+    pub join_vars: Vec<String>,
+    /// Number of nested subqueries anywhere in the CONSTRUCT clause.
+    pub subquery_count: usize,
+}
+
+/// Check a query against an empty outer scope.
+pub fn analyze(query: &Query) -> Result<QueryInfo, AnalysisError> {
+    analyze_scoped(query, &BTreeSet::new())
+}
+
+/// Check a query with variables from an enclosing query already in scope
+/// (used for nested CONSTRUCT subqueries).
+pub fn analyze_scoped(
+    query: &Query,
+    outer: &BTreeSet<String>,
+) -> Result<QueryInfo, AnalysisError> {
+    let mut info = QueryInfo::default();
+    let mut bound: BTreeSet<String> = outer.clone();
+    let mut bound_here: BTreeSet<String> = BTreeSet::new();
+    let mut any_pattern = false;
+
+    // Pass 1: walk conditions in order, tracking pattern bindings so
+    // `IN $var` sees only earlier bindings.
+    for cond in &query.conditions {
+        if let Condition::Pattern(pb) = cond {
+            any_pattern = true;
+            match &pb.source {
+                SourceRef::Named(name) => {
+                    if !info.named_sources.contains(name) {
+                        info.named_sources.push(name.clone());
+                    }
+                }
+                SourceRef::Var(v) => {
+                    if !bound.contains(v) {
+                        // Distinguish "never bound" from "bound later".
+                        let bound_anywhere = query.conditions.iter().any(|c| match c {
+                            Condition::Pattern(p) => p.pattern.bound_vars().contains(v),
+                            _ => false,
+                        });
+                        return Err(if bound_anywhere {
+                            AnalysisError::SourceVarBoundLater(v.clone())
+                        } else {
+                            AnalysisError::UnboundVariable(v.clone())
+                        });
+                    }
+                }
+            }
+            for v in pb.pattern.bound_vars() {
+                if bound_here.contains(&v) && !info.join_vars.contains(&v) {
+                    info.join_vars.push(v.clone());
+                }
+                if bound_here.insert(v.clone()) {
+                    info.bound_vars.push(v.clone());
+                }
+                bound.insert(v);
+            }
+        }
+    }
+    if !any_pattern {
+        return Err(AnalysisError::NoPatterns);
+    }
+
+    // Pass 2: every predicate variable must be bound (predicates are a
+    // conjunction; order among conditions does not matter for them).
+    for cond in &query.conditions {
+        if let Condition::Predicate(e) = cond {
+            for v in e.vars() {
+                if !bound.contains(&v) {
+                    return Err(AnalysisError::UnboundVariable(v));
+                }
+            }
+        }
+    }
+
+    // Pass 3: template references.
+    for v in query.construct.direct_vars() {
+        if !bound.contains(&v) {
+            return Err(AnalysisError::UnboundVariable(v));
+        }
+    }
+    for sub in query.construct.subqueries() {
+        let sub_info = analyze_scoped(sub, &bound)?;
+        info.subquery_count += 1 + sub_info.subquery_count;
+    }
+
+    // Pass 4: ORDER-BY keys.
+    for k in &query.order_by {
+        if !bound.contains(&k.var) {
+            return Err(AnalysisError::UnboundVariable(k.var.clone()));
+        }
+    }
+
+    Ok(info)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn check(text: &str) -> Result<QueryInfo, AnalysisError> {
+        analyze(&parse_query(text).unwrap())
+    }
+
+    #[test]
+    fn valid_query_summary() {
+        let info = check(
+            r#"WHERE <a><x>$x</x></a> IN "s1", <b><x>$x</x><y>$y</y></b> IN "s2", $y > 0
+               CONSTRUCT <o>$x</o>"#,
+        )
+        .unwrap();
+        assert_eq!(info.named_sources, vec!["s1", "s2"]);
+        assert_eq!(info.join_vars, vec!["x"]);
+        assert_eq!(info.bound_vars, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn unbound_in_predicate() {
+        let err = check(r#"WHERE <a>$x</a> IN "s", $z = 1 CONSTRUCT <o/>"#).unwrap_err();
+        assert_eq!(err, AnalysisError::UnboundVariable("z".into()));
+    }
+
+    #[test]
+    fn unbound_in_template() {
+        let err = check(r#"WHERE <a>$x</a> IN "s" CONSTRUCT <o>$q</o>"#).unwrap_err();
+        assert_eq!(err, AnalysisError::UnboundVariable("q".into()));
+    }
+
+    #[test]
+    fn unbound_in_order_by() {
+        let err =
+            check(r#"WHERE <a>$x</a> IN "s" CONSTRUCT <o>$x</o> ORDER-BY $nope"#).unwrap_err();
+        assert_eq!(err, AnalysisError::UnboundVariable("nope".into()));
+    }
+
+    #[test]
+    fn source_var_must_be_bound_earlier() {
+        let err = check(
+            r#"WHERE <i>$x</i> IN $o, <order/> ELEMENT_AS $o IN "orders" CONSTRUCT <r/>"#,
+        )
+        .unwrap_err();
+        assert_eq!(err, AnalysisError::SourceVarBoundLater("o".into()));
+    }
+
+    #[test]
+    fn subquery_sees_outer_scope() {
+        let info = check(
+            r#"WHERE <book><title>$t</title></book> ELEMENT_AS $b IN "bib"
+               CONSTRUCT <e><t>$t</t>
+                  WHERE <author>$a</author> IN $b
+                  CONSTRUCT <a>$a</a>
+               </e>"#,
+        )
+        .unwrap();
+        assert_eq!(info.subquery_count, 1);
+    }
+
+    #[test]
+    fn subquery_cannot_leak_vars_outward() {
+        // $a is bound only inside the subquery; outer template can't use it.
+        let err = check(
+            r#"WHERE <book/> ELEMENT_AS $b IN "bib"
+               CONSTRUCT <e><x>$a</x>
+                  WHERE <author>$a</author> IN $b
+                  CONSTRUCT <a>$a</a>
+               </e>"#,
+        )
+        .unwrap_err();
+        assert_eq!(err, AnalysisError::UnboundVariable("a".into()));
+    }
+
+    #[test]
+    fn query_without_patterns_rejected() {
+        let err = check(r#"WHERE 1 = 1 CONSTRUCT <o/>"#).unwrap_err();
+        assert_eq!(err, AnalysisError::NoPatterns);
+    }
+}

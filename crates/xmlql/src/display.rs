@@ -1,0 +1,217 @@
+//! Pretty-printing queries back to XML-QL text.
+//!
+//! `Display` for [`Query`] produces canonical text that re-parses to the
+//! same AST (`parse ∘ display = id`, checked by a property test). Used
+//! for logging, EXPLAIN output, and storing view definitions
+//! canonically.
+
+use crate::ast::*;
+use std::fmt::{self, Write};
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("WHERE ")?;
+        for (i, c) in self.conditions.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            match c {
+                Condition::Pattern(pb) => {
+                    write!(f, "{}", pb.pattern)?;
+                    match &pb.source {
+                        SourceRef::Named(n) => write!(f, " IN \"{}\"", n)?,
+                        SourceRef::Var(v) => write!(f, " IN ${}", v)?,
+                    }
+                }
+                Condition::Predicate(e) => write!(f, "{}", e)?,
+            }
+        }
+        write!(f, " CONSTRUCT {}", self.construct)?;
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER-BY ")?;
+            for (i, k) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "${}", k.var)?;
+                if k.descending {
+                    f.write_str(" DESC")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_char('<')?;
+        match &self.tag {
+            TagPattern::Name(n) => f.write_str(n)?,
+            TagPattern::Wildcard => f.write_char('*')?,
+            TagPattern::Descendant(n) => write!(f, "**{}", n)?,
+            TagPattern::ClosurePlus(n) => write!(f, "{}+", n)?,
+        }
+        for a in &self.attrs {
+            write!(f, " {}={}", a.name, a.value)?;
+        }
+        if self.content.is_empty() {
+            f.write_str("/>")?;
+        } else {
+            f.write_char('>')?;
+            for (i, c) in self.content.iter().enumerate() {
+                if i > 0 {
+                    f.write_char(' ')?;
+                }
+                match c {
+                    PatternContent::Var(v) => write!(f, "${}", v)?,
+                    PatternContent::Lit(a) => write!(f, "{}", lit(a))?,
+                    PatternContent::Nested(p) => write!(f, "{}", p)?,
+                }
+            }
+            f.write_str("</>")?;
+        }
+        if let Some(v) = &self.element_as {
+            write!(f, " ELEMENT_AS ${}", v)?;
+        }
+        if let Some(v) = &self.content_as {
+            write!(f, " CONTENT_AS ${}", v)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PatternValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternValue::Var(v) => write!(f, "${}", v),
+            PatternValue::Lit(a) => f.write_str(&lit(a)),
+        }
+    }
+}
+
+/// Render an atomic as an XML-QL literal token.
+fn lit(a: &nimble_xml::Atomic) -> String {
+    use nimble_xml::Atomic;
+    match a {
+        Atomic::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+        Atomic::Int(i) => i.to_string(),
+        Atomic::Float(x) => format!("{:?}", x),
+        Atomic::Bool(b) => b.to_string(),
+        Atomic::Null => "null".to_string(),
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(v) => write!(f, "${}", v),
+            Expr::Lit(a) => f.write_str(&lit(a)),
+            // Fully parenthesized so precedence survives the round trip.
+            Expr::Binary(op, l, r) => write!(f, "({} {} {})", l, op, r),
+            Expr::Not(e) => write!(f, "(NOT {})", e),
+            Expr::Neg(e) => write!(f, "(-{})", e),
+            Expr::Call(name, args) => {
+                write!(f, "{}(", name)?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{}", a)?;
+                }
+                f.write_char(')')
+            }
+        }
+    }
+}
+
+impl fmt::Display for ElementTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}", self.tag)?;
+        if let Some(sk) = &self.skolem {
+            write!(f, " ID={}(", sk.func)?;
+            for (i, a) in sk.args.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "${}", a)?;
+            }
+            f.write_char(')')?;
+        }
+        for (name, value) in &self.attrs {
+            match value {
+                TemplateValue::Var(v) => write!(f, " {}=${}", name, v)?,
+                TemplateValue::Lit(s) => write!(
+                    f,
+                    " {}=\"{}\"",
+                    name,
+                    s.replace('\\', "\\\\").replace('"', "\\\"")
+                )?,
+            }
+        }
+        if self.children.is_empty() {
+            return f.write_str("/>");
+        }
+        f.write_char('>')?;
+        for (i, c) in self.children.iter().enumerate() {
+            if i > 0 {
+                f.write_char(' ')?;
+            }
+            match c {
+                TemplateNode::Element(e) => write!(f, "{}", e)?,
+                TemplateNode::Var(v) => write!(f, "${}", v)?,
+                TemplateNode::Text(s) => write!(
+                    f,
+                    "\"{}\"",
+                    s.replace('\\', "\\\\").replace('"', "\\\"")
+                )?,
+                TemplateNode::Subquery(q) => write!(f, "{{ {} }}", q)?,
+                TemplateNode::Agg { func, var } => {
+                    let name = match func {
+                        AggName::Count => "count",
+                        AggName::Sum => "sum",
+                        AggName::Min => "min",
+                        AggName::Max => "max",
+                        AggName::Avg => "avg",
+                        AggName::Collect => "collect",
+                    };
+                    match var {
+                        Some(v) => write!(f, "{}(${})", name, v)?,
+                        None => write!(f, "{}()", name)?,
+                    }
+                }
+            }
+        }
+        write!(f, "</{}>", self.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_query;
+
+    /// parse(display(parse(q))) == parse(q) across the dialect surface.
+    #[test]
+    fn display_roundtrips() {
+        let queries = [
+            r#"WHERE <bib><book year=$y><title>$t</title></book></bib> IN "books",
+               $y > 1995 AND contains(lower($t), "x")
+               CONSTRUCT <r><t>$t</t></r> ORDER-BY $y DESC, $t"#,
+            r#"WHERE <row lang="en" n=2><a>$x</a></row> IN "s", NOT $x = 1 OR -$x < 3
+               CONSTRUCT <o ID=F($x)><v>$x</v><n>count()</n><s>sum($x)</s></o>"#,
+            r#"WHERE <**leaf>$v</> ELEMENT_AS $e CONTENT_AS $c IN "d",
+                     <part+>$p</> IN $e
+               CONSTRUCT <out kind="x">$v "lit"
+                  WHERE <i>$q</i> IN $e CONSTRUCT <q>$q</q>
+               </out>"#,
+            r#"WHERE <a><b>"text"</b><c>3.5</c></a> IN "d" CONSTRUCT <o/>"#,
+        ];
+        for q in queries {
+            let ast = parse_query(q).unwrap();
+            let printed = ast.to_string();
+            let reparsed = parse_query(&printed)
+                .unwrap_or_else(|e| panic!("printed form failed to parse: {}\n{}", e, printed));
+            assert_eq!(reparsed, ast, "round trip changed AST for:\n{}", printed);
+        }
+    }
+}

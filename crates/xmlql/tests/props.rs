@@ -1,0 +1,95 @@
+//! Robustness properties for the XML-QL front end: the lexer and parser
+//! must reject garbage with errors, never panics, and valid queries
+//! survive whitespace perturbation.
+
+use nimble_xmlql::{compile, parse_query};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary input never panics the front end.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,80}") {
+        let _ = compile(&input);
+    }
+
+    /// Garbage assembled from the language's own tokens never panics.
+    #[test]
+    fn token_soup_never_panics(tokens in proptest::collection::vec(
+        prop_oneof![
+            Just("WHERE".to_string()),
+            Just("CONSTRUCT".to_string()),
+            Just("IN".to_string()),
+            Just("ELEMENT_AS".to_string()),
+            Just("<".to_string()),
+            Just(">".to_string()),
+            Just("</".to_string()),
+            Just("/>".to_string()),
+            Just("$x".to_string()),
+            Just("\"s\"".to_string()),
+            Just("1995".to_string()),
+            Just(",".to_string()),
+            Just("(".to_string()),
+            Just(")".to_string()),
+            Just("ORDER-BY".to_string()),
+            Just("a".to_string()),
+        ],
+        0..20,
+    )) {
+        let input = tokens.join(" ");
+        let _ = compile(&input);
+    }
+
+    /// Whitespace between tokens never changes parses.
+    #[test]
+    fn whitespace_insensitive(pad in "[ \\t\\n]{0,4}") {
+        let compact = r#"WHERE <a><b>$x</b></a> IN "s", $x > 1 CONSTRUCT <o>$x</o> ORDER-BY $x"#;
+        let padded = compact
+            .replace(' ', &format!(" {}", pad));
+        let a = parse_query(compact).unwrap();
+        let b = parse_query(&padded).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every structurally-generated valid query parses and re-parses.
+    /// Keywords (IN, AND, NOT, …) are reserved and cannot be element
+    /// names in this dialect, so the generator avoids them.
+    #[test]
+    fn generated_queries_parse(
+        fields in proptest::collection::vec(
+            "[a-z]{1,6}".prop_filter("not a keyword", |f| {
+                !matches!(
+                    f.as_str(),
+                    "where" | "in" | "and" | "or" | "not" | "like" | "asc" | "desc"
+                )
+            }),
+            1..4,
+        ),
+        source in "[a-z]{1,8}",
+        threshold in any::<i64>(),
+        desc in any::<bool>(),
+    ) {
+        let pattern_fields: String = fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| format!("<{f}>$v{i}</{f}>", f = f, i = i))
+            .collect();
+        let construct_fields: String = (0..fields.len())
+            .map(|i| format!("<o{i}>$v{i}</o{i}>", i = i))
+            .collect();
+        let text = format!(
+            "WHERE <row>{}</row> IN \"{}\", $v0 > {} CONSTRUCT <out>{}</out> ORDER-BY $v0{}",
+            pattern_fields,
+            source,
+            threshold,
+            construct_fields,
+            if desc { " DESC" } else { "" },
+        );
+        let (q, info) = compile(&text).unwrap();
+        prop_assert_eq!(info.bound_vars.len(), fields.len());
+        prop_assert_eq!(q.order_by[0].descending, desc);
+        // Display round-trips to the identical AST.
+        let printed = q.to_string();
+        let reparsed = parse_query(&printed).unwrap();
+        prop_assert_eq!(reparsed, q);
+    }
+}

@@ -1,0 +1,112 @@
+//! Customer 360: the paper's flagship scenario — "information about the
+//! customers of a company is scattered across multiple databases in the
+//! organization, and the company would like to learn more about its
+//! customers (by integrating all the data into one view) and to ensure
+//! that the data about customers is consistent across the databases."
+//!
+//! This example generates dirty customer data across three synthetic
+//! departmental databases, runs the two-phase cleaning pipeline with a
+//! concordance database, and reports the match quality before/after
+//! cleaning and with/without the replayed human decisions.
+//!
+//! ```text
+//! cargo run --example customer_360
+//! ```
+
+use nimble::cleaning::matching::{JaroWinkler, QGramJaccard};
+use nimble::cleaning::synth::{generate, SynthConfig};
+use nimble::cleaning::{
+    CleaningFlow, CleaningPipeline, CompositeMatcher, ConcordanceDb, Decision, FlowStep,
+    LineageLog,
+};
+
+fn matcher() -> CompositeMatcher {
+    CompositeMatcher::new(0.90, 0.78)
+        .field("name", Box::new(JaroWinkler), 0.6)
+        .field("address", Box::new(QGramJaccard::default()), 0.4)
+}
+
+fn main() {
+    // Scattered, dirty customer data across CRM / billing / support.
+    let data = generate(&SynthConfig {
+        entities: 500,
+        duplicate_rate: 0.5,
+        seed: 2001,
+        ..SynthConfig::default()
+    });
+    println!(
+        "generated {} records for {} entities across 3 departmental databases",
+        data.records.len(),
+        500
+    );
+
+    let pipeline = CleaningPipeline::new(matcher(), "name", 10);
+    let mut log = LineageLog::new();
+
+    // Arm 1: match the raw data.
+    let mut db_raw = ConcordanceDb::new();
+    let raw = pipeline.extract(&data.records, &mut db_raw, &mut log);
+    let raw_eval = data.evaluate(&raw.clusters);
+
+    // Arm 2: standardize first with a declarative flow.
+    let flow = CleaningFlow::new("standardize_customers")
+        .step(FlowStep::Normalize {
+            field: "name".into(),
+            normalizer: "name".into(),
+        })
+        .step(FlowStep::Normalize {
+            field: "address".into(),
+            normalizer: "abbrev".into(),
+        })
+        .step(FlowStep::Normalize {
+            field: "address".into(),
+            normalizer: "basic".into(),
+        });
+    println!("\ndeclarative flow:\n{}", flow.to_json());
+    let mut cleaned = data.records.clone();
+    flow.apply(&mut cleaned, &mut log).expect("flow applies");
+
+    let mut db = ConcordanceDb::new();
+    let mining = pipeline.mine(&cleaned, &mut db, &mut log);
+    let clean_eval = data.evaluate(&mining.clusters);
+
+    // Arm 3: a (simulated) human answers the uncertain pairs; the
+    // concordance database replays them in the autonomous extraction.
+    let answers: Vec<_> = mining
+        .pending
+        .iter()
+        .map(|p| {
+            let same = data.truth[&p.left] == data.truth[&p.right];
+            (
+                p.clone(),
+                if same {
+                    Decision::SameObject
+                } else {
+                    Decision::DifferentObjects
+                },
+            )
+        })
+        .collect();
+    CleaningPipeline::apply_human_decisions(&mut db, &mut log, &answers, "analyst");
+    let extraction = pipeline.extract(&cleaned, &mut db, &mut log);
+    let final_eval = data.evaluate(&extraction.clusters);
+
+    println!("\narm                         precision  recall     F1");
+    for (label, e) in [
+        ("raw data, automatic", raw_eval),
+        ("cleaned, automatic", clean_eval),
+        ("cleaned + concordance", final_eval),
+    ] {
+        println!(
+            "{:<28}{:>8.3}{:>8.3}{:>8.3}",
+            label, e.precision, e.recall, e.f1
+        );
+    }
+    println!(
+        "\nhuman decisions recorded: {}   reused on re-run: {}   exceptions left: {}",
+        db.human_decisions(),
+        extraction.reused_decisions,
+        extraction.pending.len()
+    );
+    println!("lineage entries: {}", log.len());
+}

@@ -1,0 +1,138 @@
+//! Web portal: the paper's second application class — "companies who
+//! need to build large-scale web sites which serve information from
+//! multiple internal sources", with the site builders working against
+//! "an already integrated view of their data sources".
+//!
+//! Shows lenses (params, auth, device formatting), materialized views
+//! over the mediated schema with TTL refresh, and graceful degradation
+//! when a source goes offline.
+//!
+//! ```text
+//! cargo run --example web_portal
+//! ```
+
+use nimble::core::{Catalog, Engine, UnavailablePolicy};
+use nimble::frontend::{Device, Directory, Lens, LensRegistry, ParamDef, SystemMonitor, Template};
+use nimble::sources::relational::RelationalAdapter;
+use nimble::sources::sim::{LinkConfig, SimulatedLink};
+use nimble::sources::xmldoc::XmlDocAdapter;
+use nimble::sources::SourceAdapter;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn main() {
+    // ── sources: a product catalog DB and a press-release feed ──
+    let products = Arc::new(
+        RelationalAdapter::from_statements(
+            "products_db",
+            &[
+                "CREATE TABLE products (sku INT, name TEXT, price FLOAT, category TEXT)",
+                "INSERT INTO products VALUES \
+                 (1, 'widget', 9.99, 'tools'), (2, 'gadget', 129.0, 'tools'), \
+                 (3, 'gizmo', 45.0, 'toys'), (4, 'doohickey', 3.5, 'toys')",
+            ],
+        )
+        .expect("products bootstrap"),
+    );
+    let press = SimulatedLink::new(
+        Arc::new(
+            XmlDocAdapter::new("press")
+                .add_xml(
+                    "news",
+                    "<news>\
+                     <item cat='tools'><h>New widget v2 announced</h></item>\
+                     <item cat='toys'><h>Gizmo wins award</h></item>\
+                     </news>",
+                )
+                .expect("news parses"),
+        ) as Arc<dyn SourceAdapter>,
+        LinkConfig::default(),
+    );
+
+    let catalog = Catalog::new();
+    catalog.register_source(products).unwrap();
+    catalog.register_source(press.clone() as _).unwrap();
+
+    // ── the integrated view the site is built against ──
+    catalog
+        .define_view(
+            "category_page",
+            r#"WHERE <row><name>$n</name><price>$p</price><category>$c</category></row>
+                     IN "products",
+                     <news><item cat=$c><h>$h</h></item></news> IN "news"
+               CONSTRUCT <entry><cat>$c</cat><product>$n</product><price>$p</price>
+                         <headline>$h</headline></entry>"#,
+            Some(100),
+        )
+        .unwrap();
+
+    let engine = Arc::new(Engine::new(Arc::new(catalog)));
+    engine.set_unavailable_policy(UnavailablePolicy::StaleCache);
+
+    // IT managers "do not want to take on a warehousing effort":
+    // materialize immediately, optimize over time.
+    engine.materialize_view("category_page", Some(100)).unwrap();
+
+    // ── lenses for two device targets ──
+    let directory = Arc::new(Directory::new());
+    directory.add_user("webserver", "svc", &["site"]);
+    let monitor = Arc::new(SystemMonitor::new());
+    let lenses = LensRegistry::new(Arc::clone(&engine), directory, Arc::clone(&monitor));
+    lenses.register(Lens {
+        name: "category_html".into(),
+        query: r#"WHERE <entry><cat>:cat</cat><product>$n</product><price>$p</price>
+                        <headline>$h</headline></entry> IN "category_page"
+                  CONSTRUCT <row><p>$n</p><pr>$p</pr><h>$h</h></row> ORDER-BY $p"#
+            .into(),
+        params: vec![ParamDef {
+            name: "cat".into(),
+            default: Some("tools".into()),
+        }],
+        template: Template::parse(
+            "<h1>Products</h1>\n<ul>\n{{#each row}}<li>{{p}} — ${{pr}} <i>{{h}}</i></li>\n{{/each}}</ul>",
+        )
+        .unwrap(),
+        device: Device::WebBrowser,
+        required_role: Some("site".into()),
+    });
+    lenses.register(Lens {
+        name: "category_wap".into(),
+        query: r#"WHERE <entry><cat>:cat</cat><product>$n</product><price>$p</price></entry>
+                        IN "category_page"
+                  CONSTRUCT <row><p>$n</p><pr>$p</pr></row> ORDER-BY $p"#
+            .into(),
+        params: vec![ParamDef {
+            name: "cat".into(),
+            default: Some("tools".into()),
+        }],
+        template: Template::parse("{{#each row}}{{p}} ${{pr}}; {{/each}}").unwrap(),
+        device: Device::Wireless { max_chars: 60 },
+        required_role: Some("site".into()),
+    });
+
+    // ── serve pages ──
+    let mut params = BTreeMap::new();
+    params.insert("cat".to_string(), "toys".to_string());
+    let html = lenses
+        .run("category_html", "webserver", "svc", &params)
+        .expect("html page");
+    println!("== web page (toys) ==\n{}\n", html.body);
+
+    let wap = lenses
+        .run("category_wap", "webserver", "svc", &BTreeMap::new())
+        .expect("wap deck");
+    println!("== wireless deck (tools) ==\n{}\n", wap.body);
+
+    // ── the press feed goes down; the portal keeps serving ──
+    press.set_up(false);
+    engine.clock().advance(200); // materialization is stale too
+    let degraded = lenses
+        .run("category_html", "webserver", "svc", &params)
+        .expect("degraded page");
+    println!(
+        "== press feed offline: page still renders (stale={}, complete={}) ==\n{}\n",
+        degraded.result.stale, degraded.result.complete, degraded.body
+    );
+
+    println!("== admin monitor ==\n{}", monitor.render_table());
+}

@@ -1,0 +1,198 @@
+//! Dynamic data cleaning end to end (§3.2): dirty multi-source data →
+//! declarative flow → two-phase matching with a concordance database →
+//! measurable quality; plus cleaning functions used *inside* queries.
+
+use nimble::cleaning::synth::{generate, SynthConfig};
+use nimble::cleaning::{
+    CleaningFlow, CleaningPipeline, CompositeMatcher, ConcordanceDb, Decision, FlowStep,
+    LineageLog,
+};
+use nimble::cleaning::matching::{JaroWinkler, QGramJaccard};
+use nimble::cleaning::normalize::{NameStandardizer, Normalizer};
+use nimble::core::{Catalog, Engine};
+use nimble::sources::csv::CsvAdapter;
+use nimble::xml::to_string;
+use std::sync::Arc;
+
+fn matcher() -> CompositeMatcher {
+    CompositeMatcher::new(0.90, 0.78)
+        .field("name", Box::new(JaroWinkler), 0.6)
+        .field("address", Box::new(QGramJaccard::default()), 0.4)
+}
+
+fn standardize_flow() -> CleaningFlow {
+    CleaningFlow::new("standardize")
+        .step(FlowStep::Normalize {
+            field: "name".into(),
+            normalizer: "name".into(),
+        })
+        .step(FlowStep::Normalize {
+            field: "address".into(),
+            normalizer: "abbrev".into(),
+        })
+        .step(FlowStep::Normalize {
+            field: "address".into(),
+            normalizer: "basic".into(),
+        })
+}
+
+#[test]
+fn normalization_improves_matching_quality() {
+    let data = generate(&SynthConfig {
+        entities: 120,
+        duplicate_rate: 0.6,
+        seed: 42,
+        ..SynthConfig::default()
+    });
+
+    // Without cleaning: match raw records.
+    let pipeline = CleaningPipeline::new(matcher(), "name", 8);
+    let mut db = ConcordanceDb::new();
+    let mut log = LineageLog::new();
+    let raw = pipeline.extract(&data.records, &mut db, &mut log);
+    let raw_eval = data.evaluate(&raw.clusters);
+
+    // With the declarative flow applied first.
+    let mut cleaned = data.records.clone();
+    standardize_flow().apply(&mut cleaned, &mut log).unwrap();
+    let mut db2 = ConcordanceDb::new();
+    let clean = pipeline.extract(&cleaned, &mut db2, &mut log);
+    // Truth is keyed by record id, which cleaning preserves.
+    let clean_eval = data.evaluate(&clean.clusters);
+
+    assert!(
+        clean_eval.f1 > raw_eval.f1,
+        "cleaning should improve F1: raw {:.3} vs clean {:.3}",
+        raw_eval.f1,
+        clean_eval.f1
+    );
+    assert!(clean_eval.recall > raw_eval.recall);
+    // And the cleaned run reaches respectable quality on this corpus.
+    assert!(clean_eval.f1 > 0.7, "clean F1 {:.3}", clean_eval.f1);
+}
+
+#[test]
+fn concordance_amortizes_human_work_across_runs() {
+    let data = generate(&SynthConfig {
+        entities: 80,
+        duplicate_rate: 0.7,
+        seed: 7,
+        ..SynthConfig::default()
+    });
+    let mut records = data.records.clone();
+    let mut log = LineageLog::new();
+    standardize_flow().apply(&mut records, &mut log).unwrap();
+
+    let pipeline = CleaningPipeline::new(matcher(), "name", 8);
+    let mut db = ConcordanceDb::new();
+
+    // Mining run: uncertain pairs go to a "human" (the oracle = ground
+    // truth).
+    let mining = pipeline.mine(&records, &mut db, &mut log);
+    let human_work_first = mining.pending.len();
+    let answers: Vec<_> = mining
+        .pending
+        .iter()
+        .map(|p| {
+            let same = data.truth[&p.left] == data.truth[&p.right];
+            (
+                p.clone(),
+                if same {
+                    Decision::SameObject
+                } else {
+                    Decision::DifferentObjects
+                },
+            )
+        })
+        .collect();
+    CleaningPipeline::apply_human_decisions(&mut db, &mut log, &answers, "oracle");
+
+    // Extraction re-run: zero new human work, decisions replayed.
+    let extraction = pipeline.extract(&records, &mut db, &mut log);
+    assert_eq!(extraction.pending.len(), 0);
+    assert!(extraction.reused_decisions > 0);
+    assert!(human_work_first > 0);
+
+    // Quality after human input beats the automatic-only run.
+    let eval = data.evaluate(&extraction.clusters);
+    let mut db_auto = ConcordanceDb::new();
+    let auto = pipeline.extract(&records, &mut db_auto, &mut log);
+    let auto_eval = data.evaluate(&auto.clusters);
+    assert!(eval.f1 >= auto_eval.f1);
+}
+
+#[test]
+fn lineage_rollback_undoes_decisions() {
+    let mut db = ConcordanceDb::new();
+    let mut log = LineageLog::new();
+    db.record_human("a:1", "b:1", Decision::SameObject, "denise");
+    let checkpoint = log.record(
+        nimble::cleaning::LineageOp::Merge {
+            left: "a:1".into(),
+            right: "b:1".into(),
+        },
+        "denise",
+    );
+    db.record_human("a:2", "b:2", Decision::SameObject, "denise");
+    log.record(
+        nimble::cleaning::LineageOp::Merge {
+            left: "a:2".into(),
+            right: "b:2".into(),
+        },
+        "denise",
+    );
+    // Roll back past the second decision and reverse its effects.
+    for entry in log.rollback_to(checkpoint) {
+        if let nimble::cleaning::LineageOp::Merge { left, right } = &entry.op {
+            assert!(db.retract(left, right));
+        }
+    }
+    assert_eq!(db.peek("a:2", "b:2"), None);
+    assert_eq!(db.peek("a:1", "b:1"), Some(Decision::SameObject));
+}
+
+#[test]
+fn cleaning_functions_work_inside_queries() {
+    // "Virtually-clean data": the engine joins two sources whose name
+    // fields disagree in form, through a registered normalization
+    // function — cleaning at query time, with sources unchanged.
+    let catalog = Catalog::new();
+    catalog
+        .register_source(Arc::new(
+            CsvAdapter::new("hr")
+                .add_csv("people", "pname,dept\n\"Lovelace, Ada\",R&D\n\"Hopper, Grace\",Navy\n")
+                .unwrap(),
+        ))
+        .unwrap();
+    catalog
+        .register_source(Arc::new(
+            CsvAdapter::new("payroll")
+                .add_csv("salaries", "pname,amount\nDr. Ada Lovelace,1000\nGrace Hopper,1200\n")
+                .unwrap(),
+        ))
+        .unwrap();
+    let engine = Engine::new(Arc::new(catalog));
+    engine.register_function("std_name", |args| {
+        Ok(nimble::xml::Value::from(
+            NameStandardizer
+                .normalize(&args[0].atomize().lexical())
+                .as_str(),
+        ))
+    });
+    let r = engine
+        .query(
+            r#"WHERE <row><pname>$a</pname><dept>$d</dept></row> IN "people",
+                     <row><pname>$b</pname><amount>$amt</amount></row> IN "salaries",
+                     std_name($a) = std_name($b)
+               CONSTRUCT <pay><who>$d</who><amount>$amt</amount></pay>
+               ORDER-BY $amt"#,
+        )
+        .unwrap();
+    assert_eq!(
+        to_string(&r.document.root()),
+        "<results>\
+         <pay><who>R&amp;D</who><amount>1000</amount></pay>\
+         <pay><who>Navy</who><amount>1200</amount></pay>\
+         </results>"
+    );
+}

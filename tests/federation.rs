@@ -1,0 +1,195 @@
+//! Federation correctness: heterogeneous sources answer the same
+//! queries identically regardless of optimizer choices, and the four
+//! adapter kinds interoperate.
+
+use nimble::core::{Catalog, Engine, OptimizerConfig};
+use nimble::sources::csv::CsvAdapter;
+use nimble::sources::hierarchical::{HierarchicalAdapter, Segment};
+use nimble::sources::relational::RelationalAdapter;
+use nimble::sources::xmldoc::XmlDocAdapter;
+use nimble::xml::{to_string, Atomic};
+use std::sync::Arc;
+
+fn four_source_catalog() -> Arc<Catalog> {
+    let c = Catalog::new();
+    c.register_source(Arc::new(
+        RelationalAdapter::from_statements(
+            "erp",
+            &[
+                "CREATE TABLE products (sku INT, pname TEXT, price FLOAT)",
+                "INSERT INTO products VALUES \
+                 (100, 'widget', 9.5), (200, 'gadget', 120.0), (300, 'gizmo', 45.0)",
+            ],
+        )
+        .unwrap(),
+    ))
+    .unwrap();
+    c.register_source(Arc::new(HierarchicalAdapter::new(
+        "warehouse",
+        vec![
+            Segment::new("site", vec![("city", "Seattle".into())]).with_children(vec![
+                Segment::new("bin", vec![("sku", Atomic::Int(100)), ("qty", Atomic::Int(7))]),
+                Segment::new("bin", vec![("sku", Atomic::Int(200)), ("qty", Atomic::Int(0))]),
+            ]),
+            Segment::new("site", vec![("city", "Reno".into())]).with_children(vec![
+                Segment::new("bin", vec![("sku", Atomic::Int(300)), ("qty", Atomic::Int(2))]),
+            ]),
+        ],
+    )))
+    .unwrap();
+    c.register_source(Arc::new(
+        CsvAdapter::new("pricing")
+            .add_csv("discounts", "sku,pct\n100,10\n300,25\n")
+            .unwrap(),
+    ))
+    .unwrap();
+    c.register_source(Arc::new(
+        XmlDocAdapter::new("reviews")
+            .add_xml(
+                "feed",
+                "<feed>\
+                 <review sku='100'><stars>5</stars></review>\
+                 <review sku='100'><stars>3</stars></review>\
+                 <review sku='300'><stars>4</stars></review>\
+                 </feed>",
+            )
+            .unwrap(),
+    ))
+    .unwrap();
+    Arc::new(c)
+}
+
+const FOUR_WAY_QUERY: &str = r#"
+    WHERE <row><sku>$s</sku><pname>$p</pname><price>$pr</price></row> IN "products",
+          <row><sku>$s</sku><qty>$q</qty></row> IN "bin",
+          <row><sku>$s</sku><pct>$d</pct></row> IN "discounts",
+          <feed><review sku=$s><stars>$st</stars></review></feed> IN "feed",
+          $q > 0
+    CONSTRUCT <offer><name>$p</name><stars>$st</stars><discount>$d</discount></offer>
+    ORDER-BY $p, $st
+"#;
+
+#[test]
+fn four_kinds_of_sources_join() {
+    let engine = Engine::new(four_source_catalog());
+    let r = engine.query(FOUR_WAY_QUERY).unwrap();
+    assert!(r.complete);
+    assert_eq!(
+        to_string(&r.document.root()),
+        "<results>\
+         <offer><name>gizmo</name><stars>4</stars><discount>25</discount></offer>\
+         <offer><name>widget</name><stars>3</stars><discount>10</discount></offer>\
+         <offer><name>widget</name><stars>5</stars><discount>10</discount></offer>\
+         </results>"
+    );
+}
+
+#[test]
+fn optimizer_choices_never_change_answers() {
+    let configs = [
+        OptimizerConfig {
+            pushdown: true,
+            capability_joins: true,
+            order_joins_by_cardinality: true,
+        },
+        OptimizerConfig {
+            pushdown: false,
+            capability_joins: false,
+            order_joins_by_cardinality: false,
+        },
+        OptimizerConfig {
+            pushdown: true,
+            capability_joins: false,
+            order_joins_by_cardinality: false,
+        },
+        OptimizerConfig {
+            pushdown: false,
+            capability_joins: false,
+            order_joins_by_cardinality: true,
+        },
+    ];
+    let engine = Engine::new(four_source_catalog());
+    let mut outputs = Vec::new();
+    for config in configs {
+        engine.set_optimizer(config);
+        let r = engine.query(FOUR_WAY_QUERY).unwrap();
+        outputs.push(to_string(&r.document.root()));
+    }
+    for o in &outputs[1..] {
+        assert_eq!(o, &outputs[0]);
+    }
+}
+
+#[test]
+fn ambiguous_collections_require_qualification() {
+    // Both erp and pricing could plausibly export a same-named
+    // collection; build that conflict explicitly.
+    let c = Catalog::new();
+    c.register_source(Arc::new(
+        CsvAdapter::new("a").add_csv("items", "id\n1\n").unwrap(),
+    ))
+    .unwrap();
+    c.register_source(Arc::new(
+        CsvAdapter::new("b").add_csv("items", "id\n2\n").unwrap(),
+    ))
+    .unwrap();
+    let engine = Engine::new(Arc::new(c));
+    let err = engine
+        .query(r#"WHERE <row><id>$i</id></row> IN "items" CONSTRUCT <o>$i</o>"#)
+        .unwrap_err();
+    assert!(err.to_string().contains("several sources"), "{}", err);
+    // Qualified names disambiguate.
+    let r = engine
+        .query(r#"WHERE <row><id>$i</id></row> IN "b.items" CONSTRUCT <o>$i</o>"#)
+        .unwrap();
+    assert_eq!(r.document.root().child("o").unwrap().text(), "2");
+}
+
+#[test]
+fn recursion_and_navigation_over_legacy_tree() {
+    // The hierarchical adapter's whole-tree export supports the XML
+    // features the paper names: recursion (part+) and navigation.
+    let c = Catalog::new();
+    c.register_source(Arc::new(HierarchicalAdapter::new(
+        "bom",
+        vec![Segment::new("part", vec![("pid", Atomic::Int(1))]).with_children(vec![
+            Segment::new("part", vec![("pid", Atomic::Int(2))]).with_children(vec![
+                Segment::new("part", vec![("pid", Atomic::Int(3))]),
+            ]),
+            Segment::new("part", vec![("pid", Atomic::Int(4))]),
+        ])],
+    )))
+    .unwrap();
+    let engine = Engine::new(Arc::new(c));
+    let r = engine
+        .query(
+            r#"WHERE <part+><pid>$p</pid></> IN "bom._tree"
+               CONSTRUCT <p>$p</p> ORDER-BY $p"#,
+        )
+        .unwrap();
+    // part+ reaches every nesting level.
+    assert_eq!(
+        to_string(&r.document.root()),
+        "<results><p>1</p><p>2</p><p>3</p><p>4</p></results>"
+    );
+}
+
+#[test]
+fn document_order_is_preserved_without_order_by() {
+    let c = Catalog::new();
+    c.register_source(Arc::new(
+        XmlDocAdapter::new("docs")
+            .add_xml("seq", "<seq><i>3</i><i>1</i><i>2</i></seq>")
+            .unwrap(),
+    ))
+    .unwrap();
+    let engine = Engine::new(Arc::new(c));
+    let r = engine
+        .query(r#"WHERE <seq><i>$v</i></seq> IN "seq" CONSTRUCT <o>$v</o>"#)
+        .unwrap();
+    // No ORDER-BY → XML document order, not value order.
+    assert_eq!(
+        to_string(&r.document.root()),
+        "<results><o>3</o><o>1</o><o>2</o></results>"
+    );
+}
