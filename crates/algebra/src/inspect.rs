@@ -1,0 +1,243 @@
+//! Operator introspection for static plan verification.
+//!
+//! The paper compiles XML-QL straight to *physical* plans with no
+//! logical-algebra layer (§3.1), so there is no intermediate
+//! representation where schema or type errors can be caught before
+//! execution. [`OpInfo`] closes that gap: every [`Operator`] can describe
+//! — without running — which scalar expressions it evaluates, how its
+//! output schema is derived from its children, and what ordering it
+//! requires or establishes. `nimble-planck` consumes this metadata to
+//! verify whole plans statically.
+//!
+//! The default [`Operator::introspect`] is conservative: an opaque node
+//! whose schema the verifier accepts as-is. Operators opt in to stronger
+//! checking by returning a more precise [`OpInfo`].
+//!
+//! [`Operator`]: crate::ops::Operator
+//! [`Operator::introspect`]: crate::ops::Operator::introspect
+
+use crate::expr::ScalarExpr;
+use crate::ops::SortKey;
+
+/// How an operator's output schema is derived from its children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaRule {
+    /// A leaf: no children, the schema is self-contained.
+    Source,
+    /// Output schema equals the schema of child `i` (filters, sorts,
+    /// limits, distinct).
+    Inherit(usize),
+    /// Output schema is `children[0].schema().concat(children[1].schema())`
+    /// — the join contract; collision columns are renamed `var#2`.
+    Concat,
+    /// Output schema extends child `i`'s schema: the child's columns are a
+    /// prefix, new columns are appended (navigation, pattern binding).
+    Extends(usize),
+    /// All children share the output schema exactly (set operations).
+    Uniform,
+    /// Each output column is produced by one entry of
+    /// [`OpInfo::child_exprs`] over child 0 (projection).
+    PerColumnExprs,
+    /// No statically checkable relation between child and output schemas;
+    /// the verifier only bounds-checks the declared column references.
+    Opaque,
+}
+
+/// What an operator does to the ordering of its tuple stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderEffect {
+    /// Establishes the ordering given by [`OpInfo::sort_keys`]
+    /// regardless of input order.
+    Establishes,
+    /// Preserves whatever ordering child `i` delivers (column indices are
+    /// remapped through [`OpInfo::projection_map`] when present).
+    Preserves(usize),
+    /// Destroys or does not guarantee any ordering.
+    Unknown,
+}
+
+/// A scalar expression an operator evaluates over one child's tuples.
+#[derive(Debug, Clone)]
+pub struct ChildExpr {
+    /// Index into [`Operator::children`](crate::ops::Operator::children).
+    pub child: usize,
+    /// Human-readable role for diagnostics (`"predicate"`, `"column $x"`).
+    pub role: String,
+    pub expr: ScalarExpr,
+}
+
+/// A single column reference into one child's schema.
+#[derive(Debug, Clone)]
+pub struct ChildCol {
+    pub child: usize,
+    /// Human-readable role for diagnostics (`"group key"`, `"agg input"`).
+    pub role: String,
+    pub col: usize,
+}
+
+/// Equi-join key columns; `left[i]` pairs with `right[i]`.
+#[derive(Debug, Clone)]
+pub struct JoinKeys {
+    pub left: Vec<usize>,
+    pub right: Vec<usize>,
+}
+
+/// Grouping structure of an aggregation operator.
+#[derive(Debug, Clone)]
+pub struct Grouping {
+    /// Group-key columns into child 0's schema, in output order.
+    pub cols: Vec<usize>,
+    /// Number of aggregate output columns following the group keys.
+    pub agg_outputs: usize,
+}
+
+/// Static metadata describing one operator node.
+///
+/// Built with [`OpInfo::new`] and the `with_*` builder methods; consumed
+/// by `nimble-planck`'s verifier.
+#[derive(Debug, Clone)]
+pub struct OpInfo {
+    /// Operator kind name used in diagnostics (`"HashJoin"`).
+    pub name: String,
+    pub schema_rule: SchemaRule,
+    pub order: OrderEffect,
+    /// Scalar expressions evaluated over child tuples. For joins the
+    /// expression space is the *concatenation* of both children; use
+    /// [`OpInfo::join_predicate`] instead.
+    pub child_exprs: Vec<ChildExpr>,
+    /// A predicate over the concatenated tuples of children 0 and 1.
+    pub join_predicate: Option<ScalarExpr>,
+    /// Equi-join keys, bounds-checked against both child schemas.
+    pub join_keys: Option<JoinKeys>,
+    /// Orderings the operator's children must provably deliver
+    /// (`(child index, key)`), e.g. merge join inputs.
+    pub requires_sorted: Vec<(usize, SortKey)>,
+    /// The ordering this operator establishes when
+    /// [`OpInfo::order`] is [`OrderEffect::Establishes`].
+    pub sort_keys: Vec<SortKey>,
+    /// Grouping structure, when the operator aggregates.
+    pub grouping: Option<Grouping>,
+    /// Plain column references into child schemas (navigation input,
+    /// aggregate inputs).
+    pub child_cols: Vec<ChildCol>,
+    /// For [`SchemaRule::PerColumnExprs`]: `Some(i)` when the output
+    /// column at that position is a pure copy of child column `i`. Lets
+    /// the verifier carry sort orders through projections.
+    pub projection_map: Option<Vec<Option<usize>>>,
+}
+
+impl OpInfo {
+    /// Metadata with the given schema rule and no other claims.
+    pub fn new(name: impl Into<String>, schema_rule: SchemaRule) -> OpInfo {
+        OpInfo {
+            name: name.into(),
+            schema_rule,
+            order: OrderEffect::Unknown,
+            child_exprs: Vec::new(),
+            join_predicate: None,
+            join_keys: None,
+            requires_sorted: Vec::new(),
+            sort_keys: Vec::new(),
+            grouping: None,
+            child_cols: Vec::new(),
+            projection_map: None,
+        }
+    }
+
+    /// A leaf source.
+    pub fn source(name: impl Into<String>) -> OpInfo {
+        OpInfo::new(name, SchemaRule::Source)
+    }
+
+    /// A single-child operator that passes its child's schema and order
+    /// through unchanged.
+    pub fn transform(name: impl Into<String>) -> OpInfo {
+        OpInfo::new(name, SchemaRule::Inherit(0)).with_order(OrderEffect::Preserves(0))
+    }
+
+    /// The conservative default for operators without introspection.
+    pub fn opaque(name: impl Into<String>) -> OpInfo {
+        OpInfo::new(name, SchemaRule::Opaque)
+    }
+
+    pub fn with_order(mut self, order: OrderEffect) -> OpInfo {
+        self.order = order;
+        self
+    }
+
+    pub fn with_child_expr(
+        mut self,
+        child: usize,
+        role: impl Into<String>,
+        expr: ScalarExpr,
+    ) -> OpInfo {
+        self.child_exprs.push(ChildExpr {
+            child,
+            role: role.into(),
+            expr,
+        });
+        self
+    }
+
+    pub fn with_join_predicate(mut self, predicate: ScalarExpr) -> OpInfo {
+        self.join_predicate = Some(predicate);
+        self
+    }
+
+    pub fn with_join_keys(mut self, left: Vec<usize>, right: Vec<usize>) -> OpInfo {
+        self.join_keys = Some(JoinKeys { left, right });
+        self
+    }
+
+    pub fn with_required_sort(mut self, child: usize, key: SortKey) -> OpInfo {
+        self.requires_sorted.push((child, key));
+        self
+    }
+
+    pub fn with_sort_keys(mut self, keys: Vec<SortKey>) -> OpInfo {
+        self.sort_keys = keys;
+        self
+    }
+
+    pub fn with_grouping(mut self, cols: Vec<usize>, agg_outputs: usize) -> OpInfo {
+        self.grouping = Some(Grouping { cols, agg_outputs });
+        self
+    }
+
+    pub fn with_child_col(mut self, child: usize, role: impl Into<String>, col: usize) -> OpInfo {
+        self.child_cols.push(ChildCol {
+            child,
+            role: role.into(),
+            col,
+        });
+        self
+    }
+
+    pub fn with_projection_map(mut self, map: Vec<Option<usize>>) -> OpInfo {
+        self.projection_map = Some(map);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let info = OpInfo::new("HashJoin", SchemaRule::Concat)
+            .with_join_keys(vec![0], vec![1])
+            .with_order(OrderEffect::Unknown);
+        assert_eq!(info.name, "HashJoin");
+        assert_eq!(info.schema_rule, SchemaRule::Concat);
+        let keys = info.join_keys.expect("keys recorded");
+        assert_eq!((keys.left, keys.right), (vec![0], vec![1]));
+    }
+
+    #[test]
+    fn transform_preserves_child_order() {
+        let info = OpInfo::transform("Filter");
+        assert_eq!(info.order, OrderEffect::Preserves(0));
+        assert_eq!(info.schema_rule, SchemaRule::Inherit(0));
+    }
+}

@@ -52,14 +52,16 @@
 pub mod error;
 pub mod expr;
 pub mod funcs;
+pub mod inspect;
 pub mod ops;
 pub mod schema;
 
 pub use error::ExecError;
 pub use expr::{AggFunc, ArithOp, CmpOp, ScalarExpr};
 pub use funcs::FunctionRegistry;
+pub use inspect::{OpInfo, OrderEffect, SchemaRule};
 pub use ops::Operator;
-pub use schema::{Schema, Tuple};
+pub use schema::{Schema, SchemaError, Tuple};
 
 /// Drain an operator into a vector (open → next* → close).
 pub fn run_to_vec(op: &mut dyn Operator) -> Result<Vec<Tuple>, ExecError> {

@@ -4,6 +4,7 @@ use super::{BoxedOp, Operator};
 use crate::error::ExecError;
 use crate::expr::ScalarExpr;
 use crate::funcs::FunctionRegistry;
+use crate::inspect::OpInfo;
 use crate::schema::{Schema, Tuple};
 use std::sync::Arc;
 
@@ -60,6 +61,10 @@ impl Operator for FilterOp {
 
     fn rows_out(&self) -> u64 {
         self.rows_out
+    }
+
+    fn introspect(&self) -> OpInfo {
+        OpInfo::transform("Filter").with_child_expr(0, "predicate", self.predicate.clone())
     }
 }
 

@@ -3,6 +3,7 @@
 use super::{BoxedOp, Operator};
 use crate::error::ExecError;
 use crate::expr::AggFunc;
+use crate::inspect::{OpInfo, SchemaRule};
 use crate::schema::{Schema, Tuple};
 use nimble_xml::{Atomic, Value};
 use std::collections::HashMap;
@@ -242,6 +243,17 @@ impl Operator for GroupAggOp {
 
     fn rows_out(&self) -> u64 {
         self.rows_out
+    }
+
+    fn introspect(&self) -> OpInfo {
+        let mut info = OpInfo::new("GroupAgg", SchemaRule::Opaque)
+            .with_grouping(self.group_cols.clone(), self.aggs.len());
+        for a in &self.aggs {
+            if let Some(c) = a.input {
+                info = info.with_child_col(0, format!("{:?} input", a.func), c);
+            }
+        }
+        info
     }
 }
 

@@ -4,10 +4,11 @@
 //! All joins output `left.schema ++ right.schema` (planners deduplicate
 //! shared variables with a projection above the join when needed).
 
-use super::{BoxedOp, Operator};
+use super::{BoxedOp, Operator, SortKey};
 use crate::error::ExecError;
 use crate::expr::ScalarExpr;
 use crate::funcs::FunctionRegistry;
+use crate::inspect::{OpInfo, SchemaRule};
 use crate::schema::{Schema, Tuple};
 use nimble_xml::Value;
 use std::collections::HashMap;
@@ -151,6 +152,14 @@ impl Operator for NestedLoopJoinOp {
     fn rows_out(&self) -> u64 {
         self.rows_out
     }
+
+    fn introspect(&self) -> OpInfo {
+        let mut info = OpInfo::new("NestedLoopJoin", SchemaRule::Concat);
+        if let Some(p) = &self.predicate {
+            info = info.with_join_predicate(p.clone());
+        }
+        info
+    }
 }
 
 // --- Hash join ---
@@ -244,13 +253,15 @@ impl HashJoinOp {
             left.schema(),
             right.schema()
         );
+        // `common_vars` only returns variables present in both schemas,
+        // so both lookups always resolve.
         let lk = common
             .iter()
-            .map(|v| left.schema().index_of(v).unwrap())
+            .filter_map(|v| left.schema().index_of(v))
             .collect();
         let rk = common
             .iter()
-            .map(|v| right.schema().index_of(v).unwrap())
+            .filter_map(|v| right.schema().index_of(v))
             .collect();
         HashJoinOp::new(left, right, lk, rk, join_type)
     }
@@ -330,6 +341,11 @@ impl Operator for HashJoinOp {
 
     fn rows_out(&self) -> u64 {
         self.rows_out
+    }
+
+    fn introspect(&self) -> OpInfo {
+        OpInfo::new("HashJoin", SchemaRule::Concat)
+            .with_join_keys(self.left_keys.clone(), self.right_keys.clone())
     }
 }
 
@@ -481,6 +497,25 @@ impl Operator for MergeJoinOp {
 
     fn rows_out(&self) -> u64 {
         self.rows_out
+    }
+
+    fn introspect(&self) -> OpInfo {
+        OpInfo::new("MergeJoin", SchemaRule::Concat)
+            .with_join_keys(vec![self.left_key], vec![self.right_key])
+            .with_required_sort(
+                0,
+                SortKey {
+                    column: self.left_key,
+                    descending: false,
+                },
+            )
+            .with_required_sort(
+                1,
+                SortKey {
+                    column: self.right_key,
+                    descending: false,
+                },
+            )
     }
 }
 

@@ -2,6 +2,7 @@
 
 use super::{BoxedOp, Operator};
 use crate::error::ExecError;
+use crate::inspect::OpInfo;
 use crate::schema::{Schema, Tuple};
 
 /// Emits at most `limit` tuples after skipping `offset`.
@@ -68,6 +69,10 @@ impl Operator for LimitOp {
 
     fn rows_out(&self) -> u64 {
         self.rows_out
+    }
+
+    fn introspect(&self) -> OpInfo {
+        OpInfo::transform("Limit")
     }
 }
 

@@ -26,6 +26,7 @@ pub use setops::{DistinctOp, UnionOp};
 pub use sort::{SortKey, SortOp};
 
 use crate::error::ExecError;
+use crate::inspect::OpInfo;
 use crate::schema::{Schema, Tuple};
 
 /// The physical-operator interface.
@@ -44,6 +45,11 @@ pub trait Operator: Send {
     fn children(&self) -> Vec<&dyn Operator>;
     /// Tuples produced so far (monotonic across one execution).
     fn rows_out(&self) -> u64;
+    /// Static metadata for plan verification (see `nimble-planck`). The
+    /// default is an opaque node the verifier treats conservatively.
+    fn introspect(&self) -> OpInfo {
+        OpInfo::opaque(self.describe())
+    }
 }
 
 /// Boxed operator alias used throughout planners.

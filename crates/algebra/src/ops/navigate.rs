@@ -7,6 +7,7 @@
 
 use super::{BoxedOp, Operator};
 use crate::error::ExecError;
+use crate::inspect::{OpInfo, OrderEffect, SchemaRule};
 use crate::schema::{Schema, Tuple};
 use nimble_xml::{Path, Value};
 
@@ -114,6 +115,12 @@ impl Operator for NavigateOp {
 
     fn rows_out(&self) -> u64 {
         self.rows_out
+    }
+
+    fn introspect(&self) -> OpInfo {
+        OpInfo::new("Navigate", SchemaRule::Extends(0))
+            .with_order(OrderEffect::Preserves(0))
+            .with_child_col(0, "navigation input", self.input_col)
     }
 }
 

@@ -5,6 +5,7 @@ use super::{BoxedOp, Operator};
 use crate::error::ExecError;
 use crate::expr::ScalarExpr;
 use crate::funcs::FunctionRegistry;
+use crate::inspect::{OpInfo, OrderEffect, SchemaRule};
 use crate::schema::{Schema, Tuple};
 use std::sync::Arc;
 
@@ -89,6 +90,24 @@ impl Operator for ProjectOp {
 
     fn rows_out(&self) -> u64 {
         self.rows_out
+    }
+
+    fn introspect(&self) -> OpInfo {
+        let map = self
+            .exprs
+            .iter()
+            .map(|e| match e {
+                ScalarExpr::Col(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        let mut info = OpInfo::new("Project", SchemaRule::PerColumnExprs)
+            .with_order(OrderEffect::Preserves(0))
+            .with_projection_map(map);
+        for (e, name) in self.exprs.iter().zip(self.schema.vars()) {
+            info = info.with_child_expr(0, format!("column ${}", name), e.clone());
+        }
+        info
     }
 }
 

@@ -2,6 +2,7 @@
 
 use super::Operator;
 use crate::error::ExecError;
+use crate::inspect::OpInfo;
 use crate::schema::{Schema, Tuple};
 
 /// An in-memory tuple source.
@@ -65,6 +66,10 @@ impl Operator for ValuesOp {
 
     fn rows_out(&self) -> u64 {
         self.rows_out
+    }
+
+    fn introspect(&self) -> OpInfo {
+        OpInfo::source("Values")
     }
 }
 
@@ -138,6 +143,10 @@ impl Operator for LazySourceOp {
 
     fn rows_out(&self) -> u64 {
         self.rows_out
+    }
+
+    fn introspect(&self) -> OpInfo {
+        OpInfo::source(format!("Source {}", self.label))
     }
 }
 

@@ -2,6 +2,7 @@
 
 use super::{BoxedOp, Operator};
 use crate::error::ExecError;
+use crate::inspect::{OpInfo, SchemaRule};
 use crate::schema::{Schema, Tuple};
 use std::collections::HashSet;
 
@@ -80,6 +81,10 @@ impl Operator for UnionOp {
     fn rows_out(&self) -> u64 {
         self.rows_out
     }
+
+    fn introspect(&self) -> OpInfo {
+        OpInfo::new("Union", SchemaRule::Uniform)
+    }
 }
 
 /// Removes duplicate tuples (by atomized lexical key — node bindings
@@ -145,6 +150,10 @@ impl Operator for DistinctOp {
 
     fn rows_out(&self) -> u64 {
         self.rows_out
+    }
+
+    fn introspect(&self) -> OpInfo {
+        OpInfo::transform("Distinct")
     }
 }
 

@@ -2,6 +2,7 @@
 
 use super::{BoxedOp, Operator};
 use crate::error::ExecError;
+use crate::inspect::{OpInfo, OrderEffect, SchemaRule};
 use crate::schema::{Schema, Tuple};
 use std::cmp::Ordering;
 
@@ -99,6 +100,12 @@ impl Operator for SortOp {
 
     fn rows_out(&self) -> u64 {
         self.rows_out
+    }
+
+    fn introspect(&self) -> OpInfo {
+        OpInfo::new("Sort", SchemaRule::Inherit(0))
+            .with_order(OrderEffect::Establishes)
+            .with_sort_keys(self.keys.clone())
     }
 }
 

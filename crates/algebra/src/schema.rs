@@ -13,20 +13,45 @@ pub struct Schema {
     vars: Vec<String>,
 }
 
+/// Why a schema could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The same variable name was supplied for two columns.
+    DuplicateVar(String),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateVar(v) => {
+                write!(f, "duplicate variable in schema: ${}", v)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
 impl Schema {
-    /// A schema over the given variable names. Names must be unique.
+    /// A schema over the given variable names. Names must be unique;
+    /// panics otherwise (in every build profile). Use [`Schema::try_new`]
+    /// when the names come from untrusted planner output.
     pub fn new(vars: Vec<String>) -> Schema {
-        debug_assert!(
-            {
-                let mut v = vars.clone();
-                v.sort();
-                v.dedup();
-                v.len() == vars.len()
-            },
-            "duplicate variable in schema: {:?}",
-            vars
-        );
-        Schema { vars }
+        match Schema::try_new(vars) {
+            Ok(s) => s,
+            Err(e) => panic!("{}", e),
+        }
+    }
+
+    /// A schema over the given variable names, rejecting duplicates with
+    /// an error instead of panicking.
+    pub fn try_new(vars: Vec<String>) -> Result<Schema, SchemaError> {
+        for (i, v) in vars.iter().enumerate() {
+            if vars[..i].contains(v) {
+                return Err(SchemaError::DuplicateVar(v.clone()));
+            }
+        }
+        Ok(Schema { vars })
     }
 
     /// An empty schema (the unit tuple stream).
@@ -130,8 +155,16 @@ mod tests {
 
     #[test]
     #[should_panic]
-    #[cfg(debug_assertions)]
     fn duplicate_vars_rejected() {
         let _ = Schema::new(vec!["a".into(), "a".into()]);
+    }
+
+    #[test]
+    fn try_new_reports_offender() {
+        assert_eq!(
+            Schema::try_new(vec!["a".into(), "b".into(), "a".into()]),
+            Err(SchemaError::DuplicateVar("a".into()))
+        );
+        assert!(Schema::try_new(vec!["a".into(), "b".into()]).is_ok());
     }
 }

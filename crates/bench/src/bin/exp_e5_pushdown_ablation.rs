@@ -116,6 +116,7 @@ fn main() {
                     pushdown,
                     capability_joins,
                     order_joins_by_cardinality: true,
+                    ..OptimizerConfig::default()
                 });
                 // Measure steady state over a few runs.
                 let runs = 5;

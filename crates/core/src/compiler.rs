@@ -69,6 +69,14 @@ pub fn recognize_row_pattern(pattern: &Pattern) -> Option<RowPattern> {
     if fields.is_empty() && eq_selections.is_empty() {
         return None;
     }
+    // A variable bound by two fields (`<a>$x</a><b>$x</b>`) would emit
+    // the same output column twice in a fragment; fall back to
+    // fetch-and-match, whose matcher enforces the equality natively.
+    for (i, (v, _)) in fields.iter().enumerate() {
+        if fields[..i].iter().any(|(w, _)| w == v) {
+            return None;
+        }
+    }
     Some(RowPattern {
         fields,
         eq_selections,
@@ -150,17 +158,28 @@ pub fn merge_fragments(fragments: &[SourceQuery]) -> Option<SourceQuery> {
     // Pending join conditions per fragment index (fragment i>0 must join
     // with someone earlier).
     for (i, frag) in fragments.iter().enumerate() {
-        debug_assert_eq!(frag.collections.len(), 1, "merge takes single-collection fragments");
+        // Only single-collection fragments whose field refs all use that
+        // collection's alias are mergeable; refuse gracefully otherwise
+        // (the fragments then execute separately, which is always sound).
+        if frag.collections.len() != 1 {
+            return None;
+        }
         let alias = format!("t{}", i);
         let old_alias = &frag.collections[0].alias;
+        let consistent = frag
+            .selections
+            .iter()
+            .map(|s| &s.field)
+            .chain(frag.outputs.iter().map(|(_, f)| f))
+            .all(|f| &f.alias == old_alias);
+        if !consistent {
+            return None;
+        }
         collections.push(CollectionRef {
             alias: alias.clone(),
             collection: frag.collections[0].collection.clone(),
         });
-        let re = |f: &FieldRef| -> FieldRef {
-            debug_assert_eq!(&f.alias, old_alias);
-            FieldRef::new(&alias, &f.field)
-        };
+        let re = |f: &FieldRef| -> FieldRef { FieldRef::new(&alias, &f.field) };
         for s in &frag.selections {
             selections.push(Selection {
                 field: re(&s.field),
@@ -305,6 +324,43 @@ mod tests {
             let p = pattern_of(text);
             assert!(recognize_row_pattern(&p).is_none(), "{}", text);
         }
+    }
+
+    #[test]
+    fn duplicate_field_vars_fall_back() {
+        // `$x` bound by two fields is an implicit self-join; a fragment
+        // cannot express the duplicate column, so the pattern must fall
+        // back to fetch-and-match.
+        let p = pattern_of(r#"WHERE <row><a>$x</a><b>$x</b></row> IN "s" CONSTRUCT <o/>"#);
+        assert!(recognize_row_pattern(&p).is_none());
+    }
+
+    #[test]
+    fn merge_refuses_multi_collection_and_inconsistent_fragments() {
+        let a = build_fragment(
+            "x",
+            "t",
+            &RowPattern {
+                fields: vec![("a".into(), "a".into()), ("k".into(), "k".into())],
+                eq_selections: vec![],
+            },
+        );
+        let b = build_fragment(
+            "y",
+            "t",
+            &RowPattern {
+                fields: vec![("k".into(), "k".into())],
+                eq_selections: vec![],
+            },
+        );
+        // A fragment that is already a join cannot merge again.
+        let joined = merge_fragments(&[a.clone(), b.clone()]).unwrap();
+        assert!(merge_fragments(&[joined, b.clone()]).is_none());
+        // A fragment with an output alias that does not match its
+        // collection alias is malformed; the merge refuses it.
+        let mut bad = a;
+        bad.outputs[0].1 = FieldRef::new("elsewhere", "a");
+        assert!(merge_fragments(&[bad, b]).is_none());
     }
 
     #[test]

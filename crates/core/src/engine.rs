@@ -32,6 +32,10 @@ pub struct OptimizerConfig {
     pub capability_joins: bool,
     /// Order the mediator-side join tree by ascending input cardinality.
     pub order_joins_by_cardinality: bool,
+    /// Statically verify every planned query (`nimble-planck`) before
+    /// opening the operator tree. Defaults to on in debug builds (and
+    /// therefore in tests), off in release builds.
+    pub verify_plans: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -40,6 +44,7 @@ impl Default for OptimizerConfig {
             pushdown: true,
             capability_joins: true,
             order_joins_by_cardinality: true,
+            verify_plans: cfg!(debug_assertions),
         }
     }
 }
@@ -444,6 +449,9 @@ impl Engine {
         }
         let config = self.config();
         let plan = planner::plan_query(&self.catalog, query, &config.optimizer)?;
+        if config.optimizer.verify_plans {
+            planner::verify_plan(&plan, outer.map(|(s, _)| s))?;
+        }
 
         // Fetch every independent unit (the Scan layer).
         let mut inputs: Vec<(Schema, Vec<Tuple>)> = Vec::new();
@@ -475,13 +483,13 @@ impl Engine {
                 ctx.merge(local);
                 let (vars, tuples) = fetched?;
                 ctx.rows_fetched += tuples.len() as u64;
-                inputs.push((Schema::new(vars), tuples));
+                inputs.push((unit_schema(vars)?, tuples));
             }
         } else {
             for atom in &plan.independents {
                 let (vars, tuples) = self.fetch_atom(atom, depth, ctx)?;
                 ctx.rows_fetched += tuples.len() as u64;
-                inputs.push((Schema::new(vars), tuples));
+                inputs.push((unit_schema(vars)?, tuples));
             }
         }
         if inputs.is_empty() {
@@ -499,7 +507,9 @@ impl Engine {
         // Fold into a physical join tree.
         let funcs = self.funcs.read().clone();
         let mut iter = inputs.into_iter();
-        let (first_schema, first_tuples) = iter.next().unwrap();
+        let (first_schema, first_tuples) = iter
+            .next()
+            .ok_or_else(|| CoreError::Internal("join fold over zero inputs".into()))?;
         let mut op: Box<dyn Operator> =
             Box::new(ValuesOp::new(first_schema, first_tuples).labeled("Scan"));
         for (schema, tuples) in iter {
@@ -569,6 +579,14 @@ impl Engine {
                 })
                 .collect::<Result<_, _>>()?;
             op = Box::new(SortOp::new(op, keys));
+        }
+
+        // Static verification of the assembled physical plan: every
+        // operator's schema/expression/ordering contract must hold before
+        // we open anything.
+        if config.optimizer.verify_plans {
+            nimble_planck::verify(op.as_ref())
+                .map_err(|report| CoreError::PlanVerify(report.to_string()))?;
         }
 
         let tuples = run_to_vec(op.as_mut())?;
@@ -724,6 +742,13 @@ impl Engine {
 
 /// Convert a `<rows>` fragment result into binding tuples over `vars`
 /// (output names equal variable names by the fragment contract).
+/// Build the schema of one execution unit's output, rejecting duplicate
+/// variables (a planner bug) with context instead of panicking.
+fn unit_schema(vars: Vec<String>) -> Result<Schema, CoreError> {
+    Schema::try_new(vars)
+        .map_err(|e| CoreError::Internal(format!("execution unit schema: {}", e)))
+}
+
 fn fragment_tuples(doc: &Arc<Document>, vars: &[String]) -> Vec<Tuple> {
     rows_of(doc)
         .iter()

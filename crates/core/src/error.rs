@@ -21,6 +21,12 @@ pub enum CoreError {
     Exec(String),
     /// Catalog misuse (duplicate registration etc.).
     Catalog(String),
+    /// Static plan verification rejected a planned query before
+    /// execution (see `nimble-planck`).
+    PlanVerify(String),
+    /// A planner-internal invariant was violated — always a bug in the
+    /// mediator, reported with context instead of a panic.
+    Internal(String),
 }
 
 impl fmt::Display for CoreError {
@@ -40,6 +46,8 @@ impl fmt::Display for CoreError {
             CoreError::Source(e) => write!(f, "{}", e),
             CoreError::Exec(m) => write!(f, "execution error: {}", m),
             CoreError::Catalog(m) => write!(f, "catalog error: {}", m),
+            CoreError::PlanVerify(m) => write!(f, "{}", m),
+            CoreError::Internal(m) => write!(f, "internal planner invariant violated: {}", m),
         }
     }
 }

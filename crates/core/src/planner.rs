@@ -18,6 +18,7 @@ use crate::compiler;
 use crate::engine::OptimizerConfig;
 use crate::error::CoreError;
 use crate::matcher::{match_within, Bindings};
+use nimble_algebra::inspect::{OpInfo, OrderEffect, SchemaRule};
 use nimble_algebra::ops::Operator;
 use nimble_algebra::{CmpOp, ExecError, ScalarExpr, Schema, Tuple};
 use nimble_sources::relational::RelationalAdapter;
@@ -230,6 +231,72 @@ pub fn plan_query(
     }
 
     Ok(plan)
+}
+
+/// Statically verify a decomposed [`Plan`] before any operator is built:
+/// every unit binds distinct variables, dependent atoms navigate
+/// variables bound by an earlier unit, and residual predicates and
+/// ORDER-BY keys only reference bound variables. Complements the
+/// operator-tree verification `nimble-planck` performs on the assembled
+/// physical plan.
+pub fn verify_plan(plan: &Plan, outer: Option<&Schema>) -> Result<(), CoreError> {
+    let mut bound: Vec<String> = outer.map(|s| s.vars().to_vec()).unwrap_or_default();
+    let check_unit_vars = |what: String, vars: &[String]| -> Result<(), CoreError> {
+        for (i, v) in vars.iter().enumerate() {
+            if vars[..i].contains(v) {
+                return Err(CoreError::PlanVerify(format!(
+                    "{} binds ${} twice",
+                    what, v
+                )));
+            }
+        }
+        Ok(())
+    };
+    for atom in &plan.independents {
+        let what = match atom.source() {
+            Some(s) => format!("execution unit against source {:?}", s),
+            None => "view execution unit".to_string(),
+        };
+        check_unit_vars(what, atom.vars())?;
+        for v in atom.vars() {
+            if !bound.contains(v) {
+                bound.push(v.clone());
+            }
+        }
+    }
+    for dep in &plan.dependents {
+        if !bound.contains(&dep.on_var) {
+            return Err(CoreError::PlanVerify(format!(
+                "dependent pattern navigates ${}, which no earlier unit binds",
+                dep.on_var
+            )));
+        }
+        check_unit_vars(format!("dependent pattern in ${}", dep.on_var), &dep.vars)?;
+        for v in &dep.vars {
+            if !bound.contains(v) {
+                bound.push(v.clone());
+            }
+        }
+    }
+    for pred in &plan.residual_predicates {
+        for v in pred.vars() {
+            if !bound.contains(&v) {
+                return Err(CoreError::PlanVerify(format!(
+                    "residual predicate references unbound ${}",
+                    v
+                )));
+            }
+        }
+    }
+    for key in &plan.order_by {
+        if !bound.contains(&key.var) {
+            return Err(CoreError::PlanVerify(format!(
+                "ORDER-BY references unbound ${}",
+                key.var
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Fragments grouped under one source name, each with its bound vars.
@@ -448,6 +515,12 @@ impl Operator for BindPatternOp {
 
     fn rows_out(&self) -> u64 {
         self.rows_out
+    }
+
+    fn introspect(&self) -> OpInfo {
+        OpInfo::new("BindPattern", SchemaRule::Extends(0))
+            .with_order(OrderEffect::Preserves(0))
+            .with_child_col(0, "bind-pattern input", self.on_col)
     }
 }
 

@@ -1,0 +1,123 @@
+//! Property test for the static plan verifier: every plan the planner
+//! produces over generated queries — under every optimizer
+//! configuration — passes `planner::verify_plan`, and executing the
+//! query with verification enabled (plan-level checks plus the
+//! `nimble-planck` operator-tree checks before `run_to_vec`) never
+//! trips a diagnostic. The verifier exists to catch malformed plans; a
+//! correct planner must never produce one.
+
+use nimble_core::planner::{plan_query, verify_plan};
+use nimble_core::{Catalog, Engine, OptimizerConfig};
+use nimble_sources::relational::RelationalAdapter;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn catalog() -> Arc<Catalog> {
+    let stmts = [
+        "CREATE TABLE customers (id INT, name TEXT, region TEXT)",
+        "INSERT INTO customers VALUES (1, 'ada', 'NW')",
+        "INSERT INTO customers VALUES (2, 'bob', 'SW')",
+        "INSERT INTO customers VALUES (3, 'cyd', 'NW')",
+        "CREATE TABLE orders (oid INT, cust_id INT, total INT)",
+        "INSERT INTO orders VALUES (10, 1, 250)",
+        "INSERT INTO orders VALUES (11, 2, 40)",
+        "INSERT INTO orders VALUES (12, 3, 75)",
+        "INSERT INTO orders VALUES (13, 1, 8)",
+    ];
+    let c = Catalog::new();
+    c.register_source(Arc::new(
+        RelationalAdapter::from_statements("erp", &stmts).unwrap(),
+    ))
+    .unwrap();
+    Arc::new(c)
+}
+
+/// Generate a query from a small grammar over the two-table catalog:
+/// optional second pattern (join on `$i`), optional literal region
+/// selection, optional residual threshold predicate, optional ORDER-BY.
+fn query_strategy() -> impl Strategy<Value = String> {
+    (
+        any::<bool>(), // join with orders
+        any::<bool>(), // literal region filter
+        any::<bool>(), // bind region as a variable
+        proptest::option::of(0i64..300), // threshold predicate on $t
+        0usize..3,     // order-by: none / $n / $i
+    )
+        .prop_map(|(join, lit_region, bind_region, threshold, order)| {
+            let mut pats = vec![format!(
+                "<row><id>$i</id><name>$n</name>{}{}</row> IN \"customers\"",
+                if lit_region { "<region>\"NW\"</region>" } else { "" },
+                if bind_region { "<region>$r</region>" } else { "" },
+            )];
+            let mut preds = Vec::new();
+            let mut construct = String::from("<n>$n</n>");
+            if join {
+                pats.push(
+                    "<row><cust_id>$i</cust_id><total>$t</total></row> IN \"orders\"".into(),
+                );
+                construct.push_str("<t>$t</t>");
+                if let Some(k) = threshold {
+                    preds.push(format!("$t > {}", k));
+                }
+            }
+            if bind_region {
+                construct.push_str("<r>$r</r>");
+            }
+            let order_by = match order {
+                1 => " ORDER-BY $n",
+                2 => " ORDER-BY $i",
+                _ => "",
+            };
+            format!(
+                "WHERE {} CONSTRUCT <hit>{}</hit>{}",
+                pats.into_iter().chain(preds).collect::<Vec<_>>().join(", "),
+                construct,
+                order_by
+            )
+        })
+}
+
+fn all_configs() -> Vec<OptimizerConfig> {
+    let mut out = Vec::new();
+    for pushdown in [false, true] {
+        for capability_joins in [false, true] {
+            for order_joins_by_cardinality in [false, true] {
+                out.push(OptimizerConfig {
+                    pushdown,
+                    capability_joins,
+                    order_joins_by_cardinality,
+                    verify_plans: true,
+                });
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn planned_queries_always_verify(text in query_strategy()) {
+        let q = nimble_xmlql::parse_query(&text).unwrap();
+        nimble_xmlql::analyze(&q).unwrap();
+        let cat = catalog();
+        for config in all_configs() {
+            // Plan-level invariants (binding order, residual predicate
+            // scope, ORDER-BY scope).
+            let plan = plan_query(&cat, &q, &config).unwrap();
+            if let Err(e) = verify_plan(&plan, None) {
+                return Err(TestCaseError::fail(format!(
+                    "verify_plan rejected {:?} under {:?}: {}",
+                    text, config, e
+                )));
+            }
+            // End-to-end: the engine runs the same plan through the
+            // planck operator-tree checks before execution.
+            let engine = Engine::new(cat.clone());
+            engine.set_optimizer(config);
+            let r = engine.query(&text);
+            prop_assert!(r.is_ok(), "query {:?} failed: {}", text, r.unwrap_err());
+        }
+    }
+}

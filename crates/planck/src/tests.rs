@@ -1,0 +1,246 @@
+use super::*;
+use nimble_algebra::expr::{CmpOp, ScalarExpr};
+use nimble_algebra::ops::{
+    BoxedOp, FilterOp, HashJoinOp, JoinType, MergeJoinOp, ProjectOp, SortOp, UnionOp, ValuesOp,
+};
+use nimble_algebra::{ExecError, FunctionRegistry, Tuple};
+use std::sync::Arc;
+
+fn source(vars: &[&str]) -> BoxedOp {
+    let schema = Schema::new(vars.iter().map(|s| s.to_string()).collect());
+    Box::new(ValuesOp::new(schema, Vec::new()))
+}
+
+fn funcs() -> Arc<FunctionRegistry> {
+    Arc::new(FunctionRegistry::with_builtins())
+}
+
+fn sorted_on(child: BoxedOp, column: usize) -> BoxedOp {
+    Box::new(SortOp::new(
+        child,
+        vec![SortKey {
+            column,
+            descending: false,
+        }],
+    ))
+}
+
+/// Simulates a planner bug `UnionOp::new` would catch at construction:
+/// an already-built set operation whose arms disagree.
+struct BrokenUnion {
+    arms: Vec<BoxedOp>,
+    schema: Schema,
+}
+
+impl Operator for BrokenUnion {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+    fn open(&mut self) -> Result<(), ExecError> {
+        Ok(())
+    }
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        Ok(None)
+    }
+    fn close(&mut self) {}
+    fn describe(&self) -> String {
+        "BrokenUnion".into()
+    }
+    fn children(&self) -> Vec<&dyn Operator> {
+        self.arms.iter().map(|a| a.as_ref()).collect()
+    }
+    fn rows_out(&self) -> u64 {
+        0
+    }
+    fn introspect(&self) -> OpInfo {
+        OpInfo::new("Union", SchemaRule::Uniform)
+    }
+}
+
+// --- The four seeded malformed-plan fixtures ---
+
+#[test]
+fn rejects_unbound_expression_variable() {
+    // Fixture 1: a projection computes $out from column 5, but its input
+    // only provides [$a, $b].
+    let proj = ProjectOp::new(
+        source(&["a", "b"]),
+        vec![("out".into(), ScalarExpr::Col(5))],
+        funcs(),
+    );
+    let report = verify(&proj).expect_err("unbound column must be rejected");
+    let issue = &report.issues[0];
+    assert_eq!(issue.operator, "Project");
+    assert!(issue.detail.contains("$out"), "names the variable: {}", issue);
+    assert!(issue.detail.contains("column 5"), "names the column: {}", issue);
+    assert!(issue.detail.contains("$a, $b"), "names the valid schema: {}", issue);
+}
+
+#[test]
+fn rejects_schema_mismatched_union() {
+    // Fixture 2: set-operation arms with different schemas.
+    let broken = BrokenUnion {
+        schema: Schema::new(vec!["x".into()]),
+        arms: vec![source(&["x"]), source(&["y"])],
+    };
+    let report = verify(&broken).expect_err("mismatched arms must be rejected");
+    let issue = &report.issues[0];
+    assert_eq!(issue.operator, "Union");
+    assert!(issue.detail.contains("arm 1"), "names the arm: {}", issue);
+    assert!(issue.detail.contains("[y]"), "names the arm schema: {}", issue);
+    assert!(issue.detail.contains("[x]"), "names the expected schema: {}", issue);
+}
+
+#[test]
+fn rejects_unsorted_merge_join_input() {
+    // Fixture 3: merge join straight over unsorted sources.
+    let join = MergeJoinOp::new(source(&["k", "x"]), source(&["k2", "y"]), 0, 0);
+    let report = verify(&join).expect_err("unproven sortedness must be rejected");
+    assert_eq!(report.issues.len(), 2, "both inputs unproven: {}", report);
+    let issue = &report.issues[0];
+    assert_eq!(issue.operator, "MergeJoin");
+    assert!(issue.detail.contains("$k"), "names the key variable: {}", issue);
+    assert!(issue.detail.contains("Sort"), "suggests the fix: {}", issue);
+}
+
+#[test]
+fn rejects_missing_join_key() {
+    // Fixture 4: the right key column does not exist on the right input.
+    let join = HashJoinOp::new(
+        source(&["k", "x"]),
+        source(&["k2", "y"]),
+        vec![0],
+        vec![7],
+        JoinType::Inner,
+    );
+    let report = verify(&join).expect_err("missing key column must be rejected");
+    let issue = &report.issues[0];
+    assert_eq!(issue.operator, "HashJoin");
+    assert!(issue.detail.contains("column 7"), "names the column: {}", issue);
+    assert!(issue.detail.contains("$k"), "names the paired key: {}", issue);
+    assert!(issue.detail.contains("[k2, y]"), "names the input: {}", issue);
+}
+
+// --- Positive paths ---
+
+#[test]
+fn accepts_well_formed_pipeline() {
+    let pred = ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::Col(1), ScalarExpr::Col(0));
+    let filter = Box::new(FilterOp::new(source(&["a", "b"]), pred, funcs()));
+    let proj = ProjectOp::new(filter, vec![("b".into(), ScalarExpr::Col(1))], funcs());
+    assert_verified(&proj);
+}
+
+#[test]
+fn accepts_merge_join_under_sorts() {
+    let join = MergeJoinOp::new(
+        sorted_on(source(&["k", "x"]), 0),
+        sorted_on(source(&["k2", "y"]), 0),
+        0,
+        0,
+    );
+    assert_verified(&join);
+}
+
+#[test]
+fn sortedness_survives_column_copying_projection() {
+    // Sort on $k, keep [$x, $k]: the sort column moves to position 1 and
+    // the ordering is still provable for a merge join keyed there.
+    let sorted = sorted_on(source(&["k", "x"]), 0);
+    let keep = ProjectOp::new(
+        sorted,
+        vec![
+            ("x".into(), ScalarExpr::Col(1)),
+            ("k".into(), ScalarExpr::Col(0)),
+        ],
+        funcs(),
+    );
+    let join = MergeJoinOp::new(Box::new(keep), sorted_on(source(&["k2"]), 0), 1, 0);
+    assert_verified(&join);
+}
+
+#[test]
+fn computed_projection_destroys_provable_order() {
+    // Replacing the sort column with a computed expression must not keep
+    // the sortedness proof alive.
+    let sorted = sorted_on(source(&["k"]), 0);
+    let computed = ProjectOp::new(
+        sorted,
+        vec![(
+            "k".into(),
+            ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::Col(0), ScalarExpr::Col(0)),
+        )],
+        funcs(),
+    );
+    let join = MergeJoinOp::new(Box::new(computed), sorted_on(source(&["k2"]), 0), 0, 0);
+    assert!(verify(&join).is_err());
+}
+
+#[test]
+fn union_of_matching_arms_accepted() {
+    let union = UnionOp::new(vec![source(&["x"]), source(&["x"])]).expect("arms match");
+    assert_verified(&union);
+}
+
+#[test]
+fn collision_rename_must_not_leak_to_root() {
+    // HashJoin of [k, x] with [k, y] outputs [k, x, k#2, y]; unprojected,
+    // that is a malformed root.
+    let join = HashJoinOp::natural(source(&["k", "x"]), source(&["k", "y"]), JoinType::Inner);
+    let report = verify(&join).expect_err("leaked collision column");
+    assert!(report.to_string().contains("$k#2"), "names the column: {}", report);
+
+    // Projecting the duplicate away fixes it.
+    let join = HashJoinOp::natural(source(&["k", "x"]), source(&["k", "y"]), JoinType::Inner);
+    let clean = ProjectOp::keep(Box::new(join), &["k", "x", "y"], funcs());
+    assert_verified(&clean);
+}
+
+#[test]
+fn issue_paths_locate_the_operator() {
+    // The broken projection sits under a filter; the path must say so.
+    let proj = Box::new(ProjectOp::new(
+        source(&["a"]),
+        vec![("out".into(), ScalarExpr::Col(9))],
+        funcs(),
+    ));
+    let pred = ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::Col(0), ScalarExpr::Col(0));
+    let filter = FilterOp::new(proj, pred, funcs());
+    let report = verify(&filter).expect_err("nested issue found");
+    assert_eq!(report.issues[0].path, "Filter/Project[0]");
+}
+
+#[test]
+fn opaque_operators_are_tolerated() {
+    // No introspection override → conservative acceptance.
+    struct Mystery {
+        child: BoxedOp,
+        schema: Schema,
+    }
+    impl Operator for Mystery {
+        fn schema(&self) -> &Schema {
+            &self.schema
+        }
+        fn open(&mut self) -> Result<(), ExecError> {
+            Ok(())
+        }
+        fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+            Ok(None)
+        }
+        fn close(&mut self) {}
+        fn describe(&self) -> String {
+            "Mystery".into()
+        }
+        fn children(&self) -> Vec<&dyn Operator> {
+            vec![self.child.as_ref()]
+        }
+        fn rows_out(&self) -> u64 {
+            0
+        }
+    }
+    let op = Mystery {
+        child: source(&["a"]),
+        schema: Schema::new(vec!["entirely".into(), "different".into()]),
+    };
+    assert_verified(&op);
+}

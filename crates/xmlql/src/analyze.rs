@@ -16,6 +16,12 @@ pub enum AnalysisError {
     /// A query must have at least one pattern (else there is nothing to
     /// iterate over).
     NoPatterns,
+    /// A flat record pattern binds the same variable in two fields.
+    /// Record patterns map each field to one output column, so the
+    /// duplicate would yield two columns with one name (the invariant
+    /// `Schema::try_new` enforces downstream). Repeated variables in
+    /// *structured* patterns remain legal implicit joins.
+    DuplicateBinding(String),
 }
 
 impl fmt::Display for AnalysisError {
@@ -28,6 +34,12 @@ impl fmt::Display for AnalysisError {
                 v
             ),
             AnalysisError::NoPatterns => write!(f, "query has no patterns in its WHERE clause"),
+            AnalysisError::DuplicateBinding(v) => write!(
+                f,
+                "variable ${} is bound by two fields of the same record pattern; \
+                 name the second field differently and join with a predicate",
+                v
+            ),
         }
     }
 }
@@ -67,6 +79,9 @@ pub fn analyze_scoped(
     for cond in &query.conditions {
         if let Condition::Pattern(pb) = cond {
             any_pattern = true;
+            if let Some(v) = record_pattern_duplicate(&pb.pattern) {
+                return Err(AnalysisError::DuplicateBinding(v));
+            }
             match &pb.source {
                 SourceRef::Named(name) => {
                     if !info.named_sources.contains(name) {
@@ -134,6 +149,60 @@ pub fn analyze_scoped(
     }
 
     Ok(info)
+}
+
+/// If `pattern` is a flat record pattern (`<row><f>$v</f>…</row>`,
+/// optionally inside one bare wrapper) that binds some variable in two
+/// fields, return that variable. Structured patterns — nesting, binders,
+/// attributes, descendant tags — return `None`: their repeated variables
+/// are implicit joins, enforced value-wise by the matcher rather than by
+/// column identity.
+fn record_pattern_duplicate(pattern: &Pattern) -> Option<String> {
+    let row = {
+        let is_row = |p: &Pattern| p.tag == TagPattern::Name("row".to_string());
+        if is_row(pattern) {
+            pattern
+        } else {
+            if !pattern.attrs.is_empty()
+                || pattern.element_as.is_some()
+                || pattern.content_as.is_some()
+            {
+                return None;
+            }
+            match pattern.content.as_slice() {
+                [PatternContent::Nested(inner)] if is_row(inner) => inner,
+                _ => return None,
+            }
+        }
+    };
+    if !row.attrs.is_empty() || row.element_as.is_some() || row.content_as.is_some() {
+        return None;
+    }
+    let mut seen: Vec<&String> = Vec::new();
+    for item in &row.content {
+        let leaf = match item {
+            PatternContent::Nested(p) => p,
+            _ => return None,
+        };
+        if !matches!(leaf.tag, TagPattern::Name(_))
+            || !leaf.attrs.is_empty()
+            || leaf.element_as.is_some()
+            || leaf.content_as.is_some()
+        {
+            return None;
+        }
+        match leaf.content.as_slice() {
+            [PatternContent::Var(v)] => {
+                if seen.contains(&v) {
+                    return Some(v.clone());
+                }
+                seen.push(v);
+            }
+            [PatternContent::Lit(_)] => {}
+            _ => return None,
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -210,6 +279,37 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, AnalysisError::UnboundVariable("a".into()));
+    }
+
+    #[test]
+    fn duplicate_binding_in_record_pattern_rejected() {
+        let err = check(
+            r#"WHERE <row><a>$x</a><b>$x</b></row> IN "s" CONSTRUCT <o>$x</o>"#,
+        )
+        .unwrap_err();
+        assert_eq!(err, AnalysisError::DuplicateBinding("x".into()));
+        // The wrapped form is record-shaped too.
+        let err = check(
+            r#"WHERE <rows><row><a>$x</a><b>$x</b></row></rows> IN "s" CONSTRUCT <o>$x</o>"#,
+        )
+        .unwrap_err();
+        assert_eq!(err, AnalysisError::DuplicateBinding("x".into()));
+    }
+
+    #[test]
+    fn repeated_vars_in_structured_patterns_stay_legal() {
+        // Nested sub-elements: the repeat is an implicit join, not a
+        // duplicate column.
+        let info = check(
+            r#"WHERE <db><a><k>$k</k></a><b><k>$k</k></b></db> IN "s" CONSTRUCT <o>$k</o>"#,
+        )
+        .unwrap();
+        assert_eq!(info.join_vars, vec!["k"]);
+        // A binder alongside a field makes the pattern structured as well.
+        assert!(check(
+            r#"WHERE <row><a>$x</a><b>$x</b></row> ELEMENT_AS $e IN "s" CONSTRUCT <o>$x</o>"#,
+        )
+        .is_ok());
     }
 
     #[test]

@@ -91,21 +91,25 @@ fn optimizer_choices_never_change_answers() {
             pushdown: true,
             capability_joins: true,
             order_joins_by_cardinality: true,
+            ..OptimizerConfig::default()
         },
         OptimizerConfig {
             pushdown: false,
             capability_joins: false,
             order_joins_by_cardinality: false,
+            ..OptimizerConfig::default()
         },
         OptimizerConfig {
             pushdown: true,
             capability_joins: false,
             order_joins_by_cardinality: false,
+            ..OptimizerConfig::default()
         },
         OptimizerConfig {
             pushdown: false,
             capability_joins: false,
             order_joins_by_cardinality: true,
+            ..OptimizerConfig::default()
         },
     ];
     let engine = Engine::new(four_source_catalog());

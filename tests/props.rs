@@ -83,10 +83,10 @@ proptest! {
             threshold
         );
         let configs = [
-            OptimizerConfig { pushdown: true, capability_joins: true, order_joins_by_cardinality: true },
-            OptimizerConfig { pushdown: true, capability_joins: false, order_joins_by_cardinality: false },
-            OptimizerConfig { pushdown: false, capability_joins: false, order_joins_by_cardinality: true },
-            OptimizerConfig { pushdown: false, capability_joins: false, order_joins_by_cardinality: false },
+            OptimizerConfig { pushdown: true, capability_joins: true, order_joins_by_cardinality: true, ..OptimizerConfig::default() },
+            OptimizerConfig { pushdown: true, capability_joins: false, order_joins_by_cardinality: false, ..OptimizerConfig::default() },
+            OptimizerConfig { pushdown: false, capability_joins: false, order_joins_by_cardinality: true, ..OptimizerConfig::default() },
+            OptimizerConfig { pushdown: false, capability_joins: false, order_joins_by_cardinality: false, ..OptimizerConfig::default() },
         ];
         let mut outputs: Vec<String> = Vec::new();
         for config in configs {

@@ -1,0 +1,439 @@
+//! Workspace maintenance tasks, invoked as `cargo xtask <command>`.
+//!
+//! `lint` — inventory panic paths (`.unwrap()`, `.expect()`, `panic!`,
+//! `debug_assert!`) in non-test code and fail when any category grows
+//! past the checked-in `lint-baseline.toml`. The scanner is a plain
+//! text analysis (no syn, no dependencies): comments, string literals,
+//! and `#[cfg(test)]` regions are stripped before counting, files under
+//! `tests/`, `benches/`, or `examples/` and `*tests.rs` module files
+//! are skipped entirely. The baseline is a ratchet: shrink it as panic
+//! paths are removed (`cargo xtask lint --update-baseline`), never grow
+//! it without a review.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const CATEGORIES: [&str; 4] = ["unwrap", "expect", "panic", "debug_assert"];
+const BASELINE_FILE: &str = "lint-baseline.toml";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(args.iter().any(|a| a == "--update-baseline")),
+        _ => {
+            eprintln!("usage: cargo xtask lint [--update-baseline]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // xtask lives directly under the workspace root.
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".to_string());
+    let dir = PathBuf::from(manifest);
+    match dir.parent() {
+        Some(p) if dir.ends_with("xtask") => p.to_path_buf(),
+        _ => dir,
+    }
+}
+
+fn lint(update_baseline: bool) -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    collect_rs_files(&root, &mut files);
+    files.sort();
+
+    let mut totals: BTreeMap<&str, usize> = CATEGORIES.iter().map(|c| (*c, 0)).collect();
+    let mut per_file: Vec<(PathBuf, usize)> = Vec::new();
+    for f in &files {
+        let text = match fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xtask lint: cannot read {}: {}", f.display(), e);
+                return ExitCode::FAILURE;
+            }
+        };
+        let counts = count_panic_paths(&text);
+        let file_total: usize = counts.values().sum();
+        if file_total > 0 {
+            let rel = f.strip_prefix(&root).unwrap_or(f).to_path_buf();
+            per_file.push((rel, file_total));
+        }
+        for (cat, n) in counts {
+            if let Some(t) = totals.get_mut(cat) {
+                *t += n;
+            }
+        }
+    }
+
+    println!("panic-path inventory over {} non-test files:", files.len());
+    for cat in CATEGORIES {
+        println!("  {:<13} {}", cat, totals[cat]);
+    }
+    per_file.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    println!("top offenders:");
+    for (path, n) in per_file.iter().take(10) {
+        println!("  {:>4}  {}", n, path.display());
+    }
+
+    let baseline_path = root.join(BASELINE_FILE);
+    if update_baseline {
+        let mut out = String::from(
+            "# Panic-path lint baseline: maximum allowed occurrences in non-test code.\n\
+             # Regenerated with `cargo xtask lint --update-baseline`. This is a\n\
+             # ratchet: lower it as panic paths are removed; never raise it\n\
+             # without a review.\n",
+        );
+        for cat in CATEGORIES {
+            out.push_str(&format!("{} = {}\n", cat, totals[cat]));
+        }
+        if let Err(e) = fs::write(&baseline_path, out) {
+            eprintln!("xtask lint: cannot write {}: {}", baseline_path.display(), e);
+            return ExitCode::FAILURE;
+        }
+        println!("baseline updated: {}", baseline_path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match fs::read_to_string(&baseline_path) {
+        Ok(t) => parse_baseline(&t),
+        Err(e) => {
+            eprintln!(
+                "xtask lint: cannot read {} ({}); run `cargo xtask lint --update-baseline`",
+                baseline_path.display(),
+                e
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failed = false;
+    for cat in CATEGORIES {
+        let current = totals[cat];
+        match baseline.get(cat) {
+            Some(&allowed) if current > allowed => {
+                eprintln!(
+                    "REGRESSION: {} count {} exceeds baseline {} — return an error instead, \
+                     or (after review) regenerate the baseline",
+                    cat, current, allowed
+                );
+                failed = true;
+            }
+            Some(&allowed) => {
+                if current < allowed {
+                    println!(
+                        "note: {} count {} is below baseline {}; ratchet down with --update-baseline",
+                        cat, current, allowed
+                    );
+                }
+            }
+            None => {
+                eprintln!("REGRESSION: baseline has no entry for {}", cat);
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("lint OK: no panic-path regressions");
+        ExitCode::SUCCESS
+    }
+}
+
+fn parse_baseline(text: &str) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((k, v)) = line.split_once('=') {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                out.insert(k.trim().to_string(), n);
+            }
+        }
+    }
+    out
+}
+
+/// Recursively collect non-test `.rs` files.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    const SKIP_DIRS: [&str; 6] = ["target", "tests", "benches", "examples", ".git", ".claude"];
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                collect_rs_files(&path, out);
+            }
+        } else if name.ends_with(".rs") && !name.ends_with("tests.rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Count panic-path tokens in one file, ignoring comments, string and
+/// char literals, and code inside `#[cfg(test)]` items.
+fn count_panic_paths(source: &str) -> BTreeMap<&'static str, usize> {
+    let cleaned = strip_noise(source);
+    let bytes = cleaned.as_bytes();
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut depth: usize = 0;
+    // Brace depth at which a `#[cfg(test)]` item's block began; counting
+    // is suspended while inside it.
+    let mut skip_at: Option<usize> = None;
+    // A `#[cfg(test)]` attribute was seen and its item's `{` is pending.
+    let mut pending = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'#' && cleaned[i..].starts_with("#[cfg(test)]") {
+            if skip_at.is_none() {
+                pending = true;
+            }
+            i += "#[cfg(test)]".len();
+            continue;
+        }
+        match c {
+            b'{' => {
+                depth += 1;
+                if pending {
+                    skip_at = Some(depth);
+                    pending = false;
+                }
+            }
+            b'}' => {
+                if skip_at == Some(depth) {
+                    skip_at = None;
+                }
+                depth = depth.saturating_sub(1);
+            }
+            // `#[cfg(test)] mod foo;` — the item has no block here.
+            b';' => pending = false,
+            _ => {}
+        }
+        if skip_at.is_none() && is_ident_start(c) && (i == 0 || !is_ident_char(bytes[i - 1])) {
+            let mut j = i + 1;
+            while j < bytes.len() && is_ident_char(bytes[j]) {
+                j += 1;
+            }
+            let ident = &cleaned[i..j];
+            let mut k = j;
+            while k < bytes.len() && (bytes[k] as char).is_whitespace() {
+                k += 1;
+            }
+            let next = bytes.get(k).copied();
+            let cat = match ident {
+                "unwrap" | "expect" if next == Some(b'(') => {
+                    if ident == "unwrap" {
+                        Some("unwrap")
+                    } else {
+                        Some("expect")
+                    }
+                }
+                "panic" if next == Some(b'!') => Some("panic"),
+                "debug_assert" | "debug_assert_eq" | "debug_assert_ne" if next == Some(b'!') => {
+                    Some("debug_assert")
+                }
+                _ => None,
+            };
+            if let Some(cat) = cat {
+                *counts.entry(cat).or_insert(0) += 1;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    counts
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Replace comments, string literals, and char literals with spaces so
+/// the counting pass only ever sees code. Handles nested block
+/// comments, escapes, raw strings (`r#"…"#`), and byte strings.
+fn strip_noise(source: &str) -> String {
+    let b = source.as_bytes();
+    let mut out = vec![b' '; b.len()];
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut nest = 1;
+                i += 2;
+                while i < b.len() && nest > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        nest += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        nest -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => i = skip_string(b, i),
+            b'r' | b'b' => {
+                // Possible raw/byte string start: r", r#"…, br", b"….
+                let start = i;
+                let mut j = i + 1;
+                let mut is_raw = b[i] == b'r';
+                if b[i] == b'b' && b.get(j) == Some(&b'r') {
+                    is_raw = true;
+                    j += 1;
+                }
+                let mut hashes = 0;
+                if is_raw {
+                    while b.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                }
+                if b.get(j) == Some(&b'"') && (start == 0 || !is_ident_char(b[start - 1])) {
+                    if is_raw {
+                        i = skip_raw_string(b, j, hashes);
+                    } else {
+                        i = skip_string(b, j); // byte string, has escapes
+                    }
+                } else {
+                    // Ordinary identifier character; copy it through.
+                    out[start] = b[start];
+                    i = start + 1;
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a literal is '\…' or 'X'.
+                if b.get(i + 1) == Some(&b'\\') {
+                    i += 2;
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if b.get(i + 2) == Some(&b'\'') {
+                    i += 3;
+                } else {
+                    i += 1; // lifetime tick; drop it, keep scanning
+                }
+            }
+            c => {
+                out[i] = c;
+                i += 1;
+            }
+        }
+    }
+    match String::from_utf8(out) {
+        Ok(s) => s,
+        // Non-ASCII bytes were replaced by spaces position-for-position,
+        // so this cannot happen; return empty rather than panic.
+        Err(_) => String::new(),
+    }
+}
+
+/// Skip a normal string literal starting at the opening quote; returns
+/// the index just past the closing quote.
+fn skip_string(b: &[u8], mut i: usize) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skip a raw string whose opening quote is at `quote`, closed by a
+/// quote followed by `hashes` hash marks.
+fn skip_raw_string(b: &[u8], quote: usize, hashes: usize) -> usize {
+    let mut i = quote + 1;
+    while i < b.len() {
+        if b[i] == b'"' {
+            let mut ok = true;
+            for h in 0..hashes {
+                if b.get(i + 1 + h) != Some(&b'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_outside_tests_only() {
+        let src = r#"
+fn f(x: Option<u32>) -> u32 {
+    // x.unwrap() in a comment does not count
+    let s = "panic!() in a string does not count";
+    let _ = s;
+    debug_assert!(true);
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn g() {
+        super::f(None).expect("boom");
+        panic!("only in tests");
+    }
+}
+"#;
+        let counts = count_panic_paths(src);
+        assert_eq!(counts.get("unwrap"), Some(&1));
+        assert_eq!(counts.get("debug_assert"), Some(&1));
+        assert_eq!(counts.get("expect"), None);
+        assert_eq!(counts.get("panic"), None);
+    }
+
+    #[test]
+    fn cfg_test_on_mod_decl_does_not_swallow_code() {
+        let src = "#[cfg(test)]\nmod engine_tests;\nfn f() { None::<u32>.unwrap(); }\n";
+        let counts = count_panic_paths(src);
+        assert_eq!(counts.get("unwrap"), Some(&1));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_noise() {
+        let src = "fn f() { let _ = r#\"panic!\"#; let _c = '\\''; let _l: &'static str = \"x\"; Some(1).unwrap(); }";
+        let counts = count_panic_paths(src);
+        assert_eq!(counts.get("panic"), None);
+        assert_eq!(counts.get("unwrap"), Some(&1));
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let src = "fn f() { let _ = None.unwrap_or(3); }";
+        assert!(count_panic_paths(src).is_empty());
+    }
+}
