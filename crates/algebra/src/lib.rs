@@ -77,18 +77,40 @@ pub fn run_to_vec(op: &mut dyn Operator) -> Result<Vec<Tuple>, ExecError> {
 /// Render an operator tree as an indented EXPLAIN listing with row counts
 /// (row counts are populated after execution).
 pub fn explain(op: &dyn Operator) -> String {
+    explain_walk(op, false)
+}
+
+/// EXPLAIN ANALYZE rendering: the same listing as [`explain`], with each
+/// metered node (see [`ops::MeteredOp`]) annotated with its actual row
+/// count and measured open/next times. Times are inclusive of children,
+/// so a node's cost is read as `total - sum(children)`.
+pub fn explain_analyze(op: &dyn Operator) -> String {
+    explain_walk(op, true)
+}
+
+fn explain_walk(op: &dyn Operator, analyze: bool) -> String {
     let mut out = String::new();
-    fn walk(op: &dyn Operator, depth: usize, out: &mut String) {
+    fn walk(op: &dyn Operator, depth: usize, analyze: bool, out: &mut String) {
         out.push_str(&"  ".repeat(depth));
         out.push_str(&op.describe());
         if op.rows_out() > 0 {
             out.push_str(&format!("  [rows={}]", op.rows_out()));
         }
+        if analyze {
+            if let Some(p) = op.profile() {
+                out.push_str(&format!(
+                    "  (actual rows={} open={:.3}ms next={:.3}ms)",
+                    p.rows,
+                    p.open_ns as f64 / 1e6,
+                    p.next_ns as f64 / 1e6
+                ));
+            }
+        }
         out.push('\n');
         for c in op.children() {
-            walk(c, depth + 1, out);
+            walk(c, depth + 1, analyze, out);
         }
     }
-    walk(op, 0, &mut out);
+    walk(op, 0, analyze, &mut out);
     out
 }

@@ -1,0 +1,149 @@
+//! Per-operator instrumentation: the EXPLAIN ANALYZE wrapper.
+//!
+//! [`MeteredOp`] wraps any operator and measures its open time, its
+//! cumulative `next()` time, and the rows it produced, while staying
+//! invisible to everything else: `schema`, `describe`, `children`,
+//! `rows_out`, and `introspect` all delegate to the wrapped operator, so
+//! EXPLAIN rendering and `nimble-planck` verification see the identical
+//! plan. Times are *inclusive* — a parent's `next()` time contains its
+//! children's, as in every EXPLAIN ANALYZE.
+//!
+//! The planner inserts these wrappers around every node it assembles
+//! when `EngineConfig::profile` is on (or `Engine::explain_analyze`
+//! forces it); with profiling off, plans carry no wrappers and pay no
+//! per-tuple cost.
+
+use super::{BoxedOp, Operator};
+use crate::error::ExecError;
+use crate::inspect::OpInfo;
+use crate::schema::{Schema, Tuple};
+use std::time::Instant;
+
+/// Measurements one [`MeteredOp`] collected over the last execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpProfile {
+    /// Time spent inside `open()` (hash builds, sorts, source fetches).
+    pub open_ns: u64,
+    /// Cumulative time inside `next()` calls, children included.
+    pub next_ns: u64,
+    /// Rows this operator produced.
+    pub rows: u64,
+}
+
+impl OpProfile {
+    /// Open + next time, in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        (self.open_ns + self.next_ns) as f64 / 1e6
+    }
+}
+
+/// Transparent instrumentation wrapper (see module docs).
+pub struct MeteredOp {
+    inner: BoxedOp,
+    open_ns: u64,
+    next_ns: u64,
+    rows: u64,
+}
+
+impl MeteredOp {
+    pub fn new(inner: BoxedOp) -> MeteredOp {
+        MeteredOp {
+            inner,
+            open_ns: 0,
+            next_ns: 0,
+            rows: 0,
+        }
+    }
+}
+
+fn elapsed_ns(start: Instant) -> u64 {
+    start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+impl Operator for MeteredOp {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.open_ns = 0;
+        self.next_ns = 0;
+        self.rows = 0;
+        let start = Instant::now();
+        let result = self.inner.open();
+        self.open_ns = elapsed_ns(start);
+        result
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        let start = Instant::now();
+        let result = self.inner.next();
+        self.next_ns += elapsed_ns(start);
+        if let Ok(Some(_)) = &result {
+            self.rows += 1;
+        }
+        result
+    }
+
+    fn close(&mut self) {
+        self.inner.close();
+    }
+
+    fn describe(&self) -> String {
+        self.inner.describe()
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        self.inner.children()
+    }
+
+    fn rows_out(&self) -> u64 {
+        self.inner.rows_out()
+    }
+
+    fn introspect(&self) -> OpInfo {
+        self.inner.introspect()
+    }
+
+    fn profile(&self) -> Option<OpProfile> {
+        Some(OpProfile {
+            open_ns: self.open_ns,
+            next_ns: self.next_ns,
+            rows: self.rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::int_source;
+    use super::*;
+    use crate::run_to_vec;
+
+    #[test]
+    fn metering_is_transparent_and_counts_rows() {
+        let plain = int_source(&["x"], &[&[1], &[2], &[3]]);
+        let mut metered = MeteredOp::new(Box::new(int_source(&["x"], &[&[1], &[2], &[3]])));
+        assert_eq!(metered.schema(), plain.schema());
+        assert_eq!(metered.describe(), plain.describe());
+        assert_eq!(metered.introspect().name, plain.introspect().name);
+        assert!(metered.children().is_empty());
+
+        let rows = run_to_vec(&mut metered).unwrap();
+        assert_eq!(rows.len(), 3);
+        let p = metered.profile().unwrap();
+        assert_eq!(p.rows, 3);
+        assert_eq!(metered.rows_out(), 3);
+        assert!(p.total_ms() >= 0.0);
+
+        // Re-running resets the measurements.
+        let _ = run_to_vec(&mut metered).unwrap();
+        assert_eq!(metered.profile().unwrap().rows, 3);
+    }
+
+    #[test]
+    fn unmetered_operators_have_no_profile() {
+        let op = int_source(&["x"], &[&[1]]);
+        assert!(op.profile().is_none());
+    }
+}

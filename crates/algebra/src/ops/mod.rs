@@ -9,6 +9,7 @@ mod filter;
 mod group;
 mod join;
 mod limit;
+mod metered;
 mod navigate;
 mod project;
 mod scan;
@@ -19,6 +20,7 @@ pub use filter::FilterOp;
 pub use group::{AggSpec, GroupAggOp};
 pub use join::{HashJoinOp, JoinType, MergeJoinOp, NestedLoopJoinOp};
 pub use limit::LimitOp;
+pub use metered::{MeteredOp, OpProfile};
 pub use navigate::NavigateOp;
 pub use project::ProjectOp;
 pub use scan::{LazySourceOp, ValuesOp};
@@ -49,6 +51,11 @@ pub trait Operator: Send {
     /// default is an opaque node the verifier treats conservatively.
     fn introspect(&self) -> OpInfo {
         OpInfo::opaque(self.describe())
+    }
+    /// Measured execution profile, when this node is wrapped by
+    /// [`MeteredOp`] (EXPLAIN ANALYZE). Plain operators report `None`.
+    fn profile(&self) -> Option<OpProfile> {
+        None
     }
 }
 

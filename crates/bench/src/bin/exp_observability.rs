@@ -1,0 +1,138 @@
+//! Observability benchmark: per-phase timings for a fixed query suite,
+//! plus the profiling-overhead check.
+//!
+//! Two questions:
+//!
+//! 1. Where does query time go? Run a fixed suite over the customer
+//!    fixture and report the `engine.phase_us.*` window per query
+//!    (parse → analyze → plan → verify → execute → construct).
+//! 2. What does observability cost? A 1000-query loop with `profile`
+//!    off (always-on metrics only) vs. forced per-operator profiling.
+//!    The profile-off loop is the default engine path, so its time per
+//!    query *is* the production overhead story.
+//!
+//! Writes `BENCH_observability.json` at the repo root (per-phase
+//! timings + loop numbers) so later PRs can track the trajectory, and
+//! appends the usual JSON-lines record under `target/experiments/`.
+
+use nimble_bench::{
+    customer_fixture, emit_jsonl, observe_window, phase_summary, write_bench_observability,
+    TablePrinter,
+};
+use nimble_core::{Engine, EngineConfig};
+use std::time::Instant;
+
+/// Unwrap an experiment-infrastructure result without a panic path
+/// (the lint ratchet counts `expect` even in binaries).
+fn need<T, E: std::fmt::Display>(r: Result<T, E>, what: &str) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("exp_observability: {}: {}", what, e);
+            std::process::exit(1);
+        }
+    }
+}
+
+const SUITE: [(&str, &str); 3] = [
+    (
+        "two_way_join",
+        r#"WHERE <row><id>$i</id><name>$n</name></row> IN "customers",
+                 <row><cust_id>$i</cust_id><total>$t</total></row> IN "orders",
+                 $t > 200
+           CONSTRUCT <hit>$n</hit>"#,
+    ),
+    (
+        "three_way_join",
+        r#"WHERE <row><id>$i</id><name>$n</name><region>$r</region></row> IN "customers",
+                 <row><cust_id>$i</cust_id><total>$t</total></row> IN "orders",
+                 <row><cust_id>$i</cust_id><severity>$sev</severity></row> IN "tickets",
+                 $t > 300, $sev > 1
+           CONSTRUCT <atrisk><name>$n</name><sev>$sev</sev></atrisk>
+           ORDER-BY $n"#,
+    ),
+    (
+        "press_match",
+        r#"WHERE <releases><item><company>$c</company><h>$h</h></item></releases> IN "releases"
+           CONSTRUCT <mention>$c</mention>"#,
+    ),
+];
+
+fn main() {
+    let customers = 500;
+    let (catalog, _) = customer_fixture(customers);
+    let engine = Engine::with_config(catalog, EngineConfig::default());
+
+    // Warm every source path once.
+    for (_, q) in SUITE {
+        need(engine.query(q), "suite query");
+    }
+
+    println!("per-phase timings, {} customers (mean over 20 runs)", customers);
+    let table = TablePrinter::new(&[
+        ("query", 16),
+        ("phase", 12),
+        ("runs", 6),
+        ("mean_ms", 10),
+        ("total_ms", 10),
+    ]);
+    let mut suite_json = serde_json::Map::new();
+    for (name, q) in SUITE {
+        let (_, window) = observe_window(engine.metrics(), || {
+            for _ in 0..20 {
+                need(engine.query(q), "suite query");
+            }
+        });
+        let mut phases_json = serde_json::Map::new();
+        for (phase, count, mean_ms, total_ms) in phase_summary(&window) {
+            table.row(&[
+                name.to_string(),
+                phase.clone(),
+                count.to_string(),
+                format!("{:.3}", mean_ms),
+                format!("{:.1}", total_ms),
+            ]);
+            phases_json.insert(
+                phase,
+                serde_json::json!({"runs": count, "mean_ms": mean_ms, "total_ms": total_ms}),
+            );
+        }
+        suite_json.insert(name.to_string(), serde_json::Value::Object(phases_json));
+    }
+
+    // Overhead loop: always-on metrics (profile off) vs. forced
+    // per-operator metering, same query.
+    let loop_query = SUITE[0].1;
+    let n = 1000;
+    let t = Instant::now();
+    for _ in 0..n {
+        need(engine.query(loop_query), "loop query");
+    }
+    let off_us = t.elapsed().as_secs_f64() * 1e6 / n as f64;
+    let t = Instant::now();
+    for _ in 0..n {
+        need(engine.query_profiled(loop_query), "loop query");
+    }
+    let on_us = t.elapsed().as_secs_f64() * 1e6 / n as f64;
+    println!(
+        "\n1000-query loop: profile off {:.1}us/query, profile on {:.1}us/query ({:+.1}%)",
+        off_us,
+        on_us,
+        (on_us / off_us - 1.0) * 100.0
+    );
+
+    // One EXPLAIN ANALYZE, for the record.
+    let analyzed = need(engine.explain_analyze(SUITE[1].1), "explain analyze");
+    println!("\nEXPLAIN ANALYZE (three_way_join):\n{}", analyzed);
+
+    let record = serde_json::json!({
+        "experiment": "observability",
+        "customers": customers,
+        "suite": suite_json,
+        "loop_profile_off_us_per_query": off_us,
+        "loop_profile_on_us_per_query": on_us,
+        "queries_total": engine.metrics_snapshot().counter("engine.queries"),
+    });
+    write_bench_observability(&record);
+    emit_jsonl("observability", &record);
+}

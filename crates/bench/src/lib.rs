@@ -13,6 +13,8 @@
 //! * `exp_e4_cleaning`                — §3.2's concordance payoff.
 //! * `exp_e5_pushdown_ablation`       — the capability-aware compiler.
 //! * `exp_e6_load_balancing`          — engine-instance scaling.
+//! * `exp_observability`              — E9: phase accounting and the
+//!   cost of metering (see DESIGN.md §9).
 //!
 //! Criterion benches `algebra_ops` and `query_pipeline` cover E7 (the
 //! physical algebra and front-end costs).
@@ -23,6 +25,7 @@
 use nimble_core::Catalog;
 use nimble_sources::relational::RelationalAdapter;
 use nimble_sources::xmldoc::XmlDocAdapter;
+use nimble_trace::{MetricsRegistry, MetricsSnapshot};
 use std::io::Write;
 use std::sync::Arc;
 
@@ -36,6 +39,56 @@ pub fn emit_jsonl(experiment: &str, record: &serde_json::Value) {
     if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
         let _ = writeln!(f, "{}", record);
     }
+}
+
+/// Run `f` with the registry snapshotted before and after, returning
+/// `f`'s result plus the metrics window (diff) it produced. Experiment
+/// binaries wrap each measured section in this so per-phase timings and
+/// counters land next to the wall-clock numbers they already report.
+pub fn observe_window<T>(
+    registry: &MetricsRegistry,
+    f: impl FnOnce() -> T,
+) -> (T, MetricsSnapshot) {
+    let before = registry.snapshot();
+    let out = f();
+    (out, registry.snapshot().diff(&before))
+}
+
+/// Per-phase timing summary of a metrics window: `(phase, count,
+/// mean_ms, total_ms)` per `engine.phase_us.*` histogram, in pipeline
+/// order where known.
+pub fn phase_summary(window: &MetricsSnapshot) -> Vec<(String, u64, f64, f64)> {
+    const ORDER: [&str; 6] = ["parse", "analyze", "plan", "verify", "execute", "construct"];
+    let mut rows: Vec<(String, u64, f64, f64)> = window
+        .histograms
+        .iter()
+        .filter_map(|(name, h)| {
+            let phase = name.strip_prefix("engine.phase_us.")?;
+            Some((
+                phase.to_string(),
+                h.count,
+                h.mean() / 1e3,
+                h.sum as f64 / 1e3,
+            ))
+        })
+        .collect();
+    rows.sort_by_key(|(phase, ..)| {
+        ORDER
+            .iter()
+            .position(|p| p == phase)
+            .unwrap_or(ORDER.len())
+    });
+    rows
+}
+
+/// Write the observability benchmark artifact (repo root, overwritten
+/// per run) so successive PRs can track the perf trajectory.
+pub fn write_bench_observability(record: &serde_json::Value) {
+    let rendered = match serde_json::to_string_pretty(record) {
+        Ok(s) => s,
+        Err(_) => record.to_string(),
+    };
+    let _ = std::fs::write("BENCH_observability.json", rendered + "\n");
 }
 
 /// Simple aligned table printer.

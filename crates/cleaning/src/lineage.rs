@@ -5,6 +5,13 @@
 //! and actor. [`LineageLog::rollback_to`] returns the entries undone (in
 //! reverse order) so callers can reverse their effects — e.g. retract
 //! concordance decisions or restore field values captured in the entry.
+//!
+//! Appends and rollbacks are counted in the process-global
+//! [`MetricsRegistry`] (`cleaning.lineage.entries`,
+//! `cleaning.lineage.rollbacks`) so the management console can see
+//! cleaning activity without holding a log reference.
+
+use nimble_trace::MetricsRegistry;
 
 /// What kind of operation an entry records.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +65,7 @@ impl LineageLog {
             op,
             actor: actor.to_string(),
         });
+        MetricsRegistry::global().incr("cleaning.lineage.entries", 1);
         seq
     }
 
@@ -93,6 +101,11 @@ impl LineageLog {
             .unwrap_or(self.entries.len());
         let mut undone: Vec<LineageEntry> = self.entries.split_off(keep);
         undone.reverse();
+        if !undone.is_empty() {
+            let reg = MetricsRegistry::global();
+            reg.incr("cleaning.lineage.rollbacks", 1);
+            reg.incr("cleaning.lineage.entries_undone", undone.len() as u64);
+        }
         undone
     }
 

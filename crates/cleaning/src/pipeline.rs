@@ -14,6 +14,7 @@ use crate::lineage::{LineageLog, LineageOp};
 use crate::matching::{CompositeMatcher, MatchOutcome};
 use crate::merge_purge::UnionFind;
 use crate::record::Record;
+use nimble_trace::MetricsRegistry;
 
 /// A candidate pair surfaced for disambiguation.
 #[derive(Debug, Clone, PartialEq)]
@@ -164,6 +165,17 @@ impl CleaningPipeline {
             .collect();
         clusters.sort();
         report.clusters = clusters;
+        // Cleaning activity counters (process-global registry): runs,
+        // comparisons, and — in the autonomous phase — trapped
+        // exceptions awaiting post-hoc human cleanup.
+        let reg = MetricsRegistry::global();
+        reg.incr("cleaning.runs", 1);
+        reg.incr("cleaning.comparisons", report.comparisons);
+        reg.incr("cleaning.auto_matches", report.auto_matches as u64);
+        reg.incr("cleaning.reused_decisions", report.reused_decisions as u64);
+        if phase == Phase::Extraction {
+            reg.incr("cleaning.exceptions", report.pending.len() as u64);
+        }
         report
     }
 
@@ -269,6 +281,20 @@ mod tests {
             .any(|e| e.actor == "exception-trap"));
         // The confident match still went through.
         assert_eq!(report.auto_matches, 1);
+    }
+
+    #[test]
+    fn cleaning_activity_is_counted() {
+        // The global registry is shared across parallel tests, so assert
+        // on a window (diff) and with ≥.
+        let before = MetricsRegistry::global().snapshot();
+        let mut db = ConcordanceDb::new();
+        let mut log = LineageLog::new();
+        let report = pipeline().extract(&records(), &mut db, &mut log);
+        let window = MetricsRegistry::global().snapshot().diff(&before);
+        assert!(window.counter("cleaning.runs") >= 1);
+        assert!(window.counter("cleaning.exceptions") >= report.pending.len() as u64);
+        assert!(window.counter("cleaning.lineage.entries") >= 1);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::engine::{Engine, EngineConfig, QueryResult};
 use crate::error::CoreError;
 use crate::Catalog;
 use crossbeam::channel::{bounded, Sender};
+use nimble_trace::{MetricsSnapshot, QueryLogEntry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -135,6 +136,28 @@ impl EngineCluster {
     /// Per-instance query counts (for balance assertions).
     pub fn served_per_instance(&self) -> Vec<u64> {
         self.engines.iter().map(|e| e.queries_served()).collect()
+    }
+
+    /// Cluster-wide metrics: every instance's snapshot merged (counters
+    /// and histograms add, gauges take the max).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut merged = MetricsSnapshot::default();
+        for engine in &self.engines {
+            merged.merge(&engine.metrics_snapshot());
+        }
+        merged
+    }
+
+    /// The `n` slowest queries across all instances, slowest first.
+    pub fn slow_queries(&self, n: usize) -> Vec<QueryLogEntry> {
+        let mut all: Vec<QueryLogEntry> = self
+            .engines
+            .iter()
+            .flat_map(|e| e.slow_queries(n))
+            .collect();
+        all.sort_by(|a, b| b.elapsed_ms.total_cmp(&a.elapsed_ms));
+        all.truncate(n);
+        all
     }
 
     /// Stop accepting work and join the workers.

@@ -6,12 +6,16 @@ use crate::error::CoreError;
 use crate::matcher;
 use crate::planner::{self, AtomExec, BindPatternOp};
 use nimble_algebra::ops::{
-    FilterOp, HashJoinOp, JoinType, NestedLoopJoinOp, Operator, ProjectOp, SortKey, SortOp,
-    ValuesOp,
+    FilterOp, HashJoinOp, JoinType, MeteredOp, NestedLoopJoinOp, Operator, ProjectOp, SortKey,
+    SortOp, ValuesOp,
 };
-use nimble_algebra::{explain as explain_ops, run_to_vec, FunctionRegistry, ScalarExpr, Schema, Tuple};
+use nimble_algebra::{
+    explain as explain_ops, explain_analyze as explain_analyze_ops, run_to_vec, FunctionRegistry,
+    ScalarExpr, Schema, Tuple,
+};
 use nimble_sources::query::{row_field, rows_of};
 use nimble_store::{LogicalClock, ResultCache, ViewStore, WorkloadMonitor};
+use nimble_trace::{MetricsRegistry, MetricsSnapshot, QueryLog, QueryLogEntry, Trace};
 use nimble_xml::{Document, DocumentBuilder, Value};
 use nimble_xmlql::ast::Query;
 use parking_lot::RwLock;
@@ -77,6 +81,15 @@ pub struct EngineConfig {
     /// fragment). Query latency then tracks the slowest source instead
     /// of the sum of all sources.
     pub parallel_fetch: bool,
+    /// Wrap every physical operator in a [`MeteredOp`] so EXPLAIN
+    /// ANALYZE annotations (actual rows, open/next time) are collected
+    /// for every query. Off by default: plans then carry no wrappers
+    /// and pay no per-tuple cost. `Engine::explain_analyze` profiles a
+    /// single query regardless of this switch.
+    pub profile: bool,
+    /// Queries at or above this wall time enter the slow-query capture
+    /// of the engine's query log.
+    pub slow_query_ms: f64,
 }
 
 impl Default for EngineConfig {
@@ -87,6 +100,8 @@ impl Default for EngineConfig {
             cache_nodes: 200_000,
             cache_query_results: false,
             parallel_fetch: true,
+            profile: false,
+            slow_query_ms: 100.0,
         }
     }
 }
@@ -110,6 +125,11 @@ pub struct QueryStats {
     pub plan: String,
     /// Whole result served from the query cache.
     pub from_query_cache: bool,
+    /// Per-phase wall time, in pipeline order: parse, analyze, plan,
+    /// verify, execute, construct. Cache hits report no phases.
+    pub phases: Vec<(String, f64)>,
+    /// Rendered span tree (phase nesting). Populated when profiling.
+    pub span_tree: String,
 }
 
 /// A query answer: the constructed document plus the completeness
@@ -138,7 +158,14 @@ pub struct Engine {
     funcs: RwLock<Arc<FunctionRegistry>>,
     in_flight: AtomicU64,
     queries_served: AtomicU64,
+    metrics: Arc<MetricsRegistry>,
+    query_log: QueryLog,
 }
+
+/// Ring-buffer capacity of each engine's query log.
+const QUERY_LOG_CAPACITY: usize = 256;
+/// Slowest-query entries retained past ring eviction.
+const SLOW_QUERY_CAPACITY: usize = 32;
 
 /// Mutable context threaded through one query's evaluation.
 struct ExecCtx {
@@ -148,6 +175,10 @@ struct ExecCtx {
     fragments: usize,
     rows_fetched: u64,
     plan_text: String,
+    /// Wrap assembled operators in `MeteredOp` for EXPLAIN ANALYZE.
+    profile: bool,
+    /// Top-level phase timings (plan/verify/execute), in order.
+    phases: Vec<(&'static str, f64)>,
 }
 
 impl ExecCtx {
@@ -159,6 +190,8 @@ impl ExecCtx {
             fragments: 0,
             rows_fetched: 0,
             plan_text: String::new(),
+            profile: false,
+            phases: Vec::new(),
         }
     }
 
@@ -180,6 +213,7 @@ impl ExecCtx {
         if self.plan_text.is_empty() {
             self.plan_text = other.plan_text;
         }
+        self.phases.extend(other.phases);
     }
 }
 
@@ -189,16 +223,23 @@ impl Engine {
     }
 
     pub fn with_config(catalog: Arc<Catalog>, config: EngineConfig) -> Engine {
+        let metrics = Arc::new(MetricsRegistry::new());
         Engine {
             catalog,
             views: ViewStore::new(),
             cache: ResultCache::new(config.cache_nodes),
             clock: Arc::new(LogicalClock::new()),
-            monitor: WorkloadMonitor::new(),
+            monitor: WorkloadMonitor::with_registry(Arc::clone(&metrics)),
+            query_log: QueryLog::new(
+                QUERY_LOG_CAPACITY,
+                SLOW_QUERY_CAPACITY,
+                config.slow_query_ms,
+            ),
             config: RwLock::new(config),
             funcs: RwLock::new(Arc::new(FunctionRegistry::with_builtins())),
             in_flight: AtomicU64::new(0),
             queries_served: AtomicU64::new(0),
+            metrics,
         }
     }
 
@@ -225,6 +266,28 @@ impl Engine {
     /// The result/fragment cache.
     pub fn cache(&self) -> &ResultCache {
         &self.cache
+    }
+
+    /// This instance's metrics registry (counters, gauges, latency
+    /// histograms). The workload monitor records into the same registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Point-in-time copy of every metric (diff two for a window).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The bounded log of recent queries.
+    pub fn query_log(&self) -> &QueryLog {
+        &self.query_log
+    }
+
+    /// The slowest queries seen so far (slowest first), surviving ring
+    /// eviction.
+    pub fn slow_queries(&self, n: usize) -> Vec<QueryLogEntry> {
+        self.query_log.slow(n)
     }
 
     /// Snapshot the configuration.
@@ -272,19 +335,45 @@ impl Engine {
 
     /// Answer an XML-QL query.
     pub fn query(&self, text: &str) -> Result<QueryResult, CoreError> {
+        self.query_with(text, false)
+    }
+
+    /// Answer a query with per-operator profiling forced on for this one
+    /// execution, regardless of `EngineConfig::profile`.
+    pub fn query_profiled(&self, text: &str) -> Result<QueryResult, CoreError> {
+        self.query_with(text, true)
+    }
+
+    fn query_with(&self, text: &str, force_profile: bool) -> Result<QueryResult, CoreError> {
         self.in_flight.fetch_add(1, Ordering::SeqCst);
-        let result = self.query_inner(text);
+        let result = self.query_inner(text, force_profile);
         self.in_flight.fetch_sub(1, Ordering::SeqCst);
         self.queries_served.fetch_add(1, Ordering::SeqCst);
+        if result.is_err() {
+            self.metrics.incr("engine.query_errors", 1);
+        }
         result
     }
 
-    fn query_inner(&self, text: &str) -> Result<QueryResult, CoreError> {
+    fn query_inner(&self, text: &str, force_profile: bool) -> Result<QueryResult, CoreError> {
         let started = Instant::now();
         let config = self.config();
+        let profile = force_profile || config.profile;
         let cache_key = format!("query:{}", text);
         if config.cache_query_results && config.cache_nodes > 0 {
             if let Some(doc) = self.cache.get(&cache_key) {
+                // A cache hit is still a served query: it must show up in
+                // the metrics, the query log, and the workload monitor
+                // (view selection would otherwise under-count exactly the
+                // references popular enough to be cached).
+                let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+                self.metrics.incr("engine.queries", 1);
+                self.metrics.incr("engine.query_cache_hits", 1);
+                self.metrics.observe("engine.query_us", us(elapsed_ms));
+                self.query_log.record(text, elapsed_ms, 0, true, true);
+                if let Ok(query) = nimble_xmlql::parse_query(text) {
+                    self.feed_monitor(&query, elapsed_ms, doc.len());
+                }
                 return Ok(QueryResult {
                     document: doc,
                     complete: true,
@@ -292,33 +381,62 @@ impl Engine {
                     stale: false,
                     stats: QueryStats {
                         from_query_cache: true,
-                        elapsed_ms: started.elapsed().as_secs_f64() * 1e3,
+                        elapsed_ms,
                         ..QueryStats::default()
                     },
                 });
             }
         }
 
-        let (query, _info) = nimble_xmlql::compile(text)?;
+        let trace = Trace::new();
+        let total_span = trace.span("query");
+
+        let t_parse = Instant::now();
+        let query =
+            nimble_xmlql::parse_query(text).map_err(|e| CoreError::Compile(e.to_string()))?;
+        let parse_ms = ms_since(t_parse);
+        trace.add_ms("parse", parse_ms);
+
+        let t_analyze = Instant::now();
+        nimble_xmlql::analyze(&query).map_err(|e| CoreError::Compile(e.to_string()))?;
+        let analyze_ms = ms_since(t_analyze);
+        trace.add_ms("analyze", analyze_ms);
+
         let mut ctx = ExecCtx::new();
+        ctx.profile = profile;
         let (schema, tuples) = self.eval(&query, None, 0, &mut ctx)?;
+        for (name, phase_ms) in &ctx.phases {
+            trace.add_ms(*name, *phase_ms);
+        }
         let tuple_count = tuples.len();
+
+        let t_construct = Instant::now();
         let mut builder = DocumentBuilder::new("results");
         self.construct_into(&mut builder, &query.construct, &schema, &tuples, 0, &mut ctx)?;
         let document = builder.finish();
+        let construct_ms = ms_since(t_construct);
+        trace.add_ms("construct", construct_ms);
+        drop(total_span);
 
         let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        let mut phases: Vec<(String, f64)> =
+            vec![("parse".into(), parse_ms), ("analyze".into(), analyze_ms)];
+        phases.extend(ctx.phases.iter().map(|(n, p)| (n.to_string(), *p)));
+        phases.push(("construct".into(), construct_ms));
+        for (name, phase_ms) in &phases {
+            self.metrics
+                .observe(&format!("engine.phase_us.{}", name), us(*phase_ms));
+        }
+        self.metrics.incr("engine.queries", 1);
+        self.metrics.observe("engine.query_us", us(elapsed_ms));
+
         // Feed the workload monitor: every named reference shares the
         // measured cost (used by view selection, E2).
-        let names = crate::catalog::referenced_names(&query);
-        if !names.is_empty() {
-            let share = elapsed_ms / names.len() as f64;
-            for n in &names {
-                self.monitor.record(n, share, document.len());
-            }
-        }
+        self.feed_monitor(&query, elapsed_ms, document.len());
 
         let complete = ctx.missing.is_empty();
+        self.query_log
+            .record(text, elapsed_ms, tuple_count, complete, false);
         if config.cache_query_results && config.cache_nodes > 0 && complete && !ctx.stale {
             self.cache.put(&cache_key, Arc::clone(&document));
         }
@@ -335,8 +453,21 @@ impl Engine {
                 elapsed_ms,
                 plan: ctx.plan_text,
                 from_query_cache: false,
+                phases,
+                span_tree: if profile { trace.render() } else { String::new() },
             },
         })
+    }
+
+    /// Share a query's measured cost among its named references.
+    fn feed_monitor(&self, query: &Query, elapsed_ms: f64, result_nodes: usize) {
+        let names = crate::catalog::referenced_names(query);
+        if !names.is_empty() {
+            let share = elapsed_ms / names.len() as f64;
+            for n in &names {
+                self.monitor.record(n, share, result_nodes);
+            }
+        }
     }
 
     /// Compile and plan, returning the EXPLAIN text (plan notes + the
@@ -344,6 +475,17 @@ impl Engine {
     pub fn explain(&self, text: &str) -> Result<String, CoreError> {
         let result = self.query(text)?;
         Ok(result.stats.plan)
+    }
+
+    /// EXPLAIN ANALYZE: execute the query with per-operator profiling
+    /// forced on, returning the phase span tree followed by the plan
+    /// with each operator annotated with its actual row count and
+    /// measured open/next time.
+    pub fn explain_analyze(&self, text: &str) -> Result<String, CoreError> {
+        let result = self.query_profiled(text)?;
+        let mut out = result.stats.span_tree;
+        out.push_str(&result.stats.plan);
+        Ok(out)
     }
 
     /// Materialize a mediated view into the local store with the given
@@ -448,10 +590,17 @@ impl Engine {
             return Err(CoreError::CyclicView("<subquery>".to_string()));
         }
         let config = self.config();
+        let t_plan = Instant::now();
         let plan = planner::plan_query(&self.catalog, query, &config.optimizer)?;
+        let plan_ms = ms_since(t_plan);
+        let mut verify_ms = 0.0;
         if config.optimizer.verify_plans {
+            let t_verify = Instant::now();
             planner::verify_plan(&plan, outer.map(|(s, _)| s))?;
+            verify_ms += ms_since(t_verify);
         }
+        let t_execute = Instant::now();
+        let verify_pre_ms = verify_ms;
 
         // Fetch every independent unit (the Scan layer).
         let mut inputs: Vec<(Schema, Vec<Tuple>)> = Vec::new();
@@ -510,28 +659,36 @@ impl Engine {
         let (first_schema, first_tuples) = iter
             .next()
             .ok_or_else(|| CoreError::Internal("join fold over zero inputs".into()))?;
+        let profile = ctx.profile;
+        let meter = move |op: Box<dyn Operator>| -> Box<dyn Operator> {
+            if profile {
+                Box::new(MeteredOp::new(op))
+            } else {
+                op
+            }
+        };
         let mut op: Box<dyn Operator> =
-            Box::new(ValuesOp::new(first_schema, first_tuples).labeled("Scan"));
+            meter(Box::new(ValuesOp::new(first_schema, first_tuples).labeled("Scan")));
         for (schema, tuples) in iter {
             let right: Box<dyn Operator> =
-                Box::new(ValuesOp::new(schema.clone(), tuples).labeled("Scan"));
+                meter(Box::new(ValuesOp::new(schema.clone(), tuples).labeled("Scan")));
             let has_common = !op.schema().common_vars(&schema).is_empty();
             op = if has_common {
-                Box::new(HashJoinOp::natural(op, right, JoinType::Inner))
+                meter(Box::new(HashJoinOp::natural(op, right, JoinType::Inner)))
             } else {
-                Box::new(NestedLoopJoinOp::new(
+                meter(Box::new(NestedLoopJoinOp::new(
                     op,
                     right,
                     None,
                     JoinType::Inner,
                     Arc::clone(&funcs),
-                ))
+                )))
             };
         }
 
         // Dependent navigation atoms, in syntactic order.
         for dep in &plan.dependents {
-            op = Box::new(BindPatternOp::new(op, &dep.on_var, dep.pattern.clone())?);
+            op = meter(Box::new(BindPatternOp::new(op, &dep.on_var, dep.pattern.clone())?));
         }
 
         // Drop duplicate join columns (`var#2` …).
@@ -544,7 +701,7 @@ impl Engine {
                 .cloned()
                 .collect();
             let keep_refs: Vec<&str> = keep.iter().map(String::as_str).collect();
-            op = Box::new(ProjectOp::keep(op, &keep_refs, Arc::clone(&funcs)));
+            op = meter(Box::new(ProjectOp::keep(op, &keep_refs, Arc::clone(&funcs))));
         }
 
         // Residual predicates.
@@ -554,11 +711,11 @@ impl Engine {
                 .iter()
                 .map(|e| planner::translate_expr(e, op.schema()))
                 .collect::<Result<_, _>>()?;
-            op = Box::new(FilterOp::new(
+            op = meter(Box::new(FilterOp::new(
                 op,
                 ScalarExpr::conjunction(translated),
                 Arc::clone(&funcs),
-            ));
+            )));
         }
 
         // ORDER-BY.
@@ -578,19 +735,30 @@ impl Engine {
                         })
                 })
                 .collect::<Result<_, _>>()?;
-            op = Box::new(SortOp::new(op, keys));
+            op = meter(Box::new(SortOp::new(op, keys)));
         }
 
         // Static verification of the assembled physical plan: every
         // operator's schema/expression/ordering contract must hold before
-        // we open anything.
+        // we open anything. (`MeteredOp` wrappers delegate `introspect`,
+        // so the verifier sees the identical plan.)
         if config.optimizer.verify_plans {
+            let t_verify = Instant::now();
             nimble_planck::verify(op.as_ref())
                 .map_err(|report| CoreError::PlanVerify(report.to_string()))?;
+            verify_ms += ms_since(t_verify);
         }
 
         let tuples = run_to_vec(op.as_mut())?;
         let schema = op.schema().clone();
+        if depth == 0 && ctx.phases.is_empty() {
+            // Execute covers fetch + join run; verification of the
+            // assembled tree happened inside the window, so subtract it.
+            let execute_ms = (ms_since(t_execute) - (verify_ms - verify_pre_ms)).max(0.0);
+            ctx.phases.push(("plan", plan_ms));
+            ctx.phases.push(("verify", verify_ms));
+            ctx.phases.push(("execute", execute_ms));
+        }
         // Record the plan (top-level query only).
         if depth == 0 && ctx.plan_text.is_empty() {
             let mut text = String::new();
@@ -599,7 +767,11 @@ impl Engine {
                 text.push_str(note);
                 text.push('\n');
             }
-            text.push_str(&explain_ops(op.as_ref()));
+            if ctx.profile {
+                text.push_str(&explain_analyze_ops(op.as_ref()));
+            } else {
+                text.push_str(&explain_ops(op.as_ref()));
+            }
             ctx.plan_text = text;
         }
         Ok((schema, tuples))
@@ -626,8 +798,13 @@ impl Engine {
                     .ok_or_else(|| CoreError::UnknownCollection(source.clone()))?;
                 ctx.source_calls += 1;
                 ctx.fragments += 1;
+                self.metrics.incr(&format!("source.calls.{}", source), 1);
                 let key = format!("frag:{}:{:?}", source, query);
-                match adapter.execute(query) {
+                let t_call = Instant::now();
+                let outcome = adapter.execute(query);
+                self.metrics
+                    .observe(&format!("source.latency_us.{}", source), us(ms_since(t_call)));
+                match outcome {
                     Ok(doc) => {
                         if config.cache_nodes > 0 {
                             self.cache.put(&key, Arc::clone(&doc));
@@ -642,7 +819,10 @@ impl Engine {
                         ctx,
                         &|doc| fragment_tuples(doc, vars),
                     ),
-                    Err(e) => Err(CoreError::Source(e)),
+                    Err(e) => {
+                        self.metrics.incr(&format!("source.errors.{}", source), 1);
+                        Err(CoreError::Source(e))
+                    }
                 }
             }
             AtomExec::FetchMatch {
@@ -656,8 +836,13 @@ impl Engine {
                     .source(source)
                     .ok_or_else(|| CoreError::UnknownCollection(source.clone()))?;
                 ctx.source_calls += 1;
+                self.metrics.incr(&format!("source.calls.{}", source), 1);
                 let key = format!("coll:{}:{}", source, collection);
-                let doc = match adapter.fetch_collection(collection) {
+                let t_call = Instant::now();
+                let outcome = adapter.fetch_collection(collection);
+                self.metrics
+                    .observe(&format!("source.latency_us.{}", source), us(ms_since(t_call)));
+                let doc = match outcome {
                     Ok(doc) => {
                         if config.cache_nodes > 0 {
                             self.cache.put(&key, Arc::clone(&doc));
@@ -674,7 +859,10 @@ impl Engine {
                             &|doc| match_tuples(doc, pattern, vars),
                         )
                     }
-                    Err(e) => return Err(CoreError::Source(e)),
+                    Err(e) => {
+                        self.metrics.incr(&format!("source.errors.{}", source), 1);
+                        return Err(CoreError::Source(e));
+                    }
                 };
                 Ok((vars.clone(), match_tuples(&doc, pattern, vars)))
             }
@@ -702,6 +890,7 @@ impl Engine {
         to_tuples: &dyn Fn(&Arc<Document>) -> Vec<Tuple>,
     ) -> Result<(Vec<String>, Vec<Tuple>), CoreError> {
         let config = self.config();
+        self.metrics.incr(&format!("source.failures.{}", source), 1);
         match config.unavailable {
             UnavailablePolicy::Fail => Err(CoreError::Source(err)),
             UnavailablePolicy::SkipAndAnnotate => {
@@ -712,6 +901,8 @@ impl Engine {
                 if config.cache_nodes > 0 {
                     if let Some(doc) = self.cache.get(cache_key) {
                         ctx.stale = true;
+                        self.metrics
+                            .incr(&format!("source.stale_served.{}", source), 1);
                         return Ok((vars.to_vec(), to_tuples(&doc)));
                     }
                 }
@@ -738,6 +929,16 @@ impl Engine {
         };
         construct::append_instances(b, template, schema, tuples, &mut cb)
     }
+}
+
+/// Milliseconds elapsed since `start`.
+fn ms_since(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Milliseconds → whole microseconds, for histogram recording.
+fn us(ms: f64) -> u64 {
+    (ms * 1e3).max(0.0) as u64
 }
 
 /// Convert a `<rows>` fragment result into binding tuples over `vars`

@@ -11,6 +11,7 @@
 use crate::lens::LensRegistry;
 use nimble_core::Engine;
 use nimble_store::Freshness;
+use nimble_trace::{MetricsSnapshot, QueryLogEntry};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -34,6 +35,24 @@ pub struct ViewInfo {
     pub fresh: Option<bool>,
     pub hits: u64,
     pub size_nodes: usize,
+}
+
+/// One row of the source-health report, derived from the engine's
+/// `source.*` metrics (calls, availability failures, other errors,
+/// stale-cache substitutions, latency).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceHealth {
+    pub name: String,
+    /// Adapter calls the engine made against this source.
+    pub calls: u64,
+    /// Calls that failed because the source was unavailable.
+    pub failures: u64,
+    /// Calls the source rejected or failed internally.
+    pub errors: u64,
+    /// Queries answered from a stale cached copy of this source's data.
+    pub stale_served: u64,
+    pub mean_latency_ms: f64,
+    pub p95_latency_ms: f64,
 }
 
 /// Aggregated administrative view over one engine.
@@ -104,6 +123,39 @@ impl ManagementConsole {
             .collect()
     }
 
+    /// Point-in-time copy of the engine's metrics registry.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.engine.metrics_snapshot()
+    }
+
+    /// The slowest queries this engine has served, slowest first.
+    pub fn slow_queries(&self, n: usize) -> Vec<QueryLogEntry> {
+        self.engine.slow_queries(n)
+    }
+
+    /// Per-source health derived from the engine's metrics, one row per
+    /// registered source (sources never called report zeros).
+    pub fn source_health(&self) -> Vec<SourceHealth> {
+        let snap = self.engine.metrics_snapshot();
+        self.engine
+            .catalog()
+            .source_names()
+            .into_iter()
+            .map(|name| {
+                let latency = snap.histograms.get(&format!("source.latency_us.{}", name));
+                SourceHealth {
+                    calls: snap.counter(&format!("source.calls.{}", name)),
+                    failures: snap.counter(&format!("source.failures.{}", name)),
+                    errors: snap.counter(&format!("source.errors.{}", name)),
+                    stale_served: snap.counter(&format!("source.stale_served.{}", name)),
+                    mean_latency_ms: latency.map(|h| h.mean() / 1e3).unwrap_or(0.0),
+                    p95_latency_ms: latency.map(|h| h.p95() as f64 / 1e3).unwrap_or(0.0),
+                    name,
+                }
+            })
+            .collect()
+    }
+
     /// The whole inventory as an aligned text report.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -148,6 +200,33 @@ impl ManagementConsole {
             let _ = writeln!(out, "\n== lenses ==");
             for name in lenses.names() {
                 let _ = writeln!(out, "{}", name);
+            }
+        }
+        let _ = writeln!(out, "\n== source health ==");
+        let _ = writeln!(
+            out,
+            "{:<14}{:>8}{:>10}{:>8}{:>8}{:>12}{:>12}",
+            "name", "calls", "failures", "errors", "stale", "mean_ms", "p95_ms"
+        );
+        for h in self.source_health() {
+            let _ = writeln!(
+                out,
+                "{:<14}{:>8}{:>10}{:>8}{:>8}{:>12.2}{:>12.2}",
+                h.name, h.calls, h.failures, h.errors, h.stale_served, h.mean_latency_ms,
+                h.p95_latency_ms
+            );
+        }
+        let slow = self.slow_queries(5);
+        if !slow.is_empty() {
+            let _ = writeln!(out, "\n== slowest queries ==");
+            for q in slow {
+                let _ = writeln!(
+                    out,
+                    "{:>10.2}ms  {:>6} tuples  {}",
+                    q.elapsed_ms,
+                    q.tuples,
+                    q.text.split_whitespace().collect::<Vec<_>>().join(" ")
+                );
             }
         }
         out
@@ -217,5 +296,29 @@ mod tests {
         assert!(report.contains("files"));
         assert!(report.contains("leads(2)"));
         assert!(report.contains("hot_leads"));
+        assert!(report.contains("== source health =="));
+    }
+
+    #[test]
+    fn source_health_tracks_engine_metrics() {
+        let engine = engine();
+        let console = ManagementConsole::new(Arc::clone(&engine));
+        engine
+            .query(
+                r#"WHERE <row><name>$n</name><score>$s</score></row> IN "leads"
+                   CONSTRUCT <l>$n</l>"#,
+            )
+            .unwrap();
+        let health = console.source_health();
+        assert_eq!(health.len(), 2);
+        let files = health.iter().find(|h| h.name == "files").unwrap();
+        assert_eq!(files.calls, 1);
+        assert_eq!(files.failures, 0);
+        let docs = health.iter().find(|h| h.name == "docs").unwrap();
+        assert_eq!(docs.calls, 0);
+
+        let snap = console.metrics_snapshot();
+        assert_eq!(snap.counter("engine.queries"), 1);
+        assert_eq!(snap.histograms["engine.query_us"].count, 1);
     }
 }

@@ -38,6 +38,7 @@ pub mod capabilities;
 pub mod csv;
 pub mod error;
 pub mod hierarchical;
+pub mod metered;
 pub mod query;
 pub mod relational;
 pub mod sim;
@@ -45,6 +46,7 @@ pub mod xmldoc;
 
 pub use capabilities::Capabilities;
 pub use error::SourceError;
+pub use metered::MeteredAdapter;
 pub use query::{CollectionInfo, CollectionRef, FieldRef, PredOp, Selection, SourceQuery};
 
 use nimble_xml::Document;

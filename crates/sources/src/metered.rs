@@ -1,0 +1,137 @@
+//! Adapter-side instrumentation: a transparent [`SourceAdapter`]
+//! wrapper recording per-source call counts, latency histograms, and
+//! error counters into a [`MetricsRegistry`].
+//!
+//! The mediator records the same metrics at its own call sites (it also
+//! knows about policy outcomes like stale-cache substitution); this
+//! wrapper serves code that drives adapters *without* an engine —
+//! adapter benchmarks, source health probes, cleaning flows reading
+//! collections directly — so those calls land in the same metric
+//! namespace (`source.calls.<name>`, `source.latency_us.<name>`,
+//! `source.errors.<name>`, `source.failures.<name>`).
+
+use crate::capabilities::Capabilities;
+use crate::error::SourceError;
+use crate::query::{CollectionInfo, SourceQuery};
+use crate::{SourceAdapter, SourceKind};
+use nimble_trace::MetricsRegistry;
+use nimble_xml::Document;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Wraps any adapter; all metadata calls delegate untouched, while
+/// `execute` and `fetch_collection` are counted and timed.
+pub struct MeteredAdapter {
+    inner: Arc<dyn SourceAdapter>,
+    registry: Arc<MetricsRegistry>,
+}
+
+impl MeteredAdapter {
+    pub fn new(inner: Arc<dyn SourceAdapter>, registry: Arc<MetricsRegistry>) -> MeteredAdapter {
+        MeteredAdapter { inner, registry }
+    }
+
+    /// The wrapped adapter.
+    pub fn inner(&self) -> &Arc<dyn SourceAdapter> {
+        &self.inner
+    }
+
+    fn observe<T>(
+        &self,
+        result: Result<T, SourceError>,
+        started: Instant,
+    ) -> Result<T, SourceError> {
+        let name = self.inner.name();
+        self.registry.incr(&format!("source.calls.{}", name), 1);
+        let us = (started.elapsed().as_secs_f64() * 1e6) as u64;
+        self.registry
+            .observe(&format!("source.latency_us.{}", name), us);
+        if let Err(e) = &result {
+            let counter = if e.is_unavailable() {
+                format!("source.failures.{}", name)
+            } else {
+                format!("source.errors.{}", name)
+            };
+            self.registry.incr(&counter, 1);
+        }
+        result
+    }
+}
+
+impl SourceAdapter for MeteredAdapter {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn kind(&self) -> SourceKind {
+        self.inner.kind()
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        self.inner.capabilities()
+    }
+
+    fn collections(&self) -> Vec<CollectionInfo> {
+        self.inner.collections()
+    }
+
+    fn execute(&self, query: &SourceQuery) -> Result<Arc<Document>, SourceError> {
+        let started = Instant::now();
+        let result = self.inner.execute(query);
+        self.observe(result, started)
+    }
+
+    fn fetch_collection(&self, name: &str) -> Result<Arc<Document>, SourceError> {
+        let started = Instant::now();
+        let result = self.inner.fetch_collection(name);
+        self.observe(result, started)
+    }
+
+    fn estimated_rows(&self, collection: &str) -> Option<u64> {
+        self.inner.estimated_rows(collection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::CsvAdapter;
+
+    fn metered() -> (MeteredAdapter, Arc<MetricsRegistry>) {
+        let csv = CsvAdapter::new("pricing")
+            .add_csv("discounts", "sku,pct\n1,10\n2,20\n")
+            .unwrap();
+        let registry = Arc::new(MetricsRegistry::new());
+        (
+            MeteredAdapter::new(Arc::new(csv), Arc::clone(&registry)),
+            registry,
+        )
+    }
+
+    #[test]
+    fn delegates_metadata() {
+        let (m, _) = metered();
+        assert_eq!(m.name(), "pricing");
+        assert_eq!(m.collections().len(), 1);
+    }
+
+    #[test]
+    fn counts_calls_and_latency() {
+        let (m, reg) = metered();
+        m.fetch_collection("discounts").unwrap();
+        m.fetch_collection("discounts").unwrap();
+        let s = reg.snapshot();
+        assert_eq!(s.counter("source.calls.pricing"), 2);
+        assert_eq!(s.histograms["source.latency_us.pricing"].count, 2);
+        assert_eq!(s.counter("source.errors.pricing"), 0);
+    }
+
+    #[test]
+    fn counts_errors() {
+        let (m, reg) = metered();
+        assert!(m.fetch_collection("nope").is_err());
+        let s = reg.snapshot();
+        assert_eq!(s.counter("source.errors.pricing"), 1);
+        assert_eq!(s.counter("source.failures.pricing"), 0);
+    }
+}

@@ -9,8 +9,8 @@
 //! into a materialization set under a storage budget. Experiment E2
 //! compares the policies.
 
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use nimble_trace::MetricsRegistry;
+use std::sync::Arc;
 
 /// A candidate view with the observed statistics the selector needs.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,49 +100,68 @@ pub fn select_views(
 /// virtual costs. "We may need to adjust the set of materialized views
 /// over time depending on the query load" — re-running selection over a
 /// fresh window does exactly that.
-#[derive(Default)]
+///
+/// Observations live in a [`MetricsRegistry`] under the `view.` prefix
+/// (`view.cost_us.<name>` histograms, `view.size_nodes.<name>`
+/// max-gauges), so when the monitor shares the engine's registry the
+/// workload statistics appear in the same management-console snapshot
+/// as every other metric.
 pub struct WorkloadMonitor {
-    inner: Mutex<HashMap<String, (u64, f64, usize)>>,
+    registry: Arc<MetricsRegistry>,
+}
+
+impl Default for WorkloadMonitor {
+    fn default() -> Self {
+        WorkloadMonitor::new()
+    }
 }
 
 impl WorkloadMonitor {
     pub fn new() -> WorkloadMonitor {
-        WorkloadMonitor::default()
+        WorkloadMonitor::with_registry(Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Record observations into a shared registry (the engine passes its
+    /// own, so `view.*` metrics ride along in engine snapshots).
+    pub fn with_registry(registry: Arc<MetricsRegistry>) -> WorkloadMonitor {
+        WorkloadMonitor { registry }
+    }
+
+    /// The registry observations land in.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Record one virtually-answered query against a view: its measured
     /// cost and the result size.
     pub fn record(&self, view: &str, cost_ms: f64, size_nodes: usize) {
-        let mut inner = self.inner.lock();
-        let e = inner.entry(view.to_string()).or_insert((0, 0.0, 0));
-        e.0 += 1;
-        e.1 += cost_ms;
-        e.2 = e.2.max(size_nodes);
+        self.registry
+            .observe(&format!("view.cost_us.{}", view), (cost_ms * 1e3).max(0.0) as u64);
+        self.registry
+            .gauge_max(&format!("view.size_nodes.{}", view), size_nodes as u64);
     }
 
     /// Snapshot candidates with mean costs, sorted by name.
     pub fn candidates(&self) -> Vec<CandidateView> {
-        let inner = self.inner.lock();
-        let mut out: Vec<CandidateView> = inner
+        let snap = self.registry.snapshot();
+        snap.histograms
             .iter()
-            .map(|(name, (freq, total_cost, size))| CandidateView {
-                name: name.clone(),
-                frequency: *freq,
-                virtual_cost_ms: if *freq > 0 {
-                    total_cost / *freq as f64
-                } else {
-                    0.0
-                },
-                size_nodes: *size,
+            .filter_map(|(metric, hist)| {
+                let name = metric.strip_prefix("view.cost_us.")?;
+                Some(CandidateView {
+                    name: name.to_string(),
+                    frequency: hist.count,
+                    virtual_cost_ms: if hist.count > 0 { hist.mean() / 1e3 } else { 0.0 },
+                    size_nodes: snap.gauge(&format!("view.size_nodes.{}", name)) as usize,
+                })
             })
-            .collect();
-        out.sort_by(|a, b| a.name.cmp(&b.name));
-        out
+            .collect()
     }
 
-    /// Start a new observation window.
+    /// Start a new observation window (drops only `view.` metrics, so a
+    /// shared registry keeps its other subsystems' history).
     pub fn reset(&self) {
-        self.inner.lock().clear();
+        self.registry.remove_prefix("view.");
     }
 }
 
@@ -204,6 +223,23 @@ mod tests {
         // Takes hot_small (10), skips hot_big (1000), takes cold (10),
         // takes unused (5).
         assert_eq!(picked, vec!["hot_small", "cold", "unused"]);
+    }
+
+    #[test]
+    fn monitor_records_into_shared_registry() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let m = WorkloadMonitor::with_registry(Arc::clone(&reg));
+        m.record("v1", 2.0, 5);
+        let s = reg.snapshot();
+        assert_eq!(s.histograms["view.cost_us.v1"].count, 1);
+        assert_eq!(s.histograms["view.cost_us.v1"].sum, 2000);
+        assert_eq!(s.gauge("view.size_nodes.v1"), 5);
+        // A reset only clears the monitor's own prefix.
+        reg.incr("engine.queries", 1);
+        m.reset();
+        let s = reg.snapshot();
+        assert!(s.histograms.is_empty());
+        assert_eq!(s.counter("engine.queries"), 1);
     }
 
     #[test]

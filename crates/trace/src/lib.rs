@@ -1,0 +1,46 @@
+//! # nimble-trace
+//!
+//! Dependency-free observability primitives for the Nimble reproduction.
+//!
+//! The paper's product ships "management tools [that] support system
+//! monitoring" and reports fine-grained usage; §3.4 promises partial
+//! results whose quality an operator must be able to see. This crate is
+//! the substrate those promises stand on:
+//!
+//! * [`Trace`] / [`SpanGuard`] — per-query span trees with parent/child
+//!   nesting. The engine opens one trace per query and emits phase spans
+//!   (`parse → analyze → plan → verify → execute → construct`).
+//! * [`Histogram`] — lock-free log-bucketed latency histograms with
+//!   p50/p95/p99, exact count/sum/min/max, and mergeable snapshots.
+//! * [`MetricsRegistry`] — a named collection of monotonic counters,
+//!   max-gauges, and histograms with [`MetricsRegistry::snapshot`],
+//!   snapshot [`MetricsSnapshot::diff`]/[`MetricsSnapshot::merge`], and a
+//!   process-global instance ([`MetricsRegistry::global`]).
+//! * [`QueryLog`] — a bounded ring buffer of recent queries plus a
+//!   bounded capture of the slowest ones.
+//!
+//! Everything here is `std`-only (no external dependencies) so every
+//! crate in the workspace can depend on it without widening the
+//! dependency tree. All types are `Send + Sync` and cheap enough to
+//! leave enabled in production: counters and histograms are atomics, and
+//! the registry's name lookup is amortized by caching the returned
+//! `Arc` handles at call sites.
+
+pub mod hist;
+pub mod metrics;
+pub mod querylog;
+pub mod span;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use querylog::{QueryLog, QueryLogEntry};
+pub use span::{SpanGuard, SpanView, Trace};
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock a mutex, recovering from poisoning (a panicked holder leaves the
+/// observability data best-effort-consistent, which is acceptable for
+/// metrics; losing the whole process over it is not).
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}

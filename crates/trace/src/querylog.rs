@@ -1,0 +1,171 @@
+//! The query log: a bounded ring of recent queries plus a bounded
+//! capture of the slowest ones.
+//!
+//! The ring answers "what is the system doing right now"; the slow list
+//! answers "what should I look at" and survives ring eviction — a slow
+//! query from an hour ago is still visible even after thousands of fast
+//! ones. Both are hard-bounded, so the log can stay enabled under
+//! production load.
+
+use crate::lock;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One logged query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryLogEntry {
+    /// Monotone admission number (a logical timestamp).
+    pub seq: u64,
+    /// Query text, truncated to [`QueryLog::MAX_TEXT`] characters.
+    pub text: String,
+    pub elapsed_ms: f64,
+    /// Binding tuples that reached CONSTRUCT.
+    pub tuples: usize,
+    /// False when sources failed to contribute (§3.4 partial results).
+    pub complete: bool,
+    /// Served from the whole-query result cache.
+    pub from_cache: bool,
+}
+
+struct LogInner {
+    next_seq: u64,
+    ring: VecDeque<QueryLogEntry>,
+    /// Slowest entries, descending by elapsed time, length ≤ slow_cap.
+    slow: Vec<QueryLogEntry>,
+}
+
+/// Bounded query log. All bounds are fixed at construction.
+pub struct QueryLog {
+    capacity: usize,
+    slow_cap: usize,
+    slow_threshold_ms: f64,
+    inner: Mutex<LogInner>,
+}
+
+impl QueryLog {
+    /// Longest query text stored per entry.
+    pub const MAX_TEXT: usize = 240;
+
+    /// `capacity` bounds the ring; queries at or above
+    /// `slow_threshold_ms` also enter the slow list (its size is bounded
+    /// by `slow_cap`).
+    pub fn new(capacity: usize, slow_cap: usize, slow_threshold_ms: f64) -> QueryLog {
+        QueryLog {
+            capacity: capacity.max(1),
+            slow_cap: slow_cap.max(1),
+            slow_threshold_ms,
+            inner: Mutex::new(LogInner {
+                next_seq: 0,
+                ring: VecDeque::new(),
+                slow: Vec::new(),
+            }),
+        }
+    }
+
+    /// Admit one finished query; returns its sequence number.
+    pub fn record(
+        &self,
+        text: &str,
+        elapsed_ms: f64,
+        tuples: usize,
+        complete: bool,
+        from_cache: bool,
+    ) -> u64 {
+        let text: String = text.chars().take(Self::MAX_TEXT).collect();
+        let mut inner = lock(&self.inner);
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let entry = QueryLogEntry {
+            seq,
+            text,
+            elapsed_ms,
+            tuples,
+            complete,
+            from_cache,
+        };
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(entry.clone());
+        if elapsed_ms >= self.slow_threshold_ms {
+            let at = inner
+                .slow
+                .partition_point(|e| e.elapsed_ms >= elapsed_ms);
+            inner.slow.insert(at, entry);
+            inner.slow.truncate(self.slow_cap);
+        }
+        seq
+    }
+
+    /// The latest `n` entries, newest first.
+    pub fn recent(&self, n: usize) -> Vec<QueryLogEntry> {
+        let inner = lock(&self.inner);
+        inner.ring.iter().rev().take(n).cloned().collect()
+    }
+
+    /// The slowest captured entries, slowest first.
+    pub fn slow(&self, n: usize) -> Vec<QueryLogEntry> {
+        let inner = lock(&self.inner);
+        inner.slow.iter().take(n).cloned().collect()
+    }
+
+    /// Total queries admitted over the log's lifetime.
+    pub fn total(&self) -> u64 {
+        lock(&self.inner).next_seq
+    }
+
+    pub fn slow_threshold_ms(&self) -> f64 {
+        self.slow_threshold_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let log = QueryLog::new(3, 8, f64::INFINITY);
+        for i in 0..5 {
+            log.record(&format!("q{}", i), 1.0, 0, true, false);
+        }
+        let recent = log.recent(10);
+        let texts: Vec<&str> = recent.iter().map(|e| e.text.as_str()).collect();
+        assert_eq!(texts, vec!["q4", "q3", "q2"]);
+        assert_eq!(log.total(), 5);
+        // Sequence numbers keep counting across evictions.
+        assert_eq!(recent[0].seq, 4);
+    }
+
+    #[test]
+    fn slow_capture_survives_ring_eviction() {
+        let log = QueryLog::new(2, 8, 50.0);
+        log.record("slow one", 120.0, 9, true, false);
+        for i in 0..10 {
+            log.record(&format!("fast{}", i), 1.0, 0, true, false);
+        }
+        assert!(log.recent(10).iter().all(|e| e.text.starts_with("fast")));
+        let slow = log.slow(5);
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].text, "slow one");
+    }
+
+    #[test]
+    fn slow_list_is_bounded_and_sorted() {
+        let log = QueryLog::new(16, 3, 0.0);
+        for ms in [10.0, 50.0, 30.0, 40.0, 20.0] {
+            log.record("q", ms, 0, true, false);
+        }
+        let slow = log.slow(10);
+        let times: Vec<f64> = slow.iter().map(|e| e.elapsed_ms).collect();
+        assert_eq!(times, vec![50.0, 40.0, 30.0]);
+    }
+
+    #[test]
+    fn text_is_truncated() {
+        let log = QueryLog::new(2, 2, f64::INFINITY);
+        let long = "x".repeat(1000);
+        log.record(&long, 1.0, 0, true, false);
+        assert_eq!(log.recent(1)[0].text.len(), QueryLog::MAX_TEXT);
+    }
+}

@@ -16,6 +16,7 @@
 //!   concordance database, merge/purge, lineage, and cleaning flows.
 //! * [`store`] — local materialization, result caching, view selection.
 //! * [`frontend`] — lenses, formatting templates, auth, and monitoring.
+//! * [`trace`] — observability: spans, metrics registry, query log.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -26,5 +27,6 @@ pub use nimble_frontend as frontend;
 pub use nimble_relational as relational;
 pub use nimble_sources as sources;
 pub use nimble_store as store;
+pub use nimble_trace as trace;
 pub use nimble_xml as xml;
 pub use nimble_xmlql as xmlql;

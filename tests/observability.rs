@@ -1,0 +1,187 @@
+//! End-to-end observability: EXPLAIN ANALYZE agrees with actual
+//! execution, metrics flow from engine to console to cluster, and the
+//! query log captures what ran.
+
+use nimble::algebra::ops::{AggSpec, GroupAggOp, MeteredOp, ValuesOp};
+use nimble::algebra::{explain_analyze, run_to_vec, AggFunc, Schema};
+use nimble::core::{Catalog, DispatchStrategy, Engine, EngineCluster, EngineConfig};
+use nimble::frontend::ManagementConsole;
+use nimble::sources::csv::CsvAdapter;
+use nimble::sources::relational::RelationalAdapter;
+use nimble::xml::Value;
+use std::sync::Arc;
+
+fn catalog() -> Arc<Catalog> {
+    let c = Catalog::new();
+    c.register_source(Arc::new(
+        RelationalAdapter::from_statements(
+            "erp",
+            &[
+                "CREATE TABLE products (sku INT, pname TEXT, price FLOAT)",
+                "INSERT INTO products VALUES \
+                 (100, 'widget', 9.5), (200, 'gadget', 120.0), (300, 'gizmo', 45.0), \
+                 (400, 'doohickey', 80.0)",
+            ],
+        )
+        .unwrap(),
+    ))
+    .unwrap();
+    c.register_source(Arc::new(
+        CsvAdapter::new("pricing")
+            .add_csv("discounts", "sku,pct\n100,10\n200,5\n300,25\n")
+            .unwrap(),
+    ))
+    .unwrap();
+    Arc::new(c)
+}
+
+const JOIN_QUERY: &str = r#"
+    WHERE <row><sku>$s</sku><pname>$p</pname><price>$pr</price></row> IN "products",
+          <row><sku>$s</sku><pct>$d</pct></row> IN "discounts",
+          $pr > 10.0
+    CONSTRUCT <offer><name>$p</name><discount>$d</discount></offer>
+    ORDER-BY $p
+"#;
+
+/// Pull `actual rows=N` annotations out of an EXPLAIN ANALYZE listing,
+/// top-down.
+fn actual_rows(listing: &str) -> Vec<u64> {
+    listing
+        .lines()
+        .filter_map(|l| {
+            let at = l.find("actual rows=")?;
+            let rest = &l[at + "actual rows=".len()..];
+            let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+            digits.parse().ok()
+        })
+        .collect()
+}
+
+#[test]
+fn explain_analyze_rows_match_join_result() {
+    let engine = Engine::new(catalog());
+    let plain = engine.query(JOIN_QUERY).unwrap();
+    let listing = engine.explain_analyze(JOIN_QUERY).unwrap();
+
+    // Every operator in the plan carries an annotation...
+    let rows = actual_rows(&listing);
+    let operator_lines = listing
+        .lines()
+        .filter(|l| !l.starts_with("--") && l.contains("["))
+        .count();
+    assert_eq!(rows.len(), operator_lines, "listing:\n{}", listing);
+    // ...and the root's actual row count equals the materialized result.
+    assert_eq!(rows[0] as usize, plain.stats.tuples, "listing:\n{}", listing);
+    // The phase spans rode along.
+    assert!(listing.contains("query:"), "listing:\n{}", listing);
+    assert!(listing.contains("execute:"), "listing:\n{}", listing);
+    assert!(listing.contains("open="), "listing:\n{}", listing);
+}
+
+#[test]
+fn explain_analyze_rows_match_group_by_plan() {
+    // XML-QL planning never emits GroupAggOp, so drive the algebra
+    // directly: Metered(GroupAgg(Metered(Values))).
+    let schema = Schema::new(vec!["region".into(), "total".into()]);
+    let tuples: Vec<Vec<Value>> = [
+        ("NW", 10i64),
+        ("NW", 20),
+        ("SE", 5),
+        ("SE", 7),
+        ("SW", 1),
+    ]
+    .iter()
+    .map(|(r, t)| vec![Value::from(*r), Value::from(*t)])
+    .collect();
+    let scan = MeteredOp::new(Box::new(ValuesOp::new(schema, tuples)));
+    let group = GroupAggOp::new(
+        Box::new(scan),
+        vec![0],
+        vec![AggSpec {
+            func: AggFunc::Sum,
+            input: Some(1),
+            output: "sum_total".into(),
+        }],
+    );
+    let mut op = MeteredOp::new(Box::new(group));
+    let rows = run_to_vec(&mut op).unwrap();
+    assert_eq!(rows.len(), 3);
+
+    let listing = explain_analyze(&op);
+    let annotated = actual_rows(&listing);
+    // Root (the group) produced 3 groups from 5 scanned rows.
+    assert_eq!(annotated, vec![3, 5], "listing:\n{}", listing);
+}
+
+#[test]
+fn query_stats_report_phases_and_log_captures_queries() {
+    let engine = Engine::new(catalog());
+    let r = engine.query(JOIN_QUERY).unwrap();
+    let phase_names: Vec<&str> = r.stats.phases.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(
+        phase_names,
+        vec!["parse", "analyze", "plan", "verify", "execute", "construct"]
+    );
+    assert!(r.stats.phases.iter().all(|(_, ms)| *ms >= 0.0));
+
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.counter("engine.queries"), 1);
+    assert_eq!(snap.histograms["engine.phase_us.execute"].count, 1);
+    assert_eq!(snap.counter("source.calls.erp"), 1);
+    assert_eq!(snap.counter("source.calls.pricing"), 1);
+
+    let recent = engine.query_log().recent(10);
+    assert_eq!(recent.len(), 1);
+    assert_eq!(recent[0].tuples, r.stats.tuples);
+    assert!(recent[0].complete);
+    assert!(!recent[0].from_cache);
+}
+
+#[test]
+fn cache_hits_are_counted_and_timed() {
+    let engine = Engine::new(catalog());
+    engine.set_cache_query_results(true);
+    let miss = engine.query(JOIN_QUERY).unwrap();
+    assert!(!miss.stats.from_query_cache);
+    let hit = engine.query(JOIN_QUERY).unwrap();
+    assert!(hit.stats.from_query_cache);
+    assert!(hit.stats.elapsed_ms >= 0.0);
+
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.counter("engine.queries"), 2);
+    assert_eq!(snap.counter("engine.query_cache_hits"), 1);
+    // Both the miss and the hit land in the latency histogram and log.
+    assert_eq!(snap.histograms["engine.query_us"].count, 2);
+    let recent = engine.query_log().recent(10);
+    assert_eq!(recent.len(), 2);
+    assert!(recent[0].from_cache);
+    // The cache hit still fed the workload monitor.
+    let candidates = engine.monitor().candidates();
+    assert!(candidates.iter().any(|c| c.name == "products" && c.frequency == 2));
+}
+
+#[test]
+fn console_and_cluster_aggregate_metrics() {
+    let engine = Arc::new(Engine::new(catalog()));
+    engine.query(JOIN_QUERY).unwrap();
+    let console = ManagementConsole::new(Arc::clone(&engine));
+    let health = console.source_health();
+    let erp = health.iter().find(|h| h.name == "erp").unwrap();
+    assert_eq!(erp.calls, 1);
+    assert_eq!(erp.failures, 0);
+
+    let cluster = EngineCluster::new(
+        catalog(),
+        2,
+        1,
+        EngineConfig::default(),
+        DispatchStrategy::RoundRobin,
+    );
+    for _ in 0..4 {
+        cluster.query(JOIN_QUERY).unwrap();
+    }
+    let merged = cluster.metrics_snapshot();
+    assert_eq!(merged.counter("engine.queries"), 4);
+    assert_eq!(merged.histograms["engine.query_us"].count, 4);
+    cluster.shutdown();
+}
