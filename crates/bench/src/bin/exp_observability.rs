@@ -20,6 +20,7 @@ use nimble_bench::{
     TablePrinter,
 };
 use nimble_core::{Engine, EngineConfig};
+use nimble_trace::{chrome_trace, prometheus_text, query_log_jsonl, TraceId};
 use std::time::Instant;
 
 /// Unwrap an experiment-infrastructure result without a panic path
@@ -121,6 +122,42 @@ fn main() {
         (on_us / off_us - 1.0) * 100.0
     );
 
+    // Exporter cost: render each export format over the data the run
+    // actually produced, timing the rendering alone. These are the
+    // costs an operator pays per scrape / per trace download, not per
+    // query — the per-query cost is the loop above.
+    let profiled = need(engine.query_profiled(SUITE[1].1), "profiled query");
+    let t = Instant::now();
+    let chrome = chrome_trace(
+        &profiled.stats.spans,
+        TraceId(profiled.stats.trace_id),
+        engine.instance(),
+    );
+    let chrome_us = t.elapsed().as_secs_f64() * 1e6;
+    let snap = engine.metrics_snapshot();
+    let t = Instant::now();
+    let prom = prometheus_text(&snap);
+    let prom_us = t.elapsed().as_secs_f64() * 1e6;
+    let entries = engine.query_log().recent(256);
+    let t = Instant::now();
+    let jsonl = query_log_jsonl(&entries);
+    let jsonl_us = t.elapsed().as_secs_f64() * 1e6;
+    let t = Instant::now();
+    let flight_dump = engine.flight_recorder().dump();
+    let flight_us = t.elapsed().as_secs_f64() * 1e6;
+    println!(
+        "\nexporters: chrome {:.0}us/{}B, prometheus {:.0}us/{}B, \
+         query-log jsonl {:.0}us/{} entries, flight dump {:.0}us/{} records",
+        chrome_us,
+        chrome.len(),
+        prom_us,
+        prom.len(),
+        jsonl_us,
+        entries.len(),
+        flight_us,
+        engine.flight_recorder().len(),
+    );
+
     // One EXPLAIN ANALYZE, for the record.
     let analyzed = need(engine.explain_analyze(SUITE[1].1), "explain analyze");
     println!("\nEXPLAIN ANALYZE (three_way_join):\n{}", analyzed);
@@ -132,6 +169,17 @@ fn main() {
         "loop_profile_off_us_per_query": off_us,
         "loop_profile_on_us_per_query": on_us,
         "queries_total": engine.metrics_snapshot().counter("engine.queries"),
+        "export": serde_json::json!({
+            "chrome_trace_us": chrome_us,
+            "chrome_trace_bytes": chrome.len(),
+            "prometheus_us": prom_us,
+            "prometheus_bytes": prom.len(),
+            "query_log_jsonl_us": jsonl_us,
+            "query_log_entries": entries.len(),
+            "flight_dump_us": flight_us,
+            "flight_dump_bytes": flight_dump.len(),
+            "flight_records": engine.flight_recorder().len(),
+        }),
     });
     write_bench_observability(&record);
     emit_jsonl("observability", &record);

@@ -14,7 +14,7 @@ use crate::lineage::{LineageLog, LineageOp};
 use crate::matching::{CompositeMatcher, MatchOutcome};
 use crate::merge_purge::UnionFind;
 use crate::record::Record;
-use nimble_trace::MetricsRegistry;
+use nimble_trace::{MetricsRegistry, QueryCtx};
 
 /// A candidate pair surfaced for disambiguation.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +39,10 @@ pub struct PipelineReport {
     pub comparisons: u64,
     /// Duplicate clusters over record ids (size ≥ 2 only).
     pub clusters: Vec<Vec<String>>,
+    /// Trace id of the query this run served, when the pipeline ran
+    /// under a query context (see `nimble_trace::QueryCtx`); `None`
+    /// for standalone cleaning runs.
+    pub trace_id: Option<u64>,
 }
 
 /// The configured pipeline: a blocking strategy plus a composite
@@ -102,6 +106,7 @@ impl CleaningPipeline {
         phase: Phase,
     ) -> PipelineReport {
         let mut report = PipelineReport::default();
+        report.trace_id = QueryCtx::current().map(|c| c.trace_id.0);
         let mut uf = UnionFind::new(records.len());
         for (i, j) in self.candidates(records) {
             let (a, b) = (&records[i], &records[j]);
@@ -295,6 +300,19 @@ mod tests {
         assert!(window.counter("cleaning.runs") >= 1);
         assert!(window.counter("cleaning.exceptions") >= report.pending.len() as u64);
         assert!(window.counter("cleaning.lineage.entries") >= 1);
+    }
+
+    #[test]
+    fn runs_are_tagged_with_the_current_trace_id() {
+        let mut db = ConcordanceDb::new();
+        let mut log = LineageLog::new();
+        let p = pipeline();
+        let standalone = p.mine(&records(), &mut db, &mut log);
+        assert_eq!(standalone.trace_id, None);
+        let ctx = QueryCtx::new("engine-0");
+        let _g = ctx.enter();
+        let under_query = p.mine(&records(), &mut db, &mut log);
+        assert_eq!(under_query.trace_id, Some(ctx.trace_id.0));
     }
 
     #[test]

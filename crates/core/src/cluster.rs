@@ -11,7 +11,7 @@ use crate::engine::{Engine, EngineConfig, QueryResult};
 use crate::error::CoreError;
 use crate::Catalog;
 use crossbeam::channel::{bounded, Sender};
-use nimble_trace::{MetricsSnapshot, QueryLogEntry};
+use nimble_trace::{FlightRecord, MetricsSnapshot, QueryLogEntry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -157,6 +157,20 @@ impl EngineCluster {
             .collect();
         all.sort_by(|a, b| b.elapsed_ms.total_cmp(&a.elapsed_ms));
         all.truncate(n);
+        all
+    }
+
+    /// Every instance's flight records merged, in query admission
+    /// order. Trace ids are minted from one process-wide counter, so
+    /// sorting by id recovers start order across instances; each
+    /// record carries its instance name for attribution.
+    pub fn flight_records(&self) -> Vec<FlightRecord> {
+        let mut all: Vec<FlightRecord> = self
+            .engines
+            .iter()
+            .flat_map(|e| e.flight_recorder().records())
+            .collect();
+        all.sort_by_key(|r| r.trace_id);
         all
     }
 

@@ -15,7 +15,10 @@ use nimble_algebra::{
 };
 use nimble_sources::query::{row_field, rows_of};
 use nimble_store::{LogicalClock, ResultCache, ViewStore, WorkloadMonitor};
-use nimble_trace::{MetricsRegistry, MetricsSnapshot, QueryLog, QueryLogEntry, Trace};
+use nimble_trace::{
+    FlightRecord, FlightRecorder, MetricsRegistry, MetricsSnapshot, QueryCtx, QueryEvent,
+    QueryLog, QueryLogEntry, SourceCall, SpanView, Trace,
+};
 use nimble_xml::{Document, DocumentBuilder, Value};
 use nimble_xmlql::ast::Query;
 use parking_lot::RwLock;
@@ -88,8 +91,13 @@ pub struct EngineConfig {
     /// single query regardless of this switch.
     pub profile: bool,
     /// Queries at or above this wall time enter the slow-query capture
-    /// of the engine's query log.
+    /// of the engine's query log. The flight recorder uses the same
+    /// threshold for its keep decision.
     pub slow_query_ms: f64,
+    /// Flight-recorder ring capacity: how many slow/partial/failed
+    /// queries retain their full evidence (span tree, plan, source
+    /// calls).
+    pub flight_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -102,6 +110,7 @@ impl Default for EngineConfig {
             parallel_fetch: true,
             profile: false,
             slow_query_ms: 100.0,
+            flight_capacity: 64,
         }
     }
 }
@@ -130,6 +139,15 @@ pub struct QueryStats {
     pub phases: Vec<(String, f64)>,
     /// Rendered span tree (phase nesting). Populated when profiling.
     pub span_tree: String,
+    /// The query's correlation id (see `nimble_trace::TraceId`); the
+    /// same id tags the query-log entry, every flight record, and the
+    /// Chrome-trace export.
+    pub trace_id: u64,
+    /// Engine instance that served the query.
+    pub instance: String,
+    /// The span tree as structured views (exportable via
+    /// `nimble_trace::chrome_trace`). Populated when profiling.
+    pub spans: Vec<SpanView>,
 }
 
 /// A query answer: the constructed document plus the completeness
@@ -160,6 +178,10 @@ pub struct Engine {
     queries_served: AtomicU64,
     metrics: Arc<MetricsRegistry>,
     query_log: QueryLog,
+    /// Process-unique instance name (`engine-N`), carried in every
+    /// trace export so merged cluster records stay attributable.
+    instance: String,
+    flight: FlightRecorder,
 }
 
 /// Ring-buffer capacity of each engine's query log.
@@ -223,8 +245,12 @@ impl Engine {
     }
 
     pub fn with_config(catalog: Arc<Catalog>, config: EngineConfig) -> Engine {
+        static INSTANCE_SEQ: AtomicU64 = AtomicU64::new(0);
         let metrics = Arc::new(MetricsRegistry::new());
+        let instance = format!("engine-{}", INSTANCE_SEQ.fetch_add(1, Ordering::Relaxed));
         Engine {
+            instance,
+            flight: FlightRecorder::new(config.flight_capacity, config.slow_query_ms),
             catalog,
             views: ViewStore::new(),
             cache: ResultCache::new(config.cache_nodes),
@@ -282,6 +308,17 @@ impl Engine {
     /// The bounded log of recent queries.
     pub fn query_log(&self) -> &QueryLog {
         &self.query_log
+    }
+
+    /// This instance's process-unique name (`engine-N`).
+    pub fn instance(&self) -> &str {
+        &self.instance
+    }
+
+    /// The always-on flight recorder: full evidence (span tree, plan,
+    /// per-source calls) for recent slow, partial, or failed queries.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.flight
     }
 
     /// The slowest queries seen so far (slowest first), surviving ring
@@ -345,17 +382,55 @@ impl Engine {
     }
 
     fn query_with(&self, text: &str, force_profile: bool) -> Result<QueryResult, CoreError> {
-        self.in_flight.fetch_add(1, Ordering::SeqCst);
-        let result = self.query_inner(text, force_profile);
+        // Mint the query's correlation context and make it current on
+        // this thread: everything downstream (adapter wrappers, fetch
+        // worker threads, the cleaning pipeline) tags its records with
+        // the same trace id.
+        let qctx = QueryCtx::new(self.instance.clone());
+        let _ctx_guard = qctx.enter();
+        let in_flight = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        self.metrics.gauge_max("engine.in_flight", in_flight);
+        let result = self.query_inner(text, force_profile, &qctx);
         self.in_flight.fetch_sub(1, Ordering::SeqCst);
         self.queries_served.fetch_add(1, Ordering::SeqCst);
-        if result.is_err() {
-            self.metrics.incr("engine.query_errors", 1);
+        if let Err(e) = &result {
+            let elapsed_ms = qctx.elapsed_ms();
+            let error = format!("{}: {}", e.kind(), e);
+            self.metrics.incr("engine.query.error", 1);
+            self.metrics
+                .incr(&format!("engine.query.error.{}", e.kind()), 1);
+            self.query_log.record_event(QueryEvent {
+                trace_id: qctx.trace_id.0,
+                text: text.to_string(),
+                elapsed_ms,
+                tuples: 0,
+                complete: false,
+                from_cache: false,
+                error: Some(error.clone()),
+            });
+            // Failed queries are always kept, however fast they died.
+            self.flight.admit(FlightRecord {
+                trace_id: qctx.trace_id,
+                instance: self.instance.clone(),
+                text: text.to_string(),
+                elapsed_ms,
+                tuples: 0,
+                complete: false,
+                error: Some(error),
+                plan: String::new(),
+                spans: Vec::new(),
+                source_calls: qctx.source_calls(),
+            });
         }
         result
     }
 
-    fn query_inner(&self, text: &str, force_profile: bool) -> Result<QueryResult, CoreError> {
+    fn query_inner(
+        &self,
+        text: &str,
+        force_profile: bool,
+        qctx: &QueryCtx,
+    ) -> Result<QueryResult, CoreError> {
         let started = Instant::now();
         let config = self.config();
         let profile = force_profile || config.profile;
@@ -370,7 +445,15 @@ impl Engine {
                 self.metrics.incr("engine.queries", 1);
                 self.metrics.incr("engine.query_cache_hits", 1);
                 self.metrics.observe("engine.query_us", us(elapsed_ms));
-                self.query_log.record(text, elapsed_ms, 0, true, true);
+                self.query_log.record_event(QueryEvent {
+                    trace_id: qctx.trace_id.0,
+                    text: text.to_string(),
+                    elapsed_ms,
+                    tuples: 0,
+                    complete: true,
+                    from_cache: true,
+                    error: None,
+                });
                 if let Ok(query) = nimble_xmlql::parse_query(text) {
                     self.feed_monitor(&query, elapsed_ms, doc.len());
                 }
@@ -382,6 +465,8 @@ impl Engine {
                     stats: QueryStats {
                         from_query_cache: true,
                         elapsed_ms,
+                        trace_id: qctx.trace_id.0,
+                        instance: self.instance.clone(),
                         ..QueryStats::default()
                     },
                 });
@@ -435,8 +520,37 @@ impl Engine {
         self.feed_monitor(&query, elapsed_ms, document.len());
 
         let complete = ctx.missing.is_empty();
-        self.query_log
-            .record(text, elapsed_ms, tuple_count, complete, false);
+        self.query_log.record_event(QueryEvent {
+            trace_id: qctx.trace_id.0,
+            text: text.to_string(),
+            elapsed_ms,
+            tuples: tuple_count,
+            complete,
+            from_cache: false,
+            error: None,
+        });
+        // Tail-sample into the flight recorder: the keep decision is
+        // one compare; evidence is only materialized for kept queries.
+        let keep = self.flight.should_keep(elapsed_ms, complete, false);
+        let spans = if profile || keep {
+            trace.report()
+        } else {
+            Vec::new()
+        };
+        if keep {
+            self.flight.admit(FlightRecord {
+                trace_id: qctx.trace_id,
+                instance: self.instance.clone(),
+                text: text.to_string(),
+                elapsed_ms,
+                tuples: tuple_count,
+                complete,
+                error: None,
+                plan: ctx.plan_text.clone(),
+                spans: spans.clone(),
+                source_calls: qctx.source_calls(),
+            });
+        }
         if config.cache_query_results && config.cache_nodes > 0 && complete && !ctx.stale {
             self.cache.put(&cache_key, Arc::clone(&document));
         }
@@ -455,6 +569,9 @@ impl Engine {
                 from_query_cache: false,
                 phases,
                 span_tree: if profile { trace.render() } else { String::new() },
+                trace_id: qctx.trace_id.0,
+                instance: self.instance.clone(),
+                spans: if profile { spans } else { Vec::new() },
             },
         })
     }
@@ -609,13 +726,18 @@ impl Engine {
         }
         if config.parallel_fetch && plan.independents.len() > 1 {
             // The Scan layer fans out: one thread per independent unit,
-            // so latency tracks the slowest source, not the sum.
+            // so latency tracks the slowest source, not the sum. The
+            // query context is thread-local, so each worker re-enters
+            // it to keep source calls attributed to the query.
+            let qctx = QueryCtx::current();
             let results = crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = plan
                     .independents
                     .iter()
                     .map(|atom| {
+                        let qctx = qctx.clone();
                         scope.spawn(move |_| {
+                            let _g = qctx.as_ref().map(|c| c.enter());
                             let mut local = ExecCtx::new();
                             let fetched = self.fetch_atom(atom, depth, &mut local);
                             (fetched, local)
@@ -800,27 +922,54 @@ impl Engine {
                 ctx.fragments += 1;
                 self.metrics.incr(&format!("source.calls.{}", source), 1);
                 let key = format!("frag:{}:{:?}", source, query);
+                let calls_before = QueryCtx::current().map(|c| c.calls_len());
                 let t_call = Instant::now();
                 let outcome = adapter.execute(query);
+                let call_ms = ms_since(t_call);
                 self.metrics
-                    .observe(&format!("source.latency_us.{}", source), us(ms_since(t_call)));
+                    .observe(&format!("source.latency_us.{}", source), us(call_ms));
                 match outcome {
                     Ok(doc) => {
                         if config.cache_nodes > 0 {
                             self.cache.put(&key, Arc::clone(&doc));
                         }
-                        Ok((vars.clone(), fragment_tuples(&doc, vars)))
+                        let tuples = fragment_tuples(&doc, vars);
+                        note_source_call(
+                            calls_before,
+                            source,
+                            "execute",
+                            true,
+                            call_ms,
+                            tuples.len() as u64,
+                            None,
+                        );
+                        Ok((vars.clone(), tuples))
                     }
-                    Err(e) if e.is_unavailable() => self.handle_unavailable(
-                        source,
-                        &key,
-                        vars,
-                        e,
-                        ctx,
-                        &|doc| fragment_tuples(doc, vars),
-                    ),
+                    Err(e) if e.is_unavailable() => {
+                        note_source_call(
+                            calls_before,
+                            source,
+                            "execute",
+                            false,
+                            call_ms,
+                            0,
+                            Some(e.to_string()),
+                        );
+                        self.handle_unavailable(source, &key, vars, e, ctx, &|doc| {
+                            fragment_tuples(doc, vars)
+                        })
+                    }
                     Err(e) => {
                         self.metrics.incr(&format!("source.errors.{}", source), 1);
+                        note_source_call(
+                            calls_before,
+                            source,
+                            "execute",
+                            false,
+                            call_ms,
+                            0,
+                            Some(e.to_string()),
+                        );
                         Err(CoreError::Source(e))
                     }
                 }
@@ -838,10 +987,12 @@ impl Engine {
                 ctx.source_calls += 1;
                 self.metrics.incr(&format!("source.calls.{}", source), 1);
                 let key = format!("coll:{}:{}", source, collection);
+                let calls_before = QueryCtx::current().map(|c| c.calls_len());
                 let t_call = Instant::now();
                 let outcome = adapter.fetch_collection(collection);
+                let call_ms = ms_since(t_call);
                 self.metrics
-                    .observe(&format!("source.latency_us.{}", source), us(ms_since(t_call)));
+                    .observe(&format!("source.latency_us.{}", source), us(call_ms));
                 let doc = match outcome {
                     Ok(doc) => {
                         if config.cache_nodes > 0 {
@@ -850,6 +1001,15 @@ impl Engine {
                         doc
                     }
                     Err(e) if e.is_unavailable() => {
+                        note_source_call(
+                            calls_before,
+                            source,
+                            "fetch",
+                            false,
+                            call_ms,
+                            0,
+                            Some(e.to_string()),
+                        );
                         return self.handle_unavailable(
                             source,
                             &key,
@@ -857,14 +1017,33 @@ impl Engine {
                             e,
                             ctx,
                             &|doc| match_tuples(doc, pattern, vars),
-                        )
+                        );
                     }
                     Err(e) => {
                         self.metrics.incr(&format!("source.errors.{}", source), 1);
+                        note_source_call(
+                            calls_before,
+                            source,
+                            "fetch",
+                            false,
+                            call_ms,
+                            0,
+                            Some(e.to_string()),
+                        );
                         return Err(CoreError::Source(e));
                     }
                 };
-                Ok((vars.clone(), match_tuples(&doc, pattern, vars)))
+                let tuples = match_tuples(&doc, pattern, vars);
+                note_source_call(
+                    calls_before,
+                    source,
+                    "fetch",
+                    true,
+                    call_ms,
+                    tuples.len() as u64,
+                    None,
+                );
+                Ok((vars.clone(), tuples))
             }
             AtomExec::ViewMatch {
                 view,
@@ -928,6 +1107,35 @@ impl Engine {
             self.construct_into(b2, &q.construct, &sub_schema, &sub_tuples, depth + 1, ctx)
         };
         construct::append_instances(b, template, schema, tuples, &mut cb)
+    }
+}
+
+/// Record one adapter call into the current query context, unless an
+/// inner instrumented layer (a `MeteredAdapter` or `SimulatedLink`
+/// wrapper) already appended a record during the call — `calls_before`
+/// is the context's call count read before invoking the adapter, so a
+/// grown list means the call was recorded at a lower layer.
+fn note_source_call(
+    calls_before: Option<usize>,
+    source: &str,
+    kind: &str,
+    ok: bool,
+    latency_ms: f64,
+    rows: u64,
+    error: Option<String>,
+) {
+    if let Some(qctx) = QueryCtx::current() {
+        let recorded_inside = calls_before.map_or(false, |n| qctx.calls_len() > n);
+        if !recorded_inside {
+            qctx.record_source_call(SourceCall {
+                source: source.to_string(),
+                kind: kind.to_string(),
+                ok,
+                latency_ms,
+                rows,
+                error,
+            });
+        }
     }
 }
 

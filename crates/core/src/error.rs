@@ -29,6 +29,25 @@ pub enum CoreError {
     Internal(String),
 }
 
+impl CoreError {
+    /// Stable machine-readable kind, used as a metric suffix
+    /// (`engine.query.error.<kind>`) and in structured query-log
+    /// entries. Lowercase snake_case, one token per variant.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CoreError::Compile(_) => "compile",
+            CoreError::UnknownCollection(_) => "unknown_collection",
+            CoreError::AmbiguousCollection { .. } => "ambiguous_collection",
+            CoreError::CyclicView(_) => "cyclic_view",
+            CoreError::Source(_) => "source",
+            CoreError::Exec(_) => "exec",
+            CoreError::Catalog(_) => "catalog",
+            CoreError::PlanVerify(_) => "plan_verify",
+            CoreError::Internal(_) => "internal",
+        }
+    }
+}
+
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

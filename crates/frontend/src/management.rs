@@ -11,7 +11,10 @@
 use crate::lens::LensRegistry;
 use nimble_core::Engine;
 use nimble_store::Freshness;
-use nimble_trace::{MetricsSnapshot, QueryLogEntry};
+use nimble_trace::{
+    Alert, AlertEngine, AlertRule, BurnRateRule, FlightRecord, MetricsSnapshot, QueryLogEntry,
+};
+use parking_lot::Mutex;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -59,6 +62,7 @@ pub struct SourceHealth {
 pub struct ManagementConsole {
     engine: Arc<Engine>,
     lenses: Option<Arc<LensRegistry>>,
+    alerts: Mutex<AlertEngine>,
 }
 
 impl ManagementConsole {
@@ -66,6 +70,7 @@ impl ManagementConsole {
         ManagementConsole {
             engine,
             lenses: None,
+            alerts: Mutex::new(AlertEngine::new()),
         }
     }
 
@@ -73,6 +78,52 @@ impl ManagementConsole {
     pub fn with_lenses(mut self, lenses: Arc<LensRegistry>) -> ManagementConsole {
         self.lenses = Some(lenses);
         self
+    }
+
+    /// Install a threshold alert rule (evaluated on each [`Self::tick`]).
+    pub fn add_alert_rule(&self, rule: AlertRule) {
+        self.alerts.lock().add_rule(rule);
+    }
+
+    /// Install a burn-rate rule (evaluated on each [`Self::tick`]).
+    pub fn add_burn_rate_rule(&self, rule: BurnRateRule) {
+        self.alerts.lock().add_burn_rate(rule);
+    }
+
+    /// One monitoring tick: snapshot the engine's metrics, evaluate
+    /// every installed rule over the window since the previous tick,
+    /// and return the alerts that fired now. Fired alerts are also
+    /// counted into the engine's registry (`alert.fired.<rule>`) so
+    /// they show up in scrapes and merged cluster snapshots.
+    pub fn tick(&self) -> Vec<Alert> {
+        let snap = self.engine.metrics_snapshot();
+        let fired = self.alerts.lock().eval(&snap);
+        for a in &fired {
+            self.engine
+                .metrics()
+                .incr(&format!("alert.fired.{}", a.rule), 1);
+        }
+        fired
+    }
+
+    /// Rules currently in breach (fired and not yet recovered).
+    pub fn active_alerts(&self) -> Vec<String> {
+        self.alerts.lock().active()
+    }
+
+    /// Every alert fired so far, oldest first (bounded history).
+    pub fn alert_history(&self) -> Vec<Alert> {
+        self.alerts.lock().history().to_vec()
+    }
+
+    /// The engine's most recent flight records (slow, partial, or
+    /// failed queries with full evidence), newest last.
+    pub fn flight_records(&self, n: usize) -> Vec<FlightRecord> {
+        let mut records = self.engine.flight_recorder().records();
+        if records.len() > n {
+            records.drain(..records.len() - n);
+        }
+        records
     }
 
     /// Inventory of registered sources.
@@ -229,6 +280,35 @@ impl ManagementConsole {
                 );
             }
         }
+        let history = self.alert_history();
+        if !history.is_empty() {
+            let active = self.active_alerts();
+            let _ = writeln!(out, "\n== alerts ==");
+            for a in history {
+                let state = if active.contains(&a.rule) { "ACTIVE" } else { "resolved" };
+                let _ = writeln!(out, "[tick {:>4}] {:<9} {}", a.tick, state, a.message);
+            }
+        }
+        let flights = self.flight_records(5);
+        if !flights.is_empty() {
+            let _ = writeln!(out, "\n== flight recorder ==");
+            for r in flights {
+                let outcome = match &r.error {
+                    Some(e) => format!("FAILED ({})", e),
+                    None if !r.complete => "partial".to_string(),
+                    None => "slow".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{}  {:>10.2}ms  {:>3} calls  {:<10}  {}",
+                    r.trace_id,
+                    r.elapsed_ms,
+                    r.source_calls.len(),
+                    outcome,
+                    r.text.split_whitespace().collect::<Vec<_>>().join(" ")
+                );
+            }
+        }
         out
     }
 }
@@ -297,6 +377,42 @@ mod tests {
         assert!(report.contains("leads(2)"));
         assert!(report.contains("hot_leads"));
         assert!(report.contains("== source health =="));
+    }
+
+    #[test]
+    fn alerts_fire_once_and_render_with_flight_records() {
+        let engine = engine();
+        let console = ManagementConsole::new(Arc::clone(&engine));
+        console.add_alert_rule(AlertRule {
+            name: "err_spike".into(),
+            metric: "engine.query.error".into(),
+            op: nimble_trace::AlertOp::Gt,
+            threshold: 0.0,
+            window: 1,
+        });
+        assert!(console.tick().is_empty(), "first tick is the baseline");
+
+        // A failing query breaches the windowed error counter...
+        assert!(engine.query("not xml-ql at all").is_err());
+        let fired = console.tick();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].rule, "err_spike");
+        assert_eq!(console.active_alerts(), vec!["err_spike".to_string()]);
+        assert_eq!(
+            engine.metrics_snapshot().counter("alert.fired.err_spike"),
+            1
+        );
+        // ...and a clean window recovers it without re-firing.
+        assert!(console.tick().is_empty());
+        assert!(console.active_alerts().is_empty());
+
+        // The failed query was flight-recorded; both sections render.
+        assert_eq!(console.flight_records(8).len(), 1);
+        let report = console.render();
+        assert!(report.contains("== alerts =="));
+        assert!(report.contains("err_spike"));
+        assert!(report.contains("== flight recorder =="));
+        assert!(report.contains("FAILED"));
     }
 
     #[test]

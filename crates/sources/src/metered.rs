@@ -14,7 +14,7 @@ use crate::capabilities::Capabilities;
 use crate::error::SourceError;
 use crate::query::{CollectionInfo, SourceQuery};
 use crate::{SourceAdapter, SourceKind};
-use nimble_trace::MetricsRegistry;
+use nimble_trace::{MetricsRegistry, QueryCtx, SourceCall};
 use nimble_xml::Document;
 use std::sync::Arc;
 use std::time::Instant;
@@ -40,12 +40,13 @@ impl MeteredAdapter {
         &self,
         result: Result<T, SourceError>,
         started: Instant,
+        kind: &str,
     ) -> Result<T, SourceError> {
         let name = self.inner.name();
         self.registry.incr(&format!("source.calls.{}", name), 1);
-        let us = (started.elapsed().as_secs_f64() * 1e6) as u64;
+        let latency_ms = started.elapsed().as_secs_f64() * 1e3;
         self.registry
-            .observe(&format!("source.latency_us.{}", name), us);
+            .observe(&format!("source.latency_us.{}", name), (latency_ms * 1e3) as u64);
         if let Err(e) = &result {
             let counter = if e.is_unavailable() {
                 format!("source.failures.{}", name)
@@ -53,6 +54,19 @@ impl MeteredAdapter {
                 format!("source.errors.{}", name)
             };
             self.registry.incr(&counter, 1);
+        }
+        // When a query context is current (the call runs on a query's
+        // behalf), attribute the call to its trace id. The engine's
+        // own call site sees the list grow and skips its duplicate.
+        if let Some(qctx) = QueryCtx::current() {
+            qctx.record_source_call(SourceCall {
+                source: name.to_string(),
+                kind: kind.to_string(),
+                ok: result.is_ok(),
+                latency_ms,
+                rows: 0,
+                error: result.as_ref().err().map(|e| e.to_string()),
+            });
         }
         result
     }
@@ -78,13 +92,13 @@ impl SourceAdapter for MeteredAdapter {
     fn execute(&self, query: &SourceQuery) -> Result<Arc<Document>, SourceError> {
         let started = Instant::now();
         let result = self.inner.execute(query);
-        self.observe(result, started)
+        self.observe(result, started, "execute")
     }
 
     fn fetch_collection(&self, name: &str) -> Result<Arc<Document>, SourceError> {
         let started = Instant::now();
         let result = self.inner.fetch_collection(name);
-        self.observe(result, started)
+        self.observe(result, started, "fetch")
     }
 
     fn estimated_rows(&self, collection: &str) -> Option<u64> {
@@ -124,6 +138,22 @@ mod tests {
         assert_eq!(s.counter("source.calls.pricing"), 2);
         assert_eq!(s.histograms["source.latency_us.pricing"].count, 2);
         assert_eq!(s.counter("source.errors.pricing"), 0);
+    }
+
+    #[test]
+    fn attributes_calls_to_current_query_ctx() {
+        let (m, _) = metered();
+        let ctx = QueryCtx::new("engine-0");
+        {
+            let _g = ctx.enter();
+            m.fetch_collection("discounts").unwrap();
+            assert!(m.fetch_collection("nope").is_err());
+        }
+        let calls = ctx.source_calls();
+        assert_eq!(calls.len(), 2);
+        assert_eq!(calls[0].kind, "fetch");
+        assert!(calls[0].ok && calls[0].error.is_none());
+        assert!(!calls[1].ok && calls[1].error.is_some());
     }
 
     #[test]

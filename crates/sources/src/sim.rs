@@ -11,6 +11,7 @@
 use crate::error::SourceError;
 use crate::query::{CollectionInfo, SourceQuery};
 use crate::{Capabilities, SourceAdapter, SourceKind};
+use nimble_trace::{MetricsRegistry, QueryCtx, SourceCall};
 use nimble_xml::Document;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -70,12 +71,19 @@ pub struct SimulatedLink {
     calls: AtomicU64,
     failures: AtomicU64,
     charged_latency_ms: AtomicU64,
+    /// Handles into [`MetricsRegistry::global`], cached at construction
+    /// so the hot gate path never does a name lookup. The counters are
+    /// monotone, so `fetch_max` mirrors them correctly as gauges.
+    gauge_calls: Arc<AtomicU64>,
+    gauge_failures: Arc<AtomicU64>,
+    gauge_charged: Arc<AtomicU64>,
 }
 
 impl SimulatedLink {
     pub fn new(inner: Arc<dyn SourceAdapter>, config: LinkConfig) -> Arc<SimulatedLink> {
+        let global = MetricsRegistry::global();
+        let name = inner.name().to_string();
         Arc::new(SimulatedLink {
-            inner,
             up: AtomicBool::new(true),
             latency_ms: AtomicU64::new(config.latency_ms),
             fail_ppm: AtomicU64::new((config.fail_probability * 1e6) as u64),
@@ -84,6 +92,10 @@ impl SimulatedLink {
             calls: AtomicU64::new(0),
             failures: AtomicU64::new(0),
             charged_latency_ms: AtomicU64::new(0),
+            gauge_calls: global.gauge(&format!("link.calls.{}", name)),
+            gauge_failures: global.gauge(&format!("link.failures.{}", name)),
+            gauge_charged: global.gauge(&format!("link.charged_latency_ms.{}", name)),
+            inner,
         })
     }
 
@@ -117,16 +129,52 @@ impl SimulatedLink {
         }
     }
 
+    /// Mirror the current counters into `registry` as `link.*` gauges
+    /// (the gate keeps [`MetricsRegistry::global`] current on its own;
+    /// this surfaces the same numbers into an engine-local registry so
+    /// one Prometheus scrape covers engine and link health together).
+    pub fn publish_stats(&self, registry: &MetricsRegistry) {
+        let name = self.inner.name();
+        let stats = self.stats();
+        registry.gauge_max(&format!("link.calls.{}", name), stats.calls);
+        registry.gauge_max(&format!("link.failures.{}", name), stats.failures);
+        registry.gauge_max(
+            &format!("link.charged_latency_ms.{}", name),
+            stats.charged_latency_ms,
+        );
+    }
+
+    /// Record a refused call against the current query context, so the
+    /// failure shows up in that query's flight record with the link's
+    /// charged latency. (Successful calls are recorded by the caller,
+    /// which also knows the decoded row count.)
+    fn note_refusal(&self, charged_ms: u64, reason: &str) {
+        if let Some(qctx) = QueryCtx::current() {
+            qctx.record_source_call(SourceCall {
+                source: self.inner.name().to_string(),
+                kind: "link".to_string(),
+                ok: false,
+                latency_ms: charged_ms as f64,
+                rows: 0,
+                error: Some(reason.to_string()),
+            });
+        }
+    }
+
     /// Gate every call: count it, charge latency, and decide failure.
     fn gate(&self) -> Result<(), SourceError> {
-        self.calls.fetch_add(1, Ordering::SeqCst);
+        let calls = self.calls.fetch_add(1, Ordering::SeqCst) + 1;
+        self.gauge_calls.fetch_max(calls, Ordering::Relaxed);
         let ms = self.latency_ms.load(Ordering::SeqCst);
-        self.charged_latency_ms.fetch_add(ms, Ordering::SeqCst);
+        let charged = self.charged_latency_ms.fetch_add(ms, Ordering::SeqCst) + ms;
+        self.gauge_charged.fetch_max(charged, Ordering::Relaxed);
         if ms > 0 && self.real_sleep.load(Ordering::SeqCst) {
             std::thread::sleep(Duration::from_millis(ms));
         }
         if !self.up.load(Ordering::SeqCst) {
-            self.failures.fetch_add(1, Ordering::SeqCst);
+            let failures = self.failures.fetch_add(1, Ordering::SeqCst) + 1;
+            self.gauge_failures.fetch_max(failures, Ordering::Relaxed);
+            self.note_refusal(ms, "source is offline");
             return Err(SourceError::unavailable(
                 self.inner.name(),
                 "source is offline",
@@ -136,7 +184,9 @@ impl SimulatedLink {
         if ppm > 0 {
             let roll: f64 = self.rng.lock().gen();
             if roll < ppm as f64 / 1e6 {
-                self.failures.fetch_add(1, Ordering::SeqCst);
+                let failures = self.failures.fetch_add(1, Ordering::SeqCst) + 1;
+                self.gauge_failures.fetch_max(failures, Ordering::Relaxed);
+                self.note_refusal(ms, "transient network failure");
                 return Err(SourceError::unavailable(
                     self.inner.name(),
                     "transient network failure",
@@ -253,6 +303,45 @@ mod tests {
         }
         assert!(t0.elapsed() < Duration::from_millis(100));
         assert_eq!(link.stats().charged_latency_ms, 500);
+    }
+
+    #[test]
+    fn stats_publish_as_link_gauges() {
+        let link = SimulatedLink::new(
+            base(),
+            LinkConfig {
+                latency_ms: 5,
+                ..LinkConfig::default()
+            },
+        );
+        link.fetch_collection("d").unwrap();
+        link.set_up(false);
+        assert!(link.fetch_collection("d").is_err());
+        let reg = MetricsRegistry::new();
+        link.publish_stats(&reg);
+        let s = reg.snapshot();
+        assert_eq!(s.gauge("link.calls.feed"), 2);
+        assert_eq!(s.gauge("link.failures.feed"), 1);
+        assert_eq!(s.gauge("link.charged_latency_ms.feed"), 10);
+        // The gate mirrors into the global registry on its own.
+        let g = MetricsRegistry::global().snapshot();
+        assert!(g.gauge("link.calls.feed") >= 2);
+    }
+
+    #[test]
+    fn refused_calls_land_in_the_query_ctx() {
+        let link = SimulatedLink::new(base(), LinkConfig::default());
+        link.set_up(false);
+        let ctx = QueryCtx::new("engine-0");
+        {
+            let _g = ctx.enter();
+            assert!(link.fetch_collection("d").is_err());
+        }
+        let calls = ctx.source_calls();
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].source, "feed");
+        assert!(!calls[0].ok);
+        assert_eq!(calls[0].error.as_deref(), Some("source is offline"));
     }
 
     #[test]

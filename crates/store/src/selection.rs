@@ -9,7 +9,7 @@
 //! into a materialization set under a storage budget. Experiment E2
 //! compares the policies.
 
-use nimble_trace::MetricsRegistry;
+use nimble_trace::{Alert, AlertEngine, MetricsRegistry};
 use std::sync::Arc;
 
 /// A candidate view with the observed statistics the selector needs.
@@ -163,6 +163,14 @@ impl WorkloadMonitor {
     pub fn reset(&self) {
         self.registry.remove_prefix("view.");
     }
+
+    /// One alert-evaluation tick over this monitor's registry: snapshot
+    /// it and let `alerts` judge the window since its previous tick.
+    /// Background monitoring loops that already own a [`WorkloadMonitor`]
+    /// get alerting without also holding an engine handle.
+    pub fn eval_alerts(&self, alerts: &mut AlertEngine) -> Vec<Alert> {
+        alerts.eval(&self.registry.snapshot())
+    }
 }
 
 #[cfg(test)]
@@ -240,6 +248,26 @@ mod tests {
         let s = reg.snapshot();
         assert!(s.histograms.is_empty());
         assert_eq!(s.counter("engine.queries"), 1);
+    }
+
+    #[test]
+    fn monitor_drives_alert_evaluation() {
+        use nimble_trace::{AlertOp, AlertRule};
+        let m = WorkloadMonitor::new();
+        let mut alerts = AlertEngine::new();
+        alerts.add_rule(AlertRule {
+            name: "hot_view".into(),
+            metric: "view.cost_us.v1:count".into(),
+            op: AlertOp::Ge,
+            threshold: 2.0,
+            window: 1,
+        });
+        assert!(m.eval_alerts(&mut alerts).is_empty(), "baseline tick");
+        m.record("v1", 1.0, 5);
+        m.record("v1", 1.0, 5);
+        let fired = m.eval_alerts(&mut alerts);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].rule, "hot_view");
     }
 
     #[test]

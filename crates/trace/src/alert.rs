@@ -1,0 +1,367 @@
+//! Declarative alert rules over metrics windows.
+//!
+//! An [`AlertEngine`] is ticked periodically with a fresh
+//! [`MetricsSnapshot`]; each tick it diffs against the previous one
+//! and evaluates every rule over that *window* (so rules see rates,
+//! not lifetime totals). Two rule shapes:
+//!
+//! * [`AlertRule`] — `metric op threshold` sustained for `window`
+//!   consecutive ticks. The metric selector addresses counters and
+//!   gauges by name, and histogram statistics as `name:stat` with
+//!   `stat` ∈ `count|sum|mean|p50|p95|p99|max`.
+//! * [`BurnRateRule`] — `numerator / denominator > max_ratio`
+//!   sustained for `window` ticks (the classic error-budget burn rate,
+//!   e.g. `engine.query.error / engine.queries`).
+//!
+//! Firing is edge-triggered: a rule fires exactly once when its breach
+//! streak first reaches `window`, stays *active* while the breach
+//! persists, and re-arms only after a clean tick. That gives operators
+//! one page per incident instead of one per tick.
+
+use crate::metrics::MetricsSnapshot;
+use std::collections::BTreeMap;
+
+/// Comparison operator of a threshold rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertOp {
+    Gt,
+    Ge,
+    Lt,
+    Le,
+}
+
+impl AlertOp {
+    fn holds(self, value: f64, threshold: f64) -> bool {
+        match self {
+            AlertOp::Gt => value > threshold,
+            AlertOp::Ge => value >= threshold,
+            AlertOp::Lt => value < threshold,
+            AlertOp::Le => value <= threshold,
+        }
+    }
+
+    fn symbol(self) -> &'static str {
+        match self {
+            AlertOp::Gt => ">",
+            AlertOp::Ge => ">=",
+            AlertOp::Lt => "<",
+            AlertOp::Le => "<=",
+        }
+    }
+}
+
+/// `metric op threshold` sustained for `window` consecutive ticks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRule {
+    /// Unique rule name (also the alert's identity).
+    pub name: String,
+    /// Metric selector: a counter/gauge name, or `histogram:stat`.
+    pub metric: String,
+    pub op: AlertOp,
+    pub threshold: f64,
+    /// Consecutive breaching ticks required before firing (≥ 1).
+    pub window: u32,
+}
+
+/// `numerator/denominator > max_ratio` sustained for `window` ticks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurnRateRule {
+    pub name: String,
+    /// Counter selector for the bad events (e.g. `engine.query.error`).
+    pub numerator: String,
+    /// Counter selector for all events (e.g. `engine.queries`). A zero
+    /// denominator in a window reads as ratio 0 (no traffic, no burn).
+    pub denominator: String,
+    pub max_ratio: f64,
+    pub window: u32,
+}
+
+/// One fired alert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    pub rule: String,
+    pub metric: String,
+    /// The offending value in the breaching window.
+    pub value: f64,
+    pub threshold: f64,
+    /// Evaluation tick (1-based) at which the rule fired.
+    pub tick: u64,
+    pub message: String,
+}
+
+/// Resolve a metric selector against a snapshot (typically a window
+/// diff). Counters win over gauges on a name collision; histogram
+/// stats are addressed with a `:stat` suffix.
+pub fn metric_value(snap: &MetricsSnapshot, selector: &str) -> f64 {
+    if let Some((name, stat)) = selector.rsplit_once(':') {
+        if let Some(h) = snap.histograms.get(name) {
+            return match stat {
+                "count" => h.count as f64,
+                "sum" => h.sum as f64,
+                "mean" => h.mean(),
+                "p50" => h.p50() as f64,
+                "p95" => h.p95() as f64,
+                "p99" => h.p99() as f64,
+                "max" => h.max as f64,
+                _ => 0.0,
+            };
+        }
+        return 0.0;
+    }
+    if let Some(v) = snap.counters.get(selector) {
+        return *v as f64;
+    }
+    snap.gauge(selector) as f64
+}
+
+#[derive(Default)]
+struct RuleState {
+    /// Consecutive breaching ticks so far.
+    streak: u32,
+    /// Fired and not yet recovered.
+    active: bool,
+}
+
+/// Evaluates rules against successive snapshots. Single-owner (wrap in
+/// a mutex to share); each [`AlertEngine::eval`] call is one tick.
+#[derive(Default)]
+pub struct AlertEngine {
+    rules: Vec<AlertRule>,
+    burn_rules: Vec<BurnRateRule>,
+    prev: Option<MetricsSnapshot>,
+    tick: u64,
+    state: BTreeMap<String, RuleState>,
+    history: Vec<Alert>,
+}
+
+/// Fired-alert history retained per engine.
+const HISTORY_CAP: usize = 256;
+
+impl AlertEngine {
+    pub fn new() -> AlertEngine {
+        AlertEngine::default()
+    }
+
+    pub fn add_rule(&mut self, rule: AlertRule) {
+        self.rules.push(rule);
+    }
+
+    pub fn add_burn_rate(&mut self, rule: BurnRateRule) {
+        self.burn_rules.push(rule);
+    }
+
+    /// The configured threshold rules.
+    pub fn rules(&self) -> &[AlertRule] {
+        &self.rules
+    }
+
+    /// Rules currently in breach (fired, not yet recovered).
+    pub fn active(&self) -> Vec<String> {
+        self.state
+            .iter()
+            .filter(|(_, s)| s.active)
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+
+    /// Every alert fired so far, oldest first (bounded).
+    pub fn history(&self) -> &[Alert] {
+        &self.history
+    }
+
+    /// One evaluation tick: diff against the previous snapshot,
+    /// evaluate every rule over the window, return newly fired alerts.
+    /// The first tick only establishes the baseline.
+    pub fn eval(&mut self, snap: &MetricsSnapshot) -> Vec<Alert> {
+        let Some(prev) = self.prev.replace(snap.clone()) else {
+            return Vec::new();
+        };
+        self.tick += 1;
+        let window = snap.diff(&prev);
+        let mut fired = Vec::new();
+
+        struct Outcome {
+            name: String,
+            metric: String,
+            value: f64,
+            threshold: f64,
+            breach: bool,
+            window: u32,
+            message: String,
+        }
+        let mut outcomes: Vec<Outcome> = Vec::new();
+        for r in &self.rules {
+            let value = metric_value(&window, &r.metric);
+            outcomes.push(Outcome {
+                name: r.name.clone(),
+                metric: r.metric.clone(),
+                value,
+                threshold: r.threshold,
+                breach: r.op.holds(value, r.threshold),
+                window: r.window,
+                message: format!(
+                    "{}: {} = {:.3} {} {:.3}",
+                    r.name,
+                    r.metric,
+                    value,
+                    r.op.symbol(),
+                    r.threshold
+                ),
+            });
+        }
+        for r in &self.burn_rules {
+            let num = metric_value(&window, &r.numerator);
+            let den = metric_value(&window, &r.denominator);
+            let ratio = if den > 0.0 { num / den } else { 0.0 };
+            outcomes.push(Outcome {
+                name: r.name.clone(),
+                metric: format!("{}/{}", r.numerator, r.denominator),
+                value: ratio,
+                threshold: r.max_ratio,
+                breach: ratio > r.max_ratio,
+                window: r.window,
+                message: format!(
+                    "{}: burn rate {}/{} = {:.4} > {:.4}",
+                    r.name, r.numerator, r.denominator, ratio, r.max_ratio
+                ),
+            });
+        }
+
+        for o in outcomes {
+            let state = self.state.entry(o.name.clone()).or_default();
+            if o.breach {
+                state.streak = state.streak.saturating_add(1);
+                if state.streak >= o.window.max(1) && !state.active {
+                    state.active = true;
+                    fired.push(Alert {
+                        rule: o.name,
+                        metric: o.metric,
+                        value: o.value,
+                        threshold: o.threshold,
+                        tick: self.tick,
+                        message: o.message,
+                    });
+                }
+            } else {
+                state.streak = 0;
+                state.active = false;
+            }
+        }
+        if self.history.len() + fired.len() > HISTORY_CAP {
+            let overflow = self.history.len() + fired.len() - HISTORY_CAP;
+            self.history.drain(..overflow.min(self.history.len()));
+        }
+        self.history.extend(fired.iter().cloned());
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    fn rule(window: u32) -> AlertRule {
+        AlertRule {
+            name: "err_spike".into(),
+            metric: "engine.query.error".into(),
+            op: AlertOp::Gt,
+            threshold: 0.0,
+            window,
+        }
+    }
+
+    #[test]
+    fn fires_once_per_sustained_breach_window() {
+        let reg = MetricsRegistry::new();
+        let mut eng = AlertEngine::new();
+        eng.add_rule(rule(2));
+
+        // Tick 0 establishes the baseline.
+        assert!(eng.eval(&reg.snapshot()).is_empty());
+
+        // Breach tick 1: streak 1 < window 2 — no fire yet.
+        reg.incr("engine.query.error", 1);
+        assert!(eng.eval(&reg.snapshot()).is_empty());
+        // Breach tick 2: fires exactly now.
+        reg.incr("engine.query.error", 1);
+        let fired = eng.eval(&reg.snapshot());
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].rule, "err_spike");
+        assert_eq!(eng.active(), vec!["err_spike".to_string()]);
+        // Breach tick 3: still breaching — does NOT fire again.
+        reg.incr("engine.query.error", 1);
+        assert!(eng.eval(&reg.snapshot()).is_empty());
+        // Clean tick: recovers.
+        assert!(eng.eval(&reg.snapshot()).is_empty());
+        assert!(eng.active().is_empty());
+        // A new sustained breach fires once more.
+        reg.incr("engine.query.error", 1);
+        assert!(eng.eval(&reg.snapshot()).is_empty());
+        reg.incr("engine.query.error", 1);
+        assert_eq!(eng.eval(&reg.snapshot()).len(), 1);
+        assert_eq!(eng.history().len(), 2);
+    }
+
+    #[test]
+    fn histogram_stat_selectors() {
+        let reg = MetricsRegistry::new();
+        for v in [10u64, 20, 4000] {
+            reg.observe("engine.query_us", v);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(metric_value(&snap, "engine.query_us:count"), 3.0);
+        assert_eq!(metric_value(&snap, "engine.query_us:sum"), 4030.0);
+        assert!(metric_value(&snap, "engine.query_us:p99") >= 2048.0);
+        assert_eq!(metric_value(&snap, "engine.query_us:nope"), 0.0);
+        assert_eq!(metric_value(&snap, "absent:count"), 0.0);
+    }
+
+    #[test]
+    fn burn_rate_over_window() {
+        let reg = MetricsRegistry::new();
+        let mut eng = AlertEngine::new();
+        eng.add_burn_rate(BurnRateRule {
+            name: "error_budget".into(),
+            numerator: "engine.query.error".into(),
+            denominator: "engine.queries".into(),
+            max_ratio: 0.1,
+            window: 1,
+        });
+        eng.eval(&reg.snapshot());
+
+        // 1 error / 10 queries = 10% — not over the 10% budget (strict >).
+        reg.incr("engine.queries", 10);
+        reg.incr("engine.query.error", 1);
+        assert!(eng.eval(&reg.snapshot()).is_empty());
+
+        // 5 errors / 10 queries — fires.
+        reg.incr("engine.queries", 10);
+        reg.incr("engine.query.error", 5);
+        let fired = eng.eval(&reg.snapshot());
+        assert_eq!(fired.len(), 1);
+        assert!((fired[0].value - 0.5).abs() < 1e-9);
+
+        // No traffic at all: ratio reads 0, alert recovers.
+        assert!(eng.eval(&reg.snapshot()).is_empty());
+        assert!(eng.active().is_empty());
+    }
+
+    #[test]
+    fn gauge_and_latency_rules() {
+        let reg = MetricsRegistry::new();
+        let mut eng = AlertEngine::new();
+        eng.add_rule(AlertRule {
+            name: "slow_p95".into(),
+            metric: "engine.query_us:p95".into(),
+            op: AlertOp::Ge,
+            threshold: 1000.0,
+            window: 1,
+        });
+        eng.eval(&reg.snapshot());
+        reg.observe("engine.query_us", 100_000);
+        let fired = eng.eval(&reg.snapshot());
+        assert_eq!(fired.len(), 1);
+        assert!(fired[0].message.contains("slow_p95"));
+    }
+}

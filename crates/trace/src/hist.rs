@@ -14,8 +14,9 @@ fn bucket_of(v: u64) -> usize {
     (u64::BITS - v.leading_zeros()).min(BUCKETS as u32 - 1) as usize
 }
 
-/// Upper bound of bucket `i` (inclusive).
-fn bucket_upper(i: usize) -> u64 {
+/// Upper bound of bucket `i` (inclusive). Public so exporters can
+/// reconstruct bucket boundaries (Prometheus `le` labels).
+pub fn bucket_upper(i: usize) -> u64 {
     if i == 0 {
         0
     } else if i >= BUCKETS - 1 {

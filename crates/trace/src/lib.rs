@@ -18,6 +18,17 @@
 //!   process-global instance ([`MetricsRegistry::global`]).
 //! * [`QueryLog`] — a bounded ring buffer of recent queries plus a
 //!   bounded capture of the slowest ones.
+//! * [`QueryCtx`] / [`TraceId`] — per-query correlation context,
+//!   propagated through a thread-local stack so adapters and the
+//!   cleaning pipeline tag their work with the query's trace id.
+//! * [`chrome_trace`] / [`query_log_jsonl`] / [`prometheus_text`] —
+//!   exporters into formats external tools read directly
+//!   (`about:tracing`/Perfetto, JSONL streams, Prometheus scrapes).
+//! * [`FlightRecorder`] — a bounded tail-sampling ring that retains
+//!   full evidence (span tree, plan, source calls) for slow, partial,
+//!   or failed queries only.
+//! * [`AlertEngine`] — declarative threshold and burn-rate rules
+//!   evaluated over snapshot diffs, firing once per sustained breach.
 //!
 //! Everything here is `std`-only (no external dependencies) so every
 //! crate in the workspace can depend on it without widening the
@@ -26,14 +37,24 @@
 //! the registry's name lookup is amortized by caching the returned
 //! `Arc` handles at call sites.
 
+pub mod alert;
+pub mod ctx;
+pub mod export;
+pub mod flight;
 pub mod hist;
 pub mod metrics;
+pub mod prom;
 pub mod querylog;
 pub mod span;
 
+pub use alert::{Alert, AlertEngine, AlertOp, AlertRule, BurnRateRule};
+pub use ctx::{CtxGuard, QueryCtx, SourceCall, TraceId};
+pub use export::{chrome_trace, json_escape, query_log_entry_json, query_log_jsonl};
+pub use flight::{FlightRecord, FlightRecorder};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
-pub use querylog::{QueryLog, QueryLogEntry};
+pub use prom::prometheus_text;
+pub use querylog::{QueryEvent, QueryLog, QueryLogEntry};
 pub use span::{SpanGuard, SpanView, Trace};
 
 use std::sync::{Mutex, MutexGuard};

@@ -61,13 +61,21 @@ impl MetricsRegistry {
             .unwrap_or(0)
     }
 
+    /// Handle to a max-gauge, created on first use. Hot paths (e.g.
+    /// the simulated-link publisher) look the gauge up once and
+    /// `fetch_max` on the handle.
+    pub fn gauge(&self, name: &str) -> Arc<AtomicU64> {
+        let mut gauges = lock(&self.gauges);
+        Arc::clone(
+            gauges
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
     /// Raise a max-gauge to at least `v` (e.g. high-water marks, sizes).
     pub fn gauge_max(&self, name: &str, v: u64) {
-        let mut gauges = lock(&self.gauges);
-        gauges
-            .entry(name.to_string())
-            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
-            .fetch_max(v, Ordering::Relaxed);
+        self.gauge(name).fetch_max(v, Ordering::Relaxed);
     }
 
     /// Handle to a histogram, created on first use.

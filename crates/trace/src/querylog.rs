@@ -16,6 +16,9 @@ use std::sync::Mutex;
 pub struct QueryLogEntry {
     /// Monotone admission number (a logical timestamp).
     pub seq: u64,
+    /// Correlation id shared with spans, flight records, and exports
+    /// (0 when the recorder had no query context).
+    pub trace_id: u64,
     /// Query text, truncated to [`QueryLog::MAX_TEXT`] characters.
     pub text: String,
     pub elapsed_ms: f64,
@@ -25,6 +28,22 @@ pub struct QueryLogEntry {
     pub complete: bool,
     /// Served from the whole-query result cache.
     pub from_cache: bool,
+    /// Error-kind string when the query failed outright (failed
+    /// queries are logged too — they are exactly the ones an operator
+    /// needs to find later).
+    pub error: Option<String>,
+}
+
+/// What [`QueryLog::record_event`] admits (the log assigns `seq`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryEvent {
+    pub trace_id: u64,
+    pub text: String,
+    pub elapsed_ms: f64,
+    pub tuples: usize,
+    pub complete: bool,
+    pub from_cache: bool,
+    pub error: Option<String>,
 }
 
 struct LogInner {
@@ -71,26 +90,42 @@ impl QueryLog {
         complete: bool,
         from_cache: bool,
     ) -> u64 {
-        let text: String = text.chars().take(Self::MAX_TEXT).collect();
+        self.record_event(QueryEvent {
+            trace_id: 0,
+            text: text.to_string(),
+            elapsed_ms,
+            tuples,
+            complete,
+            from_cache,
+            error: None,
+        })
+    }
+
+    /// Admit one finished (or failed) query with full correlation
+    /// detail; returns its sequence number.
+    pub fn record_event(&self, event: QueryEvent) -> u64 {
+        let text: String = event.text.chars().take(Self::MAX_TEXT).collect();
         let mut inner = lock(&self.inner);
         let seq = inner.next_seq;
         inner.next_seq += 1;
         let entry = QueryLogEntry {
             seq,
+            trace_id: event.trace_id,
             text,
-            elapsed_ms,
-            tuples,
-            complete,
-            from_cache,
+            elapsed_ms: event.elapsed_ms,
+            tuples: event.tuples,
+            complete: event.complete,
+            from_cache: event.from_cache,
+            error: event.error,
         };
         if inner.ring.len() == self.capacity {
             inner.ring.pop_front();
         }
         inner.ring.push_back(entry.clone());
-        if elapsed_ms >= self.slow_threshold_ms {
+        if event.elapsed_ms >= self.slow_threshold_ms {
             let at = inner
                 .slow
-                .partition_point(|e| e.elapsed_ms >= elapsed_ms);
+                .partition_point(|e| e.elapsed_ms >= event.elapsed_ms);
             inner.slow.insert(at, entry);
             inner.slow.truncate(self.slow_cap);
         }
@@ -159,6 +194,24 @@ mod tests {
         let slow = log.slow(10);
         let times: Vec<f64> = slow.iter().map(|e| e.elapsed_ms).collect();
         assert_eq!(times, vec![50.0, 40.0, 30.0]);
+    }
+
+    #[test]
+    fn failed_queries_carry_error_and_trace_id() {
+        let log = QueryLog::new(4, 4, f64::INFINITY);
+        log.record_event(QueryEvent {
+            trace_id: 42,
+            text: "broken".into(),
+            elapsed_ms: 0.3,
+            tuples: 0,
+            complete: false,
+            from_cache: false,
+            error: Some("compile".into()),
+        });
+        let e = &log.recent(1)[0];
+        assert_eq!(e.trace_id, 42);
+        assert_eq!(e.error.as_deref(), Some("compile"));
+        assert!(!e.complete);
     }
 
     #[test]

@@ -14,6 +14,8 @@ use std::time::Instant;
 struct SpanRecord {
     name: String,
     parent: Option<usize>,
+    /// Offset from the trace's epoch at which the span began.
+    start_ms: f64,
     ms: f64,
     finished: bool,
 }
@@ -26,14 +28,21 @@ struct TraceInner {
 
 /// A per-query span tree.
 pub struct Trace {
+    /// Creation time; span start offsets are measured against it.
+    epoch: Instant,
     inner: Mutex<TraceInner>,
 }
 
-/// One rendered span: name, nesting depth, elapsed milliseconds.
+/// One rendered span: name, nesting depth, start offset from the
+/// trace's creation, and elapsed milliseconds.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanView {
     pub name: String,
     pub depth: usize,
+    /// Milliseconds between trace creation and the span opening (for
+    /// externally measured phases attached with [`Trace::add_ms`],
+    /// back-dated by their duration).
+    pub start_ms: f64,
     pub ms: f64,
 }
 
@@ -46,6 +55,7 @@ impl Default for Trace {
 impl Trace {
     pub fn new() -> Trace {
         Trace {
+            epoch: Instant::now(),
             inner: Mutex::new(TraceInner {
                 spans: Vec::new(),
                 stack: Vec::new(),
@@ -53,17 +63,24 @@ impl Trace {
         }
     }
 
+    /// Milliseconds since the trace was created.
+    fn now_ms(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e3
+    }
+
     /// Open a span; it closes (and records its duration) when the
     /// returned guard drops. Spans opened before this guard drops become
     /// its children.
     #[must_use = "the span records its duration when the guard drops"]
     pub fn span(&self, name: impl Into<String>) -> SpanGuard<'_> {
+        let start_ms = self.now_ms();
         let mut inner = lock(&self.inner);
         let parent = inner.stack.last().copied();
         let idx = inner.spans.len();
         inner.spans.push(SpanRecord {
             name: name.into(),
             parent,
+            start_ms,
             ms: 0.0,
             finished: false,
         });
@@ -78,11 +95,14 @@ impl Trace {
     /// Attach an already-measured phase as a completed child of the
     /// innermost open span (or as a root span if none is open).
     pub fn add_ms(&self, name: impl Into<String>, ms: f64) {
+        // The phase just finished; back-date its start by its duration.
+        let start_ms = (self.now_ms() - ms).max(0.0);
         let mut inner = lock(&self.inner);
         let parent = inner.stack.last().copied();
         inner.spans.push(SpanRecord {
             name: name.into(),
             parent,
+            start_ms,
             ms,
             finished: true,
         });
@@ -117,6 +137,7 @@ impl Trace {
                 SpanView {
                     name: s.name.clone(),
                     depth,
+                    start_ms: s.start_ms,
                     ms: s.ms,
                 }
             })
@@ -174,8 +195,10 @@ mod tests {
         );
         // The pre-measured child kept its externally supplied duration.
         assert!((r[3].ms - 1.5).abs() < 1e-9);
-        // Real spans recorded non-negative wall time.
-        assert!(r.iter().all(|v| v.ms >= 0.0));
+        // Real spans recorded non-negative wall time and start offsets,
+        // and children never start before their trace's root.
+        assert!(r.iter().all(|v| v.ms >= 0.0 && v.start_ms >= 0.0));
+        assert!(r[1].start_ms >= r[0].start_ms);
     }
 
     #[test]

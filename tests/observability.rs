@@ -8,6 +8,8 @@ use nimble::core::{Catalog, DispatchStrategy, Engine, EngineCluster, EngineConfi
 use nimble::frontend::ManagementConsole;
 use nimble::sources::csv::CsvAdapter;
 use nimble::sources::relational::RelationalAdapter;
+use nimble::sources::sim::{LinkConfig, SimulatedLink};
+use nimble::trace::{chrome_trace, MetricsRegistry, TraceId};
 use nimble::xml::Value;
 use std::sync::Arc;
 
@@ -183,5 +185,196 @@ fn console_and_cluster_aggregate_metrics() {
     let merged = cluster.metrics_snapshot();
     assert_eq!(merged.counter("engine.queries"), 4);
     assert_eq!(merged.histograms["engine.query_us"].count, 4);
+    cluster.shutdown();
+}
+
+/// Catalog whose "pricing" source sits behind a [`SimulatedLink`], so
+/// tests can take it down or charge latency.
+fn linked_catalog() -> (Arc<Catalog>, Arc<SimulatedLink>) {
+    let c = Catalog::new();
+    c.register_source(Arc::new(
+        RelationalAdapter::from_statements(
+            "erp",
+            &[
+                "CREATE TABLE products (sku INT, pname TEXT, price FLOAT)",
+                "INSERT INTO products VALUES \
+                 (100, 'widget', 9.5), (200, 'gadget', 120.0), (300, 'gizmo', 45.0)",
+            ],
+        )
+        .unwrap(),
+    ))
+    .unwrap();
+    let csv = Arc::new(
+        CsvAdapter::new("pricing")
+            .add_csv("discounts", "sku,pct\n100,10\n200,5\n300,25\n")
+            .unwrap(),
+    );
+    let link = SimulatedLink::new(csv, LinkConfig { latency_ms: 2, ..LinkConfig::default() });
+    let adapter: Arc<dyn nimble::sources::SourceAdapter> = link.clone();
+    c.register_source(adapter).unwrap();
+    (Arc::new(c), link)
+}
+
+#[test]
+fn chrome_trace_export_is_valid_json_and_matches_phases() {
+    let engine = Engine::new(catalog());
+    let r = engine.query_profiled(JOIN_QUERY).unwrap();
+    assert!(r.stats.trace_id > 0);
+    assert!(!r.stats.spans.is_empty());
+
+    let json = chrome_trace(&r.stats.spans, TraceId(r.stats.trace_id), engine.instance());
+    let parsed: serde_json::Value =
+        serde_json::from_str(&json).expect("chrome export must be valid JSON");
+    let events = parsed["traceEvents"].as_array().unwrap();
+    // One complete ("X") event per span, every one tagged with the
+    // query's trace id and this engine's instance name.
+    assert_eq!(events.len(), r.stats.spans.len());
+    let tid = TraceId(r.stats.trace_id).to_string();
+    for ev in events {
+        assert_eq!(ev["ph"], "X", "event: {}", ev);
+        assert!(ev["ts"].as_f64().unwrap() >= 0.0);
+        assert!(ev["dur"].as_f64().unwrap() >= 0.0);
+        assert_eq!(ev["args"]["trace_id"], tid.as_str());
+        assert_eq!(ev["args"]["instance"], engine.instance());
+    }
+    // Every phase the stats report appears as an event whose duration
+    // (µs) is the phase timing (ms) the profile reported.
+    for (phase, ms) in &r.stats.phases {
+        let ev = events
+            .iter()
+            .find(|e| e["name"] == phase.as_str())
+            .unwrap_or_else(|| panic!("no event for phase {}", phase));
+        let dur_us = ev["dur"].as_f64().unwrap();
+        assert!(
+            (dur_us - ms * 1e3).abs() < 1e-6,
+            "{}: dur {}us vs phase {}ms",
+            phase,
+            dur_us,
+            ms
+        );
+    }
+    // The query log carries the same trace id, so the export, the log
+    // line, and the stats all correlate.
+    let recent = engine.query_log().recent(1);
+    assert_eq!(recent[0].trace_id, r.stats.trace_id);
+}
+
+#[test]
+fn failed_queries_are_flight_recorded_with_error_kind() {
+    let (catalog, link) = linked_catalog();
+    let engine = Engine::with_config(catalog, EngineConfig::default());
+    link.set_up(false);
+    let err = engine.query(JOIN_QUERY).unwrap_err();
+    let msg = format!("{}", err);
+    assert!(msg.contains("pricing"), "error: {}", msg);
+
+    // Satellite: the failure is counted under the error-kind metric...
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.counter("engine.query.error"), 1);
+    assert_eq!(snap.counter("engine.query.error.source"), 1);
+
+    // ...logged with the error-kind string and the query's trace id...
+    let recent = engine.query_log().recent(1);
+    let entry = &recent[0];
+    let log_err = entry.error.clone().expect("log entry records the error");
+    assert!(log_err.starts_with("source:"), "log error: {}", log_err);
+
+    // ...and flight-recorded even though it failed fast.
+    assert_eq!(engine.flight_recorder().len(), 1);
+    let dump = engine.flight_recorder().dump();
+    let rec: serde_json::Value =
+        serde_json::from_str(dump.lines().next().unwrap()).expect("dump line is JSON");
+    assert_eq!(rec["trace_id"], TraceId(entry.trace_id).to_string().as_str());
+    assert_eq!(rec["complete"], false);
+    assert!(rec["error"].as_str().unwrap().starts_with("source:"));
+    // The refused link call is attributed to the query, so the dump
+    // alone explains which source sank it.
+    let calls = rec["source_calls"].as_array().unwrap();
+    assert!(
+        calls.iter().any(|c| c["source"] == "pricing" && c["ok"] == false),
+        "calls: {:?}",
+        calls
+    );
+}
+
+#[test]
+fn slow_queries_keep_full_evidence_for_offline_reconstruction() {
+    // slow_query_ms = 0 makes every query "slow", so the keep decision
+    // fires without wall-clock games.
+    let config = EngineConfig { slow_query_ms: 0.0, ..EngineConfig::default() };
+    let engine = Engine::with_config(catalog(), config);
+    let r = engine.query(JOIN_QUERY).unwrap();
+
+    let records = engine.flight_recorder().records();
+    assert_eq!(records.len(), 1);
+    let rec = &records[0];
+    assert_eq!(rec.trace_id, TraceId(r.stats.trace_id));
+    assert_eq!(rec.instance, engine.instance());
+    assert_eq!(rec.tuples, r.stats.tuples);
+    assert!(rec.complete);
+    // Full evidence rides along even though profiling was off: the
+    // plan, the span tree, and every adapter call with row counts.
+    assert!(rec.plan.contains("["), "plan: {}", rec.plan);
+    assert!(rec.spans.iter().any(|s| s.name == "execute"));
+    assert!(rec.source_calls.iter().any(|c| c.source == "erp" && c.ok && c.rows > 0));
+    assert!(rec.source_calls.iter().any(|c| c.source == "pricing" && c.ok));
+
+    // The dump round-trips as JSONL with the same correlates.
+    let dump = engine.flight_recorder().dump();
+    let parsed: serde_json::Value =
+        serde_json::from_str(dump.lines().next().unwrap()).unwrap();
+    assert_eq!(parsed["trace_id"], rec.trace_id.to_string().as_str());
+    assert!(!parsed["plan"].as_str().unwrap().is_empty());
+    assert_eq!(parsed["spans"].as_array().unwrap().len(), rec.spans.len());
+    assert_eq!(
+        parsed["source_calls"].as_array().unwrap().len(),
+        rec.source_calls.len()
+    );
+    // And the query log agrees on the trace id.
+    assert_eq!(engine.query_log().recent(1)[0].trace_id, r.stats.trace_id);
+}
+
+#[test]
+fn link_stats_surface_as_gauges() {
+    let (catalog, link) = linked_catalog();
+    let engine = Engine::with_config(catalog, EngineConfig::default());
+    engine.query(JOIN_QUERY).unwrap();
+    link.set_up(false);
+    engine.query(JOIN_QUERY).unwrap_err();
+
+    let stats = link.stats();
+    assert!(stats.calls >= 2);
+    assert_eq!(stats.failures, 1);
+
+    // Explicit publication into a registry of the caller's choosing.
+    link.publish_stats(engine.metrics());
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.gauge("link.calls.pricing"), stats.calls);
+    assert_eq!(snap.gauge("link.failures.pricing"), stats.failures);
+    assert_eq!(snap.gauge("link.charged_latency_ms.pricing"), stats.charged_latency_ms);
+
+    // The link also mirrors its counters into the process-global
+    // registry as they change (shared across tests, hence >=).
+    let global = MetricsRegistry::global().snapshot();
+    assert!(global.gauge("link.calls.pricing") >= stats.calls);
+    assert!(global.gauge("link.failures.pricing") >= stats.failures);
+}
+
+#[test]
+fn cluster_merges_flight_records_in_start_order() {
+    let config = EngineConfig { slow_query_ms: 0.0, ..EngineConfig::default() };
+    let cluster = EngineCluster::new(catalog(), 2, 1, config, DispatchStrategy::RoundRobin);
+    for _ in 0..4 {
+        cluster.query(JOIN_QUERY).unwrap();
+    }
+    let records = cluster.flight_records();
+    assert_eq!(records.len(), 4);
+    // Trace ids are minted from one process-wide counter, so the merged
+    // view is in admission order...
+    assert!(records.windows(2).all(|w| w[0].trace_id < w[1].trace_id));
+    // ...and each record names the instance that served it.
+    let instances: std::collections::BTreeSet<&str> =
+        records.iter().map(|r| r.instance.as_str()).collect();
+    assert_eq!(instances.len(), 2, "round-robin spread over both engines");
     cluster.shutdown();
 }

@@ -1,0 +1,76 @@
+#!/bin/bash
+# Offline build+drive harness: compiles the workspace with plain rustc,
+# using std-only stubs for external deps, for containers with no cargo
+# registry access. Outputs land under target/manual/. See
+# .claude/skills/verify/SKILL.md ("No-network containers").
+set -u
+cd "$(dirname "$0")/../.."
+OUT=target/manual/opt
+TESTS=target/manual/tests
+mkdir -p "$OUT" "$TESTS"
+M=tools/offline_verify
+
+R() { # R <name> <src> [externs...]
+  local name=$1 src=$2; shift 2
+  local ext=()
+  for e in "$@"; do ext+=(--extern "$e=$OUT/lib$e.rlib"); done
+  if ! rustc -O --edition 2021 -L "$OUT" --crate-type rlib --crate-name "$name" "$src" "${ext[@]}" --out-dir "$OUT" 2>"$OUT/$name.err"; then
+    echo "FAIL rlib $name"; grep -E "^error" "$OUT/$name.err" | head -8; exit 1
+  fi
+  echo "ok rlib $name"
+}
+
+T() { # T <name> <src> [externs...]  (debug build => plan verify on)
+  local name=$1 src=$2; shift 2
+  local ext=()
+  for e in "$@"; do ext+=(--extern "$e=$OUT/lib$e.rlib"); done
+  if ! rustc --edition 2021 -L "$OUT" --test --crate-name "${name}_t" "$src" "${ext[@]}" -o "$TESTS/${name}_t" 2>"$TESTS/$name.err"; then
+    echo "FAIL test-build $name"; grep -E "^error" "$TESTS/$name.err" | head -8; exit 1
+  fi
+  echo "ok test-build $name"
+}
+
+B() { # B <name> <src> [externs...]  (optimized binary)
+  local name=$1 src=$2; shift 2
+  local ext=()
+  for e in "$@"; do ext+=(--extern "$e=$OUT/lib$e.rlib"); done
+  if ! rustc -O --edition 2021 -L "$OUT" --crate-name "$name" "$src" "${ext[@]}" -o "$TESTS/$name" 2>"$TESTS/$name.err"; then
+    echo "FAIL bin $name"; grep -E "^error" "$TESTS/$name.err" | head -8; exit 1
+  fi
+  echo "ok bin $name"
+}
+
+R nimble_xml crates/xml/src/lib.rs
+R nimble_trace crates/trace/src/lib.rs
+R nimble_algebra crates/algebra/src/lib.rs nimble_xml
+R nimble_xmlql crates/xmlql/src/lib.rs nimble_xml
+R nimble_relational crates/relational/src/lib.rs nimble_xml
+R nimble_planck crates/planck/src/lib.rs nimble_algebra
+R parking_lot $M/stubs/parking_lot.rs
+R crossbeam $M/stubs/crossbeam.rs
+R rand $M/stubs/rand.rs
+R serde_json $M/serde_json_stub.rs
+R nimble_sources crates/sources/src/lib.rs nimble_xml nimble_relational parking_lot rand nimble_trace
+R nimble_store crates/store/src/lib.rs nimble_xml parking_lot nimble_trace
+R nimble_core crates/core/src/lib.rs nimble_xml nimble_xmlql nimble_algebra nimble_planck nimble_sources nimble_store parking_lot crossbeam nimble_trace
+R cleaning_shim $M/cleaning_shim.rs nimble_trace
+R frontend_shim $M/frontend_shim.rs nimble_core nimble_store nimble_trace parking_lot nimble_xml nimble_sources
+R nimble $M/nimble_shim.rs nimble_xml nimble_xmlql nimble_algebra nimble_relational nimble_sources nimble_store nimble_core nimble_trace frontend_shim
+R nimble_bench crates/bench/src/lib.rs nimble_core nimble_sources nimble_trace serde_json
+
+T trace crates/trace/src/lib.rs
+T sources crates/sources/src/lib.rs nimble_xml nimble_relational parking_lot rand nimble_trace
+T store crates/store/src/lib.rs nimble_xml parking_lot nimble_trace
+T core crates/core/src/lib.rs nimble_xml nimble_xmlql nimble_algebra nimble_planck nimble_sources nimble_store parking_lot crossbeam nimble_trace
+T cleaning $M/cleaning_shim.rs nimble_trace
+T frontend $M/frontend_shim.rs nimble_core nimble_store nimble_trace parking_lot nimble_xml nimble_sources
+T algebra crates/algebra/src/lib.rs nimble_xml
+T bench crates/bench/src/lib.rs nimble_core nimble_sources nimble_trace serde_json
+T observability tests/observability.rs nimble serde_json
+
+B exp_observability crates/bench/src/bin/exp_observability.rs nimble_bench nimble_core nimble_trace serde_json
+B quickstart examples/quickstart.rs nimble
+B web_portal examples/web_portal.rs nimble
+B legacy_navigator examples/legacy_navigator.rs nimble
+B probe $M/consumer_probe.rs nimble_core nimble_sources nimble_algebra nimble_planck nimble_trace
+echo "ALL BUILDS OK"

@@ -1,0 +1,105 @@
+// External-consumer probe: only public APIs, hostile inputs, expect
+// structured errors and zero panics.
+use nimble_core::{Catalog, CoreError, Engine};
+use nimble_sources::relational::RelationalAdapter;
+use std::sync::Arc;
+
+fn main() {
+    pr3_probe::run();
+    let stmts = [
+        "CREATE TABLE customers (id INT, name TEXT, region TEXT)",
+        "INSERT INTO customers VALUES (1, 'ada', 'NW')",
+    ];
+    let cat = Catalog::new();
+    cat.register_source(Arc::new(RelationalAdapter::from_statements("erp", &stmts).unwrap())).unwrap();
+    let engine = Engine::new(Arc::new(cat));
+
+    let hostile: &[(&str, &str)] = &[
+        ("syntax", "WHERE <row"),
+        ("no patterns", "WHERE 1 = 1 CONSTRUCT <o/>"),
+        ("unknown collection", r#"WHERE <row><id>$i</id></row> IN "nope" CONSTRUCT <o>$i</o>"#),
+        ("unbound var", r#"WHERE <row><id>$i</id></row> IN "customers" CONSTRUCT <o>$zzz</o>"#),
+        ("dup binding", r#"WHERE <row><id>$x</id><name>$x</name></row> IN "customers" CONSTRUCT <o>$x</o>"#),
+        ("source var bound later", r#"WHERE <i>$x</i> IN $o, <order/> ELEMENT_AS $o IN "customers" CONSTRUCT <r/>"#),
+        ("empty", ""),
+        ("garbage", "\u{0}\u{1}<<<$$$"),
+    ];
+    for (label, q) in hostile {
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.query(q)));
+        match res {
+            Ok(Err(e)) => {
+                println!("{:<22} -> CoreError: {}", label, e);
+                let _: &CoreError = &e; // structured, typed
+            }
+            Ok(Ok(_)) => panic!("{}: hostile query unexpectedly succeeded", label),
+            Err(_) => panic!("{}: PANICKED — must be a structured error", label),
+        }
+    }
+
+    // A well-formed query still works and EXPLAIN carries a plan.
+    let r = engine.query(r#"WHERE <row><id>$i</id><name>$n</name></row> IN "customers" CONSTRUCT <hit><n>$n</n></hit> ORDER-BY $n"#).unwrap();
+    assert!(r.complete && r.stats.plan.contains("Sort"), "plan: {}", r.stats.plan);
+    println!("well-formed query OK; EXPLAIN plan:\n{}", r.stats.plan);
+
+    // The planck verifier itself, driven as a consumer: a hand-built
+    // malformed tree must be rejected with operator + variable named.
+    use nimble_algebra::expr::{CmpOp, ScalarExpr};
+    use nimble_algebra::ops::{FilterOp, ValuesOp};
+    use nimble_algebra::{FunctionRegistry, Schema};
+    let src = ValuesOp::new(Schema::new(vec!["a".into()]), vec![]);
+    let broken = FilterOp::new(
+        Box::new(src),
+        ScalarExpr::cmp(CmpOp::Eq, ScalarExpr::Col(7), ScalarExpr::lit(1i64)),
+        Arc::new(FunctionRegistry::default()),
+    );
+    match nimble_planck::verify(&broken) {
+        Err(report) => println!("planck rejects broken tree: {}", report),
+        Ok(()) => panic!("planck accepted an unbound column"),
+    }
+}
+
+// PR 3 surface: a downed SimulatedLink must yield a structured error,
+// an error-kind metric, and a flight record correlated with the query
+// log by trace id — all through public APIs only.
+mod pr3_probe {
+    use nimble_core::{Catalog, Engine, EngineConfig};
+    use nimble_sources::relational::RelationalAdapter;
+    use nimble_sources::sim::{LinkConfig, SimulatedLink};
+    use nimble_trace::TraceId;
+    use std::sync::Arc;
+
+    pub fn run() {
+        let stmts = [
+            "CREATE TABLE customers (id INT, name TEXT)",
+            "INSERT INTO customers VALUES (1, 'ada')",
+        ];
+        let inner =
+            Arc::new(RelationalAdapter::from_statements("erp", &stmts).unwrap());
+        let link = SimulatedLink::new(inner, LinkConfig::default());
+        let cat = Catalog::new();
+        let adapter: Arc<dyn nimble_sources::SourceAdapter> = link.clone();
+        cat.register_source(adapter).unwrap();
+        let engine = Engine::with_config(Arc::new(cat), EngineConfig::default());
+        link.set_up(false);
+        let q = r#"WHERE <row><id>$i</id></row> IN "customers" CONSTRUCT <o>$i</o>"#;
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.query(q)
+        }));
+        let e = match err {
+            Ok(Err(e)) => e,
+            Ok(Ok(_)) => panic!("downed link query unexpectedly succeeded"),
+            Err(_) => panic!("downed link PANICKED — must be structured"),
+        };
+        println!("downed link           -> CoreError: {}", e);
+        let snap = engine.metrics_snapshot();
+        assert_eq!(snap.counter("engine.query.error"), 1);
+        assert_eq!(snap.counter("engine.query.error.source"), 1);
+        let entry = &engine.query_log().recent(1)[0];
+        assert!(entry.error.as_deref().unwrap().starts_with("source:"));
+        let dump = engine.flight_recorder().dump();
+        let tid = TraceId(entry.trace_id).to_string();
+        assert!(dump.contains(&tid), "dump must carry the log's trace id");
+        assert!(dump.contains("source_calls"));
+        println!("flight record correlated under {}", tid);
+    }
+}

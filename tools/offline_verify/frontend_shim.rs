@@ -1,0 +1,18 @@
+//! Typecheck shim: frontend minus admin.rs (which needs nimble_cleaning,
+//! unbuildable here because of serde derive).
+#[path = "../../crates/frontend/src/auth.rs"]
+pub mod auth;
+#[path = "../../crates/frontend/src/format.rs"]
+pub mod format;
+#[path = "../../crates/frontend/src/lens.rs"]
+pub mod lens;
+#[path = "../../crates/frontend/src/management.rs"]
+pub mod management;
+#[path = "../../crates/frontend/src/monitor.rs"]
+pub mod monitor;
+
+pub use auth::{AuthError, Directory, Role, User};
+pub use format::{Device, Template};
+pub use lens::{Lens, LensError, LensRegistry, ParamDef};
+pub use management::ManagementConsole;
+pub use monitor::SystemMonitor;

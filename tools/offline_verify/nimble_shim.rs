@@ -1,0 +1,11 @@
+//! Umbrella shim: like src/lib.rs but with the frontend shim standing in
+//! for nimble_frontend (cleaning can't build offline).
+pub use frontend_shim as frontend;
+pub use nimble_algebra as algebra;
+pub use nimble_core as core;
+pub use nimble_relational as relational;
+pub use nimble_sources as sources;
+pub use nimble_store as store;
+pub use nimble_trace as trace;
+pub use nimble_xml as xml;
+pub use nimble_xmlql as xmlql;

@@ -1,0 +1,82 @@
+//! Typecheck/test stub for the crossbeam APIs this workspace uses.
+//! `thread::scope` runs spawned closures EAGERLY (sequential, same
+//! thread); `channel` is a real MPMC channel. Local harness only.
+pub mod thread {
+    use std::any::Any;
+    use std::marker::PhantomData;
+    pub struct Scope<'env>(PhantomData<&'env ()>);
+    pub struct ScopedJoinHandle<'scope, T>(T, PhantomData<&'scope ()>);
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> { Ok(self.0) }
+    }
+    impl<'env> Scope<'env> {
+        pub fn spawn<'scope, F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+        where F: FnOnce(&Scope<'env>) -> T + Send + 'env, T: Send + 'env {
+            ScopedJoinHandle(f(self), PhantomData)
+        }
+    }
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where F: FnOnce(&Scope<'env>) -> R {
+        Ok(f(&Scope(PhantomData)))
+    }
+}
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    pub struct SendError<T>(pub T);
+    #[derive(Debug)]
+    pub struct RecvError;
+    struct Chan<T> { q: Mutex<State<T>>, cv: Condvar }
+    struct State<T> { q: VecDeque<T>, senders: usize, receivers: usize }
+    pub struct Sender<T>(Arc<Chan<T>>);
+    pub struct Receiver<T>(Arc<Chan<T>>);
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            q: Mutex::new(State { q: VecDeque::new(), senders: 1, receivers: 1 }),
+            cv: Condvar::new(),
+        });
+        (Sender(Arc::clone(&chan)), Receiver(chan))
+    }
+    impl<T> Sender<T> {
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            let mut s = self.0.q.lock().unwrap();
+            if s.receivers == 0 { return Err(SendError(t)); }
+            s.q.push_back(t);
+            self.0.cv.notify_all();
+            Ok(())
+        }
+    }
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.q.lock().unwrap().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            self.0.q.lock().unwrap().senders -= 1;
+            self.0.cv.notify_all();
+        }
+    }
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut s = self.0.q.lock().unwrap();
+            loop {
+                if let Some(t) = s.q.pop_front() { return Ok(t); }
+                if s.senders == 0 { return Err(RecvError); }
+                s = self.0.cv.wait(s).unwrap();
+            }
+        }
+    }
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.q.lock().unwrap().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.q.lock().unwrap().receivers -= 1;
+        }
+    }
+}
