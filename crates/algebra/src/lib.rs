@@ -54,6 +54,7 @@ pub mod expr;
 pub mod funcs;
 pub mod inspect;
 pub mod ops;
+pub(crate) mod par;
 pub mod schema;
 
 pub use error::ExecError;
@@ -72,6 +73,29 @@ pub fn run_to_vec(op: &mut dyn Operator) -> Result<Vec<Tuple>, ExecError> {
     }
     op.close();
     Ok(out)
+}
+
+/// Drain an operator through [`Operator::next_batch`] in batches of
+/// `batch_size` tuples (open → next_batch* → close). Returns the tuples
+/// plus the number of batch calls that produced rows — the engine feeds
+/// that into its `engine.exec.batches` counter.
+pub fn run_to_vec_batched(
+    op: &mut dyn Operator,
+    batch_size: usize,
+) -> Result<(Vec<Tuple>, u64), ExecError> {
+    let batch_size = batch_size.max(1);
+    op.open()?;
+    let mut out = Vec::new();
+    let mut batches = 0u64;
+    loop {
+        let n = op.next_batch(&mut out, batch_size)?;
+        if n == 0 {
+            break;
+        }
+        batches += 1;
+    }
+    op.close();
+    Ok((out, batches))
 }
 
 /// Render an operator tree as an indented EXPLAIN listing with row counts

@@ -14,6 +14,7 @@ pub struct FilterOp {
     predicate: ScalarExpr,
     funcs: Arc<FunctionRegistry>,
     rows_out: u64,
+    scratch: Vec<Tuple>,
 }
 
 impl FilterOp {
@@ -23,6 +24,7 @@ impl FilterOp {
             predicate,
             funcs,
             rows_out: 0,
+            scratch: Vec::new(),
         }
     }
 }
@@ -47,8 +49,30 @@ impl Operator for FilterOp {
         Ok(None)
     }
 
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<usize, ExecError> {
+        // One batch pull from the child per batch of survivors keeps the
+        // child's dispatch amortized even under selective predicates.
+        let mut appended = 0;
+        while appended < max {
+            self.scratch.clear();
+            let pulled = self.child.next_batch(&mut self.scratch, max - appended)?;
+            if pulled == 0 {
+                break;
+            }
+            for t in self.scratch.drain(..) {
+                if self.predicate.eval_bool(&t, &self.funcs)? {
+                    out.push(t);
+                    appended += 1;
+                }
+            }
+        }
+        self.rows_out += appended as u64;
+        Ok(appended)
+    }
+
     fn close(&mut self) {
         self.child.close();
+        self.scratch = Vec::new();
     }
 
     fn describe(&self) -> String {

@@ -181,19 +181,26 @@ impl Operator for GroupAggOp {
         // key → (first-seen index, representative group values, agg states)
         let mut groups: HashMap<String, (usize, Vec<Value>, Vec<AggState>)> = HashMap::new();
         let mut order = 0usize;
-        while let Some(t) = self.child.next()? {
-            let key = self.group_key(&t);
-            let entry = groups.entry(key).or_insert_with(|| {
-                let reps = self.group_cols.iter().map(|&c| t[c].clone()).collect();
-                let states = self.aggs.iter().map(|a| AggState::new(a.func)).collect();
-                let e = (order, reps, states);
-                order += 1;
-                e
-            });
-            for (spec, state) in self.aggs.iter().zip(entry.2.iter_mut()) {
-                // COUNT(*) ignores its (absent) input; the other
-                // functions skip updates when no input column is given.
-                state.update(spec.input.map(|c| &t[c]))?;
+        let mut batch = Vec::new();
+        loop {
+            batch.clear();
+            if self.child.next_batch(&mut batch, super::DEFAULT_BATCH_SIZE)? == 0 {
+                break;
+            }
+            for t in &batch {
+                let key = self.group_key(t);
+                let entry = groups.entry(key).or_insert_with(|| {
+                    let reps = self.group_cols.iter().map(|&c| t[c].clone()).collect();
+                    let states = self.aggs.iter().map(|a| AggState::new(a.func)).collect();
+                    let e = (order, reps, states);
+                    order += 1;
+                    e
+                });
+                for (spec, state) in self.aggs.iter().zip(entry.2.iter_mut()) {
+                    // COUNT(*) ignores its (absent) input; the other
+                    // functions skip updates when no input column is given.
+                    state.update(spec.input.map(|c| &t[c]))?;
+                }
             }
         }
         self.child.close();
@@ -220,6 +227,14 @@ impl Operator for GroupAggOp {
         } else {
             Ok(None)
         }
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<usize, ExecError> {
+        let n = max.min(self.results.len().saturating_sub(self.cursor));
+        out.extend_from_slice(&self.results[self.cursor..self.cursor + n]);
+        self.cursor += n;
+        self.rows_out += n as u64;
+        Ok(n)
     }
 
     fn close(&mut self) {

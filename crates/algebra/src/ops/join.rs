@@ -9,6 +9,7 @@ use crate::error::ExecError;
 use crate::expr::ScalarExpr;
 use crate::funcs::FunctionRegistry;
 use crate::inspect::{OpInfo, SchemaRule};
+use crate::par;
 use crate::schema::{Schema, Tuple};
 use nimble_xml::Value;
 use std::collections::HashMap;
@@ -177,6 +178,21 @@ pub struct HashJoinOp {
     pending: Vec<Tuple>,
     pending_cursor: usize,
     rows_out: u64,
+    vectorized: bool,
+    parallel: bool,
+    /// Vectorized build side: tuples stored once, hash table maps key →
+    /// row indices into this vector (no per-bucket tuple clones).
+    build_rows: Vec<Tuple>,
+    table_idx: HashMap<String, Vec<u32>>,
+    /// Typed single-column index: used instead of `table_idx` when every
+    /// build key is in [`numeric_key`]'s numeric class, skipping string
+    /// rendering on both build and probe.
+    typed_idx: HashMap<u64, Vec<u32>>,
+    typed: bool,
+    /// Reusable probe-key buffer (vectorized probe allocates no String
+    /// per input row).
+    key_buf: String,
+    scratch: Vec<Tuple>,
 }
 
 /// Hash-join keys are rendered to a canonical string so cross-type equal
@@ -186,26 +202,34 @@ pub struct HashJoinOp {
 /// larger integers render exactly so distinct i64 keys beyond 2^53 never
 /// conflate.
 fn key_string(tuple: &Tuple, cols: &[usize]) -> String {
+    let mut out = String::new();
+    key_string_into(&mut out, tuple, cols);
+    out
+}
+
+/// Same canonicalization as [`key_string`], appending into a caller-owned
+/// buffer so batch probes reuse one allocation across rows.
+fn key_string_into(out: &mut String, tuple: &Tuple, cols: &[usize]) {
+    use std::fmt::Write;
     fn push_num(out: &mut String, f: f64) {
-        out.push_str(&format!("n{}", f));
+        let _ = write!(out, "n{}", f);
     }
     fn push_int(out: &mut String, i: i64) {
         if (i as f64) as i64 == i {
             push_num(out, i as f64);
         } else {
-            out.push_str(&format!("ix{}", i));
+            let _ = write!(out, "ix{}", i);
         }
     }
-    let mut out = String::new();
     for &c in cols {
         let a = tuple[c].atomize();
         match a {
-            nimble_xml::Atomic::Int(i) => push_int(&mut out, i),
-            nimble_xml::Atomic::Float(f) => push_num(&mut out, f),
+            nimble_xml::Atomic::Int(i) => push_int(out, i),
+            nimble_xml::Atomic::Float(f) => push_num(out, f),
             nimble_xml::Atomic::Str(s) => match s.trim().parse::<i64>() {
-                Ok(i) => push_int(&mut out, i),
+                Ok(i) => push_int(out, i),
                 Err(_) => match s.trim().parse::<f64>() {
-                    Ok(f) => push_num(&mut out, f),
+                    Ok(f) => push_num(out, f),
                     Err(_) => {
                         out.push('s');
                         out.push_str(&s);
@@ -217,7 +241,42 @@ fn key_string(tuple: &Tuple, cols: &[usize]) -> String {
         }
         out.push('\u{1}');
     }
-    out
+}
+
+/// Typed fast-path key for single-column joins: `Some(bits)` exactly
+/// when [`key_string_into`] would emit its numeric (`n{f}`) class for
+/// this value, with `bits` partitioning values identically to the
+/// formatted strings (all NaNs collapse to one key; `-0.0` stays
+/// distinct from `0.0`, matching their `Display` forms). Values outside
+/// the numeric class — huge ints, non-numeric strings, bools, nulls —
+/// return `None` and can never equal a numeric-class key.
+fn numeric_key(v: &Value) -> Option<u64> {
+    fn bits(f: f64) -> u64 {
+        if f.is_nan() {
+            f64::NAN.to_bits()
+        } else {
+            f.to_bits()
+        }
+    }
+    fn int_bits(i: i64) -> Option<u64> {
+        if (i as f64) as i64 == i {
+            Some(bits(i as f64))
+        } else {
+            None
+        }
+    }
+    match v.atomize() {
+        nimble_xml::Atomic::Int(i) => int_bits(i),
+        nimble_xml::Atomic::Float(f) => Some(bits(f)),
+        nimble_xml::Atomic::Str(s) => {
+            let t = s.trim();
+            match t.parse::<i64>() {
+                Ok(i) => int_bits(i),
+                Err(_) => t.parse::<f64>().ok().map(bits),
+            }
+        }
+        _ => None,
+    }
 }
 
 impl HashJoinOp {
@@ -241,7 +300,26 @@ impl HashJoinOp {
             pending: Vec::new(),
             pending_cursor: 0,
             rows_out: 0,
+            vectorized: false,
+            parallel: false,
+            build_rows: Vec::new(),
+            table_idx: HashMap::new(),
+            typed_idx: HashMap::new(),
+            typed: false,
+            key_buf: String::new(),
+            scratch: Vec::new(),
         }
+    }
+
+    /// Switch to the vectorized kernel: batch build ingest, an
+    /// index-based hash table (build tuples stored once, buckets hold
+    /// row indices), and batch probe with a reused key buffer.
+    /// `parallel` additionally extracts build keys on scoped threads for
+    /// large build sides.
+    pub fn vectorized(mut self, parallel: bool) -> Self {
+        self.vectorized = true;
+        self.parallel = parallel;
+        self
     }
 
     /// Build a hash join on the variables shared by both inputs.
@@ -275,10 +353,60 @@ impl Operator for HashJoinOp {
     fn open(&mut self) -> Result<(), ExecError> {
         self.rows_out = 0;
         self.table.clear();
+        self.build_rows.clear();
+        self.table_idx.clear();
+        self.typed_idx.clear();
+        self.typed = false;
         self.right.open()?;
-        while let Some(t) = self.right.next()? {
-            let k = key_string(&t, &self.right_keys);
-            self.table.entry(k).or_default().push(t);
+        if self.vectorized {
+            while self
+                .right
+                .next_batch(&mut self.build_rows, super::DEFAULT_BATCH_SIZE)?
+                > 0
+            {}
+            // Single-column keys first try the typed index: no string
+            // rendering unless some build value falls outside the
+            // numeric class.
+            if let [col] = self.right_keys[..] {
+                let extract = |_base: usize, chunk: &[Tuple]| -> Vec<Option<u64>> {
+                    chunk.iter().map(|t| numeric_key(&t[col])).collect()
+                };
+                let keys = if self.parallel {
+                    par::par_chunks(&self.build_rows, extract)
+                } else {
+                    None
+                }
+                .unwrap_or_else(|| extract(0, &self.build_rows));
+                if keys.iter().all(Option::is_some) {
+                    self.typed = true;
+                    self.typed_idx.reserve(keys.len());
+                    for (i, k) in keys.into_iter().enumerate() {
+                        if let Some(k) = k {
+                            self.typed_idx.entry(k).or_default().push(i as u32);
+                        }
+                    }
+                }
+            }
+            if !self.typed {
+                let right_keys = &self.right_keys;
+                let extract = |_base: usize, chunk: &[Tuple]| -> Vec<String> {
+                    chunk.iter().map(|t| key_string(t, right_keys)).collect()
+                };
+                let keys = if self.parallel {
+                    par::par_chunks(&self.build_rows, extract)
+                } else {
+                    None
+                }
+                .unwrap_or_else(|| extract(0, &self.build_rows));
+                for (i, k) in keys.into_iter().enumerate() {
+                    self.table_idx.entry(k).or_default().push(i as u32);
+                }
+            }
+        } else {
+            while let Some(t) = self.right.next()? {
+                let k = key_string(&t, &self.right_keys);
+                self.table.entry(k).or_default().push(t);
+            }
         }
         self.right.close();
         self.left.open()?;
@@ -298,22 +426,51 @@ impl Operator for HashJoinOp {
             match self.left.next()? {
                 None => return Ok(None),
                 Some(left) => {
-                    let k = key_string(&left, &self.left_keys);
                     self.pending.clear();
                     self.pending_cursor = 0;
-                    match self.table.get(&k) {
-                        Some(matches) => {
-                            for m in matches {
-                                self.pending.push(concat_tuples(&left, m));
+                    if self.vectorized {
+                        let idxs = if self.typed {
+                            numeric_key(&left[self.left_keys[0]])
+                                .and_then(|k| self.typed_idx.get(&k))
+                        } else {
+                            let k = key_string(&left, &self.left_keys);
+                            self.table_idx.get(&k)
+                        };
+                        match idxs {
+                            Some(idxs) => {
+                                for &i in idxs {
+                                    self.pending
+                                        .push(concat_tuples(&left, &self.build_rows[i as usize]));
+                                }
+                            }
+                            None => {
+                                if self.join_type == JoinType::LeftOuter {
+                                    let mut padded = left.clone();
+                                    padded.extend(std::iter::repeat_n(
+                                        Value::null(),
+                                        self.right.schema().len(),
+                                    ));
+                                    self.pending.push(padded);
+                                }
                             }
                         }
-                        None => {
-                            if self.join_type == JoinType::LeftOuter {
-                                let mut padded = left.clone();
-                                padded.extend(
-                                    std::iter::repeat_n(Value::null(), self.right.schema().len()),
-                                );
-                                self.pending.push(padded);
+                    } else {
+                        let k = key_string(&left, &self.left_keys);
+                        match self.table.get(&k) {
+                            Some(matches) => {
+                                for m in matches {
+                                    self.pending.push(concat_tuples(&left, m));
+                                }
+                            }
+                            None => {
+                                if self.join_type == JoinType::LeftOuter {
+                                    let mut padded = left.clone();
+                                    padded.extend(std::iter::repeat_n(
+                                        Value::null(),
+                                        self.right.schema().len(),
+                                    ));
+                                    self.pending.push(padded);
+                                }
                             }
                         }
                     }
@@ -322,10 +479,81 @@ impl Operator for HashJoinOp {
         }
     }
 
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<usize, ExecError> {
+        if !self.vectorized {
+            // Scalar-mode structure is the seed per-row loop.
+            let mut appended = 0;
+            while appended < max {
+                match self.next()? {
+                    Some(t) => {
+                        out.push(t);
+                        appended += 1;
+                    }
+                    None => break,
+                }
+            }
+            return Ok(appended);
+        }
+        let mut appended = 0;
+        // Drain pending left over from interleaved `next()` calls.
+        while self.pending_cursor < self.pending.len() && appended < max {
+            out.push(self.pending[self.pending_cursor].clone());
+            self.pending_cursor += 1;
+            appended += 1;
+        }
+        let right_width = self.right.schema().len();
+        while appended < max {
+            self.scratch.clear();
+            let pulled = self.left.next_batch(&mut self.scratch, max - appended)?;
+            if pulled == 0 {
+                break;
+            }
+            for mut left in self.scratch.drain(..) {
+                let idxs = if self.typed {
+                    numeric_key(&left[self.left_keys[0]]).and_then(|k| self.typed_idx.get(&k))
+                } else {
+                    self.key_buf.clear();
+                    key_string_into(&mut self.key_buf, &left, &self.left_keys);
+                    self.table_idx.get(&self.key_buf)
+                };
+                match idxs {
+                    Some(idxs) => {
+                        // Clone the probe tuple for all matches but the
+                        // last, which takes ownership (one probe row's
+                        // fan-out may overshoot `max`).
+                        appended += idxs.len();
+                        let (last, init) = match idxs.split_last() {
+                            Some(p) => p,
+                            None => continue, // buckets are never empty
+                        };
+                        for &i in init {
+                            out.push(concat_tuples(&left, &self.build_rows[i as usize]));
+                        }
+                        left.reserve(right_width);
+                        left.extend(self.build_rows[*last as usize].iter().cloned());
+                        out.push(left);
+                    }
+                    None => {
+                        if self.join_type == JoinType::LeftOuter {
+                            left.extend(std::iter::repeat_n(Value::null(), right_width));
+                            out.push(left);
+                            appended += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.rows_out += appended as u64;
+        Ok(appended)
+    }
+
     fn close(&mut self) {
         self.left.close();
         self.table.clear();
         self.pending.clear();
+        self.build_rows.clear();
+        self.table_idx.clear();
+        self.scratch = Vec::new();
     }
 
     fn describe(&self) -> String {
@@ -674,5 +902,131 @@ mod tests {
         use crate::ops::ValuesOp;
         let mut op = HashJoinOp::new(Box::new(left), Box::new(right), vec![0], vec![0], JoinType::Inner);
         assert_eq!(run_to_vec(&mut op).unwrap().len(), 2);
+    }
+
+    /// Every execution mode of the same join over the same inputs.
+    fn join_all_modes(
+        left_rows: Vec<Tuple>,
+        right_rows: Vec<Tuple>,
+        join_type: JoinType,
+    ) -> Vec<Vec<Tuple>> {
+        use crate::ops::ValuesOp;
+        let mut out = Vec::new();
+        for mode in 0..3 {
+            let left = ValuesOp::new(Schema::new(vec!["k".into()]), left_rows.clone());
+            let right = ValuesOp::new(Schema::new(vec!["k2".into()]), right_rows.clone());
+            let mut join =
+                HashJoinOp::new(Box::new(left), Box::new(right), vec![0], vec![0], join_type);
+            out.push(match mode {
+                0 => run_to_vec(&mut join).unwrap(),
+                1 => {
+                    let mut join = join.vectorized(false);
+                    crate::run_to_vec_batched(&mut join, 4).unwrap().0
+                }
+                _ => {
+                    let mut join = join.vectorized(true);
+                    crate::run_to_vec_batched(&mut join, 4).unwrap().0
+                }
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn vectorized_typed_keys_match_scalar_coercion() {
+        use nimble_xml::{Atomic, Value};
+        // All-numeric build side → typed index; probe side mixes every
+        // coercion class that can reach a numeric key.
+        let right_rows: Vec<Tuple> = vec![
+            vec![Value::Atomic(Atomic::Int(5))],
+            vec![Value::Atomic(Atomic::Float(2.5))],
+            vec![Value::Atomic(Atomic::Str(" 7 ".into()))],
+        ];
+        let left_rows: Vec<Tuple> = vec![
+            vec![Value::Atomic(Atomic::Str("5".into()))],
+            vec![Value::Atomic(Atomic::Float(5.0))],
+            vec![Value::Atomic(Atomic::Str("2.5".into()))],
+            vec![Value::Atomic(Atomic::Int(7))],
+            vec![Value::Atomic(Atomic::Str("none".into()))],
+            vec![Value::null()],
+        ];
+        let [scalar, batch, parallel] =
+            join_all_modes(left_rows, right_rows, JoinType::Inner).try_into().unwrap();
+        assert_eq!(scalar.len(), 4);
+        assert_eq!(scalar, batch);
+        assert_eq!(scalar, parallel);
+    }
+
+    #[test]
+    fn vectorized_falls_back_when_build_keys_not_numeric() {
+        use nimble_xml::{Atomic, Value};
+        // A single non-numeric build key forces the string index; all
+        // modes still agree (including null-key and bool-key rows).
+        let right_rows: Vec<Tuple> = vec![
+            vec![Value::Atomic(Atomic::Int(1))],
+            vec![Value::Atomic(Atomic::Str("ada".into()))],
+            vec![Value::Atomic(Atomic::Bool(true))],
+            vec![Value::null()],
+        ];
+        let left_rows: Vec<Tuple> = vec![
+            vec![Value::Atomic(Atomic::Str("ada".into()))],
+            vec![Value::Atomic(Atomic::Int(1))],
+            vec![Value::Atomic(Atomic::Bool(true))],
+            vec![Value::null()],
+            vec![Value::Atomic(Atomic::Str("bob".into()))],
+        ];
+        let [scalar, batch, parallel] =
+            join_all_modes(left_rows, right_rows, JoinType::LeftOuter).try_into().unwrap();
+        assert_eq!(scalar.len(), 5);
+        assert_eq!(scalar, batch);
+        assert_eq!(scalar, parallel);
+    }
+
+    #[test]
+    fn vectorized_typed_huge_ints_fall_back_exactly() {
+        use nimble_xml::{Atomic, Value};
+        // 2^53 is representable (the typed index accepts the build) but
+        // 2^53 + 1 is not: the typed probe must report it unmatched
+        // rather than rounding it onto 2^53.
+        let big = 1i64 << 53;
+        let right_rows: Vec<Tuple> = vec![
+            vec![Value::Atomic(Atomic::Int(big))],
+            vec![Value::Atomic(Atomic::Int(3))],
+        ];
+        let left_rows: Vec<Tuple> = vec![
+            vec![Value::Atomic(Atomic::Int(big + 1))],
+            vec![Value::Atomic(Atomic::Int(big))],
+            vec![Value::Atomic(Atomic::Int(3))],
+        ];
+        let [scalar, batch, parallel] =
+            join_all_modes(left_rows, right_rows, JoinType::Inner).try_into().unwrap();
+        assert_eq!(scalar.len(), 2);
+        assert_eq!(scalar, batch);
+        assert_eq!(scalar, parallel);
+    }
+
+    #[test]
+    fn drain_scan_feeds_vectorized_join_once() {
+        use crate::ops::ValuesOp;
+        use nimble_xml::Value;
+        // Drain-mode scans move tuples into the join; results match the
+        // cloning scan, and a drained scan replays empty by contract.
+        let rows: Vec<Tuple> = (0..10).map(|i| vec![Value::from(i as i64)]).collect();
+        let left = ValuesOp::new(Schema::new(vec!["k".into()]), rows.clone()).drain_on_batch();
+        let right = ValuesOp::new(Schema::new(vec!["k2".into()]), rows.clone()).drain_on_batch();
+        let mut join = HashJoinOp::new(
+            Box::new(left),
+            Box::new(right),
+            vec![0],
+            vec![0],
+            JoinType::Inner,
+        )
+        .vectorized(false);
+        assert_eq!(run_to_vec(&mut join).unwrap().len(), 10);
+
+        let mut drained =
+            ValuesOp::new(Schema::new(vec!["k".into()]), rows).drain_on_batch();
+        assert_eq!(run_to_vec(&mut drained).unwrap().len(), 10);
+        assert_eq!(run_to_vec(&mut drained).unwrap().len(), 0);
     }
 }

@@ -55,6 +55,35 @@ impl Operator for LimitOp {
         Ok(None)
     }
 
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<usize, ExecError> {
+        let mut appended = 0;
+        let mut buf = Vec::new();
+        while appended < max && self.emitted < self.limit {
+            buf.clear();
+            let want = if self.seen < self.offset {
+                (self.offset - self.seen).min(super::DEFAULT_BATCH_SIZE)
+            } else {
+                (max - appended).min(self.limit - self.emitted)
+            };
+            let pulled = self.child.next_batch(&mut buf, want)?;
+            if pulled == 0 {
+                break;
+            }
+            // Per-tuple accounting: a fanning-out child may overshoot
+            // `want`, and the offset boundary can fall inside a batch.
+            for t in buf.drain(..) {
+                self.seen += 1;
+                if self.seen > self.offset && self.emitted < self.limit {
+                    out.push(t);
+                    self.emitted += 1;
+                    appended += 1;
+                }
+            }
+        }
+        self.rows_out += appended as u64;
+        Ok(appended)
+    }
+
     fn close(&mut self) {
         self.child.close();
     }

@@ -85,6 +85,19 @@ impl Operator for MeteredOp {
         result
     }
 
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<usize, ExecError> {
+        // Forward to the inner operator's batch kernel (the default
+        // trait impl would loop *our* `next`, silently de-vectorizing
+        // every profiled plan). Batch time is accounted under `next_ns`.
+        let start = Instant::now();
+        let result = self.inner.next_batch(out, max);
+        self.next_ns += elapsed_ns(start);
+        if let Ok(n) = &result {
+            self.rows += *n as u64;
+        }
+        result
+    }
+
     fn close(&mut self) {
         self.inner.close();
     }

@@ -1,9 +1,18 @@
-//! Physical operators (Volcano-style pull iterators).
+//! Physical operators (Volcano-style pull iterators with a vectorized
+//! batch interface).
 //!
 //! Every operator implements [`Operator`]: `open` prepares state, `next`
 //! yields one tuple, `close` releases resources. Operators own their
 //! children as boxed trait objects; plans are trees built by the
 //! mediator's planner.
+//!
+//! On top of the tuple-at-a-time contract sits [`Operator::next_batch`]:
+//! consumers that can process many tuples per call (the engine's join
+//! run, materializing parents like sorts and hash builds) pull batches
+//! of ~[`DEFAULT_BATCH_SIZE`] tuples and pay one virtual dispatch per
+//! batch instead of one per row. The default implementation loops
+//! `next`, so third-party / opaque operators participate unchanged; the
+//! hot built-ins override it with batch-native kernels.
 
 mod filter;
 mod group;
@@ -31,6 +40,11 @@ use crate::error::ExecError;
 use crate::inspect::OpInfo;
 use crate::schema::{Schema, Tuple};
 
+/// Default number of tuples moved per `next_batch` call. Chosen so a
+/// batch of small tuples stays cache-resident while amortizing the
+/// per-call virtual dispatch to noise.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
 /// The physical-operator interface.
 pub trait Operator: Send {
     /// Output schema (variable names per column).
@@ -39,6 +53,31 @@ pub trait Operator: Send {
     fn open(&mut self) -> Result<(), ExecError>;
     /// Produce the next tuple, or `None` at end of stream.
     fn next(&mut self) -> Result<Option<Tuple>, ExecError>;
+    /// Append up to `max` tuples to `out`, returning how many were
+    /// appended. `Ok(0)` means end of stream (callers must not retry).
+    ///
+    /// Contract notes:
+    /// - `max` is a *hint*: batch-native operators whose unit of work
+    ///   fans out (one probe row matching many build rows) may append a
+    ///   few more than `max` rather than buffer the remainder.
+    /// - The default implementation loops [`Operator::next`], so opaque
+    ///   / third-party operators participate in batched pipelines
+    ///   unchanged, just without the batch speedup.
+    /// - Mixing `next` and `next_batch` on one open operator is
+    ///   allowed; both draw from the same stream position.
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<usize, ExecError> {
+        let mut appended = 0;
+        while appended < max {
+            match self.next()? {
+                Some(t) => {
+                    out.push(t);
+                    appended += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(appended)
+    }
     /// Release resources. Idempotent.
     fn close(&mut self);
     /// One-line description for EXPLAIN output.

@@ -24,6 +24,7 @@ pub struct NavigateOp {
     pending: Vec<Tuple>,
     pending_cursor: usize,
     rows_out: u64,
+    scratch: Vec<Tuple>,
 }
 
 impl NavigateOp {
@@ -44,6 +45,7 @@ impl NavigateOp {
             pending: Vec::new(),
             pending_cursor: 0,
             rows_out: 0,
+            scratch: Vec::new(),
         }
     }
 }
@@ -95,9 +97,58 @@ impl Operator for NavigateOp {
         }
     }
 
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<usize, ExecError> {
+        let mut appended = 0;
+        // Drain anything a previous `next()` call left pending first.
+        while self.pending_cursor < self.pending.len() && appended < max {
+            out.push(self.pending[self.pending_cursor].clone());
+            self.pending_cursor += 1;
+            appended += 1;
+        }
+        while appended < max {
+            self.scratch.clear();
+            let pulled = self.child.next_batch(&mut self.scratch, max - appended)?;
+            if pulled == 0 {
+                break;
+            }
+            for mut t in self.scratch.drain(..) {
+                let mut results = match &t[self.input_col] {
+                    Value::Node(n) => self.path.eval(n),
+                    _ => Vec::new(),
+                };
+                // Clone the input tuple for all matches but the last,
+                // which takes ownership (may overshoot `max`: one input
+                // row's fan-out is never split across batches).
+                match results.pop() {
+                    None => {
+                        if self.keep_empty {
+                            t.push(Value::null());
+                            out.push(t);
+                            appended += 1;
+                        }
+                    }
+                    Some(last) => {
+                        appended += results.len() + 1;
+                        for r in results {
+                            let mut row = Vec::with_capacity(t.len() + 1);
+                            row.extend_from_slice(&t);
+                            row.push(r);
+                            out.push(row);
+                        }
+                        t.push(last);
+                        out.push(t);
+                    }
+                }
+            }
+        }
+        self.rows_out += appended as u64;
+        Ok(appended)
+    }
+
     fn close(&mut self) {
         self.child.close();
         self.pending.clear();
+        self.scratch = Vec::new();
     }
 
     fn describe(&self) -> String {

@@ -16,6 +16,23 @@ pub struct ProjectOp {
     schema: Schema,
     funcs: Arc<FunctionRegistry>,
     rows_out: u64,
+    /// When every output column is a plain `Col` reference with distinct
+    /// indices, the source columns can be *moved* out of owned input
+    /// tuples instead of cloned. `None` when any column is computed or
+    /// a column is referenced twice.
+    move_plan: Option<Vec<usize>>,
+    scratch: Vec<Tuple>,
+}
+
+fn move_plan_of(exprs: &[ScalarExpr]) -> Option<Vec<usize>> {
+    let mut cols = Vec::with_capacity(exprs.len());
+    for e in exprs {
+        match e {
+            ScalarExpr::Col(i) if !cols.contains(i) => cols.push(*i),
+            _ => return None,
+        }
+    }
+    Some(cols)
 }
 
 impl ProjectOp {
@@ -27,12 +44,15 @@ impl ProjectOp {
         funcs: Arc<FunctionRegistry>,
     ) -> Self {
         let (names, exprs): (Vec<String>, Vec<ScalarExpr>) = columns.into_iter().unzip();
+        let move_plan = move_plan_of(&exprs);
         ProjectOp {
             child,
             exprs,
             schema: Schema::new(names),
             funcs,
             rows_out: 0,
+            move_plan,
+            scratch: Vec::new(),
         }
     }
 
@@ -76,8 +96,42 @@ impl Operator for ProjectOp {
         }
     }
 
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<usize, ExecError> {
+        let mut appended = 0;
+        while appended < max {
+            self.scratch.clear();
+            let pulled = self.child.next_batch(&mut self.scratch, max - appended)?;
+            if pulled == 0 {
+                break;
+            }
+            if let Some(cols) = &self.move_plan {
+                // Pure column selection over owned tuples: move the
+                // values instead of cloning them.
+                for mut t in self.scratch.drain(..) {
+                    let mut row = Vec::with_capacity(cols.len());
+                    for &i in cols {
+                        row.push(std::mem::replace(&mut t[i], nimble_xml::Value::null()));
+                    }
+                    out.push(row);
+                }
+            } else {
+                for t in self.scratch.drain(..) {
+                    let mut row = Vec::with_capacity(self.exprs.len());
+                    for e in &self.exprs {
+                        row.push(e.eval(&t, &self.funcs)?);
+                    }
+                    out.push(row);
+                }
+            }
+            appended += pulled;
+        }
+        self.rows_out += appended as u64;
+        Ok(appended)
+    }
+
     fn close(&mut self) {
         self.child.close();
+        self.scratch = Vec::new();
     }
 
     fn describe(&self) -> String {

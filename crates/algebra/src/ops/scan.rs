@@ -12,6 +12,7 @@ pub struct ValuesOp {
     cursor: usize,
     rows_out: u64,
     label: String,
+    drain: bool,
 }
 
 impl ValuesOp {
@@ -22,12 +23,24 @@ impl ValuesOp {
             cursor: 0,
             rows_out: 0,
             label: "Values".to_string(),
+            drain: false,
         }
     }
 
     /// Attach a display label (e.g. the source collection name).
     pub fn labeled(mut self, label: impl Into<String>) -> Self {
         self.label = label.into();
+        self
+    }
+
+    /// Single-pass mode: emitted tuples are **moved** out instead of
+    /// cloned, so a scan feeding one consumer pays no per-tuple clone.
+    /// Trades away replayability — reopening after any tuple was emitted
+    /// yields an empty scan (a fresh `ValuesOp` replays; see
+    /// `values_replayable`). The engine sets this on scans it drives
+    /// exactly once per query.
+    pub fn drain_on_batch(mut self) -> Self {
+        self.drain = true;
         self
     }
 }
@@ -38,6 +51,12 @@ impl Operator for ValuesOp {
     }
 
     fn open(&mut self) -> Result<(), ExecError> {
+        if self.drain && self.cursor > 0 {
+            // Tuples already handed out were moved, not cloned; a
+            // replayed drain scan is defined to be empty rather than
+            // yielding husks.
+            self.tuples.clear();
+        }
         self.cursor = 0;
         self.rows_out = 0;
         Ok(())
@@ -45,13 +64,33 @@ impl Operator for ValuesOp {
 
     fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
         if self.cursor < self.tuples.len() {
-            let t = self.tuples[self.cursor].clone();
+            let t = if self.drain {
+                std::mem::take(&mut self.tuples[self.cursor])
+            } else {
+                self.tuples[self.cursor].clone()
+            };
             self.cursor += 1;
             self.rows_out += 1;
             Ok(Some(t))
         } else {
             Ok(None)
         }
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<usize, ExecError> {
+        let n = max.min(self.tuples.len().saturating_sub(self.cursor));
+        if self.drain {
+            out.extend(
+                self.tuples[self.cursor..self.cursor + n]
+                    .iter_mut()
+                    .map(std::mem::take),
+            );
+        } else {
+            out.extend_from_slice(&self.tuples[self.cursor..self.cursor + n]);
+        }
+        self.cursor += n;
+        self.rows_out += n as u64;
+        Ok(n)
     }
 
     fn close(&mut self) {}
@@ -126,6 +165,14 @@ impl Operator for LazySourceOp {
         } else {
             Ok(None)
         }
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<usize, ExecError> {
+        let n = max.min(self.buffered.len().saturating_sub(self.cursor));
+        out.extend_from_slice(&self.buffered[self.cursor..self.cursor + n]);
+        self.cursor += n;
+        self.rows_out += n as u64;
+        Ok(n)
     }
 
     fn close(&mut self) {

@@ -64,6 +64,20 @@ impl Operator for UnionOp {
         Ok(None)
     }
 
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<usize, ExecError> {
+        let mut appended = 0;
+        while appended < max && self.current < self.children.len() {
+            let pulled = self.children[self.current].next_batch(out, max - appended)?;
+            if pulled == 0 {
+                self.current += 1;
+            } else {
+                appended += pulled;
+            }
+        }
+        self.rows_out += appended as u64;
+        Ok(appended)
+    }
+
     fn close(&mut self) {
         for c in &mut self.children {
             c.close();
@@ -93,6 +107,7 @@ pub struct DistinctOp {
     child: BoxedOp,
     seen: HashSet<String>,
     rows_out: u64,
+    scratch: Vec<Tuple>,
 }
 
 impl DistinctOp {
@@ -101,6 +116,7 @@ impl DistinctOp {
             child,
             seen: HashSet::new(),
             rows_out: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -135,9 +151,29 @@ impl Operator for DistinctOp {
         Ok(None)
     }
 
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<usize, ExecError> {
+        let mut appended = 0;
+        while appended < max {
+            self.scratch.clear();
+            let pulled = self.child.next_batch(&mut self.scratch, max - appended)?;
+            if pulled == 0 {
+                break;
+            }
+            for t in self.scratch.drain(..) {
+                if self.seen.insert(Self::key(&t)) {
+                    out.push(t);
+                    appended += 1;
+                }
+            }
+        }
+        self.rows_out += appended as u64;
+        Ok(appended)
+    }
+
     fn close(&mut self) {
         self.child.close();
         self.seen.clear();
+        self.scratch = Vec::new();
     }
 
     fn describe(&self) -> String {

@@ -3,7 +3,9 @@
 use super::{BoxedOp, Operator};
 use crate::error::ExecError;
 use crate::inspect::{OpInfo, OrderEffect, SchemaRule};
+use crate::par;
 use crate::schema::{Schema, Tuple};
+use nimble_xml::{Atomic, Value};
 use std::cmp::Ordering;
 
 /// One sort key: a column and a direction.
@@ -22,6 +24,8 @@ pub struct SortOp {
     buffer: Vec<Tuple>,
     cursor: usize,
     rows_out: u64,
+    vectorized: bool,
+    parallel: bool,
 }
 
 impl SortOp {
@@ -32,7 +36,89 @@ impl SortOp {
             buffer: Vec::new(),
             cursor: 0,
             rows_out: 0,
+            vectorized: false,
+            parallel: false,
         }
+    }
+
+    /// Switch to the vectorized kernel: batch ingest plus a cached-key
+    /// `sort_unstable` (with index tiebreak, so ordering stays stable).
+    /// `parallel` additionally extracts sort keys on scoped threads for
+    /// large inputs.
+    pub fn vectorized(mut self, parallel: bool) -> Self {
+        self.vectorized = true;
+        self.parallel = parallel;
+        self
+    }
+
+    /// Seed comparator: full `Value::total_cmp` per comparison, stable.
+    fn sort_scalar(&mut self) {
+        let keys = self.keys.clone();
+        self.buffer.sort_by(|a, b| {
+            for k in &keys {
+                let ord = a[k.column].total_cmp(&b[k.column]);
+                let ord = if k.descending { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+
+    /// Cached-key sort: atomize every key column once, then
+    /// `sort_unstable` over `(keys, input index)` so each comparison is
+    /// an `Atomic::total_cmp` instead of a fresh atomization.
+    ///
+    /// Only exact when every key value is `Value::Atomic`: node-node
+    /// comparisons tiebreak on document order and lists compare
+    /// element-wise, neither of which survives atomization — those
+    /// inputs take the scalar comparator.
+    fn sort_vectorized(&mut self) {
+        let all_atomic = self.buffer.iter().all(|t| {
+            self.keys
+                .iter()
+                .all(|k| matches!(t[k.column], Value::Atomic(_)))
+        });
+        if !all_atomic {
+            self.sort_scalar();
+            return;
+        }
+        let keys = &self.keys;
+        let extract = |base: usize, chunk: &[Tuple]| -> Vec<(Vec<Atomic>, usize)> {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    (
+                        keys.iter().map(|k| t[k.column].atomize()).collect(),
+                        base + i,
+                    )
+                })
+                .collect()
+        };
+        let mut keyed = if self.parallel {
+            par::par_chunks(&self.buffer, extract)
+        } else {
+            None
+        }
+        .unwrap_or_else(|| extract(0, &self.buffer));
+        let dirs: Vec<bool> = keys.iter().map(|k| k.descending).collect();
+        keyed.sort_unstable_by(|(ka, ia), (kb, ib)| {
+            for ((a, b), desc) in ka.iter().zip(kb.iter()).zip(&dirs) {
+                let ord = a.total_cmp(b);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            ia.cmp(ib)
+        });
+        let mut sorted = Vec::with_capacity(self.buffer.len());
+        for (_, i) in keyed {
+            sorted.push(std::mem::take(&mut self.buffer[i]));
+        }
+        self.buffer = sorted;
     }
 }
 
@@ -45,21 +131,23 @@ impl Operator for SortOp {
         self.rows_out = 0;
         self.child.open()?;
         self.buffer.clear();
-        while let Some(t) = self.child.next()? {
-            self.buffer.push(t);
+        if self.vectorized {
+            while self
+                .child
+                .next_batch(&mut self.buffer, super::DEFAULT_BATCH_SIZE)?
+                > 0
+            {}
+        } else {
+            while let Some(t) = self.child.next()? {
+                self.buffer.push(t);
+            }
         }
         self.child.close();
-        let keys = self.keys.clone();
-        self.buffer.sort_by(|a, b| {
-            for k in &keys {
-                let ord = a[k.column].total_cmp(&b[k.column]);
-                let ord = if k.descending { ord.reverse() } else { ord };
-                if ord != Ordering::Equal {
-                    return ord;
-                }
-            }
-            Ordering::Equal
-        });
+        if self.vectorized {
+            self.sort_vectorized();
+        } else {
+            self.sort_scalar();
+        }
         self.cursor = 0;
         Ok(())
     }
@@ -73,6 +161,14 @@ impl Operator for SortOp {
         } else {
             Ok(None)
         }
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<Tuple>, max: usize) -> Result<usize, ExecError> {
+        let n = max.min(self.buffer.len().saturating_sub(self.cursor));
+        out.extend_from_slice(&self.buffer[self.cursor..self.cursor + n]);
+        self.cursor += n;
+        self.rows_out += n as u64;
+        Ok(n)
     }
 
     fn close(&mut self) {

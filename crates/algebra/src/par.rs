@@ -1,0 +1,102 @@
+//! Scoped-thread parallelism for batch kernels (hash-join build key
+//! extraction, sort-key extraction).
+//!
+//! Deliberately tiny: fixed fork/join over chunks of a slice using
+//! `std::thread::scope`, no pools, no work stealing. Callers always keep
+//! a serial path — [`par_chunks`] returns `None` below the profitability
+//! threshold, when only one core is available, or if a worker panicked,
+//! and the caller falls back to the serial kernel.
+
+use std::thread;
+
+/// Inputs smaller than this are not worth a fork/join round trip.
+pub(crate) const PAR_THRESHOLD: usize = 2048;
+
+/// Upper bound on workers — the kernels parallelized here are
+/// memory-bound string/key extraction, which stops scaling early.
+const MAX_WORKERS: usize = 8;
+
+/// Worker count for this machine (1 when parallelism is unavailable).
+pub(crate) fn workers() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_WORKERS)
+}
+
+/// Map `f` over equal chunks of `items` on scoped threads, concatenating
+/// the per-chunk outputs in input order. `f` receives the chunk's base
+/// index into `items` plus the chunk itself.
+///
+/// Returns `None` when the input is too small, fewer than two workers
+/// are available, or any worker panicked — callers must then run their
+/// serial kernel instead (which will surface a deterministic panic or
+/// error if the input itself is at fault).
+pub(crate) fn par_chunks<T, R, F>(items: &[T], f: F) -> Option<Vec<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> Vec<R> + Sync,
+{
+    let workers = workers();
+    if items.len() < PAR_THRESHOLD || workers < 2 {
+        return None;
+    }
+    let chunk = items.len().div_ceil(workers);
+    let f = &f;
+    thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, c)| s.spawn(move || f(i * chunk, c)))
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(_) => return None,
+            }
+        }
+        Some(out)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_inputs_decline() {
+        let items: Vec<u32> = (0..100).collect();
+        assert!(par_chunks(&items, |_, c| c.to_vec()).is_none());
+    }
+
+    #[test]
+    fn preserves_order_across_chunks() {
+        let items: Vec<u32> = (0..10_000).collect();
+        if let Some(mapped) = par_chunks(&items, |base, c| {
+            c.iter()
+                .enumerate()
+                .map(|(i, v)| (base + i, *v * 2))
+                .collect::<Vec<_>>()
+        }) {
+            assert_eq!(mapped.len(), items.len());
+            for (i, (idx, v)) in mapped.iter().enumerate() {
+                assert_eq!(*idx, i);
+                assert_eq!(*v, items[i] * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_falls_back() {
+        let items: Vec<u32> = (0..10_000).collect();
+        let got = par_chunks(&items, |base, c| {
+            if base == 0 {
+                panic!("worker bug");
+            }
+            c.to_vec()
+        });
+        assert!(got.is_none());
+    }
+}

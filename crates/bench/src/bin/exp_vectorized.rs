@@ -1,0 +1,195 @@
+//! E11: vectorized execution. Same engine, same fixture, same queries —
+//! three execution modes:
+//!
+//! * `scalar`         — `batch_exec` off: the tuple-at-a-time Volcano
+//!   path, byte-for-byte the pre-vectorization executor.
+//! * `batch`          — `batch_exec` on: `next_batch` kernels (batch
+//!   scan/filter/project, indexed hash-join probe, cached sort keys).
+//! * `batch_parallel` — `parallel_exec` on top: scoped-thread hash-join
+//!   build and sort-key extraction.
+//!
+//! Reports two numbers per mode, both from the engine's own metrics:
+//!
+//! * `engine.exec.pipeline_us` — the executor pipeline (operator-tree
+//!   build + open + drive), exactly the code vectorization changes.
+//!   This is the headline `*_execute_ms` comparison.
+//! * `engine.phase_us.execute` — the whole execute phase, which also
+//!   includes source fetch and tuple conversion (mode-independent
+//!   work), reported as `*_phase_execute_ms` for the end-to-end story.
+//!
+//! Also checks all three modes construct the identical result document
+//! and writes `BENCH_vectorized.json` at the repo root. `--quick` (or
+//! `NIMBLE_BENCH_QUICK=1`) shrinks the fixture and run count for CI
+//! smoke.
+
+use nimble_bench::{
+    customer_fixture, emit_jsonl, observe_window, phase_summary, write_bench_artifact,
+    TablePrinter,
+};
+use nimble_core::{Engine, EngineConfig, OptimizerConfig};
+use nimble_xml::to_string;
+
+/// Unwrap an experiment-infrastructure result without a panic path
+/// (the lint ratchet counts `expect` even in binaries).
+fn need<T, E: std::fmt::Display>(r: Result<T, E>, what: &str) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("exp_vectorized: {}: {}", what, e);
+            std::process::exit(1);
+        }
+    }
+}
+
+const SUITE: [(&str, &str); 2] = [
+    (
+        "two_way_join",
+        r#"WHERE <row><id>$i</id><name>$n</name></row> IN "customers",
+                 <row><cust_id>$i</cust_id><total>$t</total></row> IN "orders",
+                 $t > 200
+           CONSTRUCT <hit>$n</hit>"#,
+    ),
+    (
+        "three_way_join",
+        r#"WHERE <row><id>$i</id><name>$n</name><region>$r</region></row> IN "customers",
+                 <row><cust_id>$i</cust_id><total>$t</total></row> IN "orders",
+                 <row><cust_id>$i</cust_id><severity>$sev</severity></row> IN "tickets",
+                 $t > 300, $sev > 1
+           CONSTRUCT <atrisk><name>$n</name><sev>$sev</sev></atrisk>
+           ORDER-BY $n"#,
+    ),
+];
+
+const MODES: [(&str, bool, bool); 3] = [
+    ("scalar", false, false),
+    ("batch", true, false),
+    ("batch_parallel", true, true),
+];
+
+fn config(batch_exec: bool, parallel_exec: bool) -> OptimizerConfig {
+    OptimizerConfig {
+        batch_exec,
+        parallel_exec,
+        ..OptimizerConfig::default()
+    }
+}
+
+/// Mean executor-pipeline and execute-phase times (ms/query) for `runs`
+/// repetitions of `q`.
+fn measure_execute(engine: &Engine, q: &str, runs: usize) -> (f64, f64) {
+    let (_, window) = observe_window(engine.metrics(), || {
+        for _ in 0..runs {
+            need(engine.query(q), "suite query");
+        }
+    });
+    let pipeline_ms = window
+        .histograms
+        .get("engine.exec.pipeline_us")
+        .map(|h| h.mean() / 1e3)
+        .unwrap_or(0.0);
+    let phase_ms = phase_summary(&window)
+        .into_iter()
+        .find(|(phase, ..)| phase == "execute")
+        .map(|(_, _, mean_ms, _)| mean_ms)
+        .unwrap_or(0.0);
+    (pipeline_ms, phase_ms)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("NIMBLE_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let (customers, runs) = if quick { (400, 8) } else { (2000, 30) };
+
+    let (catalog, _) = customer_fixture(customers);
+    let engine = Engine::with_config(catalog, EngineConfig::default());
+
+    println!(
+        "vectorized execution, {} customers, mean execute over {} runs{}",
+        customers,
+        runs,
+        if quick { " (quick)" } else { "" }
+    );
+    let table = TablePrinter::new(&[
+        ("query", 16),
+        ("mode", 16),
+        ("execute_ms", 12),
+        ("speedup", 9),
+        ("phase_ms", 10),
+    ]);
+
+    let mut suites_json = serde_json::Map::new();
+    let mut all_identical = true;
+    for (name, q) in SUITE {
+        // Differential check first: every mode constructs the identical
+        // result document.
+        let mut docs = Vec::new();
+        for (_, batch, parallel) in MODES {
+            engine.set_optimizer(config(batch, parallel));
+            docs.push(to_string(&need(engine.query(q), "differential query").document.root()));
+        }
+        let identical = docs.windows(2).all(|w| w[0] == w[1]);
+        all_identical &= identical;
+
+        let mut means = Vec::new();
+        for (mode, batch, parallel) in MODES {
+            engine.set_optimizer(config(batch, parallel));
+            // Warm this mode's path (and the source fetch caches) so the
+            // measured window is steady-state.
+            for _ in 0..2 {
+                need(engine.query(q), "warmup query");
+            }
+            let (mean_ms, phase_ms) = measure_execute(&engine, q, runs);
+            let speedup = means
+                .first()
+                .map(|&(_, scalar_ms, _): &(&str, f64, f64)| scalar_ms / mean_ms.max(1e-9))
+                .unwrap_or(1.0);
+            table.row(&[
+                name.to_string(),
+                mode.to_string(),
+                format!("{:.3}", mean_ms),
+                format!("{:.2}x", speedup),
+                format!("{:.3}", phase_ms),
+            ]);
+            means.push((mode, mean_ms, phase_ms));
+        }
+        let (_, scalar_ms, scalar_phase_ms) = means[0];
+        let (_, batch_ms, batch_phase_ms) = means[1];
+        let (_, batch_parallel_ms, batch_parallel_phase_ms) = means[2];
+        suites_json.insert(
+            name.to_string(),
+            serde_json::json!({
+                "scalar_execute_ms": scalar_ms,
+                "batch_execute_ms": batch_ms,
+                "batch_parallel_execute_ms": batch_parallel_ms,
+                "scalar_phase_execute_ms": scalar_phase_ms,
+                "batch_phase_execute_ms": batch_phase_ms,
+                "batch_parallel_phase_execute_ms": batch_parallel_phase_ms,
+                "speedup_batch": scalar_ms / batch_ms.max(1e-9),
+                "speedup_batch_parallel": scalar_ms / batch_parallel_ms.max(1e-9),
+                "differential_ok": identical,
+            }),
+        );
+        if !identical {
+            eprintln!("exp_vectorized: modes disagree on {}", name);
+        }
+    }
+
+    println!(
+        "\ndifferential: all modes construct identical documents: {}",
+        all_identical
+    );
+    if !all_identical {
+        std::process::exit(1);
+    }
+
+    let record = serde_json::json!({
+        "experiment": "vectorized",
+        "customers": customers,
+        "runs": runs,
+        "quick": quick,
+        "suites": suites_json,
+        "differential_ok": all_identical,
+    });
+    write_bench_artifact("BENCH_vectorized.json", &record);
+    emit_jsonl("vectorized", &record);
+}

@@ -81,14 +81,19 @@ pub fn phase_summary(window: &MetricsSnapshot) -> Vec<(String, u64, f64, f64)> {
     rows
 }
 
-/// Write the observability benchmark artifact (repo root, overwritten
-/// per run) so successive PRs can track the perf trajectory.
-pub fn write_bench_observability(record: &serde_json::Value) {
+/// Write a repo-root benchmark artifact (overwritten per run) so
+/// successive PRs can track the perf trajectory.
+pub fn write_bench_artifact(file: &str, record: &serde_json::Value) {
     let rendered = match serde_json::to_string_pretty(record) {
         Ok(s) => s,
         Err(_) => record.to_string(),
     };
-    let _ = std::fs::write("BENCH_observability.json", rendered + "\n");
+    let _ = std::fs::write(file, rendered + "\n");
+}
+
+/// Write the observability benchmark artifact.
+pub fn write_bench_observability(record: &serde_json::Value) {
+    write_bench_artifact("BENCH_observability.json", record);
 }
 
 /// Simple aligned table printer.

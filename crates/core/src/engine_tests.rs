@@ -248,6 +248,68 @@ fn parallel_and_serial_fetch_agree() {
 }
 
 #[test]
+fn batch_and_scalar_execution_agree() {
+    // Differential drive: every query shape (cross-source join,
+    // same-source pushdown join, residual predicate, navigation,
+    // aggregation, multi-key ORDER-BY) must construct the identical
+    // result document under the scalar executor, the batch executor,
+    // and the batch executor with parallel kernels — across pushdown
+    // on/off, since that changes which joins run in the mediator.
+    let queries = [
+        r#"WHERE <row><name>$n</name><region>"NW"</region></row> IN "customers"
+           CONSTRUCT <c>$n</c> ORDER-BY $n"#,
+        r#"WHERE <bib><book year=$y><title>$t</title><publisher>$n</publisher></book></bib> IN "bib",
+           <row><name>$n</name><region>$r</region></row> IN "customers"
+           CONSTRUCT <hit><t>$t</t><r>$r</r></hit> ORDER-BY $t"#,
+        r#"WHERE <row><id>$i</id><name>$n</name></row> IN "customers",
+           <row><cust_id>$i</cust_id><total>$o</total></row> IN "orders",
+           $o > 100
+           CONSTRUCT <big><n>$n</n><o>$o</o></big> ORDER-BY $o DESC"#,
+        r#"WHERE <row><id>$i</id><name>$n</name><region>$r</region></row> IN "customers",
+           <row><cust_id>$i</cust_id><total>$o</total></row> IN "orders"
+           CONSTRUCT <r><a>$r</a><b>$n</b><c>$o</c></r> ORDER-BY $r, $o DESC"#,
+    ];
+    for query in queries {
+        for pushdown in [false, true] {
+            let run = |batch_exec: bool, parallel_exec: bool| {
+                let e = engine();
+                e.set_optimizer(OptimizerConfig {
+                    pushdown,
+                    batch_exec,
+                    parallel_exec,
+                    ..OptimizerConfig::default()
+                });
+                to_string(&e.query(query).unwrap().document.root())
+            };
+            let scalar = run(false, false);
+            assert_eq!(scalar, run(true, false), "batch diverged: {}", query);
+            assert_eq!(scalar, run(true, true), "batch+parallel diverged: {}", query);
+        }
+    }
+}
+
+#[test]
+fn batch_execution_feeds_metrics_counters() {
+    let e = engine();
+    let before = e.metrics_snapshot();
+    let r = e
+        .query(r#"WHERE <row><name>$n</name></row> IN "customers" CONSTRUCT <c>$n</c>"#)
+        .unwrap();
+    assert_eq!(r.document.root().children().count(), 3);
+    let after = e.metrics_snapshot();
+    let diff = after.diff(&before);
+    assert!(
+        diff.counters.get("engine.exec.batches").copied().unwrap_or(0) >= 1,
+        "batched drive should count at least one batch"
+    );
+    assert_eq!(
+        diff.counters.get("engine.exec.batch_rows").copied().unwrap_or(0),
+        3,
+        "batch_rows must equal materialized tuples"
+    );
+}
+
+#[test]
 fn mediated_views_compose_hierarchically() {
     let e = engine();
     // Level 1: a view over the relational source.

@@ -82,12 +82,18 @@ fn all_configs() -> Vec<OptimizerConfig> {
     for pushdown in [false, true] {
         for capability_joins in [false, true] {
             for order_joins_by_cardinality in [false, true] {
-                out.push(OptimizerConfig {
-                    pushdown,
-                    capability_joins,
-                    order_joins_by_cardinality,
-                    verify_plans: true,
-                });
+                // Execution modes: scalar, batch, batch+parallel
+                // (parallel_exec without batch_exec is a no-op).
+                for (batch_exec, parallel_exec) in [(false, false), (true, false), (true, true)] {
+                    out.push(OptimizerConfig {
+                        pushdown,
+                        capability_joins,
+                        order_joins_by_cardinality,
+                        verify_plans: true,
+                        batch_exec,
+                        parallel_exec,
+                    });
+                }
             }
         }
     }

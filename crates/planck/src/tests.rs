@@ -1,7 +1,8 @@
 use super::*;
 use nimble_algebra::expr::{CmpOp, ScalarExpr};
 use nimble_algebra::ops::{
-    BoxedOp, FilterOp, HashJoinOp, JoinType, MergeJoinOp, ProjectOp, SortOp, UnionOp, ValuesOp,
+    BoxedOp, FilterOp, HashJoinOp, JoinType, MergeJoinOp, MeteredOp, ProjectOp, SortOp, UnionOp,
+    ValuesOp,
 };
 use nimble_algebra::{ExecError, FunctionRegistry, Tuple};
 use std::sync::Arc;
@@ -208,6 +209,52 @@ fn issue_paths_locate_the_operator() {
     let filter = FilterOp::new(proj, pred, funcs());
     let report = verify(&filter).expect_err("nested issue found");
     assert_eq!(report.issues[0].path, "Filter/Project[0]");
+}
+
+#[test]
+fn vectorized_operators_stay_transparent_to_verification() {
+    // Flipping an operator into batch (or batch+parallel) mode changes
+    // only its execution kernel; `introspect()` and therefore the
+    // verifier's view of the plan must be identical. This is the shape
+    // the engine builds with `batch_exec` on: vectorized join and sort
+    // wrapped in meters.
+    let join_on_k = || {
+        HashJoinOp::new(
+            source(&["k", "x"]),
+            source(&["k2", "y"]),
+            vec![0],
+            vec![0],
+            JoinType::Inner,
+        )
+    };
+    for parallel in [false, true] {
+        let metered_join = Box::new(MeteredOp::new(Box::new(join_on_k().vectorized(parallel))));
+        let sort = SortOp::new(
+            metered_join,
+            vec![SortKey {
+                column: 1,
+                descending: false,
+            }],
+        )
+        .vectorized(parallel);
+        let plan = MeteredOp::new(Box::new(sort));
+        assert_verified(&plan);
+
+        // Same tree, scalar mode: the verifier-visible structure agrees.
+        let scalar = plan_of(&join_on_k());
+        let batched = plan_of(&join_on_k().vectorized(parallel));
+        assert_eq!(scalar, batched, "introspection differs in batch mode");
+    }
+}
+
+/// Verifier-visible fingerprint of an operator tree: op name, schema
+/// rule irrelevant here — schema and children suffice for equality.
+fn plan_of(op: &dyn Operator) -> String {
+    let mut out = format!("{}[{}]", op.introspect().name, op.schema().vars().join(","));
+    for c in op.children() {
+        out.push_str(&format!("({})", plan_of(c)));
+    }
+    out
 }
 
 #[test]

@@ -65,10 +65,12 @@ T core crates/core/src/lib.rs nimble_xml nimble_xmlql nimble_algebra nimble_plan
 T cleaning $M/cleaning_shim.rs nimble_trace
 T frontend $M/frontend_shim.rs nimble_core nimble_store nimble_trace parking_lot nimble_xml nimble_sources
 T algebra crates/algebra/src/lib.rs nimble_xml
+T planck crates/planck/src/lib.rs nimble_algebra
 T bench crates/bench/src/lib.rs nimble_core nimble_sources nimble_trace serde_json
 T observability tests/observability.rs nimble serde_json
 
 B exp_observability crates/bench/src/bin/exp_observability.rs nimble_bench nimble_core nimble_trace serde_json
+B exp_vectorized crates/bench/src/bin/exp_vectorized.rs nimble_bench nimble_core nimble_trace nimble_xml serde_json
 B quickstart examples/quickstart.rs nimble
 B web_portal examples/web_portal.rs nimble
 B legacy_navigator examples/legacy_navigator.rs nimble
