@@ -120,6 +120,9 @@ fn explain_walk(op: &dyn Operator, analyze: bool) -> String {
         if op.rows_out() > 0 {
             out.push_str(&format!("  [rows={}]", op.rows_out()));
         }
+        if let Some(est) = op.est_rows() {
+            out.push_str(&format!("  [est={}]", est));
+        }
         if analyze {
             if let Some(p) = op.profile() {
                 out.push_str(&format!(

@@ -15,6 +15,7 @@ pub struct FilterOp {
     funcs: Arc<FunctionRegistry>,
     rows_out: u64,
     scratch: Vec<Tuple>,
+    est_rows: Option<u64>,
 }
 
 impl FilterOp {
@@ -25,6 +26,7 @@ impl FilterOp {
             funcs,
             rows_out: 0,
             scratch: Vec::new(),
+            est_rows: None,
         }
     }
 }
@@ -89,6 +91,14 @@ impl Operator for FilterOp {
 
     fn introspect(&self) -> OpInfo {
         OpInfo::transform("Filter").with_child_expr(0, "predicate", self.predicate.clone())
+    }
+
+    fn est_rows(&self) -> Option<u64> {
+        self.est_rows
+    }
+
+    fn set_est_rows(&mut self, rows: u64) {
+        self.est_rows = Some(rows);
     }
 }
 

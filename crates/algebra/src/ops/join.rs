@@ -45,6 +45,7 @@ pub struct NestedLoopJoinOp {
     right_cursor: usize,
     current_matched: bool,
     rows_out: u64,
+    est_rows: Option<u64>,
 }
 
 impl NestedLoopJoinOp {
@@ -68,6 +69,7 @@ impl NestedLoopJoinOp {
             right_cursor: 0,
             current_matched: false,
             rows_out: 0,
+            est_rows: None,
         }
     }
 
@@ -161,6 +163,14 @@ impl Operator for NestedLoopJoinOp {
         }
         info
     }
+
+    fn est_rows(&self) -> Option<u64> {
+        self.est_rows
+    }
+
+    fn set_est_rows(&mut self, rows: u64) {
+        self.est_rows = Some(rows);
+    }
 }
 
 // --- Hash join ---
@@ -193,6 +203,7 @@ pub struct HashJoinOp {
     /// per input row).
     key_buf: String,
     scratch: Vec<Tuple>,
+    est_rows: Option<u64>,
 }
 
 /// Hash-join keys are rendered to a canonical string so cross-type equal
@@ -308,6 +319,7 @@ impl HashJoinOp {
             typed: false,
             key_buf: String::new(),
             scratch: Vec::new(),
+            est_rows: None,
         }
     }
 
@@ -574,6 +586,14 @@ impl Operator for HashJoinOp {
     fn introspect(&self) -> OpInfo {
         OpInfo::new("HashJoin", SchemaRule::Concat)
             .with_join_keys(self.left_keys.clone(), self.right_keys.clone())
+    }
+
+    fn est_rows(&self) -> Option<u64> {
+        self.est_rows
+    }
+
+    fn set_est_rows(&mut self, rows: u64) {
+        self.est_rows = Some(rows);
     }
 }
 

@@ -118,6 +118,14 @@ impl Operator for MeteredOp {
         self.inner.introspect()
     }
 
+    fn est_rows(&self) -> Option<u64> {
+        self.inner.est_rows()
+    }
+
+    fn set_est_rows(&mut self, rows: u64) {
+        self.inner.set_est_rows(rows);
+    }
+
     fn profile(&self) -> Option<OpProfile> {
         Some(OpProfile {
             open_ns: self.open_ns,

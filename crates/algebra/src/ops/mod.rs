@@ -96,6 +96,16 @@ pub trait Operator: Send {
     fn profile(&self) -> Option<OpProfile> {
         None
     }
+    /// Planner-estimated output rows, rendered by EXPLAIN as `[est=N]`
+    /// next to the actual `[rows=N]`. `None` when the planner had no
+    /// statistics for this node.
+    fn est_rows(&self) -> Option<u64> {
+        None
+    }
+    /// Attach a cardinality estimate (called by cost-based planners;
+    /// the default silently ignores it, so opaque operators need no
+    /// changes).
+    fn set_est_rows(&mut self, _rows: u64) {}
 }
 
 /// Boxed operator alias used throughout planners.

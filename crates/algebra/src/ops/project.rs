@@ -22,6 +22,7 @@ pub struct ProjectOp {
     /// a column is referenced twice.
     move_plan: Option<Vec<usize>>,
     scratch: Vec<Tuple>,
+    est_rows: Option<u64>,
 }
 
 fn move_plan_of(exprs: &[ScalarExpr]) -> Option<Vec<usize>> {
@@ -53,6 +54,7 @@ impl ProjectOp {
             rows_out: 0,
             move_plan,
             scratch: Vec::new(),
+            est_rows: None,
         }
     }
 
@@ -162,6 +164,14 @@ impl Operator for ProjectOp {
             info = info.with_child_expr(0, format!("column ${}", name), e.clone());
         }
         info
+    }
+
+    fn est_rows(&self) -> Option<u64> {
+        self.est_rows
+    }
+
+    fn set_est_rows(&mut self, rows: u64) {
+        self.est_rows = Some(rows);
     }
 }
 

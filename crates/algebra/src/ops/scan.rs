@@ -13,6 +13,7 @@ pub struct ValuesOp {
     rows_out: u64,
     label: String,
     drain: bool,
+    est_rows: Option<u64>,
 }
 
 impl ValuesOp {
@@ -24,6 +25,7 @@ impl ValuesOp {
             rows_out: 0,
             label: "Values".to_string(),
             drain: false,
+            est_rows: None,
         }
     }
 
@@ -109,6 +111,14 @@ impl Operator for ValuesOp {
 
     fn introspect(&self) -> OpInfo {
         OpInfo::source("Values")
+    }
+
+    fn est_rows(&self) -> Option<u64> {
+        self.est_rows
+    }
+
+    fn set_est_rows(&mut self, rows: u64) {
+        self.est_rows = Some(rows);
     }
 }
 

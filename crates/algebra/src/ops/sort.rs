@@ -26,6 +26,7 @@ pub struct SortOp {
     rows_out: u64,
     vectorized: bool,
     parallel: bool,
+    est_rows: Option<u64>,
 }
 
 impl SortOp {
@@ -38,6 +39,7 @@ impl SortOp {
             rows_out: 0,
             vectorized: false,
             parallel: false,
+            est_rows: None,
         }
     }
 
@@ -202,6 +204,14 @@ impl Operator for SortOp {
         OpInfo::new("Sort", SchemaRule::Inherit(0))
             .with_order(OrderEffect::Establishes)
             .with_sort_keys(self.keys.clone())
+    }
+
+    fn est_rows(&self) -> Option<u64> {
+        self.est_rows
+    }
+
+    fn set_est_rows(&mut self, rows: u64) {
+        self.est_rows = Some(rows);
     }
 }
 

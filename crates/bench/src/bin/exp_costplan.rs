@@ -1,0 +1,332 @@
+//! E12: statistics-driven cost-based planning + the compiled plan cache.
+//!
+//! Two sections, one engine feature each:
+//!
+//! * **plan_cache** — the same query repeated against a small fixture,
+//!   with the compiled-plan cache on vs off. The cache skips
+//!   parse → analyze → plan → planck-verify on a hit, so the headline
+//!   number is the mean per-query *planning path* time (the four
+//!   frontend phases the cache elides); end-to-end latency is reported
+//!   alongside. Target: ≥5× on the planning path.
+//! * **join_order** — a skewed three-way join (a 30k-row event log over
+//!   ~50 hot customers, listed FIRST in the query text) under three
+//!   optimizer modes: `worst` (syntactic fold order), `heuristic`
+//!   (ascending actual fetched size), and `cost` (statistics-driven
+//!   greedy order + build-side choice + size-gated parallel build).
+//!   Cost-based must beat the worst order; the table shows all three.
+//!
+//! A differential gate checks every compared mode constructs the same
+//! result content (cost-based planning may reorder tuples, so the
+//! join-order comparison is on sorted serialized children). Writes
+//! `BENCH_costplan.json`; `--quick` / `NIMBLE_BENCH_QUICK=1` shrinks
+//! the fixture for CI smoke.
+
+use nimble_bench::{
+    customer_fixture, emit_jsonl, observe_window, phase_summary, write_bench_artifact,
+    TablePrinter,
+};
+use nimble_core::{Catalog, Engine, EngineConfig, OptimizerConfig};
+use nimble_sources::relational::RelationalAdapter;
+use nimble_xml::to_string;
+use std::sync::Arc;
+
+/// Unwrap an experiment-infrastructure result without a panic path
+/// (the lint ratchet counts `expect` even in binaries).
+fn need<T, E: std::fmt::Display>(r: Result<T, E>, what: &str) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("exp_costplan: {}: {}", what, e);
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The repeated query of the plan-cache section: three atoms, pushed
+/// selections, a residual predicate, and an ORDER-BY — enough frontend
+/// work to be representative.
+const REPEATED_QUERY: &str = r#"WHERE <row><id>$i</id><name>$n</name><region>$r</region></row> IN "customers",
+         <row><cust_id>$i</cust_id><total>$t</total></row> IN "orders",
+         <row><cust_id>$i</cust_id><severity>$sev</severity></row> IN "tickets",
+         $t > 300, $sev > 1
+   CONSTRUCT <atrisk><name>$n</name><sev>$sev</sev></atrisk>
+   ORDER-BY $n"#;
+
+/// The skewed three-way join: the big event log is syntactically FIRST,
+/// so the worst fold order starts from the 30k-row side.
+const SKEWED_QUERY: &str = r#"WHERE <row><cust_id>$i</cust_id><kind>$k</kind></row> IN "events",
+         <row><id>$i</id><name>$n</name></row> IN "customers",
+         <row><cust_id>$i</cust_id><severity>$sev</severity></row> IN "tickets"
+   CONSTRUCT <hit><n>$n</n><k>$k</k><s>$sev</s></hit>"#;
+
+/// Event-log source: `events` rows spread over `hot` distinct customer
+/// ids (heavy skew: every hot customer has events/hot rows).
+fn event_log(events: usize, hot: usize) -> Arc<RelationalAdapter> {
+    let mut stmts = vec!["CREATE TABLE events (eid INT, cust_id INT, kind INT)".to_string()];
+    let mut values = Vec::new();
+    for i in 0..events {
+        values.push(format!("({}, {}, {})", i, i % hot.max(1), i % 7));
+        if values.len() == 500 || i == events - 1 {
+            stmts.push(format!("INSERT INTO events VALUES {}", values.join(", ")));
+            values.clear();
+        }
+    }
+    Arc::new(need(
+        RelationalAdapter::from_statements(
+            "biglog",
+            &stmts.iter().map(String::as_str).collect::<Vec<_>>(),
+        ),
+        "event log builds",
+    ))
+}
+
+/// Mean per-query planning-path time (parse+analyze+plan+verify) and
+/// end-to-end time, in ms, over `runs` repetitions.
+fn measure_frontend(engine: &Engine, q: &str, runs: usize) -> (f64, f64) {
+    let (_, window) = observe_window(engine.metrics(), || {
+        for _ in 0..runs {
+            need(engine.query(q), "repeated query");
+        }
+    });
+    let frontend_ms: f64 = phase_summary(&window)
+        .into_iter()
+        .filter(|(phase, ..)| matches!(phase.as_str(), "parse" | "analyze" | "plan" | "verify"))
+        .map(|(_, _, mean_ms, _)| mean_ms)
+        .sum();
+    let query_ms = window
+        .histograms
+        .get("engine.query_us")
+        .map(|h| h.mean() / 1e3)
+        .unwrap_or(0.0);
+    (frontend_ms, query_ms)
+}
+
+/// Mean executor-pipeline time (ms/query) over `runs` repetitions.
+fn measure_pipeline(engine: &Engine, q: &str, runs: usize) -> f64 {
+    let (_, window) = observe_window(engine.metrics(), || {
+        for _ in 0..runs {
+            need(engine.query(q), "skewed query");
+        }
+    });
+    window
+        .histograms
+        .get("engine.exec.pipeline_us")
+        .map(|h| h.mean() / 1e3)
+        .unwrap_or(0.0)
+}
+
+/// Result content as the sorted multiset of serialized root children
+/// (fold order changes tuple order, never tuple content).
+fn canonical(engine: &Engine, q: &str) -> Vec<String> {
+    let r = need(engine.query(q), "differential query");
+    let mut parts: Vec<String> = r
+        .document
+        .root()
+        .children()
+        .map(|c| to_string(&c))
+        .collect();
+    parts.sort();
+    parts
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("NIMBLE_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let (small, big_customers, events, hot, runs) = if quick {
+        (60, 400, 6_000, 40, 8)
+    } else {
+        (200, 2_000, 30_000, 50, 30)
+    };
+
+    // --- Section 1: compiled plan cache ---------------------------------
+    let (small_catalog, _) = customer_fixture(small);
+    // Verification stays on in BOTH modes (release builds default it
+    // off): the cache's win includes skipping the planck re-check, and
+    // that only counts if the cold path actually pays it.
+    let verify_on = OptimizerConfig {
+        verify_plans: true,
+        ..OptimizerConfig::default()
+    };
+    let cold_engine = Engine::with_config(
+        Arc::clone(&small_catalog),
+        EngineConfig {
+            plan_cache_capacity: 0,
+            ..EngineConfig::default()
+        },
+    );
+    cold_engine.set_optimizer(verify_on);
+    let hot_engine = Engine::with_config(Arc::clone(&small_catalog), EngineConfig::default());
+    hot_engine.set_optimizer(verify_on);
+
+    // Differential gate: cache on and off construct identical documents.
+    let doc_cold = need(cold_engine.query(REPEATED_QUERY), "cold query").document;
+    let doc_hot = need(hot_engine.query(REPEATED_QUERY), "warm query").document;
+    let cache_identical = to_string(&doc_cold.root()) == to_string(&doc_hot.root());
+
+    // Warm both paths, then measure steady state.
+    for _ in 0..2 {
+        need(cold_engine.query(REPEATED_QUERY), "warmup");
+        need(hot_engine.query(REPEATED_QUERY), "warmup");
+    }
+    let (cold_frontend_ms, cold_query_ms) = measure_frontend(&cold_engine, REPEATED_QUERY, runs);
+    let (hit_frontend_ms, hit_query_ms) = measure_frontend(&hot_engine, REPEATED_QUERY, runs);
+    let cache_stats = hot_engine.plan_cache().stats();
+    // Phase histograms record whole microseconds; a sub-µs cache lookup
+    // reads as 0, so clamp the denominator to the 1µs resolution to keep
+    // the reported speedup honest.
+    let frontend_speedup = cold_frontend_ms / hit_frontend_ms.max(1e-3);
+    let e2e_speedup = cold_query_ms / hit_query_ms.max(1e-3);
+
+    println!(
+        "plan cache: {} customers, {} runs{} (planning path = parse+analyze+plan+verify)",
+        small,
+        runs,
+        if quick { " (quick)" } else { "" }
+    );
+    let table = TablePrinter::new(&[
+        ("mode", 14),
+        ("planning_ms", 13),
+        ("query_ms", 10),
+        ("speedup", 9),
+    ]);
+    table.row(&[
+        "cold".into(),
+        format!("{:.4}", cold_frontend_ms),
+        format!("{:.4}", cold_query_ms),
+        "1.00x".into(),
+    ]);
+    table.row(&[
+        "cache_hit".into(),
+        format!("{:.4}", hit_frontend_ms),
+        format!("{:.4}", hit_query_ms),
+        format!("{:.2}x", frontend_speedup),
+    ]);
+    println!(
+        "plan cache counters: hits={} misses={} invalidations={}",
+        cache_stats.hits, cache_stats.misses, cache_stats.invalidations
+    );
+
+    // --- Section 2: statistics-driven join order ------------------------
+    let (big_catalog_seed, _) = customer_fixture(big_customers);
+    // Rebuild a catalog that also carries the skewed event log. (The
+    // fixture returns its own catalog; registering the extra source on
+    // it keeps sampling/statistics uniform.)
+    let big_catalog: Arc<Catalog> = big_catalog_seed;
+    need(
+        big_catalog.register_source(event_log(events, hot)),
+        "register event log",
+    );
+    let engine = Engine::new(big_catalog);
+
+    let modes: [(&str, OptimizerConfig); 3] = [
+        (
+            "worst",
+            OptimizerConfig {
+                order_joins_by_cardinality: false,
+                cost_based: false,
+                ..OptimizerConfig::default()
+            },
+        ),
+        (
+            "heuristic",
+            OptimizerConfig {
+                cost_based: false,
+                ..OptimizerConfig::default()
+            },
+        ),
+        ("cost", OptimizerConfig::default()),
+    ];
+
+    // Differential gate across fold orders (order-insensitive).
+    let mut canon: Vec<Vec<String>> = Vec::new();
+    for (_, config) in &modes {
+        engine.set_optimizer(*config);
+        canon.push(canonical(&engine, SKEWED_QUERY));
+    }
+    let join_identical = canon.windows(2).all(|w| w[0] == w[1]);
+
+    println!(
+        "\njoin order: events={} over {} hot customers of {}, tickets sparse, {} runs",
+        events, hot, big_customers, runs
+    );
+    let table = TablePrinter::new(&[("mode", 14), ("pipeline_ms", 13), ("speedup", 9)]);
+    let mut results: Vec<(&str, f64)> = Vec::new();
+    for (mode, config) in &modes {
+        engine.set_optimizer(*config);
+        for _ in 0..2 {
+            need(engine.query(SKEWED_QUERY), "warmup");
+        }
+        let mean_ms = measure_pipeline(&engine, SKEWED_QUERY, runs);
+        let speedup = results
+            .first()
+            .map(|&(_, worst_ms)| worst_ms / mean_ms.max(1e-9))
+            .unwrap_or(1.0);
+        table.row(&[
+            mode.to_string(),
+            format!("{:.3}", mean_ms),
+            format!("{:.2}x", speedup),
+        ]);
+        results.push((mode, mean_ms));
+    }
+    let worst_ms = results[0].1;
+    let heuristic_ms = results[1].1;
+    let cost_ms = results[2].1;
+
+    let all_identical = cache_identical && join_identical;
+    println!(
+        "\ndifferential: all modes construct identical content: {}",
+        all_identical
+    );
+    let cache_target_met = frontend_speedup >= 5.0;
+    let order_target_met = cost_ms < worst_ms;
+    println!(
+        "targets: plan-cache planning speedup {:.1}x (>=5x: {}), cost {} worst order ({:.3} vs {:.3} ms)",
+        frontend_speedup,
+        cache_target_met,
+        if order_target_met { "beats" } else { "does NOT beat" },
+        cost_ms,
+        worst_ms
+    );
+
+    let plan_cache_json = serde_json::json!({
+        "customers": small,
+        "cold_planning_ms": cold_frontend_ms,
+        "hit_planning_ms": hit_frontend_ms,
+        "planning_speedup": frontend_speedup,
+        "cold_query_ms": cold_query_ms,
+        "hit_query_ms": hit_query_ms,
+        "e2e_speedup": e2e_speedup,
+        "hits": cache_stats.hits,
+        "misses": cache_stats.misses,
+        "target_met": cache_target_met,
+    });
+    let join_order_json = serde_json::json!({
+        "customers": big_customers,
+        "events": events,
+        "hot_customers": hot,
+        "worst_pipeline_ms": worst_ms,
+        "heuristic_pipeline_ms": heuristic_ms,
+        "cost_pipeline_ms": cost_ms,
+        "speedup_cost_vs_worst": worst_ms / cost_ms.max(1e-9),
+        "target_met": order_target_met,
+    });
+    let mut record = serde_json::Map::new();
+    record.insert("experiment".to_string(), "costplan".into());
+    record.insert("quick".to_string(), quick.into());
+    record.insert("runs".to_string(), runs.into());
+    record.insert("plan_cache".to_string(), plan_cache_json);
+    record.insert("join_order".to_string(), join_order_json);
+    record.insert("differential_ok".to_string(), all_identical.into());
+    let record = serde_json::Value::Object(record);
+    write_bench_artifact("BENCH_costplan.json", &record);
+    emit_jsonl("costplan", &record);
+
+    if !all_identical {
+        eprintln!("exp_costplan: differential gate failed");
+        std::process::exit(1);
+    }
+    if !cache_target_met || !order_target_met {
+        eprintln!("exp_costplan: perf target missed");
+        std::process::exit(1);
+    }
+}

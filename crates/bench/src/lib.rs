@@ -135,6 +135,19 @@ pub fn percentile(samples: &mut [f64], p: f64) -> f64 {
     samples[idx]
 }
 
+/// Bench-fixture unwrap: the fixture is deterministic, so a failure
+/// means the harness itself is broken — report and exit rather than
+/// unwind through a timing loop.
+fn need<T, E: std::fmt::Display>(r: Result<T, E>, what: &str) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench fixture: {}: {}", what, e);
+            std::process::exit(2);
+        }
+    }
+}
+
 /// The shared customer-integration fixture: three departmental
 /// relational databases plus an XML press feed, scaled by `customers`.
 pub fn customer_fixture(customers: usize) -> (Arc<Catalog>, Vec<Arc<RelationalAdapter>>) {
@@ -160,15 +173,15 @@ pub fn customer_fixture(customers: usize) -> (Arc<Catalog>, Vec<Arc<RelationalAd
             values.clear();
         }
     }
-    let crm = Arc::new(
+    let crm = Arc::new(need(
         RelationalAdapter::from_statements(
             "crm",
             &stmts.iter().map(String::as_str).collect::<Vec<_>>(),
-        )
-        .expect("crm builds"),
-    );
+        ),
+        "crm builds",
+    ));
     adapters.push(Arc::clone(&crm));
-    catalog.register_source(crm).unwrap();
+    need(catalog.register_source(crm), "register crm");
 
     // billing.orders — ~3 orders per customer.
     let mut stmts = vec![
@@ -196,15 +209,15 @@ pub fn customer_fixture(customers: usize) -> (Arc<Catalog>, Vec<Arc<RelationalAd
     if !values.is_empty() {
         stmts.push(format!("INSERT INTO orders VALUES {}", values.join(", ")));
     }
-    let billing = Arc::new(
+    let billing = Arc::new(need(
         RelationalAdapter::from_statements(
             "billing",
             &stmts.iter().map(String::as_str).collect::<Vec<_>>(),
-        )
-        .expect("billing builds"),
-    );
+        ),
+        "billing builds",
+    ));
     adapters.push(Arc::clone(&billing));
-    catalog.register_source(billing).unwrap();
+    need(catalog.register_source(billing), "register billing");
 
     // support.tickets — every 5th customer has a ticket.
     let mut stmts = vec!["CREATE TABLE tickets (tid INT, cust_id INT, severity INT)".to_string()];
@@ -219,15 +232,15 @@ pub fn customer_fixture(customers: usize) -> (Arc<Catalog>, Vec<Arc<RelationalAd
     if !values.is_empty() {
         stmts.push(format!("INSERT INTO tickets VALUES {}", values.join(", ")));
     }
-    let support = Arc::new(
+    let support = Arc::new(need(
         RelationalAdapter::from_statements(
             "support",
             &stmts.iter().map(String::as_str).collect::<Vec<_>>(),
-        )
-        .expect("support builds"),
-    );
+        ),
+        "support builds",
+    ));
     adapters.push(Arc::clone(&support));
-    catalog.register_source(support).unwrap();
+    need(catalog.register_source(support), "register support");
 
     // press.releases — one item per 10th customer.
     let mut xml = String::from("<releases>");
@@ -238,11 +251,11 @@ pub fn customer_fixture(customers: usize) -> (Arc<Catalog>, Vec<Arc<RelationalAd
         ));
     }
     xml.push_str("</releases>");
-    catalog
-        .register_source(Arc::new(
-            XmlDocAdapter::new("press").add_xml("releases", &xml).unwrap(),
-        ))
-        .unwrap();
+    let press = Arc::new(need(
+        XmlDocAdapter::new("press").add_xml("releases", &xml),
+        "press feed builds",
+    ));
+    need(catalog.register_source(press), "register press");
 
     (Arc::new(catalog), adapters)
 }

@@ -8,11 +8,17 @@
 //! enabling incremental integration across an organization.
 
 use crate::error::CoreError;
+use nimble_sources::query::{row_field, rows_of};
 use nimble_sources::SourceAdapter;
+use nimble_store::stats::SampleBuilder;
+use nimble_store::{LogicalClock, StatsCatalog};
 use nimble_xmlql::ast::Query;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// How many rows of each collection registration-time seeding samples.
+const SAMPLE_ROWS: usize = 256;
 
 /// A named view over the mediated schema.
 #[derive(Clone)]
@@ -40,6 +46,12 @@ pub enum Resolved {
 pub struct Catalog {
     sources: RwLock<BTreeMap<String, Arc<dyn SourceAdapter>>>,
     views: RwLock<BTreeMap<String, ViewDef>>,
+    /// Catalog epoch: advanced on every registration/definition change
+    /// (and on explicit [`Catalog::note_source_mutation`]). The engine's
+    /// plan cache keys on it so schema changes evict cached plans.
+    epoch: LogicalClock,
+    /// Collection statistics for cost-based planning.
+    stats: StatsCatalog,
 }
 
 impl Catalog {
@@ -47,23 +59,99 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// Register a source adapter under its own name.
+    /// Register a source adapter under its own name. Seeds collection
+    /// statistics with a cheap sample (errors from unreachable sources
+    /// are swallowed — stats are advisory) and bumps the epoch.
     pub fn register_source(&self, adapter: Arc<dyn SourceAdapter>) -> Result<(), CoreError> {
         let name = adapter.name().to_string();
-        let mut sources = self.sources.write();
-        if sources.contains_key(&name) {
-            return Err(CoreError::Catalog(format!(
-                "source {:?} already registered",
-                name
-            )));
+        {
+            let mut sources = self.sources.write();
+            if sources.contains_key(&name) {
+                return Err(CoreError::Catalog(format!(
+                    "source {:?} already registered",
+                    name
+                )));
+            }
+            sources.insert(name.clone(), adapter.clone());
         }
-        sources.insert(name, adapter);
+        self.sample_source(&name, adapter.as_ref());
+        self.epoch.advance(1);
         Ok(())
     }
 
-    /// Drop a source; true if it existed.
+    /// Drop a source; true if it existed. Drops its statistics and bumps
+    /// the epoch.
     pub fn unregister_source(&self, name: &str) -> bool {
-        self.sources.write().remove(name).is_some()
+        let existed = self.sources.write().remove(name).is_some();
+        if existed {
+            self.stats.remove_prefix(&format!("{}.", name));
+            self.epoch.advance(1);
+        }
+        existed
+    }
+
+    /// Current catalog epoch (monotone; advanced on every change that
+    /// can invalidate a compiled plan).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.now()
+    }
+
+    /// The collection-statistics catalog.
+    pub fn stats(&self) -> &StatsCatalog {
+        &self.stats
+    }
+
+    /// Tell the catalog that `source`'s data changed underneath it
+    /// (rows added/removed out of band). Re-samples its statistics and
+    /// bumps the epoch so cached plans for it are re-planned.
+    pub fn note_source_mutation(&self, source: &str) {
+        if let Some(adapter) = self.source(source) {
+            self.sample_source(source, adapter.as_ref());
+        }
+        self.epoch.advance(1);
+    }
+
+    /// Sample every collection of `adapter` into the stats catalog. Any
+    /// fetch error (e.g. a link that is down at registration) leaves that
+    /// collection without statistics; planning falls back to defaults.
+    fn sample_source(&self, name: &str, adapter: &dyn SourceAdapter) {
+        for info in adapter.collections() {
+            let key = format!("{}.{}", name, info.name);
+            let doc = match adapter.fetch_collection(&info.name) {
+                Ok(doc) => doc,
+                Err(_) => {
+                    // Unreachable source: keep the adapter's own estimate
+                    // if it has one, otherwise no entry at all.
+                    if let Some(rows) = info.estimated_rows {
+                        self.stats.set(&key, SampleBuilder::new().finish(rows));
+                    }
+                    continue;
+                }
+            };
+            let rows = rows_of(&doc);
+            if rows.is_empty() && info.estimated_rows.is_none() {
+                // Not row-shaped (native XML document) and no estimate:
+                // better no entry than a misleading zero.
+                continue;
+            }
+            let total = info.estimated_rows.unwrap_or(rows.len() as u64);
+            let mut b = SampleBuilder::new();
+            for row in rows.iter().take(SAMPLE_ROWS) {
+                b.add_row();
+                if info.fields.is_empty() {
+                    for child in row.children() {
+                        if let Some(f) = child.name() {
+                            b.observe(f, &child.typed_value());
+                        }
+                    }
+                } else {
+                    for (field, _) in &info.fields {
+                        b.observe(field, &row_field(row, field));
+                    }
+                }
+            }
+            self.stats.set(&key, b.finish(total));
+        }
     }
 
     /// Look up a source adapter.
@@ -100,6 +188,7 @@ impl Catalog {
                 default_ttl,
             },
         );
+        self.epoch.advance(1);
         Ok(())
     }
 
@@ -113,9 +202,15 @@ impl Catalog {
         self.views.read().keys().cloned().collect()
     }
 
-    /// Remove a view; true if it existed.
+    /// Remove a view; true if it existed. Bumps the epoch and drops the
+    /// view's observed statistics.
     pub fn drop_view(&self, name: &str) -> bool {
-        self.views.write().remove(name).is_some()
+        let existed = self.views.write().remove(name).is_some();
+        if existed {
+            self.stats.remove_prefix(&format!("view:{}", name));
+            self.epoch.advance(1);
+        }
+        existed
     }
 
     /// Resolve an `IN "name"` reference: views shadow collections;
@@ -256,6 +351,54 @@ mod tests {
             c.register_source(dup),
             Err(CoreError::Catalog(_))
         ));
+    }
+
+    #[test]
+    fn registration_seeds_stats_and_bumps_epoch() {
+        use nimble_sources::relational::RelationalAdapter;
+        let c = Catalog::new();
+        assert_eq!(c.epoch(), 0);
+        let adapter = RelationalAdapter::from_statements(
+            "crm",
+            &[
+                "CREATE TABLE customers (id INTEGER, region TEXT)",
+                "INSERT INTO customers VALUES (1, 'east')",
+                "INSERT INTO customers VALUES (2, 'east')",
+                "INSERT INTO customers VALUES (3, 'west')",
+                "INSERT INTO customers VALUES (4, 'west')",
+            ],
+        )
+        .unwrap();
+        c.register_source(Arc::new(adapter)).unwrap();
+        assert_eq!(c.epoch(), 1);
+
+        let stats = c.stats().get("crm.customers").expect("seeded stats");
+        assert_eq!(stats.rows, 4);
+        assert_eq!(stats.distinct("id"), Some(4));
+        let id = &stats.columns["id"];
+        assert_eq!((id.min, id.max), (Some(1.0), Some(4.0)));
+        assert!(stats.columns.contains_key("region"));
+
+        let gen = c.stats().generation();
+        c.note_source_mutation("crm");
+        assert_eq!(c.epoch(), 2);
+        assert!(c.stats().generation() > gen);
+
+        c.unregister_source("crm");
+        assert_eq!(c.epoch(), 3);
+        assert!(c.stats().get("crm.customers").is_none());
+    }
+
+    #[test]
+    fn native_xml_source_registers_with_count_only_stats() {
+        // XmlDocAdapter collections are native XML documents, not
+        // row-shaped: registration keeps the adapter's own row estimate
+        // (child-element count) but samples no columns.
+        let c = catalog();
+        let stats = c.stats().get("feeds.bib").expect("estimate recorded");
+        assert_eq!(stats.rows, 0); // <bib/> has no child elements
+        assert!(stats.columns.is_empty());
+        assert!(c.epoch() >= 1);
     }
 
     #[test]

@@ -4,7 +4,8 @@ use crate::catalog::Catalog;
 use crate::construct;
 use crate::error::CoreError;
 use crate::matcher;
-use crate::planner::{self, AtomExec, BindPatternOp};
+use crate::plan_cache::{CachedPlan, PlanCache, PlanStamp};
+use crate::planner::{self, AtomExec, BindPatternOp, Plan};
 use nimble_algebra::ops::{
     FilterOp, HashJoinOp, JoinType, MeteredOp, NestedLoopJoinOp, Operator, ProjectOp, SortKey,
     SortOp, ValuesOp,
@@ -30,6 +31,11 @@ use std::time::Instant;
 /// transitively cyclic view definitions.
 const MAX_DEPTH: usize = 16;
 
+/// Estimated build-side rows below which the parallel hash-join build
+/// is skipped (matches the operator's own internal serial cutoff, but
+/// decided from statistics before any threads are spawned).
+const PARALLEL_EST_THRESHOLD: u64 = 2048;
+
 /// Optimizer ablation switches (experiment E5 flips these).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OptimizerConfig {
@@ -54,6 +60,12 @@ pub struct OptimizerConfig {
     /// `EngineConfig::parallel_fetch`). Only meaningful when
     /// `batch_exec` is on; small inputs stay serial regardless.
     pub parallel_exec: bool,
+    /// Cost-based planning from collection statistics: order join folds
+    /// by estimated output cardinality, size-gate the parallel hash-join
+    /// build, and keep barely-selective predicates central instead of
+    /// shipping them. Off falls back to the fixed heuristics (fold in
+    /// actual fetched-size order).
+    pub cost_based: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -65,7 +77,31 @@ impl Default for OptimizerConfig {
             verify_plans: cfg!(debug_assertions),
             batch_exec: true,
             parallel_exec: true,
+            cost_based: true,
         }
+    }
+}
+
+impl OptimizerConfig {
+    /// Stable fingerprint over every flag, folded into the result-cache
+    /// and plan-cache keys so toggling any optimizer switch can never
+    /// serve an entry produced under a different configuration.
+    pub fn fingerprint(&self) -> u64 {
+        let flags = [
+            self.pushdown,
+            self.capability_joins,
+            self.order_joins_by_cardinality,
+            self.verify_plans,
+            self.batch_exec,
+            self.parallel_exec,
+            self.cost_based,
+        ];
+        let mut fp: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in flags {
+            fp ^= u64::from(b) + 1;
+            fp = fp.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        fp
     }
 }
 
@@ -111,6 +147,11 @@ pub struct EngineConfig {
     /// queries retain their full evidence (span tree, plan, source
     /// calls).
     pub flight_capacity: usize,
+    /// Compiled-plan cache capacity (distinct normalized query texts).
+    /// Repeated queries skip parse/analyze/plan/planck-verify while the
+    /// catalog epoch, optimizer fingerprint, and statistics generation
+    /// are unchanged. 0 disables plan caching.
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -124,6 +165,7 @@ impl Default for EngineConfig {
             profile: false,
             slow_query_ms: 100.0,
             flight_capacity: 64,
+            plan_cache_capacity: 128,
         }
     }
 }
@@ -195,6 +237,8 @@ pub struct Engine {
     /// trace export so merged cluster records stay attributable.
     instance: String,
     flight: FlightRecorder,
+    /// Compiled plans keyed by normalized query text + validity stamp.
+    plans: PlanCache,
 }
 
 /// Ring-buffer capacity of each engine's query log.
@@ -264,6 +308,7 @@ impl Engine {
         Engine {
             instance,
             flight: FlightRecorder::new(config.flight_capacity, config.slow_query_ms),
+            plans: PlanCache::new(config.plan_cache_capacity),
             catalog,
             views: ViewStore::new(),
             cache: ResultCache::new(config.cache_nodes),
@@ -305,6 +350,11 @@ impl Engine {
     /// The result/fragment cache.
     pub fn cache(&self) -> &ResultCache {
         &self.cache
+    }
+
+    /// The compiled-plan cache.
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plans
     }
 
     /// This instance's metrics registry (counters, gauges, latency
@@ -447,7 +497,11 @@ impl Engine {
         let started = Instant::now();
         let config = self.config();
         let profile = force_profile || config.profile;
-        let cache_key = format!("query:{}", text);
+        // The optimizer fingerprint is part of the key: toggling any
+        // optimizer flag must never serve a result cached under a
+        // different configuration.
+        let opt_fp = config.optimizer.fingerprint();
+        let cache_key = format!("query:{:016x}:{}", opt_fp, text);
         if config.cache_query_results && config.cache_nodes > 0 {
             if let Some(doc) = self.cache.get(&cache_key) {
                 // A cache hit is still a served query: it must show up in
@@ -489,20 +543,87 @@ impl Engine {
         let trace = Trace::new();
         let total_span = trace.span("query");
 
-        let t_parse = Instant::now();
-        let query =
-            nimble_xmlql::parse_query(text).map_err(|e| CoreError::Compile(e.to_string()))?;
-        let parse_ms = ms_since(t_parse);
-        trace.add_ms("parse", parse_ms);
+        // Compiled-plan cache: a hit under the current validity stamp
+        // (optimizer fingerprint, catalog epoch, statistics generation)
+        // skips parse, analyze, planning, and planck re-verification.
+        let stamp = PlanStamp {
+            config_fp: opt_fp,
+            catalog_epoch: self.catalog.epoch(),
+            stats_generation: self.catalog.stats().generation(),
+        };
+        let plan_key = PlanCache::normalize(text);
+        let t_plan_lookup = Instant::now();
+        let lookup = self.plans.get(&plan_key, stamp);
+        if lookup.invalidated {
+            self.metrics.incr("engine.plan_cache.invalidations", 1);
+        }
+        let mut pre_phases: Vec<(String, f64)> = Vec::new();
+        let (query, plan, plan_ms, plan_verify_ms, planck_verify) = match lookup.value {
+            Some(cached) => {
+                self.metrics.incr("engine.plan_cache.hits", 1);
+                let plan_ms = ms_since(t_plan_lookup);
+                (
+                    Arc::clone(&cached.query),
+                    Arc::clone(&cached.plan),
+                    plan_ms,
+                    0.0,
+                    false,
+                )
+            }
+            None => {
+                self.metrics.incr("engine.plan_cache.misses", 1);
+                let t_parse = Instant::now();
+                let query = nimble_xmlql::parse_query(text)
+                    .map_err(|e| CoreError::Compile(e.to_string()))?;
+                let parse_ms = ms_since(t_parse);
+                trace.add_ms("parse", parse_ms);
+                pre_phases.push(("parse".into(), parse_ms));
 
-        let t_analyze = Instant::now();
-        nimble_xmlql::analyze(&query).map_err(|e| CoreError::Compile(e.to_string()))?;
-        let analyze_ms = ms_since(t_analyze);
-        trace.add_ms("analyze", analyze_ms);
+                let t_analyze = Instant::now();
+                nimble_xmlql::analyze(&query).map_err(|e| CoreError::Compile(e.to_string()))?;
+                let analyze_ms = ms_since(t_analyze);
+                trace.add_ms("analyze", analyze_ms);
+                pre_phases.push(("analyze".into(), analyze_ms));
+
+                let t_plan = Instant::now();
+                let plan = planner::plan_query(&self.catalog, &query, &config.optimizer)?;
+                let plan_ms = ms_since(t_plan);
+                let mut verify_ms = 0.0;
+                if config.optimizer.verify_plans {
+                    let t_verify = Instant::now();
+                    planner::verify_plan(&plan, None)?;
+                    verify_ms = ms_since(t_verify);
+                }
+                let query = Arc::new(query);
+                let plan = Arc::new(plan);
+                if config.plan_cache_capacity > 0 {
+                    let evicted = self.plans.put(
+                        &plan_key,
+                        stamp,
+                        Arc::new(CachedPlan {
+                            query: Arc::clone(&query),
+                            plan: Arc::clone(&plan),
+                        }),
+                    );
+                    if evicted {
+                        self.metrics.incr("engine.plan_cache.evictions", 1);
+                    }
+                }
+                (query, plan, plan_ms, verify_ms, true)
+            }
+        };
 
         let mut ctx = ExecCtx::new();
         ctx.profile = profile;
-        let (schema, tuples) = self.eval(&query, None, 0, &mut ctx)?;
+        let (schema, tuples) = self.eval_planned(
+            &plan,
+            None,
+            0,
+            &mut ctx,
+            plan_ms,
+            plan_verify_ms,
+            planck_verify,
+        )?;
         for (name, phase_ms) in &ctx.phases {
             trace.add_ms(*name, *phase_ms);
         }
@@ -517,8 +638,9 @@ impl Engine {
         drop(total_span);
 
         let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
-        let mut phases: Vec<(String, f64)> =
-            vec![("parse".into(), parse_ms), ("analyze".into(), analyze_ms)];
+        // Plan-cache hits skip parse/analyze, so `pre_phases` is empty
+        // and the phase list starts at `plan` (the cache lookup time).
+        let mut phases: Vec<(String, f64)> = pre_phases;
         phases.extend(ctx.phases.iter().map(|(n, p)| (n.to_string(), *p)));
         phases.push(("construct".into(), construct_ms));
         for (name, phase_ms) in &phases {
@@ -708,7 +830,10 @@ impl Engine {
         }
     }
 
-    /// Evaluate a query's WHERE clause to a binding-tuple relation.
+    /// Evaluate a query's WHERE clause to a binding-tuple relation,
+    /// planning it first. Subqueries and view expansion enter here; the
+    /// top-level query plans (or takes a plan-cache hit) in
+    /// `query_inner` and calls [`Engine::eval_planned`] directly.
     fn eval(
         &self,
         query: &Query,
@@ -729,6 +854,28 @@ impl Engine {
             planner::verify_plan(&plan, outer.map(|(s, _)| s))?;
             verify_ms += ms_since(t_verify);
         }
+        self.eval_planned(&plan, outer, depth, ctx, plan_ms, verify_ms, true)
+    }
+
+    /// Execute an already-decomposed plan: fetch the independent units,
+    /// fold the mediator-side join tree, run dependents/residuals/sort,
+    /// and drive the pipeline. `plan_ms`/`plan_verify_ms` report how the
+    /// plan was obtained (fresh planning or a cache lookup) for the
+    /// phase breakdown; `planck_verify` is false when the identical
+    /// operator shape already verified clean (a plan-cache hit).
+    #[allow(clippy::too_many_arguments)]
+    fn eval_planned(
+        &self,
+        plan: &Plan,
+        outer: Option<(&Schema, &Tuple)>,
+        depth: usize,
+        ctx: &mut ExecCtx,
+        plan_ms: f64,
+        plan_verify_ms: f64,
+        planck_verify: bool,
+    ) -> Result<(Schema, Vec<Tuple>), CoreError> {
+        let config = self.config();
+        let mut verify_ms = plan_verify_ms;
         let t_execute = Instant::now();
         let verify_pre_ms = verify_ms;
 
@@ -787,11 +934,37 @@ impl Engine {
             return Err(CoreError::Exec("query has no inputs".into()));
         }
 
-        // Join ordering: ascending cardinality, keeping the outer context
-        // first so correlated variables bind early.
-        if config.optimizer.order_joins_by_cardinality {
-            let keep_first = outer.is_some();
-            let start = usize::from(keep_first);
+        // Join ordering. Cost-based plans carry a fold order computed
+        // from collection statistics (estimated output cardinality of
+        // each intermediate join); otherwise fall back to the fixed
+        // heuristic of ascending *actual* fetched size. The outer
+        // context always stays first so correlated variables bind early.
+        let start = usize::from(outer.is_some());
+        let cost_ok = config.optimizer.cost_based
+            && plan.fold_order.len() == plan.independents.len()
+            && plan.fold_rows.len() == plan.fold_order.len()
+            && plan.est_rows.len() == plan.independents.len()
+            && inputs.len() == start + plan.independents.len();
+        // Estimated rows per input slot (post-permutation), for operator
+        // annotations and build-side/parallelism decisions.
+        let mut input_est: Vec<Option<u64>> = vec![None; inputs.len()];
+        if cost_ok {
+            let mut tail: Vec<Option<(Schema, Vec<Tuple>)>> =
+                inputs.drain(start..).map(Some).collect();
+            for (k, &i) in plan.fold_order.iter().enumerate() {
+                if let Some(input) = tail.get_mut(i).and_then(Option::take) {
+                    inputs.push(input);
+                    input_est[start + k] = Some(plan.est_rows[i]);
+                }
+            }
+            // Defensive: a malformed permutation never drops inputs.
+            for input in tail.into_iter().flatten() {
+                inputs.push(input);
+            }
+            if start == 1 {
+                input_est[0] = Some(1);
+            }
+        } else if config.optimizer.order_joins_by_cardinality {
             inputs[start..].sort_by_key(|(_, t)| t.len());
         }
 
@@ -801,8 +974,8 @@ impl Engine {
         // `engine.exec.pipeline_us`.
         let t_pipeline = Instant::now();
         let funcs = self.funcs.read().clone();
-        let mut iter = inputs.into_iter();
-        let (first_schema, first_tuples) = iter
+        let mut iter = inputs.into_iter().enumerate();
+        let (_, (first_schema, first_tuples)) = iter
             .next()
             .ok_or_else(|| CoreError::Internal("join fold over zero inputs".into()))?;
         let profile = ctx.profile;
@@ -825,25 +998,66 @@ impl Engine {
                 values
             }
         };
-        let mut op: Box<dyn Operator> =
-            meter(Box::new(scan(ValuesOp::new(first_schema, first_tuples))));
-        for (schema, tuples) in iter {
-            let right: Box<dyn Operator> =
-                meter(Box::new(scan(ValuesOp::new(schema.clone(), tuples))));
+        let mut first_scan = scan(ValuesOp::new(first_schema, first_tuples));
+        if let Some(e) = input_est.first().copied().flatten() {
+            first_scan.set_est_rows(e);
+        }
+        let mut op: Box<dyn Operator> = meter(Box::new(first_scan));
+        // Estimated rows flowing out of the current accumulated subtree.
+        let mut cur_est: Option<u64> = input_est.first().copied().flatten();
+        for (idx, (schema, tuples)) in iter {
+            let this_est = input_est.get(idx).copied().flatten();
+            // Estimated size after this fold step (from the planner's
+            // greedy cost walk; index is offset by the outer slot).
+            let next_est = if cost_ok {
+                idx.checked_sub(start)
+                    .and_then(|k| plan.fold_rows.get(k).copied())
+            } else {
+                None
+            };
+            let mut right_scan = scan(ValuesOp::new(schema.clone(), tuples));
+            if let Some(e) = this_est {
+                right_scan.set_est_rows(e);
+            }
+            let right: Box<dyn Operator> = meter(Box::new(right_scan));
             let has_common = !op.schema().common_vars(&schema).is_empty();
             op = if has_common {
-                let join = HashJoinOp::natural(op, right, JoinType::Inner);
-                let join = if batch { join.vectorized(parallel) } else { join };
+                // Build side: `HashJoinOp` builds its table on the right
+                // operand. When the statistics say the accumulated side
+                // is much smaller than the incoming unit, swap so the
+                // small side is built and the large side streams as the
+                // probe.
+                let swap = matches!(
+                    (cur_est, this_est),
+                    (Some(acc), Some(next)) if next > acc.saturating_mul(4)
+                );
+                let build_est = if swap { cur_est } else { this_est };
+                let (probe, build) = if swap { (right, op) } else { (op, right) };
+                let join = HashJoinOp::natural(probe, build, JoinType::Inner);
+                // Parallel build pays for itself only on large builds;
+                // with estimates in hand, gate it instead of always
+                // paying the thread spawn.
+                let parallel_join = parallel
+                    && build_est.map_or(true, |e| e >= PARALLEL_EST_THRESHOLD);
+                let mut join = if batch { join.vectorized(parallel_join) } else { join };
+                if let Some(e) = next_est {
+                    join.set_est_rows(e);
+                }
                 meter(Box::new(join))
             } else {
-                meter(Box::new(NestedLoopJoinOp::new(
+                let mut join = NestedLoopJoinOp::new(
                     op,
                     right,
                     None,
                     JoinType::Inner,
                     Arc::clone(&funcs),
-                )))
+                );
+                if let Some(e) = next_est {
+                    join.set_est_rows(e);
+                }
+                meter(Box::new(join))
             };
+            cur_est = next_est;
         }
 
         // Dependent navigation atoms, in syntactic order.
@@ -861,7 +1075,11 @@ impl Engine {
                 .cloned()
                 .collect();
             let keep_refs: Vec<&str> = keep.iter().map(String::as_str).collect();
-            op = meter(Box::new(ProjectOp::keep(op, &keep_refs, Arc::clone(&funcs))));
+            let mut project = ProjectOp::keep(op, &keep_refs, Arc::clone(&funcs));
+            if let Some(e) = cur_est {
+                project.set_est_rows(e);
+            }
+            op = meter(Box::new(project));
         }
 
         // Residual predicates.
@@ -871,11 +1089,16 @@ impl Engine {
                 .iter()
                 .map(|e| planner::translate_expr(e, op.schema()))
                 .collect::<Result<_, _>>()?;
-            op = meter(Box::new(FilterOp::new(
-                op,
-                ScalarExpr::conjunction(translated),
-                Arc::clone(&funcs),
-            )));
+            let mut filter = FilterOp::new(op, ScalarExpr::conjunction(translated), Arc::clone(&funcs));
+            if let Some(e) = cur_est {
+                // Default 1/3 selectivity per central predicate (matching
+                // the planner's cost model for unstated selections).
+                let preds = plan.residual_predicates.len().min(u32::MAX as usize) as u32;
+                let est = (e / 3u64.saturating_pow(preds)).max(1);
+                filter.set_est_rows(est);
+                cur_est = Some(est);
+            }
+            op = meter(Box::new(filter));
         }
 
         // ORDER-BY.
@@ -895,8 +1118,15 @@ impl Engine {
                         })
                 })
                 .collect::<Result<_, _>>()?;
-            let sort = SortOp::new(op, keys);
-            let sort = if batch { sort.vectorized(parallel) } else { sort };
+            let mut sort = SortOp::new(op, keys);
+            if let Some(e) = cur_est {
+                sort.set_est_rows(e);
+            }
+            // Same statistics gate as the join build: skip the parallel
+            // key extraction when the estimated input is small.
+            let parallel_sort =
+                parallel && cur_est.map_or(true, |e| e >= PARALLEL_EST_THRESHOLD);
+            let sort = if batch { sort.vectorized(parallel_sort) } else { sort };
             op = meter(Box::new(sort));
         }
 
@@ -904,7 +1134,7 @@ impl Engine {
         // operator's schema/expression/ordering contract must hold before
         // we open anything. (`MeteredOp` wrappers delegate `introspect`,
         // so the verifier sees the identical plan.)
-        if config.optimizer.verify_plans {
+        if config.optimizer.verify_plans && planck_verify {
             let t_verify = Instant::now();
             nimble_planck::verify(op.as_ref())
                 .map_err(|report| CoreError::PlanVerify(report.to_string()))?;
@@ -951,6 +1181,22 @@ impl Engine {
         Ok((schema, tuples))
     }
 
+    /// Feed an observed row count back into the statistics catalog (the
+    /// sampling-seeded estimates drift as sources mutate out of band). A
+    /// material change bumps the statistics generation, which changes
+    /// the [`PlanStamp`] and so invalidates compiled plans built from
+    /// the stale estimate on their next lookup.
+    fn note_stats_rows(&self, key: &str, rows: u64) {
+        let stats = self.catalog.stats();
+        if stats.observe_rows(key, rows) {
+            self.metrics.incr("stats.invalidations", 1);
+        }
+        self.metrics.incr("stats.feedback", 1);
+        self.metrics
+            .gauge("stats.generation")
+            .store(stats.generation(), Ordering::Relaxed);
+    }
+
     /// Fetch one independent unit's tuples under the unavailability
     /// policy.
     fn fetch_atom(
@@ -986,6 +1232,17 @@ impl Engine {
                             self.cache.put(&key, Arc::clone(&doc));
                         }
                         let tuples = fragment_tuples(&doc, vars);
+                        // Only an unfiltered single-collection fragment
+                        // observes the collection's true cardinality.
+                        if query.limit.is_none()
+                            && query.selections.is_empty()
+                            && query.collections.len() == 1
+                        {
+                            self.note_stats_rows(
+                                &format!("{}.{}", source, query.collections[0].collection),
+                                tuples.len() as u64,
+                            );
+                        }
                         note_source_call(
                             calls_before,
                             source,
@@ -1086,6 +1343,12 @@ impl Engine {
                     }
                 };
                 let tuples = match_tuples(&doc, pattern, vars);
+                // Row count = the collection's top-level elements (the
+                // same measure sampling seeds), not pattern matches.
+                self.note_stats_rows(
+                    &format!("{}.{}", source, collection),
+                    doc.root().child_elements().count() as u64,
+                );
                 note_source_call(
                     calls_before,
                     source,
@@ -1103,7 +1366,9 @@ impl Engine {
                 vars,
             } => {
                 let doc = self.view_document(view, depth, ctx)?;
-                Ok((vars.clone(), match_tuples(&doc, pattern, vars)))
+                let tuples = match_tuples(&doc, pattern, vars);
+                self.note_stats_rows(&format!("view:{}", view), tuples.len() as u64);
+                Ok((vars.clone(), tuples))
             }
         }
     }

@@ -614,6 +614,78 @@ fn cluster_balances_queries() {
 }
 
 #[test]
+fn plan_cache_serves_repeats_and_catalog_changes_evict() {
+    let e = engine();
+    let q = r#"WHERE <row><name>$n</name><region>"NW"</region></row> IN "customers"
+               CONSTRUCT <c>$n</c> ORDER-BY $n"#;
+    let r1 = e.query(q).unwrap();
+    // Reformatted whitespace normalizes to the same cache entry.
+    let r2 = e.query(&q.replace("  ", "\n ")).unwrap();
+    assert_eq!(
+        to_string(&r2.document.root()),
+        to_string(&r1.document.root())
+    );
+    let s = e.plan_cache().stats();
+    assert_eq!((s.hits, s.misses), (1, 1));
+    // A hit skips the frontend: no parse/analyze phases, still planned
+    // (the lookup) and executed.
+    assert!(r1.stats.phases.iter().any(|(n, _)| n == "parse"));
+    assert!(r2.stats.phases.iter().all(|(n, _)| n != "parse"));
+    assert!(r2.stats.phases.iter().any(|(n, _)| n == "execute"));
+
+    // Any catalog change moves the epoch, so the cached template is
+    // provably dropped (invalidation, not a silent stale answer).
+    let epoch = e.catalog().epoch();
+    e.catalog()
+        .register_source(Arc::new(XmlDocAdapter::new("empty")))
+        .unwrap();
+    assert!(e.catalog().epoch() > epoch);
+    let r3 = e.query(q).unwrap();
+    assert_eq!(
+        to_string(&r3.document.root()),
+        to_string(&r1.document.root())
+    );
+    let s = e.plan_cache().stats();
+    assert_eq!((s.hits, s.misses, s.invalidations), (1, 2, 1));
+}
+
+#[test]
+fn stats_feedback_invalidates_compiled_plans() {
+    let adapter = crm();
+    let db = adapter.database();
+    let c = Catalog::new();
+    c.register_source(adapter).unwrap();
+    let e = Engine::new(Arc::new(c));
+    let q = r#"WHERE <row><name>$n</name></row> IN "customers" CONSTRUCT <c>$n</c>"#;
+
+    assert_eq!(e.query(q).unwrap().document.root().children().count(), 3);
+    assert_eq!(e.catalog().stats().rows("crm.customers"), Some(3));
+
+    // The source mutates out of band (no catalog notification): 20 extra
+    // rows is material drift (>2x and >16 absolute), so the row count
+    // observed by the next execution bumps the statistics generation...
+    for i in 0..20 {
+        db.write()
+            .execute(&format!(
+                "INSERT INTO customers VALUES ({}, 'C{}', 'NW')",
+                100 + i,
+                i
+            ))
+            .unwrap();
+    }
+    let r = e.query(q).unwrap();
+    assert_eq!(r.document.root().children().count(), 23);
+    assert_eq!(e.catalog().stats().rows("crm.customers"), Some(23));
+
+    // ... and the query after that re-plans from the fresh statistics
+    // instead of reusing the stale template.
+    let before = e.plan_cache().stats().invalidations;
+    assert_eq!(e.query(q).unwrap().document.root().children().count(), 23);
+    assert_eq!(e.plan_cache().stats().invalidations, before + 1);
+    assert!(e.metrics_snapshot().counter("stats.invalidations") >= 1);
+}
+
+#[test]
 fn cluster_concurrent_submissions() {
     use crate::cluster::{DispatchStrategy, EngineCluster};
     let cluster = EngineCluster::new(

@@ -48,6 +48,7 @@ pub mod construct;
 pub mod engine;
 pub mod error;
 pub mod matcher;
+pub mod plan_cache;
 pub mod planner;
 
 pub use catalog::Catalog;
@@ -55,6 +56,7 @@ pub use cluster::{DispatchStrategy, EngineCluster};
 pub use engine::{
     Engine, EngineConfig, OptimizerConfig, QueryResult, QueryStats, UnavailablePolicy,
 };
+pub use plan_cache::{PlanCache, PlanCacheStats, PlanStamp};
 pub use error::CoreError;
 
 #[cfg(test)]

@@ -1,0 +1,256 @@
+//! Compiled plan cache: normalized query text → verified plan template.
+//!
+//! Repeated queries dominate mediator traffic (ROADMAP's north star), and
+//! parse → analyze → plan → static-verify is pure CPU the engine repeats
+//! for byte-identical text. The cache stores the checked AST and the
+//! decomposed [`Plan`] under a [`PlanStamp`] — the optimizer-config
+//! fingerprint, the catalog epoch, and the statistics generation — so a
+//! hit is only served while every input that shaped the plan is
+//! unchanged. Any source registration, view (re)definition, out-of-band
+//! mutation, or material statistics drift changes the stamp and the
+//! stale entry is dropped on its next lookup.
+//!
+//! The cached object is a *template*: the engine still fetches sources,
+//! assembles fresh operators, and executes per query — only the frontend
+//! and planner work is skipped (plus the planck re-verification of a
+//! plan shape that already verified clean).
+
+use crate::planner::Plan;
+use nimble_xmlql::ast::Query;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Everything a cached plan's validity depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanStamp {
+    /// [`crate::engine::OptimizerConfig::fingerprint`] at plan time.
+    pub config_fp: u64,
+    /// [`crate::catalog::Catalog::epoch`] at plan time.
+    pub catalog_epoch: u64,
+    /// [`nimble_store::StatsCatalog::generation`] at plan time.
+    pub stats_generation: u64,
+}
+
+/// A compiled query: checked AST plus its decomposed plan.
+pub struct CachedPlan {
+    pub query: Arc<Query>,
+    pub plan: Arc<Plan>,
+}
+
+/// Outcome of one cache lookup.
+pub struct Lookup {
+    pub value: Option<Arc<CachedPlan>>,
+    /// True when an entry existed but carried a stale stamp (and was
+    /// dropped). Always a miss too.
+    pub invalidated: bool,
+}
+
+/// Point-in-time counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    pub entries: usize,
+    pub hits: u64,
+    pub misses: u64,
+    pub invalidations: u64,
+    pub evictions: u64,
+}
+
+struct Entry {
+    stamp: PlanStamp,
+    value: Arc<CachedPlan>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<String, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+    evictions: u64,
+}
+
+/// LRU cache of compiled plans, keyed by normalized query text and
+/// guarded by a [`PlanStamp`]. A capacity of 0 disables it entirely.
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl PlanCache {
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Canonical cache key for query text: collapse all whitespace runs
+    /// so reformatting the same query still hits.
+    pub fn normalize(text: &str) -> String {
+        text.split_whitespace().collect::<Vec<_>>().join(" ")
+    }
+
+    /// Look up `key`; an entry under a different stamp is dropped and
+    /// reported as an invalidation.
+    pub fn get(&self, key: &str, stamp: PlanStamp) -> Lookup {
+        if self.capacity == 0 {
+            return Lookup {
+                value: None,
+                invalidated: false,
+            };
+        }
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(key) {
+            Some(e) if e.stamp == stamp => {
+                e.last_used = tick;
+                inner.hits += 1;
+                Lookup {
+                    value: Some(Arc::clone(&e.value)),
+                    invalidated: false,
+                }
+            }
+            Some(_) => {
+                inner.entries.remove(key);
+                inner.invalidations += 1;
+                inner.misses += 1;
+                Lookup {
+                    value: None,
+                    invalidated: true,
+                }
+            }
+            None => {
+                inner.misses += 1;
+                Lookup {
+                    value: None,
+                    invalidated: false,
+                }
+            }
+        }
+    }
+
+    /// Install a plan; returns true when a least-recently-used entry was
+    /// evicted to make room.
+    pub fn put(&self, key: &str, stamp: PlanStamp, value: Arc<CachedPlan>) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        inner.tick += 1;
+        let tick = inner.tick;
+        let mut evicted = false;
+        if inner.entries.len() >= self.capacity && !inner.entries.contains_key(key) {
+            let victim = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                inner.entries.remove(&victim);
+                inner.evictions += 1;
+                evicted = true;
+            }
+        }
+        inner.entries.insert(
+            key.to_string(),
+            Entry {
+                stamp,
+                value,
+                last_used: tick,
+            },
+        );
+        evicted
+    }
+
+    /// Drop every entry.
+    pub fn clear(&self) {
+        self.inner.lock().entries.clear();
+    }
+
+    pub fn stats(&self) -> PlanCacheStats {
+        let inner = self.inner.lock();
+        PlanCacheStats {
+            entries: inner.entries.len(),
+            hits: inner.hits,
+            misses: inner.misses,
+            invalidations: inner.invalidations,
+            evictions: inner.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cached() -> Arc<CachedPlan> {
+        let (query, _) =
+            nimble_xmlql::compile(r#"WHERE <a>$x</a> IN "c" CONSTRUCT <o>$x</o>"#).unwrap();
+        Arc::new(CachedPlan {
+            query: Arc::new(query),
+            plan: Arc::new(Plan::default()),
+        })
+    }
+
+    fn stamp(n: u64) -> PlanStamp {
+        PlanStamp {
+            config_fp: 7,
+            catalog_epoch: n,
+            stats_generation: 0,
+        }
+    }
+
+    #[test]
+    fn normalize_collapses_whitespace() {
+        assert_eq!(
+            PlanCache::normalize("WHERE  <a/>\n   IN \"c\"\tCONSTRUCT <o/>"),
+            "WHERE <a/> IN \"c\" CONSTRUCT <o/>"
+        );
+    }
+
+    #[test]
+    fn hit_miss_and_stamp_invalidation() {
+        let cache = PlanCache::new(4);
+        assert!(cache.get("q", stamp(1)).value.is_none());
+        cache.put("q", stamp(1), cached());
+        assert!(cache.get("q", stamp(1)).value.is_some());
+
+        // Epoch moved: the entry is dropped and reported invalidated.
+        let lookup = cache.get("q", stamp(2));
+        assert!(lookup.value.is_none() && lookup.invalidated);
+        // And it is really gone, not just skipped.
+        let lookup = cache.get("q", stamp(1));
+        assert!(lookup.value.is_none() && !lookup.invalidated);
+
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 3, 1));
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let cache = PlanCache::new(2);
+        cache.put("a", stamp(1), cached());
+        cache.put("b", stamp(1), cached());
+        assert!(cache.get("a", stamp(1)).value.is_some()); // a recently used
+        assert!(!cache.put("a", stamp(1), cached())); // overwrite, no evict
+        assert!(cache.put("c", stamp(1), cached())); // evicts b (LRU)
+        assert!(cache.get("b", stamp(1)).value.is_none());
+        assert!(cache.get("a", stamp(1)).value.is_some());
+        assert!(cache.get("c", stamp(1)).value.is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = PlanCache::new(0);
+        cache.put("q", stamp(1), cached());
+        assert!(cache.get("q", stamp(1)).value.is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

@@ -91,6 +91,17 @@ pub struct Plan {
     pub order_by: Vec<OrderKey>,
     /// Human-readable notes on optimizer decisions, surfaced by EXPLAIN.
     pub notes: Vec<String>,
+    /// Estimated output rows per independent atom (index-aligned with
+    /// `independents`). Empty when cost-based planning is off.
+    pub est_rows: Vec<u64>,
+    /// Cost-based fold order: a permutation of `independents` indices in
+    /// the order the mediator-side join should fold them. Empty when
+    /// cost-based planning is off (the engine then falls back to sorting
+    /// by actual fetched size).
+    pub fold_order: Vec<usize>,
+    /// Estimated accumulated row count after each fold step, aligned
+    /// with `fold_order` (`fold_rows[0]` is the first atom's estimate).
+    pub fold_rows: Vec<u64>,
 }
 
 fn dedup_vars(pattern: &Pattern) -> Vec<String> {
@@ -187,7 +198,10 @@ pub fn plan_query(
         }
     }
 
-    // Phase 2: push simple predicates into fragments.
+    // Phase 2: push simple predicates into fragments. With cost-based
+    // planning, a predicate whose estimated selectivity is too weak to
+    // shrink the transfer is kept for central residual evaluation
+    // instead (same semantics, one less thing the source has to do).
     if config.pushdown {
         let mut remaining = Vec::new();
         'preds: for pred in std::mem::take(&mut plan.residual_predicates) {
@@ -198,6 +212,21 @@ pub fn plan_query(
                         None => continue,
                     };
                     if compiler::push_predicate(query, &pred, &caps) {
+                        if config.cost_based {
+                            let est = query.selections.last().and_then(|sel| {
+                                cost::fragment_selection_selectivity(catalog, source, query, sel)
+                            });
+                            if let Some(s) = est {
+                                if s >= cost::CENTRAL_RESIDUAL_THRESHOLD {
+                                    query.selections.pop();
+                                    plan.notes.push(format!(
+                                        "cost: predicate kept central (est selectivity {:.2} at {})",
+                                        s, source
+                                    ));
+                                    break;
+                                }
+                            }
+                        }
                         plan.notes
                             .push(format!("predicate pushed to {}", source));
                         continue 'preds;
@@ -213,6 +242,11 @@ pub fn plan_query(
     // source can join.
     if config.capability_joins {
         merge_same_source_fragments(catalog, &mut plan);
+    }
+
+    // Phase 4: cost-based fold ordering from collection statistics.
+    if config.cost_based {
+        order_folds_by_cost(catalog, &mut plan);
     }
 
     // Final pass: surface the exact per-source query text that will be
@@ -231,6 +265,293 @@ pub fn plan_query(
     }
 
     Ok(plan)
+}
+
+/// Cardinality estimation from the catalog's [`nimble_store::StatsCatalog`].
+///
+/// All estimates are advisory: a missing statistic falls back to a
+/// neutral default rather than blocking planning, and the engine's
+/// runtime feedback (`StatsCatalog::observe_rows`) corrects row counts
+/// the next time the query is planned.
+pub mod cost {
+    use super::*;
+    use nimble_sources::query::{PredOp, Selection};
+    use nimble_store::stats::CollectionStats;
+
+    /// Assumed rows for a collection with no statistics at all.
+    pub const DEFAULT_ROWS: u64 = 1000;
+    /// Assumed fraction kept by a selection we cannot estimate.
+    pub const DEFAULT_SELECTIVITY: f64 = 1.0 / 3.0;
+    /// A predicate estimated to keep at least this fraction of rows is
+    /// left for central (mediator-side) evaluation instead of being
+    /// shipped: it barely shrinks the transfer, so the source round-trip
+    /// does the same work either way.
+    pub const CENTRAL_RESIDUAL_THRESHOLD: f64 = 0.9;
+
+    /// Estimated fraction of rows a selection keeps, from field stats.
+    /// `None` when the statistics cannot say anything useful.
+    pub fn selection_selectivity(stats: &CollectionStats, sel: &Selection) -> Option<f64> {
+        let col = stats.columns.get(&sel.field.field)?;
+        let distinct = col.distinct.max(1) as f64;
+        match sel.op {
+            PredOp::Eq => Some(1.0 / distinct),
+            PredOp::Ne => Some(1.0 - 1.0 / distinct),
+            PredOp::Lt | PredOp::Le | PredOp::Gt | PredOp::Ge => {
+                let (min, max) = (col.min?, col.max?);
+                let v = sel.value.as_f64()?;
+                if max <= min {
+                    return Some(0.5);
+                }
+                let below = ((v - min) / (max - min)).clamp(0.0, 1.0);
+                Some(match sel.op {
+                    PredOp::Lt | PredOp::Le => below,
+                    _ => 1.0 - below,
+                })
+            }
+            PredOp::Like => Some(0.25),
+        }
+    }
+
+    /// Statistics for the collection behind `alias` in a fragment.
+    fn alias_stats(
+        catalog: &Catalog,
+        source: &str,
+        query: &SourceQuery,
+        alias: &str,
+    ) -> Option<CollectionStats> {
+        let coll = query.collections.iter().find(|c| c.alias == alias)?;
+        catalog.stats().get(&format!("{}.{}", source, coll.collection))
+    }
+
+    /// Selectivity of one pushed selection inside a fragment, if stats
+    /// exist for its collection and field.
+    pub fn fragment_selection_selectivity(
+        catalog: &Catalog,
+        source: &str,
+        query: &SourceQuery,
+        sel: &Selection,
+    ) -> Option<f64> {
+        selection_selectivity(&alias_stats(catalog, source, query, &sel.field.alias)?, sel)
+    }
+
+    /// Estimated output rows of a (possibly multi-collection) fragment:
+    /// per-collection rows reduced by pushed selections, divided by the
+    /// dominant distinct count of each pushed join condition.
+    pub fn estimate_fragment(catalog: &Catalog, source: &str, query: &SourceQuery) -> u64 {
+        let mut per_alias: Vec<(String, f64, Option<CollectionStats>)> = Vec::new();
+        for c in &query.collections {
+            let stats = catalog.stats().get(&format!("{}.{}", source, c.collection));
+            let rows = stats.as_ref().map(|s| s.rows).unwrap_or(DEFAULT_ROWS) as f64;
+            per_alias.push((c.alias.clone(), rows.max(1.0), stats));
+        }
+        let mut out = 1.0f64;
+        for (alias, rows, stats) in &per_alias {
+            let mut r = *rows;
+            for sel in query.selections.iter().filter(|s| &s.field.alias == alias) {
+                let s = stats
+                    .as_ref()
+                    .and_then(|st| selection_selectivity(st, sel))
+                    .unwrap_or(DEFAULT_SELECTIVITY);
+                r *= s;
+            }
+            out *= r.max(1.0);
+        }
+        for (a, b) in &query.join_conds {
+            let d = field_distinct(&per_alias, a).max(field_distinct(&per_alias, b));
+            out /= d.max(1.0);
+        }
+        clamp_rows(out)
+    }
+
+    fn field_distinct(
+        per_alias: &[(String, f64, Option<CollectionStats>)],
+        f: &nimble_sources::query::FieldRef,
+    ) -> f64 {
+        per_alias
+            .iter()
+            .find(|(alias, ..)| alias == &f.alias)
+            .map(|(_, rows, stats)| {
+                stats
+                    .as_ref()
+                    .and_then(|s| s.distinct(&f.field))
+                    .map(|d| d as f64)
+                    .unwrap_or(*rows)
+            })
+            .unwrap_or(1.0)
+    }
+
+    /// Estimated output rows of one independent execution unit.
+    pub fn estimate_atom(catalog: &Catalog, atom: &AtomExec) -> u64 {
+        match atom {
+            AtomExec::Fragment { source, query, .. } => {
+                estimate_fragment(catalog, source, query)
+            }
+            AtomExec::FetchMatch {
+                source, collection, ..
+            } => catalog
+                .stats()
+                .rows(&format!("{}.{}", source, collection))
+                .unwrap_or(DEFAULT_ROWS)
+                .max(1),
+            AtomExec::ViewMatch { view, .. } => catalog
+                .stats()
+                .rows(&format!("view:{}", view))
+                .unwrap_or(DEFAULT_ROWS)
+                .max(1),
+        }
+    }
+
+    /// Estimated distinct values a unit's variable takes, when the
+    /// variable maps to a field with statistics.
+    pub fn var_distinct(catalog: &Catalog, atom: &AtomExec, var: &str) -> Option<u64> {
+        match atom {
+            AtomExec::Fragment { source, query, .. } => {
+                let field = query
+                    .outputs
+                    .iter()
+                    .find(|(v, _)| v == var)
+                    .map(|(_, f)| f.clone())?;
+                alias_stats(catalog, source, query, &field.alias)?.distinct(&field.field)
+            }
+            AtomExec::FetchMatch {
+                source,
+                collection,
+                pattern,
+                ..
+            } => {
+                let rp = compiler::recognize_row_pattern(pattern)?;
+                let field = rp
+                    .fields
+                    .iter()
+                    .find(|(v, _)| v == var)
+                    .map(|(_, f)| f.clone())?;
+                catalog
+                    .stats()
+                    .get(&format!("{}.{}", source, collection))?
+                    .distinct(&field)
+            }
+            AtomExec::ViewMatch { .. } => None,
+        }
+    }
+
+    pub(super) fn clamp_rows(est: f64) -> u64 {
+        if est.is_finite() && est > 0.0 {
+            (est.round() as u64).max(1)
+        } else {
+            1
+        }
+    }
+}
+
+/// Greedy cost-based fold ordering: start from the unit with the
+/// smallest estimated output and repeatedly fold in the unit that keeps
+/// the estimated intermediate result smallest, preferring units that
+/// share a join variable with the accumulated set over cross products.
+/// Fills `plan.est_rows`, `plan.fold_order`, and `plan.fold_rows`.
+fn order_folds_by_cost(catalog: &Catalog, plan: &mut Plan) {
+    let n = plan.independents.len();
+    let est: Vec<u64> = plan
+        .independents
+        .iter()
+        .map(|a| cost::estimate_atom(catalog, a))
+        .collect();
+    plan.est_rows = est.clone();
+    if n == 0 {
+        return;
+    }
+
+    let mut used = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut fold_rows: Vec<u64> = Vec::with_capacity(n);
+
+    let mut first = 0usize;
+    for (i, &e) in est.iter().enumerate() {
+        if e < est[first] {
+            first = i;
+        }
+    }
+    used[first] = true;
+    order.push(first);
+    fold_rows.push(est[first]);
+    let mut rows: u128 = u128::from(est[first].max(1));
+
+    // Distinct-value estimate per bound variable in the accumulated set;
+    // joining shrinks it (min of the two sides, capped by the rows).
+    let mut bound_distinct: std::collections::BTreeMap<String, u128> = std::collections::BTreeMap::new();
+    let note_atom_vars = |map: &mut std::collections::BTreeMap<String, u128>,
+                          catalog: &Catalog,
+                          atom: &AtomExec,
+                          atom_rows: u128,
+                          rows_now: u128| {
+        for v in atom.vars() {
+            let d = cost::var_distinct(catalog, atom, v)
+                .map(u128::from)
+                .unwrap_or(atom_rows)
+                .min(rows_now)
+                .max(1);
+            map.entry(v.clone())
+                .and_modify(|cur| *cur = (*cur).min(d))
+                .or_insert(d);
+        }
+    };
+    note_atom_vars(
+        &mut bound_distinct,
+        catalog,
+        &plan.independents[first],
+        rows,
+        rows,
+    );
+
+    while order.len() < n {
+        // (shares a var, estimated joined rows, index) — prefer sharing,
+        // then the smallest intermediate, then stable index order.
+        let mut best: Option<(bool, u128, usize)> = None;
+        for (j, atom) in plan.independents.iter().enumerate() {
+            if used[j] {
+                continue;
+            }
+            let atom_rows = u128::from(est[j].max(1));
+            let mut denom: u128 = 1;
+            let mut shares = false;
+            for v in atom.vars() {
+                if let Some(&da) = bound_distinct.get(v) {
+                    shares = true;
+                    let dj = cost::var_distinct(catalog, atom, v)
+                        .map(u128::from)
+                        .unwrap_or(atom_rows)
+                        .max(1);
+                    denom = denom.saturating_mul(da.max(dj));
+                }
+            }
+            let joined = (rows.saturating_mul(atom_rows) / denom.max(1)).max(1);
+            let candidate = (shares, joined, j);
+            let better = match best {
+                None => true,
+                Some((bshares, bjoined, _)) => {
+                    (shares && !bshares) || (shares == bshares && joined < bjoined)
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        let Some((_, joined, j)) = best else { break };
+        used[j] = true;
+        order.push(j);
+        fold_rows.push(u64::try_from(joined).unwrap_or(u64::MAX));
+        rows = joined;
+        let atom_rows = u128::from(est[j].max(1));
+        note_atom_vars(&mut bound_distinct, catalog, &plan.independents[j], atom_rows, rows);
+    }
+
+    if n > 1 {
+        plan.notes.push(format!(
+            "cost: fold order {:?}, est rows {:?} -> {:?}",
+            order, est, fold_rows
+        ));
+    }
+    plan.fold_order = order;
+    plan.fold_rows = fold_rows;
 }
 
 /// Statically verify a decomposed [`Plan`] before any operator is built:

@@ -90,6 +90,30 @@ fn run(text: &str, pushdown: bool, batch_exec: bool, parallel_exec: bool) -> Str
     to_string(&r.document.root())
 }
 
+/// Result content under the given config, as the sorted multiset of the
+/// root's serialized children. Cost-based planning may legitimately
+/// reorder tuples (it picks a different join fold order), so the
+/// cost_based on/off comparison is order-insensitive; every other axis
+/// compares exact documents above.
+fn run_canonical(text: &str, pushdown: bool, cost_based: bool) -> Vec<String> {
+    let engine = Engine::new(catalog());
+    engine.set_optimizer(OptimizerConfig {
+        pushdown,
+        cost_based,
+        verify_plans: true,
+        ..OptimizerConfig::default()
+    });
+    let r = engine.query(text).unwrap();
+    let mut parts: Vec<String> = r
+        .document
+        .root()
+        .children()
+        .map(|c| to_string(&c))
+        .collect();
+    parts.sort();
+    parts
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -106,6 +130,19 @@ proptest! {
             prop_assert_eq!(
                 &scalar, &batch_parallel,
                 "batch+parallel execution diverged for {:?} (pushdown={})", text, pushdown
+            );
+        }
+    }
+
+    #[test]
+    fn cost_based_planning_changes_order_not_content(text in query_strategy()) {
+        for pushdown in [false, true] {
+            let with_stats = run_canonical(&text, pushdown, true);
+            let without = run_canonical(&text, pushdown, false);
+            prop_assert_eq!(
+                &with_stats, &without,
+                "cost-based planning changed result content for {:?} (pushdown={})",
+                text, pushdown
             );
         }
     }

@@ -85,14 +85,17 @@ fn all_configs() -> Vec<OptimizerConfig> {
                 // Execution modes: scalar, batch, batch+parallel
                 // (parallel_exec without batch_exec is a no-op).
                 for (batch_exec, parallel_exec) in [(false, false), (true, false), (true, true)] {
-                    out.push(OptimizerConfig {
-                        pushdown,
-                        capability_joins,
-                        order_joins_by_cardinality,
-                        verify_plans: true,
-                        batch_exec,
-                        parallel_exec,
-                    });
+                    for cost_based in [false, true] {
+                        out.push(OptimizerConfig {
+                            pushdown,
+                            capability_joins,
+                            order_joins_by_cardinality,
+                            verify_plans: true,
+                            batch_exec,
+                            parallel_exec,
+                            cost_based,
+                        });
+                    }
                 }
             }
         }

@@ -28,9 +28,11 @@
 pub mod cache;
 pub mod clock;
 pub mod selection;
+pub mod stats;
 pub mod views;
 
 pub use cache::ResultCache;
 pub use clock::LogicalClock;
+pub use stats::{CollectionStats, ColumnStats, SampleBuilder, StatsCatalog};
 pub use selection::{select_views, CandidateView, SelectionPolicy, WorkloadMonitor};
 pub use views::{Freshness, MaterializedView, ViewStore};

@@ -71,6 +71,7 @@ T observability tests/observability.rs nimble serde_json
 
 B exp_observability crates/bench/src/bin/exp_observability.rs nimble_bench nimble_core nimble_trace serde_json
 B exp_vectorized crates/bench/src/bin/exp_vectorized.rs nimble_bench nimble_core nimble_trace nimble_xml serde_json
+B exp_costplan crates/bench/src/bin/exp_costplan.rs nimble_bench nimble_core nimble_sources nimble_trace nimble_xml serde_json
 B quickstart examples/quickstart.rs nimble
 B web_portal examples/web_portal.rs nimble
 B legacy_navigator examples/legacy_navigator.rs nimble
