@@ -207,7 +207,9 @@ impl Catalog {
     pub fn drop_view(&self, name: &str) -> bool {
         let existed = self.views.write().remove(name).is_some();
         if existed {
-            self.stats.remove_prefix(&format!("view:{}", name));
+            // Exact key: a prefix removal of "view:a" would also delete
+            // the statistics of an unrelated view "ab".
+            self.stats.remove(&format!("view:{}", name));
             self.epoch.advance(1);
         }
         existed
@@ -399,6 +401,22 @@ mod tests {
         assert_eq!(stats.rows, 0); // <bib/> has no child elements
         assert!(stats.columns.is_empty());
         assert!(c.epoch() >= 1);
+    }
+
+    #[test]
+    fn drop_view_keeps_prefix_sibling_stats() {
+        use nimble_store::stats::CollectionStats;
+        let c = catalog();
+        c.define_view("a", r#"WHERE <bib>$x</bib> IN "feeds.bib" CONSTRUCT <v>$x</v>"#, None)
+            .unwrap();
+        c.define_view("ab", r#"WHERE <bib>$x</bib> IN "feeds.bib" CONSTRUCT <v>$x</v>"#, None)
+            .unwrap();
+        c.stats().set("view:a", CollectionStats { rows: 5, ..CollectionStats::default() });
+        c.stats().set("view:ab", CollectionStats { rows: 9, ..CollectionStats::default() });
+        assert!(c.drop_view("a"));
+        assert!(c.stats().get("view:a").is_none());
+        // "view:ab" starts with "view:a" but belongs to a different view.
+        assert_eq!(c.stats().rows("view:ab"), Some(9));
     }
 
     #[test]

@@ -545,7 +545,8 @@ impl Engine {
 
         // Compiled-plan cache: a hit under the current validity stamp
         // (optimizer fingerprint, catalog epoch, statistics generation)
-        // skips parse, analyze, planning, and planck re-verification.
+        // skips parse, analyze, planning, and — when the plan's shape is
+        // deterministic (cost-based fold order) — planck re-verification.
         let stamp = PlanStamp {
             config_fp: opt_fp,
             catalog_epoch: self.catalog.epoch(),
@@ -861,8 +862,10 @@ impl Engine {
     /// fold the mediator-side join tree, run dependents/residuals/sort,
     /// and drive the pipeline. `plan_ms`/`plan_verify_ms` report how the
     /// plan was obtained (fresh planning or a cache lookup) for the
-    /// phase breakdown; `planck_verify` is false when the identical
-    /// operator shape already verified clean (a plan-cache hit).
+    /// phase breakdown; `planck_verify` is false when the operator shape
+    /// already verified clean (a plan-cache hit) — honoured only when the
+    /// plan's cost-based fold order makes the assembled shape
+    /// deterministic, re-verified otherwise.
     #[allow(clippy::too_many_arguments)]
     fn eval_planned(
         &self,
@@ -1133,8 +1136,12 @@ impl Engine {
         // Static verification of the assembled physical plan: every
         // operator's schema/expression/ordering contract must hold before
         // we open anything. (`MeteredOp` wrappers delegate `introspect`,
-        // so the verifier sees the identical plan.)
-        if config.optimizer.verify_plans && planck_verify {
+        // so the verifier sees the identical plan.) A plan-cache hit
+        // (`planck_verify` false) may skip this only when the cost-based
+        // fold order actually drove assembly (`cost_ok`): without it the
+        // fold order is re-derived from actual fetched sizes, so a hit
+        // can assemble a join-tree shape never seen at cache-fill time.
+        if config.optimizer.verify_plans && (planck_verify || !cost_ok) {
             let t_verify = Instant::now();
             nimble_planck::verify(op.as_ref())
                 .map_err(|report| CoreError::PlanVerify(report.to_string()))?;
@@ -1367,7 +1374,16 @@ impl Engine {
             } => {
                 let doc = self.view_document(view, depth, ctx)?;
                 let tuples = match_tuples(&doc, pattern, vars);
-                self.note_stats_rows(&format!("view:{}", view), tuples.len() as u64);
+                // Row count = the view result's top-level elements,
+                // mirroring the FetchMatch measure. The per-pattern match
+                // count would make the estimate oscillate between queries
+                // with different patterns over the same view, bumping the
+                // stats generation (and flushing the plan cache) on every
+                // alternation.
+                self.note_stats_rows(
+                    &format!("view:{}", view),
+                    doc.root().child_elements().count() as u64,
+                );
                 Ok((vars.clone(), tuples))
             }
         }

@@ -12,8 +12,9 @@
 //!
 //! The cached object is a *template*: the engine still fetches sources,
 //! assembles fresh operators, and executes per query — only the frontend
-//! and planner work is skipped (plus the planck re-verification of a
-//! plan shape that already verified clean).
+//! and planner work is skipped (plus, when the plan carries a cost-based
+//! fold order and so a deterministic operator shape, the planck
+//! re-verification of a shape that already verified clean).
 
 use crate::planner::Plan;
 use nimble_xmlql::ast::Query;
@@ -87,10 +88,43 @@ impl PlanCache {
         }
     }
 
-    /// Canonical cache key for query text: collapse all whitespace runs
-    /// so reformatting the same query still hits.
+    /// Canonical cache key for query text: collapse whitespace runs
+    /// *outside* string literals so reformatting the same query still
+    /// hits. Quoted regions (single or double quotes with `\` escapes,
+    /// the lexer's literal syntax) are copied verbatim — the lexer
+    /// preserves whitespace inside literals, so queries differing only
+    /// there are different queries and must not share a key.
     pub fn normalize(text: &str) -> String {
-        text.split_whitespace().collect::<Vec<_>>().join(" ")
+        let mut out = String::with_capacity(text.len());
+        let mut chars = text.chars();
+        let mut pending_space = false;
+        while let Some(c) = chars.next() {
+            if c.is_whitespace() {
+                pending_space = true;
+                continue;
+            }
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            out.push(c);
+            if c == '"' || c == '\'' {
+                // Inside a literal: copy verbatim up to the matching
+                // unescaped quote. An unterminated literal (a lex error
+                // downstream) copies through to the end of the text.
+                while let Some(d) = chars.next() {
+                    out.push(d);
+                    if d == '\\' {
+                        if let Some(escaped) = chars.next() {
+                            out.push(escaped);
+                        }
+                    } else if d == c {
+                        break;
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Look up `key`; an entry under a different stamp is dropped and
@@ -212,6 +246,37 @@ mod tests {
             PlanCache::normalize("WHERE  <a/>\n   IN \"c\"\tCONSTRUCT <o/>"),
             "WHERE <a/> IN \"c\" CONSTRUCT <o/>"
         );
+    }
+
+    #[test]
+    fn normalize_preserves_whitespace_inside_literals() {
+        // The lexer keeps whitespace (even newlines/tabs) inside string
+        // literals, so queries differing only there are *different*
+        // queries and must not collapse to one cache key.
+        assert_ne!(
+            PlanCache::normalize("WHERE $x = \"a  b\" CONSTRUCT <o/>"),
+            PlanCache::normalize("WHERE $x = \"a b\" CONSTRUCT <o/>"),
+        );
+        assert_eq!(
+            PlanCache::normalize("WHERE\t$x =  \"a \n b\"  CONSTRUCT <o/>"),
+            "WHERE $x = \"a \n b\" CONSTRUCT <o/>"
+        );
+        // Single-quoted literals behave the same way.
+        assert_eq!(PlanCache::normalize("$x  =  'a\t b'"), "$x = 'a\t b'");
+    }
+
+    #[test]
+    fn normalize_honours_escapes_and_unterminated_literals() {
+        // An escaped quote does not end the literal region; whitespace
+        // after it is still inside and preserved.
+        assert_eq!(
+            PlanCache::normalize(r#"$x = "a\"  b"   $y"#),
+            r#"$x = "a\"  b" $y"#
+        );
+        // A trailing backslash or unterminated literal copies verbatim
+        // to the end (the lexer rejects it later).
+        assert_eq!(PlanCache::normalize("$x = \"a  b"), "$x = \"a  b");
+        assert_eq!(PlanCache::normalize("$x = \"a\\"), "$x = \"a\\");
     }
 
     #[test]

@@ -143,8 +143,20 @@ impl StatsCatalog {
         }
     }
 
-    /// Drop every entry whose key starts with `prefix` (e.g. `"crm."`
-    /// when the `crm` source is unregistered). Bumps the generation if
+    /// Drop exactly `key` (e.g. `"view:a"` when view `a` is dropped —
+    /// prefix removal would also hit `"view:ab"`). Bumps the generation
+    /// if the entry existed.
+    pub fn remove(&self, key: &str) {
+        let mut inner = self.inner.write();
+        if inner.remove(key).is_some() {
+            self.generation.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop every entry whose key starts with `prefix`. Reserved for
+    /// keys where the prefix is delimited (e.g. `"crm."` when the `crm`
+    /// source is unregistered) — use [`StatsCatalog::remove`] where an
+    /// undelimited prefix could over-match. Bumps the generation if
     /// anything was removed.
     pub fn remove_prefix(&self, prefix: &str) {
         let mut inner = self.inner.write();
@@ -363,6 +375,21 @@ mod tests {
         // Same count again: no-op.
         assert!(!cat.observe_rows("crm.customers", 500));
         assert_eq!(cat.activity().feedback_updates, 3);
+    }
+
+    #[test]
+    fn remove_is_exact_key_only() {
+        let cat = StatsCatalog::new();
+        cat.set("view:a", CollectionStats::default());
+        cat.set("view:ab", CollectionStats::default());
+        let gen = cat.generation();
+        cat.remove("view:a");
+        assert!(cat.get("view:a").is_none());
+        assert!(cat.get("view:ab").is_some());
+        assert_eq!(cat.generation(), gen + 1);
+        // Removing a missing key leaves the generation alone.
+        cat.remove("view:a");
+        assert_eq!(cat.generation(), gen + 1);
     }
 
     #[test]
