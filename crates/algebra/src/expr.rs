@@ -6,6 +6,10 @@ use crate::schema::Tuple;
 use nimble_xml::{Atomic, Path, Value};
 use std::sync::Arc;
 
+/// The value type carried by [`ScalarExpr::Lit`], re-exported so crates
+/// that link only `nimble-algebra` (the static analyzer) can name it.
+pub use nimble_xml::Value as LiteralValue;
+
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CmpOp {
@@ -74,17 +78,13 @@ impl ScalarExpr {
     }
 
     /// Conjunction of a list of predicates (`true` when empty).
-    pub fn conjunction(mut preds: Vec<ScalarExpr>) -> ScalarExpr {
-        match preds.len() {
-            0 => ScalarExpr::Lit(Value::Atomic(Atomic::Bool(true))),
-            1 => preds.pop().unwrap(),
-            _ => {
-                let mut it = preds.into_iter();
-                let first = it.next().unwrap();
-                it.fold(first, |acc, p| {
-                    ScalarExpr::And(Box::new(acc), Box::new(p))
-                })
-            }
+    pub fn conjunction(preds: Vec<ScalarExpr>) -> ScalarExpr {
+        let mut it = preds.into_iter();
+        match it.next() {
+            None => ScalarExpr::Lit(Value::Atomic(Atomic::Bool(true))),
+            Some(first) => it.fold(first, |acc, p| {
+                ScalarExpr::And(Box::new(acc), Box::new(p))
+            }),
         }
     }
 
@@ -226,7 +226,12 @@ impl ScalarExpr {
     }
 }
 
-fn compare(op: CmpOp, l: &Value, r: &Value) -> bool {
+/// Compare two values under the engine's coercion semantics: LIKE is
+/// lexical, numeric-looking operands compare numerically, and any
+/// comparison with Null is false except `Null = Null` / one-sided `!=`.
+/// Public so the static analyzer can constant-fold literal comparisons
+/// with exactly the runtime's semantics.
+pub fn compare(op: CmpOp, l: &Value, r: &Value) -> bool {
     use std::cmp::Ordering;
     if op == CmpOp::Like {
         return like_match(&l.atomize().lexical(), &r.atomize().lexical());
@@ -266,6 +271,31 @@ fn coerce_num(a: &Atomic) -> Option<f64> {
         Atomic::Str(s) => s.trim().parse::<f64>().ok(),
         _ => None,
     }
+}
+
+/// The numeric coercion of a literal value, if it has one — the same
+/// rule `compare` and `arith` apply at runtime (Int, Float, or a
+/// numeric-looking string). Used by the static analyzer's interval
+/// propagation.
+pub fn literal_num(v: &Value) -> Option<f64> {
+    coerce_num(&v.atomize())
+}
+
+/// Whether a literal value is Null after atomization.
+pub fn literal_is_null(v: &Value) -> bool {
+    v.atomize().is_null()
+}
+
+/// Whether a literal value is truthy under the predicate semantics
+/// `FilterOp` applies (`Value::truthy`).
+pub fn literal_truth(v: &Value) -> bool {
+    v.truthy()
+}
+
+/// The lexical form of a literal, as the runtime's LIKE and lexical
+/// comparisons see it.
+pub fn literal_lexical(v: &Value) -> String {
+    v.atomize().lexical()
 }
 
 /// SQL LIKE matcher: `%` matches any run, `_` any single char.

@@ -18,6 +18,138 @@
 
 use crate::expr::ScalarExpr;
 use crate::ops::SortKey;
+use std::fmt;
+
+/// Coercion class of a field, the lattice the semantic type pass works
+/// over. The classes mirror the runtime's join-key coercion semantics
+/// (`numeric_key`): values that coerce to numbers compare numerically,
+/// everything else compares lexically, and element-valued bindings are
+/// structural. `Unknown` is the lattice top for *tolerance* — it joins
+/// with anything without complaint — while `Mixed` records a witnessed
+/// disagreement (e.g. union arms typing a column differently) and
+/// `Never` marks a column that is declared to never be bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldType {
+    /// Coerces to a number (Int/Float/numeric string).
+    Numeric,
+    /// Plain text; compares lexically.
+    Text,
+    /// An element node (ELEMENT_AS / CONTENT_AS bindings).
+    Element,
+    /// Not statically known; compatible with every class.
+    Unknown,
+    /// Witnessed disagreement between contributing types.
+    Mixed,
+    /// Declared never bound; any reference is an error.
+    Never,
+}
+
+impl FieldType {
+    /// Lattice join of two types: `Unknown` defers, equal types keep,
+    /// `Never` is absorbed by the other side, anything else is `Mixed`.
+    pub fn join(self, other: FieldType) -> FieldType {
+        use FieldType::*;
+        match (self, other) {
+            (Unknown, t) | (t, Unknown) => t,
+            (Never, t) | (t, Never) => t,
+            (a, b) if a == b => a,
+            _ => Mixed,
+        }
+    }
+
+    /// The coercion class of a literal value, mirroring the runtime's
+    /// `numeric_key` / `coerce_num` semantics: anything that coerces to
+    /// a number is `Numeric` (including numeric-looking strings), other
+    /// strings are `Text`, element nodes are `Element`, and values the
+    /// lattice makes no claim about (Null, Bool, lists) are `Unknown`.
+    pub fn of_literal(v: &nimble_xml::Value) -> FieldType {
+        use nimble_xml::{Atomic, Value};
+        match v {
+            Value::Node(_) => FieldType::Element,
+            Value::Atomic(a) => match a {
+                Atomic::Int(_) | Atomic::Float(_) => FieldType::Numeric,
+                Atomic::Str(s) => {
+                    if s.trim().parse::<f64>().is_ok() {
+                        FieldType::Numeric
+                    } else {
+                        FieldType::Text
+                    }
+                }
+                _ => FieldType::Unknown,
+            },
+            _ => FieldType::Unknown,
+        }
+    }
+
+    /// Whether values of the two classes can be meaningfully compared as
+    /// join keys. `Unknown` and `Mixed` are tolerated (no static claim);
+    /// `Never` is never comparable; otherwise classes must agree.
+    pub fn comparable(self, other: FieldType) -> bool {
+        use FieldType::*;
+        match (self, other) {
+            (Never, _) | (_, Never) => false,
+            (Unknown, _) | (_, Unknown) | (Mixed, _) | (_, Mixed) => true,
+            (a, b) => a == b,
+        }
+    }
+}
+
+impl fmt::Display for FieldType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FieldType::Numeric => "numeric",
+            FieldType::Text => "text",
+            FieldType::Element => "element",
+            FieldType::Unknown => "unknown",
+            FieldType::Mixed => "mixed",
+            FieldType::Never => "never",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The typed domain of one output field: coercion class plus
+/// nullability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldDomain {
+    pub ty: FieldType,
+    pub nullable: bool,
+}
+
+impl FieldDomain {
+    pub fn new(ty: FieldType) -> FieldDomain {
+        FieldDomain { ty, nullable: false }
+    }
+
+    /// An entirely unconstrained field.
+    pub fn unknown() -> FieldDomain {
+        FieldDomain { ty: FieldType::Unknown, nullable: true }
+    }
+
+    pub fn nullable(mut self) -> FieldDomain {
+        self.nullable = true;
+        self
+    }
+
+    /// Join with another domain: lattice join on types, nullable if
+    /// either side may be null.
+    pub fn join(self, other: FieldDomain) -> FieldDomain {
+        FieldDomain {
+            ty: self.ty.join(other.ty),
+            nullable: self.nullable || other.nullable,
+        }
+    }
+}
+
+impl fmt::Display for FieldDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.nullable {
+            write!(f, "{}?", self.ty)
+        } else {
+            write!(f, "{}", self.ty)
+        }
+    }
+}
 
 /// How an operator's output schema is derived from its children.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,6 +256,15 @@ pub struct OpInfo {
     /// column at that position is a pure copy of child column `i`. Lets
     /// the verifier carry sort orders through projections.
     pub projection_map: Option<Vec<Option<usize>>>,
+    /// Declared typed domains of this operator's output columns (one per
+    /// schema column), for leaves that know their types. `None` means
+    /// "infer from children"; the semantic type pass fills the gap with
+    /// [`FieldType::Unknown`] for underived leaves.
+    pub out_types: Option<Vec<FieldDomain>>,
+    /// Rewrite-provenance tags attached by the optimizer (e.g.
+    /// `"pruned: unsatisfiable"`, `"build-side swapped"`). Purely
+    /// informational: surfaced in diagnostics and EXPLAIN.
+    pub provenance: Vec<String>,
 }
 
 impl OpInfo {
@@ -141,6 +282,8 @@ impl OpInfo {
             grouping: None,
             child_cols: Vec::new(),
             projection_map: None,
+            out_types: None,
+            provenance: Vec::new(),
         }
     }
 
@@ -217,6 +360,18 @@ impl OpInfo {
         self.projection_map = Some(map);
         self
     }
+
+    /// Declare the typed domains of the output columns (one per column).
+    pub fn with_out_types(mut self, types: Vec<FieldDomain>) -> OpInfo {
+        self.out_types = Some(types);
+        self
+    }
+
+    /// Attach a rewrite-provenance tag.
+    pub fn with_provenance(mut self, tag: impl Into<String>) -> OpInfo {
+        self.provenance.push(tag.into());
+        self
+    }
 }
 
 #[cfg(test)]
@@ -239,5 +394,39 @@ mod tests {
         let info = OpInfo::transform("Filter");
         assert_eq!(info.order, OrderEffect::Preserves(0));
         assert_eq!(info.schema_rule, SchemaRule::Inherit(0));
+    }
+
+    #[test]
+    fn type_lattice_join_and_comparability() {
+        use FieldType::*;
+        assert_eq!(Numeric.join(Numeric), Numeric);
+        assert_eq!(Numeric.join(Text), Mixed);
+        assert_eq!(Unknown.join(Text), Text);
+        assert_eq!(Never.join(Numeric), Numeric);
+        assert!(Numeric.comparable(Numeric));
+        assert!(Unknown.comparable(Element));
+        assert!(Mixed.comparable(Text));
+        assert!(!Numeric.comparable(Text));
+        assert!(!Element.comparable(Numeric));
+        assert!(!Never.comparable(Unknown));
+    }
+
+    #[test]
+    fn domain_join_widens_nullability() {
+        let a = FieldDomain::new(FieldType::Numeric);
+        let b = FieldDomain::new(FieldType::Numeric).nullable();
+        let j = a.join(b);
+        assert_eq!(j.ty, FieldType::Numeric);
+        assert!(j.nullable);
+        assert_eq!(j.to_string(), "numeric?");
+    }
+
+    #[test]
+    fn typed_and_provenance_builders() {
+        let info = OpInfo::source("Values")
+            .with_out_types(vec![FieldDomain::new(FieldType::Text)])
+            .with_provenance("pruned: unsatisfiable");
+        assert_eq!(info.out_types.as_ref().map(|t| t.len()), Some(1));
+        assert_eq!(info.provenance, vec!["pruned: unsatisfiable"]);
     }
 }

@@ -14,6 +14,7 @@
 //! `next`, so third-party / opaque operators participate unchanged; the
 //! hot built-ins override it with batch-native kernels.
 
+mod empty;
 mod filter;
 mod group;
 mod join;
@@ -25,6 +26,7 @@ mod scan;
 mod setops;
 mod sort;
 
+pub use empty::EmptyOp;
 pub use filter::FilterOp;
 pub use group::{AggSpec, GroupAggOp};
 pub use join::{HashJoinOp, JoinType, MergeJoinOp, NestedLoopJoinOp};

@@ -1,0 +1,286 @@
+//! E13: semantic plan analysis — what the static checks cost and what
+//! satisfiability pruning saves.
+//!
+//! Three sections, one planck-v2 feature each:
+//!
+//! * **overhead** — the same three-atom query planned cold (plan cache
+//!   off) with `semantic_checks` on vs off: per-phase planning-path
+//!   means, so the type/satisfiability/audit work is visible in the
+//!   `plan` and `verify` phases and nowhere else.
+//! * **unsat_prune** — a contradictory-predicate workload
+//!   (`$t > 900 AND $t < 10`) against the scaled customer fixture,
+//!   `prune_unsat` on vs off. Pruning answers from an annotated empty
+//!   relation without touching any source, so the headline numbers are
+//!   the end-to-end speedup and the adapter-call count (must be zero
+//!   when pruning). A differential gate checks both modes construct the
+//!   identical (empty) document.
+//! * **differential** — steady-state cache hits with `semantic_checks`
+//!   on (every 16th hit is differentially re-planned and diffed) vs
+//!   off: amortized per-query cost of the safety net, plus the sampled
+//!   and mismatch counters. Any mismatch fails the run — the cache must
+//!   agree with a fresh plan under an unchanged stamp.
+//!
+//! Writes `BENCH_staticcheck.json`; `--quick` / `NIMBLE_BENCH_QUICK=1`
+//! shrinks the fixture for CI smoke.
+
+use nimble_bench::{
+    customer_fixture, emit_jsonl, observe_window, phase_summary, write_bench_artifact,
+    TablePrinter,
+};
+use nimble_core::{Engine, EngineConfig, OptimizerConfig};
+use nimble_xml::to_string;
+use std::sync::Arc;
+
+/// Unwrap an experiment-infrastructure result without a panic path
+/// (the lint ratchet counts `expect` even in binaries).
+fn need<T, E: std::fmt::Display>(r: Result<T, E>, what: &str) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("exp_staticcheck: {}: {}", what, e);
+            std::process::exit(1);
+        }
+    }
+}
+
+/// A satisfiable three-atom query with enough predicates and rewrites
+/// (pushdown, fold reorder, build-side choice) to exercise every
+/// semantic pass.
+const LIVE_QUERY: &str = r#"WHERE <row><id>$i</id><name>$n</name><region>$r</region></row> IN "customers",
+         <row><cust_id>$i</cust_id><total>$t</total></row> IN "orders",
+         $t > 100
+   CONSTRUCT <hit><n>$n</n><t>$t</t></hit>
+   ORDER-BY $n"#;
+
+/// The statically-empty workload: `$t > 900 AND $t < 10` is a pure
+/// interval contradiction, provable with no statistics at all — whether
+/// the pair is kept residual or pushed into the orders fragment.
+const UNSAT_QUERY: &str = r#"WHERE <row><id>$i</id><name>$n</name></row> IN "customers",
+         <row><cust_id>$i</cust_id><total>$t</total></row> IN "orders",
+         $t > 900, $t < 10
+   CONSTRUCT <x><n>$n</n></x>"#;
+
+/// Per-phase planning-path means (ms/query) keyed by phase name, over
+/// `runs` repetitions, plus the end-to-end mean.
+fn measure_phases(engine: &Engine, q: &str, runs: usize) -> (Vec<(String, f64)>, f64) {
+    let (_, window) = observe_window(engine.metrics(), || {
+        for _ in 0..runs {
+            need(engine.query(q), "measured query");
+        }
+    });
+    let phases = phase_summary(&window)
+        .into_iter()
+        .filter(|(phase, ..)| {
+            matches!(phase.as_str(), "parse" | "analyze" | "plan" | "verify")
+        })
+        .map(|(phase, _, mean_ms, _)| (phase, mean_ms))
+        .collect();
+    let query_ms = window
+        .histograms
+        .get("engine.query_us")
+        .map(|h| h.mean() / 1e3)
+        .unwrap_or(0.0);
+    (phases, query_ms)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("NIMBLE_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let (customers, runs) = if quick { (200, 16) } else { (2_000, 64) };
+
+    // --- Section 1: analysis overhead per phase -------------------------
+    // Plan cache off so every run pays the full planning path; verify on
+    // in both modes (release defaults it off) so the semantic passes
+    // actually run where they live.
+    let (catalog, _) = customer_fixture(customers);
+    let cold = |semantic_checks: bool| {
+        let e = Engine::with_config(
+            Arc::clone(&catalog),
+            EngineConfig {
+                plan_cache_capacity: 0,
+                ..EngineConfig::default()
+            },
+        );
+        e.set_optimizer(OptimizerConfig {
+            verify_plans: true,
+            semantic_checks,
+            ..OptimizerConfig::default()
+        });
+        e
+    };
+    let with_sem = cold(true);
+    let without_sem = cold(false);
+    for _ in 0..2 {
+        need(with_sem.query(LIVE_QUERY), "warmup");
+        need(without_sem.query(LIVE_QUERY), "warmup");
+    }
+    let (phases_on, e2e_on) = measure_phases(&with_sem, LIVE_QUERY, runs);
+    let (phases_off, e2e_off) = measure_phases(&without_sem, LIVE_QUERY, runs);
+
+    println!(
+        "analysis overhead: {} customers, {} runs{} (cold planning path, per phase)",
+        customers,
+        runs,
+        if quick { " (quick)" } else { "" }
+    );
+    let table = TablePrinter::new(&[
+        ("phase", 9),
+        ("semantic_ms", 13),
+        ("plain_ms", 10),
+        ("overhead", 10),
+    ]);
+    let mut overhead = serde_json::Map::new();
+    for (phase, on_ms) in &phases_on {
+        let off_ms = phases_off
+            .iter()
+            .find(|(p, _)| p == phase)
+            .map(|&(_, m)| m)
+            .unwrap_or(0.0);
+        table.row(&[
+            phase.clone(),
+            format!("{:.4}", on_ms),
+            format!("{:.4}", off_ms),
+            format!("{:+.4}ms", on_ms - off_ms),
+        ]);
+        overhead.insert(
+            phase.clone(),
+            serde_json::json!({ "semantic_ms": *on_ms, "plain_ms": off_ms }),
+        );
+    }
+    println!(
+        "end-to-end: semantic {:.4} ms vs plain {:.4} ms",
+        e2e_on, e2e_off
+    );
+
+    // --- Section 2: satisfiability pruning ------------------------------
+    let prune_engine = |prune_unsat: bool| {
+        let e = Engine::new(Arc::clone(&catalog));
+        e.set_optimizer(OptimizerConfig {
+            verify_plans: true,
+            prune_unsat,
+            ..OptimizerConfig::default()
+        });
+        e
+    };
+    let pruning = prune_engine(true);
+    let honest = prune_engine(false);
+
+    // Differential gate: pruned and honestly-executed answers agree.
+    let doc_pruned = need(pruning.query(UNSAT_QUERY), "pruned query");
+    let doc_honest = need(honest.query(UNSAT_QUERY), "honest query");
+    let unsat_identical =
+        to_string(&doc_pruned.document.root()) == to_string(&doc_honest.document.root());
+    let pruned_empty = doc_pruned.document.root().children().count() == 0;
+    let pruned_calls = doc_pruned.stats.source_calls;
+    let honest_calls = doc_honest.stats.source_calls;
+
+    let (_, prune_on_ms) = measure_phases(&pruning, UNSAT_QUERY, runs);
+    let (_, prune_off_ms) = measure_phases(&honest, UNSAT_QUERY, runs);
+    let pruned_count = pruning
+        .metrics()
+        .snapshot()
+        .counter("engine.plan.pruned");
+    let prune_speedup = prune_off_ms / prune_on_ms.max(1e-6);
+
+    println!("\nunsat prune: contradictory workload, prune on vs off");
+    let table = TablePrinter::new(&[
+        ("mode", 11),
+        ("query_ms", 10),
+        ("src_calls", 11),
+        ("speedup", 9),
+    ]);
+    table.row(&[
+        "honest".into(),
+        format!("{:.4}", prune_off_ms),
+        format!("{}", honest_calls),
+        "1.00x".into(),
+    ]);
+    table.row(&[
+        "pruned".into(),
+        format!("{:.4}", prune_on_ms),
+        format!("{}", pruned_calls),
+        format!("{:.2}x", prune_speedup),
+    ]);
+
+    // --- Section 3: sampled cache-differential cost ---------------------
+    let warm = |semantic_checks: bool| {
+        let e = Engine::new(Arc::clone(&catalog));
+        e.set_optimizer(OptimizerConfig {
+            verify_plans: true,
+            semantic_checks,
+            ..OptimizerConfig::default()
+        });
+        e
+    };
+    let diff_on = warm(true);
+    let diff_off = warm(false);
+    for _ in 0..2 {
+        need(diff_on.query(LIVE_QUERY), "warmup");
+        need(diff_off.query(LIVE_QUERY), "warmup");
+    }
+    let (_, hit_on_ms) = measure_phases(&diff_on, LIVE_QUERY, runs);
+    let (_, hit_off_ms) = measure_phases(&diff_off, LIVE_QUERY, runs);
+    let snap = diff_on.metrics().snapshot();
+    let sampled = snap.counter("engine.plan_cache.differential");
+    let mismatches = snap.counter("engine.plan_cache.differential_mismatch");
+
+    println!("\ncache differential: steady-state hits, semantic on vs off");
+    println!(
+        "  hit query_ms: semantic {:.4} vs plain {:.4} ({:+.4} ms amortized); sampled {} of {} runs, mismatches {}",
+        hit_on_ms,
+        hit_off_ms,
+        hit_on_ms - hit_off_ms,
+        sampled,
+        runs,
+        mismatches
+    );
+
+    // --- Gates and artifact ---------------------------------------------
+    let prune_target_met = prune_speedup >= 1.5 && pruned_calls == 0 && pruned_count > 0;
+    let differential_ok = unsat_identical && pruned_empty && mismatches == 0 && sampled > 0;
+    println!(
+        "\ntargets: prune speedup {:.1}x (>=1.5x with zero source calls: {}); differential clean: {}",
+        prune_speedup, prune_target_met, differential_ok
+    );
+
+    let mut overhead_json = serde_json::Map::new();
+    overhead_json.insert("phases".to_string(), serde_json::Value::Object(overhead));
+    overhead_json.insert("e2e_semantic_ms".to_string(), e2e_on.into());
+    overhead_json.insert("e2e_plain_ms".to_string(), e2e_off.into());
+    let unsat_json = serde_json::json!({
+        "prune_on_ms": prune_on_ms,
+        "prune_off_ms": prune_off_ms,
+        "speedup": prune_speedup,
+        "pruned_source_calls": pruned_calls,
+        "honest_source_calls": honest_calls,
+        "pruned_plans": pruned_count,
+        "target_met": prune_target_met,
+    });
+    let diff_json = serde_json::json!({
+        "hit_semantic_ms": hit_on_ms,
+        "hit_plain_ms": hit_off_ms,
+        "sampled": sampled,
+        "mismatches": mismatches,
+    });
+    let mut record = serde_json::Map::new();
+    record.insert("experiment".to_string(), "staticcheck".into());
+    record.insert("quick".to_string(), quick.into());
+    record.insert("customers".to_string(), customers.into());
+    record.insert("runs".to_string(), runs.into());
+    record.insert("overhead".to_string(), serde_json::Value::Object(overhead_json));
+    record.insert("unsat_prune".to_string(), unsat_json);
+    record.insert("cache_differential".to_string(), diff_json);
+    record.insert("differential_ok".to_string(), differential_ok.into());
+    let record = serde_json::Value::Object(record);
+    write_bench_artifact("BENCH_staticcheck.json", &record);
+    emit_jsonl("staticcheck", &record);
+
+    if !differential_ok {
+        eprintln!("exp_staticcheck: differential gate failed");
+        std::process::exit(1);
+    }
+    if !prune_target_met {
+        eprintln!("exp_staticcheck: prune perf target missed");
+        std::process::exit(1);
+    }
+}

@@ -241,16 +241,19 @@ impl Catalog {
                 owners.push(sname.clone());
             }
         }
-        match owners.len() {
-            0 => Err(CoreError::UnknownCollection(name.to_string())),
-            1 => Ok(Resolved::Collection {
-                source: owners.pop().unwrap(),
+        match owners.pop() {
+            None => Err(CoreError::UnknownCollection(name.to_string())),
+            Some(source) if owners.is_empty() => Ok(Resolved::Collection {
+                source,
                 collection: name.to_string(),
             }),
-            _ => Err(CoreError::AmbiguousCollection {
-                name: name.to_string(),
-                sources: owners,
-            }),
+            Some(last) => {
+                owners.push(last);
+                Err(CoreError::AmbiguousCollection {
+                    name: name.to_string(),
+                    sources: owners,
+                })
+            }
         }
     }
 }
@@ -334,6 +337,29 @@ mod tests {
         c.define_view("bib", r#"WHERE <bib>$x</bib> IN "feeds.bib" CONSTRUCT <v>$x</v>"#, None)
             .unwrap();
         assert_eq!(c.resolve("bib").unwrap(), Resolved::View("bib".into()));
+    }
+
+    #[test]
+    fn view_with_surface_type_error_rejected_at_define_time() {
+        let c = catalog();
+        // `$x + "abc"` can never be numeric: rejected at DEFINE VIEW
+        // time with the operator's position, not on the first query.
+        let err = c
+            .define_view(
+                "bad",
+                "WHERE <bib>$x</bib> IN \"feeds.bib\",\n  $x + \"abc\" > 0\nCONSTRUCT <v>$x</v>",
+                None,
+            )
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("type error at line 2"), "{}", msg);
+        assert!(msg.contains("\"abc\""), "{}", msg);
+        // The failed definition must not register the view.
+        assert!(matches!(c.resolve("bad"), Err(CoreError::UnknownCollection(_))));
+        // A clean definition on the same name still works.
+        c.define_view("bad", r#"WHERE <bib>$x</bib> IN "feeds.bib" CONSTRUCT <v>$x</v>"#, None)
+            .unwrap();
+        assert_eq!(c.resolve("bad").unwrap(), Resolved::View("bad".into()));
     }
 
     #[test]

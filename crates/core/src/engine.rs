@@ -7,9 +7,10 @@ use crate::matcher;
 use crate::plan_cache::{CachedPlan, PlanCache, PlanStamp};
 use crate::planner::{self, AtomExec, BindPatternOp, Plan};
 use nimble_algebra::ops::{
-    FilterOp, HashJoinOp, JoinType, MeteredOp, NestedLoopJoinOp, Operator, ProjectOp, SortKey,
-    SortOp, ValuesOp,
+    EmptyOp, FilterOp, HashJoinOp, JoinType, MeteredOp, NestedLoopJoinOp, Operator, ProjectOp,
+    SortKey, SortOp, ValuesOp,
 };
+use nimble_planck::{Fingerprint, RewriteRecord};
 use nimble_algebra::{
     explain as explain_ops, explain_analyze as explain_analyze_ops, run_to_vec,
     run_to_vec_batched, FunctionRegistry, ScalarExpr, Schema, Tuple,
@@ -66,6 +67,17 @@ pub struct OptimizerConfig {
     /// shipping them. Off falls back to the fixed heuristics (fold in
     /// actual fetched-size order).
     pub cost_based: bool,
+    /// Semantic plan analysis (`nimble-planck` v2): type/nullability
+    /// inference over the assembled operator tree, rewrite-equivalence
+    /// auditing of every optimizer rewrite, and sampled differential
+    /// re-planning of plan-cache hits. Purely diagnostic — never
+    /// changes what a correct plan computes.
+    pub semantic_checks: bool,
+    /// Prune statically-unsatisfiable queries (`$x > 5 AND $x < 3`, or
+    /// predicates outside exhaustive-sample statistics bounds) to an
+    /// annotated empty relation without contacting any source, and
+    /// eliminate always-true residual predicates.
+    pub prune_unsat: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -78,6 +90,8 @@ impl Default for OptimizerConfig {
             batch_exec: true,
             parallel_exec: true,
             cost_based: true,
+            semantic_checks: true,
+            prune_unsat: true,
         }
     }
 }
@@ -95,6 +109,8 @@ impl OptimizerConfig {
             self.batch_exec,
             self.parallel_exec,
             self.cost_based,
+            self.semantic_checks,
+            self.prune_unsat,
         ];
         let mut fp: u64 = 0xcbf2_9ce4_8422_2325;
         for b in flags {
@@ -239,7 +255,16 @@ pub struct Engine {
     flight: FlightRecorder,
     /// Compiled plans keyed by normalized query text + validity stamp.
     plans: PlanCache,
+    /// Monotone counter of plan-cache hits, driving the sampled
+    /// differential re-plan (every [`DIFFERENTIAL_SAMPLE`]-th hit,
+    /// starting with the first).
+    differential_seq: AtomicU64,
 }
+
+/// One in how many plan-cache hits is differentially re-planned when
+/// semantic checks are on (the first hit is always sampled, so a test
+/// exercising the path needs exactly one hit).
+const DIFFERENTIAL_SAMPLE: u64 = 16;
 
 /// Ring-buffer capacity of each engine's query log.
 const QUERY_LOG_CAPACITY: usize = 256;
@@ -309,6 +334,7 @@ impl Engine {
             instance,
             flight: FlightRecorder::new(config.flight_capacity, config.slow_query_ms),
             plans: PlanCache::new(config.plan_cache_capacity),
+            differential_seq: AtomicU64::new(0),
             catalog,
             views: ViewStore::new(),
             cache: ResultCache::new(config.cache_nodes),
@@ -562,6 +588,47 @@ impl Engine {
         let (query, plan, plan_ms, plan_verify_ms, planck_verify) = match lookup.value {
             Some(cached) => {
                 self.metrics.incr("engine.plan_cache.hits", 1);
+                // Sampled differential re-plan (semantic pass 3 applied
+                // to cache reuse): every DIFFERENTIAL_SAMPLE-th hit is
+                // re-planned from scratch and the fresh plan compared
+                // against the cached template. The stamp guarantees the
+                // same config/epoch/statistics, so planning is
+                // deterministic and any divergence means the cache
+                // served a plan the planner would no longer produce.
+                let seq = self.differential_seq.fetch_add(1, Ordering::Relaxed);
+                if config.optimizer.semantic_checks
+                    && config.optimizer.verify_plans
+                    && seq % DIFFERENTIAL_SAMPLE == 0
+                {
+                    self.metrics.incr("engine.plan_cache.differential", 1);
+                    let fresh = nimble_xmlql::parse_query(text)
+                        .map_err(|e| CoreError::Compile(e.to_string()))?;
+                    nimble_xmlql::analyze(&fresh)
+                        .map_err(|e| CoreError::Compile(e.to_string()))?;
+                    let fresh_plan =
+                        planner::plan_query(&self.catalog, &fresh, &config.optimizer)?;
+                    let cached_sig = plan_semantic_signature(&cached.plan);
+                    let fresh_sig = plan_semantic_signature(&fresh_plan);
+                    if cached_sig != fresh_sig {
+                        self.metrics
+                            .incr("engine.plan_cache.differential_mismatch", 1);
+                        // Self-heal: replace the divergent entry so the
+                        // next execution runs the freshly planned shape.
+                        self.plans.put(
+                            &plan_key,
+                            stamp,
+                            Arc::new(CachedPlan {
+                                query: Arc::new(fresh),
+                                plan: Arc::new(fresh_plan),
+                            }),
+                        );
+                        return Err(CoreError::PlanVerify(format!(
+                            "plan-cache differential mismatch: the cached plan no longer \
+                             matches a fresh plan under the same stamp\n  cached: {}\n  fresh:  {}",
+                            cached_sig, fresh_sig
+                        )));
+                    }
+                }
                 let plan_ms = ms_since(t_plan_lookup);
                 (
                     Arc::clone(&cached.query),
@@ -878,6 +945,12 @@ impl Engine {
         planck_verify: bool,
     ) -> Result<(Schema, Vec<Tuple>), CoreError> {
         let config = self.config();
+        // A statically-pruned plan (unsatisfiable WHERE clause) skips
+        // the entire pipeline: no source is contacted, no join is
+        // folded — the measurable win of satisfiability analysis.
+        if let Some(reason) = &plan.pruned {
+            return self.eval_pruned(plan, reason, outer, depth, ctx, plan_ms, plan_verify_ms);
+        }
         let mut verify_ms = plan_verify_ms;
         let t_execute = Instant::now();
         let verify_pre_ms = verify_ms;
@@ -977,6 +1050,10 @@ impl Engine {
         // `engine.exec.pipeline_us`.
         let t_pipeline = Instant::now();
         let funcs = self.funcs.read().clone();
+        // Execution-time rewrites (build-side swaps, vectorized
+        // substitution) recorded for the semantic rewrite audit.
+        let record_rewrites = config.optimizer.semantic_checks;
+        let mut exec_rewrites: Vec<RewriteRecord> = Vec::new();
         let mut iter = inputs.into_iter().enumerate();
         let (_, (first_schema, first_tuples)) = iter
             .next()
@@ -1034,15 +1111,60 @@ impl Engine {
                     (cur_est, this_est),
                     (Some(acc), Some(next)) if next > acc.saturating_mul(4)
                 );
+                // Fingerprint the operand schemas before they move into
+                // the join: a faithful swap keeps the (deduplicated,
+                // `#`-free) column set and the natural-join key set.
+                let swap_before = if record_rewrites && swap {
+                    let mut cols: Vec<String> = Vec::new();
+                    for v in op.schema().vars().iter().chain(schema.vars()) {
+                        if !v.contains('#') && !cols.iter().any(|x| x == v) {
+                            cols.push(v.clone());
+                        }
+                    }
+                    Some((cols, op.schema().common_vars(&schema)))
+                } else {
+                    None
+                };
                 let build_est = if swap { cur_est } else { this_est };
                 let (probe, build) = if swap { (right, op) } else { (op, right) };
                 let join = HashJoinOp::natural(probe, build, JoinType::Inner);
+                if let Some((before_cols, keys)) = swap_before {
+                    let after_cols: Vec<String> = join
+                        .schema()
+                        .vars()
+                        .iter()
+                        .filter(|v| !v.contains('#'))
+                        .cloned()
+                        .collect();
+                    exec_rewrites.push(RewriteRecord::new(
+                        "build-side-swap",
+                        false,
+                        Fingerprint::new(before_cols).with_keys(keys.clone()),
+                        Fingerprint::new(after_cols).with_keys(keys),
+                    ));
+                }
                 // Parallel build pays for itself only on large builds;
                 // with estimates in hand, gate it instead of always
                 // paying the thread spawn.
                 let parallel_join = parallel
                     && build_est.map_or(true, |e| e >= PARALLEL_EST_THRESHOLD);
+                let vec_before = if record_rewrites && batch {
+                    Some(join.schema().vars().to_vec())
+                } else {
+                    None
+                };
                 let mut join = if batch { join.vectorized(parallel_join) } else { join };
+                if let Some(before_cols) = vec_before {
+                    // Vectorized substitution replaces the execution
+                    // strategy only; the schema must be untouched,
+                    // column order included.
+                    exec_rewrites.push(RewriteRecord::new(
+                        "vectorize",
+                        true,
+                        Fingerprint::new(before_cols),
+                        Fingerprint::new(join.schema().vars().to_vec()),
+                    ));
+                }
                 if let Some(e) = next_est {
                     join.set_est_rows(e);
                 }
@@ -1143,8 +1265,38 @@ impl Engine {
         // can assemble a join-tree shape never seen at cache-fill time.
         if config.optimizer.verify_plans && (planck_verify || !cost_ok) {
             let t_verify = Instant::now();
-            nimble_planck::verify(op.as_ref())
-                .map_err(|report| CoreError::PlanVerify(report.to_string()))?;
+            // With semantic checks on, the structural pass is extended
+            // by bottom-up type/nullability inference (planck pass 1).
+            let checked = if config.optimizer.semantic_checks {
+                nimble_planck::verify_semantic(op.as_ref())
+            } else {
+                nimble_planck::verify(op.as_ref())
+            };
+            checked.map_err(|report| CoreError::PlanVerify(report.to_string()))?;
+            verify_ms += ms_since(t_verify);
+        }
+
+        // Semantic pass 3: audit every rewrite the optimizer applied to
+        // this query — plan-level (pushdown, fold reorder) and
+        // execution-level (build-side swap, vectorize) — for schema,
+        // key-set, and cardinality-bound preservation.
+        if config.optimizer.semantic_checks
+            && !(plan.rewrites.is_empty() && exec_rewrites.is_empty())
+        {
+            let t_verify = Instant::now();
+            let mut records = plan.rewrites.clone();
+            records.append(&mut exec_rewrites);
+            let issues = nimble_planck::audit(&records);
+            if !issues.is_empty() {
+                let details: Vec<String> = issues
+                    .iter()
+                    .map(|i| format!("{}: {}", i.operator, i.detail))
+                    .collect();
+                return Err(CoreError::PlanVerify(format!(
+                    "rewrite audit failed:\n  {}",
+                    details.join("\n  ")
+                )));
+            }
             verify_ms += ms_since(t_verify);
         }
 
@@ -1183,6 +1335,80 @@ impl Engine {
             } else {
                 text.push_str(&explain_ops(op.as_ref()));
             }
+            ctx.plan_text = text;
+        }
+        Ok((schema, tuples))
+    }
+
+    /// Execute a plan satisfiability analysis proved statically empty:
+    /// build an annotated [`EmptyOp`] over the schema the normal
+    /// pipeline would have produced (so CONSTRUCT and correlated
+    /// subqueries still resolve every variable) and run it. No adapter
+    /// is called and no rows are fetched.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_pruned(
+        &self,
+        plan: &Plan,
+        reason: &str,
+        outer: Option<(&Schema, &Tuple)>,
+        depth: usize,
+        ctx: &mut ExecCtx,
+        plan_ms: f64,
+        plan_verify_ms: f64,
+    ) -> Result<(Schema, Vec<Tuple>), CoreError> {
+        let config = self.config();
+        let t_pipeline = Instant::now();
+        let mut vars: Vec<String> = outer
+            .map(|(s, _)| s.vars().to_vec())
+            .unwrap_or_default();
+        for atom in &plan.independents {
+            for v in atom.vars() {
+                if !vars.iter().any(|x| x == v) {
+                    vars.push(v.clone());
+                }
+            }
+        }
+        for dep in &plan.dependents {
+            for v in &dep.vars {
+                if !vars.iter().any(|x| x == v) {
+                    vars.push(v.clone());
+                }
+            }
+        }
+        let schema = unit_schema(vars)?;
+        let mut op: Box<dyn Operator> =
+            Box::new(EmptyOp::new(schema.clone(), format!("pruned: {}", reason)));
+        let mut verify_ms = plan_verify_ms;
+        if config.optimizer.verify_plans {
+            let t_verify = Instant::now();
+            let checked = if config.optimizer.semantic_checks {
+                nimble_planck::verify_semantic(op.as_ref())
+            } else {
+                nimble_planck::verify(op.as_ref())
+            };
+            checked.map_err(|report| CoreError::PlanVerify(report.to_string()))?;
+            verify_ms += ms_since(t_verify);
+        }
+        self.metrics.incr("engine.plan.pruned", 1);
+        let tuples = run_to_vec(op.as_mut())?;
+        self.metrics.observe(
+            "engine.exec.pipeline_us",
+            us((ms_since(t_pipeline) - (verify_ms - plan_verify_ms)).max(0.0)),
+        );
+        if depth == 0 && ctx.phases.is_empty() {
+            let execute_ms = (ms_since(t_pipeline) - (verify_ms - plan_verify_ms)).max(0.0);
+            ctx.phases.push(("plan", plan_ms));
+            ctx.phases.push(("verify", verify_ms));
+            ctx.phases.push(("execute", execute_ms));
+        }
+        if depth == 0 && ctx.plan_text.is_empty() {
+            let mut text = String::new();
+            for note in &plan.notes {
+                text.push_str("-- ");
+                text.push_str(note);
+                text.push('\n');
+            }
+            text.push_str(&explain_ops(op.as_ref()));
             ctx.plan_text = text;
         }
         Ok((schema, tuples))
@@ -1470,6 +1696,25 @@ fn note_source_call(
             });
         }
     }
+}
+
+/// Canonical rendering of a plan's *semantic* content, for the sampled
+/// plan-cache differential. Cost annotations (`est_rows`, `fold_order`,
+/// notes) are deliberately excluded: row-count feedback may drift them
+/// within one statistics generation without making the cached plan
+/// wrong, whereas a difference in the execution units, the pushed or
+/// residual predicates, the ORDER-BY keys, or the prune verdict means
+/// the cache is serving a query the planner would now decompose
+/// differently.
+fn plan_semantic_signature(plan: &Plan) -> String {
+    format!(
+        "independents: {:?}; dependents: {:?}; residuals: {:?}; order_by: {:?}; pruned: {:?}",
+        plan.independents,
+        plan.dependents,
+        plan.residual_predicates,
+        plan.order_by,
+        plan.pruned
+    )
 }
 
 /// Milliseconds elapsed since `start`.

@@ -702,3 +702,197 @@ fn cluster_concurrent_submissions() {
     }
     cluster.shutdown();
 }
+
+// ---- Semantic analysis (planck v2): pruning, differential, audit ----
+
+#[test]
+fn unsatisfiable_predicates_prune_without_source_calls() {
+    let e = engine();
+    // `$t > 500 AND $t < 3` is an interval contradiction: pure logic,
+    // no statistics required. The pipeline must short-circuit before
+    // any adapter call.
+    let r = e
+        .query(
+            r#"WHERE <row><total>$t</total></row> IN "orders", $t > 500, $t < 3
+               CONSTRUCT <o>$t</o>"#,
+        )
+        .unwrap();
+    assert!(r.complete);
+    assert_eq!(r.document.root().children().count(), 0);
+    assert_eq!(r.stats.source_calls, 0);
+    assert_eq!(r.stats.rows_fetched, 0);
+    assert!(r.stats.plan.contains("pruned: unsatisfiable"), "{}", r.stats.plan);
+    assert!(r.stats.plan.contains("Empty"), "{}", r.stats.plan);
+    assert_eq!(e.metrics_snapshot().counter("engine.plan.pruned"), 1);
+
+    // With pruning off the result is identical, but the source is
+    // actually contacted and the rows filtered at runtime.
+    let e2 = engine();
+    e2.set_optimizer(OptimizerConfig {
+        prune_unsat: false,
+        ..OptimizerConfig::default()
+    });
+    let r2 = e2
+        .query(
+            r#"WHERE <row><total>$t</total></row> IN "orders", $t > 500, $t < 3
+               CONSTRUCT <o>$t</o>"#,
+        )
+        .unwrap();
+    assert_eq!(r2.document.root().children().count(), 0);
+    assert!(r2.stats.source_calls > 0);
+    assert_eq!(e2.metrics_snapshot().counter("engine.plan.pruned"), 0);
+}
+
+#[test]
+fn stats_bounds_prune_out_of_range_predicates() {
+    let e = engine();
+    // orders.total spans [75.5, 250.0] and the 3-row table is sampled
+    // exhaustively at registration, so the bounds are exact and
+    // `$t > 100000` is statically empty.
+    let r = e
+        .query(
+            r#"WHERE <row><total>$t</total></row> IN "orders", $t > 100000
+               CONSTRUCT <o>$t</o>"#,
+        )
+        .unwrap();
+    assert_eq!(r.document.root().children().count(), 0);
+    assert_eq!(r.stats.source_calls, 0);
+    assert!(r.stats.plan.contains("pruned: unsatisfiable"), "{}", r.stats.plan);
+
+    // A satisfiable range over the same field is untouched.
+    let r = e
+        .query(
+            r#"WHERE <row><total>$t</total></row> IN "orders", $t > 100
+               CONSTRUCT <o>$t</o>"#,
+        )
+        .unwrap();
+    assert_eq!(r.document.root().children().count(), 2);
+}
+
+#[test]
+fn always_true_residual_predicates_are_eliminated() {
+    let e = engine();
+    // `3 < 5` cannot be pushed (no variable) and folds to TRUE: it is
+    // dropped from the residual filter, and the result is unchanged.
+    let r = e
+        .query(
+            r#"WHERE <row><name>$n</name><region>"NW"</region></row> IN "customers", 3 < 5
+               CONSTRUCT <c>$n</c> ORDER-BY $n"#,
+        )
+        .unwrap();
+    assert_eq!(
+        to_string(&r.document.root()),
+        "<results><c>Acme</c><c>Initech</c></results>"
+    );
+    assert!(r.stats.plan.contains("always-true"), "{}", r.stats.plan);
+    assert!(!r.stats.plan.contains("Filter"), "{}", r.stats.plan);
+}
+
+#[test]
+fn pruned_plans_cache_and_replay() {
+    let e = engine();
+    let q = r#"WHERE <row><total>$t</total></row> IN "orders", $t > 500, $t < 3
+               CONSTRUCT <o>$t</o>"#;
+    assert_eq!(e.query(q).unwrap().stats.source_calls, 0);
+    // The pruned plan is a cached template like any other; replaying it
+    // still short-circuits and still calls no source.
+    let r = e.query(q).unwrap();
+    assert_eq!(r.stats.source_calls, 0);
+    assert_eq!(r.document.root().children().count(), 0);
+    assert!(e.plan_cache().stats().hits >= 1);
+    assert_eq!(e.metrics_snapshot().counter("engine.plan.pruned"), 2);
+}
+
+#[test]
+fn differential_replan_catches_poisoned_cache_hit() {
+    use crate::plan_cache::{CachedPlan, PlanCache, PlanStamp};
+
+    let e = engine();
+    let q = r#"WHERE <bib><book year=$y><title>$t2</title></book></bib> IN "bib", $y > 1000
+               CONSTRUCT <b>$t2</b>"#;
+    assert_eq!(e.query(q).unwrap().document.root().children().count(), 2);
+
+    // Poison the cache: re-plan the same text, drop the residual
+    // predicate, and install the doctored template under the *same*
+    // key and stamp — exactly the corruption a stale or buggy cache
+    // would serve silently.
+    let config = e.config();
+    let query = nimble_xmlql::parse_query(q).unwrap();
+    let mut plan = crate::planner::plan_query(e.catalog(), &query, &config.optimizer).unwrap();
+    plan.residual_predicates.clear();
+    let stamp = PlanStamp {
+        config_fp: config.optimizer.fingerprint(),
+        catalog_epoch: e.catalog().epoch(),
+        stats_generation: e.catalog().stats().generation(),
+    };
+    e.plan_cache().put(
+        &PlanCache::normalize(q),
+        stamp,
+        Arc::new(CachedPlan {
+            query: Arc::new(query),
+            plan: Arc::new(plan),
+        }),
+    );
+
+    // The very first hit is differentially re-planned and the
+    // divergence surfaces as a verification error, not a wrong answer.
+    let err = e.query(q).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("differential mismatch"), "{}", msg);
+    assert_eq!(
+        e.metrics_snapshot().counter("engine.plan_cache.differential_mismatch"),
+        1
+    );
+    assert!(e.metrics_snapshot().counter("engine.plan_cache.differential") >= 1);
+
+    // The mismatch self-heals: the fresh plan replaced the poisoned
+    // entry, so the next execution answers correctly again.
+    assert_eq!(e.query(q).unwrap().document.root().children().count(), 2);
+}
+
+#[test]
+fn semantic_toggles_change_the_config_fingerprint() {
+    let on = OptimizerConfig::default();
+    let no_semantic = OptimizerConfig {
+        semantic_checks: false,
+        ..OptimizerConfig::default()
+    };
+    let no_prune = OptimizerConfig {
+        prune_unsat: false,
+        ..OptimizerConfig::default()
+    };
+    assert_ne!(on.fingerprint(), no_semantic.fingerprint());
+    assert_ne!(on.fingerprint(), no_prune.fingerprint());
+    assert_ne!(no_semantic.fingerprint(), no_prune.fingerprint());
+}
+
+#[test]
+fn prune_on_and_off_agree_on_satisfiable_queries() {
+    // The analyzer's verdicts must agree with execution: for a mix of
+    // satisfiable and unsatisfiable predicates, pruning on and off
+    // produce byte-identical documents.
+    let queries = [
+        r#"WHERE <row><total>$t</total></row> IN "orders", $t > 100 CONSTRUCT <o>$t</o> ORDER-BY $t"#,
+        r#"WHERE <row><total>$t</total></row> IN "orders", $t > 100, $t < 50 CONSTRUCT <o>$t</o>"#,
+        r#"WHERE <row><name>$n</name></row> IN "customers", $n LIKE "A%" CONSTRUCT <c>$n</c>"#,
+        r#"WHERE <row><id>$i</id><name>$n</name></row> IN "customers",
+                 <row><cust_id>$i</cust_id><total>$t</total></row> IN "orders",
+                 $t > 1000000 CONSTRUCT <o>$n</o>"#,
+    ];
+    for q in queries {
+        let e_on = engine();
+        let e_off = engine();
+        e_off.set_optimizer(OptimizerConfig {
+            prune_unsat: false,
+            ..OptimizerConfig::default()
+        });
+        let on = e_on.query(q).unwrap();
+        let off = e_off.query(q).unwrap();
+        assert_eq!(
+            to_string(&on.document.root()),
+            to_string(&off.document.root()),
+            "prune-on and prune-off disagree for {}",
+            q
+        );
+    }
+}

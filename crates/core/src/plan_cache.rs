@@ -93,13 +93,26 @@ impl PlanCache {
     /// hits. Quoted regions (single or double quotes with `\` escapes,
     /// the lexer's literal syntax) are copied verbatim — the lexer
     /// preserves whitespace inside literals, so queries differing only
-    /// there are different queries and must not share a key.
+    /// there are different queries and must not share a key. `#`-to-
+    /// end-of-line comments (which the lexer skips) are stripped like
+    /// whitespace: they are not part of the query, and copying them
+    /// through would let a quote inside a comment desynchronize the
+    /// literal tracking and collide distinct queries onto one key.
     pub fn normalize(text: &str) -> String {
         let mut out = String::with_capacity(text.len());
         let mut chars = text.chars();
         let mut pending_space = false;
         while let Some(c) = chars.next() {
             if c.is_whitespace() {
+                pending_space = true;
+                continue;
+            }
+            if c == '#' {
+                for d in chars.by_ref() {
+                    if d == '\n' {
+                        break;
+                    }
+                }
                 pending_space = true;
                 continue;
             }
@@ -277,6 +290,31 @@ mod tests {
         // to the end (the lexer rejects it later).
         assert_eq!(PlanCache::normalize("$x = \"a  b"), "$x = \"a  b");
         assert_eq!(PlanCache::normalize("$x = \"a\\"), "$x = \"a\\");
+    }
+
+    #[test]
+    fn normalize_strips_hash_comments_outside_literals() {
+        // Comments are not part of the query (the lexer skips them), so
+        // texts differing only in comments share one key.
+        assert_eq!(
+            PlanCache::normalize("WHERE <a/> # pick everything\n IN \"c\""),
+            PlanCache::normalize("WHERE <a/> IN \"c\"")
+        );
+        // A quote inside a comment must not open a literal region.
+        // Before comment stripping, these two *distinct* queries
+        // (whitespace differs inside the literal) collided onto the
+        // same key and could serve each other's plans.
+        let a = PlanCache::normalize("# note \" \nWHERE $x = \"p  q\" CONSTRUCT <o/>");
+        let b = PlanCache::normalize("# note \" \nWHERE $x = \"p q\" CONSTRUCT <o/>");
+        assert_ne!(a, b);
+        assert_eq!(a, "WHERE $x = \"p  q\" CONSTRUCT <o/>");
+        // `#` inside a literal is literal text, not a comment.
+        assert_eq!(
+            PlanCache::normalize("$x =  \"a # b\"   $y"),
+            "$x = \"a # b\" $y"
+        );
+        // A comment running to end-of-input (no trailing newline).
+        assert_eq!(PlanCache::normalize("$x = 1 # trailing"), "$x = 1");
     }
 
     #[test]

@@ -21,6 +21,8 @@ use crate::matcher::{match_within, Bindings};
 use nimble_algebra::inspect::{OpInfo, OrderEffect, SchemaRule};
 use nimble_algebra::ops::Operator;
 use nimble_algebra::{CmpOp, ExecError, ScalarExpr, Schema, Tuple};
+use nimble_planck::{Fingerprint, RewriteRecord};
+use nimble_sources::query::PredOp;
 use nimble_sources::relational::RelationalAdapter;
 use nimble_sources::{SourceKind, SourceQuery};
 use nimble_xml::Value;
@@ -102,6 +104,16 @@ pub struct Plan {
     /// Estimated accumulated row count after each fold step, aligned
     /// with `fold_order` (`fold_rows[0]` is the first atom's estimate).
     pub fold_rows: Vec<u64>,
+    /// Set when satisfiability analysis proved the WHERE clause can
+    /// never hold: the reason string. The engine then executes an
+    /// annotated `EmptyOp` over the plan's output schema instead of
+    /// contacting any source.
+    pub pruned: Option<String>,
+    /// Before/after fingerprints of every plan-level rewrite the
+    /// optimizer applied (predicate pushdown, fold reordering), audited
+    /// by `nimble_planck::audit` together with the engine's
+    /// execution-time rewrites.
+    pub rewrites: Vec<RewriteRecord>,
 }
 
 fn dedup_vars(pattern: &Pattern) -> Vec<String> {
@@ -203,6 +215,12 @@ pub fn plan_query(
     // shrink the transfer is kept for central residual evaluation
     // instead (same semantics, one less thing the source has to do).
     if config.pushdown {
+        let before: Vec<String> = plan
+            .residual_predicates
+            .iter()
+            .map(|p| format!("{:?}", p))
+            .collect();
+        let mut shipped: Vec<String> = Vec::new();
         let mut remaining = Vec::new();
         'preds: for pred in std::mem::take(&mut plan.residual_predicates) {
             for atom in plan.independents.iter_mut() {
@@ -229,11 +247,25 @@ pub fn plan_query(
                         }
                         plan.notes
                             .push(format!("predicate pushed to {}", source));
+                        shipped.push(format!("{:?}", pred));
                         continue 'preds;
                     }
                 }
             }
             remaining.push(pred);
+        }
+        // Rewrite record: pushing predicates moves them, never drops
+        // them — the multiset of predicates (shipped + still central)
+        // must equal the multiset the phase started with.
+        if !shipped.is_empty() {
+            let mut after = shipped;
+            after.extend(remaining.iter().map(|p| format!("{:?}", p)));
+            plan.rewrites.push(RewriteRecord::new(
+                "pushdown",
+                true,
+                Fingerprint::new(Vec::new()).with_extra(before),
+                Fingerprint::new(Vec::new()).with_extra(after),
+            ));
         }
         plan.residual_predicates = remaining;
     }
@@ -247,6 +279,15 @@ pub fn plan_query(
     // Phase 4: cost-based fold ordering from collection statistics.
     if config.cost_based {
         order_folds_by_cost(catalog, &mut plan);
+    }
+
+    // Phase 5: satisfiability analysis. Constant-fold residual
+    // predicates, drop always-true ones, and prune the whole plan to an
+    // annotated empty relation when the predicates (or the pushed
+    // selections, cross-checked against exhaustive-sample statistics
+    // bounds) can never hold.
+    if config.prune_unsat {
+        prune_unsatisfiable(catalog, &mut plan);
     }
 
     // Final pass: surface the exact per-source query text that will be
@@ -265,6 +306,184 @@ pub fn plan_query(
     }
 
     Ok(plan)
+}
+
+/// Phase 5 of planning: satisfiability analysis over the decomposed
+/// plan (pass 2 of `nimble-planck`'s semantic analyzer).
+///
+/// * A residual predicate that is a tautology by *pure logic* (literal
+///   folding only — statistics bounds never justify dropping a filter,
+///   because NULL-holding rows fail every comparison) is eliminated.
+/// * The conjunction of the remaining residual predicates is interval-
+///   checked; a contradiction (`$x > 5 AND $x < 3`) marks the plan
+///   pruned.
+/// * Each pushed fragment's selection set is interval-checked the same
+///   way, cross-referenced against exhaustive-sample min/max bounds
+///   from the statistics catalog. Every mediator-side fold is an inner
+///   join, so one statically-empty unit empties the whole result.
+fn prune_unsatisfiable(catalog: &Catalog, plan: &mut Plan) {
+    use nimble_planck::satisfy::{self, Verdict};
+
+    let mut vars: Vec<String> = Vec::new();
+    for atom in &plan.independents {
+        for v in atom.vars() {
+            if !vars.iter().any(|x| x == v) {
+                vars.push(v.clone());
+            }
+        }
+    }
+    for dep in &plan.dependents {
+        for v in &dep.vars {
+            if !vars.iter().any(|x| x == v) {
+                vars.push(v.clone());
+            }
+        }
+    }
+    let Ok(schema) = Schema::try_new(vars) else {
+        return;
+    };
+
+    let mut kept_exprs: Vec<ScalarExpr> = Vec::new();
+    let mut kept: Vec<Expr> = Vec::new();
+    for pred in std::mem::take(&mut plan.residual_predicates) {
+        match translate_expr(&pred, &schema) {
+            Ok(se) if satisfy::analyze_pure(&se) == Verdict::AlwaysTrue => {
+                plan.notes.push(format!(
+                    "semantic: always-true predicate eliminated ({:?})",
+                    pred
+                ));
+            }
+            Ok(se) => {
+                kept_exprs.push(se);
+                kept.push(pred);
+            }
+            // A predicate we cannot translate here (e.g. it references a
+            // correlated outer variable) is simply not analyzed.
+            Err(_) => kept.push(pred),
+        }
+    }
+    plan.residual_predicates = kept;
+
+    if !kept_exprs.is_empty() {
+        let verdict = {
+            let bounds = |col: usize| -> Option<(f64, f64)> {
+                schema
+                    .vars()
+                    .get(col)
+                    .and_then(|v| var_exact_bounds(catalog, &plan.independents, v))
+            };
+            satisfy::analyze(&ScalarExpr::conjunction(kept_exprs), &bounds)
+        };
+        if verdict == Verdict::Unsatisfiable {
+            let reason = "unsatisfiable: residual predicates can never hold".to_string();
+            plan.notes.push(format!("pruned: {}", reason));
+            plan.pruned = Some(reason);
+            return;
+        }
+    }
+
+    let mut hit: Option<String> = None;
+    for atom in &plan.independents {
+        let AtomExec::Fragment { source, query, .. } = atom else {
+            continue;
+        };
+        if query.selections.is_empty() {
+            continue;
+        }
+        let mut cols: Vec<nimble_sources::query::FieldRef> = Vec::new();
+        for sel in &query.selections {
+            if !cols.contains(&sel.field) {
+                cols.push(sel.field.clone());
+            }
+        }
+        let conjuncts: Vec<ScalarExpr> = query
+            .selections
+            .iter()
+            .filter_map(|sel| {
+                let idx = cols.iter().position(|f| f == &sel.field)?;
+                Some(ScalarExpr::Cmp(
+                    cmp_of(sel.op),
+                    Box::new(ScalarExpr::Col(idx)),
+                    Box::new(ScalarExpr::Lit(Value::Atomic(sel.value.clone()))),
+                ))
+            })
+            .collect();
+        let verdict = {
+            let bounds = |col: usize| -> Option<(f64, f64)> {
+                let f = cols.get(col)?;
+                let coll = query.collections.iter().find(|c| c.alias == f.alias)?;
+                catalog
+                    .stats()
+                    .exact_bounds(&format!("{}.{}", source, coll.collection), &f.field)
+            };
+            satisfy::analyze(&ScalarExpr::conjunction(conjuncts), &bounds)
+        };
+        if verdict == Verdict::Unsatisfiable {
+            hit = Some(format!(
+                "unsatisfiable: pushed selections on {} can never hold",
+                source
+            ));
+            break;
+        }
+    }
+    if let Some(reason) = hit {
+        plan.notes.push(format!("pruned: {}", reason));
+        plan.pruned = Some(reason);
+    }
+}
+
+/// Exact (exhaustive-sample) min/max bounds for the collection field a
+/// variable is bound to, when any independent unit maps it to one. A
+/// join variable equates its occurrences, so bounds from any one side
+/// constrain the joined value.
+fn var_exact_bounds(
+    catalog: &Catalog,
+    independents: &[AtomExec],
+    var: &str,
+) -> Option<(f64, f64)> {
+    for atom in independents {
+        let found = match atom {
+            AtomExec::Fragment { source, query, .. } => query
+                .outputs
+                .iter()
+                .find(|(v, _)| v == var)
+                .and_then(|(_, f)| {
+                    let coll = query.collections.iter().find(|c| c.alias == f.alias)?;
+                    catalog
+                        .stats()
+                        .exact_bounds(&format!("{}.{}", source, coll.collection), &f.field)
+                }),
+            AtomExec::FetchMatch {
+                source,
+                collection,
+                pattern,
+                ..
+            } => compiler::recognize_row_pattern(pattern).and_then(|rp| {
+                let field = rp.fields.iter().find(|(v, _)| v == var).map(|(_, f)| f)?;
+                catalog
+                    .stats()
+                    .exact_bounds(&format!("{}.{}", source, collection), field)
+            }),
+            AtomExec::ViewMatch { .. } => None,
+        };
+        if found.is_some() {
+            return found;
+        }
+    }
+    None
+}
+
+/// Physical comparison operator for a pushed-selection predicate.
+fn cmp_of(op: PredOp) -> CmpOp {
+    match op {
+        PredOp::Eq => CmpOp::Eq,
+        PredOp::Ne => CmpOp::Ne,
+        PredOp::Lt => CmpOp::Lt,
+        PredOp::Le => CmpOp::Le,
+        PredOp::Gt => CmpOp::Gt,
+        PredOp::Ge => CmpOp::Ge,
+        PredOp::Like => CmpOp::Like,
+    }
 }
 
 /// Cardinality estimation from the catalog's [`nimble_store::StatsCatalog`].
@@ -548,6 +767,37 @@ fn order_folds_by_cost(catalog: &Catalog, plan: &mut Plan) {
         plan.notes.push(format!(
             "cost: fold order {:?}, est rows {:?} -> {:?}",
             order, est, fold_rows
+        ));
+        // Rewrite record: reordering folds permutes the units but must
+        // keep the bound-variable multiset and the join-key set intact.
+        let before_cols: Vec<String> = plan
+            .independents
+            .iter()
+            .flat_map(|a| a.vars().iter().cloned())
+            .collect();
+        let after_cols: Vec<String> = order
+            .iter()
+            .filter_map(|&i| plan.independents.get(i))
+            .flat_map(|a| a.vars().iter().cloned())
+            .collect();
+        let mut keys: Vec<String> = Vec::new();
+        for (i, a) in plan.independents.iter().enumerate() {
+            for v in a.vars() {
+                let shared = plan
+                    .independents
+                    .iter()
+                    .enumerate()
+                    .any(|(j, b)| j != i && b.vars().contains(v));
+                if shared && !keys.contains(v) {
+                    keys.push(v.clone());
+                }
+            }
+        }
+        plan.rewrites.push(RewriteRecord::new(
+            "fold-reorder",
+            false,
+            Fingerprint::new(before_cols).with_keys(keys.clone()),
+            Fingerprint::new(after_cols).with_keys(keys),
         ));
     }
     plan.fold_order = order;

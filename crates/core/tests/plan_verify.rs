@@ -5,6 +5,14 @@
 //! `nimble-planck` operator-tree checks before `run_to_vec`) never
 //! trips a diagnostic. The verifier exists to catch malformed plans; a
 //! correct planner must never produce one.
+//!
+//! With planck v2 the bar is higher: every configuration here runs with
+//! `semantic_checks` on, so a pass also means the typed-domain pass,
+//! the rewrite-equivalence audit, and (on cache hits) the sampled
+//! differential re-plan all come back clean for every generated query.
+//! A final per-query check flips `prune_unsat` on and asserts the
+//! document is byte-identical — satisfiability pruning must be
+//! invisible in results, only in work done.
 
 use nimble_core::planner::{plan_query, verify_plan};
 use nimble_core::{Catalog, Engine, OptimizerConfig};
@@ -94,6 +102,11 @@ fn all_configs() -> Vec<OptimizerConfig> {
                             batch_exec,
                             parallel_exec,
                             cost_based,
+                            // Every drive config runs the semantic pass;
+                            // prune_unsat is exercised per-query below by
+                            // comparing against the pruning twin.
+                            semantic_checks: true,
+                            prune_unsat: false,
                         });
                     }
                 }
@@ -122,11 +135,31 @@ proptest! {
                 )));
             }
             // End-to-end: the engine runs the same plan through the
-            // planck operator-tree checks before execution.
+            // planck operator-tree checks (semantic passes included)
+            // before execution.
             let engine = Engine::new(cat.clone());
             engine.set_optimizer(config);
             let r = engine.query(&text);
-            prop_assert!(r.is_ok(), "query {:?} failed: {}", text, r.unwrap_err());
+            prop_assert!(r.is_ok(), "query {:?} failed under {:?}: {}", text, config, r.unwrap_err());
+
+            // Satisfiability pruning must never change the answer: the
+            // same config with prune_unsat on returns the identical
+            // document (the strategy's high thresholds generate
+            // genuinely prunable predicates like `$t > 299`).
+            let pruning = Engine::new(cat.clone());
+            pruning.set_optimizer(OptimizerConfig {
+                prune_unsat: true,
+                ..config
+            });
+            let rp = pruning.query(&text);
+            prop_assert!(rp.is_ok(), "query {:?} failed with pruning: {}", text, rp.unwrap_err());
+            prop_assert_eq!(
+                nimble_xml::serialize::to_string(&r.unwrap().document.root()),
+                nimble_xml::serialize::to_string(&rp.unwrap().document.root()),
+                "prune-on and prune-off disagree for {:?} under {:?}",
+                text,
+                config
+            );
         }
     }
 }

@@ -35,6 +35,32 @@
 //! error. The verifier is conservative: operators without introspection
 //! metadata ([`SchemaRule::Opaque`]) are accepted, their subtrees still
 //! checked.
+//!
+//! ## Semantic passes (v2)
+//!
+//! On top of the structural checks, three semantic passes:
+//!
+//! * [`types`] — bottom-up typed field-domain inference (coercion class
+//!   + nullability per output column), flagging type-confused join
+//!   keys, references to never-bound columns, and mixed-type sort keys.
+//!   Run together with the structural pass by [`check_semantic`] /
+//!   [`verify_semantic`].
+//! * [`satisfy`] — interval/domain propagation over predicate trees:
+//!   constant folding, contradiction detection (`x > 5 AND x < 3`),
+//!   always-true detection, and refutation against exact column
+//!   bounds. *Advisory*: an unsatisfiable filter is dead weight, not a
+//!   malformed plan, so the planner (not the verifier) acts on it by
+//!   pruning the subtree to an `EmptyOp`.
+//! * [`rewrite_audit`] — invariant checks over recorded optimizer
+//!   rewrites (schema/key-set preservation, cardinality-bound
+//!   monotonicity), including plan-cache reuse.
+
+pub mod rewrite_audit;
+pub mod satisfy;
+pub mod types;
+
+pub use rewrite_audit::{audit, Fingerprint, RewriteRecord};
+pub use satisfy::Verdict;
 
 use nimble_algebra::inspect::{OpInfo, OrderEffect, SchemaRule};
 use nimble_algebra::ops::SortKey;
@@ -425,6 +451,25 @@ fn known_order(info: &OpInfo, child_orders: &[Option<Vec<SortKey>>]) -> Option<V
             }
         }
         OrderEffect::Unknown => None,
+    }
+}
+
+/// Structural checks plus the semantic type pass: everything [`check`]
+/// finds, then [`types::check_types`] over the same tree.
+pub fn check_semantic(root: &dyn Operator) -> Vec<PlanIssue> {
+    let mut issues = check(root);
+    issues.extend(types::check_types(root));
+    issues
+}
+
+/// Verify a tree structurally *and* semantically; `Err` carries every
+/// issue found by both passes.
+pub fn verify_semantic(root: &dyn Operator) -> Result<(), VerifyReport> {
+    let issues = check_semantic(root);
+    if issues.is_empty() {
+        Ok(())
+    } else {
+        Err(VerifyReport { issues })
     }
 }
 

@@ -1,0 +1,272 @@
+//! Pass 3: rewrite-equivalence auditing.
+//!
+//! The optimizer reshapes plans — fold reordering, predicate pushdown,
+//! build-side swaps, vectorized substitution, plan-cache reuse — and
+//! each rewrite is *assumed* meaning-preserving. This pass checks the
+//! invariants a meaning-preserving rewrite cannot break. The optimizer
+//! records a [`RewriteRecord`] (a before/after pair of cheap
+//! [`Fingerprint`]s) for every rewrite it applies; [`audit`] then
+//! verifies:
+//!
+//! * **Schema preservation** — the rewritten plan binds the same
+//!   columns. Order-sensitive rewrites ([`RewriteRecord::ordered`])
+//!   must keep the exact sequence; reorderings (fold order, build-side
+//!   swap) must keep the *set*.
+//! * **Key-set preservation** — the join/fold keys the plan equates
+//!   must survive the rewrite as a set.
+//! * **Cardinality-bound monotonicity** — a rewrite may tighten a
+//!   cardinality bound (pruning, pushdown) but never loosen it: a
+//!   larger bound after rewriting means the rewrite added rows.
+//! * **Extra invariants** — rule-specific payloads (e.g. the multiset
+//!   of pushed predicates) compared as unordered sets.
+//!
+//! Fingerprints are deliberately string-shaped: they must survive
+//! serialization into cached-plan stamps and diff cheaply.
+
+use crate::PlanIssue;
+
+/// A cheap structural summary of a plan (or plan fragment) taken before
+/// or after a rewrite.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Fingerprint {
+    /// Output column names, in plan order.
+    pub columns: Vec<String>,
+    /// Join/fold key descriptions (e.g. `"$i"`), compared as a set.
+    pub keys: Vec<String>,
+    /// Upper bound on the result cardinality, when the planner has one.
+    pub card_bound: Option<u64>,
+    /// Rule-specific payload (e.g. pushed predicate renderings),
+    /// compared as an unordered set.
+    pub extra: Vec<String>,
+}
+
+impl Fingerprint {
+    pub fn new(columns: Vec<String>) -> Fingerprint {
+        Fingerprint {
+            columns,
+            ..Fingerprint::default()
+        }
+    }
+
+    pub fn with_keys(mut self, keys: Vec<String>) -> Fingerprint {
+        self.keys = keys;
+        self
+    }
+
+    pub fn with_card_bound(mut self, bound: u64) -> Fingerprint {
+        self.card_bound = Some(bound);
+        self
+    }
+
+    pub fn with_extra(mut self, extra: Vec<String>) -> Fingerprint {
+        self.extra = extra;
+        self
+    }
+}
+
+/// One optimizer rewrite: the rule that fired and the fingerprints
+/// taken immediately before and after it.
+#[derive(Debug, Clone)]
+pub struct RewriteRecord {
+    /// Rule name for diagnostics (`"fold-reorder"`, `"pushdown"`,
+    /// `"build-side-swap"`, `"vectorize"`, `"plan-cache-hit"`).
+    pub rule: String,
+    /// Whether the rewrite promises to preserve column *order* (a
+    /// substitution) rather than just the column set (a reordering).
+    pub ordered: bool,
+    pub before: Fingerprint,
+    pub after: Fingerprint,
+}
+
+impl RewriteRecord {
+    pub fn new(
+        rule: impl Into<String>,
+        ordered: bool,
+        before: Fingerprint,
+        after: Fingerprint,
+    ) -> RewriteRecord {
+        RewriteRecord {
+            rule: rule.into(),
+            ordered,
+            before,
+            after,
+        }
+    }
+}
+
+fn as_set(items: &[String]) -> Vec<&String> {
+    let mut v: Vec<&String> = items.iter().collect();
+    v.sort();
+    v
+}
+
+/// Check every recorded rewrite for invariant violations.
+pub fn audit(records: &[RewriteRecord]) -> Vec<PlanIssue> {
+    let mut issues = Vec::new();
+    for r in records {
+        let mut report = |detail: String| {
+            issues.push(PlanIssue {
+                operator: format!("rewrite:{}", r.rule),
+                path: format!("rewrite:{}", r.rule),
+                detail,
+            });
+        };
+
+        if r.ordered {
+            if r.before.columns != r.after.columns {
+                report(format!(
+                    "schema changed across an order-preserving rewrite: \
+                     [{}] became [{}]",
+                    r.before.columns.join(", "),
+                    r.after.columns.join(", ")
+                ));
+            }
+        } else if as_set(&r.before.columns) != as_set(&r.after.columns) {
+            report(format!(
+                "column set changed across the rewrite: [{}] became [{}]",
+                r.before.columns.join(", "),
+                r.after.columns.join(", ")
+            ));
+        }
+
+        if as_set(&r.before.keys) != as_set(&r.after.keys) {
+            report(format!(
+                "join/fold key set changed across the rewrite: {{{}}} became {{{}}}",
+                r.before.keys.join(", "),
+                r.after.keys.join(", ")
+            ));
+        }
+
+        if let (Some(before), Some(after)) = (r.before.card_bound, r.after.card_bound) {
+            if after > before {
+                report(format!(
+                    "cardinality bound grew from {} to {}; a rewrite may \
+                     tighten a bound but never loosen it",
+                    before, after
+                ));
+            }
+        }
+
+        if as_set(&r.before.extra) != as_set(&r.after.extra) {
+            report(format!(
+                "rewrite payload changed: {{{}}} became {{{}}}",
+                r.before.extra.join(", "),
+                r.after.extra.join(", ")
+            ));
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn faithful_reorder_passes() {
+        let r = RewriteRecord::new(
+            "fold-reorder",
+            false,
+            Fingerprint::new(cols(&["a", "b", "c"])).with_keys(cols(&["$i"])),
+            Fingerprint::new(cols(&["b", "c", "a"])).with_keys(cols(&["$i"])),
+        );
+        assert!(audit(&[r]).is_empty());
+    }
+
+    #[test]
+    fn dropped_column_is_caught() {
+        let r = RewriteRecord::new(
+            "fold-reorder",
+            false,
+            Fingerprint::new(cols(&["a", "b", "c"])),
+            Fingerprint::new(cols(&["a", "b"])),
+        );
+        let issues = audit(&[r]);
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].detail.contains("column set changed"));
+        assert!(issues[0].operator.contains("fold-reorder"));
+    }
+
+    #[test]
+    fn changed_key_set_is_caught() {
+        let r = RewriteRecord::new(
+            "build-side-swap",
+            false,
+            Fingerprint::new(cols(&["a", "b"])).with_keys(cols(&["$i"])),
+            Fingerprint::new(cols(&["b", "a"])).with_keys(cols(&["$j"])),
+        );
+        let issues = audit(&[r]);
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].detail.contains("key set changed"));
+    }
+
+    #[test]
+    fn loosened_cardinality_bound_is_caught() {
+        let r = RewriteRecord::new(
+            "pushdown",
+            true,
+            Fingerprint::new(cols(&["a"])).with_card_bound(100),
+            Fingerprint::new(cols(&["a"])).with_card_bound(250),
+        );
+        let issues = audit(&[r]);
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].detail.contains("cardinality bound grew"));
+        // Tightening is fine.
+        let r = RewriteRecord::new(
+            "pushdown",
+            true,
+            Fingerprint::new(cols(&["a"])).with_card_bound(100),
+            Fingerprint::new(cols(&["a"])).with_card_bound(40),
+        );
+        assert!(audit(&[r]).is_empty());
+    }
+
+    #[test]
+    fn ordered_rewrite_must_keep_column_order() {
+        let r = RewriteRecord::new(
+            "vectorize",
+            true,
+            Fingerprint::new(cols(&["a", "b"])),
+            Fingerprint::new(cols(&["b", "a"])),
+        );
+        let issues = audit(&[r]);
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].detail.contains("order-preserving"));
+        // The same permutation is legal for an unordered rewrite.
+        let r = RewriteRecord::new(
+            "fold-reorder",
+            false,
+            Fingerprint::new(cols(&["a", "b"])),
+            Fingerprint::new(cols(&["b", "a"])),
+        );
+        assert!(audit(&[r]).is_empty());
+    }
+
+    #[test]
+    fn dropped_pushdown_predicate_is_caught() {
+        let r = RewriteRecord::new(
+            "pushdown",
+            true,
+            Fingerprint::new(cols(&["a"])).with_extra(cols(&["$t > 5", "$r = 'NW'"])),
+            Fingerprint::new(cols(&["a"])).with_extra(cols(&["$t > 5"])),
+        );
+        let issues = audit(&[r]);
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].detail.contains("payload changed"));
+    }
+
+    #[test]
+    fn missing_bounds_make_no_monotonicity_claim() {
+        let r = RewriteRecord::new(
+            "plan-cache-hit",
+            true,
+            Fingerprint::new(cols(&["a"])),
+            Fingerprint::new(cols(&["a"])).with_card_bound(10),
+        );
+        assert!(audit(&[r]).is_empty());
+    }
+}

@@ -257,6 +257,175 @@ fn plan_of(op: &dyn Operator) -> String {
     out
 }
 
+// --- Semantic pass: seeded-mutation corpus ---
+//
+// Each fixture is a plan (or rewrite record) broken in a way the v1
+// structural checks cannot see; `check_semantic` / `audit` must catch
+// every one, and the well-formed twins must stay clean. Together with
+// the satisfy/rewrite_audit module tests these form the ≥12-fixture
+// corpus the semantic analyzer is gated on.
+
+use nimble_algebra::inspect::{FieldDomain, FieldType};
+
+/// An empty typed leaf: like `source`, but with declared field domains.
+struct TypedValues {
+    inner: ValuesOp,
+    types: Vec<FieldDomain>,
+}
+
+fn typed(vars: &[&str], types: &[FieldType]) -> Box<TypedValues> {
+    let schema = Schema::new(vars.iter().map(|s| s.to_string()).collect());
+    Box::new(TypedValues {
+        inner: ValuesOp::new(schema, Vec::new()),
+        types: types.iter().map(|&t| FieldDomain::new(t)).collect(),
+    })
+}
+
+impl Operator for TypedValues {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+    fn open(&mut self) -> Result<(), ExecError> {
+        self.inner.open()
+    }
+    fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
+        self.inner.next()
+    }
+    fn close(&mut self) {
+        self.inner.close()
+    }
+    fn describe(&self) -> String {
+        "TypedValues".into()
+    }
+    fn children(&self) -> Vec<&dyn Operator> {
+        Vec::new()
+    }
+    fn rows_out(&self) -> u64 {
+        0
+    }
+    fn introspect(&self) -> OpInfo {
+        OpInfo::source("TypedValues").with_out_types(self.types.clone())
+    }
+}
+
+#[test]
+fn rejects_numeric_text_join_keys() {
+    // Mutation: equi-join equating a numeric id with a text name.
+    let join = HashJoinOp::new(
+        typed(&["id", "x"], &[FieldType::Numeric, FieldType::Text]),
+        typed(&["name"], &[FieldType::Text]),
+        vec![0],
+        vec![0],
+        JoinType::Inner,
+    );
+    let issues = check_semantic(&join);
+    assert_eq!(issues.len(), 1, "{:?}", issues);
+    assert!(issues[0].detail.contains("incompatible"), "{}", issues[0]);
+    assert!(issues[0].detail.contains("numeric"), "{}", issues[0]);
+    assert!(issues[0].detail.contains("text"), "{}", issues[0]);
+
+    // Twin: keys of matching class pass.
+    let ok = HashJoinOp::new(
+        typed(&["id", "x"], &[FieldType::Numeric, FieldType::Text]),
+        typed(&["cust_id"], &[FieldType::Numeric]),
+        vec![0],
+        vec![0],
+        JoinType::Inner,
+    );
+    assert!(check_semantic(&ok).is_empty());
+}
+
+#[test]
+fn rejects_element_scalar_join_key() {
+    // Mutation: joining an element-valued binding against a number.
+    let join = HashJoinOp::new(
+        typed(&["e"], &[FieldType::Element]),
+        typed(&["total"], &[FieldType::Numeric]),
+        vec![0],
+        vec![0],
+        JoinType::Inner,
+    );
+    let issues = check_semantic(&join);
+    assert_eq!(issues.len(), 1, "{:?}", issues);
+    assert!(issues[0].detail.contains("element"), "{}", issues[0]);
+}
+
+#[test]
+fn rejects_projection_of_never_bound_field() {
+    // Mutation: the planner declared $gone never bound, yet a
+    // projection still copies it out.
+    let proj = ProjectOp::new(
+        typed(&["a", "gone"], &[FieldType::Text, FieldType::Never]),
+        vec![("out".into(), ScalarExpr::Col(1))],
+        funcs(),
+    );
+    let issues = check_semantic(&proj);
+    assert_eq!(issues.len(), 1, "{:?}", issues);
+    assert!(issues[0].detail.contains("never bound"), "{}", issues[0]);
+    assert!(issues[0].detail.contains("$gone"), "{}", issues[0]);
+}
+
+#[test]
+fn rejects_filter_over_never_bound_field() {
+    // Mutation: a filter predicate reads a never-bound column.
+    let pred = ScalarExpr::cmp(CmpOp::Gt, ScalarExpr::Col(1), ScalarExpr::lit(5i64));
+    let filter = FilterOp::new(
+        typed(&["a", "gone"], &[FieldType::Text, FieldType::Never]),
+        pred,
+        funcs(),
+    );
+    let issues = check_semantic(&filter);
+    assert_eq!(issues.len(), 1, "{:?}", issues);
+    assert!(issues[0].detail.contains("never bound"), "{}", issues[0]);
+    assert_eq!(issues[0].operator, "Filter");
+}
+
+#[test]
+fn rejects_sort_over_mixed_type_union_column() {
+    // Mutation: union arms disagree on $v's class (numeric vs text);
+    // sorting the union on $v interleaves numeric and lexical runs.
+    let arms: Vec<BoxedOp> = vec![
+        typed(&["v"], &[FieldType::Numeric]),
+        typed(&["v"], &[FieldType::Text]),
+    ];
+    let union = UnionOp::new(arms).expect("arms match structurally");
+    let sort = SortOp::new(
+        Box::new(union),
+        vec![SortKey {
+            column: 0,
+            descending: false,
+        }],
+    );
+    let issues = check_semantic(&sort);
+    assert_eq!(issues.len(), 1, "{:?}", issues);
+    assert!(issues[0].detail.contains("mixed"), "{}", issues[0]);
+    assert_eq!(issues[0].operator, "Sort");
+
+    // Twin: agreeing arms sort cleanly.
+    let arms: Vec<BoxedOp> = vec![
+        typed(&["v"], &[FieldType::Numeric]),
+        typed(&["v"], &[FieldType::Numeric]),
+    ];
+    let union = UnionOp::new(arms).expect("arms match");
+    let sort = SortOp::new(
+        Box::new(union),
+        vec![SortKey {
+            column: 0,
+            descending: false,
+        }],
+    );
+    assert!(check_semantic(&sort).is_empty());
+}
+
+#[test]
+fn semantic_pass_is_silent_on_untyped_plans() {
+    // The engine's usual case: no declared types anywhere. Every check
+    // must stay quiet — `Unknown` tolerates everything.
+    let join = HashJoinOp::natural(source(&["k", "x"]), source(&["k", "y"]), JoinType::Inner);
+    let clean = ProjectOp::keep(Box::new(join), &["k", "x", "y"], funcs());
+    assert!(check_semantic(&clean).is_empty());
+}
+
 #[test]
 fn opaque_operators_are_tolerated() {
     // No introspection override → conservative acceptance.

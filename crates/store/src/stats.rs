@@ -48,6 +48,14 @@ impl CollectionStats {
     pub fn distinct(&self, field: &str) -> Option<u64> {
         self.columns.get(field).map(|c| c.distinct.max(1))
     }
+
+    /// Whether the column statistics cover every row of the collection,
+    /// i.e. the sample was exhaustive. Only then are min/max *bounds*
+    /// rather than advisory estimates — a partial sample can miss the
+    /// true extremes.
+    pub fn exhaustive(&self) -> bool {
+        self.sampled >= self.rows && self.rows > 0
+    }
 }
 
 /// Counters describing stats activity, for metrics export.
@@ -94,6 +102,26 @@ impl StatsCatalog {
     /// Estimated row count for `key`, if known.
     pub fn rows(&self, key: &str) -> Option<u64> {
         self.inner.read().get(key).map(|s| s.rows)
+    }
+
+    /// *Exact* numeric bounds of `field` in collection `key`, or `None`.
+    /// Bounds are returned only when the sample was exhaustive
+    /// ([`CollectionStats::exhaustive`]): a partial sample's min/max can
+    /// be narrower than the data, and callers use these bounds to prove
+    /// predicates unsatisfiable — an unsound claim over advisory
+    /// bounds. Callers must still re-check the stats generation if they
+    /// cache the answer (out-of-band source mutations re-sample).
+    pub fn exact_bounds(&self, key: &str, field: &str) -> Option<(f64, f64)> {
+        let inner = self.inner.read();
+        let stats = inner.get(key)?;
+        if !stats.exhaustive() {
+            return None;
+        }
+        let col = stats.columns.get(field)?;
+        match (col.min, col.max) {
+            (Some(lo), Some(hi)) => Some((lo, hi)),
+            _ => None,
+        }
     }
 
     /// Current generation. Bumped whenever statistics change enough to
@@ -375,6 +403,39 @@ mod tests {
         // Same count again: no-op.
         assert!(!cat.observe_rows("crm.customers", 500));
         assert_eq!(cat.activity().feedback_updates, 3);
+    }
+
+    #[test]
+    fn exact_bounds_require_exhaustive_sample() {
+        let cat = StatsCatalog::new();
+        let mut b = SampleBuilder::new();
+        for i in 0..10i64 {
+            b.add_row();
+            b.observe("total", &Atomic::Int(i * 10));
+        }
+        // Sample of 10 over 10 total rows: exhaustive, bounds are exact.
+        cat.set("erp.orders", b.finish(10));
+        assert_eq!(cat.exact_bounds("erp.orders", "total"), Some((0.0, 90.0)));
+        // No such field / no such key.
+        assert_eq!(cat.exact_bounds("erp.orders", "nope"), None);
+        assert_eq!(cat.exact_bounds("erp.nope", "total"), None);
+
+        // Same sample extrapolated to 1000 rows: partial, bounds are
+        // advisory and must be withheld.
+        let mut b = SampleBuilder::new();
+        for i in 0..10i64 {
+            b.add_row();
+            b.observe("total", &Atomic::Int(i * 10));
+        }
+        cat.set("erp.big", b.finish(1000));
+        assert_eq!(cat.exact_bounds("erp.big", "total"), None);
+
+        // Non-numeric fields never report bounds.
+        let mut b = SampleBuilder::new();
+        b.add_row();
+        b.observe("name", &Atomic::Str("ada".into()));
+        cat.set("erp.people", b.finish(1));
+        assert_eq!(cat.exact_bounds("erp.people", "name"), None);
     }
 
     #[test]

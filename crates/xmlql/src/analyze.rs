@@ -22,6 +22,16 @@ pub enum AnalysisError {
     /// `Schema::try_new` enforces downstream). Repeated variables in
     /// *structured* patterns remain legal implicit joins.
     DuplicateBinding(String),
+    /// A surface-level type error: a literal operand whose type can
+    /// never satisfy its operator (arithmetic on a non-numeric string,
+    /// `LIKE` on a number). Detected while the token stream is still in
+    /// hand, so it carries the operator's source position — these are
+    /// reported at DEFINE VIEW time before the view is ever queried.
+    TypeError {
+        detail: String,
+        line: usize,
+        col: usize,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -40,6 +50,9 @@ impl fmt::Display for AnalysisError {
                  name the second field differently and join with a predicate",
                 v
             ),
+            AnalysisError::TypeError { detail, line, col } => {
+                write!(f, "type error at line {}, column {}: {}", line, col, detail)
+            }
         }
     }
 }

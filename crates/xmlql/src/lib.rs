@@ -58,11 +58,22 @@ pub mod parser;
 
 pub use analyze::{analyze, AnalysisError, QueryInfo};
 pub use ast::*;
-pub use parser::{parse_query, ParseError};
+pub use parser::{parse_query, parse_query_checked, ParseError, TypeDiag};
 
-/// Parse and semantically check a query in one step.
+/// Parse and semantically check a query in one step. Surface type
+/// diagnostics (arithmetic on a non-numeric literal, `LIKE` on a
+/// numeric one) are fatal here: the first is reported as a positioned
+/// [`AnalysisError::TypeError`], so a bad view definition fails at
+/// DEFINE VIEW time instead of on its first query.
 pub fn compile(text: &str) -> Result<(ast::Query, QueryInfo), CompileError> {
-    let query = parse_query(text).map_err(CompileError::Parse)?;
+    let (query, diags) = parser::parse_query_checked(text).map_err(CompileError::Parse)?;
+    if let Some(d) = diags.into_iter().next() {
+        return Err(CompileError::Analysis(AnalysisError::TypeError {
+            detail: d.detail,
+            line: d.line,
+            col: d.col,
+        }));
+    }
     let info = analyze(&query).map_err(CompileError::Analysis)?;
     Ok((query, info))
 }

@@ -38,18 +38,73 @@ impl From<LexError> for ParseError {
     }
 }
 
+/// A surface-level type diagnostic: a literal operand whose type can
+/// never satisfy its operator. Collected while parsing (the only phase
+/// with token positions in hand); the parse itself still succeeds, so
+/// callers decide whether diagnostics are fatal — [`crate::compile`]
+/// treats the first one as an error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeDiag {
+    pub detail: String,
+    /// Source position of the offending *operator* token.
+    pub line: usize,
+    pub col: usize,
+}
+
 /// Parse a complete XML-QL query.
 pub fn parse_query(text: &str) -> Result<Query, ParseError> {
+    parse_query_checked(text).map(|(q, _)| q)
+}
+
+/// Parse a query and surface-type-check its expressions: returns the
+/// query plus any positioned [`TypeDiag`]s found (arithmetic on a
+/// non-numeric literal, `LIKE` on a numeric one). Only *direct literal
+/// operands* are judged — variables and computed operands are left to
+/// the engine's runtime coercion — so every diagnostic is a certainty,
+/// never a guess.
+pub fn parse_query_checked(text: &str) -> Result<(Query, Vec<TypeDiag>), ParseError> {
     let tokens = tokenize(text)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        type_diags: Vec::new(),
+    };
     let q = p.query()?;
     p.expect(&TokenKind::Eof)?;
-    Ok(q)
+    Ok((q, p.type_diags))
+}
+
+/// Why a literal can never be an arithmetic operand, or `None` when it
+/// can (numerics, numeric-looking strings the engine coerces, and
+/// anything non-literal).
+fn arith_operand_error(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Lit(Atomic::Str(s)) if s.trim().parse::<f64>().is_err() => {
+            Some(format!("string literal {:?} is not numeric", s))
+        }
+        Expr::Lit(Atomic::Bool(b)) => Some(format!("boolean literal `{}` is not numeric", b)),
+        Expr::Lit(Atomic::Null) => Some("`null` is not numeric".to_string()),
+        _ => None,
+    }
+}
+
+/// Why a literal can never be a `LIKE` operand (LIKE matches strings),
+/// or `None` when it can.
+fn like_operand_error(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Lit(Atomic::Int(i)) => Some(format!("numeric literal `{}`", i)),
+        Expr::Lit(Atomic::Float(x)) => Some(format!("numeric literal `{}`", x)),
+        Expr::Lit(Atomic::Bool(b)) => Some(format!("boolean literal `{}`", b)),
+        Expr::Lit(Atomic::Null) => Some("`null`".to_string()),
+        _ => None,
+    }
 }
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Surface type diagnostics collected during expression parsing.
+    type_diags: Vec<TypeDiag>,
 }
 
 impl Parser {
@@ -67,6 +122,25 @@ impl Parser {
             self.pos += 1;
         }
         t
+    }
+
+    /// Position of the current (not yet consumed) token.
+    fn here(&self) -> (usize, usize) {
+        let t = &self.tokens[self.pos];
+        (t.line, t.col)
+    }
+
+    /// Record a type diagnostic for `operand` of the operator spelled
+    /// `sym` at (`line`, `col`) when the operand is a literal that can
+    /// never be numeric.
+    fn check_arith(&mut self, sym: &str, operand: &Expr, line: usize, col: usize) {
+        if let Some(why) = arith_operand_error(operand) {
+            self.type_diags.push(TypeDiag {
+                detail: format!("operand of `{}` — {}; arithmetic needs a number", sym, why),
+                line,
+                col,
+            });
+        }
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
@@ -543,21 +617,36 @@ impl Parser {
             TokenKind::Like => BinOp::Like,
             _ => return Ok(left),
         };
+        let (line, col) = self.here();
         self.bump();
         let right = self.add_expr()?;
+        if op == BinOp::Like {
+            for side in [&left, &right] {
+                if let Some(why) = like_operand_error(side) {
+                    self.type_diags.push(TypeDiag {
+                        detail: format!("operand of `LIKE` — {}; LIKE matches strings", why),
+                        line,
+                        col,
+                    });
+                }
+            }
+        }
         Ok(Expr::Binary(op, Box::new(left), Box::new(right)))
     }
 
     fn add_expr(&mut self) -> Result<Expr, ParseError> {
         let mut left = self.mul_expr()?;
         loop {
-            let op = match self.peek() {
-                TokenKind::Plus => BinOp::Add,
-                TokenKind::Minus => BinOp::Sub,
+            let (op, sym) = match self.peek() {
+                TokenKind::Plus => (BinOp::Add, "+"),
+                TokenKind::Minus => (BinOp::Sub, "-"),
                 _ => break,
             };
+            let (line, col) = self.here();
             self.bump();
             let right = self.mul_expr()?;
+            self.check_arith(sym, &left, line, col);
+            self.check_arith(sym, &right, line, col);
             left = Expr::Binary(op, Box::new(left), Box::new(right));
         }
         Ok(left)
@@ -566,22 +655,29 @@ impl Parser {
     fn mul_expr(&mut self) -> Result<Expr, ParseError> {
         let mut left = self.unary_expr()?;
         loop {
-            let op = match self.peek() {
-                TokenKind::StarTok => BinOp::Mul,
-                TokenKind::Slash => BinOp::Div,
-                TokenKind::Percent => BinOp::Mod,
+            let (op, sym) = match self.peek() {
+                TokenKind::StarTok => (BinOp::Mul, "*"),
+                TokenKind::Slash => (BinOp::Div, "/"),
+                TokenKind::Percent => (BinOp::Mod, "%"),
                 _ => break,
             };
+            let (line, col) = self.here();
             self.bump();
             let right = self.unary_expr()?;
+            self.check_arith(sym, &left, line, col);
+            self.check_arith(sym, &right, line, col);
             left = Expr::Binary(op, Box::new(left), Box::new(right));
         }
         Ok(left)
     }
 
     fn unary_expr(&mut self) -> Result<Expr, ParseError> {
-        if self.eat(&TokenKind::Minus) {
-            Ok(Expr::Neg(Box::new(self.unary_expr()?)))
+        if matches!(self.peek(), TokenKind::Minus) {
+            let (line, col) = self.here();
+            self.bump();
+            let inner = self.unary_expr()?;
+            self.check_arith("-", &inner, line, col);
+            Ok(Expr::Neg(Box::new(inner)))
         } else {
             self.primary()
         }
@@ -844,5 +940,68 @@ mod tests {
     fn error_has_position() {
         let err = parse_query("WHERE\n  CONSTRUCT <o/>").unwrap_err();
         assert_eq!(err.line, 2);
+    }
+
+    // ---- surface type diagnostics ----
+
+    fn diags(text: &str) -> Vec<TypeDiag> {
+        parse_query_checked(text).unwrap().1
+    }
+
+    #[test]
+    fn arithmetic_on_non_numeric_string_literal_is_flagged() {
+        let d = diags(
+            "WHERE <a>$x</a> IN \"c\",\n  $x + \"abc\" > 3\nCONSTRUCT <o>$x</o>",
+        );
+        assert_eq!(d.len(), 1);
+        assert!(d[0].detail.contains("\"abc\""), "{}", d[0].detail);
+        // Position is the `+` operator on line 2.
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[0].col, 6);
+        // The parse itself still succeeds — diagnostics are advisory at
+        // this layer; `compile` decides they are fatal.
+        assert!(parse_query("WHERE <a>$x</a> IN \"c\", $x + \"abc\" > 3 CONSTRUCT <o>$x</o>").is_ok());
+    }
+
+    #[test]
+    fn numeric_looking_strings_and_variables_are_not_flagged() {
+        // The engine coerces "5" in arithmetic; variables are unknown.
+        assert!(diags(r#"WHERE <a>$x</a> IN "c", $x + "5" > 3 CONSTRUCT <o>$x</o>"#).is_empty());
+        assert!(diags(r#"WHERE <a>$x</a> IN "c", $x * 2 - 1 >= 0 CONSTRUCT <o>$x</o>"#).is_empty());
+        // Unary minus on a number is fine; on a non-numeric string it is not.
+        assert!(diags(r#"WHERE <a>$x</a> IN "c", $x > -5 CONSTRUCT <o>$x</o>"#).is_empty());
+        assert_eq!(diags(r#"WHERE <a>$x</a> IN "c", $x > -"b" CONSTRUCT <o>$x</o>"#).len(), 1);
+    }
+
+    #[test]
+    fn like_on_numeric_literal_is_flagged() {
+        let d = diags("WHERE <a>$x</a> IN \"c\",\n  $x LIKE 42\nCONSTRUCT <o>$x</o>");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].detail.contains("LIKE"), "{}", d[0].detail);
+        assert!(d[0].detail.contains("42"), "{}", d[0].detail);
+        assert_eq!((d[0].line, d[0].col), (2, 6));
+        // A string pattern is the normal case and stays clean.
+        assert!(diags(r#"WHERE <a>$x</a> IN "c", $x LIKE "a%" CONSTRUCT <o>$x</o>"#).is_empty());
+        // The subject side is judged the same way.
+        assert_eq!(diags(r#"WHERE <a>$x</a> IN "c", 7 LIKE $x CONSTRUCT <o>$x</o>"#).len(), 1);
+    }
+
+    #[test]
+    fn boolean_and_null_literals_in_arithmetic_are_flagged() {
+        assert_eq!(diags(r#"WHERE <a>$x</a> IN "c", $x + true > 1 CONSTRUCT <o>$x</o>"#).len(), 1);
+        assert_eq!(diags(r#"WHERE <a>$x</a> IN "c", $x % null = 0 CONSTRUCT <o>$x</o>"#).len(), 1);
+    }
+
+    #[test]
+    fn type_diagnostics_reach_into_nested_subqueries() {
+        let d = diags(
+            r#"WHERE <a/> ELEMENT_AS $e IN "top"
+               CONSTRUCT <o>
+                 WHERE <b>$x</b> IN "nested", $x - "oops" > 0
+                 CONSTRUCT <i>$x</i>
+               </o>"#,
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
     }
 }

@@ -61,6 +61,7 @@ R nimble_bench crates/bench/src/lib.rs nimble_core nimble_sources nimble_trace s
 T trace crates/trace/src/lib.rs
 T sources crates/sources/src/lib.rs nimble_xml nimble_relational parking_lot rand nimble_trace
 T store crates/store/src/lib.rs nimble_xml parking_lot nimble_trace
+T xmlql crates/xmlql/src/lib.rs nimble_xml
 T core crates/core/src/lib.rs nimble_xml nimble_xmlql nimble_algebra nimble_planck nimble_sources nimble_store parking_lot crossbeam nimble_trace
 T cleaning $M/cleaning_shim.rs nimble_trace
 T frontend $M/frontend_shim.rs nimble_core nimble_store nimble_trace parking_lot nimble_xml nimble_sources
@@ -72,6 +73,7 @@ T observability tests/observability.rs nimble serde_json
 B exp_observability crates/bench/src/bin/exp_observability.rs nimble_bench nimble_core nimble_trace serde_json
 B exp_vectorized crates/bench/src/bin/exp_vectorized.rs nimble_bench nimble_core nimble_trace nimble_xml serde_json
 B exp_costplan crates/bench/src/bin/exp_costplan.rs nimble_bench nimble_core nimble_sources nimble_trace nimble_xml serde_json
+B exp_staticcheck crates/bench/src/bin/exp_staticcheck.rs nimble_bench nimble_core nimble_sources nimble_trace nimble_xml serde_json
 B quickstart examples/quickstart.rs nimble
 B web_portal examples/web_portal.rs nimble
 B legacy_navigator examples/legacy_navigator.rs nimble

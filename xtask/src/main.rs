@@ -1,22 +1,44 @@
 //! Workspace maintenance tasks, invoked as `cargo xtask <command>`.
 //!
-//! `lint` — inventory panic paths (`.unwrap()`, `.expect()`, `panic!`,
-//! `debug_assert!`) in non-test code and fail when any category grows
-//! past the checked-in `lint-baseline.toml`. The scanner is a plain
-//! text analysis (no syn, no dependencies): comments, string literals,
-//! and `#[cfg(test)]` regions are stripped before counting, files under
-//! `tests/`, `benches/`, `examples/`, or `tools/` (verification
-//! scaffolding) and `*tests.rs` module files are skipped entirely. The baseline is a ratchet: shrink it as panic
-//! paths are removed (`cargo xtask lint --update-baseline`), never grow
-//! it without a review.
+//! `lint` — three checks over non-test code, all compared against the
+//! checked-in `lint-baseline.toml`:
+//!
+//! 1. **Panic paths** (`.unwrap()`, `.expect()`, `panic!`,
+//!    `debug_assert!`): inventoried and failed when any category grows
+//!    past the baseline (a ratchet — shrink it as panic paths are
+//!    removed with `--update-baseline`, never grow it without review).
+//! 2. **Metric-name drift** (`metric_drift`, baseline 0): every
+//!    `engine.*` / `stats.*` / `plan_cache.*` string literal recorded
+//!    by non-test code must appear in the metric inventory table of
+//!    `crates/trace/README.md`, and every table row must be recorded
+//!    somewhere — so the README can be trusted as the one list of
+//!    names dashboards and alert rules may reference. Dynamic names
+//!    (`engine.phase_us.{}` or a concatenation stem ending in `.`)
+//!    normalize to a `.*`-starred family.
+//! 3. **Lock across adapter call** (`lock_across_call`, baseline 0):
+//!    a guard bound by a `let` from `.lock()` / `.borrow_mut()` must
+//!    not still be in scope at an `.execute(` / `.fetch_collection(`
+//!    adapter call — sources can be slow or reentrant (a mediated view
+//!    queried during evaluation), and holding an engine lock across
+//!    them is a deadlock/latency hazard.
+//!
+//! The scanner is a plain text analysis (no syn, no dependencies):
+//! comments, string literals, and `#[cfg(test)]` regions are stripped
+//! before counting, files under `tests/`, `benches/`, `examples/`, or
+//! `tools/` (verification scaffolding) and `*tests.rs` module files
+//! are skipped entirely.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const CATEGORIES: [&str; 4] = ["unwrap", "expect", "panic", "debug_assert"];
+/// Violation-style lints: the baseline entry is pinned at zero; any
+/// occurrence is a regression to fix, not to ratchet.
+const VIOLATION_CATEGORIES: [&str; 2] = ["metric_drift", "lock_across_call"];
 const BASELINE_FILE: &str = "lint-baseline.toml";
+const METRIC_PREFIXES: [&str; 3] = ["engine.", "stats.", "plan_cache."];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -78,6 +100,19 @@ fn lint(update_baseline: bool) -> ExitCode {
         println!("  {:>4}  {}", n, path.display());
     }
 
+    let metric_violations = check_metric_drift(&root, &files);
+    let lock_violations = check_lock_across_call(&root, &files);
+    totals.insert("metric_drift", metric_violations.len());
+    totals.insert("lock_across_call", lock_violations.len());
+    for v in metric_violations.iter().chain(&lock_violations) {
+        eprintln!("  {}", v);
+    }
+    println!(
+        "metric_drift: {}   lock_across_call: {}",
+        metric_violations.len(),
+        lock_violations.len()
+    );
+
     let baseline_path = root.join(BASELINE_FILE);
     if update_baseline {
         let mut out = String::from(
@@ -88,6 +123,13 @@ fn lint(update_baseline: bool) -> ExitCode {
         );
         for cat in CATEGORIES {
             out.push_str(&format!("{} = {}\n", cat, totals[cat]));
+        }
+        out.push_str(
+            "# Violation lints are pinned at zero: fix the code (or the\n\
+             # crates/trace/README.md metric table), never the baseline.\n",
+        );
+        for cat in VIOLATION_CATEGORIES {
+            out.push_str(&format!("{} = 0\n", cat));
         }
         if let Err(e) = fs::write(&baseline_path, out) {
             eprintln!("xtask lint: cannot write {}: {}", baseline_path.display(), e);
@@ -109,7 +151,7 @@ fn lint(update_baseline: bool) -> ExitCode {
         }
     };
     let mut failed = false;
-    for cat in CATEGORIES {
+    for cat in CATEGORIES.into_iter().chain(VIOLATION_CATEGORIES) {
         let current = totals[cat];
         match baseline.get(cat) {
             Some(&allowed) if current > allowed => {
@@ -137,9 +179,327 @@ fn lint(update_baseline: bool) -> ExitCode {
     if failed {
         ExitCode::FAILURE
     } else {
-        println!("lint OK: no panic-path regressions");
+        println!("lint OK: no panic-path, metric-drift, or lock-across-call regressions");
         ExitCode::SUCCESS
     }
+}
+
+/// Cross-check every `engine.*` / `stats.*` / `plan_cache.*` string
+/// literal in non-test code against the metric inventory table in
+/// `crates/trace/README.md`, in both directions. The xtask sources are
+/// excluded: this lint's own prefix strings would otherwise match.
+fn check_metric_drift(root: &Path, files: &[PathBuf]) -> Vec<String> {
+    let readme_rel = Path::new("crates/trace/README.md");
+    let readme = fs::read_to_string(root.join(readme_rel)).unwrap_or_default();
+    let table = parse_metric_table(&readme);
+
+    // Metric name -> first file recording it.
+    let mut used: BTreeMap<String, PathBuf> = BTreeMap::new();
+    for f in files {
+        if f.components().any(|c| c.as_os_str() == "xtask") {
+            continue;
+        }
+        let text = match fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(_) => continue,
+        };
+        for (lit, in_test) in string_literals(&text) {
+            if in_test || !METRIC_PREFIXES.iter().any(|p| lit.starts_with(p)) {
+                continue;
+            }
+            used.entry(normalize_metric(&lit))
+                .or_insert_with(|| f.strip_prefix(root).unwrap_or(f).to_path_buf());
+        }
+    }
+
+    let mut violations = Vec::new();
+    for (name, file) in &used {
+        let covered = table.contains(name)
+            || table.iter().any(|t| {
+                t.strip_suffix('*')
+                    .is_some_and(|p| p.ends_with('.') && name.starts_with(p))
+            });
+        if !covered {
+            violations.push(format!(
+                "metric_drift: `{}` (first seen in {}) is missing from {}'s metric inventory table",
+                name,
+                file.display(),
+                readme_rel.display()
+            ));
+        }
+    }
+    for t in &table {
+        let covered = match t.strip_suffix('*') {
+            Some(prefix) => used.keys().any(|n| n.starts_with(prefix)) || used.contains_key(t),
+            None => used.contains_key(t),
+        };
+        if !covered {
+            violations.push(format!(
+                "metric_drift: {} metric inventory lists `{}`, which no non-test code records",
+                readme_rel.display(),
+                t
+            ));
+        }
+    }
+    violations
+}
+
+/// Rows of the README's metric inventory: markdown table lines whose
+/// first backticked cell starts with a lint-scoped prefix.
+fn parse_metric_table(readme: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in readme.lines() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let Some(cell) = line.trim_start_matches('|').split('|').next() else {
+            continue;
+        };
+        let cell = cell.trim();
+        let Some(name) = cell
+            .strip_prefix('`')
+            .and_then(|c| c.split('`').next())
+        else {
+            continue;
+        };
+        if METRIC_PREFIXES.iter().any(|p| name.starts_with(p)) {
+            out.insert(name.to_string());
+        }
+    }
+    out
+}
+
+/// Canonical form of a metric literal: `format!` holes (`{}`) become
+/// `*`, and a concatenation stem ending in `.` gets a trailing `*`, so
+/// both dynamic spellings collapse onto one starred family name.
+fn normalize_metric(lit: &str) -> String {
+    let mut name = lit.replace("{}", "*");
+    if name.ends_with('.') {
+        name.push('*');
+    }
+    name
+}
+
+/// Every string literal in `source` with a flag for whether it sits
+/// inside a `#[cfg(test)]` region. Comments are skipped; raw and byte
+/// strings are captured; braces inside literals never perturb the
+/// `#[cfg(test)]` depth tracking.
+fn string_literals(source: &str) -> Vec<(String, bool)> {
+    let b = source.as_bytes();
+    let mut out = Vec::new();
+    let mut depth: usize = 0;
+    let mut skip_at: Option<usize> = None;
+    let mut pending = false;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'#' && source[i..].starts_with("#[cfg(test)]") {
+            if skip_at.is_none() {
+                pending = true;
+            }
+            i += "#[cfg(test)]".len();
+            continue;
+        }
+        match c {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut nest = 1;
+                i += 2;
+                while i < b.len() && nest > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        nest += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        nest -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'{' => {
+                depth += 1;
+                if pending {
+                    skip_at = Some(depth);
+                    pending = false;
+                }
+                i += 1;
+            }
+            b'}' => {
+                if skip_at == Some(depth) {
+                    skip_at = None;
+                }
+                depth = depth.saturating_sub(1);
+                i += 1;
+            }
+            b';' => {
+                pending = false;
+                i += 1;
+            }
+            b'"' => {
+                let end = skip_string(b, i);
+                let content_end = end.saturating_sub(1).max(i + 1);
+                out.push((source[i + 1..content_end].to_string(), skip_at.is_some()));
+                i = end;
+            }
+            b'r' | b'b' => {
+                let start = i;
+                let mut j = i + 1;
+                let mut is_raw = b[i] == b'r';
+                if b[i] == b'b' && b.get(j) == Some(&b'r') {
+                    is_raw = true;
+                    j += 1;
+                }
+                let mut hashes = 0;
+                if is_raw {
+                    while b.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                }
+                if b.get(j) == Some(&b'"') && (start == 0 || !is_ident_char(b[start - 1])) {
+                    let end = if is_raw {
+                        skip_raw_string(b, j, hashes)
+                    } else {
+                        skip_string(b, j)
+                    };
+                    let content_end = end.saturating_sub(1 + if is_raw { hashes } else { 0 });
+                    out.push((
+                        source[j + 1..content_end.max(j + 1)].to_string(),
+                        skip_at.is_some(),
+                    ));
+                    i = end;
+                } else {
+                    i = start + 1;
+                }
+            }
+            b'\'' => {
+                if b.get(i + 1) == Some(&b'\\') {
+                    i += 2;
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if b.get(i + 2) == Some(&b'\'') {
+                    i += 3;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Flag `.execute(` / `.fetch_collection(` adapter calls made while a
+/// lock/borrow guard bound by a `let` in an enclosing scope is still
+/// live. Scope-based, not statement-based: parking_lot guards (and
+/// `if let` scrutinee temporaries) live to the end of their block.
+fn check_lock_across_call(root: &Path, files: &[PathBuf]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for f in files {
+        let src = match fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(_) => continue,
+        };
+        for idx in lock_across_call_sites(&src) {
+            let line = 1 + src.as_bytes()[..idx].iter().filter(|&&b| b == b'\n').count();
+            violations.push(format!(
+                "lock_across_call: {}:{}: adapter call while a lock/borrow guard from an \
+                 enclosing `let` is still held — drop the guard (or copy the data out) first",
+                f.strip_prefix(root).unwrap_or(f).display(),
+                line
+            ));
+        }
+    }
+    violations
+}
+
+/// Byte offsets of adapter calls under a live guard (see
+/// [`check_lock_across_call`]); offsets index the original source.
+fn lock_across_call_sites(source: &str) -> Vec<usize> {
+    let cleaned = strip_noise(source);
+    let bytes = cleaned.as_bytes();
+    let mut sites = Vec::new();
+    let mut depth: usize = 0;
+    let mut skip_at: Option<usize> = None;
+    let mut pending = false;
+    // Brace depths at which a guard-binding `let` appeared; a guard
+    // dies when its block closes.
+    let mut guards: Vec<usize> = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'#' && cleaned[i..].starts_with("#[cfg(test)]") {
+            if skip_at.is_none() {
+                pending = true;
+            }
+            i += "#[cfg(test)]".len();
+            continue;
+        }
+        match c {
+            b'{' => {
+                depth += 1;
+                if pending {
+                    skip_at = Some(depth);
+                    pending = false;
+                }
+            }
+            b'}' => {
+                if skip_at == Some(depth) {
+                    skip_at = None;
+                }
+                guards.retain(|&d| d < depth);
+                depth = depth.saturating_sub(1);
+            }
+            b';' => pending = false,
+            _ => {}
+        }
+        if skip_at.is_none() {
+            if c == b'l'
+                && cleaned[i..].starts_with("let")
+                && (i == 0 || !is_ident_char(bytes[i - 1]))
+                && !bytes.get(i + 3).copied().is_some_and(is_ident_char)
+            {
+                // Scan the `let` statement: up to `;` or a block `{` at
+                // paren nesting 0 (an `if let` scrutinee ends there).
+                let mut nest: usize = 0;
+                let mut j = i + 3;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'(' | b'[' => nest += 1,
+                        b')' | b']' => nest = nest.saturating_sub(1),
+                        b';' | b'{' | b'}' if nest == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let stmt = &cleaned[i..j];
+                if stmt.contains(".lock()") || stmt.contains(".borrow_mut()") {
+                    // A plain `let …;` guard lives in the current block;
+                    // an `if let`/`while let` scrutinee temporary lives
+                    // in the block the `{` terminator is about to open.
+                    let block_scoped = bytes.get(j) == Some(&b'{');
+                    guards.push(if block_scoped { depth + 1 } else { depth });
+                }
+            }
+            if c == b'.'
+                && (cleaned[i..].starts_with(".execute(")
+                    || cleaned[i..].starts_with(".fetch_collection("))
+                && !guards.is_empty()
+            {
+                sites.push(i);
+            }
+        }
+        i += 1;
+    }
+    sites
 }
 
 fn parse_baseline(text: &str) -> BTreeMap<String, usize> {
@@ -436,5 +796,105 @@ mod tests {
     fn unwrap_or_is_not_unwrap() {
         let src = "fn f() { let _ = None.unwrap_or(3); }";
         assert!(count_panic_paths(src).is_empty());
+    }
+
+    #[test]
+    fn metric_normalization_collapses_dynamic_spellings() {
+        assert_eq!(normalize_metric("engine.phase_us.{}"), "engine.phase_us.*");
+        assert_eq!(normalize_metric("engine.phase_us."), "engine.phase_us.*");
+        assert_eq!(normalize_metric("engine.queries"), "engine.queries");
+    }
+
+    #[test]
+    fn string_literals_skip_tests_comments_and_raw_strings() {
+        let src = r##"
+fn f() {
+    let a = "engine.queries";
+    // "engine.not_me" in a comment
+    let b = r#"engine.raw"#;
+    let _ = (a, b);
+}
+#[cfg(test)]
+mod tests {
+    fn g() { let _ = "engine.test_only"; }
+}
+"##;
+        let lits = string_literals(src);
+        assert!(lits.contains(&("engine.queries".to_string(), false)));
+        assert!(lits.contains(&("engine.raw".to_string(), false)));
+        assert!(lits.contains(&("engine.test_only".to_string(), true)));
+        assert!(!lits.iter().any(|(s, _)| s == "engine.not_me"));
+    }
+
+    #[test]
+    fn metric_table_rows_are_parsed() {
+        let readme = "\
+| Metric | Kind |\n\
+|--------|------|\n\
+| `engine.queries` | counter |\n\
+| `engine.phase_us.*` | histogram |\n\
+| `Trace` | not a metric |\n";
+        let t = parse_metric_table(readme);
+        assert!(t.contains("engine.queries"));
+        assert!(t.contains("engine.phase_us.*"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lock_held_across_adapter_call_is_flagged() {
+        let src = "\
+fn bad(a: &dyn A) {
+    let guard = self.inner.lock();
+    let _ = a.execute(&q);
+}
+";
+        assert_eq!(lock_across_call_sites(src).len(), 1);
+    }
+
+    #[test]
+    fn guard_dropped_before_call_is_clean() {
+        let src = "\
+fn good(a: &dyn A) {
+    {
+        let guard = self.inner.lock();
+        guard.touch();
+    }
+    let _ = a.execute(&q);
+    let rows = a.fetch_collection(\"c\");
+}
+fn also_good() {
+    let g = self.inner.lock();
+    g.no_adapter_calls_here();
+}
+";
+        assert!(lock_across_call_sites(src).is_empty());
+    }
+
+    #[test]
+    fn if_let_scrutinee_guard_is_scope_live() {
+        // `if let` scrutinee temporaries live to the end of the block.
+        let src = "\
+fn f(a: &dyn A) {
+    if let Some(v) = self.map.lock().get(&k) {
+        let _ = a.execute(&q);
+    }
+    let _ = a.execute(&q);
+}
+";
+        assert_eq!(lock_across_call_sites(src).len(), 1);
+    }
+
+    #[test]
+    fn guards_in_test_code_are_ignored() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn f(a: &dyn A) {
+        let g = self.inner.lock();
+        let _ = a.execute(&q);
+    }
+}
+";
+        assert!(lock_across_call_sites(src).is_empty());
     }
 }
