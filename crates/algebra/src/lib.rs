@@ -131,6 +131,11 @@ fn explain_walk(op: &dyn Operator, analyze: bool) -> String {
                     p.open_ns as f64 / 1e6,
                     p.next_ns as f64 / 1e6
                 ));
+                if p.mem_bytes > 0 {
+                    out.push_str(&format!("  [mem={}]", p.mem_bytes));
+                }
+            } else if op.mem_bytes() > 0 {
+                out.push_str(&format!("  [mem={}]", op.mem_bytes()));
             }
         }
         out.push('\n');

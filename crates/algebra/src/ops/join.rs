@@ -4,7 +4,7 @@
 //! All joins output `left.schema ++ right.schema` (planners deduplicate
 //! shared variables with a projection above the join when needed).
 
-use super::{BoxedOp, Operator, SortKey};
+use super::{BoxedOp, Operator, ParProfile, SortKey};
 use crate::error::ExecError;
 use crate::expr::ScalarExpr;
 use crate::funcs::FunctionRegistry;
@@ -46,6 +46,7 @@ pub struct NestedLoopJoinOp {
     current_matched: bool,
     rows_out: u64,
     est_rows: Option<u64>,
+    mem_bytes: u64,
 }
 
 impl NestedLoopJoinOp {
@@ -70,6 +71,7 @@ impl NestedLoopJoinOp {
             current_matched: false,
             rows_out: 0,
             est_rows: None,
+            mem_bytes: 0,
         }
     }
 
@@ -93,6 +95,7 @@ impl Operator for NestedLoopJoinOp {
         while let Some(t) = self.right.next()? {
             self.right_rows.push(t);
         }
+        self.mem_bytes = super::tuples_mem_bytes(&self.right_rows);
         self.right.close();
         self.current_left = None;
         self.right_cursor = 0;
@@ -171,6 +174,10 @@ impl Operator for NestedLoopJoinOp {
     fn set_est_rows(&mut self, rows: u64) {
         self.est_rows = Some(rows);
     }
+
+    fn mem_bytes(&self) -> u64 {
+        self.mem_bytes
+    }
 }
 
 // --- Hash join ---
@@ -204,6 +211,12 @@ pub struct HashJoinOp {
     key_buf: String,
     scratch: Vec<Tuple>,
     est_rows: Option<u64>,
+    /// Build-side footprint estimate, computed once at the end of the
+    /// build phase (see [`Operator::mem_bytes`]).
+    mem_bytes: u64,
+    /// Per-worker busy times of the parallel build-key extraction
+    /// (`workers == 0` when the build side fell below the threshold).
+    par_prof: Option<ParProfile>,
 }
 
 /// Hash-join keys are rendered to a canonical string so cross-type equal
@@ -320,6 +333,8 @@ impl HashJoinOp {
             key_buf: String::new(),
             scratch: Vec::new(),
             est_rows: None,
+            mem_bytes: 0,
+            par_prof: None,
         }
     }
 
@@ -369,6 +384,8 @@ impl Operator for HashJoinOp {
         self.table_idx.clear();
         self.typed_idx.clear();
         self.typed = false;
+        self.mem_bytes = 0;
+        self.par_prof = None;
         self.right.open()?;
         if self.vectorized {
             while self
@@ -384,7 +401,19 @@ impl Operator for HashJoinOp {
                     chunk.iter().map(|t| numeric_key(&t[col])).collect()
                 };
                 let keys = if self.parallel {
-                    par::par_chunks(&self.build_rows, extract)
+                    match par::par_chunks_profiled(&self.build_rows, extract) {
+                        Some((keys, prof)) => {
+                            self.par_prof = Some(prof);
+                            Some(keys)
+                        }
+                        None => {
+                            // Requested but below threshold (or 1 core):
+                            // record the skip so utilization telemetry
+                            // can tell "declined" from "never asked".
+                            self.par_prof = Some(ParProfile::default());
+                            None
+                        }
+                    }
                 } else {
                     None
                 }
@@ -405,7 +434,16 @@ impl Operator for HashJoinOp {
                     chunk.iter().map(|t| key_string(t, right_keys)).collect()
                 };
                 let keys = if self.parallel {
-                    par::par_chunks(&self.build_rows, extract)
+                    match par::par_chunks_profiled(&self.build_rows, extract) {
+                        Some((keys, prof)) => {
+                            self.par_prof = Some(prof);
+                            Some(keys)
+                        }
+                        None => {
+                            self.par_prof = Some(ParProfile::default());
+                            None
+                        }
+                    }
                 } else {
                     None
                 }
@@ -414,11 +452,24 @@ impl Operator for HashJoinOp {
                     self.table_idx.entry(k).or_default().push(i as u32);
                 }
             }
+            let bucket_slots = (self.build_rows.len() * std::mem::size_of::<u32>()) as u64;
+            let entries = if self.typed {
+                (self.typed_idx.len() * std::mem::size_of::<(u64, Vec<u32>)>()) as u64
+            } else {
+                (self.table_idx.len() * std::mem::size_of::<(String, Vec<u32>)>()) as u64
+            };
+            self.mem_bytes = super::tuples_mem_bytes(&self.build_rows) + entries + bucket_slots;
         } else {
             while let Some(t) = self.right.next()? {
                 let k = key_string(&t, &self.right_keys);
                 self.table.entry(k).or_default().push(t);
             }
+            self.mem_bytes = self
+                .table
+                .values()
+                .map(|bucket| super::tuples_mem_bytes(bucket))
+                .sum::<u64>()
+                + (self.table.len() * std::mem::size_of::<(String, Vec<Tuple>)>()) as u64;
         }
         self.right.close();
         self.left.open()?;
@@ -594,6 +645,14 @@ impl Operator for HashJoinOp {
 
     fn set_est_rows(&mut self, rows: u64) {
         self.est_rows = Some(rows);
+    }
+
+    fn mem_bytes(&self) -> u64 {
+        self.mem_bytes
+    }
+
+    fn par_profile(&self) -> Option<&ParProfile> {
+        self.par_prof.as_ref()
     }
 }
 

@@ -28,6 +28,11 @@ pub struct OpProfile {
     pub next_ns: u64,
     /// Rows this operator produced.
     pub rows: u64,
+    /// Largest buffered-state footprint the wrapped operator reported
+    /// ([`Operator::mem_bytes`]), sampled after `open` and after each
+    /// `next`/`next_batch` — the high-water mark of build tables, sort
+    /// buffers, and scan batches during this execution.
+    pub mem_bytes: u64,
 }
 
 impl OpProfile {
@@ -43,6 +48,7 @@ pub struct MeteredOp {
     open_ns: u64,
     next_ns: u64,
     rows: u64,
+    mem_bytes: u64,
 }
 
 impl MeteredOp {
@@ -52,7 +58,12 @@ impl MeteredOp {
             open_ns: 0,
             next_ns: 0,
             rows: 0,
+            mem_bytes: 0,
         }
+    }
+
+    fn sample_mem(&mut self) {
+        self.mem_bytes = self.mem_bytes.max(self.inner.mem_bytes());
     }
 }
 
@@ -69,9 +80,11 @@ impl Operator for MeteredOp {
         self.open_ns = 0;
         self.next_ns = 0;
         self.rows = 0;
+        self.mem_bytes = 0;
         let start = Instant::now();
         let result = self.inner.open();
         self.open_ns = elapsed_ns(start);
+        self.sample_mem();
         result
     }
 
@@ -82,6 +95,7 @@ impl Operator for MeteredOp {
         if let Ok(Some(_)) = &result {
             self.rows += 1;
         }
+        self.sample_mem();
         result
     }
 
@@ -95,6 +109,7 @@ impl Operator for MeteredOp {
         if let Ok(n) = &result {
             self.rows += *n as u64;
         }
+        self.sample_mem();
         result
     }
 
@@ -126,11 +141,20 @@ impl Operator for MeteredOp {
         self.inner.set_est_rows(rows);
     }
 
+    fn mem_bytes(&self) -> u64 {
+        self.inner.mem_bytes()
+    }
+
+    fn par_profile(&self) -> Option<&super::ParProfile> {
+        self.inner.par_profile()
+    }
+
     fn profile(&self) -> Option<OpProfile> {
         Some(OpProfile {
             open_ns: self.open_ns,
             next_ns: self.next_ns,
             rows: self.rows,
+            mem_bytes: self.mem_bytes,
         })
     }
 }

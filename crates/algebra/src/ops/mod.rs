@@ -47,6 +47,36 @@ use crate::schema::{Schema, Tuple};
 /// per-call virtual dispatch to noise.
 pub const DEFAULT_BATCH_SIZE: usize = 1024;
 
+/// Per-worker busy times from one scoped fork/join section (hash-join
+/// build key extraction, parallel sort-key extraction).
+///
+/// `workers == 0` means the operator ran in parallel mode but the input
+/// fell below the profitability threshold (or only one core was
+/// available), so the serial kernel ran — the "threshold-skipped" case
+/// the engine counts separately from genuine parallel sections.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParProfile {
+    /// Scoped threads actually spawned (0 = threshold-skipped).
+    pub workers: usize,
+    /// Wall-clock busy time of each worker, in microseconds, in chunk
+    /// order. Spread across entries is idle/imbalance evidence.
+    pub busy_us: Vec<u64>,
+}
+
+/// Approximate heap footprint of a buffered tuple set: `Vec` headers
+/// plus value slots. Deliberately O(n) in tuples but O(1) per tuple —
+/// string payloads are not walked — so operators can afford to compute
+/// it once when a buffer is built and cache the result for the O(1)
+/// [`Operator::mem_bytes`] hint.
+pub fn tuples_mem_bytes(tuples: &[Tuple]) -> u64 {
+    let slot = std::mem::size_of::<nimble_xml::Value>();
+    let header = std::mem::size_of::<Tuple>();
+    tuples
+        .iter()
+        .map(|t| (header + t.capacity() * slot) as u64)
+        .sum()
+}
+
 /// The physical-operator interface.
 pub trait Operator: Send {
     /// Output schema (variable names per column).
@@ -108,6 +138,19 @@ pub trait Operator: Send {
     /// the default silently ignores it, so opaque operators need no
     /// changes).
     fn set_est_rows(&mut self, _rows: u64) {}
+    /// Bytes of buffered state this operator currently holds (hash-join
+    /// build tables, sort buffers, scan batches). An O(1) hint computed
+    /// when the buffer is built, not a live measurement; 0 for
+    /// streaming operators. EXPLAIN ANALYZE renders it as `[mem=N]`.
+    fn mem_bytes(&self) -> u64 {
+        0
+    }
+    /// Per-worker busy times of this operator's most recent parallel
+    /// section, when it ran one (see [`ParProfile`]). `None` for
+    /// operators that never fork.
+    fn par_profile(&self) -> Option<&ParProfile> {
+        None
+    }
 }
 
 /// Boxed operator alias used throughout planners.

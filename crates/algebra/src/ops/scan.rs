@@ -14,6 +14,9 @@ pub struct ValuesOp {
     label: String,
     drain: bool,
     est_rows: Option<u64>,
+    /// Buffer footprint, computed once at `open` (drained tuples keep
+    /// their accounted size — the scan did hold them).
+    mem_bytes: u64,
 }
 
 impl ValuesOp {
@@ -26,6 +29,7 @@ impl ValuesOp {
             label: "Values".to_string(),
             drain: false,
             est_rows: None,
+            mem_bytes: 0,
         }
     }
 
@@ -61,6 +65,7 @@ impl Operator for ValuesOp {
         }
         self.cursor = 0;
         self.rows_out = 0;
+        self.mem_bytes = super::tuples_mem_bytes(&self.tuples);
         Ok(())
     }
 
@@ -120,6 +125,10 @@ impl Operator for ValuesOp {
     fn set_est_rows(&mut self, rows: u64) {
         self.est_rows = Some(rows);
     }
+
+    fn mem_bytes(&self) -> u64 {
+        self.mem_bytes
+    }
 }
 
 /// Producer invoked at `open` time by [`LazySourceOp`].
@@ -135,6 +144,7 @@ pub struct LazySourceOp {
     cursor: usize,
     rows_out: u64,
     label: String,
+    mem_bytes: u64,
 }
 
 impl LazySourceOp {
@@ -150,6 +160,7 @@ impl LazySourceOp {
             cursor: 0,
             rows_out: 0,
             label: label.into(),
+            mem_bytes: 0,
         }
     }
 }
@@ -163,6 +174,7 @@ impl Operator for LazySourceOp {
         self.buffered = (self.producer)()?;
         self.cursor = 0;
         self.rows_out = 0;
+        self.mem_bytes = super::tuples_mem_bytes(&self.buffered);
         Ok(())
     }
 
@@ -204,6 +216,10 @@ impl Operator for LazySourceOp {
 
     fn introspect(&self) -> OpInfo {
         OpInfo::source(format!("Source {}", self.label))
+    }
+
+    fn mem_bytes(&self) -> u64 {
+        self.mem_bytes
     }
 }
 

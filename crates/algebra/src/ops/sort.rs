@@ -1,6 +1,6 @@
 //! Sorting with document-order tiebreak.
 
-use super::{BoxedOp, Operator};
+use super::{BoxedOp, Operator, ParProfile};
 use crate::error::ExecError;
 use crate::inspect::{OpInfo, OrderEffect, SchemaRule};
 use crate::par;
@@ -27,6 +27,11 @@ pub struct SortOp {
     vectorized: bool,
     parallel: bool,
     est_rows: Option<u64>,
+    /// Buffer footprint, computed once after materialization.
+    mem_bytes: u64,
+    /// Busy times of the parallel key-extraction workers (see
+    /// [`ParProfile`]).
+    par_prof: Option<ParProfile>,
 }
 
 impl SortOp {
@@ -40,6 +45,8 @@ impl SortOp {
             vectorized: false,
             parallel: false,
             est_rows: None,
+            mem_bytes: 0,
+            par_prof: None,
         }
     }
 
@@ -99,8 +106,20 @@ impl SortOp {
                 })
                 .collect()
         };
+        let mut par_prof = None;
         let mut keyed = if self.parallel {
-            par::par_chunks(&self.buffer, extract)
+            match par::par_chunks_profiled(&self.buffer, extract) {
+                Some((keyed, prof)) => {
+                    par_prof = Some(prof);
+                    Some(keyed)
+                }
+                None => {
+                    // Parallel mode requested, input below the threshold:
+                    // record the skip for utilization telemetry.
+                    par_prof = Some(ParProfile::default());
+                    None
+                }
+            }
         } else {
             None
         }
@@ -121,6 +140,7 @@ impl SortOp {
             sorted.push(std::mem::take(&mut self.buffer[i]));
         }
         self.buffer = sorted;
+        self.par_prof = par_prof;
     }
 }
 
@@ -131,6 +151,8 @@ impl Operator for SortOp {
 
     fn open(&mut self) -> Result<(), ExecError> {
         self.rows_out = 0;
+        self.mem_bytes = 0;
+        self.par_prof = None;
         self.child.open()?;
         self.buffer.clear();
         if self.vectorized {
@@ -150,6 +172,7 @@ impl Operator for SortOp {
         } else {
             self.sort_scalar();
         }
+        self.mem_bytes = super::tuples_mem_bytes(&self.buffer);
         self.cursor = 0;
         Ok(())
     }
@@ -212,6 +235,14 @@ impl Operator for SortOp {
 
     fn set_est_rows(&mut self, rows: u64) {
         self.est_rows = Some(rows);
+    }
+
+    fn mem_bytes(&self) -> u64 {
+        self.mem_bytes
+    }
+
+    fn par_profile(&self) -> Option<&ParProfile> {
+        self.par_prof.as_ref()
     }
 }
 

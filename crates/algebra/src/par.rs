@@ -32,7 +32,25 @@ pub(crate) fn workers() -> usize {
 /// are available, or any worker panicked — callers must then run their
 /// serial kernel instead (which will surface a deterministic panic or
 /// error if the input itself is at fault).
+#[cfg_attr(not(test), allow(dead_code))] // operators call the profiled variant
 pub(crate) fn par_chunks<T, R, F>(items: &[T], f: F) -> Option<Vec<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> Vec<R> + Sync,
+{
+    par_chunks_profiled(items, f).map(|(out, _)| out)
+}
+
+/// [`par_chunks`] plus per-worker busy times: each spawned worker
+/// measures its own wall-clock from entry to exit, so the caller can
+/// surface thread utilization (and imbalance) instead of guessing it
+/// from end-to-end time. Returns `None` under exactly the same
+/// conditions as [`par_chunks`].
+pub(crate) fn par_chunks_profiled<T, R, F>(
+    items: &[T],
+    f: F,
+) -> Option<(Vec<R>, crate::ops::ParProfile)>
 where
     T: Sync,
     R: Send,
@@ -48,16 +66,32 @@ where
         let handles: Vec<_> = items
             .chunks(chunk)
             .enumerate()
-            .map(|(i, c)| s.spawn(move || f(i * chunk, c)))
+            .map(|(i, c)| {
+                s.spawn(move || {
+                    let start = std::time::Instant::now();
+                    let part = f(i * chunk, c);
+                    let busy_us =
+                        start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                    (part, busy_us)
+                })
+            })
             .collect();
         let mut out = Vec::with_capacity(items.len());
+        let mut busy = Vec::with_capacity(handles.len());
         for h in handles {
             match h.join() {
-                Ok(part) => out.extend(part),
+                Ok((part, busy_us)) => {
+                    out.extend(part);
+                    busy.push(busy_us);
+                }
                 Err(_) => return None,
             }
         }
-        Some(out)
+        let profile = crate::ops::ParProfile {
+            workers: busy.len(),
+            busy_us: busy,
+        };
+        Some((out, profile))
     })
 }
 
@@ -69,6 +103,18 @@ mod tests {
     fn small_inputs_decline() {
         let items: Vec<u32> = (0..100).collect();
         assert!(par_chunks(&items, |_, c| c.to_vec()).is_none());
+    }
+
+    #[test]
+    fn profiled_variant_reports_one_busy_time_per_worker() {
+        let items: Vec<u32> = (0..10_000).collect();
+        if let Some((mapped, profile)) =
+            par_chunks_profiled(&items, |_, c| c.to_vec())
+        {
+            assert_eq!(mapped.len(), items.len());
+            assert!(profile.workers >= 2);
+            assert_eq!(profile.busy_us.len(), profile.workers);
+        }
     }
 
     #[test]

@@ -12,14 +12,23 @@
 //!    query *is* the production overhead story.
 //!
 //! Writes `BENCH_observability.json` at the repo root (per-phase
-//! timings + loop numbers) so later PRs can track the trajectory, and
-//! appends the usual JSON-lines record under `target/experiments/`.
+//! timings + loop numbers + allocation and plan-quality blocks) so
+//! later PRs can track the trajectory, and appends the usual JSON-lines
+//! record under `target/experiments/`. `--quick` (or
+//! `NIMBLE_BENCH_QUICK=1`) shrinks the fixture and run counts for the
+//! regression sentinel (`cargo xtask bench-check`).
+//!
+//! The suite engine runs with `verify_plans` and `semantic_checks`
+//! explicitly on (the release default gates verification off, which
+//! made the verify phase report a flat 0 in earlier artifacts), and
+//! phases are reported at microsecond resolution — the verify phase is
+//! real but small, and `mean_ms` rounding was hiding it.
 
 use nimble_bench::{
     customer_fixture, emit_jsonl, observe_window, phase_summary, write_bench_observability,
     TablePrinter,
 };
-use nimble_core::{Engine, EngineConfig};
+use nimble_core::{Engine, EngineConfig, OptimizerConfig};
 use nimble_trace::{chrome_trace, prometheus_text, query_log_jsonl, TraceId};
 use std::time::Instant;
 
@@ -60,27 +69,49 @@ const SUITE: [(&str, &str); 3] = [
 ];
 
 fn main() {
-    let customers = 500;
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("NIMBLE_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let (customers, runs, loop_n) = if quick { (200, 8, 200) } else { (500, 20, 1000) };
+
     let (catalog, _) = customer_fixture(customers);
-    let engine = Engine::with_config(catalog, EngineConfig::default());
+    // Verification on explicitly: the release default turns
+    // `verify_plans` off, and this experiment exists to price the
+    // verify phase, not to skip it.
+    let optimizer = OptimizerConfig {
+        verify_plans: true,
+        semantic_checks: true,
+        ..OptimizerConfig::default()
+    };
+    let engine = Engine::with_config(
+        catalog,
+        EngineConfig {
+            optimizer,
+            ..EngineConfig::default()
+        },
+    );
 
     // Warm every source path once.
     for (_, q) in SUITE {
         need(engine.query(q), "suite query");
     }
 
-    println!("per-phase timings, {} customers (mean over 20 runs)", customers);
+    println!(
+        "per-phase timings, {} customers (mean over {} runs{})",
+        customers,
+        runs,
+        if quick { ", quick" } else { "" }
+    );
     let table = TablePrinter::new(&[
         ("query", 16),
         ("phase", 12),
         ("runs", 6),
-        ("mean_ms", 10),
+        ("mean_us", 10),
         ("total_ms", 10),
     ]);
     let mut suite_json = serde_json::Map::new();
     for (name, q) in SUITE {
         let (_, window) = observe_window(engine.metrics(), || {
-            for _ in 0..20 {
+            for _ in 0..runs {
                 need(engine.query(q), "suite query");
             }
         });
@@ -90,21 +121,57 @@ fn main() {
                 name.to_string(),
                 phase.clone(),
                 count.to_string(),
-                format!("{:.3}", mean_ms),
+                format!("{:.1}", mean_ms * 1e3),
                 format!("{:.1}", total_ms),
             ]);
             phases_json.insert(
                 phase,
-                serde_json::json!({"runs": count, "mean_ms": mean_ms, "total_ms": total_ms}),
+                serde_json::json!({
+                    "runs": count,
+                    "mean_us": mean_ms * 1e3,
+                    "mean_ms": mean_ms,
+                    "total_ms": total_ms,
+                }),
             );
         }
         suite_json.insert(name.to_string(), serde_json::Value::Object(phases_json));
     }
 
+    // Allocation accounting: per-query heap traffic from the engine's
+    // own `AllocScope` (zeros when the `profile-alloc` feature of
+    // nimble-trace is compiled out).
+    let mut alloc_per_query = serde_json::Map::new();
+    let mut bytes_sum = 0.0;
+    let mut peak_sum = 0.0;
+    for (name, q) in SUITE {
+        let r = need(engine.query(q), "alloc probe");
+        bytes_sum += r.stats.alloc_bytes as f64;
+        peak_sum += r.stats.alloc_peak_bytes as f64;
+        alloc_per_query.insert(
+            name.to_string(),
+            serde_json::json!({
+                "alloc_bytes": r.stats.alloc_bytes,
+                "alloc_peak_bytes": r.stats.alloc_peak_bytes,
+            }),
+        );
+    }
+    let alloc_json = serde_json::json!({
+        "enabled": nimble_trace::alloc::enabled(),
+        "query_bytes_mean": bytes_sum / SUITE.len() as f64,
+        "query_peak_bytes_mean": peak_sum / SUITE.len() as f64,
+        "per_query": serde_json::Value::Object(alloc_per_query),
+    });
+    println!(
+        "\nallocation: enabled={}, mean {:.0} bytes/query (peak {:.0})",
+        nimble_trace::alloc::enabled(),
+        bytes_sum / SUITE.len() as f64,
+        peak_sum / SUITE.len() as f64,
+    );
+
     // Overhead loop: always-on metrics (profile off) vs. forced
     // per-operator metering, same query.
     let loop_query = SUITE[0].1;
-    let n = 1000;
+    let n = loop_n;
     let t = Instant::now();
     for _ in 0..n {
         need(engine.query(loop_query), "loop query");
@@ -116,7 +183,8 @@ fn main() {
     }
     let on_us = t.elapsed().as_secs_f64() * 1e6 / n as f64;
     println!(
-        "\n1000-query loop: profile off {:.1}us/query, profile on {:.1}us/query ({:+.1}%)",
+        "\n{}-query loop: profile off {:.1}us/query, profile on {:.1}us/query ({:+.1}%)",
+        n,
         off_us,
         on_us,
         (on_us / off_us - 1.0) * 100.0
@@ -162,9 +230,47 @@ fn main() {
     let analyzed = need(engine.explain_analyze(SUITE[1].1), "explain analyze");
     println!("\nEXPLAIN ANALYZE (three_way_join):\n{}", analyzed);
 
+    // Plan-quality telemetry the runs above populated: Q-error
+    // histograms (stored as centi-Q; reported as plain Q) plus the
+    // decision-flip counters.
+    let qsnap = engine.metrics_snapshot();
+    let mut qerror_json = serde_json::Map::new();
+    for (hist_name, h) in &qsnap.histograms {
+        if let Some(kind) = hist_name.strip_prefix("plan.qerror.") {
+            qerror_json.insert(
+                kind.to_string(),
+                serde_json::json!({
+                    "count": h.count,
+                    "median_q": h.p50() as f64 / 100.0,
+                    "p99_q": h.p99() as f64 / 100.0,
+                    "max_q": h.max as f64 / 100.0,
+                }),
+            );
+        }
+    }
+    println!(
+        "plan quality: {} operator kinds scored, flips build_side={} parallel={} gross_feedback={}",
+        qerror_json.len(),
+        qsnap.counter("plan.flips.build_side"),
+        qsnap.counter("plan.flips.parallel"),
+        qsnap.counter("plan.feedback.gross"),
+    );
+    let plan_quality_json = serde_json::json!({
+        "qerror": serde_json::Value::Object(qerror_json),
+        "flips": serde_json::json!({
+            "build_side": qsnap.counter("plan.flips.build_side"),
+            "parallel": qsnap.counter("plan.flips.parallel"),
+            "gross_feedback": qsnap.counter("plan.feedback.gross"),
+        }),
+    });
+
     let record = serde_json::json!({
         "experiment": "observability",
         "customers": customers,
+        "runs": runs,
+        "quick": quick,
+        "alloc": alloc_json,
+        "plan_quality": plan_quality_json,
         "suite": suite_json,
         "loop_profile_off_us_per_query": off_us,
         "loop_profile_on_us_per_query": on_us,

@@ -74,31 +74,72 @@ fn config(batch_exec: bool, parallel_exec: bool) -> OptimizerConfig {
     }
 }
 
+/// One mode's measured window: times plus the resource story behind
+/// them (allocation traffic and parallel-worker utilization).
+struct ModeSample {
+    pipeline_ms: f64,
+    phase_ms: f64,
+    /// Mean heap bytes allocated per query inside the execute phase
+    /// (0 when the `profile-alloc` feature is compiled out).
+    alloc_bytes: f64,
+    /// Mean per-worker busy time across all fork/join rounds.
+    worker_busy_us: f64,
+    /// Worker busy-time samples observed (= workers × rounds).
+    worker_samples: u64,
+    /// Fork/join rounds that actually spawned workers.
+    workers_spawned: u64,
+    /// Parallel-eligible rounds the runtime declined (input below the
+    /// fork threshold, or fewer than two cores available).
+    par_skipped: u64,
+}
+
 /// Mean executor-pipeline and execute-phase times (ms/query) for `runs`
-/// repetitions of `q`.
-fn measure_execute(engine: &Engine, q: &str, runs: usize) -> (f64, f64) {
+/// repetitions of `q`, plus the window's allocation and
+/// worker-utilization metrics.
+fn measure_execute(engine: &Engine, q: &str, runs: usize) -> ModeSample {
     let (_, window) = observe_window(engine.metrics(), || {
         for _ in 0..runs {
             need(engine.query(q), "suite query");
         }
     });
-    let pipeline_ms = window
-        .histograms
-        .get("engine.exec.pipeline_us")
-        .map(|h| h.mean() / 1e3)
-        .unwrap_or(0.0);
+    let hist_mean = |name: &str| {
+        window
+            .histograms
+            .get(name)
+            .map(|h| h.mean())
+            .unwrap_or(0.0)
+    };
     let phase_ms = phase_summary(&window)
         .into_iter()
         .find(|(phase, ..)| phase == "execute")
         .map(|(_, _, mean_ms, _)| mean_ms)
         .unwrap_or(0.0);
-    (pipeline_ms, phase_ms)
+    ModeSample {
+        pipeline_ms: hist_mean("engine.exec.pipeline_us") / 1e3,
+        phase_ms,
+        alloc_bytes: hist_mean("engine.phase_alloc.bytes.execute"),
+        worker_busy_us: hist_mean("engine.par.worker_busy_us"),
+        worker_samples: window
+            .histograms
+            .get("engine.par.worker_busy_us")
+            .map(|h| h.count)
+            .unwrap_or(0),
+        workers_spawned: window.counter("engine.par.workers"),
+        par_skipped: window.counter("engine.par.skipped"),
+    }
 }
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick")
         || std::env::var("NIMBLE_BENCH_QUICK").is_ok_and(|v| v == "1");
-    let (customers, runs) = if quick { (400, 8) } else { (2000, 30) };
+    // 2500 customers puts the two-way join's build side (the customers
+    // collection) above the 2048-row parallel threshold, so the
+    // cost-based gate opens and the runtime's fork/decline decision
+    // becomes visible in the worker-utilization block: on a multi-core
+    // machine it forks and reports per-worker busy times; on a small
+    // machine it declines every build (`builds_declined`), which is
+    // exactly why batch_parallel tracks plain batch there.
+    let (customers, runs) = if quick { (400, 8) } else { (2500, 30) };
 
     let (catalog, _) = customer_fixture(customers);
     let engine = Engine::with_config(catalog, EngineConfig::default());
@@ -130,7 +171,7 @@ fn main() {
         let identical = docs.windows(2).all(|w| w[0] == w[1]);
         all_identical &= identical;
 
-        let mut means = Vec::new();
+        let mut means: Vec<(&str, ModeSample)> = Vec::new();
         for (mode, batch, parallel) in MODES {
             engine.set_optimizer(config(batch, parallel));
             // Warm this mode's path (and the source fetch caches) so the
@@ -138,34 +179,58 @@ fn main() {
             for _ in 0..2 {
                 need(engine.query(q), "warmup query");
             }
-            let (mean_ms, phase_ms) = measure_execute(&engine, q, runs);
+            let sample = measure_execute(&engine, q, runs);
             let speedup = means
                 .first()
-                .map(|&(_, scalar_ms, _): &(&str, f64, f64)| scalar_ms / mean_ms.max(1e-9))
+                .map(|(_, scalar)| scalar.pipeline_ms / sample.pipeline_ms.max(1e-9))
                 .unwrap_or(1.0);
             table.row(&[
                 name.to_string(),
                 mode.to_string(),
-                format!("{:.3}", mean_ms),
+                format!("{:.3}", sample.pipeline_ms),
                 format!("{:.2}x", speedup),
-                format!("{:.3}", phase_ms),
+                format!("{:.3}", sample.phase_ms),
             ]);
-            means.push((mode, mean_ms, phase_ms));
+            means.push((mode, sample));
         }
-        let (_, scalar_ms, scalar_phase_ms) = means[0];
-        let (_, batch_ms, batch_phase_ms) = means[1];
-        let (_, batch_parallel_ms, batch_parallel_phase_ms) = means[2];
+        // Why batch+parallel can trail plain batch: the fork/join
+        // rounds it actually ran, what each worker was busy for, and
+        // how many eligible builds the runtime declined (too small, or
+        // too few cores).
+        let par = &means[2].1;
+        println!(
+            "  {} parallel: {} worker spawns ({} busy samples, mean {:.0}us/worker), \
+             {} builds declined; execute alloc scalar {:.0}B batch {:.0}B parallel {:.0}B",
+            name,
+            par.workers_spawned,
+            par.worker_samples,
+            par.worker_busy_us,
+            par.par_skipped,
+            means[0].1.alloc_bytes,
+            means[1].1.alloc_bytes,
+            par.alloc_bytes,
+        );
+        let (scalar, batch, batch_parallel) = (&means[0].1, &means[1].1, &means[2].1);
         suites_json.insert(
             name.to_string(),
             serde_json::json!({
-                "scalar_execute_ms": scalar_ms,
-                "batch_execute_ms": batch_ms,
-                "batch_parallel_execute_ms": batch_parallel_ms,
-                "scalar_phase_execute_ms": scalar_phase_ms,
-                "batch_phase_execute_ms": batch_phase_ms,
-                "batch_parallel_phase_execute_ms": batch_parallel_phase_ms,
-                "speedup_batch": scalar_ms / batch_ms.max(1e-9),
-                "speedup_batch_parallel": scalar_ms / batch_parallel_ms.max(1e-9),
+                "scalar_execute_ms": scalar.pipeline_ms,
+                "batch_execute_ms": batch.pipeline_ms,
+                "batch_parallel_execute_ms": batch_parallel.pipeline_ms,
+                "scalar_phase_execute_ms": scalar.phase_ms,
+                "batch_phase_execute_ms": batch.phase_ms,
+                "batch_parallel_phase_execute_ms": batch_parallel.phase_ms,
+                "speedup_batch": scalar.pipeline_ms / batch.pipeline_ms.max(1e-9),
+                "speedup_batch_parallel": scalar.pipeline_ms / batch_parallel.pipeline_ms.max(1e-9),
+                "scalar_alloc_bytes": scalar.alloc_bytes,
+                "batch_alloc_bytes": batch.alloc_bytes,
+                "batch_parallel_alloc_bytes": batch_parallel.alloc_bytes,
+                "parallel": serde_json::json!({
+                    "workers_spawned": batch_parallel.workers_spawned,
+                    "worker_busy_samples": batch_parallel.worker_samples,
+                    "worker_busy_us_mean": batch_parallel.worker_busy_us,
+                    "builds_declined": batch_parallel.par_skipped,
+                }),
                 "differential_ok": identical,
             }),
         );
@@ -187,6 +252,7 @@ fn main() {
         "customers": customers,
         "runs": runs,
         "quick": quick,
+        "alloc_enabled": nimble_trace::alloc::enabled(),
         "suites": suites_json,
         "differential_ok": all_identical,
     });

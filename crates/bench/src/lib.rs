@@ -22,6 +22,8 @@
 //! Every binary prints an aligned table and appends machine-readable
 //! JSON lines under `target/experiments/`.
 
+pub mod baseline;
+
 use nimble_core::Catalog;
 use nimble_sources::relational::RelationalAdapter;
 use nimble_sources::xmldoc::XmlDocAdapter;
@@ -83,12 +85,25 @@ pub fn phase_summary(window: &MetricsSnapshot) -> Vec<(String, u64, f64, f64)> {
 
 /// Write a repo-root benchmark artifact (overwritten per run) so
 /// successive PRs can track the perf trajectory.
+///
+/// When `NIMBLE_BENCH_OUT_DIR` is set, the artifact lands in that
+/// directory instead (same basename). The regression sentinel
+/// (`cargo xtask bench-check`) uses this to collect a fresh run
+/// without clobbering the checked-in repo-root baselines.
 pub fn write_bench_artifact(file: &str, record: &serde_json::Value) {
     let rendered = match serde_json::to_string_pretty(record) {
         Ok(s) => s,
         Err(_) => record.to_string(),
     };
-    let _ = std::fs::write(file, rendered + "\n");
+    let path = match std::env::var("NIMBLE_BENCH_OUT_DIR") {
+        Ok(dir) if !dir.is_empty() => {
+            let _ = std::fs::create_dir_all(&dir);
+            std::path::Path::new(&dir)
+                .join(std::path::Path::new(file).file_name().unwrap_or_default())
+        }
+        _ => std::path::PathBuf::from(file),
+    };
+    let _ = std::fs::write(path, rendered + "\n");
 }
 
 /// Write the observability benchmark artifact.

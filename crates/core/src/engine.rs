@@ -18,8 +18,8 @@ use nimble_algebra::{
 use nimble_sources::query::{row_field, rows_of};
 use nimble_store::{LogicalClock, ResultCache, ViewStore, WorkloadMonitor};
 use nimble_trace::{
-    FlightRecord, FlightRecorder, MetricsRegistry, MetricsSnapshot, QueryCtx, QueryEvent,
-    QueryLog, QueryLogEntry, SourceCall, SpanView, Trace,
+    AllocScope, AllocStats, FlightRecord, FlightRecorder, MetricsRegistry, MetricsSnapshot,
+    QueryCtx, QueryEvent, QueryLog, QueryLogEntry, SourceCall, SpanView, Trace,
 };
 use nimble_xml::{Document, DocumentBuilder, Value};
 use nimble_xmlql::ast::Query;
@@ -36,6 +36,12 @@ const MAX_DEPTH: usize = 16;
 /// is skipped (matches the operator's own internal serial cutoff, but
 /// decided from statistics before any threads are spawned).
 const PARALLEL_EST_THRESHOLD: u64 = 2048;
+
+/// A scan estimate that undershoots the actual row count by more than
+/// this factor is a *gross* misestimate: the observed count is fed back
+/// into the statistics catalog instead of waiting for the next
+/// unfiltered fetch to correct it.
+const GROSS_QERROR: u64 = 16;
 
 /// Optimizer ablation switches (experiment E5 flips these).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -219,6 +225,18 @@ pub struct QueryStats {
     /// The span tree as structured views (exportable via
     /// `nimble_trace::chrome_trace`). Populated when profiling.
     pub spans: Vec<SpanView>,
+    /// Heap bytes allocated while serving the query (0 unless the
+    /// `profile-alloc` feature of `nimble-trace` is compiled in).
+    pub alloc_bytes: u64,
+    /// High-water mark of live heap bytes above the query's entry
+    /// level (0 unless `profile-alloc` is on).
+    pub alloc_peak_bytes: u64,
+    /// Operator kind whose cardinality estimate missed the measured
+    /// actual by the largest factor (profiled queries only).
+    pub worst_qerror_op: Option<String>,
+    /// That operator's Q-error, `max(est/act, act/est)` — 1.0 is a
+    /// perfect estimate; 0 when no plan-quality scoring ran.
+    pub worst_qerror: f64,
 }
 
 /// A query answer: the constructed document plus the completeness
@@ -283,6 +301,11 @@ struct ExecCtx {
     profile: bool,
     /// Top-level phase timings (plan/verify/execute), in order.
     phases: Vec<(&'static str, f64)>,
+    /// Operator kind of the worst estimate-vs-actual offender seen by
+    /// plan-quality scoring during this query.
+    worst_qerror_op: Option<String>,
+    /// That offender's Q-error (0 until scoring runs).
+    worst_qerror: f64,
 }
 
 impl ExecCtx {
@@ -296,6 +319,8 @@ impl ExecCtx {
             plan_text: String::new(),
             profile: false,
             phases: Vec::new(),
+            worst_qerror_op: None,
+            worst_qerror: 0.0,
         }
     }
 
@@ -318,6 +343,10 @@ impl ExecCtx {
             self.plan_text = other.plan_text;
         }
         self.phases.extend(other.phases);
+        if other.worst_qerror > self.worst_qerror {
+            self.worst_qerror = other.worst_qerror;
+            self.worst_qerror_op = other.worst_qerror_op;
+        }
     }
 }
 
@@ -509,6 +538,12 @@ impl Engine {
                 plan: String::new(),
                 spans: Vec::new(),
                 source_calls: qctx.source_calls(),
+                // Failed queries abandon their allocation scope mid-query,
+                // so no per-query footprint is reported for them.
+                alloc_bytes: 0,
+                alloc_peak_bytes: 0,
+                worst_qerror_op: None,
+                worst_qerror: 0.0,
             });
         }
         result
@@ -566,6 +601,10 @@ impl Engine {
             }
         }
 
+        // Whole-query allocation scope: deltas feed `QueryStats` and the
+        // flight recorder. Free when `profile-alloc` is off (the scope
+        // collapses to a unit struct).
+        let query_scope = AllocScope::enter();
         let trace = Trace::new();
         let total_span = trace.span("query");
 
@@ -640,27 +679,35 @@ impl Engine {
             }
             None => {
                 self.metrics.incr("engine.plan_cache.misses", 1);
+                let a_parse = AllocScope::enter();
                 let t_parse = Instant::now();
                 let query = nimble_xmlql::parse_query(text)
                     .map_err(|e| CoreError::Compile(e.to_string()))?;
                 let parse_ms = ms_since(t_parse);
+                self.phase_alloc("parse", a_parse.finish());
                 trace.add_ms("parse", parse_ms);
                 pre_phases.push(("parse".into(), parse_ms));
 
+                let a_analyze = AllocScope::enter();
                 let t_analyze = Instant::now();
                 nimble_xmlql::analyze(&query).map_err(|e| CoreError::Compile(e.to_string()))?;
                 let analyze_ms = ms_since(t_analyze);
+                self.phase_alloc("analyze", a_analyze.finish());
                 trace.add_ms("analyze", analyze_ms);
                 pre_phases.push(("analyze".into(), analyze_ms));
 
+                let a_plan = AllocScope::enter();
                 let t_plan = Instant::now();
                 let plan = planner::plan_query(&self.catalog, &query, &config.optimizer)?;
                 let plan_ms = ms_since(t_plan);
+                self.phase_alloc("plan", a_plan.finish());
                 let mut verify_ms = 0.0;
                 if config.optimizer.verify_plans {
+                    let a_verify = AllocScope::enter();
                     let t_verify = Instant::now();
                     planner::verify_plan(&plan, None)?;
                     verify_ms = ms_since(t_verify);
+                    self.phase_alloc("verify", a_verify.finish());
                 }
                 let query = Arc::new(query);
                 let plan = Arc::new(plan);
@@ -697,13 +744,16 @@ impl Engine {
         }
         let tuple_count = tuples.len();
 
+        let a_construct = AllocScope::enter();
         let t_construct = Instant::now();
         let mut builder = DocumentBuilder::new("results");
         self.construct_into(&mut builder, &query.construct, &schema, &tuples, 0, &mut ctx)?;
         let document = builder.finish();
         let construct_ms = ms_since(t_construct);
+        self.phase_alloc("construct", a_construct.finish());
         trace.add_ms("construct", construct_ms);
         drop(total_span);
+        let query_alloc = query_scope.finish();
 
         let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
         // Plan-cache hits skip parse/analyze, so `pre_phases` is empty
@@ -752,6 +802,10 @@ impl Engine {
                 plan: ctx.plan_text.clone(),
                 spans: spans.clone(),
                 source_calls: qctx.source_calls(),
+                alloc_bytes: query_alloc.bytes,
+                alloc_peak_bytes: query_alloc.peak_bytes,
+                worst_qerror_op: ctx.worst_qerror_op.clone(),
+                worst_qerror: ctx.worst_qerror,
             });
         }
         if config.cache_query_results && config.cache_nodes > 0 && complete && !ctx.stale {
@@ -775,8 +829,28 @@ impl Engine {
                 trace_id: qctx.trace_id.0,
                 instance: self.instance.clone(),
                 spans: if profile { spans } else { Vec::new() },
+                alloc_bytes: query_alloc.bytes,
+                alloc_peak_bytes: query_alloc.peak_bytes,
+                worst_qerror_op: ctx.worst_qerror_op,
+                worst_qerror: ctx.worst_qerror,
             },
         })
+    }
+
+    /// Record one phase's allocation deltas into the
+    /// `engine.phase_alloc.*` histograms. A no-op when the
+    /// `profile-alloc` feature is compiled out, so profiling-off builds
+    /// never even format the metric names.
+    fn phase_alloc(&self, name: &str, stats: AllocStats) {
+        if !nimble_trace::alloc::enabled() {
+            return;
+        }
+        self.metrics
+            .observe(&format!("engine.phase_alloc.bytes.{}", name), stats.bytes);
+        self.metrics
+            .observe(&format!("engine.phase_alloc.allocs.{}", name), stats.allocs);
+        self.metrics
+            .observe(&format!("engine.phase_alloc.peak.{}", name), stats.peak_bytes);
     }
 
     /// Share a query's measured cost among its named references.
@@ -952,6 +1026,7 @@ impl Engine {
             return self.eval_pruned(plan, reason, outer, depth, ctx, plan_ms, plan_verify_ms);
         }
         let mut verify_ms = plan_verify_ms;
+        let a_execute = AllocScope::enter();
         let t_execute = Instant::now();
         let verify_pre_ms = verify_ms;
 
@@ -1016,6 +1091,44 @@ impl Engine {
         // heuristic of ascending *actual* fetched size. The outer
         // context always stays first so correlated variables bind early.
         let start = usize::from(outer.is_some());
+
+        // Score the planner's per-unit cardinality estimates against the
+        // rows each unit actually shipped (inputs are still in atom
+        // order here). This runs on every query, profiled or not — the
+        // scan layer is where estimates are cheapest to check — and a
+        // gross miss on a filtered fragment feeds the observed count
+        // back into the statistics catalog as a sound lower bound on the
+        // collection's cardinality.
+        if plan.est_rows.len() == plan.independents.len() {
+            for (i, atom) in plan.independents.iter().enumerate() {
+                let Some((_, fetched)) = inputs.get(start + i) else {
+                    continue;
+                };
+                let est = plan.est_rows[i];
+                let act = fetched.len() as u64;
+                let q = qerror(est, act);
+                self.metrics.observe("plan.qerror.scan", centi_q(q));
+                if q > ctx.worst_qerror {
+                    ctx.worst_qerror = q;
+                    ctx.worst_qerror_op = Some("Scan".to_string());
+                }
+                if act > est.saturating_mul(GROSS_QERROR) {
+                    // Only a filtered single-collection fragment: its
+                    // filtered row count is a certain lower bound on the
+                    // base collection (unfiltered fetches already feed
+                    // exact counts through `note_stats_rows`).
+                    if let AtomExec::Fragment { source, query, .. } = atom {
+                        if query.collections.len() == 1 && !query.selections.is_empty() {
+                            self.note_stats_rows(
+                                &format!("{}.{}", source, query.collections[0].collection),
+                                act,
+                            );
+                            self.metrics.incr("plan.feedback.gross", 1);
+                        }
+                    }
+                }
+            }
+        }
         let cost_ok = config.optimizer.cost_based
             && plan.fold_order.len() == plan.independents.len()
             && plan.fold_rows.len() == plan.fold_order.len()
@@ -1314,6 +1427,11 @@ impl Engine {
             us((ms_since(t_pipeline) - (verify_ms - verify_pre_ms)).max(0.0)),
         );
         let schema = op.schema().clone();
+        // Plan-quality telemetry over the finished operator tree:
+        // per-kind Q-error histograms and decision flips (profiled
+        // nodes), per-worker busy times of parallel sections (always).
+        self.plan_quality_walk(op.as_ref(), batch && parallel, ctx);
+        let exec_alloc = a_execute.finish();
         if depth == 0 && ctx.phases.is_empty() {
             // Execute covers fetch + join run; verification of the
             // assembled tree happened inside the window, so subtract it.
@@ -1321,6 +1439,7 @@ impl Engine {
             ctx.phases.push(("plan", plan_ms));
             ctx.phases.push(("verify", verify_ms));
             ctx.phases.push(("execute", execute_ms));
+            self.phase_alloc("execute", exec_alloc);
         }
         // Record the plan (top-level query only).
         if depth == 0 && ctx.plan_text.is_empty() {
@@ -1412,6 +1531,89 @@ impl Engine {
             ctx.plan_text = text;
         }
         Ok((schema, tuples))
+    }
+
+    /// Walk a finished operator tree recording plan-quality telemetry:
+    ///
+    /// * `plan.qerror.<kind>` — Q-error (`max(est/act, act/est)`, stored
+    ///   as centi-Q so near-1 estimates stay distinguishable in the
+    ///   log₂ buckets) of every profiled node that carried an estimate.
+    /// * `plan.flips.build_side` — hash joins whose chosen build side
+    ///   turned out more than 4× larger than the probe side: the
+    ///   estimates picked one side, the actuals say the other (the
+    ///   assembled tree always encodes the estimate-preferred side, so
+    ///   the reversed inequality is exactly a flipped decision).
+    /// * `plan.flips.parallel` — parallel-build gate decisions the
+    ///   actuals reversed, in either direction: gated on by a ≥threshold
+    ///   estimate but runtime-declined (build actually small), or gated
+    ///   off by a small estimate when the build actually crossed the
+    ///   threshold.
+    /// * `engine.par.worker_busy_us` / `engine.par.workers` /
+    ///   `engine.par.skipped` — per-worker busy times and spawn/skip
+    ///   counts of every parallel section, recorded whether or not the
+    ///   query was profiled.
+    fn plan_quality_walk(&self, op: &dyn Operator, par_enabled: bool, ctx: &mut ExecCtx) {
+        let info = op.introspect();
+        if let Some(pp) = op.par_profile() {
+            if pp.workers > 0 {
+                self.metrics.incr("engine.par.workers", pp.workers as u64);
+                for &busy in &pp.busy_us {
+                    self.metrics.observe("engine.par.worker_busy_us", busy);
+                }
+            } else {
+                self.metrics.incr("engine.par.skipped", 1);
+            }
+        }
+        if let (Some(p), Some(est)) = (op.profile(), op.est_rows()) {
+            let q = qerror(est, p.rows);
+            self.metrics
+                .observe(&format!("plan.qerror.{}", metric_slug(&info.name)), centi_q(q));
+            if q > ctx.worst_qerror {
+                ctx.worst_qerror = q;
+                ctx.worst_qerror_op = Some(info.name.clone());
+            }
+        }
+        if info.name == "HashJoin" {
+            let children = op.children();
+            if let [probe, build] = children[..] {
+                let acts = (
+                    probe.profile().map(|p| p.rows),
+                    build.profile().map(|p| p.rows),
+                );
+                if let (Some(p_act), Some(b_act)) = acts {
+                    // Both sides carried estimates iff the swap rule ran.
+                    if probe.est_rows().is_some()
+                        && build.est_rows().is_some()
+                        && b_act > p_act.saturating_mul(4)
+                    {
+                        self.metrics.incr("plan.flips.build_side", 1);
+                    }
+                }
+                let b_est = build.est_rows();
+                match op.par_profile() {
+                    // Estimate opened the gate; the operator declined at
+                    // runtime because the actual build was small.
+                    Some(pp) if pp.workers == 0 => {
+                        if b_est.map_or(false, |e| e >= PARALLEL_EST_THRESHOLD) {
+                            self.metrics.incr("plan.flips.parallel", 1);
+                        }
+                    }
+                    // Estimate closed the gate but the build actually
+                    // crossed the operator's own threshold.
+                    None if par_enabled => {
+                        if b_est.map_or(false, |e| e < PARALLEL_EST_THRESHOLD)
+                            && acts.1.map_or(false, |a| a >= PARALLEL_EST_THRESHOLD)
+                        {
+                            self.metrics.incr("plan.flips.parallel", 1);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for child in op.children() {
+            self.plan_quality_walk(child, par_enabled, ctx);
+        }
     }
 
     /// Feed an observed row count back into the statistics catalog (the
@@ -1717,6 +1919,41 @@ fn plan_semantic_signature(plan: &Plan) -> String {
     )
 }
 
+/// The Q-error of a cardinality estimate: `max(est/act, act/est)`,
+/// always ≥ 1, symmetric in over- and under-estimation. Zero rows on
+/// either side are clamped to 1 so empty relations score against
+/// "estimated one row" instead of dividing by zero.
+fn qerror(est: u64, act: u64) -> f64 {
+    let est = est.max(1) as f64;
+    let act = act.max(1) as f64;
+    (est / act).max(act / est)
+}
+
+/// Q-error → centi-Q for histogram recording: `round(q × 100)`. The
+/// metrics histograms bucket by powers of two, so recording raw Q
+/// (almost always in [1, 4)) would collapse every decent estimate into
+/// two buckets; centi-Q spreads the interesting range (100 = perfect,
+/// 200 = off by 2×, …) across distinct buckets while keeping the
+/// recorded value integral.
+fn centi_q(q: f64) -> u64 {
+    (q * 100.0).round().max(0.0).min(u64::MAX as f64) as u64
+}
+
+/// Operator-kind → metric-name segment: lowercased, non-alphanumerics
+/// folded to `_` (metric names are dot-separated, so an embedded space
+/// or dot from an opaque describe string must not split the name).
+fn metric_slug(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
 /// Milliseconds elapsed since `start`.
 fn ms_since(start: Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
@@ -1768,4 +2005,53 @@ fn match_tuples(doc: &Arc<Document>, pattern: &nimble_xmlql::ast::Pattern, vars:
                 .collect()
         })
         .collect()
+}
+
+#[cfg(test)]
+mod qerror_tests {
+    use super::{centi_q, metric_slug, qerror};
+
+    #[test]
+    fn qerror_is_symmetric_and_at_least_one() {
+        assert_eq!(qerror(100, 100), 1.0);
+        assert_eq!(qerror(100, 400), 4.0);
+        assert_eq!(qerror(400, 100), 4.0);
+        assert!(qerror(1, 1_000_000) >= 1.0);
+        // Zero clamps to one instead of dividing by zero.
+        assert_eq!(qerror(0, 0), 1.0);
+        assert_eq!(qerror(0, 50), 50.0);
+        assert_eq!(qerror(50, 0), 50.0);
+    }
+
+    #[test]
+    fn centi_q_spreads_the_near_one_range_across_log2_buckets() {
+        // Raw Q in [1, 4) would land in two power-of-two buckets; the
+        // centi encoding keeps perfect / 1.5× / 2× / 3× distinguishable.
+        assert_eq!(centi_q(1.0), 100);
+        assert_eq!(centi_q(1.5), 150);
+        assert_eq!(centi_q(2.0), 200);
+        assert_eq!(centi_q(3.0), 300);
+        let bucket = |v: u64| 64 - u64::leading_zeros(v.max(1));
+        assert_ne!(bucket(centi_q(1.0)), bucket(centi_q(2.0)));
+        assert_ne!(bucket(centi_q(2.0)), bucket(centi_q(4.0)));
+        // Perfect (100) and off-by-20% (120) share a bucket — noise
+        // stays compressed, real misses separate.
+        assert_eq!(bucket(centi_q(1.0)), bucket(centi_q(1.2)));
+    }
+
+    #[test]
+    fn centi_q_is_clamped_and_integral() {
+        assert_eq!(centi_q(-1.0), 0);
+        assert_eq!(centi_q(f64::INFINITY), u64::MAX);
+        assert_eq!(centi_q(1.004), 100);
+        assert_eq!(centi_q(1.006), 101);
+    }
+
+    #[test]
+    fn metric_slug_folds_to_metric_safe_segments() {
+        assert_eq!(metric_slug("HashJoin"), "hashjoin");
+        assert_eq!(metric_slug("Sort"), "sort");
+        assert_eq!(metric_slug("Source crm"), "source_crm");
+        assert_eq!(metric_slug("Values [a, b]"), "values__a__b_");
+    }
 }

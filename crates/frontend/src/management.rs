@@ -58,6 +58,26 @@ pub struct SourceHealth {
     pub p95_latency_ms: f64,
 }
 
+/// One row of the plan-quality report: how well the planner's
+/// cardinality estimates tracked measured actuals for one operator
+/// kind, from the engine's `plan.qerror.*` histograms. Q-errors are
+/// recorded as centi-Q (100 = perfect estimate, 200 = off by 2×), and
+/// reported here as plain Q factors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanQualityRow {
+    /// Operator kind (the `plan.qerror.<kind>` suffix, e.g. `hashjoin`,
+    /// `sort`, `scan`).
+    pub kind: String,
+    /// Estimates scored for this kind.
+    pub count: u64,
+    /// Median Q-error.
+    pub median_q: f64,
+    /// 99th-percentile Q-error.
+    pub p99_q: f64,
+    /// Worst Q-error seen.
+    pub max_q: f64,
+}
+
 /// Aggregated administrative view over one engine.
 pub struct ManagementConsole {
     engine: Arc<Engine>,
@@ -207,6 +227,36 @@ impl ManagementConsole {
             .collect()
     }
 
+    /// Plan-quality rows derived from the engine's `plan.qerror.*`
+    /// histograms, one per operator kind that had estimates scored,
+    /// worst median first. Also surfaces the estimate-direction flip
+    /// counters so an administrator can see not just *how far off* the
+    /// estimates were but whether they changed a decision.
+    pub fn plan_quality(&self) -> Vec<PlanQualityRow> {
+        let snap = self.engine.metrics_snapshot();
+        let mut rows: Vec<PlanQualityRow> = snap
+            .histograms
+            .iter()
+            .filter_map(|(name, h)| {
+                let kind = name.strip_prefix("plan.qerror.")?;
+                Some(PlanQualityRow {
+                    kind: kind.to_string(),
+                    count: h.count,
+                    median_q: h.p50() as f64 / 100.0,
+                    p99_q: h.p99() as f64 / 100.0,
+                    max_q: h.max as f64 / 100.0,
+                })
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.median_q
+                .partial_cmp(&a.median_q)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.kind.cmp(&b.kind))
+        });
+        rows
+    }
+
     /// The whole inventory as an aligned text report.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -265,6 +315,30 @@ impl ManagementConsole {
                 "{:<14}{:>8}{:>10}{:>8}{:>8}{:>12.2}{:>12.2}",
                 h.name, h.calls, h.failures, h.errors, h.stale_served, h.mean_latency_ms,
                 h.p95_latency_ms
+            );
+        }
+        let quality = self.plan_quality();
+        if !quality.is_empty() {
+            let snap = self.metrics_snapshot();
+            let _ = writeln!(out, "\n== plan quality ==");
+            let _ = writeln!(
+                out,
+                "{:<16}{:>8}{:>10}{:>10}{:>10}",
+                "operator", "scored", "median_q", "p99_q", "max_q"
+            );
+            for row in quality {
+                let _ = writeln!(
+                    out,
+                    "{:<16}{:>8}{:>10.2}{:>10.2}{:>10.2}",
+                    row.kind, row.count, row.median_q, row.p99_q, row.max_q
+                );
+            }
+            let _ = writeln!(
+                out,
+                "decision flips: build_side={} parallel={} gross_feedback={}",
+                snap.counter("plan.flips.build_side"),
+                snap.counter("plan.flips.parallel"),
+                snap.counter("plan.feedback.gross"),
             );
         }
         let slow = self.slow_queries(5);
@@ -413,6 +487,26 @@ mod tests {
         assert!(report.contains("err_spike"));
         assert!(report.contains("== flight recorder =="));
         assert!(report.contains("FAILED"));
+    }
+
+    #[test]
+    fn plan_quality_reports_scored_estimates() {
+        let engine = engine();
+        let console = ManagementConsole::new(Arc::clone(&engine));
+        engine
+            .query(
+                r#"WHERE <row><name>$n</name><score>$s</score></row> IN "leads"
+                   CONSTRUCT <l>$n</l>"#,
+            )
+            .unwrap();
+        // The scan layer scores its estimate on every cost-based query.
+        let rows = console.plan_quality();
+        let scan = rows.iter().find(|r| r.kind == "scan").expect("scan row");
+        assert!(scan.count >= 1);
+        assert!(scan.median_q >= 1.0);
+        let report = console.render();
+        assert!(report.contains("== plan quality =="));
+        assert!(report.contains("decision flips: build_side="));
     }
 
     #[test]

@@ -42,6 +42,17 @@ pub struct FlightRecord {
     pub spans: Vec<SpanView>,
     /// Every adapter call made on the query's behalf.
     pub source_calls: Vec<SourceCall>,
+    /// Heap bytes allocated while serving the query (0 when the
+    /// `profile-alloc` feature is off).
+    pub alloc_bytes: u64,
+    /// High-water mark of live bytes above the query's entry level.
+    pub alloc_peak_bytes: u64,
+    /// Operator kind of the worst estimate-vs-actual offender, when
+    /// plan-quality scoring ran (profiled queries).
+    pub worst_qerror_op: Option<String>,
+    /// That offender's Q-error (`max(est/act, act/est)`, ≥ 1); 0 when
+    /// no scoring happened.
+    pub worst_qerror: f64,
 }
 
 impl FlightRecord {
@@ -79,7 +90,24 @@ impl FlightRecord {
             }
             out.push_str(&source_call_json(c));
         }
-        out.push_str("]}");
+        out.push_str("],\"resource\":{");
+        let _ = write!(
+            out,
+            "\"alloc_bytes\":{},\"alloc_peak_bytes\":{},",
+            self.alloc_bytes, self.alloc_peak_bytes
+        );
+        match &self.worst_qerror_op {
+            Some(op) => {
+                let _ = write!(
+                    out,
+                    "\"worst_qerror_op\":\"{}\",\"worst_qerror\":{}",
+                    json_escape(op),
+                    json_num(self.worst_qerror)
+                );
+            }
+            None => out.push_str("\"worst_qerror_op\":null,\"worst_qerror\":0"),
+        }
+        out.push_str("}}");
         out
     }
 }
@@ -178,6 +206,10 @@ mod tests {
                 rows: 10,
                 error: error.map(String::from),
             }],
+            alloc_bytes: 2048,
+            alloc_peak_bytes: 1024,
+            worst_qerror_op: Some("hash join".into()),
+            worst_qerror: 3.5,
         }
     }
 
@@ -215,6 +247,8 @@ mod tests {
             assert!(line.contains("\"plan\":"));
             assert!(line.contains("\"spans\":["));
             assert!(line.contains("\"source_calls\":["));
+            assert!(line.contains("\"resource\":{\"alloc_bytes\":2048"));
+            assert!(line.contains("\"worst_qerror_op\":\"hash join\""));
         }
         assert!(lines[0].contains(&TraceId(1).to_string()));
         assert!(lines[1].contains("crm offline"));

@@ -29,6 +29,9 @@
 //!   or failed queries only.
 //! * [`AlertEngine`] — declarative threshold and burn-rate rules
 //!   evaluated over snapshot diffs, firing once per sustained breach.
+//! * [`AllocScope`] — scope-based allocation deltas (count, bytes,
+//!   peak) over a thread-aware counting global allocator, gated on the
+//!   `profile-alloc` feature (on for tests and benches).
 //!
 //! Everything here is `std`-only (no external dependencies) so every
 //! crate in the workspace can depend on it without widening the
@@ -38,6 +41,7 @@
 //! `Arc` handles at call sites.
 
 pub mod alert;
+pub mod alloc;
 pub mod ctx;
 pub mod export;
 pub mod flight;
@@ -48,6 +52,7 @@ pub mod querylog;
 pub mod span;
 
 pub use alert::{Alert, AlertEngine, AlertOp, AlertRule, BurnRateRule};
+pub use alloc::{AllocScope, AllocStats};
 pub use ctx::{CtxGuard, QueryCtx, SourceCall, TraceId};
 pub use export::{chrome_trace, json_escape, query_log_entry_json, query_log_jsonl};
 pub use flight::{FlightRecord, FlightRecorder};

@@ -361,6 +361,90 @@ fn link_stats_surface_as_gauges() {
 }
 
 #[test]
+fn profiling_on_off_results_are_byte_identical() {
+    // Per-operator metering and allocation accounting are observers:
+    // the same query with profiling forced on must construct the same
+    // document, tuple for tuple, as the plain path.
+    let engine = Engine::new(catalog());
+    let plain = engine.query(JOIN_QUERY).unwrap();
+    let profiled = engine.query_profiled(JOIN_QUERY).unwrap();
+    assert_eq!(
+        nimble::xml::to_string(&plain.document.root()),
+        nimble::xml::to_string(&profiled.document.root()),
+    );
+    assert_eq!(plain.stats.tuples, profiled.stats.tuples);
+    // Row conservation: the metered root materialized exactly the
+    // tuples the result reports.
+    let listing = engine.explain_analyze(JOIN_QUERY).unwrap();
+    let rows = actual_rows(&listing);
+    assert_eq!(rows[0] as usize, profiled.stats.tuples, "listing:\n{}", listing);
+}
+
+#[test]
+fn query_allocation_accounting_is_conserved_across_phases() {
+    if !nimble::trace::alloc::enabled() {
+        return; // profile-alloc compiled out: nothing to account
+    }
+    let engine = Engine::new(catalog());
+    let before = engine.metrics_snapshot();
+    let r = engine.query(JOIN_QUERY).unwrap();
+    let window = engine.metrics_snapshot().diff(&before);
+
+    // The query allocated, and its peak cannot exceed its total (every
+    // live byte above entry was allocated inside the query scope).
+    assert!(r.stats.alloc_bytes > 0);
+    assert!(r.stats.alloc_peak_bytes <= r.stats.alloc_bytes);
+
+    // Phase scopes nest inside the query scope on the same thread, so
+    // their byte counts can never sum past the query total.
+    let phase_bytes: u64 = window
+        .histograms
+        .iter()
+        .filter(|(name, _)| name.starts_with("engine.phase_alloc.bytes."))
+        .map(|(_, h)| h.sum)
+        .sum();
+    assert!(phase_bytes > 0, "phase allocation histograms are empty");
+    assert!(
+        phase_bytes <= r.stats.alloc_bytes,
+        "phases {} bytes > query {} bytes",
+        phase_bytes,
+        r.stats.alloc_bytes
+    );
+}
+
+#[test]
+fn flight_records_carry_resource_accounting() {
+    let config = EngineConfig { slow_query_ms: 0.0, ..EngineConfig::default() };
+    let engine = Engine::with_config(catalog(), config);
+    engine.query_profiled(JOIN_QUERY).unwrap();
+
+    let records = engine.flight_recorder().records();
+    let rec = &records[0];
+    if nimble::trace::alloc::enabled() {
+        assert!(rec.alloc_bytes > 0);
+        assert!(rec.alloc_peak_bytes <= rec.alloc_bytes);
+    }
+    // A profiled cost-based query gets plan-quality scoring: a worst
+    // offender is named and its Q-error is at least 1 (perfect).
+    assert!(rec.worst_qerror >= 1.0, "worst_qerror: {}", rec.worst_qerror);
+    assert!(rec.worst_qerror_op.is_some());
+
+    // The dump exposes the same numbers under the "resource" block.
+    let dump = engine.flight_recorder().dump();
+    let parsed: serde_json::Value =
+        serde_json::from_str(dump.lines().next().unwrap()).unwrap();
+    assert_eq!(
+        parsed["resource"]["alloc_bytes"].as_u64().unwrap(),
+        rec.alloc_bytes
+    );
+    assert!(parsed["resource"]["worst_qerror"].as_f64().unwrap() >= 1.0);
+    assert_eq!(
+        parsed["resource"]["worst_qerror_op"].as_str(),
+        rec.worst_qerror_op.as_deref()
+    );
+}
+
+#[test]
 fn cluster_merges_flight_records_in_start_order() {
     let config = EngineConfig { slow_query_ms: 0.0, ..EngineConfig::default() };
     let cluster = EngineCluster::new(catalog(), 2, 1, config, DispatchStrategy::RoundRobin);

@@ -9,12 +9,15 @@ OUT=target/manual/opt
 TESTS=target/manual/tests
 mkdir -p "$OUT" "$TESTS"
 M=tools/offline_verify
+# Extra rustc flags for the next R/T/B call (set around calls that need
+# a feature cfg, reset to empty afterwards).
+EXTRA=
 
 R() { # R <name> <src> [externs...]
   local name=$1 src=$2; shift 2
   local ext=()
   for e in "$@"; do ext+=(--extern "$e=$OUT/lib$e.rlib"); done
-  if ! rustc -O --edition 2021 -L "$OUT" --crate-type rlib --crate-name "$name" "$src" "${ext[@]}" --out-dir "$OUT" 2>"$OUT/$name.err"; then
+  if ! rustc -O --edition 2021 $EXTRA -L "$OUT" --crate-type rlib --crate-name "$name" "$src" "${ext[@]}" --out-dir "$OUT" 2>"$OUT/$name.err"; then
     echo "FAIL rlib $name"; grep -E "^error" "$OUT/$name.err" | head -8; exit 1
   fi
   echo "ok rlib $name"
@@ -24,7 +27,7 @@ T() { # T <name> <src> [externs...]  (debug build => plan verify on)
   local name=$1 src=$2; shift 2
   local ext=()
   for e in "$@"; do ext+=(--extern "$e=$OUT/lib$e.rlib"); done
-  if ! rustc --edition 2021 -L "$OUT" --test --crate-name "${name}_t" "$src" "${ext[@]}" -o "$TESTS/${name}_t" 2>"$TESTS/$name.err"; then
+  if ! rustc --edition 2021 $EXTRA -L "$OUT" --test --crate-name "${name}_t" "$src" "${ext[@]}" -o "$TESTS/${name}_t" 2>"$TESTS/$name.err"; then
     echo "FAIL test-build $name"; grep -E "^error" "$TESTS/$name.err" | head -8; exit 1
   fi
   echo "ok test-build $name"
@@ -41,7 +44,12 @@ B() { # B <name> <src> [externs...]  (optimized binary)
 }
 
 R nimble_xml crates/xml/src/lib.rs
+# The trace rlib is built with allocation profiling on, so every test
+# and bench binary in this harness gets the counting allocator (the
+# cargo workspace enables the same feature for tests/benches).
+EXTRA='--cfg feature="profile-alloc"'
 R nimble_trace crates/trace/src/lib.rs
+EXTRA=
 R nimble_algebra crates/algebra/src/lib.rs nimble_xml
 R nimble_xmlql crates/xmlql/src/lib.rs nimble_xml
 R nimble_relational crates/relational/src/lib.rs nimble_xml
@@ -58,7 +66,9 @@ R frontend_shim $M/frontend_shim.rs nimble_core nimble_store nimble_trace parkin
 R nimble $M/nimble_shim.rs nimble_xml nimble_xmlql nimble_algebra nimble_relational nimble_sources nimble_store nimble_core nimble_trace frontend_shim
 R nimble_bench crates/bench/src/lib.rs nimble_core nimble_sources nimble_trace serde_json
 
+EXTRA='--cfg feature="profile-alloc"'
 T trace crates/trace/src/lib.rs
+EXTRA=
 T sources crates/sources/src/lib.rs nimble_xml nimble_relational parking_lot rand nimble_trace
 T store crates/store/src/lib.rs nimble_xml parking_lot nimble_trace
 T xmlql crates/xmlql/src/lib.rs nimble_xml
@@ -74,6 +84,7 @@ B exp_observability crates/bench/src/bin/exp_observability.rs nimble_bench nimbl
 B exp_vectorized crates/bench/src/bin/exp_vectorized.rs nimble_bench nimble_core nimble_trace nimble_xml serde_json
 B exp_costplan crates/bench/src/bin/exp_costplan.rs nimble_bench nimble_core nimble_sources nimble_trace nimble_xml serde_json
 B exp_staticcheck crates/bench/src/bin/exp_staticcheck.rs nimble_bench nimble_core nimble_sources nimble_trace nimble_xml serde_json
+B bench_check crates/bench/src/bin/bench_check.rs nimble_bench nimble_core nimble_trace serde_json
 B quickstart examples/quickstart.rs nimble
 B web_portal examples/web_portal.rs nimble
 B legacy_navigator examples/legacy_navigator.rs nimble
