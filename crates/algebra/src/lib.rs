@@ -53,6 +53,7 @@ pub mod error;
 pub mod expr;
 pub mod funcs;
 pub mod inspect;
+pub mod lineage;
 pub mod ops;
 pub(crate) mod par;
 pub mod schema;
@@ -61,6 +62,7 @@ pub use error::ExecError;
 pub use expr::{AggFunc, ArithOp, CmpOp, ScalarExpr};
 pub use funcs::FunctionRegistry;
 pub use inspect::{OpInfo, OrderEffect, SchemaRule};
+pub use lineage::LineageMask;
 pub use ops::Operator;
 pub use schema::{Schema, SchemaError, Tuple};
 
@@ -124,6 +126,11 @@ fn explain_walk(op: &dyn Operator, analyze: bool) -> String {
             out.push_str(&format!("  [est={}]", est));
         }
         if analyze {
+            if let Some(masks) = op.lineage() {
+                if !masks.is_empty() {
+                    out.push_str(&format!("  [src={}]", lineage::distinct_masks(masks)));
+                }
+            }
             if let Some(p) = op.profile() {
                 out.push_str(&format!(
                     "  (actual rows={} open={:.3}ms next={:.3}ms)",

@@ -5,6 +5,7 @@ use crate::error::ExecError;
 use crate::expr::ScalarExpr;
 use crate::funcs::FunctionRegistry;
 use crate::inspect::OpInfo;
+use crate::lineage::LineageMask;
 use crate::schema::{Schema, Tuple};
 use std::sync::Arc;
 
@@ -16,6 +17,10 @@ pub struct FilterOp {
     rows_out: u64,
     scratch: Vec<Tuple>,
     est_rows: Option<u64>,
+    /// Lineage of emitted tuples (tracking iff the child tracks).
+    lin: Option<Vec<LineageMask>>,
+    /// Child emissions consumed so far — indexes the child's lineage.
+    consumed: usize,
 }
 
 impl FilterOp {
@@ -27,6 +32,8 @@ impl FilterOp {
             rows_out: 0,
             scratch: Vec::new(),
             est_rows: None,
+            lin: None,
+            consumed: 0,
         }
     }
 }
@@ -38,12 +45,26 @@ impl Operator for FilterOp {
 
     fn open(&mut self) -> Result<(), ExecError> {
         self.rows_out = 0;
-        self.child.open()
+        self.consumed = 0;
+        self.child.open()?;
+        self.lin = self.child.lineage().map(|_| Vec::new());
+        Ok(())
     }
 
     fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
         while let Some(t) = self.child.next()? {
+            let idx = self.consumed;
+            self.consumed += 1;
             if self.predicate.eval_bool(&t, &self.funcs)? {
+                if let Some(lin) = &mut self.lin {
+                    let mask = self
+                        .child
+                        .lineage()
+                        .and_then(|l| l.get(idx))
+                        .copied()
+                        .unwrap_or_default();
+                    lin.push(mask);
+                }
                 self.rows_out += 1;
                 return Ok(Some(t));
             }
@@ -61,10 +82,21 @@ impl Operator for FilterOp {
             if pulled == 0 {
                 break;
             }
-            for t in self.scratch.drain(..) {
+            let base = self.consumed;
+            self.consumed += pulled;
+            for (i, t) in self.scratch.drain(..).enumerate() {
                 if self.predicate.eval_bool(&t, &self.funcs)? {
                     out.push(t);
                     appended += 1;
+                    if let Some(lin) = &mut self.lin {
+                        let mask = self
+                            .child
+                            .lineage()
+                            .and_then(|l| l.get(base + i))
+                            .copied()
+                            .unwrap_or_default();
+                        lin.push(mask);
+                    }
                 }
             }
         }
@@ -99,6 +131,10 @@ impl Operator for FilterOp {
 
     fn set_est_rows(&mut self, rows: u64) {
         self.est_rows = Some(rows);
+    }
+
+    fn lineage(&self) -> Option<&[LineageMask]> {
+        self.lin.as_deref()
     }
 }
 

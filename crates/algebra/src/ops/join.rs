@@ -9,6 +9,7 @@ use crate::error::ExecError;
 use crate::expr::ScalarExpr;
 use crate::funcs::FunctionRegistry;
 use crate::inspect::{OpInfo, SchemaRule};
+use crate::lineage::LineageMask;
 use crate::par;
 use crate::schema::{Schema, Tuple};
 use nimble_xml::Value;
@@ -47,6 +48,13 @@ pub struct NestedLoopJoinOp {
     rows_out: u64,
     est_rows: Option<u64>,
     mem_bytes: u64,
+    /// Right-side lineage snapshot, aligned with `right_rows` (present
+    /// iff the right child tracks).
+    right_lin: Option<Vec<LineageMask>>,
+    /// Lineage of emitted tuples (tracking iff *both* children track).
+    lin: Option<Vec<LineageMask>>,
+    cur_left_mask: LineageMask,
+    left_consumed: usize,
 }
 
 impl NestedLoopJoinOp {
@@ -72,6 +80,10 @@ impl NestedLoopJoinOp {
             rows_out: 0,
             est_rows: None,
             mem_bytes: 0,
+            right_lin: None,
+            lin: None,
+            cur_left_mask: LineageMask::EMPTY,
+            left_consumed: 0,
         }
     }
 
@@ -96,7 +108,11 @@ impl Operator for NestedLoopJoinOp {
             self.right_rows.push(t);
         }
         self.mem_bytes = super::tuples_mem_bytes(&self.right_rows);
+        self.right_lin = self.right.lineage().map(|l| l.to_vec());
         self.right.close();
+        self.lin = (self.right_lin.is_some() && self.left.lineage().is_some()).then(Vec::new);
+        self.cur_left_mask = LineageMask::EMPTY;
+        self.left_consumed = 0;
         self.current_left = None;
         self.right_cursor = 0;
         Ok(())
@@ -108,6 +124,16 @@ impl Operator for NestedLoopJoinOp {
                 match self.left.next()? {
                     None => return Ok(None),
                     Some(t) => {
+                        if self.lin.is_some() {
+                            let idx = self.left_consumed;
+                            self.left_consumed += 1;
+                            self.cur_left_mask = self
+                                .left
+                                .lineage()
+                                .and_then(|l| l.get(idx))
+                                .copied()
+                                .unwrap_or_default();
+                        }
                         self.current_left = Some(t);
                         self.right_cursor = 0;
                         self.current_matched = false;
@@ -125,6 +151,15 @@ impl Operator for NestedLoopJoinOp {
                 };
                 if ok {
                     self.current_matched = true;
+                    if let Some(lin) = &mut self.lin {
+                        let rm = self
+                            .right_lin
+                            .as_ref()
+                            .and_then(|r| r.get(self.right_cursor - 1))
+                            .copied()
+                            .unwrap_or_default();
+                        lin.push(self.cur_left_mask.or(rm));
+                    }
                     self.rows_out += 1;
                     return Ok(Some(combined));
                 }
@@ -133,6 +168,11 @@ impl Operator for NestedLoopJoinOp {
             let emit_outer = self.join_type == JoinType::LeftOuter && !self.current_matched;
             let left_for_outer = self.current_left.take().unwrap();
             if emit_outer {
+                // A null-padded row owes its existence to the left input
+                // alone.
+                if let Some(lin) = &mut self.lin {
+                    lin.push(self.cur_left_mask);
+                }
                 self.rows_out += 1;
                 return Ok(Some(self.null_padded(&left_for_outer)));
             }
@@ -142,6 +182,7 @@ impl Operator for NestedLoopJoinOp {
     fn close(&mut self) {
         self.left.close();
         self.right_rows.clear();
+        self.right_lin = None;
     }
 
     fn describe(&self) -> String {
@@ -177,6 +218,10 @@ impl Operator for NestedLoopJoinOp {
 
     fn mem_bytes(&self) -> u64 {
         self.mem_bytes
+    }
+
+    fn lineage(&self) -> Option<&[LineageMask]> {
+        self.lin.as_deref()
     }
 }
 
@@ -217,6 +262,18 @@ pub struct HashJoinOp {
     /// Per-worker busy times of the parallel build-key extraction
     /// (`workers == 0` when the build side fell below the threshold).
     par_prof: Option<ParProfile>,
+    /// Vectorized build-side lineage, aligned with `build_rows` (present
+    /// iff the right child tracks).
+    build_lin: Option<Vec<LineageMask>>,
+    /// Scalar build-side lineage: per-bucket masks parallel to `table`'s
+    /// buckets (present iff the right child tracks).
+    table_lin: Option<HashMap<String, Vec<LineageMask>>>,
+    /// Masks parallel to `pending`; drained into `lin` as rows emit.
+    pending_lin: Vec<LineageMask>,
+    /// Probe-side emissions consumed so far.
+    left_consumed: usize,
+    /// Lineage of emitted tuples (tracking iff *both* children track).
+    lin: Option<Vec<LineageMask>>,
 }
 
 /// Hash-join keys are rendered to a canonical string so cross-type equal
@@ -335,6 +392,11 @@ impl HashJoinOp {
             est_rows: None,
             mem_bytes: 0,
             par_prof: None,
+            build_lin: None,
+            table_lin: None,
+            pending_lin: Vec::new(),
+            left_consumed: 0,
+            lin: None,
         }
     }
 
@@ -386,6 +448,10 @@ impl Operator for HashJoinOp {
         self.typed = false;
         self.mem_bytes = 0;
         self.par_prof = None;
+        self.build_lin = None;
+        self.table_lin = None;
+        self.pending_lin.clear();
+        self.left_consumed = 0;
         self.right.open()?;
         if self.vectorized {
             while self
@@ -393,6 +459,9 @@ impl Operator for HashJoinOp {
                 .next_batch(&mut self.build_rows, super::DEFAULT_BATCH_SIZE)?
                 > 0
             {}
+            // Snapshot before close: masks align 1:1 with `build_rows`,
+            // so bucket row indices address them directly.
+            self.build_lin = self.right.lineage().map(|l| l.to_vec());
             // Single-column keys first try the typed index: no string
             // rendering unless some build value falls outside the
             // numeric class.
@@ -460,8 +529,22 @@ impl Operator for HashJoinOp {
             };
             self.mem_bytes = super::tuples_mem_bytes(&self.build_rows) + entries + bucket_slots;
         } else {
+            self.table_lin = self.right.lineage().map(|_| HashMap::new());
+            let mut consumed = 0usize;
             while let Some(t) = self.right.next()? {
                 let k = key_string(&t, &self.right_keys);
+                if let Some(tl) = &mut self.table_lin {
+                    // Buckets fill in the same order as `table`'s, so the
+                    // j-th tuple of a bucket owns the j-th mask.
+                    let mask = self
+                        .right
+                        .lineage()
+                        .and_then(|l| l.get(consumed))
+                        .copied()
+                        .unwrap_or_default();
+                    tl.entry(k.clone()).or_default().push(mask);
+                }
+                consumed += 1;
                 self.table.entry(k).or_default().push(t);
             }
             self.mem_bytes = self
@@ -473,6 +556,8 @@ impl Operator for HashJoinOp {
         }
         self.right.close();
         self.left.open()?;
+        let right_tracks = self.build_lin.is_some() || self.table_lin.is_some();
+        self.lin = (right_tracks && self.left.lineage().is_some()).then(Vec::new);
         self.pending.clear();
         self.pending_cursor = 0;
         Ok(())
@@ -482,6 +567,14 @@ impl Operator for HashJoinOp {
         loop {
             if self.pending_cursor < self.pending.len() {
                 let t = self.pending[self.pending_cursor].clone();
+                if let Some(lin) = &mut self.lin {
+                    lin.push(
+                        self.pending_lin
+                            .get(self.pending_cursor)
+                            .copied()
+                            .unwrap_or_default(),
+                    );
+                }
                 self.pending_cursor += 1;
                 self.rows_out += 1;
                 return Ok(Some(t));
@@ -491,6 +584,20 @@ impl Operator for HashJoinOp {
                 Some(left) => {
                     self.pending.clear();
                     self.pending_cursor = 0;
+                    self.pending_lin.clear();
+                    let lm = if self.lin.is_some() {
+                        let idx = self.left_consumed;
+                        self.left_consumed += 1;
+                        Some(
+                            self.left
+                                .lineage()
+                                .and_then(|l| l.get(idx))
+                                .copied()
+                                .unwrap_or_default(),
+                        )
+                    } else {
+                        None
+                    };
                     if self.vectorized {
                         let idxs = if self.typed {
                             numeric_key(&left[self.left_keys[0]])
@@ -504,6 +611,15 @@ impl Operator for HashJoinOp {
                                 for &i in idxs {
                                     self.pending
                                         .push(concat_tuples(&left, &self.build_rows[i as usize]));
+                                    if let Some(lm) = lm {
+                                        let bm = self
+                                            .build_lin
+                                            .as_ref()
+                                            .and_then(|b| b.get(i as usize))
+                                            .copied()
+                                            .unwrap_or_default();
+                                        self.pending_lin.push(lm.or(bm));
+                                    }
                                 }
                             }
                             None => {
@@ -514,6 +630,9 @@ impl Operator for HashJoinOp {
                                         self.right.schema().len(),
                                     ));
                                     self.pending.push(padded);
+                                    if let Some(lm) = lm {
+                                        self.pending_lin.push(lm);
+                                    }
                                 }
                             }
                         }
@@ -521,8 +640,17 @@ impl Operator for HashJoinOp {
                         let k = key_string(&left, &self.left_keys);
                         match self.table.get(&k) {
                             Some(matches) => {
-                                for m in matches {
+                                let bucket_lin =
+                                    self.table_lin.as_ref().and_then(|tl| tl.get(&k));
+                                for (j, m) in matches.iter().enumerate() {
                                     self.pending.push(concat_tuples(&left, m));
+                                    if let Some(lm) = lm {
+                                        let bm = bucket_lin
+                                            .and_then(|b| b.get(j))
+                                            .copied()
+                                            .unwrap_or_default();
+                                        self.pending_lin.push(lm.or(bm));
+                                    }
                                 }
                             }
                             None => {
@@ -533,6 +661,9 @@ impl Operator for HashJoinOp {
                                         self.right.schema().len(),
                                     ));
                                     self.pending.push(padded);
+                                    if let Some(lm) = lm {
+                                        self.pending_lin.push(lm);
+                                    }
                                 }
                             }
                         }
@@ -561,6 +692,14 @@ impl Operator for HashJoinOp {
         // Drain pending left over from interleaved `next()` calls.
         while self.pending_cursor < self.pending.len() && appended < max {
             out.push(self.pending[self.pending_cursor].clone());
+            if let Some(lin) = &mut self.lin {
+                lin.push(
+                    self.pending_lin
+                        .get(self.pending_cursor)
+                        .copied()
+                        .unwrap_or_default(),
+                );
+            }
             self.pending_cursor += 1;
             appended += 1;
         }
@@ -571,7 +710,22 @@ impl Operator for HashJoinOp {
             if pulled == 0 {
                 break;
             }
-            for mut left in self.scratch.drain(..) {
+            let lin_base = self.left_consumed;
+            if self.lin.is_some() {
+                self.left_consumed += pulled;
+            }
+            for (row_i, mut left) in self.scratch.drain(..).enumerate() {
+                let lm = if self.lin.is_some() {
+                    Some(
+                        self.left
+                            .lineage()
+                            .and_then(|l| l.get(lin_base + row_i))
+                            .copied()
+                            .unwrap_or_default(),
+                    )
+                } else {
+                    None
+                };
                 let idxs = if self.typed {
                     numeric_key(&left[self.left_keys[0]]).and_then(|k| self.typed_idx.get(&k))
                 } else {
@@ -591,16 +745,37 @@ impl Operator for HashJoinOp {
                         };
                         for &i in init {
                             out.push(concat_tuples(&left, &self.build_rows[i as usize]));
+                            if let (Some(lm), Some(lin)) = (lm, self.lin.as_mut()) {
+                                let bm = self
+                                    .build_lin
+                                    .as_ref()
+                                    .and_then(|b| b.get(i as usize))
+                                    .copied()
+                                    .unwrap_or_default();
+                                lin.push(lm.or(bm));
+                            }
                         }
                         left.reserve(right_width);
                         left.extend(self.build_rows[*last as usize].iter().cloned());
                         out.push(left);
+                        if let (Some(lm), Some(lin)) = (lm, self.lin.as_mut()) {
+                            let bm = self
+                                .build_lin
+                                .as_ref()
+                                .and_then(|b| b.get(*last as usize))
+                                .copied()
+                                .unwrap_or_default();
+                            lin.push(lm.or(bm));
+                        }
                     }
                     None => {
                         if self.join_type == JoinType::LeftOuter {
                             left.extend(std::iter::repeat_n(Value::null(), right_width));
                             out.push(left);
                             appended += 1;
+                            if let (Some(lm), Some(lin)) = (lm, self.lin.as_mut()) {
+                                lin.push(lm);
+                            }
                         }
                     }
                 }
@@ -614,7 +789,10 @@ impl Operator for HashJoinOp {
         self.left.close();
         self.table.clear();
         self.pending.clear();
+        self.pending_lin.clear();
         self.build_rows.clear();
+        self.build_lin = None;
+        self.table_lin = None;
         self.table_idx.clear();
         self.scratch = Vec::new();
     }
@@ -653,6 +831,10 @@ impl Operator for HashJoinOp {
 
     fn par_profile(&self) -> Option<&ParProfile> {
         self.par_prof.as_ref()
+    }
+
+    fn lineage(&self) -> Option<&[LineageMask]> {
+        self.lin.as_deref()
     }
 }
 

@@ -149,6 +149,10 @@ impl Operator for MeteredOp {
         self.inner.par_profile()
     }
 
+    fn lineage(&self) -> Option<&[crate::LineageMask]> {
+        self.inner.lineage()
+    }
+
     fn profile(&self) -> Option<OpProfile> {
         Some(OpProfile {
             open_ns: self.open_ns,

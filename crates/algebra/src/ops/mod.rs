@@ -151,6 +151,16 @@ pub trait Operator: Send {
     fn par_profile(&self) -> Option<&ParProfile> {
         None
     }
+    /// Where-provenance side channel. `None` means this operator does
+    /// not track lineage (the default — zero cost); `Some(masks)` holds
+    /// one [`crate::LineageMask`] per tuple emitted since `open`, in
+    /// emission order, and must remain readable after `close` (parents
+    /// and the engine harvest lineage post-drain). An operator only
+    /// tracks when every child it consumes tracks; before `open`, a
+    /// tracking operator reports `Some(&[])`.
+    fn lineage(&self) -> Option<&[crate::LineageMask]> {
+        None
+    }
 }
 
 /// Boxed operator alias used throughout planners.

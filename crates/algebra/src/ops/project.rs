@@ -173,6 +173,12 @@ impl Operator for ProjectOp {
     fn set_est_rows(&mut self, rows: u64) {
         self.est_rows = Some(rows);
     }
+
+    fn lineage(&self) -> Option<&[crate::LineageMask]> {
+        // Projection is 1:1 over emission order, so the child's lineage
+        // slice is exactly this operator's.
+        self.child.lineage()
+    }
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 use super::Operator;
 use crate::error::ExecError;
 use crate::inspect::OpInfo;
+use crate::lineage::LineageMask;
 use crate::schema::{Schema, Tuple};
 
 /// An in-memory tuple source.
@@ -17,6 +18,10 @@ pub struct ValuesOp {
     /// Buffer footprint, computed once at `open` (drained tuples keep
     /// their accounted size — the scan did hold them).
     mem_bytes: u64,
+    /// Uniform provenance of every tuple this scan emits; `None`
+    /// disables lineage tracking entirely (the default).
+    lin_mask: Option<LineageMask>,
+    lin: Vec<LineageMask>,
 }
 
 impl ValuesOp {
@@ -30,12 +35,21 @@ impl ValuesOp {
             drain: false,
             est_rows: None,
             mem_bytes: 0,
+            lin_mask: None,
+            lin: Vec::new(),
         }
     }
 
     /// Attach a display label (e.g. the source collection name).
     pub fn labeled(mut self, label: impl Into<String>) -> Self {
         self.label = label.into();
+        self
+    }
+
+    /// Tag every emitted tuple with `mask` and turn this scan into a
+    /// lineage-tracking leaf (see [`Operator::lineage`]).
+    pub fn with_lineage(mut self, mask: LineageMask) -> Self {
+        self.lin_mask = Some(mask);
         self
     }
 
@@ -66,6 +80,9 @@ impl Operator for ValuesOp {
         self.cursor = 0;
         self.rows_out = 0;
         self.mem_bytes = super::tuples_mem_bytes(&self.tuples);
+        if self.lin_mask.is_some() {
+            self.lin.clear();
+        }
         Ok(())
     }
 
@@ -78,6 +95,9 @@ impl Operator for ValuesOp {
             };
             self.cursor += 1;
             self.rows_out += 1;
+            if let Some(mask) = self.lin_mask {
+                self.lin.push(mask);
+            }
             Ok(Some(t))
         } else {
             Ok(None)
@@ -97,6 +117,9 @@ impl Operator for ValuesOp {
         }
         self.cursor += n;
         self.rows_out += n as u64;
+        if let Some(mask) = self.lin_mask {
+            self.lin.resize(self.lin.len() + n, mask);
+        }
         Ok(n)
     }
 
@@ -128,6 +151,10 @@ impl Operator for ValuesOp {
 
     fn mem_bytes(&self) -> u64 {
         self.mem_bytes
+    }
+
+    fn lineage(&self) -> Option<&[LineageMask]> {
+        self.lin_mask.map(|_| self.lin.as_slice())
     }
 }
 

@@ -3,6 +3,7 @@
 use super::{BoxedOp, Operator};
 use crate::error::ExecError;
 use crate::inspect::{OpInfo, SchemaRule};
+use crate::lineage::LineageMask;
 use crate::schema::{Schema, Tuple};
 use std::collections::HashSet;
 
@@ -12,6 +13,10 @@ pub struct UnionOp {
     children: Vec<BoxedOp>,
     current: usize,
     rows_out: u64,
+    /// Lineage of emitted tuples (tracking iff *every* child tracks).
+    lin: Option<Vec<LineageMask>>,
+    /// Emissions consumed from each child so far.
+    consumed: Vec<usize>,
 }
 
 impl UnionOp {
@@ -33,6 +38,8 @@ impl UnionOp {
             children,
             current: 0,
             rows_out: 0,
+            lin: None,
+            consumed: Vec::new(),
         })
     }
 }
@@ -48,6 +55,12 @@ impl Operator for UnionOp {
         for c in &mut self.children {
             c.open()?;
         }
+        if self.children.iter().all(|c| c.lineage().is_some()) {
+            self.lin = Some(Vec::new());
+            self.consumed = vec![0; self.children.len()];
+        } else {
+            self.lin = None;
+        }
         Ok(())
     }
 
@@ -55,6 +68,16 @@ impl Operator for UnionOp {
         while self.current < self.children.len() {
             match self.children[self.current].next()? {
                 Some(t) => {
+                    if let Some(lin) = &mut self.lin {
+                        let idx = self.consumed[self.current];
+                        self.consumed[self.current] += 1;
+                        let mask = self.children[self.current]
+                            .lineage()
+                            .and_then(|l| l.get(idx))
+                            .copied()
+                            .unwrap_or_default();
+                        lin.push(mask);
+                    }
                     self.rows_out += 1;
                     return Ok(Some(t));
                 }
@@ -71,6 +94,14 @@ impl Operator for UnionOp {
             if pulled == 0 {
                 self.current += 1;
             } else {
+                if let Some(lin) = &mut self.lin {
+                    let base = self.consumed[self.current];
+                    self.consumed[self.current] += pulled;
+                    let child_lin = self.children[self.current].lineage().unwrap_or(&[]);
+                    for i in 0..pulled {
+                        lin.push(child_lin.get(base + i).copied().unwrap_or_default());
+                    }
+                }
                 appended += pulled;
             }
         }
@@ -99,6 +130,10 @@ impl Operator for UnionOp {
     fn introspect(&self) -> OpInfo {
         OpInfo::new("Union", SchemaRule::Uniform)
     }
+
+    fn lineage(&self) -> Option<&[LineageMask]> {
+        self.lin.as_deref()
+    }
 }
 
 /// Removes duplicate tuples (by atomized lexical key — node bindings
@@ -108,6 +143,12 @@ pub struct DistinctOp {
     seen: HashSet<String>,
     rows_out: u64,
     scratch: Vec<Tuple>,
+    /// Lineage of emitted tuples (tracking iff the child tracks). A
+    /// suppressed duplicate's provenance is *not* merged into the kept
+    /// representative: where-provenance reports the rows that produced
+    /// the answer actually emitted.
+    lin: Option<Vec<LineageMask>>,
+    consumed: usize,
 }
 
 impl DistinctOp {
@@ -117,6 +158,8 @@ impl DistinctOp {
             seen: HashSet::new(),
             rows_out: 0,
             scratch: Vec::new(),
+            lin: None,
+            consumed: 0,
         }
     }
 
@@ -138,12 +181,26 @@ impl Operator for DistinctOp {
     fn open(&mut self) -> Result<(), ExecError> {
         self.rows_out = 0;
         self.seen.clear();
-        self.child.open()
+        self.consumed = 0;
+        self.child.open()?;
+        self.lin = self.child.lineage().map(|_| Vec::new());
+        Ok(())
     }
 
     fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
         while let Some(t) = self.child.next()? {
+            let idx = self.consumed;
+            self.consumed += 1;
             if self.seen.insert(Self::key(&t)) {
+                if let Some(lin) = &mut self.lin {
+                    let mask = self
+                        .child
+                        .lineage()
+                        .and_then(|l| l.get(idx))
+                        .copied()
+                        .unwrap_or_default();
+                    lin.push(mask);
+                }
                 self.rows_out += 1;
                 return Ok(Some(t));
             }
@@ -159,10 +216,21 @@ impl Operator for DistinctOp {
             if pulled == 0 {
                 break;
             }
-            for t in self.scratch.drain(..) {
+            let base = self.consumed;
+            self.consumed += pulled;
+            for (i, t) in self.scratch.drain(..).enumerate() {
                 if self.seen.insert(Self::key(&t)) {
                     out.push(t);
                     appended += 1;
+                    if let Some(lin) = &mut self.lin {
+                        let mask = self
+                            .child
+                            .lineage()
+                            .and_then(|l| l.get(base + i))
+                            .copied()
+                            .unwrap_or_default();
+                        lin.push(mask);
+                    }
                 }
             }
         }
@@ -190,6 +258,10 @@ impl Operator for DistinctOp {
 
     fn introspect(&self) -> OpInfo {
         OpInfo::transform("Distinct")
+    }
+
+    fn lineage(&self) -> Option<&[LineageMask]> {
+        self.lin.as_deref()
     }
 }
 

@@ -3,6 +3,7 @@
 use super::{BoxedOp, Operator, ParProfile};
 use crate::error::ExecError;
 use crate::inspect::{OpInfo, OrderEffect, SchemaRule};
+use crate::lineage::LineageMask;
 use crate::par;
 use crate::schema::{Schema, Tuple};
 use nimble_xml::{Atomic, Value};
@@ -32,6 +33,9 @@ pub struct SortOp {
     /// Busy times of the parallel key-extraction workers (see
     /// [`ParProfile`]).
     par_prof: Option<ParProfile>,
+    /// Lineage permuted alongside the buffer (tracking iff the child
+    /// tracks); `lineage()` exposes the emitted prefix.
+    lin: Option<Vec<LineageMask>>,
 }
 
 impl SortOp {
@@ -47,6 +51,7 @@ impl SortOp {
             est_rows: None,
             mem_bytes: 0,
             par_prof: None,
+            lin: None,
         }
     }
 
@@ -63,7 +68,7 @@ impl SortOp {
     /// Seed comparator: full `Value::total_cmp` per comparison, stable.
     fn sort_scalar(&mut self) {
         let keys = self.keys.clone();
-        self.buffer.sort_by(|a, b| {
+        let cmp = |a: &Tuple, b: &Tuple| {
             for k in &keys {
                 let ord = a[k.column].total_cmp(&b[k.column]);
                 let ord = if k.descending { ord.reverse() } else { ord };
@@ -72,7 +77,23 @@ impl SortOp {
                 }
             }
             Ordering::Equal
-        });
+        };
+        if let Some(lin) = self.lin.as_mut() {
+            // Lineage must follow its tuple through the reorder, so sort
+            // a stable index permutation and apply it to both vectors.
+            let mut idx: Vec<usize> = (0..self.buffer.len()).collect();
+            idx.sort_by(|&ia, &ib| cmp(&self.buffer[ia], &self.buffer[ib]));
+            let mut sorted = Vec::with_capacity(self.buffer.len());
+            let mut sorted_lin = Vec::with_capacity(lin.len());
+            for &i in &idx {
+                sorted.push(std::mem::take(&mut self.buffer[i]));
+                sorted_lin.push(lin.get(i).copied().unwrap_or_default());
+            }
+            self.buffer = sorted;
+            *lin = sorted_lin;
+        } else {
+            self.buffer.sort_by(cmp);
+        }
     }
 
     /// Cached-key sort: atomize every key column once, then
@@ -136,10 +157,20 @@ impl SortOp {
             ia.cmp(ib)
         });
         let mut sorted = Vec::with_capacity(self.buffer.len());
+        let mut sorted_lin = self
+            .lin
+            .as_ref()
+            .map(|l| Vec::with_capacity(l.len()));
         for (_, i) in keyed {
             sorted.push(std::mem::take(&mut self.buffer[i]));
+            if let (Some(sl), Some(l)) = (sorted_lin.as_mut(), self.lin.as_ref()) {
+                sl.push(l.get(i).copied().unwrap_or_default());
+            }
         }
         self.buffer = sorted;
+        if sorted_lin.is_some() {
+            self.lin = sorted_lin;
+        }
         self.par_prof = par_prof;
     }
 }
@@ -166,6 +197,9 @@ impl Operator for SortOp {
                 self.buffer.push(t);
             }
         }
+        // Snapshot the child's lineage before closing it: the ingest was
+        // a full drain, so its masks align 1:1 with `buffer`.
+        self.lin = self.child.lineage().map(|l| l.to_vec());
         self.child.close();
         if self.vectorized {
             self.sort_vectorized();
@@ -243,6 +277,13 @@ impl Operator for SortOp {
 
     fn par_profile(&self) -> Option<&ParProfile> {
         self.par_prof.as_ref()
+    }
+
+    fn lineage(&self) -> Option<&[LineageMask]> {
+        // Only the prefix handed out so far counts as "emitted".
+        self.lin
+            .as_deref()
+            .map(|l| &l[..self.cursor.min(l.len())])
     }
 }
 

@@ -36,6 +36,13 @@ pub const SPEEDUP_OK: f64 = 1.0;
 pub const OVERHEAD_SLACK: f64 = 1.6;
 /// An overhead ratio at or below this is always acceptable.
 pub const OVERHEAD_OK: f64 = 2.0;
+/// Slack on the lineage-tracking overhead ratio. Lineage promises to
+/// stay under 10% on the join suite, so its bands are much tighter
+/// than the profiling gate's.
+pub const LINEAGE_OVERHEAD_SLACK: f64 = 1.3;
+/// A lineage on/off ratio at or below this passes outright (quick-mode
+/// joins run in microseconds, where fixed costs wobble the ratio).
+pub const LINEAGE_OVERHEAD_OK: f64 = 1.25;
 
 /// Outcome of one gate: the fresh and baseline values plus the verdict.
 pub struct GateResult {
@@ -115,17 +122,29 @@ fn gate_speedup(name: String, fresh: Option<f64>, base: Option<f64>) -> GateResu
 /// Gate a lower-is-better ratio (an overhead): fail only when the fresh
 /// value rises above `base * OVERHEAD_SLACK` *and* above [`OVERHEAD_OK`].
 fn gate_overhead(name: String, fresh: Option<f64>, base: Option<f64>) -> GateResult {
+    gate_overhead_with(name, fresh, base, OVERHEAD_SLACK, OVERHEAD_OK)
+}
+
+/// [`gate_overhead`] with explicit bands, for artifacts whose overhead
+/// promise is tighter than the profiling gate's.
+fn gate_overhead_with(
+    name: String,
+    fresh: Option<f64>,
+    base: Option<f64>,
+    slack: f64,
+    ok: f64,
+) -> GateResult {
     match (fresh, base) {
         (Some(f), Some(b)) => {
-            let limit = b * OVERHEAD_SLACK;
-            if f <= limit || f <= OVERHEAD_OK {
+            let limit = b * slack;
+            if f <= limit || f <= ok {
                 GateResult::passed(name, f, b, format!("limit {:.2}", limit))
             } else {
                 GateResult::failed(
                     name,
                     f,
                     b,
-                    format!("{:.2} > max(limit {:.2}, ok {:.2})", f, limit, OVERHEAD_OK),
+                    format!("{:.2} > max(limit {:.2}, ok {:.2})", f, limit, ok),
                 )
             }
         }
@@ -246,6 +265,35 @@ pub fn compare_observability(base: &Value, fresh: &Value) -> Vec<GateResult> {
     out
 }
 
+/// Gates for `BENCH_provenance.json`: the lineage-off run must be
+/// byte-identical to the tracked run (differential), every answer must
+/// attribute to its expected source set, tracking must actually have
+/// attributed answers, and the on/off overhead ratio must hold within
+/// the tight lineage bands.
+pub fn compare_provenance(base: &Value, fresh: &Value) -> Vec<GateResult> {
+    let mut out = Vec::new();
+    out.push(gate_true(
+        "provenance.differential_ok".to_string(),
+        flag(fresh, &["differential_ok"]),
+    ));
+    out.push(gate_true(
+        "provenance.attribution_ok".to_string(),
+        flag(fresh, &["attribution_ok"]),
+    ));
+    out.push(gate_positive(
+        "provenance.answers_attributed".to_string(),
+        num(fresh, &["answers_attributed"]),
+    ));
+    out.push(gate_overhead_with(
+        "provenance.lineage_overhead_ratio".to_string(),
+        num(fresh, &["lineage_overhead_ratio"]),
+        num(base, &["lineage_overhead_ratio"]),
+        LINEAGE_OVERHEAD_SLACK,
+        LINEAGE_OVERHEAD_OK,
+    ));
+    out
+}
+
 /// Dispatch on the artifact basename. Returns `None` for artifacts the
 /// sentinel has no gates for (they still get tracked by eye).
 pub fn compare(artifact: &str, base: &Value, fresh: &Value) -> Option<Vec<GateResult>> {
@@ -253,6 +301,8 @@ pub fn compare(artifact: &str, base: &Value, fresh: &Value) -> Option<Vec<GateRe
         Some(compare_vectorized(base, fresh))
     } else if artifact.contains("observability") {
         Some(compare_observability(base, fresh))
+    } else if artifact.contains("provenance") {
+        Some(compare_provenance(base, fresh))
     } else {
         None
     }
@@ -401,11 +451,51 @@ mod tests {
             .any(|r| !r.pass && r.detail.contains("missing")));
     }
 
+    fn prov_artifact(ratio: f64, differential_ok: bool, attribution_ok: bool) -> Value {
+        serde_json::json!({
+            "experiment": "provenance",
+            "differential_ok": differential_ok,
+            "attribution_ok": attribution_ok,
+            "answers_attributed": 42,
+            "lineage_overhead_ratio": ratio,
+        })
+    }
+
+    #[test]
+    fn provenance_unchanged_run_passes() {
+        let base = prov_artifact(1.05, true, true);
+        let results = compare_provenance(&base, &base);
+        assert!(results.iter().all(|r| r.pass), "{}", render(&results).0);
+    }
+
+    #[test]
+    fn provenance_overhead_uses_tight_dual_band() {
+        let base = prov_artifact(1.05, true, true);
+        // Quick-mode jitter inside the absolute OK band never fails.
+        let jitter = compare_provenance(&base, &prov_artifact(1.2, true, true));
+        assert!(jitter.iter().all(|r| r.pass), "{}", render(&jitter).0);
+        // A real regression breaches base*1.3 and the 1.25 OK band.
+        let bad = compare_provenance(&base, &prov_artifact(1.6, true, true));
+        assert!(bad
+            .iter()
+            .any(|r| !r.pass && r.name.contains("overhead")), "{}", render(&bad).0);
+    }
+
+    #[test]
+    fn provenance_semantic_flags_gate_hard() {
+        let base = prov_artifact(1.05, true, true);
+        let diff = compare_provenance(&base, &prov_artifact(1.0, false, true));
+        assert!(diff.iter().any(|r| !r.pass && r.name.contains("differential")));
+        let attr = compare_provenance(&base, &prov_artifact(1.0, true, false));
+        assert!(attr.iter().any(|r| !r.pass && r.name.contains("attribution")));
+    }
+
     #[test]
     fn dispatch_matches_artifact_names() {
         let v = serde_json::json!({});
         assert!(compare("BENCH_vectorized.json", &v, &v).is_some());
         assert!(compare("BENCH_observability.json", &v, &v).is_some());
+        assert!(compare("BENCH_provenance.json", &v, &v).is_some());
         assert!(compare("BENCH_costplan.json", &v, &v).is_none());
     }
 }

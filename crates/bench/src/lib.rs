@@ -111,6 +111,11 @@ pub fn write_bench_observability(record: &serde_json::Value) {
     write_bench_artifact("BENCH_observability.json", record);
 }
 
+/// Write the provenance benchmark artifact.
+pub fn write_bench_provenance(record: &serde_json::Value) {
+    write_bench_artifact("BENCH_provenance.json", record);
+}
+
 /// Simple aligned table printer.
 pub struct TablePrinter {
     widths: Vec<usize>,

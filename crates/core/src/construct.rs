@@ -11,9 +11,10 @@
 //! this module stays independent of execution.
 
 use crate::error::CoreError;
-use nimble_algebra::{Schema, Tuple};
+use nimble_algebra::{LineageMask, Schema, Tuple};
 use nimble_xml::{to_string, Atomic, Document, DocumentBuilder, Value};
 use nimble_xmlql::ast::{AggName, ElementTemplate, Query, TemplateNode, TemplateValue};
+use std::cell::RefCell;
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -34,6 +35,20 @@ pub fn build_result_document(
     Ok(b.finish())
 }
 
+/// Per-answer lineage plumbing for [`append_instances_traced`]: one
+/// mask per input tuple in, one OR-folded mask per produced top-level
+/// answer out. The accumulator is a shared cell because the engine's
+/// subquery callback also merges into the answer *currently being
+/// rendered* (always the last pushed — masks are pushed before the
+/// instance renders).
+pub struct LineageSink<'a> {
+    /// One mask per tuple of `tuples`, same order (shorter slices read
+    /// as empty masks — defensive, never expected).
+    pub tuple_masks: &'a [LineageMask],
+    /// Receives one mask per appended answer, in document order.
+    pub answers: &'a RefCell<Vec<LineageMask>>,
+}
+
 /// Append template instances for a tuple set into an open builder
 /// (shared by the root call and nested subqueries).
 pub fn append_instances(
@@ -43,9 +58,29 @@ pub fn append_instances(
     tuples: &[Tuple],
     eval_subquery: &mut SubqueryEval<'_>,
 ) -> Result<(), CoreError> {
+    append_instances_traced(b, template, schema, tuples, eval_subquery, None)
+}
+
+/// [`append_instances`] with optional per-answer lineage: when `sink`
+/// is given, each appended top-level answer's mask (the union of its
+/// producing tuples' masks — one tuple plainly, a whole group under a
+/// Skolem ID) is pushed into the sink *before* the answer renders, so
+/// nested-subquery lineage can merge in during rendering.
+pub fn append_instances_traced(
+    b: &mut DocumentBuilder,
+    template: &ElementTemplate,
+    schema: &Schema,
+    tuples: &[Tuple],
+    eval_subquery: &mut SubqueryEval<'_>,
+    sink: Option<LineageSink<'_>>,
+) -> Result<(), CoreError> {
     match &template.skolem {
         None => {
-            for t in tuples {
+            for (i, t) in tuples.iter().enumerate() {
+                if let Some(s) = &sink {
+                    let mask = s.tuple_masks.get(i).copied().unwrap_or_default();
+                    s.answers.borrow_mut().push(mask);
+                }
                 instantiate_element(b, template, schema, t, None, eval_subquery)?;
             }
         }
@@ -61,9 +96,11 @@ pub fn append_instances(
                 })
                 .collect::<Result<_, _>>()?;
             let mut order: Vec<String> = Vec::new();
-            let mut groups: std::collections::HashMap<String, Vec<&Tuple>> =
+            // Members are tuple *indices* so group lineage can be
+            // folded from the same positions.
+            let mut groups: std::collections::HashMap<String, Vec<usize>> =
                 std::collections::HashMap::new();
-            for t in tuples {
+            for (i, t) in tuples.iter().enumerate() {
                 let key: String = key_cols
                     .iter()
                     .map(|&c| t[c].lexical())
@@ -72,10 +109,19 @@ pub fn append_instances(
                 if !groups.contains_key(&key) {
                     order.push(key.clone());
                 }
-                groups.entry(key).or_default().push(t);
+                groups.entry(key).or_default().push(i);
             }
             for key in order {
-                let members = &groups[&key];
+                let members: Vec<&Tuple> = groups[&key].iter().map(|&i| &tuples[i]).collect();
+                if let Some(s) = &sink {
+                    // A grouped answer derives from every member tuple,
+                    // including ones whose rendered children dedup away.
+                    let mut mask = LineageMask::EMPTY;
+                    for &i in &groups[&key] {
+                        mask.merge(s.tuple_masks.get(i).copied().unwrap_or_default());
+                    }
+                    s.answers.borrow_mut().push(mask);
+                }
                 let first = members[0];
                 b.start_element(&template.tag);
                 for (name, value) in &template.attrs {
@@ -84,14 +130,14 @@ pub fn append_instances(
                 // Children accumulate across the group; duplicates
                 // (serialized identically) are emitted once.
                 let mut seen: HashSet<String> = HashSet::new();
-                for t in members {
+                for t in &members {
                     let mut scratch = DocumentBuilder::new("scratch");
                     instantiate_children(
                         &mut scratch,
                         &template.children,
                         schema,
                         t,
-                        Some(members),
+                        Some(&members),
                         eval_subquery,
                     )?;
                     let scratch_doc = scratch.finish();

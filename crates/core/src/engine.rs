@@ -12,8 +12,8 @@ use nimble_algebra::ops::{
 };
 use nimble_planck::{Fingerprint, RewriteRecord};
 use nimble_algebra::{
-    explain as explain_ops, explain_analyze as explain_analyze_ops, run_to_vec,
-    run_to_vec_batched, FunctionRegistry, ScalarExpr, Schema, Tuple,
+    explain as explain_ops, explain_analyze as explain_analyze_ops, lineage, run_to_vec,
+    run_to_vec_batched, FunctionRegistry, LineageMask, ScalarExpr, Schema, Tuple,
 };
 use nimble_sources::query::{row_field, rows_of};
 use nimble_store::{LogicalClock, ResultCache, ViewStore, WorkloadMonitor};
@@ -24,6 +24,7 @@ use nimble_trace::{
 use nimble_xml::{Document, DocumentBuilder, Value};
 use nimble_xmlql::ast::Query;
 use parking_lot::RwLock;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -84,6 +85,13 @@ pub struct OptimizerConfig {
     /// annotated empty relation without contacting any source, and
     /// eliminate always-true residual predicates.
     pub prune_unsat: bool,
+    /// Per-tuple data provenance: tag every fetched unit with a compact
+    /// [`LineageMask`], propagate masks through the physical pipeline,
+    /// and attribute every constructed answer to the exact set of
+    /// source fragments it was derived from ([`QueryResult::provenance`],
+    /// `why()`, and the flight recorder's `affected_answers`). Off by
+    /// default: the executor then allocates no lineage state at all.
+    pub track_lineage: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -98,6 +106,7 @@ impl Default for OptimizerConfig {
             cost_based: true,
             semantic_checks: true,
             prune_unsat: true,
+            track_lineage: false,
         }
     }
 }
@@ -117,6 +126,7 @@ impl OptimizerConfig {
             self.cost_based,
             self.semantic_checks,
             self.prune_unsat,
+            self.track_lineage,
         ];
         let mut fp: u64 = 0xcbf2_9ce4_8422_2325;
         for b in flags {
@@ -239,6 +249,98 @@ pub struct QueryStats {
     pub worst_qerror: f64,
 }
 
+/// One contributing unit in a query's provenance table: a source
+/// fragment, a fetched collection, or a mediated view, as it answered
+/// *this* query. The table index is the unit's per-query lineage id —
+/// the bit position [`LineageMask`]s refer to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvSource {
+    /// Source (or view) name.
+    pub name: String,
+    /// What was fetched: `fragment`, `collection:<name>`, or `view`.
+    pub detail: String,
+    /// This unit was served from a stale cached copy after the live
+    /// source failed (§3.4 stale-fallback).
+    pub stale: bool,
+    /// Age of the served cached copy, for stale-served units.
+    pub cache_age_ms: Option<f64>,
+    /// The unit is a mediated view rather than a direct source.
+    pub view: bool,
+}
+
+/// Per-answer data provenance: which source fragments each constructed
+/// answer was derived from. Populated when
+/// [`OptimizerConfig::track_lineage`] is on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Provenance {
+    /// The query's contributing units, indexed by lineage id.
+    pub sources: Vec<ProvSource>,
+    /// One mask per top-level answer element, in document order.
+    pub answers: Vec<LineageMask>,
+    /// Sources that contributed nothing (sorted, deduplicated) — the
+    /// aggregated completeness report next to the per-answer masks.
+    pub missing: Vec<String>,
+}
+
+impl Provenance {
+    /// The contributing units of answer `i` ("why is this answer in the
+    /// result?"), in lineage-id order. Empty for an out-of-range index.
+    pub fn why(&self, i: usize) -> Vec<&ProvSource> {
+        self.answers
+            .get(i)
+            .map(|mask| {
+                mask.ids()
+                    .into_iter()
+                    .filter_map(|id| self.sources.get(id as usize))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Indices (document order) of answers whose lineage touches a
+    /// stale-served unit.
+    pub fn stale_answers(&self) -> Vec<usize> {
+        self.answers
+            .iter()
+            .enumerate()
+            .filter(|(_, mask)| {
+                mask.ids()
+                    .into_iter()
+                    .any(|id| self.sources.get(id as usize).is_some_and(|s| s.stale))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Per-source contribution counts: how many answers each named
+    /// source (or view) contributed to, in first-contribution order.
+    pub fn contributions(&self) -> Vec<(String, usize)> {
+        let mut rows: Vec<(String, usize)> = self
+            .sources
+            .iter()
+            .map(|s| (s.name.clone(), 0))
+            .collect();
+        // Merge duplicate names (several fragments of one source).
+        rows.dedup_by(|b, a| b.0 == a.0);
+        for mask in &self.answers {
+            let mut touched: Vec<&str> = Vec::new();
+            for id in mask.ids() {
+                if let Some(s) = self.sources.get(id as usize) {
+                    if !touched.contains(&s.name.as_str()) {
+                        touched.push(&s.name);
+                    }
+                }
+            }
+            for name in touched {
+                if let Some(row) = rows.iter_mut().find(|(n, _)| n == name) {
+                    row.1 += 1;
+                }
+            }
+        }
+        rows
+    }
+}
+
 /// A query answer: the constructed document plus the completeness
 /// annotations of §3.4 ("providing partial results, and indicating to
 /// the user that the results were not complete").
@@ -247,11 +349,22 @@ pub struct QueryResult {
     pub document: Arc<Document>,
     /// False when any source could not contribute.
     pub complete: bool,
-    /// Sources that failed to contribute.
+    /// Sources that failed to contribute (sorted, deduplicated).
     pub missing_sources: Vec<String>,
     /// True when stale cached data substituted for a live source.
     pub stale: bool,
+    /// Per-answer lineage, when [`OptimizerConfig::track_lineage`] was
+    /// on for this query (`None` on cache hits, which skip execution).
+    pub provenance: Option<Provenance>,
     pub stats: QueryStats,
+}
+
+impl QueryResult {
+    /// The contributing units of answer `i` — `None` when lineage
+    /// tracking was off.
+    pub fn why(&self, i: usize) -> Option<Vec<&ProvSource>> {
+        self.provenance.as_ref().map(|p| p.why(i))
+    }
 }
 
 /// One instance of the integration engine.
@@ -306,6 +419,19 @@ struct ExecCtx {
     worst_qerror_op: Option<String>,
     /// That offender's Q-error (0 until scoring runs).
     worst_qerror: f64,
+    /// Lineage tracking enabled for this evaluation scope. Starts true;
+    /// view materialization internals clear it (a view contributes as
+    /// one unit, not per underlying source). Only effective when
+    /// `OptimizerConfig::track_lineage` is also on.
+    track: bool,
+    /// Per-query provenance table, indexed by lineage id. Interning is
+    /// always sequential (the parallel fetch path interns in the join
+    /// loop), so ids are dense and in plan order.
+    prov: Vec<ProvSource>,
+    /// Per-tuple masks of the relation the most recent
+    /// `eval_planned`/`eval_pruned` run produced, aligned with its
+    /// tuples; `None` when that run did not track.
+    last_lin: Option<Vec<LineageMask>>,
 }
 
 impl ExecCtx {
@@ -321,7 +447,18 @@ impl ExecCtx {
             phases: Vec::new(),
             worst_qerror_op: None,
             worst_qerror: 0.0,
+            track: true,
+            prov: Vec::new(),
+            last_lin: None,
         }
+    }
+
+    /// Register one contributing unit in the provenance table, handing
+    /// back its singleton lineage mask.
+    fn intern_source(&mut self, p: ProvSource) -> LineageMask {
+        let id = self.prov.len() as u32;
+        self.prov.push(p);
+        LineageMask::single(id)
     }
 
     fn miss(&mut self, source: &str) {
@@ -347,6 +484,9 @@ impl ExecCtx {
             self.worst_qerror = other.worst_qerror;
             self.worst_qerror_op = other.worst_qerror_op;
         }
+        // `prov`/`last_lin` are deliberately not merged: fetch workers
+        // never intern (the caller interns sequentially after the join)
+        // and view-internal evaluations run with tracking suppressed.
     }
 }
 
@@ -524,6 +664,8 @@ impl Engine {
                 tuples: 0,
                 complete: false,
                 from_cache: false,
+                stale: false,
+                missing_sources: Vec::new(),
                 error: Some(error.clone()),
             });
             // Failed queries are always kept, however fast they died.
@@ -534,6 +676,9 @@ impl Engine {
                 elapsed_ms,
                 tuples: 0,
                 complete: false,
+                stale: false,
+                missing_sources: Vec::new(),
+                affected_answers: Vec::new(),
                 error: Some(error),
                 plan: String::new(),
                 spans: Vec::new(),
@@ -580,6 +725,8 @@ impl Engine {
                     tuples: 0,
                     complete: true,
                     from_cache: true,
+                    stale: false,
+                    missing_sources: Vec::new(),
                     error: None,
                 });
                 if let Ok(query) = nimble_xmlql::parse_query(text) {
@@ -590,6 +737,7 @@ impl Engine {
                     complete: true,
                     missing_sources: Vec::new(),
                     stale: false,
+                    provenance: None,
                     stats: QueryStats {
                         from_query_cache: true,
                         elapsed_ms,
@@ -743,11 +891,26 @@ impl Engine {
             trace.add_ms(*name, *phase_ms);
         }
         let tuple_count = tuples.len();
+        // Per-tuple masks of the top-level relation (tracking on) move
+        // out of the context before CONSTRUCT; the answer accumulator
+        // is shared with nested-subquery evaluation through a cell so
+        // subquery lineage folds into the answer being built.
+        let tuple_lin = ctx.last_lin.take();
+        let answer_cell = tuple_lin.as_ref().map(|_| RefCell::new(Vec::new()));
 
         let a_construct = AllocScope::enter();
         let t_construct = Instant::now();
         let mut builder = DocumentBuilder::new("results");
-        self.construct_into(&mut builder, &query.construct, &schema, &tuples, 0, &mut ctx)?;
+        self.construct_into(
+            &mut builder,
+            &query.construct,
+            &schema,
+            &tuples,
+            0,
+            &mut ctx,
+            tuple_lin.as_deref(),
+            answer_cell.as_ref(),
+        )?;
         let document = builder.finish();
         let construct_ms = ms_since(t_construct);
         self.phase_alloc("construct", a_construct.finish());
@@ -773,6 +936,45 @@ impl Engine {
         self.feed_monitor(&query, elapsed_ms, document.len());
 
         let complete = ctx.missing.is_empty();
+        // The miss list deduplicates on insert but arrival order depends
+        // on fetch scheduling; sort so every consumer (result, log
+        // exports, flight records) sees one canonical rendering.
+        ctx.missing.sort();
+        ctx.missing.dedup();
+
+        // Assemble the provenance report and its metrics.
+        let provenance = answer_cell.map(|cell| {
+            let answers: Vec<LineageMask> = cell.into_inner();
+            let prov = Provenance {
+                sources: std::mem::take(&mut ctx.prov),
+                answers,
+                missing: ctx.missing.clone(),
+            };
+            self.metrics.incr("engine.provenance.tracked", 1);
+            self.metrics
+                .incr("engine.provenance.answers", prov.answers.len() as u64);
+            let stale_answers = prov.stale_answers().len() as u64;
+            if stale_answers > 0 {
+                self.metrics
+                    .incr("engine.provenance.stale_answers", stale_answers);
+            }
+            for (name, count) in prov.contributions() {
+                if count > 0 {
+                    self.metrics.incr(
+                        &format!("engine.provenance.source_answers.{}", name),
+                        count as u64,
+                    );
+                }
+            }
+            self.metrics
+                .gauge("engine.provenance.spilled_sets")
+                .store(lineage::spilled_sets() as u64, Ordering::Relaxed);
+            prov
+        });
+        let affected_answers = provenance
+            .as_ref()
+            .map(|p| p.stale_answers())
+            .unwrap_or_default();
         self.query_log.record_event(QueryEvent {
             trace_id: qctx.trace_id.0,
             text: text.to_string(),
@@ -780,6 +982,8 @@ impl Engine {
             tuples: tuple_count,
             complete,
             from_cache: false,
+            stale: ctx.stale,
+            missing_sources: ctx.missing.clone(),
             error: None,
         });
         // Tail-sample into the flight recorder: the keep decision is
@@ -798,6 +1002,9 @@ impl Engine {
                 elapsed_ms,
                 tuples: tuple_count,
                 complete,
+                stale: ctx.stale,
+                missing_sources: ctx.missing.clone(),
+                affected_answers: affected_answers.clone(),
                 error: None,
                 plan: ctx.plan_text.clone(),
                 spans: spans.clone(),
@@ -816,6 +1023,7 @@ impl Engine {
             complete,
             missing_sources: ctx.missing,
             stale: ctx.stale,
+            provenance,
             stats: QueryStats {
                 source_calls: ctx.source_calls,
                 fragments_pushed: ctx.fragments,
@@ -932,7 +1140,7 @@ impl Engine {
     ) -> Result<Arc<Document>, CoreError> {
         let (schema, tuples) = self.eval(query, None, depth, ctx)?;
         let mut b = DocumentBuilder::new("results");
-        self.construct_into(&mut b, &query.construct, &schema, &tuples, depth, ctx)?;
+        self.construct_into(&mut b, &query.construct, &schema, &tuples, depth, ctx, None, None)?;
         Ok(b.finish())
     }
 
@@ -1030,10 +1238,24 @@ impl Engine {
         let t_execute = Instant::now();
         let verify_pre_ms = verify_ms;
 
-        // Fetch every independent unit (the Scan layer).
-        let mut inputs: Vec<(Schema, Vec<Tuple>)> = Vec::new();
+        // Lineage tracking for this run: tag every fetched unit's scan
+        // with its interned mask; the outer context (a subquery's
+        // correlated tuple) carries the empty mask — its own sources
+        // are already attributed to the enclosing answer.
+        let track = config.optimizer.track_lineage && ctx.track;
+
+        // Fetch every independent unit (the Scan layer). Each slot is
+        // `(schema, tuples, lineage mask, unit label)`; the mask is
+        // `None` when tracking is off and the label feeds the rewrite
+        // audit's source-set fingerprints.
+        let mut inputs: Vec<(Schema, Vec<Tuple>, Option<LineageMask>, String)> = Vec::new();
         if let Some((schema, tuple)) = outer {
-            inputs.push((schema.clone(), vec![tuple.clone()]));
+            inputs.push((
+                schema.clone(),
+                vec![tuple.clone()],
+                track.then_some(LineageMask::EMPTY),
+                "<outer>".to_string(),
+            ));
         }
         if config.parallel_fetch && plan.independents.len() > 1 {
             // The Scan layer fans out: one thread per independent unit,
@@ -1065,20 +1287,25 @@ impl Engine {
                     .collect::<Vec<_>>()
             })
             .map_err(|_| CoreError::Internal("parallel fetch scope panicked".into()))?;
-            for joined in results {
+            for (joined, atom) in results.into_iter().zip(&plan.independents) {
                 let (fetched, local) = joined.map_err(|name| {
                     CoreError::Internal(format!("fetch thread for {} panicked", name))
                 })?;
                 ctx.merge(local);
-                let (vars, tuples) = fetched?;
+                let (vars, tuples, prov) = fetched?;
                 ctx.rows_fetched += tuples.len() as u64;
-                inputs.push((unit_schema(vars)?, tuples));
+                // Interning stays sequential even under parallel fetch:
+                // workers only describe their unit; ids are assigned
+                // here, in atom order.
+                let mask = prov.map(|p| ctx.intern_source(p));
+                inputs.push((unit_schema(vars)?, tuples, mask, atom_name(atom)));
             }
         } else {
             for atom in &plan.independents {
-                let (vars, tuples) = self.fetch_atom(atom, depth, ctx)?;
+                let (vars, tuples, prov) = self.fetch_atom(atom, depth, ctx)?;
                 ctx.rows_fetched += tuples.len() as u64;
-                inputs.push((unit_schema(vars)?, tuples));
+                let mask = prov.map(|p| ctx.intern_source(p));
+                inputs.push((unit_schema(vars)?, tuples, mask, atom_name(atom)));
             }
         }
         if inputs.is_empty() {
@@ -1101,7 +1328,7 @@ impl Engine {
         // collection's cardinality.
         if plan.est_rows.len() == plan.independents.len() {
             for (i, atom) in plan.independents.iter().enumerate() {
-                let Some((_, fetched)) = inputs.get(start + i) else {
+                let Some((_, fetched, _, _)) = inputs.get(start + i) else {
                     continue;
                 };
                 let est = plan.est_rows[i];
@@ -1138,7 +1365,7 @@ impl Engine {
         // annotations and build-side/parallelism decisions.
         let mut input_est: Vec<Option<u64>> = vec![None; inputs.len()];
         if cost_ok {
-            let mut tail: Vec<Option<(Schema, Vec<Tuple>)>> =
+            let mut tail: Vec<Option<(Schema, Vec<Tuple>, Option<LineageMask>, String)>> =
                 inputs.drain(start..).map(Some).collect();
             for (k, &i) in plan.fold_order.iter().enumerate() {
                 if let Some(input) = tail.get_mut(i).and_then(Option::take) {
@@ -1154,7 +1381,7 @@ impl Engine {
                 input_est[0] = Some(1);
             }
         } else if config.optimizer.order_joins_by_cardinality {
-            inputs[start..].sort_by_key(|(_, t)| t.len());
+            inputs[start..].sort_by_key(|(_, t, _, _)| t.len());
         }
 
         // Fold into a physical join tree. From here to the end of the
@@ -1168,7 +1395,7 @@ impl Engine {
         let record_rewrites = config.optimizer.semantic_checks;
         let mut exec_rewrites: Vec<RewriteRecord> = Vec::new();
         let mut iter = inputs.into_iter().enumerate();
-        let (_, (first_schema, first_tuples)) = iter
+        let (_, (first_schema, first_tuples, first_mask, first_name)) = iter
             .next()
             .ok_or_else(|| CoreError::Internal("join fold over zero inputs".into()))?;
         let profile = ctx.profile;
@@ -1192,13 +1419,23 @@ impl Engine {
             }
         };
         let mut first_scan = scan(ValuesOp::new(first_schema, first_tuples));
+        if let Some(m) = first_mask {
+            first_scan = first_scan.with_lineage(m);
+        }
         if let Some(e) = input_est.first().copied().flatten() {
             first_scan.set_est_rows(e);
         }
         let mut op: Box<dyn Operator> = meter(Box::new(first_scan));
+        // Source labels of every unit folded in so far, for the rewrite
+        // audit's source-set fingerprints (a faithful execution rewrite
+        // must not change where the joined rows come from).
+        let mut cur_srcs: Vec<String> = vec![first_name];
         // Estimated rows flowing out of the current accumulated subtree.
         let mut cur_est: Option<u64> = input_est.first().copied().flatten();
-        for (idx, (schema, tuples)) in iter {
+        for (idx, (schema, tuples, mask, unit_name)) in iter {
+            if !cur_srcs.contains(&unit_name) {
+                cur_srcs.push(unit_name);
+            }
             let this_est = input_est.get(idx).copied().flatten();
             // Estimated size after this fold step (from the planner's
             // greedy cost walk; index is offset by the outer slot).
@@ -1209,6 +1446,9 @@ impl Engine {
                 None
             };
             let mut right_scan = scan(ValuesOp::new(schema.clone(), tuples));
+            if let Some(m) = mask {
+                right_scan = right_scan.with_lineage(m);
+            }
             if let Some(e) = this_est {
                 right_scan.set_est_rows(e);
             }
@@ -1249,11 +1489,18 @@ impl Engine {
                         .filter(|v| !v.contains('#'))
                         .cloned()
                         .collect();
+                    // A swap exchanges the operands, never the unit set:
+                    // record the folded source labels on both sides so
+                    // the audit's source-set check pins that down.
                     exec_rewrites.push(RewriteRecord::new(
                         "build-side-swap",
                         false,
-                        Fingerprint::new(before_cols).with_keys(keys.clone()),
-                        Fingerprint::new(after_cols).with_keys(keys),
+                        Fingerprint::new(before_cols)
+                            .with_keys(keys.clone())
+                            .with_sources(cur_srcs.clone()),
+                        Fingerprint::new(after_cols)
+                            .with_keys(keys)
+                            .with_sources(cur_srcs.clone()),
                     ));
                 }
                 // Parallel build pays for itself only on large builds;
@@ -1274,8 +1521,9 @@ impl Engine {
                     exec_rewrites.push(RewriteRecord::new(
                         "vectorize",
                         true,
-                        Fingerprint::new(before_cols),
-                        Fingerprint::new(join.schema().vars().to_vec()),
+                        Fingerprint::new(before_cols).with_sources(cur_srcs.clone()),
+                        Fingerprint::new(join.schema().vars().to_vec())
+                            .with_sources(cur_srcs.clone()),
                     ));
                 }
                 if let Some(e) = next_est {
@@ -1426,6 +1674,14 @@ impl Engine {
             "engine.exec.pipeline_us",
             us((ms_since(t_pipeline) - (verify_ms - verify_pre_ms)).max(0.0)),
         );
+        // Harvest per-tuple lineage from the root operator (operators
+        // keep their masks across close, so the drained run above left
+        // them intact). `None` when any leaf lacked a mask.
+        ctx.last_lin = if track {
+            op.lineage().map(|l| l.to_vec())
+        } else {
+            None
+        };
         let schema = op.schema().clone();
         // Plan-quality telemetry over the finished operator tree:
         // per-kind Q-error histograms and decision flips (profiled
@@ -1510,6 +1766,10 @@ impl Engine {
         }
         self.metrics.incr("engine.plan.pruned", 1);
         let tuples = run_to_vec(op.as_mut())?;
+        // A pruned plan emits no tuples, so its lineage is the empty
+        // per-tuple list — tracked queries still get a (vacuously
+        // complete) provenance report.
+        ctx.last_lin = (config.optimizer.track_lineage && ctx.track).then(Vec::new);
         self.metrics.observe(
             "engine.exec.pipeline_us",
             us((ms_since(t_pipeline) - (verify_ms - plan_verify_ms)).max(0.0)),
@@ -1633,14 +1893,17 @@ impl Engine {
     }
 
     /// Fetch one independent unit's tuples under the unavailability
-    /// policy.
+    /// policy. With lineage tracking on, the third element describes
+    /// the unit for the query's provenance table — the *caller* interns
+    /// it (sequentially, so ids stay dense even under parallel fetch).
     fn fetch_atom(
         &self,
         atom: &AtomExec,
         depth: usize,
         ctx: &mut ExecCtx,
-    ) -> Result<(Vec<String>, Vec<Tuple>), CoreError> {
+    ) -> Result<(Vec<String>, Vec<Tuple>, Option<ProvSource>), CoreError> {
         let config = self.config();
+        let track = config.optimizer.track_lineage && ctx.track;
         match atom {
             AtomExec::Fragment {
                 source,
@@ -1687,7 +1950,14 @@ impl Engine {
                             tuples.len() as u64,
                             None,
                         );
-                        Ok((vars.clone(), tuples))
+                        let prov = track.then(|| ProvSource {
+                            name: source.clone(),
+                            detail: "fragment".to_string(),
+                            stale: false,
+                            cache_age_ms: None,
+                            view: false,
+                        });
+                        Ok((vars.clone(), tuples, prov))
                     }
                     Err(e) if e.is_unavailable() => {
                         note_source_call(
@@ -1699,7 +1969,7 @@ impl Engine {
                             0,
                             Some(e.to_string()),
                         );
-                        self.handle_unavailable(source, &key, vars, e, ctx, &|doc| {
+                        self.handle_unavailable(source, &key, "fragment", vars, e, ctx, track, &|doc| {
                             fragment_tuples(doc, vars)
                         })
                     }
@@ -1757,9 +2027,11 @@ impl Engine {
                         return self.handle_unavailable(
                             source,
                             &key,
+                            &format!("collection:{}", collection),
                             vars,
                             e,
                             ctx,
+                            track,
                             &|doc| match_tuples(doc, pattern, vars),
                         );
                     }
@@ -1793,14 +2065,30 @@ impl Engine {
                     tuples.len() as u64,
                     None,
                 );
-                Ok((vars.clone(), tuples))
+                let prov = track.then(|| ProvSource {
+                    name: source.clone(),
+                    detail: format!("collection:{}", collection),
+                    stale: false,
+                    cache_age_ms: None,
+                    view: false,
+                });
+                Ok((vars.clone(), tuples, prov))
             }
             AtomExec::ViewMatch {
                 view,
                 pattern,
                 vars,
             } => {
-                let doc = self.view_document(view, depth, ctx)?;
+                // A view contributes as one unit: suppress tracking
+                // inside its (possibly virtual) evaluation so its
+                // underlying sources don't intern ids of their own, and
+                // note whether the evaluation fell back to stale data.
+                let stale_before = ctx.stale;
+                let saved_track = ctx.track;
+                ctx.track = false;
+                let fetched = self.view_document(view, depth, ctx);
+                ctx.track = saved_track;
+                let doc = fetched?;
                 let tuples = match_tuples(&doc, pattern, vars);
                 // Row count = the view result's top-level elements,
                 // mirroring the FetchMatch measure. The per-pattern match
@@ -1812,7 +2100,14 @@ impl Engine {
                     &format!("view:{}", view),
                     doc.root().child_elements().count() as u64,
                 );
-                Ok((vars.clone(), tuples))
+                let prov = track.then(|| ProvSource {
+                    name: view.clone(),
+                    detail: "view".to_string(),
+                    stale: ctx.stale && !stale_before,
+                    cache_age_ms: None,
+                    view: true,
+                });
+                Ok((vars.clone(), tuples, prov))
             }
         }
     }
@@ -1820,40 +2115,61 @@ impl Engine {
     /// Apply the unavailability policy for a failed source call.
     /// `to_tuples` converts the cached document back into binding tuples
     /// (fragment rows and collection documents decode differently).
+    /// `detail` labels the unit in the provenance table when lineage
+    /// tracking (`track`) is on; stale-served units report the cached
+    /// copy's age.
+    #[allow(clippy::too_many_arguments)]
     fn handle_unavailable(
         &self,
         source: &str,
         cache_key: &str,
+        detail: &str,
         vars: &[String],
         err: nimble_sources::SourceError,
         ctx: &mut ExecCtx,
+        track: bool,
         to_tuples: &dyn Fn(&Arc<Document>) -> Vec<Tuple>,
-    ) -> Result<(Vec<String>, Vec<Tuple>), CoreError> {
+    ) -> Result<(Vec<String>, Vec<Tuple>, Option<ProvSource>), CoreError> {
         let config = self.config();
         self.metrics.incr(&format!("source.failures.{}", source), 1);
         match config.unavailable {
             UnavailablePolicy::Fail => Err(CoreError::Source(err)),
             UnavailablePolicy::SkipAndAnnotate => {
                 ctx.miss(source);
-                Ok((vars.to_vec(), Vec::new()))
+                Ok((vars.to_vec(), Vec::new(), missing_prov(track, source, detail)))
             }
             UnavailablePolicy::StaleCache => {
                 if config.cache_nodes > 0 {
-                    if let Some(doc) = self.cache.get(cache_key) {
+                    if let Some((doc, age)) = self.cache.get_with_age(cache_key) {
                         ctx.stale = true;
                         self.metrics
                             .incr(&format!("source.stale_served.{}", source), 1);
-                        return Ok((vars.to_vec(), to_tuples(&doc)));
+                        let prov = track.then(|| ProvSource {
+                            name: source.to_string(),
+                            detail: detail.to_string(),
+                            stale: true,
+                            cache_age_ms: Some(age.as_secs_f64() * 1e3),
+                            view: false,
+                        });
+                        return Ok((vars.to_vec(), to_tuples(&doc), prov));
                     }
                 }
                 ctx.miss(source);
-                Ok((vars.to_vec(), Vec::new()))
+                Ok((vars.to_vec(), Vec::new(), missing_prov(track, source, detail)))
             }
         }
     }
 
     /// Construct template instances into an open builder, recursively
     /// evaluating nested subqueries.
+    ///
+    /// With lineage tracking on, `tuple_lin` carries the top-level
+    /// relation's per-tuple masks (the template module pushes one
+    /// per-answer mask into `answers` *before* rendering each answer)
+    /// and `answers` is threaded through every nesting level so a
+    /// subquery's lineage — at any depth — ORs into the answer it is
+    /// rendered inside.
+    #[allow(clippy::too_many_arguments)]
     fn construct_into(
         &self,
         b: &mut DocumentBuilder,
@@ -1862,13 +2178,54 @@ impl Engine {
         tuples: &[Tuple],
         depth: usize,
         ctx: &mut ExecCtx,
+        tuple_lin: Option<&[LineageMask]>,
+        answers: Option<&RefCell<Vec<LineageMask>>>,
     ) -> Result<(), CoreError> {
         let mut cb = |q: &Query, s: &Schema, t: &Tuple, b2: &mut DocumentBuilder| {
             let (sub_schema, sub_tuples) = self.eval(q, Some((s, t)), depth + 1, ctx)?;
-            self.construct_into(b2, &q.construct, &sub_schema, &sub_tuples, depth + 1, ctx)
+            if let Some(cell) = answers {
+                if let Some(sub_lin) = ctx.last_lin.take() {
+                    if let Some(ans) = cell.borrow_mut().last_mut() {
+                        for m in &sub_lin {
+                            ans.merge(*m);
+                        }
+                    }
+                }
+            }
+            self.construct_into(
+                b2,
+                &q.construct,
+                &sub_schema,
+                &sub_tuples,
+                depth + 1,
+                ctx,
+                None,
+                answers,
+            )
         };
-        construct::append_instances(b, template, schema, tuples, &mut cb)
+        let sink = match (tuple_lin, answers) {
+            (Some(masks), Some(cell)) => Some(construct::LineageSink {
+                tuple_masks: masks,
+                answers: cell,
+            }),
+            _ => None,
+        };
+        construct::append_instances_traced(b, template, schema, tuples, &mut cb, sink)
     }
+}
+
+/// Provenance entry for a unit that contributed nothing (skipped after
+/// an unavailability, no stale copy). Interning it keeps the lineage
+/// pipeline alive — an untagged scan would disable tracking for every
+/// operator above it — and surfaces the hole in the provenance table.
+fn missing_prov(track: bool, source: &str, detail: &str) -> Option<ProvSource> {
+    track.then(|| ProvSource {
+        name: source.to_string(),
+        detail: format!("missing:{}", detail),
+        stale: false,
+        cache_age_ms: None,
+        view: false,
+    })
 }
 
 /// Record one adapter call into the current query context, unless an

@@ -866,6 +866,239 @@ fn semantic_toggles_change_the_config_fingerprint() {
     assert_ne!(no_semantic.fingerprint(), no_prune.fingerprint());
 }
 
+/// Feed with a third book whose publisher matches no CRM customer —
+/// its answer must carry feed-only lineage.
+fn bib3() -> Arc<XmlDocAdapter> {
+    Arc::new(
+        XmlDocAdapter::new("feeds")
+            .add_xml(
+                "bib",
+                "<bib>\
+                 <book><title>Integration</title><publisher>Globex</publisher></book>\
+                 <book><title>Web Data</title><publisher>Acme</publisher></book>\
+                 <book><title>Zines</title><publisher>Nonesuch</publisher></book>\
+                 </bib>",
+            )
+            .unwrap(),
+    )
+}
+
+fn lineage_on() -> OptimizerConfig {
+    OptimizerConfig {
+        track_lineage: true,
+        ..OptimizerConfig::default()
+    }
+}
+
+/// Sorted, deduplicated contributing-source names of answer `i`.
+fn why_names(r: &crate::engine::QueryResult, i: usize) -> Vec<String> {
+    let mut v: Vec<String> = r
+        .why(i)
+        .expect("lineage tracking was on")
+        .iter()
+        .map(|s| s.name.clone())
+        .collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+#[test]
+fn lineage_attributes_join_answers_to_sources() {
+    let e = engine();
+    e.set_optimizer(lineage_on());
+    let r = e
+        .query(
+            r#"WHERE <bib><book><publisher>$n</publisher><title>$t</title></book></bib> IN "bib",
+                     <row><name>$n</name><region>$reg</region></row> IN "customers"
+               CONSTRUCT <hit><t>$t</t><r>$reg</r></hit> ORDER-BY $t"#,
+        )
+        .unwrap();
+    let prov = r.provenance.as_ref().expect("tracking on => provenance");
+    assert_eq!(prov.answers.len(), 2);
+    // Every join answer derives from exactly both sources.
+    assert_eq!(why_names(&r, 0), vec!["crm", "feeds"]);
+    assert_eq!(why_names(&r, 1), vec!["crm", "feeds"]);
+    assert!(prov.missing.is_empty());
+    assert!(prov.stale_answers().is_empty());
+    let contrib = prov.contributions();
+    assert!(contrib.iter().any(|(n, c)| n == "crm" && *c == 2), "{:?}", contrib);
+    assert!(contrib.iter().any(|(n, c)| n == "feeds" && *c == 2), "{:?}", contrib);
+    let snap = e.metrics_snapshot();
+    assert_eq!(snap.counter("engine.provenance.tracked"), 1);
+    assert_eq!(snap.counter("engine.provenance.answers"), 2);
+    assert_eq!(snap.counter("engine.provenance.source_answers.crm"), 2);
+    assert_eq!(snap.counter("engine.provenance.source_answers.feeds"), 2);
+}
+
+#[test]
+fn lineage_distinguishes_answers_within_one_result() {
+    let c = Catalog::new();
+    c.register_source(crm()).unwrap();
+    c.register_source(bib3()).unwrap();
+    let e = Engine::new(Arc::new(c));
+    e.set_optimizer(lineage_on());
+    let r = e
+        .query(
+            r#"WHERE <bib><book><title>$t</title><publisher>$p</publisher></book></bib> IN "bib"
+               CONSTRUCT <hit><t>$t</t>
+                   WHERE <row><name>$p</name><region>$reg</region></row> IN "customers"
+                   CONSTRUCT <reg>$reg</reg>
+               </hit> ORDER-BY $t"#,
+        )
+        .unwrap();
+    assert_eq!(
+        to_string(&r.document.root()),
+        "<results>\
+         <hit><t>Integration</t><reg>SW</reg></hit>\
+         <hit><t>Web Data</t><reg>NW</reg></hit>\
+         <hit><t>Zines</t></hit>\
+         </results>"
+    );
+    // The matched books drew on both sources; the unmatched one
+    // contains no CRM data and must say so.
+    assert_eq!(why_names(&r, 0), vec!["crm", "feeds"]);
+    assert_eq!(why_names(&r, 1), vec!["crm", "feeds"]);
+    assert_eq!(why_names(&r, 2), vec!["feeds"]);
+}
+
+#[test]
+fn lineage_off_is_differentially_identical() {
+    let queries = [
+        r#"WHERE <bib><book><publisher>$n</publisher><title>$t</title></book></bib> IN "bib",
+                 <row><name>$n</name><region>$r</region></row> IN "customers"
+           CONSTRUCT <hit><t>$t</t><r>$r</r></hit> ORDER-BY $t"#,
+        r#"WHERE <row><cust_id>$c</cust_id><total>$t</total></row> IN "orders"
+           CONSTRUCT <cust ID=C($c)><id>$c</id><orders>count()</orders>
+                     <spend>sum($t)</spend></cust>"#,
+        r#"WHERE <bib><book/> ELEMENT_AS $b</bib> IN "bib",
+                 <title>$t</title> IN $b
+           CONSTRUCT <entry><t>$t</t>
+               WHERE <publisher>$p</publisher> IN $b
+               CONSTRUCT <pub>$p</pub>
+           </entry> ORDER-BY $t"#,
+    ];
+    for q in queries {
+        let e_on = engine();
+        e_on.set_optimizer(lineage_on());
+        let e_off = engine();
+        let on = e_on.query(q).unwrap();
+        let off = e_off.query(q).unwrap();
+        assert_eq!(
+            to_string(&on.document.root()),
+            to_string(&off.document.root()),
+            "lineage on/off disagree for {}",
+            q
+        );
+        assert_eq!(on.stats.source_calls, off.stats.source_calls, "extra calls for {}", q);
+        assert!(on.provenance.is_some());
+        assert!(off.provenance.is_none());
+    }
+}
+
+#[test]
+fn stale_fallback_marks_affected_answers_through_join() {
+    let c = Catalog::new();
+    let link = SimulatedLink::new(crm(), LinkConfig::default());
+    c.register_source(link.clone() as Arc<dyn SourceAdapter>)
+        .unwrap();
+    c.register_source(bib_xml()).unwrap();
+    let e = Engine::new(Arc::new(c));
+    e.set_optimizer(lineage_on());
+    e.set_unavailable_policy(UnavailablePolicy::StaleCache);
+    let join = r#"WHERE <bib><book><publisher>$n</publisher><title>$t</title></book></bib> IN "bib",
+                        <row><name>$n</name><region>$r</region></row> IN "customers"
+                  CONSTRUCT <hit><t>$t</t><r>$r</r></hit> ORDER-BY $t"#;
+
+    // Warm the fragment cache while the source is up.
+    let warm = e.query(join).unwrap();
+    assert!(warm.complete && !warm.stale);
+    assert!(warm.provenance.as_ref().unwrap().stale_answers().is_empty());
+
+    link.set_up(false);
+    let r = e.query(join).unwrap();
+    assert!(r.complete && r.stale);
+    let prov = r.provenance.as_ref().unwrap();
+    assert_eq!(prov.answers.len(), 2);
+    // Both join answers flow from the stale-served CRM fragment…
+    assert_eq!(prov.stale_answers(), vec![0, 1]);
+    let units = r.why(0).unwrap();
+    let crm_unit = units.iter().find(|s| s.name == "crm").unwrap();
+    assert!(crm_unit.stale);
+    assert!(crm_unit.cache_age_ms.is_some());
+    let feed_unit = units.iter().find(|s| s.name == "feeds").unwrap();
+    assert!(!feed_unit.stale);
+
+    // …while a feed-only query stays entirely fresh.
+    let r2 = e
+        .query(r#"WHERE <bib><book><title>$t</title></book></bib> IN "bib" CONSTRUCT <t>$t</t>"#)
+        .unwrap();
+    assert!(!r2.stale);
+    assert!(r2.provenance.as_ref().unwrap().stale_answers().is_empty());
+    assert_eq!(e.metrics_snapshot().counter("engine.provenance.stale_answers"), 2);
+}
+
+#[test]
+fn missing_sources_are_sorted_and_deduplicated() {
+    let c = Catalog::new();
+    let crm_link = SimulatedLink::new(crm(), LinkConfig::default());
+    let bib_link = SimulatedLink::new(bib_xml(), LinkConfig::default());
+    crm_link.set_up(false);
+    bib_link.set_up(false);
+    c.register_source(bib_link as Arc<dyn SourceAdapter>).unwrap();
+    c.register_source(crm_link as Arc<dyn SourceAdapter>).unwrap();
+    let e = Engine::new(Arc::new(c));
+    e.set_unavailable_policy(UnavailablePolicy::SkipAndAnnotate);
+    // Pushdown off: customers and orders are fetched separately, so the
+    // crm source fails twice — the report must still name it once.
+    e.set_optimizer(OptimizerConfig {
+        pushdown: false,
+        track_lineage: true,
+        ..OptimizerConfig::default()
+    });
+    let r = e
+        .query(
+            r#"WHERE <bib><book><publisher>$n</publisher></book></bib> IN "bib",
+                     <row><id>$i</id><name>$n</name></row> IN "customers",
+                     <row><cust_id>$i</cust_id><total>$tot</total></row> IN "orders"
+               CONSTRUCT <x>$n</x>"#,
+        )
+        .unwrap();
+    assert!(!r.complete);
+    assert_eq!(r.missing_sources, vec!["crm", "feeds"]);
+    let prov = r.provenance.as_ref().unwrap();
+    assert_eq!(prov.missing, r.missing_sources);
+    assert!(prov.answers.is_empty());
+    // Skipped units still appear in the table, flagged as missing.
+    assert!(prov
+        .sources
+        .iter()
+        .all(|s| s.detail.starts_with("missing:")));
+}
+
+#[test]
+fn explain_analyze_annotates_source_sets_when_tracking() {
+    let e = engine();
+    e.set_optimizer(lineage_on());
+    let q = r#"WHERE <bib><book><publisher>$n</publisher><title>$t</title></book></bib> IN "bib",
+                     <row><name>$n</name><region>$r</region></row> IN "customers"
+               CONSTRUCT <hit>$t</hit>"#;
+    let analyzed = e.explain_analyze(q).unwrap();
+    assert!(analyzed.contains("[src="), "{}", analyzed);
+    // Off: no lineage annotations anywhere in the plan.
+    let e2 = engine();
+    let plain = e2.explain_analyze(q).unwrap();
+    assert!(!plain.contains("[src="), "{}", plain);
+}
+
+#[test]
+fn track_lineage_changes_the_config_fingerprint() {
+    assert_ne!(
+        lineage_on().fingerprint(),
+        OptimizerConfig::default().fingerprint()
+    );
+}
+
 #[test]
 fn prune_on_and_off_agree_on_satisfiable_queries() {
     // The analyzer's verdicts must agree with execution: for a mix of

@@ -54,8 +54,10 @@ pub mod planner;
 pub use catalog::Catalog;
 pub use cluster::{DispatchStrategy, EngineCluster};
 pub use engine::{
-    Engine, EngineConfig, OptimizerConfig, QueryResult, QueryStats, UnavailablePolicy,
+    Engine, EngineConfig, OptimizerConfig, ProvSource, Provenance, QueryResult, QueryStats,
+    UnavailablePolicy,
 };
+pub use nimble_algebra::LineageMask;
 pub use plan_cache::{PlanCache, PlanCacheStats, PlanStamp};
 pub use error::CoreError;
 

@@ -20,7 +20,7 @@ use crate::error::CoreError;
 use crate::matcher::{match_within, Bindings};
 use nimble_algebra::inspect::{OpInfo, OrderEffect, SchemaRule};
 use nimble_algebra::ops::Operator;
-use nimble_algebra::{CmpOp, ExecError, ScalarExpr, Schema, Tuple};
+use nimble_algebra::{CmpOp, ExecError, LineageMask, ScalarExpr, Schema, Tuple};
 use nimble_planck::{Fingerprint, RewriteRecord};
 use nimble_sources::query::PredOp;
 use nimble_sources::relational::RelationalAdapter;
@@ -260,11 +260,23 @@ pub fn plan_query(
         if !shipped.is_empty() {
             let mut after = shipped;
             after.extend(remaining.iter().map(|p| format!("{:?}", p)));
+            // Pushing a predicate relocates work, never a source: both
+            // sides carry the same source-label set for the provenance
+            // audit.
+            let srcs: Vec<String> = plan
+                .independents
+                .iter()
+                .filter_map(|a| a.source().map(str::to_string))
+                .collect();
             plan.rewrites.push(RewriteRecord::new(
                 "pushdown",
                 true,
-                Fingerprint::new(Vec::new()).with_extra(before),
-                Fingerprint::new(Vec::new()).with_extra(after),
+                Fingerprint::new(Vec::new())
+                    .with_extra(before)
+                    .with_sources(srcs.clone()),
+                Fingerprint::new(Vec::new())
+                    .with_extra(after)
+                    .with_sources(srcs),
             ));
         }
         plan.residual_predicates = remaining;
@@ -793,11 +805,27 @@ fn order_folds_by_cost(catalog: &Catalog, plan: &mut Plan) {
                 }
             }
         }
+        // Reordering folds permutes the fetch sequence; the set of
+        // sources answers draw from must survive exactly.
+        let before_srcs: Vec<String> = plan
+            .independents
+            .iter()
+            .filter_map(|a| a.source().map(str::to_string))
+            .collect();
+        let after_srcs: Vec<String> = order
+            .iter()
+            .filter_map(|&i| plan.independents.get(i))
+            .filter_map(|a| a.source().map(str::to_string))
+            .collect();
         plan.rewrites.push(RewriteRecord::new(
             "fold-reorder",
             false,
-            Fingerprint::new(before_cols).with_keys(keys.clone()),
-            Fingerprint::new(after_cols).with_keys(keys),
+            Fingerprint::new(before_cols)
+                .with_keys(keys.clone())
+                .with_sources(before_srcs),
+            Fingerprint::new(after_cols)
+                .with_keys(keys)
+                .with_sources(after_srcs),
         ));
     }
     plan.fold_order = order;
@@ -978,6 +1006,14 @@ pub struct BindPatternOp {
     pending: Vec<Tuple>,
     cursor: usize,
     rows_out: u64,
+    /// Lineage of emitted tuples (tracking iff the child tracks); every
+    /// row expanded from one input tuple inherits that tuple's mask —
+    /// navigation stays inside the element the source already supplied.
+    lin: Option<Vec<LineageMask>>,
+    /// Mask of the input tuple currently being expanded.
+    pending_mask: LineageMask,
+    /// Child emissions consumed so far.
+    consumed: usize,
 }
 
 impl BindPatternOp {
@@ -1010,6 +1046,9 @@ impl BindPatternOp {
             pending: Vec::new(),
             cursor: 0,
             rows_out: 0,
+            lin: None,
+            pending_mask: LineageMask::EMPTY,
+            consumed: 0,
         })
     }
 
@@ -1046,7 +1085,11 @@ impl Operator for BindPatternOp {
         self.rows_out = 0;
         self.pending.clear();
         self.cursor = 0;
-        self.child.open()
+        self.consumed = 0;
+        self.pending_mask = LineageMask::EMPTY;
+        self.child.open()?;
+        self.lin = self.child.lineage().map(|_| Vec::new());
+        Ok(())
     }
 
     fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
@@ -1054,12 +1097,25 @@ impl Operator for BindPatternOp {
             if self.cursor < self.pending.len() {
                 let t = self.pending[self.cursor].clone();
                 self.cursor += 1;
+                if let Some(lin) = &mut self.lin {
+                    lin.push(self.pending_mask);
+                }
                 self.rows_out += 1;
                 return Ok(Some(t));
             }
             match self.child.next()? {
                 None => return Ok(None),
                 Some(t) => {
+                    if self.lin.is_some() {
+                        let idx = self.consumed;
+                        self.pending_mask = self
+                            .child
+                            .lineage()
+                            .and_then(|l| l.get(idx))
+                            .copied()
+                            .unwrap_or_default();
+                    }
+                    self.consumed += 1;
                     self.pending = self.expand(&t);
                     self.cursor = 0;
                 }
@@ -1092,6 +1148,10 @@ impl Operator for BindPatternOp {
         OpInfo::new("BindPattern", SchemaRule::Extends(0))
             .with_order(OrderEffect::Preserves(0))
             .with_child_col(0, "bind-pattern input", self.on_col)
+    }
+
+    fn lineage(&self) -> Option<&[LineageMask]> {
+        self.lin.as_deref()
     }
 }
 

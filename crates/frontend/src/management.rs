@@ -78,6 +78,21 @@ pub struct PlanQualityRow {
     pub max_q: f64,
 }
 
+/// One row of the provenance report: how many answers a named source
+/// (or mediated view) contributed to across all lineage-tracked
+/// queries, next to how often the engine substituted stale cached data
+/// for it. Derived from the `engine.provenance.source_answers.*` and
+/// `source.stale_served.*` counter families.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceRow {
+    pub name: String,
+    /// Answers whose lineage touches this unit (lineage-tracked
+    /// queries only).
+    pub answers: u64,
+    /// Queries answered from a stale cached copy of this unit's data.
+    pub stale_served: u64,
+}
+
 /// Aggregated administrative view over one engine.
 pub struct ManagementConsole {
     engine: Arc<Engine>,
@@ -257,6 +272,28 @@ impl ManagementConsole {
         rows
     }
 
+    /// Per-source contribution table from lineage-tracked queries, most
+    /// answers first. Scans the dynamic `source_answers` counter family
+    /// rather than the catalog so mediated views that contributed also
+    /// get a row; empty when no query ran with lineage tracking on.
+    pub fn provenance(&self) -> Vec<ProvenanceRow> {
+        let snap = self.engine.metrics_snapshot();
+        let mut rows: Vec<ProvenanceRow> = snap
+            .counters
+            .iter()
+            .filter_map(|(name, &answers)| {
+                let unit = name.strip_prefix("engine.provenance.source_answers.")?;
+                Some(ProvenanceRow {
+                    name: unit.to_string(),
+                    answers,
+                    stale_served: snap.counter(&format!("source.stale_served.{}", unit)),
+                })
+            })
+            .collect();
+        rows.sort_by(|a, b| b.answers.cmp(&a.answers).then_with(|| a.name.cmp(&b.name)));
+        rows
+    }
+
     /// The whole inventory as an aligned text report.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -339,6 +376,26 @@ impl ManagementConsole {
                 snap.counter("plan.flips.build_side"),
                 snap.counter("plan.flips.parallel"),
                 snap.counter("plan.feedback.gross"),
+            );
+        }
+        let provenance = self.provenance();
+        if !provenance.is_empty() {
+            let snap = self.metrics_snapshot();
+            let _ = writeln!(out, "\n== provenance ==");
+            let _ = writeln!(out, "{:<20}{:>10}{:>14}", "source", "answers", "stale_served");
+            for row in provenance {
+                let _ = writeln!(
+                    out,
+                    "{:<20}{:>10}{:>14}",
+                    row.name, row.answers, row.stale_served
+                );
+            }
+            let _ = writeln!(
+                out,
+                "tracked queries: {}  answers: {}  stale answers: {}",
+                snap.counter("engine.provenance.tracked"),
+                snap.counter("engine.provenance.answers"),
+                snap.counter("engine.provenance.stale_answers"),
             );
         }
         let slow = self.slow_queries(5);
@@ -507,6 +564,34 @@ mod tests {
         let report = console.render();
         assert!(report.contains("== plan quality =="));
         assert!(report.contains("decision flips: build_side="));
+    }
+
+    #[test]
+    fn provenance_report_counts_contributions() {
+        let engine = engine();
+        let console = ManagementConsole::new(Arc::clone(&engine));
+        assert!(console.provenance().is_empty(), "no tracked queries yet");
+        assert!(!console.render().contains("== provenance =="));
+
+        engine.set_optimizer(nimble_core::OptimizerConfig {
+            track_lineage: true,
+            ..nimble_core::OptimizerConfig::default()
+        });
+        engine
+            .query(
+                r#"WHERE <row><name>$n</name><score>$s</score></row> IN "leads"
+                   CONSTRUCT <l>$n</l>"#,
+            )
+            .unwrap();
+        let rows = console.provenance();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "files");
+        assert_eq!(rows[0].answers, 2);
+        assert_eq!(rows[0].stale_served, 0);
+
+        let report = console.render();
+        assert!(report.contains("== provenance =="));
+        assert!(report.contains("tracked queries: 1"));
     }
 
     #[test]

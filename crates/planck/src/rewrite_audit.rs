@@ -38,6 +38,11 @@ pub struct Fingerprint {
     /// Rule-specific payload (e.g. pushed predicate renderings),
     /// compared as an unordered set.
     pub extra: Vec<String>,
+    /// Source labels feeding the plan fragment, compared as a set. A
+    /// meaning-preserving rewrite must not change *where* answers come
+    /// from — dropping or inventing a source here means provenance
+    /// (lineage key-sets) would silently shift under the rewrite.
+    pub sources: Vec<String>,
 }
 
 impl Fingerprint {
@@ -60,6 +65,11 @@ impl Fingerprint {
 
     pub fn with_extra(mut self, extra: Vec<String>) -> Fingerprint {
         self.extra = extra;
+        self
+    }
+
+    pub fn with_sources(mut self, sources: Vec<String>) -> Fingerprint {
+        self.sources = sources;
         self
     }
 }
@@ -152,6 +162,15 @@ pub fn audit(records: &[RewriteRecord]) -> Vec<PlanIssue> {
                 "rewrite payload changed: {{{}}} became {{{}}}",
                 r.before.extra.join(", "),
                 r.after.extra.join(", ")
+            ));
+        }
+
+        if as_set(&r.before.sources) != as_set(&r.after.sources) {
+            report(format!(
+                "source set changed across the rewrite: {{{}}} became {{{}}} \
+                 — provenance would misattribute answers",
+                r.before.sources.join(", "),
+                r.after.sources.join(", ")
             ));
         }
     }
@@ -257,6 +276,27 @@ mod tests {
         let issues = audit(&[r]);
         assert_eq!(issues.len(), 1);
         assert!(issues[0].detail.contains("payload changed"));
+    }
+
+    #[test]
+    fn changed_source_set_is_caught() {
+        let r = RewriteRecord::new(
+            "fold-reorder",
+            false,
+            Fingerprint::new(cols(&["a", "b"])).with_sources(cols(&["crm", "billing"])),
+            Fingerprint::new(cols(&["b", "a"])).with_sources(cols(&["crm"])),
+        );
+        let issues = audit(&[r]);
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].detail.contains("source set changed"));
+        // A permutation of the same sources is fine.
+        let r = RewriteRecord::new(
+            "fold-reorder",
+            false,
+            Fingerprint::new(cols(&["a", "b"])).with_sources(cols(&["crm", "billing"])),
+            Fingerprint::new(cols(&["b", "a"])).with_sources(cols(&["billing", "crm"])),
+        );
+        assert!(audit(&[r]).is_empty());
     }
 
     #[test]

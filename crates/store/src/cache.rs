@@ -4,12 +4,16 @@ use nimble_xml::Document;
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 struct Entry {
     doc: Arc<Document>,
     size: usize,
     /// Recency stamp from the cache's internal counter.
     last_used: u64,
+    /// Wall-clock insertion time; replacing a key resets it. Lets
+    /// stale-fallback consumers report how old served data is.
+    inserted: Instant,
 }
 
 /// Statistics exported for experiments.
@@ -97,19 +101,26 @@ impl ResultCache {
 
     /// Look up a result, refreshing its recency.
     pub fn get(&self, key: &str) -> Option<Arc<Document>> {
+        self.get_with_age(key).map(|(doc, _)| doc)
+    }
+
+    /// Like [`get`](ResultCache::get), also reporting how long ago the
+    /// entry was inserted — the "staleness" a fallback consumer surfaces
+    /// in provenance reports.
+    pub fn get_with_age(&self, key: &str) -> Option<(Arc<Document>, Duration)> {
         let mut inner = self.inner.lock();
         let found = inner
             .entries
             .get_key_value(key)
-            .map(|(k, e)| (Arc::clone(k), Arc::clone(&e.doc)));
+            .map(|(k, e)| (Arc::clone(k), Arc::clone(&e.doc), e.inserted.elapsed()));
         match found {
-            Some((k, doc)) => {
+            Some((k, doc, age)) => {
                 let tick = inner.touch(&k);
                 if let Some(e) = inner.entries.get_mut(&k) {
                     e.last_used = tick;
                 }
                 inner.hits += 1;
-                Some(doc)
+                Some((doc, age))
             }
             None => {
                 inner.misses += 1;
@@ -143,6 +154,7 @@ impl ResultCache {
                 doc,
                 size,
                 last_used: tick,
+                inserted: Instant::now(),
             },
         );
     }
@@ -260,6 +272,20 @@ mod tests {
         assert!(c.get("b").is_none());
         assert!(c.get("c").is_some());
         assert!(c.get("d").is_some());
+    }
+
+    #[test]
+    fn age_reports_time_since_insert() {
+        let c = ResultCache::new(100);
+        assert!(c.get_with_age("q").is_none());
+        c.put("q", doc_of_size(2));
+        let (_, age) = c.get_with_age("q").unwrap();
+        assert!(age < Duration::from_secs(60));
+        // Replacing resets the insertion stamp.
+        c.put("q", doc_of_size(3));
+        let (doc, age2) = c.get_with_age("q").unwrap();
+        assert_eq!(doc.len(), 3);
+        assert!(age2 <= age + Duration::from_secs(60));
     }
 
     #[test]

@@ -88,6 +88,14 @@ pub fn query_log_entry_json(e: &QueryLogEntry) -> String {
         e.complete,
         e.from_cache,
     );
+    let _ = write!(out, ",\"stale\":{},\"missing_sources\":[", e.stale);
+    for (i, s) in e.missing_sources.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\"", json_escape(s));
+    }
+    out.push(']');
     match &e.error {
         Some(err) => {
             let _ = write!(out, ",\"error\":\"{}\"}}", json_escape(err));
@@ -181,6 +189,8 @@ mod tests {
             tuples: 0,
             complete: false,
             from_cache: false,
+            stale: true,
+            missing_sources: vec!["billing".into(), "crm".into()],
             error: Some("source".into()),
         });
         let entries = log.recent(10);
@@ -190,7 +200,11 @@ mod tests {
         assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
         assert!(lines[0].contains("\"error\":\"source\""));
         assert!(lines[0].contains("\\\"quoted\\\""));
+        assert!(lines[0].contains("\"stale\":true"));
+        assert!(lines[0].contains("\"missing_sources\":[\"billing\",\"crm\"]"));
         assert!(lines[1].contains("\"error\":null"));
+        assert!(lines[1].contains("\"stale\":false"));
+        assert!(lines[1].contains("\"missing_sources\":[]"));
     }
 
     #[test]

@@ -33,6 +33,14 @@ pub struct FlightRecord {
     pub elapsed_ms: f64,
     pub tuples: usize,
     pub complete: bool,
+    /// At least one unavailable source was answered from stale cache.
+    pub stale: bool,
+    /// Sources that contributed nothing (sorted, deduplicated).
+    pub missing_sources: Vec<String>,
+    /// Indices (in document order) of the answers whose lineage touches
+    /// a stale-served source — empty when lineage tracking was off or
+    /// nothing was stale.
+    pub affected_answers: Vec<usize>,
     /// Error-kind and message when the query failed outright.
     pub error: Option<String>,
     /// EXPLAIN rendering of the physical plan (empty when the query
@@ -70,6 +78,21 @@ impl FlightRecord {
             self.tuples,
             self.complete,
         );
+        let _ = write!(out, "\"stale\":{},\"missing_sources\":[", self.stale);
+        for (i, s) in self.missing_sources.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", json_escape(s));
+        }
+        out.push_str("],\"affected_answers\":[");
+        for (i, a) in self.affected_answers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}", a);
+        }
+        out.push_str("],");
         match &self.error {
             Some(e) => {
                 let _ = write!(out, "\"error\":\"{}\",", json_escape(e));
@@ -190,6 +213,9 @@ mod tests {
             elapsed_ms,
             tuples: 3,
             complete: error.is_none(),
+            stale: false,
+            missing_sources: vec!["press".into()],
+            affected_answers: vec![0, 2],
             error: error.map(String::from),
             plan: "-- pushed\nValues [a]".into(),
             spans: vec![SpanView {
@@ -249,6 +275,9 @@ mod tests {
             assert!(line.contains("\"source_calls\":["));
             assert!(line.contains("\"resource\":{\"alloc_bytes\":2048"));
             assert!(line.contains("\"worst_qerror_op\":\"hash join\""));
+            assert!(line.contains("\"stale\":false"));
+            assert!(line.contains("\"missing_sources\":[\"press\"]"));
+            assert!(line.contains("\"affected_answers\":[0,2]"));
         }
         assert!(lines[0].contains(&TraceId(1).to_string()));
         assert!(lines[1].contains("crm offline"));

@@ -28,6 +28,12 @@ pub struct QueryLogEntry {
     pub complete: bool,
     /// Served from the whole-query result cache.
     pub from_cache: bool,
+    /// At least one unavailable source was answered from stale cached
+    /// data (§3.4 stale-fallback).
+    pub stale: bool,
+    /// Sources that contributed nothing (unavailable and not served
+    /// stale), sorted and deduplicated by the recorder.
+    pub missing_sources: Vec<String>,
     /// Error-kind string when the query failed outright (failed
     /// queries are logged too — they are exactly the ones an operator
     /// needs to find later).
@@ -43,6 +49,8 @@ pub struct QueryEvent {
     pub tuples: usize,
     pub complete: bool,
     pub from_cache: bool,
+    pub stale: bool,
+    pub missing_sources: Vec<String>,
     pub error: Option<String>,
 }
 
@@ -97,6 +105,8 @@ impl QueryLog {
             tuples,
             complete,
             from_cache,
+            stale: false,
+            missing_sources: Vec::new(),
             error: None,
         })
     }
@@ -116,6 +126,8 @@ impl QueryLog {
             tuples: event.tuples,
             complete: event.complete,
             from_cache: event.from_cache,
+            stale: event.stale,
+            missing_sources: event.missing_sources,
             error: event.error,
         };
         if inner.ring.len() == self.capacity {
@@ -206,12 +218,16 @@ mod tests {
             tuples: 0,
             complete: false,
             from_cache: false,
+            stale: true,
+            missing_sources: vec!["billing".into()],
             error: Some("compile".into()),
         });
         let e = &log.recent(1)[0];
         assert_eq!(e.trace_id, 42);
         assert_eq!(e.error.as_deref(), Some("compile"));
         assert!(!e.complete);
+        assert!(e.stale);
+        assert_eq!(e.missing_sources, ["billing"]);
     }
 
     #[test]

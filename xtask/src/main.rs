@@ -38,7 +38,7 @@ const CATEGORIES: [&str; 4] = ["unwrap", "expect", "panic", "debug_assert"];
 /// occurrence is a regression to fix, not to ratchet.
 const VIOLATION_CATEGORIES: [&str; 2] = ["metric_drift", "lock_across_call"];
 const BASELINE_FILE: &str = "lint-baseline.toml";
-const METRIC_PREFIXES: [&str; 4] = ["engine.", "stats.", "plan_cache.", "plan."];
+const METRIC_PREFIXES: [&str; 5] = ["engine.", "stats.", "plan_cache.", "plan.", "source."];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,10 +54,14 @@ fn main() -> ExitCode {
 
 /// Benchmark artifacts the regression sentinel gates (basenames at the
 /// repo root, committed per PR).
-const BENCH_ARTIFACTS: [&str; 2] = ["BENCH_vectorized.json", "BENCH_observability.json"];
+const BENCH_ARTIFACTS: [&str; 3] = [
+    "BENCH_vectorized.json",
+    "BENCH_observability.json",
+    "BENCH_provenance.json",
+];
 
 /// The bench binaries that regenerate those artifacts, in order.
-const BENCH_BINS: [&str; 2] = ["exp_vectorized", "exp_observability"];
+const BENCH_BINS: [&str; 3] = ["exp_vectorized", "exp_observability", "exp_provenance"];
 
 /// Build a command for a workspace binary: the offline harness output
 /// (`target/manual/tests/<bin>`) when present — registry-less
