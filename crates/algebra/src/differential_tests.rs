@@ -1,0 +1,234 @@
+//! Deterministic differential tests for the interned-atom fast paths:
+//! the typed hash-join key, the cached-key vectorized sort, DISTINCT,
+//! and grouping must treat every coercion-class edge case exactly like
+//! the pre-interning string-rendered semantics. The edges under test:
+//!
+//! * `NaN` — all NaNs collapse to one join/group key.
+//! * `0.0` vs `-0.0` — distinct (their lexical forms differ).
+//! * `2^53` and `2^53 + 1` — the boundary where `i64` leaves the f64
+//!   numeric class for the exact-int class.
+//! * `""` — the empty string is a real string key, distinct from null.
+//! * `Sym` vs `Str` of the same content — interning is invisible.
+//! * Numeric strings (`"42"`, `" 42 "`) — coerce into the numeric
+//!   class, whitespace-trimmed.
+//!
+//! The offline-harness counterpart of the cargo-only proptest suites:
+//! these run everywhere, with fixed inputs.
+
+use crate::ops::{DistinctOp, GroupAggOp, HashJoinOp, JoinType, Operator, SortKey, SortOp, ValuesOp};
+use crate::run_to_vec;
+use crate::schema::{Schema, Tuple};
+use nimble_xml::{Atomic, Sym, Value};
+
+/// The edge atoms, as a reusable column of values.
+fn edge_values() -> Vec<Value> {
+    vec![
+        Value::Atomic(Atomic::Float(f64::NAN)),
+        Value::Atomic(Atomic::Float(0.0)),
+        Value::Atomic(Atomic::Float(-0.0)),
+        Value::Atomic(Atomic::Int(1 << 53)),
+        Value::Atomic(Atomic::Int((1i64 << 53) + 1)),
+        Value::Atomic(Atomic::Float((1u64 << 53) as f64)),
+        Value::Atomic(Atomic::Str(String::new())),
+        Value::Atomic(Atomic::Str("42".to_string())),
+        Value::Atomic(Atomic::Str(" 42 ".to_string())),
+        Value::Atomic(Atomic::Int(42)),
+        Value::Atomic(Atomic::Str("apple".to_string())),
+        Value::Atomic(Atomic::Sym(Sym::intern("apple"))),
+        Value::Atomic(Atomic::Str("pear".to_string())),
+        Value::Atomic(Atomic::Bool(true)),
+        Value::Atomic(Atomic::Bool(false)),
+        Value::Atomic(Atomic::Null),
+    ]
+}
+
+fn one_col_source(var: &str, vals: Vec<Value>) -> ValuesOp {
+    let schema = Schema::new(vec![var.to_string()]);
+    ValuesOp::new(schema, vals.into_iter().map(|v| vec![v]).collect())
+}
+
+/// Render a tuple to a comparable string: the lexical form of each
+/// value plus a tag separating the float/int/string classes is NOT
+/// used here on purpose — the point is observable output equality, and
+/// lexical forms are the observable output.
+fn render(t: &Tuple) -> String {
+    t.iter()
+        .map(|v| match v.atomize() {
+            Atomic::Null => "\u{0}null".to_string(),
+            other => other.lexical(),
+        })
+        .collect::<Vec<_>>()
+        .join("\u{1}")
+}
+
+fn rows_rendered(op: &mut dyn Operator) -> Vec<String> {
+    run_to_vec(op).unwrap().iter().map(render).collect()
+}
+
+#[test]
+fn typed_hash_join_matches_string_keyed_scalar_on_edges() {
+    // Scalar mode keys buckets on the rendered coercion-class string
+    // (the pre-interning semantics); vectorized mode uses the typed
+    // `(tag, bits)` key and the interner. Same build/probe inputs must
+    // produce the same multiset of joined rows.
+    let scalar = {
+        let mut op = HashJoinOp::new(
+            Box::new(one_col_source("l", edge_values())),
+            Box::new(one_col_source("r", edge_values())),
+            vec![0],
+            vec![0],
+            JoinType::Inner,
+        );
+        let mut rows = rows_rendered(&mut op);
+        rows.sort();
+        rows
+    };
+    let typed = {
+        let mut op = HashJoinOp::new(
+            Box::new(one_col_source("l", edge_values())),
+            Box::new(one_col_source("r", edge_values())),
+            vec![0],
+            vec![0],
+            JoinType::Inner,
+        )
+        .vectorized(false);
+        let mut rows = rows_rendered(&mut op);
+        rows.sort();
+        rows
+    };
+    assert_eq!(scalar, typed);
+    // Spot-check the semantics the classes promise: NaN self-joins
+    // (one collapsed key), "42"/" 42 "/42 cross-join as one numeric
+    // class, Sym("apple") joins Str("apple"), and 2^53 as float joins
+    // 2^53 as int but not 2^53 + 1.
+    let nan_pairs = scalar.iter().filter(|r| r.contains("NaN")).count();
+    assert_eq!(nan_pairs, 1, "all NaNs must collapse to one key");
+    let forty_two = scalar
+        .iter()
+        .filter(|r| r.split('\u{1}').all(|c| c.trim() == "42"))
+        .count();
+    assert_eq!(forty_two, 9, "three 42-class values must fully cross-join");
+    let apples = scalar
+        .iter()
+        .filter(|r| r.split('\u{1}').all(|c| c == "apple"))
+        .count();
+    assert_eq!(apples, 4, "Sym and Str apples must be one key");
+}
+
+#[test]
+fn hash_join_distinguishes_signed_zero_and_exact_ints() {
+    let mut op = HashJoinOp::new(
+        Box::new(one_col_source("l", edge_values())),
+        Box::new(one_col_source("r", edge_values())),
+        vec![0],
+        vec![0],
+        JoinType::Inner,
+    )
+    .vectorized(false);
+    let rows = rows_rendered(&mut op);
+    // -0.0 joins only itself; 0.0 joins only itself.
+    assert_eq!(rows.iter().filter(|r| r.starts_with("-0")).count(), 1);
+    // 2^53 appears twice in the input (int and float form) => a full
+    // 2x2 cross; 2^53 + 1 joins only itself (exact-int class).
+    let p53 = (1u64 << 53).to_string();
+    let p53_1 = ((1u64 << 53) + 1).to_string();
+    assert_eq!(
+        rows.iter()
+            .filter(|r| r.split('\u{1}').all(|c| c == p53))
+            .count(),
+        4
+    );
+    assert_eq!(
+        rows.iter()
+            .filter(|r| r.split('\u{1}').all(|c| c == p53_1))
+            .count(),
+        1
+    );
+    // The empty string joins itself but never null (and vice versa):
+    // the join key classes are `s{}` and `0`, which differ even though
+    // both render to empty text.
+    assert_eq!(rows.iter().filter(|r| *r == "\u{1}").count(), 1);
+    assert_eq!(
+        rows.iter()
+            .filter(|r| r.split('\u{1}').all(|c| c == "\u{0}null"))
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn vectorized_sort_matches_scalar_on_edges() {
+    let key = vec![SortKey {
+        column: 0,
+        descending: false,
+    }];
+    let mut scalar_op = SortOp::new(Box::new(one_col_source("x", edge_values())), key.clone());
+    let scalar = rows_rendered(&mut scalar_op);
+    let mut vec_op =
+        SortOp::new(Box::new(one_col_source("x", edge_values())), key).vectorized(false);
+    let vectorized = rows_rendered(&mut vec_op);
+    assert_eq!(scalar, vectorized);
+}
+
+#[test]
+fn distinct_treats_sym_and_str_identically() {
+    let vals = vec![
+        Value::Atomic(Atomic::Str("apple".to_string())),
+        Value::Atomic(Atomic::Sym(Sym::intern("apple"))),
+        Value::Atomic(Atomic::Str(String::new())),
+        Value::Atomic(Atomic::Null),
+        Value::Atomic(Atomic::Float(f64::NAN)),
+        Value::Atomic(Atomic::Float(f64::NAN)),
+        Value::Atomic(Atomic::Float(0.0)),
+        Value::Atomic(Atomic::Float(-0.0)),
+    ];
+    let mut op = DistinctOp::new(Box::new(one_col_source("x", vals)));
+    let rows = rows_rendered(&mut op);
+    // DISTINCT keys on the *lexical* form (unchanged pre-interning
+    // semantics): Sym/Str apples merge, NaNs merge, null merges with
+    // the empty string (both render to empty text), 0.0 and -0.0 stay
+    // apart => 5 rows.
+    assert_eq!(rows.len(), 5, "rows: {:?}", rows);
+    assert_eq!(rows.iter().filter(|r| *r == "apple").count(), 1);
+    assert_eq!(rows.iter().filter(|r| r.contains("NaN")).count(), 1);
+}
+
+#[test]
+fn group_keys_preserve_coercion_edges() {
+    // Group a count over the edge column: group cardinality is exactly
+    // DISTINCT cardinality under lexical-key semantics.
+    let vals = vec![
+        Value::Atomic(Atomic::Str("x".to_string())),
+        Value::Atomic(Atomic::Sym(Sym::intern("x"))),
+        Value::Atomic(Atomic::Float(f64::NAN)),
+        Value::Atomic(Atomic::Float(f64::NAN)),
+        Value::Atomic(Atomic::Float(0.0)),
+        Value::Atomic(Atomic::Float(-0.0)),
+        Value::Atomic(Atomic::Str(String::new())),
+        Value::Atomic(Atomic::Null),
+    ];
+    let src = one_col_source("x", vals);
+    let mut op = GroupAggOp::new(
+        Box::new(src),
+        vec![0],
+        vec![crate::ops::AggSpec {
+            func: crate::AggFunc::Count,
+            input: None,
+            output: "n".to_string(),
+        }],
+    );
+    let rows = run_to_vec(&mut op).unwrap();
+    // Lexical group keys (unchanged pre-interning semantics): x
+    // (Sym+Str merged), NaN (merged), 0.0, -0.0, ""+null (both render
+    // empty) => 5 groups.
+    assert_eq!(rows.len(), 5, "groups: {:?}", rows);
+    let counts: Vec<i64> = rows
+        .iter()
+        .map(|t| match t[1].atomize() {
+            Atomic::Int(i) => i,
+            other => panic!("count must be an int, got {:?}", other),
+        })
+        .collect();
+    assert_eq!(counts.iter().sum::<i64>(), 8);
+    assert_eq!(counts.iter().filter(|&&c| c == 2).count(), 3);
+}

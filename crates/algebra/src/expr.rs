@@ -268,7 +268,9 @@ fn coerce_num(a: &Atomic) -> Option<f64> {
     match a {
         Atomic::Int(i) => Some(*i as f64),
         Atomic::Float(f) => Some(*f),
-        Atomic::Str(s) => s.trim().parse::<f64>().ok(),
+        Atomic::Str(_) | Atomic::Sym(_) => {
+            a.as_str().and_then(|s| s.trim().parse::<f64>().ok())
+        }
         _ => None,
     }
 }

@@ -58,10 +58,13 @@ fn num_arg(func: &str, args: &[Value], i: usize) -> Result<f64, ExecError> {
     match a {
         Atomic::Int(v) => Ok(v as f64),
         Atomic::Float(v) => Ok(v),
-        Atomic::Str(s) => s.trim().parse().map_err(|_| ExecError::FunctionArgs {
-            func: func.into(),
-            message: format!("argument {} is not numeric: {:?}", i, s),
-        }),
+        Atomic::Str(_) | Atomic::Sym(_) => {
+            let s = a.as_str().unwrap_or("");
+            s.trim().parse().map_err(|_| ExecError::FunctionArgs {
+                func: func.into(),
+                message: format!("argument {} is not numeric: {:?}", i, s),
+            })
+        }
         other => Err(ExecError::FunctionArgs {
             func: func.into(),
             message: format!("argument {} is not numeric: {:?}", i, other),

@@ -68,7 +68,8 @@ impl FieldType {
             Value::Node(_) => FieldType::Element,
             Value::Atomic(a) => match a {
                 Atomic::Int(_) | Atomic::Float(_) => FieldType::Numeric,
-                Atomic::Str(s) => {
+                Atomic::Str(_) | Atomic::Sym(_) => {
+                    let s = a.as_str().unwrap_or("");
                     if s.trim().parse::<f64>().is_ok() {
                         FieldType::Numeric
                     } else {

@@ -49,6 +49,8 @@
 //! assert_eq!(rows.len(), 3);
 //! ```
 
+#[cfg(test)]
+mod differential_tests;
 pub mod error;
 pub mod expr;
 pub mod funcs;
@@ -60,6 +62,7 @@ pub mod schema;
 
 pub use error::ExecError;
 pub use expr::{AggFunc, ArithOp, CmpOp, ScalarExpr};
+pub use par::pool_stats;
 pub use funcs::FunctionRegistry;
 pub use inspect::{OpInfo, OrderEffect, SchemaRule};
 pub use lineage::LineageMask;

@@ -12,7 +12,7 @@ use crate::inspect::{OpInfo, SchemaRule};
 use crate::lineage::LineageMask;
 use crate::par;
 use crate::schema::{Schema, Tuple};
-use nimble_xml::Value;
+use nimble_xml::{Sym, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -246,10 +246,16 @@ pub struct HashJoinOp {
     /// row indices into this vector (no per-bucket tuple clones).
     build_rows: Vec<Tuple>,
     table_idx: HashMap<String, Vec<u32>>,
-    /// Typed single-column index: used instead of `table_idx` when every
-    /// build key is in [`numeric_key`]'s numeric class, skipping string
-    /// rendering on both build and probe.
-    typed_idx: HashMap<u64, Vec<u32>>,
+    /// Typed single-column index: used instead of `table_idx` for
+    /// single-column joins. [`typed_key_build`] maps every value class
+    /// to a tagged integer key (numeric bits, interned-symbol id, huge
+    /// int, bool, null), so neither build nor probe renders strings.
+    typed_idx: HashMap<(u8, u64), Vec<u32>>,
+    /// Partitioned typed index built in parallel on the worker pool
+    /// (non-empty replaces `typed_idx`): partition `part_of(key, n)`
+    /// owns the key, so build inserts race-free per partition and probe
+    /// hashes straight to the owner.
+    typed_parts: Vec<HashMap<(u8, u64), Vec<u32>>>,
     typed: bool,
     /// Reusable probe-key buffer (vectorized probe allocates no String
     /// per input row).
@@ -317,6 +323,19 @@ fn key_string_into(out: &mut String, tuple: &Tuple, cols: &[usize]) {
                     }
                 },
             },
+            nimble_xml::Atomic::Sym(sym) => {
+                let s = sym.as_str();
+                match s.trim().parse::<i64>() {
+                    Ok(i) => push_int(out, i),
+                    Err(_) => match s.trim().parse::<f64>() {
+                        Ok(f) => push_num(out, f),
+                        Err(_) => {
+                            out.push('s');
+                            out.push_str(s);
+                        }
+                    },
+                }
+            }
             nimble_xml::Atomic::Bool(b) => out.push_str(if b { "bt" } else { "bf" }),
             nimble_xml::Atomic::Null => out.push('0'),
         }
@@ -324,14 +343,31 @@ fn key_string_into(out: &mut String, tuple: &Tuple, cols: &[usize]) {
     }
 }
 
-/// Typed fast-path key for single-column joins: `Some(bits)` exactly
-/// when [`key_string_into`] would emit its numeric (`n{f}`) class for
-/// this value, with `bits` partitioning values identically to the
-/// formatted strings (all NaNs collapse to one key; `-0.0` stays
-/// distinct from `0.0`, matching their `Display` forms). Values outside
-/// the numeric class — huge ints, non-numeric strings, bools, nulls —
-/// return `None` and can never equal a numeric-class key.
-fn numeric_key(v: &Value) -> Option<u64> {
+/// Typed fast-path key for single-column joins: a `(class tag, bits)`
+/// pair partitioning values **identically** to [`key_string_into`]'s
+/// rendered classes, with no string rendering:
+///
+/// * tag 2, f64 bits — the numeric (`n{f}`) class: ints representable
+///   as f64, floats, and numeric-parsing strings. All NaNs collapse to
+///   one key; `-0.0` stays distinct from `0.0`, matching their
+///   `Display` forms.
+/// * tag 4, i64 bits — the exact-int (`ix{i}`) class for integers f64
+///   cannot represent.
+/// * tag 3, interned id — the string (`s{str}`) class; the build side
+///   interns, the probe side uses a non-inserting lookup (a string
+///   absent from the interner cannot equal any build key).
+/// * tags 1/0 — bools (`bt`/`bf`) and nulls (`0`).
+fn typed_key_build(v: &Value) -> (u8, u64) {
+    typed_key(v, true).unwrap_or((0, 0))
+}
+
+/// Probe-side companion of [`typed_key_build`]: `None` means the value
+/// cannot match any build-side key (its string was never interned).
+fn typed_key_probe(v: &Value) -> Option<(u8, u64)> {
+    typed_key(v, false)
+}
+
+fn typed_key(v: &Value, insert: bool) -> Option<(u8, u64)> {
     fn bits(f: f64) -> u64 {
         if f.is_nan() {
             f64::NAN.to_bits()
@@ -339,24 +375,89 @@ fn numeric_key(v: &Value) -> Option<u64> {
             f.to_bits()
         }
     }
-    fn int_bits(i: i64) -> Option<u64> {
+    fn int_key(i: i64) -> (u8, u64) {
         if (i as f64) as i64 == i {
-            Some(bits(i as f64))
+            (2, bits(i as f64))
         } else {
-            None
+            (4, i as u64)
+        }
+    }
+    fn str_key(s: &str, insert: bool) -> Option<(u8, u64)> {
+        let t = s.trim();
+        match t.parse::<i64>() {
+            Ok(i) => Some(int_key(i)),
+            Err(_) => match t.parse::<f64>() {
+                Ok(f) => Some((2, bits(f))),
+                Err(_) if insert => Some((3, Sym::intern(s).id() as u64)),
+                Err(_) => Sym::find(s).map(|sym| (3, sym.id() as u64)),
+            },
         }
     }
     match v.atomize() {
-        nimble_xml::Atomic::Int(i) => int_bits(i),
-        nimble_xml::Atomic::Float(f) => Some(bits(f)),
-        nimble_xml::Atomic::Str(s) => {
-            let t = s.trim();
-            match t.parse::<i64>() {
-                Ok(i) => int_bits(i),
-                Err(_) => t.parse::<f64>().ok().map(bits),
+        nimble_xml::Atomic::Int(i) => Some(int_key(i)),
+        nimble_xml::Atomic::Float(f) => Some((2, bits(f))),
+        nimble_xml::Atomic::Str(s) => str_key(&s, insert),
+        nimble_xml::Atomic::Sym(sym) => str_key(sym.as_str(), insert).or(Some((3, sym.id() as u64))),
+        nimble_xml::Atomic::Bool(b) => Some((1, b as u64)),
+        nimble_xml::Atomic::Null => Some((0, 0)),
+    }
+}
+
+/// Partition owner of a typed key: a multiply-shift hash over the tag
+/// and bits. Build and probe must agree, so this is the only place the
+/// partition function lives.
+fn part_of(k: &(u8, u64), n: usize) -> usize {
+    let h = (k.1 ^ ((k.0 as u64) << 56)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 32) as usize) % n
+}
+
+/// Build the typed index partitioned across the worker pool: every
+/// participant claims partitions off a cursor and inserts exactly the
+/// keys it owns (each scans the flat key vector — sequential reads —
+/// instead of contending on shared buckets). `None` when no pool
+/// exists or a participant panicked; the caller then inserts serially.
+fn build_partitioned(keys: &[(u8, u64)]) -> Option<Vec<HashMap<(u8, u64), Vec<u32>>>> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let pool = par::pool()?;
+    let n = pool.participants();
+    let parts: Vec<std::sync::Mutex<HashMap<(u8, u64), Vec<u32>>>> =
+        (0..n).map(|_| std::sync::Mutex::new(HashMap::new())).collect();
+    let cursor = AtomicUsize::new(0);
+    let ok = pool.run(&|_slot| loop {
+        let p = cursor.fetch_add(1, Ordering::Relaxed);
+        if p >= n {
+            break;
+        }
+        let mut map = parts[p].lock().unwrap_or_else(|e| e.into_inner());
+        for (i, k) in keys.iter().enumerate() {
+            if part_of(k, n) == p {
+                map.entry(*k).or_default().push(i as u32);
             }
         }
-        _ => None,
+    });
+    if !ok {
+        return None;
+    }
+    Some(
+        parts
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+            .collect(),
+    )
+}
+
+/// Bucket lookup across the two typed-index representations (a free
+/// function over exactly the index fields so probe loops can hold the
+/// bucket while pushing output and lineage).
+fn typed_lookup<'a>(
+    typed_idx: &'a HashMap<(u8, u64), Vec<u32>>,
+    typed_parts: &'a [HashMap<(u8, u64), Vec<u32>>],
+    k: (u8, u64),
+) -> Option<&'a Vec<u32>> {
+    if typed_parts.is_empty() {
+        typed_idx.get(&k)
+    } else {
+        typed_parts[part_of(&k, typed_parts.len())].get(&k)
     }
 }
 
@@ -386,6 +487,7 @@ impl HashJoinOp {
             build_rows: Vec::new(),
             table_idx: HashMap::new(),
             typed_idx: HashMap::new(),
+            typed_parts: Vec::new(),
             typed: false,
             key_buf: String::new(),
             scratch: Vec::new(),
@@ -445,6 +547,7 @@ impl Operator for HashJoinOp {
         self.build_rows.clear();
         self.table_idx.clear();
         self.typed_idx.clear();
+        self.typed_parts.clear();
         self.typed = false;
         self.mem_bytes = 0;
         self.par_prof = None;
@@ -462,12 +565,12 @@ impl Operator for HashJoinOp {
             // Snapshot before close: masks align 1:1 with `build_rows`,
             // so bucket row indices address them directly.
             self.build_lin = self.right.lineage().map(|l| l.to_vec());
-            // Single-column keys first try the typed index: no string
-            // rendering unless some build value falls outside the
-            // numeric class.
+            // Single-column keys always use the typed index: every
+            // value class has a tagged integer key, so no string is
+            // rendered on either side.
             if let [col] = self.right_keys[..] {
-                let extract = |_base: usize, chunk: &[Tuple]| -> Vec<Option<u64>> {
-                    chunk.iter().map(|t| numeric_key(&t[col])).collect()
+                let extract = |_base: usize, chunk: &[Tuple]| -> Vec<(u8, u64)> {
+                    chunk.iter().map(|t| typed_key_build(&t[col])).collect()
                 };
                 let keys = if self.parallel {
                     match par::par_chunks_profiled(&self.build_rows, extract) {
@@ -487,11 +590,20 @@ impl Operator for HashJoinOp {
                     None
                 }
                 .unwrap_or_else(|| extract(0, &self.build_rows));
-                if keys.iter().all(Option::is_some) {
-                    self.typed = true;
-                    self.typed_idx.reserve(keys.len());
-                    for (i, k) in keys.into_iter().enumerate() {
-                        if let Some(k) = k {
+                self.typed = true;
+                // Large parallel builds also insert in parallel: each
+                // pool participant owns a key partition, so no bucket
+                // is ever contended.
+                let partitioned = if self.parallel && keys.len() >= par::PAR_THRESHOLD {
+                    build_partitioned(&keys)
+                } else {
+                    None
+                };
+                match partitioned {
+                    Some(parts) => self.typed_parts = parts,
+                    None => {
+                        self.typed_idx.reserve(keys.len());
+                        for (i, k) in keys.into_iter().enumerate() {
                             self.typed_idx.entry(k).or_default().push(i as u32);
                         }
                     }
@@ -523,7 +635,9 @@ impl Operator for HashJoinOp {
             }
             let bucket_slots = (self.build_rows.len() * std::mem::size_of::<u32>()) as u64;
             let entries = if self.typed {
-                (self.typed_idx.len() * std::mem::size_of::<(u64, Vec<u32>)>()) as u64
+                let slots = self.typed_idx.len()
+                    + self.typed_parts.iter().map(HashMap::len).sum::<usize>();
+                (slots * std::mem::size_of::<((u8, u64), Vec<u32>)>()) as u64
             } else {
                 (self.table_idx.len() * std::mem::size_of::<(String, Vec<u32>)>()) as u64
             };
@@ -600,8 +714,9 @@ impl Operator for HashJoinOp {
                     };
                     if self.vectorized {
                         let idxs = if self.typed {
-                            numeric_key(&left[self.left_keys[0]])
-                                .and_then(|k| self.typed_idx.get(&k))
+                            typed_key_probe(&left[self.left_keys[0]]).and_then(|k| {
+                                typed_lookup(&self.typed_idx, &self.typed_parts, k)
+                            })
                         } else {
                             let k = key_string(&left, &self.left_keys);
                             self.table_idx.get(&k)
@@ -727,7 +842,8 @@ impl Operator for HashJoinOp {
                     None
                 };
                 let idxs = if self.typed {
-                    numeric_key(&left[self.left_keys[0]]).and_then(|k| self.typed_idx.get(&k))
+                    typed_key_probe(&left[self.left_keys[0]])
+                        .and_then(|k| typed_lookup(&self.typed_idx, &self.typed_parts, k))
                 } else {
                     self.key_buf.clear();
                     key_string_into(&mut self.key_buf, &left, &self.left_keys);
@@ -794,6 +910,8 @@ impl Operator for HashJoinOp {
         self.build_lin = None;
         self.table_lin = None;
         self.table_idx.clear();
+        self.typed_idx.clear();
+        self.typed_parts.clear();
         self.scratch = Vec::new();
     }
 

@@ -146,7 +146,7 @@ impl SortOp {
         }
         .unwrap_or_else(|| extract(0, &self.buffer));
         let dirs: Vec<bool> = keys.iter().map(|k| k.descending).collect();
-        keyed.sort_unstable_by(|(ka, ia), (kb, ib)| {
+        let cmp = |(ka, ia): &(Vec<Atomic>, usize), (kb, ib): &(Vec<Atomic>, usize)| {
             for ((a, b), desc) in ka.iter().zip(kb.iter()).zip(&dirs) {
                 let ord = a.total_cmp(b);
                 let ord = if *desc { ord.reverse() } else { ord };
@@ -155,7 +155,20 @@ impl SortOp {
                 }
             }
             ia.cmp(ib)
-        });
+        };
+        // Parallel path: chunk-sort the keyed rows on the pool, k-way
+        // merge on this thread. The input-index tiebreak makes `cmp` a
+        // total order, so the merge is deterministic.
+        let pool = (self.parallel && keyed.len() >= par::PAR_THRESHOLD)
+            .then(par::pool)
+            .flatten();
+        let keyed = match pool {
+            Some(p) => par::par_sort_on(p, keyed, &cmp),
+            None => {
+                keyed.sort_unstable_by(cmp);
+                keyed
+            }
+        };
         let mut sorted = Vec::with_capacity(self.buffer.len());
         let mut sorted_lin = self
             .lin

@@ -1,20 +1,48 @@
-//! Scoped-thread parallelism for batch kernels (hash-join build key
-//! extraction, sort-key extraction).
+//! Morsel-driven parallelism for batch kernels (hash-join build key
+//! extraction and partitioned index build, sort-key extraction and
+//! chunk sort).
 //!
-//! Deliberately tiny: fixed fork/join over chunks of a slice using
-//! `std::thread::scope`, no pools, no work stealing. Callers always keep
-//! a serial path — [`par_chunks`] returns `None` below the profitability
-//! threshold, when only one core is available, or if a worker panicked,
-//! and the caller falls back to the serial kernel.
+//! One process-wide pool of persistent workers replaces the previous
+//! per-operator `std::thread::scope` fork/join: operators submit a
+//! *job* (a closure every participant runs once), and participants pull
+//! fixed-size **morsels** off a shared atomic cursor until the input is
+//! exhausted. The submitting thread participates too, so a pool of
+//! `N - 1` workers saturates `N` cores and a round trip never blocks on
+//! a thread spawn.
+//!
+//! Callers always keep a serial path — [`par_chunks_profiled`] returns
+//! `None` below the profitability threshold, when fewer than two
+//! participants are available, or if any participant panicked, and the
+//! caller falls back to the serial kernel (which will surface a
+//! deterministic panic or error if the input itself is at fault).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::thread;
 
-/// Inputs smaller than this are not worth a fork/join round trip.
-pub(crate) const PAR_THRESHOLD: usize = 2048;
+/// Inputs smaller than this are not worth a fork/join round trip. With
+/// persistent workers the round trip is two condvar signals, so the
+/// bar sits far below the old spawn-per-operator threshold.
+pub(crate) const PAR_THRESHOLD: usize = 512;
 
-/// Upper bound on workers — the kernels parallelized here are
-/// memory-bound string/key extraction, which stops scaling early.
+/// Rows per morsel: small enough that a skewed chunk cannot strand one
+/// participant with half the input, big enough that the cursor
+/// `fetch_add` amortizes to nothing.
+pub(crate) const MORSEL_SIZE: usize = 1024;
+
+/// Upper bound on participants (pool workers + the submitting thread) —
+/// the kernels parallelized here are memory-bound key extraction, which
+/// stops scaling early.
 const MAX_WORKERS: usize = 8;
+
+/// Recover a poisoned pool lock: a worker panic already marks the
+/// round as failed, so the state itself is never half-written.
+macro_rules! pool_lock {
+    ($m:expr) => {
+        $m.lock().unwrap_or_else(|e| e.into_inner())
+    };
+}
 
 /// Worker count for this machine (1 when parallelism is unavailable).
 pub(crate) fn workers() -> usize {
@@ -24,14 +52,191 @@ pub(crate) fn workers() -> usize {
         .min(MAX_WORKERS)
 }
 
-/// Map `f` over equal chunks of `items` on scoped threads, concatenating
-/// the per-chunk outputs in input order. `f` receives the chunk's base
-/// index into `items` plus the chunk itself.
+/// A published job: a fat pointer to the submitter's stack closure.
+/// Valid only while the submitter blocks in [`WorkerPool::run`], which
+/// never returns before every participant has finished the round.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+unsafe impl Send for JobPtr {}
+
+struct PoolState {
+    job: Option<JobPtr>,
+    /// Round number; each worker runs each round at most once.
+    generation: u64,
+    /// Workers still owing a finish for the current round.
+    active: usize,
+    /// A participant panicked during the current round.
+    panicked: bool,
+}
+
+/// A persistent pool of workers driving morsel jobs.
 ///
-/// Returns `None` when the input is too small, fewer than two workers
-/// are available, or any worker panicked — callers must then run their
-/// serial kernel instead (which will surface a deterministic panic or
-/// error if the input itself is at fault).
+/// The process-wide instance behind [`par_chunks_profiled`] is sized to
+/// the machine; tests build small private pools to exercise the
+/// parallel path on single-core hosts.
+pub struct WorkerPool {
+    m: Mutex<PoolState>,
+    /// Wakes workers when a round is published.
+    work_cv: Condvar,
+    /// Wakes the submitter when the last worker finishes a round.
+    done_cv: Condvar,
+    /// Serializes submitters: one round in flight at a time.
+    submit: Mutex<()>,
+    /// Workers actually running (spawn failures just shrink the pool).
+    live: AtomicUsize,
+    /// Fork/join rounds completed (telemetry).
+    rounds: AtomicU64,
+    /// Morsels pulled across all rounds (telemetry).
+    morsels: AtomicU64,
+}
+
+impl WorkerPool {
+    /// Spawn a pool with `extra_workers` persistent threads (the
+    /// submitting thread is participant 0, so total parallelism is
+    /// `extra_workers + 1`). Workers park on a condvar between rounds.
+    pub fn new(extra_workers: usize) -> &'static WorkerPool {
+        let pool = Box::leak(Box::new(WorkerPool {
+            m: Mutex::new(PoolState {
+                job: None,
+                generation: 0,
+                active: 0,
+                panicked: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            submit: Mutex::new(()),
+            live: AtomicUsize::new(0),
+            rounds: AtomicU64::new(0),
+            morsels: AtomicU64::new(0),
+        }));
+        let spawned: &'static WorkerPool = pool;
+        let mut live = 0;
+        for slot in 1..=extra_workers {
+            let p: &'static WorkerPool = spawned;
+            // Worker threads are daemons: they live for the process and
+            // park between rounds, so handles are not retained.
+            if thread::Builder::new()
+                .name(format!("nimble-pool-{}", slot))
+                .spawn(move || p.worker_loop(slot))
+                .is_ok()
+            {
+                live += 1;
+            }
+        }
+        spawned.live.store(live, Ordering::SeqCst);
+        spawned
+    }
+
+    /// Participants a round can use (pool workers + the submitter).
+    pub fn participants(&self) -> usize {
+        self.live.load(Ordering::SeqCst) + 1
+    }
+
+    fn worker_loop(&'static self, slot: usize) {
+        let mut seen = 0u64;
+        loop {
+            let job = {
+                let mut st = pool_lock!(self.m);
+                loop {
+                    if st.generation != seen {
+                        if let Some(j) = st.job {
+                            seen = st.generation;
+                            break j;
+                        }
+                    }
+                    st = self
+                        .work_cv
+                        .wait(st)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            let ok = catch_unwind(AssertUnwindSafe(|| (unsafe { &*job.0 })(slot)));
+            let mut st = pool_lock!(self.m);
+            if ok.is_err() {
+                st.panicked = true;
+            }
+            st.active -= 1;
+            if st.active == 0 {
+                st.job = None;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Run `job(slot)` once on every participant (the calling thread is
+    /// slot 0) and wait for all of them. Returns `false` if any
+    /// participant panicked — the caller must then fall back to its
+    /// serial kernel. Never returns while a worker still holds the job
+    /// pointer, which is what makes publishing a stack closure sound.
+    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) -> bool {
+        let _turn = pool_lock!(self.submit);
+        {
+            // Erase the borrow lifetime: `JobPtr` defaults to `+ 'static`,
+            // but the pointer is only ever dereferenced before this call
+            // returns (see the doc invariant above).
+            let ptr: *const (dyn Fn(usize) + Sync) = job;
+            let ptr: *const (dyn Fn(usize) + Sync + 'static) =
+                unsafe { std::mem::transmute(ptr) };
+            let mut st = pool_lock!(self.m);
+            st.job = Some(JobPtr(ptr));
+            st.generation = st.generation.wrapping_add(1);
+            st.active = self.live.load(Ordering::SeqCst);
+            st.panicked = false;
+        }
+        self.work_cv.notify_all();
+        let caller_ok = catch_unwind(AssertUnwindSafe(|| job(0))).is_ok();
+        let mut st = pool_lock!(self.m);
+        while st.active > 0 {
+            st = self
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        st.job = None;
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+        caller_ok && !st.panicked
+    }
+}
+
+/// The process-wide pool, or `None` on single-core machines (parallel
+/// sections then decline and callers run their serial kernels).
+/// `NIMBLE_POOL_WORKERS` overrides the participant count (useful to
+/// exercise the pool on CI hosts that report one core).
+pub fn pool() -> Option<&'static WorkerPool> {
+    static POOL: OnceLock<Option<&'static WorkerPool>> = OnceLock::new();
+    *POOL.get_or_init(|| {
+        let participants = std::env::var("NIMBLE_POOL_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(workers)
+            .min(MAX_WORKERS);
+        if participants < 2 {
+            return None;
+        }
+        Some(WorkerPool::new(participants - 1))
+    })
+}
+
+/// Pool telemetry snapshot: `(participants, rounds, morsels)`. All
+/// zeros when no pool exists (single-core host).
+pub fn pool_stats() -> (usize, u64, u64) {
+    match pool() {
+        Some(p) => (
+            p.participants(),
+            p.rounds.load(Ordering::Relaxed),
+            p.morsels.load(Ordering::Relaxed),
+        ),
+        None => (0, 0, 0),
+    }
+}
+
+/// Map `f` over morsels of `items` on the pool, concatenating the
+/// per-morsel outputs in input order. `f` receives the morsel's base
+/// index into `items` plus the morsel itself.
+///
+/// Returns `None` when the input is too small, no pool exists (single
+/// core), or any participant panicked — callers must then run their
+/// serial kernel instead.
 #[cfg_attr(not(test), allow(dead_code))] // operators call the profiled variant
 pub(crate) fn par_chunks<T, R, F>(items: &[T], f: F) -> Option<Vec<R>>
 where
@@ -42,11 +247,11 @@ where
     par_chunks_profiled(items, f).map(|(out, _)| out)
 }
 
-/// [`par_chunks`] plus per-worker busy times: each spawned worker
-/// measures its own wall-clock from entry to exit, so the caller can
-/// surface thread utilization (and imbalance) instead of guessing it
-/// from end-to-end time. Returns `None` under exactly the same
-/// conditions as [`par_chunks`].
+/// [`par_chunks`] plus per-participant busy times: each participant
+/// measures its own wall-clock over the morsels it ran, so the caller
+/// can surface utilization (and imbalance) instead of guessing it from
+/// end-to-end time. Returns `None` under exactly the same conditions
+/// as [`par_chunks`].
 pub(crate) fn par_chunks_profiled<T, R, F>(
     items: &[T],
     f: F,
@@ -56,93 +261,252 @@ where
     R: Send,
     F: Fn(usize, &[T]) -> Vec<R> + Sync,
 {
-    let workers = workers();
-    if items.len() < PAR_THRESHOLD || workers < 2 {
+    let pool = pool()?;
+    if items.len() < PAR_THRESHOLD {
         return None;
     }
-    let chunk = items.len().div_ceil(workers);
-    let f = &f;
-    thread::scope(|s| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .enumerate()
-            .map(|(i, c)| {
-                s.spawn(move || {
-                    let start = std::time::Instant::now();
-                    let part = f(i * chunk, c);
-                    let busy_us =
-                        start.elapsed().as_micros().min(u64::MAX as u128) as u64;
-                    (part, busy_us)
-                })
-            })
-            .collect();
-        let mut out = Vec::with_capacity(items.len());
-        let mut busy = Vec::with_capacity(handles.len());
-        for h in handles {
-            match h.join() {
-                Ok((part, busy_us)) => {
-                    out.extend(part);
-                    busy.push(busy_us);
-                }
-                Err(_) => return None,
+    par_chunks_on(pool, items, f)
+}
+
+/// [`par_chunks_profiled`] on an explicit pool, with no size gate —
+/// the building block tests use to drive the parallel path
+/// deterministically.
+pub(crate) fn par_chunks_on<T, R, F>(
+    pool: &WorkerPool,
+    items: &[T],
+    f: F,
+) -> Option<(Vec<R>, crate::ops::ParProfile)>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> Vec<R> + Sync,
+{
+    let participants = pool.participants();
+    let cursor = AtomicUsize::new(0);
+    let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+    let busy: Vec<AtomicU64> = (0..participants).map(|_| AtomicU64::new(0)).collect();
+    let pulled = AtomicU64::new(0);
+    let job = |slot: usize| {
+        let start = std::time::Instant::now();
+        let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+        loop {
+            let m = cursor.fetch_add(1, Ordering::Relaxed);
+            let base = m * MORSEL_SIZE;
+            if base >= items.len() {
+                break;
+            }
+            let end = (base + MORSEL_SIZE).min(items.len());
+            local.push((m, f(base, &items[base..end])));
+        }
+        if !local.is_empty() {
+            pulled.fetch_add(local.len() as u64, Ordering::Relaxed);
+            pool_lock!(parts).extend(local);
+        }
+        let busy_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        if let Some(b) = busy.get(slot) {
+            b.store(busy_us, Ordering::Relaxed);
+        }
+    };
+    if !pool.run(&job) {
+        return None;
+    }
+    pool.morsels
+        .fetch_add(pulled.load(Ordering::Relaxed), Ordering::Relaxed);
+    let mut parts = parts.into_inner().unwrap_or_else(|e| e.into_inner());
+    parts.sort_unstable_by_key(|(m, _)| *m);
+    let mut out = Vec::with_capacity(items.len());
+    for (_, p) in parts {
+        out.extend(p);
+    }
+    let profile = crate::ops::ParProfile {
+        workers: participants,
+        busy_us: busy.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+    };
+    Some((out, profile))
+}
+
+/// Sort `items` on a pool: split into one contiguous run per
+/// participant, sort runs in parallel, then k-way merge on the calling
+/// thread (k ≤ [`MAX_WORKERS`], so the per-element head scan stays
+/// cheaper than the comparisons a full sort would spend). Always
+/// returns the fully sorted vector — a panicked round falls back to a
+/// serial sort internally. `cmp` must be a total order; the k-way merge
+/// is stable across runs, so a last-position tiebreak in `cmp` keeps
+/// the result deterministic.
+pub(crate) fn par_sort_on<T, C>(pool: &WorkerPool, items: Vec<T>, cmp: &C) -> Vec<T>
+where
+    T: Send,
+    C: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+{
+    let n = pool.participants();
+    let len = items.len();
+    let chunk = len.div_ceil(n).max(1);
+    let mut runs: Vec<Vec<T>> = Vec::with_capacity(n);
+    let mut rest = items;
+    while rest.len() > chunk {
+        let tail = rest.split_off(chunk);
+        runs.push(rest);
+        rest = tail;
+    }
+    runs.push(rest);
+    let slots: Vec<Mutex<Vec<T>>> = runs.into_iter().map(Mutex::new).collect();
+    let cursor = AtomicUsize::new(0);
+    let ok = pool.run(&|_slot| loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= slots.len() {
+            break;
+        }
+        pool_lock!(slots[i]).sort_unstable_by(cmp);
+    });
+    let runs: Vec<Vec<T>> = slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+        .collect();
+    if !ok {
+        // A participant panicked (a panicking comparator would panic
+        // serially too — re-run it serially so the caller sees the
+        // deterministic behavior). Runs may be part-sorted; flatten and
+        // sort from scratch.
+        let mut all: Vec<T> = runs.into_iter().flatten().collect();
+        all.sort_unstable_by(cmp);
+        return all;
+    }
+    // K-way merge by linear head scan.
+    let mut iters: Vec<std::vec::IntoIter<T>> =
+        runs.into_iter().map(|r| r.into_iter()).collect();
+    let mut heads: Vec<Option<T>> = iters.iter_mut().map(|it| it.next()).collect();
+    let mut out = Vec::with_capacity(len);
+    loop {
+        let mut best: Option<usize> = None;
+        for i in 0..heads.len() {
+            if let Some(h) = heads[i].as_ref() {
+                best = match best {
+                    None => Some(i),
+                    Some(b) => match heads[b].as_ref() {
+                        Some(hb) if cmp(h, hb) == std::cmp::Ordering::Less => Some(i),
+                        _ => Some(b),
+                    },
+                };
             }
         }
-        let profile = crate::ops::ParProfile {
-            workers: busy.len(),
-            busy_us: busy,
-        };
-        Some((out, profile))
-    })
+        match best {
+            None => break,
+            Some(b) => {
+                if let Some(v) = heads[b].take() {
+                    out.push(v);
+                }
+                heads[b] = iters[b].next();
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn test_pool() -> &'static WorkerPool {
+        static P: OnceLock<&'static WorkerPool> = OnceLock::new();
+        P.get_or_init(|| WorkerPool::new(2))
+    }
+
     #[test]
     fn small_inputs_decline() {
         let items: Vec<u32> = (0..100).collect();
+        // Either no pool exists (single core) or the threshold gates.
         assert!(par_chunks(&items, |_, c| c.to_vec()).is_none());
     }
 
     #[test]
-    fn profiled_variant_reports_one_busy_time_per_worker() {
+    fn profiled_variant_reports_one_busy_time_per_participant() {
         let items: Vec<u32> = (0..10_000).collect();
-        if let Some((mapped, profile)) =
-            par_chunks_profiled(&items, |_, c| c.to_vec())
-        {
-            assert_eq!(mapped.len(), items.len());
-            assert!(profile.workers >= 2);
-            assert_eq!(profile.busy_us.len(), profile.workers);
-        }
+        let (mapped, profile) =
+            par_chunks_on(test_pool(), &items, |_, c| c.to_vec()).unwrap();
+        assert_eq!(mapped.len(), items.len());
+        assert_eq!(profile.workers, 3);
+        assert_eq!(profile.busy_us.len(), profile.workers);
     }
 
     #[test]
-    fn preserves_order_across_chunks() {
+    fn preserves_order_across_morsels() {
         let items: Vec<u32> = (0..10_000).collect();
-        if let Some(mapped) = par_chunks(&items, |base, c| {
+        let (mapped, _) = par_chunks_on(test_pool(), &items, |base, c| {
             c.iter()
                 .enumerate()
                 .map(|(i, v)| (base + i, *v * 2))
                 .collect::<Vec<_>>()
-        }) {
-            assert_eq!(mapped.len(), items.len());
-            for (i, (idx, v)) in mapped.iter().enumerate() {
-                assert_eq!(*idx, i);
-                assert_eq!(*v, items[i] * 2);
-            }
+        })
+        .unwrap();
+        assert_eq!(mapped.len(), items.len());
+        for (i, (idx, v)) in mapped.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*v, items[i] * 2);
         }
     }
 
     #[test]
-    fn worker_panic_falls_back() {
+    fn participant_panic_falls_back() {
         let items: Vec<u32> = (0..10_000).collect();
-        let got = par_chunks(&items, |base, c| {
+        let got = par_chunks_on(test_pool(), &items, |base, c| {
             if base == 0 {
                 panic!("worker bug");
             }
             c.to_vec()
         });
         assert!(got.is_none());
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_round() {
+        let items: Vec<u32> = (0..5_000).collect();
+        let _ = par_chunks_on(test_pool(), &items, |base, c| {
+            if base == 0 {
+                panic!("worker bug");
+            }
+            c.to_vec()
+        });
+        // The same pool serves the next round normally.
+        let (mapped, _) =
+            par_chunks_on(test_pool(), &items, |_, c| c.to_vec()).unwrap();
+        assert_eq!(mapped.len(), items.len());
+    }
+
+    #[test]
+    fn par_sort_matches_serial_sort() {
+        let items: Vec<u32> = (0u32..10_000).map(|i| i.wrapping_mul(2_654_435_761) % 9_973).collect();
+        let mut expect = items.clone();
+        expect.sort_unstable();
+        let got = par_sort_on(test_pool(), items, &|a: &u32, b: &u32| a.cmp(b));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn par_sort_survives_panicking_comparator_round() {
+        // A comparator that panics poisons the round; par_sort still
+        // returns a correctly sorted vector via its serial fallback.
+        let items: Vec<u32> = (0..5_000).rev().collect();
+        let hits = AtomicU64::new(0);
+        let got = par_sort_on(test_pool(), items, &|a: &u32, b: &u32| {
+            if hits.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("comparator bug");
+            }
+            a.cmp(b)
+        });
+        assert_eq!(got.len(), 5_000);
+        assert!(got.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn many_rounds_reuse_the_same_workers() {
+        let before = test_pool().rounds.load(Ordering::Relaxed);
+        for _ in 0..20 {
+            let items: Vec<u32> = (0..3_000).collect();
+            let (mapped, _) =
+                par_chunks_on(test_pool(), &items, |_, c| c.to_vec()).unwrap();
+            assert_eq!(mapped.len(), items.len());
+        }
+        let after = test_pool().rounds.load(Ordering::Relaxed);
+        assert!(after >= before + 20);
     }
 }

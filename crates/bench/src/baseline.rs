@@ -43,6 +43,15 @@ pub const LINEAGE_OVERHEAD_SLACK: f64 = 1.3;
 /// A lineage on/off ratio at or below this passes outright (quick-mode
 /// joins run in microseconds, where fixed costs wobble the ratio).
 pub const LINEAGE_OVERHEAD_OK: f64 = 1.25;
+/// Slack on the batch-over-scalar allocation ratio. Allocation counts
+/// are far more repeatable than timings (the allocator doesn't jitter),
+/// so the band is tighter than the timing gates'.
+pub const ALLOC_RATIO_SLACK: f64 = 1.4;
+/// An alloc ratio at or below this passes outright: batch modes
+/// allocating ≤ half of scalar is the steady-state the streaming
+/// construct and interned atoms bought; quick-mode wobble around a
+/// healthy value must not fail.
+pub const ALLOC_RATIO_OK: f64 = 0.5;
 
 /// Outcome of one gate: the fresh and baseline values plus the verdict.
 pub struct GateResult {
@@ -179,8 +188,12 @@ fn gate_true(name: String, fresh: Option<bool>) -> GateResult {
 }
 
 /// Gates for `BENCH_vectorized.json`: per suite, the batch and
-/// batch+parallel speedups over scalar must hold (ratio gates) and the
-/// cross-mode differential check must pass.
+/// batch+parallel speedups over scalar must hold (ratio gates), the
+/// cross-mode differential check must pass, and — when both runs were
+/// built with allocation accounting — the batch modes' execute-phase
+/// allocation traffic relative to scalar must hold within the alloc
+/// dual band (absolute bytes scale with the fixture, so the gate is on
+/// the scale-invariant batch/scalar ratio).
 pub fn compare_vectorized(base: &Value, fresh: &Value) -> Vec<GateResult> {
     let mut out = Vec::new();
     out.push(gate_true(
@@ -199,6 +212,16 @@ pub fn compare_vectorized(base: &Value, fresh: &Value) -> Vec<GateResult> {
             return out;
         }
     };
+    let alloc_ratio = |v: &Value, suite: &str, mode: &str| -> Option<f64> {
+        let scalar = num(v, &["suites", suite, "scalar_alloc_bytes"])?;
+        let bytes = num(v, &["suites", suite, mode])?;
+        if scalar > 0.0 {
+            Some(bytes / scalar)
+        } else {
+            None
+        }
+    };
+    let alloc_on = |v: &Value| flag(v, &["alloc_enabled"]).unwrap_or(false);
     for suite in suites.keys() {
         for metric in ["speedup_batch", "speedup_batch_parallel"] {
             out.push(gate_speedup(
@@ -206,6 +229,17 @@ pub fn compare_vectorized(base: &Value, fresh: &Value) -> Vec<GateResult> {
                 num(fresh, &["suites", suite, metric]),
                 num(base, &["suites", suite, metric]),
             ));
+        }
+        if alloc_on(base) && alloc_on(fresh) {
+            for mode in ["batch_alloc_bytes", "batch_parallel_alloc_bytes"] {
+                out.push(gate_overhead_with(
+                    format!("vectorized.{}.{}_over_scalar", suite, mode),
+                    alloc_ratio(fresh, suite, mode),
+                    alloc_ratio(base, suite, mode),
+                    ALLOC_RATIO_SLACK,
+                    ALLOC_RATIO_OK,
+                ));
+            }
         }
     }
     out
@@ -294,11 +328,74 @@ pub fn compare_provenance(base: &Value, fresh: &Value) -> Vec<GateResult> {
     out
 }
 
+/// Gates for `BENCH_memlayout.json`: per fixture size, the
+/// streamed/tree differential must pass, the batch and batch+parallel
+/// end-to-end speedups over scalar must hold, and — when both runs
+/// carry allocation accounting — the batch modes' allocation traffic
+/// relative to scalar must hold within the alloc dual band.
+pub fn compare_memlayout(base: &Value, fresh: &Value) -> Vec<GateResult> {
+    let mut out = Vec::new();
+    out.push(gate_true(
+        "memlayout.differential_ok".to_string(),
+        flag(fresh, &["differential_ok"]),
+    ));
+    let sizes = match base.get("sizes").and_then(Value::as_object) {
+        Some(s) => s,
+        None => {
+            out.push(GateResult::failed(
+                "memlayout.sizes".to_string(),
+                f64::NAN,
+                f64::NAN,
+                "baseline has no sizes object".to_string(),
+            ));
+            return out;
+        }
+    };
+    let alloc_ratio = |v: &Value, size: &str, mode: &str| -> Option<f64> {
+        let scalar = num(v, &["sizes", size, "scalar_alloc_bytes"])?;
+        let bytes = num(v, &["sizes", size, mode])?;
+        if scalar > 0.0 {
+            Some(bytes / scalar)
+        } else {
+            None
+        }
+    };
+    let alloc_on = |v: &Value| flag(v, &["alloc_enabled"]).unwrap_or(false);
+    for size in sizes.keys() {
+        // Quick-mode artifacts measure different sizes than the
+        // committed full-mode baseline; gate only sizes both runs have.
+        if num(fresh, &["sizes", size, "scalar_e2e_ms"]).is_none() {
+            continue;
+        }
+        for metric in ["speedup_batch", "speedup_batch_parallel"] {
+            out.push(gate_speedup(
+                format!("memlayout.{}.{}", size, metric),
+                num(fresh, &["sizes", size, metric]),
+                num(base, &["sizes", size, metric]),
+            ));
+        }
+        if alloc_on(base) && alloc_on(fresh) {
+            for mode in ["batch_alloc_bytes", "batch_parallel_alloc_bytes"] {
+                out.push(gate_overhead_with(
+                    format!("memlayout.{}.{}_over_scalar", size, mode),
+                    alloc_ratio(fresh, size, mode),
+                    alloc_ratio(base, size, mode),
+                    ALLOC_RATIO_SLACK,
+                    ALLOC_RATIO_OK,
+                ));
+            }
+        }
+    }
+    out
+}
+
 /// Dispatch on the artifact basename. Returns `None` for artifacts the
 /// sentinel has no gates for (they still get tracked by eye).
 pub fn compare(artifact: &str, base: &Value, fresh: &Value) -> Option<Vec<GateResult>> {
     if artifact.contains("vectorized") {
         Some(compare_vectorized(base, fresh))
+    } else if artifact.contains("memlayout") {
+        Some(compare_memlayout(base, fresh))
     } else if artifact.contains("observability") {
         Some(compare_observability(base, fresh))
     } else if artifact.contains("provenance") {
@@ -385,6 +482,67 @@ mod tests {
         assert!(results.iter().all(|r| r.pass), "{}", render(&results).0);
     }
 
+    fn memlayout_artifact(batch_ms: f64, batch_bytes: f64) -> Value {
+        let scalar_ms = 4.0;
+        let mut sizes = serde_json::Map::new();
+        sizes.insert(
+            "2500".to_string(),
+            serde_json::json!({
+                "scalar_e2e_ms": scalar_ms,
+                "batch_e2e_ms": batch_ms,
+                "batch_parallel_e2e_ms": batch_ms,
+                "speedup_batch": scalar_ms / batch_ms,
+                "speedup_batch_parallel": scalar_ms / batch_ms,
+                "scalar_alloc_bytes": 200_000.0,
+                "batch_alloc_bytes": batch_bytes,
+                "batch_parallel_alloc_bytes": batch_bytes,
+            }),
+        );
+        serde_json::json!({
+            "experiment": "memlayout",
+            "alloc_enabled": true,
+            "differential_ok": true,
+            "sizes": Value::Object(sizes),
+        })
+    }
+
+    #[test]
+    fn memlayout_unchanged_run_passes_and_regressions_fail() {
+        let base = memlayout_artifact(1.5, 60_000.0);
+        let same = compare_memlayout(&base, &base);
+        assert!(same.iter().all(|r| r.pass), "{}", render(&same).0);
+        // End-to-end slowdown past both speedup bands trips the gate.
+        let slow = compare_memlayout(&base, &memlayout_artifact(4.5, 60_000.0));
+        assert!(
+            slow.iter().any(|r| !r.pass && r.name.contains("speedup")),
+            "{}",
+            render(&slow).0
+        );
+        // Allocation regression (batch re-allocating like scalar) trips
+        // the alloc ratio gate.
+        let churn = compare_memlayout(&base, &memlayout_artifact(1.5, 190_000.0));
+        assert!(
+            churn.iter().any(|r| !r.pass && r.name.contains("alloc")),
+            "{}",
+            render(&churn).0
+        );
+    }
+
+    #[test]
+    fn memlayout_skips_sizes_the_fresh_run_lacks() {
+        // Quick mode measures different fixture sizes; baseline-only
+        // sizes must be skipped, not failed as missing metrics.
+        let base = memlayout_artifact(1.5, 60_000.0);
+        let fresh = serde_json::json!({
+            "experiment": "memlayout",
+            "alloc_enabled": true,
+            "differential_ok": true,
+            "sizes": serde_json::json!({}),
+        });
+        let results = compare_memlayout(&base, &fresh);
+        assert!(results.iter().all(|r| r.pass), "{}", render(&results).0);
+    }
+
     fn obs_artifact(verify_us: f64, off: f64, on: f64) -> Value {
         let mut suite = serde_json::Map::new();
         suite.insert(
@@ -398,6 +556,54 @@ mod tests {
             "loop_profile_off_us_per_query": off,
             "loop_profile_on_us_per_query": on,
         })
+    }
+
+    fn vectorized_alloc_artifact(batch_bytes: f64) -> Value {
+        let mut suites = serde_json::Map::new();
+        suites.insert(
+            "two_way_join".to_string(),
+            serde_json::json!({
+                "scalar_execute_ms": 2.0,
+                "batch_execute_ms": 1.0,
+                "batch_parallel_execute_ms": 1.0,
+                "speedup_batch": 2.0,
+                "speedup_batch_parallel": 2.0,
+                "scalar_alloc_bytes": 100_000.0,
+                "batch_alloc_bytes": batch_bytes,
+                "batch_parallel_alloc_bytes": batch_bytes,
+            }),
+        );
+        serde_json::json!({
+            "experiment": "vectorized",
+            "alloc_enabled": true,
+            "differential_ok": true,
+            "suites": Value::Object(suites),
+        })
+    }
+
+    #[test]
+    fn alloc_ratio_gates_catch_regression_but_allow_jitter() {
+        // Baseline: batch allocates 40% of scalar (the streaming
+        // construct's steady state).
+        let base = vectorized_alloc_artifact(40_000.0);
+        // Unchanged run passes; jitter up to the absolute OK band (50%)
+        // passes even though it breaches nothing relative.
+        let same = compare_vectorized(&base, &base);
+        assert!(same.iter().all(|r| r.pass), "{}", render(&same).0);
+        let jitter = compare_vectorized(&base, &vectorized_alloc_artifact(48_000.0));
+        assert!(jitter.iter().all(|r| r.pass), "{}", render(&jitter).0);
+        // A real regression (batch re-allocating like scalar) breaches
+        // base*1.4 and the 0.5 OK band.
+        let bad = compare_vectorized(&base, &vectorized_alloc_artifact(90_000.0));
+        assert!(
+            bad.iter().any(|r| !r.pass && r.name.contains("alloc")),
+            "{}",
+            render(&bad).0
+        );
+        // Artifacts without allocation accounting skip the alloc gates
+        // entirely rather than failing on missing metrics.
+        let off = compare_vectorized(&vectorized_artifact(1.0), &vectorized_artifact(1.0));
+        assert!(off.iter().all(|r| !r.name.contains("alloc")));
     }
 
     #[test]
@@ -494,6 +700,7 @@ mod tests {
     fn dispatch_matches_artifact_names() {
         let v = serde_json::json!({});
         assert!(compare("BENCH_vectorized.json", &v, &v).is_some());
+        assert!(compare("BENCH_memlayout.json", &v, &v).is_some());
         assert!(compare("BENCH_observability.json", &v, &v).is_some());
         assert!(compare("BENCH_provenance.json", &v, &v).is_some());
         assert!(compare("BENCH_costplan.json", &v, &v).is_none());

@@ -1,0 +1,217 @@
+//! E16: memory layout and raw speed. End-to-end (parse → execute →
+//! serialize) cost of serving a query through [`Engine::query_serialized`]
+//! — the path the interned-atom, streaming-construct, and morsel-pool
+//! work optimizes — across the three execution modes and two fixture
+//! sizes:
+//!
+//! * `scalar`         — tuple-at-a-time Volcano, tree construct.
+//! * `batch`          — vectorized kernels, streaming construct.
+//! * `batch_parallel` — morsel-pool hash-join build and chunk sort on
+//!   top of `batch`.
+//!
+//! Unlike E11 (`exp_vectorized`), which isolates the executor pipeline,
+//! this experiment times the **whole serve**: plan-cache lookup, fetch,
+//! execute, and serialization, wall-clock per query. Allocation traffic
+//! per serve rides along when the `profile-alloc` feature is compiled
+//! in. Two sizes make scaling visible: per-query cost should grow
+//! roughly linearly, and the mode ranking must hold at both.
+//!
+//! Also differentially checks that `query_serialized` is byte-identical
+//! to tree construction + `to_string` in every mode, then writes
+//! `BENCH_memlayout.json` at the repo root. `--quick` (or
+//! `NIMBLE_BENCH_QUICK=1`) shrinks the fixture and run count for CI
+//! smoke.
+
+use nimble_bench::{customer_fixture, emit_jsonl, write_bench_artifact, TablePrinter};
+use nimble_core::{Engine, EngineConfig, OptimizerConfig};
+use nimble_trace::alloc::AllocScope;
+use nimble_xml::to_string;
+use std::time::Instant;
+
+/// Unwrap an experiment-infrastructure result without a panic path
+/// (the lint ratchet counts `expect` even in binaries).
+fn need<T, E: std::fmt::Display>(r: Result<T, E>, what: &str) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("exp_memlayout: {}: {}", what, e);
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The three-way-join suite query: the heaviest shape the customer
+/// fixture supports (two hash joins, a filter, an order-by, and a
+/// nested CONSTRUCT template), so every optimized subsystem is on the
+/// measured path.
+const QUERY: &str = r#"WHERE <row><id>$i</id><name>$n</name><region>$r</region></row> IN "customers",
+         <row><cust_id>$i</cust_id><total>$t</total></row> IN "orders",
+         <row><cust_id>$i</cust_id><severity>$sev</severity></row> IN "tickets",
+         $t > 300, $sev > 1
+   CONSTRUCT <atrisk><name>$n</name><sev>$sev</sev></atrisk>
+   ORDER-BY $n"#;
+
+const MODES: [(&str, bool, bool); 3] = [
+    ("scalar", false, false),
+    ("batch", true, false),
+    ("batch_parallel", true, true),
+];
+
+fn config(batch_exec: bool, parallel_exec: bool) -> OptimizerConfig {
+    OptimizerConfig {
+        batch_exec,
+        parallel_exec,
+        ..OptimizerConfig::default()
+    }
+}
+
+/// One mode at one size: mean wall-clock ms and mean allocated bytes
+/// per end-to-end serve, for both serve paths — streamed
+/// (`query_serialized`) and tree (`query` + `to_string`, the only path
+/// that existed before the streaming construct).
+struct ModeSample {
+    e2e_ms: f64,
+    alloc_bytes: f64,
+    tree_e2e_ms: f64,
+    tree_alloc_bytes: f64,
+}
+
+fn measure(engine: &Engine, runs: usize) -> ModeSample {
+    let scope = AllocScope::enter();
+    let t = Instant::now();
+    for _ in 0..runs {
+        need(engine.query_serialized(QUERY), "suite query");
+    }
+    let elapsed = t.elapsed();
+    let stats = scope.finish();
+    let tree_scope = AllocScope::enter();
+    let tree_t = Instant::now();
+    for _ in 0..runs {
+        let r = need(engine.query(QUERY), "suite query (tree)");
+        let _ = to_string(&r.document.root());
+    }
+    let tree_elapsed = tree_t.elapsed();
+    let tree_stats = tree_scope.finish();
+    ModeSample {
+        e2e_ms: elapsed.as_secs_f64() * 1e3 / runs as f64,
+        alloc_bytes: stats.bytes as f64 / runs as f64,
+        tree_e2e_ms: tree_elapsed.as_secs_f64() * 1e3 / runs as f64,
+        tree_alloc_bytes: tree_stats.bytes as f64 / runs as f64,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("NIMBLE_BENCH_QUICK").is_ok_and(|v| v == "1");
+    // Both sizes keep the joins' build sides above the 512-row parallel
+    // threshold so all three modes exercise their full path.
+    let (sizes, runs): (&[usize], usize) = if quick {
+        (&[600, 1200], 6)
+    } else {
+        (&[1200, 2500], 20)
+    };
+
+    println!(
+        "memory layout: end-to-end serve (parse→serialize), mean over {} runs{}",
+        runs,
+        if quick { " (quick)" } else { "" }
+    );
+    let table = TablePrinter::new(&[
+        ("customers", 10),
+        ("mode", 16),
+        ("e2e_ms", 10),
+        ("speedup", 9),
+        ("tree_ms", 10),
+        ("alloc_bytes", 12),
+        ("tree_bytes", 12),
+    ]);
+
+    let mut sizes_json = serde_json::Map::new();
+    let mut all_identical = true;
+    for &customers in sizes {
+        let (catalog, _) = customer_fixture(customers);
+        let engine = Engine::with_config(catalog, EngineConfig::default());
+
+        // Differential check: the streaming serialized path must be
+        // byte-identical to tree construction + to_string in each mode.
+        let mut identical = true;
+        for (_, batch, parallel) in MODES {
+            engine.set_optimizer(config(batch, parallel));
+            let streamed = need(engine.query_serialized(QUERY), "differential streamed");
+            let tree = to_string(&need(engine.query(QUERY), "differential tree").document.root());
+            identical &= streamed == tree;
+        }
+        all_identical &= identical;
+        if !identical {
+            eprintln!(
+                "exp_memlayout: streamed/tree serialization disagree at {} customers",
+                customers
+            );
+        }
+
+        let mut means: Vec<(&str, ModeSample)> = Vec::new();
+        for (mode, batch, parallel) in MODES {
+            engine.set_optimizer(config(batch, parallel));
+            // Warm the plan cache and source fetch caches so the window
+            // is steady-state serve cost.
+            for _ in 0..2 {
+                need(engine.query_serialized(QUERY), "warmup query");
+            }
+            let sample = measure(&engine, runs);
+            let speedup = means
+                .first()
+                .map(|(_, scalar)| scalar.e2e_ms / sample.e2e_ms.max(1e-9))
+                .unwrap_or(1.0);
+            table.row(&[
+                customers.to_string(),
+                mode.to_string(),
+                format!("{:.3}", sample.e2e_ms),
+                format!("{:.2}x", speedup),
+                format!("{:.3}", sample.tree_e2e_ms),
+                format!("{:.0}", sample.alloc_bytes),
+                format!("{:.0}", sample.tree_alloc_bytes),
+            ]);
+            means.push((mode, sample));
+        }
+        let (scalar, batch, batch_parallel) = (&means[0].1, &means[1].1, &means[2].1);
+        sizes_json.insert(
+            customers.to_string(),
+            serde_json::json!({
+                "scalar_e2e_ms": scalar.e2e_ms,
+                "batch_e2e_ms": batch.e2e_ms,
+                "batch_parallel_e2e_ms": batch_parallel.e2e_ms,
+                "speedup_batch": scalar.e2e_ms / batch.e2e_ms.max(1e-9),
+                "speedup_batch_parallel": scalar.e2e_ms / batch_parallel.e2e_ms.max(1e-9),
+                "scalar_alloc_bytes": scalar.alloc_bytes,
+                "batch_alloc_bytes": batch.alloc_bytes,
+                "batch_parallel_alloc_bytes": batch_parallel.alloc_bytes,
+                "batch_tree_e2e_ms": batch.tree_e2e_ms,
+                "batch_tree_alloc_bytes": batch.tree_alloc_bytes,
+                "streaming_speedup": batch.tree_e2e_ms / batch.e2e_ms.max(1e-9),
+                "streaming_alloc_ratio": batch.alloc_bytes / batch.tree_alloc_bytes.max(1e-9),
+                "differential_ok": identical,
+            }),
+        );
+    }
+
+    println!(
+        "\ndifferential: streamed serialization identical to tree path: {}",
+        all_identical
+    );
+    if !all_identical {
+        std::process::exit(1);
+    }
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let record = serde_json::json!({
+        "experiment": "memlayout",
+        "runs": runs,
+        "quick": quick,
+        "cores": cores,
+        "alloc_enabled": nimble_trace::alloc::enabled(),
+        "sizes": sizes_json,
+        "differential_ok": all_identical,
+    });
+    write_bench_artifact("BENCH_memlayout.json", &record);
+    emit_jsonl("memlayout", &record);
+}

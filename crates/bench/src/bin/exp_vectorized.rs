@@ -132,14 +132,15 @@ fn measure_execute(engine: &Engine, q: &str, runs: usize) -> ModeSample {
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick")
         || std::env::var("NIMBLE_BENCH_QUICK").is_ok_and(|v| v == "1");
-    // 2500 customers puts the two-way join's build side (the customers
-    // collection) above the 2048-row parallel threshold, so the
-    // cost-based gate opens and the runtime's fork/decline decision
+    // Both fixture sizes put the two-way join's build side (the
+    // customers collection) above the 512-row parallel threshold, so
+    // the cost-based gate opens and the runtime's fork/decline decision
     // becomes visible in the worker-utilization block: on a multi-core
-    // machine it forks and reports per-worker busy times; on a small
-    // machine it declines every build (`builds_declined`), which is
-    // exactly why batch_parallel tracks plain batch there.
-    let (customers, runs) = if quick { (400, 8) } else { (2500, 30) };
+    // machine it submits pool rounds and reports per-worker busy times;
+    // on a single-core machine it declines every build
+    // (`builds_declined`), which is exactly why batch_parallel tracks
+    // plain batch there.
+    let (customers, runs) = if quick { (600, 8) } else { (2500, 30) };
 
     let (catalog, _) = customer_fixture(customers);
     let engine = Engine::with_config(catalog, EngineConfig::default());
@@ -160,6 +161,7 @@ fn main() {
 
     let mut suites_json = serde_json::Map::new();
     let mut all_identical = true;
+    let mut total_worker_spawns = 0u64;
     for (name, q) in SUITE {
         // Differential check first: every mode constructs the identical
         // result document.
@@ -211,6 +213,7 @@ fn main() {
             par.alloc_bytes,
         );
         let (scalar, batch, batch_parallel) = (&means[0].1, &means[1].1, &means[2].1);
+        total_worker_spawns += batch_parallel.workers_spawned;
         suites_json.insert(
             name.to_string(),
             serde_json::json!({
@@ -247,11 +250,25 @@ fn main() {
         std::process::exit(1);
     }
 
+    // On a multi-core host the fixture crosses the parallel threshold,
+    // so batch_parallel running fully sequential means the pool path is
+    // dead — fail loudly instead of quietly reporting batch-equal
+    // numbers. Single-core hosts legitimately decline every round.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores >= 2 && total_worker_spawns == 0 {
+        eprintln!(
+            "exp_vectorized: {} cores but zero parallel worker spawns — the parallel path is dead",
+            cores
+        );
+        std::process::exit(1);
+    }
+
     let record = serde_json::json!({
         "experiment": "vectorized",
         "customers": customers,
         "runs": runs,
         "quick": quick,
+        "cores": cores,
         "alloc_enabled": nimble_trace::alloc::enabled(),
         "suites": suites_json,
         "differential_ok": all_identical,

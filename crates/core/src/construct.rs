@@ -12,10 +12,12 @@
 
 use crate::error::CoreError;
 use nimble_algebra::{LineageMask, Schema, Tuple};
-use nimble_xml::{to_string, Atomic, Document, DocumentBuilder, Value};
-use nimble_xmlql::ast::{AggName, ElementTemplate, Query, TemplateNode, TemplateValue};
+use nimble_xml::{Atomic, Document, DocumentBuilder, Value, XmlWriter};
+use nimble_xmlql::ast::{
+    AggName, ElementTemplate, Query, SkolemId, TemplateNode, TemplateValue,
+};
 use std::cell::RefCell;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Callback that evaluates a nested subquery under one outer tuple and
@@ -85,39 +87,24 @@ pub fn append_instances_traced(
             }
         }
         Some(sk) => {
-            // Group by the Skolem arguments, preserving first-seen order.
-            let key_cols: Vec<usize> = sk
-                .args
-                .iter()
-                .map(|v| {
-                    schema.index_of(v).ok_or_else(|| {
-                        CoreError::Exec(format!("Skolem argument ${} not bound", v))
-                    })
-                })
-                .collect::<Result<_, _>>()?;
-            let mut order: Vec<String> = Vec::new();
-            // Members are tuple *indices* so group lineage can be
-            // folded from the same positions.
-            let mut groups: std::collections::HashMap<String, Vec<usize>> =
-                std::collections::HashMap::new();
-            for (i, t) in tuples.iter().enumerate() {
-                let key: String = key_cols
-                    .iter()
-                    .map(|&c| t[c].lexical())
-                    .collect::<Vec<_>>()
-                    .join("\u{1}");
-                if !groups.contains_key(&key) {
-                    order.push(key.clone());
-                }
-                groups.entry(key).or_default().push(i);
-            }
-            for key in order {
-                let members: Vec<&Tuple> = groups[&key].iter().map(|&i| &tuples[i]).collect();
+            let (order, groups) = group_by_skolem(sk, schema, tuples)?;
+            // One scratch builder and one serialization buffer are
+            // reused across every member of every group: marks roll the
+            // arena back after each member's children have been hashed
+            // and (first occurrence only) copied across, so steady-state
+            // rendering touches the allocator only for novel content.
+            let mut scratch = DocumentBuilder::new("scratch");
+            let mut ser_buf = String::new();
+            let mut seen: HashSet<u128> = HashSet::new();
+            for key in &order {
+                let member_idx = &groups[key.as_str()];
+                let members: Vec<&Tuple> =
+                    member_idx.iter().map(|&i| &tuples[i]).collect();
                 if let Some(s) = &sink {
                     // A grouped answer derives from every member tuple,
                     // including ones whose rendered children dedup away.
                     let mut mask = LineageMask::EMPTY;
-                    for &i in &groups[&key] {
+                    for &i in member_idx {
                         mask.merge(s.tuple_masks.get(i).copied().unwrap_or_default());
                     }
                     s.answers.borrow_mut().push(mask);
@@ -128,10 +115,12 @@ pub fn append_instances_traced(
                     b.attr(name, &template_attr_value(value, schema, first)?);
                 }
                 // Children accumulate across the group; duplicates
-                // (serialized identically) are emitted once.
-                let mut seen: HashSet<String> = HashSet::new();
+                // (serialized identically) are emitted once. The dedup
+                // key is a 128-bit FNV-1a of the serialized child, not
+                // the serialized string itself.
+                seen.clear();
                 for t in &members {
-                    let mut scratch = DocumentBuilder::new("scratch");
+                    let m = scratch.mark();
                     instantiate_children(
                         &mut scratch,
                         &template.children,
@@ -140,19 +129,269 @@ pub fn append_instances_traced(
                         Some(&members),
                         eval_subquery,
                     )?;
-                    let scratch_doc = scratch.finish();
-                    for child in scratch_doc.root().children() {
-                        let rendered = to_string(&child);
-                        if seen.insert(rendered) {
-                            b.copy_subtree(&child);
+                    for child in scratch.roots_since(&m) {
+                        ser_buf.clear();
+                        scratch.serialize_node_into(child, &mut ser_buf);
+                        if seen.insert(fnv1a_128(ser_buf.as_bytes())) {
+                            b.copy_from(&scratch, child);
                         }
                     }
+                    scratch.rollback(&m);
                 }
                 b.end_element();
             }
         }
     }
     Ok(())
+}
+
+/// Group tuple indices by the Skolem arguments' lexical values (joined
+/// with `\u{1}`), preserving first-seen order. Members are *indices* so
+/// group lineage can be folded from the same positions.
+fn group_by_skolem(
+    sk: &SkolemId,
+    schema: &Schema,
+    tuples: &[Tuple],
+) -> Result<(Vec<String>, HashMap<String, Vec<usize>>), CoreError> {
+    let key_cols: Vec<usize> = sk
+        .args
+        .iter()
+        .map(|v| {
+            schema
+                .index_of(v)
+                .ok_or_else(|| CoreError::Exec(format!("Skolem argument ${} not bound", v)))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+    // The key is rendered into one reused buffer; it is only cloned out
+    // the first time a group appears.
+    let mut key_buf = String::new();
+    for (i, t) in tuples.iter().enumerate() {
+        key_buf.clear();
+        for (j, &c) in key_cols.iter().enumerate() {
+            if j > 0 {
+                key_buf.push('\u{1}');
+            }
+            t[c].lexical_into(&mut key_buf);
+        }
+        if let Some(members) = groups.get_mut(key_buf.as_str()) {
+            members.push(i);
+        } else {
+            order.push(key_buf.clone());
+            groups.insert(key_buf.clone(), vec![i]);
+        }
+    }
+    Ok((order, groups))
+}
+
+/// 128-bit FNV-1a over the serialized form of a produced child — the
+/// duplicate-elimination key for Skolem groups (collisions at 2^-64
+/// scale are accepted in exchange for never retaining the strings).
+fn fnv1a_128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// True when the template nests a subquery anywhere — such templates
+/// must render through the tree path (the builder-based
+/// [`append_instances_traced`]) because subquery evaluation appends
+/// into a `DocumentBuilder`.
+pub fn template_has_subquery(template: &ElementTemplate) -> bool {
+    fn any(children: &[TemplateNode]) -> bool {
+        children.iter().any(|c| match c {
+            TemplateNode::Subquery(_) => true,
+            TemplateNode::Element(e) => any(&e.children),
+            _ => false,
+        })
+    }
+    any(&template.children)
+}
+
+/// Streaming twin of [`append_instances_traced`]: renders straight into
+/// an [`XmlWriter`] without building a `Document` tree. Byte-identical
+/// to serializing the tree path's output compactly. Only valid for
+/// templates without nested subqueries
+/// ([`template_has_subquery`] == false); hitting one is an internal
+/// error, not a fallback.
+pub fn append_instances_stream(
+    w: &mut XmlWriter,
+    template: &ElementTemplate,
+    schema: &Schema,
+    tuples: &[Tuple],
+    sink: Option<LineageSink<'_>>,
+) -> Result<(), CoreError> {
+    match &template.skolem {
+        None => {
+            for (i, t) in tuples.iter().enumerate() {
+                if let Some(s) = &sink {
+                    let mask = s.tuple_masks.get(i).copied().unwrap_or_default();
+                    s.answers.borrow_mut().push(mask);
+                }
+                stream_element(w, template, schema, t, None)?;
+            }
+        }
+        Some(sk) => {
+            let (order, groups) = group_by_skolem(sk, schema, tuples)?;
+            // Members render speculatively into one reused scratch
+            // writer; each produced child's byte range is recorded, and
+            // first-seen ranges are replayed verbatim into the output.
+            // The scratch root is sealed up front so recorded offsets
+            // never include the lazily-written `>`.
+            let mut sw = XmlWriter::new("scratch");
+            sw.seal_start_tag();
+            let mut bounds: Vec<usize> = Vec::new();
+            let mut seen: HashSet<u128> = HashSet::new();
+            for key in &order {
+                let member_idx = &groups[key.as_str()];
+                let members: Vec<&Tuple> =
+                    member_idx.iter().map(|&i| &tuples[i]).collect();
+                if let Some(s) = &sink {
+                    let mut mask = LineageMask::EMPTY;
+                    for &i in member_idx {
+                        mask.merge(s.tuple_masks.get(i).copied().unwrap_or_default());
+                    }
+                    s.answers.borrow_mut().push(mask);
+                }
+                let first = members[0];
+                w.start_element(&template.tag);
+                for (name, value) in &template.attrs {
+                    w.attr(name, &template_attr_value(value, schema, first)?);
+                }
+                seen.clear();
+                for t in &members {
+                    let m = sw.mark();
+                    let base = sw.len();
+                    bounds.clear();
+                    stream_children(
+                        &mut sw,
+                        &template.children,
+                        schema,
+                        t,
+                        Some(&members),
+                        Some(&mut bounds),
+                    )?;
+                    {
+                        let rendered = sw.since(&m);
+                        let end = base + rendered.len();
+                        for (j, &start) in bounds.iter().enumerate() {
+                            let stop = bounds.get(j + 1).copied().unwrap_or(end);
+                            let run = &rendered[start - base..stop - base];
+                            if seen.insert(fnv1a_128(run.as_bytes())) {
+                                w.raw(run);
+                            }
+                        }
+                    }
+                    sw.rollback(&m);
+                }
+                w.end_element();
+            }
+        }
+    }
+    Ok(())
+}
+
+fn stream_element(
+    w: &mut XmlWriter,
+    template: &ElementTemplate,
+    schema: &Schema,
+    tuple: &Tuple,
+    group: Option<&[&Tuple]>,
+) -> Result<(), CoreError> {
+    w.start_element(&template.tag);
+    for (name, value) in &template.attrs {
+        w.attr(name, &template_attr_value(value, schema, tuple)?);
+    }
+    stream_children(w, &template.children, schema, tuple, group, None)?;
+    w.end_element();
+    Ok(())
+}
+
+/// Render template children into the stream. With `bounds`, the writer
+/// position is recorded before every produced child (element, text run,
+/// spliced node/atomic, each list item) so the caller can slice and
+/// deduplicate the runs exactly as the tree path deduplicates child
+/// nodes.
+fn stream_children(
+    w: &mut XmlWriter,
+    children: &[TemplateNode],
+    schema: &Schema,
+    tuple: &Tuple,
+    group: Option<&[&Tuple]>,
+    mut bounds: Option<&mut Vec<usize>>,
+) -> Result<(), CoreError> {
+    for child in children {
+        match child {
+            TemplateNode::Element(e) => {
+                if let Some(b) = bounds.as_deref_mut() {
+                    b.push(w.len());
+                }
+                stream_element(w, e, schema, tuple, group)?;
+            }
+            TemplateNode::Text(s) => {
+                if let Some(b) = bounds.as_deref_mut() {
+                    b.push(w.len());
+                }
+                w.text_str(s);
+            }
+            TemplateNode::Var(v) => {
+                let value = lookup(schema, tuple, v)?;
+                stream_splice(w, &value, bounds.as_deref_mut());
+            }
+            TemplateNode::Subquery(_) => {
+                return Err(CoreError::Exec(
+                    "internal: nested subquery reached the streaming \
+                     CONSTRUCT path"
+                        .to_string(),
+                ));
+            }
+            TemplateNode::Agg { func, var } => {
+                let members = group.ok_or_else(|| {
+                    CoreError::Exec(
+                        "aggregates in CONSTRUCT require a Skolem-grouped \
+                         element (e.g. <r ID=F($k)>…sum($v)…</r>)"
+                            .to_string(),
+                    )
+                })?;
+                let value = compute_agg(*func, var.as_deref(), schema, members)?;
+                stream_splice(w, &value, bounds.as_deref_mut());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Streaming twin of [`splice_value`]: nodes serialize compactly,
+/// lists splice each item, atomics become text (nulls vanish). Each
+/// produced run records a boundary when `bounds` is given.
+fn stream_splice(w: &mut XmlWriter, value: &Value, mut bounds: Option<&mut Vec<usize>>) {
+    match value {
+        Value::Node(n) => {
+            if let Some(b) = bounds.as_deref_mut() {
+                b.push(w.len());
+            }
+            w.write_node(n);
+        }
+        Value::List(items) => {
+            for item in items.iter() {
+                stream_splice(w, item, bounds.as_deref_mut());
+            }
+        }
+        Value::Atomic(a) => {
+            if !a.is_null() {
+                if let Some(b) = bounds.as_deref_mut() {
+                    b.push(w.len());
+                }
+                w.text_atomic(a);
+            }
+        }
+    }
 }
 
 fn instantiate_element(
@@ -247,18 +486,21 @@ fn compute_agg(
                         total += f;
                         all_int = false;
                     }
-                    Atomic::Str(s) => match s.trim().parse::<f64>() {
-                        Ok(f) => {
-                            total += f;
-                            all_int = all_int && f.fract() == 0.0;
+                    a @ (Atomic::Str(_) | Atomic::Sym(_)) => {
+                        let s = a.as_str().unwrap_or("");
+                        match s.trim().parse::<f64>() {
+                            Ok(f) => {
+                                total += f;
+                                all_int = all_int && f.fract() == 0.0;
+                            }
+                            Err(_) => {
+                                return Err(CoreError::Exec(format!(
+                                    "sum over non-numeric value {:?}",
+                                    s
+                                )))
+                            }
                         }
-                        Err(_) => {
-                            return Err(CoreError::Exec(format!(
-                                "sum over non-numeric value {:?}",
-                                s
-                            )))
-                        }
-                    },
+                    }
                     other => {
                         return Err(CoreError::Exec(format!(
                             "sum over non-numeric value {:?}",

@@ -21,7 +21,7 @@ use nimble_trace::{
     AllocScope, AllocStats, FlightRecord, FlightRecorder, MetricsRegistry, MetricsSnapshot,
     QueryCtx, QueryEvent, QueryLog, QueryLogEntry, SourceCall, SpanView, Trace,
 };
-use nimble_xml::{Document, DocumentBuilder, Value};
+use nimble_xml::{Document, DocumentBuilder, Value, XmlWriter};
 use nimble_xmlql::ast::Query;
 use parking_lot::RwLock;
 use std::cell::RefCell;
@@ -35,8 +35,11 @@ const MAX_DEPTH: usize = 16;
 
 /// Estimated build-side rows below which the parallel hash-join build
 /// is skipped (matches the operator's own internal serial cutoff, but
-/// decided from statistics before any threads are spawned).
-const PARALLEL_EST_THRESHOLD: u64 = 2048;
+/// decided from statistics before any work is submitted). The morsel
+/// pool keeps persistent workers, so a round costs two condvar signals
+/// instead of thread spawns and the bar sits much lower than the old
+/// spawn-per-operator gate.
+const PARALLEL_EST_THRESHOLD: u64 = 512;
 
 /// A scan estimate that undershoots the actual row count by more than
 /// this factor is a *gross* misestimate: the observed count is fed back
@@ -637,6 +640,77 @@ impl Engine {
     /// execution, regardless of `EngineConfig::profile`.
     pub fn query_profiled(&self, text: &str) -> Result<QueryResult, CoreError> {
         self.query_with(text, true)
+    }
+
+    /// Answer a query and return the compact serialized `<results>`
+    /// document directly.
+    ///
+    /// When the CONSTRUCT template nests no subquery, rendering streams
+    /// through an [`XmlWriter`] — no result `Document` tree is ever
+    /// materialized — and the output is byte-identical to
+    /// `to_string(&query(text)?.document.root())`. Templates with
+    /// subqueries fall back to [`query`](Self::query) plus tree
+    /// serialization (subquery evaluation appends into a builder).
+    ///
+    /// This path reports no [`QueryResult`] envelope (stats,
+    /// provenance, staleness); callers that need those should use
+    /// [`query`](Self::query).
+    pub fn query_serialized(&self, text: &str) -> Result<String, CoreError> {
+        let qctx = QueryCtx::new(self.instance.clone());
+        let _ctx_guard = qctx.enter();
+        let config = self.config();
+        let stamp = PlanStamp {
+            config_fp: config.optimizer.fingerprint(),
+            catalog_epoch: self.catalog.epoch(),
+            stats_generation: self.catalog.stats().generation(),
+        };
+        let plan_key = PlanCache::normalize(text);
+        let lookup = self.plans.get(&plan_key, stamp);
+        let (query, plan) = match lookup.value {
+            Some(cached) => (Arc::clone(&cached.query), Arc::clone(&cached.plan)),
+            None => {
+                let query = nimble_xmlql::parse_query(text)
+                    .map_err(|e| CoreError::Compile(e.to_string()))?;
+                nimble_xmlql::analyze(&query)
+                    .map_err(|e| CoreError::Compile(e.to_string()))?;
+                let plan = planner::plan_query(&self.catalog, &query, &config.optimizer)?;
+                if config.optimizer.verify_plans {
+                    planner::verify_plan(&plan, None)?;
+                }
+                let query = Arc::new(query);
+                let plan = Arc::new(plan);
+                if config.plan_cache_capacity > 0 {
+                    self.plans.put(
+                        &plan_key,
+                        stamp,
+                        Arc::new(CachedPlan {
+                            query: Arc::clone(&query),
+                            plan: Arc::clone(&plan),
+                        }),
+                    );
+                }
+                (query, plan)
+            }
+        };
+        if construct::template_has_subquery(&query.construct) {
+            self.metrics.incr("engine.construct.tree_fallback", 1);
+            let result = self.query(text)?;
+            return Ok(nimble_xml::to_string(&result.document.root()));
+        }
+        let mut ctx = ExecCtx::new();
+        ctx.profile = config.profile;
+        let (schema, tuples) = self.eval_planned(&plan, None, 0, &mut ctx, 0.0, 0.0, false)?;
+        let a_construct = AllocScope::enter();
+        let t_construct = Instant::now();
+        let mut w = XmlWriter::new("results");
+        construct::append_instances_stream(&mut w, &query.construct, &schema, &tuples, None)?;
+        let xml = w.finish();
+        self.phase_alloc("construct", a_construct.finish());
+        self.metrics
+            .observe("engine.phase_us.construct", us(ms_since(t_construct)));
+        self.metrics.incr("engine.construct.streamed", 1);
+        self.queries_served.fetch_add(1, Ordering::SeqCst);
+        Ok(xml)
     }
 
     fn query_with(&self, text: &str, force_profile: bool) -> Result<QueryResult, CoreError> {
@@ -1687,6 +1761,15 @@ impl Engine {
         // per-kind Q-error histograms and decision flips (profiled
         // nodes), per-worker busy times of parallel sections (always).
         self.plan_quality_walk(op.as_ref(), batch && parallel, ctx);
+        // Pool utilization gauges: cumulative fork/join rounds and
+        // morsels pulled by the process-wide worker pool (max-gauges,
+        // so snapshots merge like the stats epoch).
+        let (pool_size, pool_rounds, pool_morsels) = nimble_algebra::pool_stats();
+        if pool_size > 0 {
+            self.metrics.gauge_max("engine.pool.size", pool_size as u64);
+            self.metrics.gauge_max("engine.pool.rounds", pool_rounds);
+            self.metrics.gauge_max("engine.pool.morsels", pool_morsels);
+        }
         let exec_alloc = a_execute.finish();
         if depth == 0 && ctx.phases.is_empty() {
             // Execute covers fetch + join run; verification of the

@@ -1129,3 +1129,71 @@ fn prune_on_and_off_agree_on_satisfiable_queries() {
         );
     }
 }
+
+#[test]
+fn streamed_serialization_matches_tree_in_every_mode() {
+    // `query_serialized` streams CONSTRUCT output through an XmlWriter
+    // without building the result tree; the paper-visible contract is
+    // byte-identity with tree construction + `to_string`, across all
+    // execution modes and every template shape: flat, ordered join,
+    // Skolem-grouped with duplicate elimination, Skolem-grouped with
+    // aggregates, and (via the tree fallback) nested subqueries.
+    let queries = [
+        r#"WHERE <row><name>$n</name><region>"NW"</region></row> IN "customers"
+           CONSTRUCT <c>$n</c> ORDER-BY $n"#,
+        r#"WHERE <bib><book><publisher>$n</publisher><title>$t</title></book></bib> IN "bib",
+                 <row><name>$n</name><region>$r</region></row> IN "customers"
+           CONSTRUCT <hit><t>$t</t><r>$r</r></hit> ORDER-BY $t"#,
+        r#"WHERE <row><cust_id>$c</cust_id><total>$t</total></row> IN "orders"
+           CONSTRUCT <cust ID=ByCustomer($c)><id>$c</id><order>$t</order></cust>"#,
+        r#"WHERE <row><cust_id>$c</cust_id><total>$t</total></row> IN "orders"
+           CONSTRUCT <cust ID=C($c)><id>$c</id><orders>count()</orders>
+                     <spend>sum($t)</spend></cust>"#,
+        r#"WHERE <bib><book/> ELEMENT_AS $b</bib> IN "bib",
+                 <title>$t</title> IN $b
+           CONSTRUCT <entry><t>$t</t>
+               WHERE <publisher>$p</publisher> IN $b
+               CONSTRUCT <pub>$p</pub>
+           </entry> ORDER-BY $t"#,
+    ];
+    for (batch, parallel) in [(false, false), (true, false), (true, true)] {
+        let e = engine();
+        e.set_optimizer(OptimizerConfig {
+            batch_exec: batch,
+            parallel_exec: parallel,
+            ..OptimizerConfig::default()
+        });
+        for q in queries {
+            let streamed = e.query_serialized(q).unwrap();
+            let tree = to_string(&e.query(q).unwrap().document.root());
+            assert_eq!(
+                streamed, tree,
+                "streamed/tree disagree (batch={}, parallel={}) for {}",
+                batch, parallel, q
+            );
+        }
+    }
+}
+
+#[test]
+fn streamed_serialization_reports_its_path() {
+    let e = engine();
+    e.query_serialized(
+        r#"WHERE <row><name>$n</name></row> IN "customers" CONSTRUCT <c>$n</c>"#,
+    )
+    .unwrap();
+    // A nested-subquery template cannot stream (the inner query appends
+    // into a builder); it must take the tree fallback, not error.
+    e.query_serialized(
+        r#"WHERE <bib><book/> ELEMENT_AS $b</bib> IN "bib",
+                 <title>$t</title> IN $b
+           CONSTRUCT <entry><t>$t</t>
+               WHERE <publisher>$p</publisher> IN $b
+               CONSTRUCT <pub>$p</pub>
+           </entry>"#,
+    )
+    .unwrap();
+    let snap = e.metrics_snapshot();
+    assert_eq!(snap.counter("engine.construct.streamed"), 1);
+    assert_eq!(snap.counter("engine.construct.tree_fallback"), 1);
+}

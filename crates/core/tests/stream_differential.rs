@@ -1,0 +1,107 @@
+//! Differential property test for the streaming serializer: for every
+//! generated query and execution mode, [`Engine::query_serialized`]
+//! (which streams CONSTRUCT output through an `XmlWriter` with no
+//! result tree) is **byte-identical** to tree construction plus
+//! `to_string`. The generated grammar covers the template shapes the
+//! streaming path specializes: flat templates, multi-child templates,
+//! ORDER-BY, and Skolem grouping with duplicate elimination and
+//! aggregates. Edge-valued data (negative totals, zero, duplicated
+//! names) rides in the fixture so dedup and group keys are exercised.
+
+use nimble_core::{Catalog, Engine, OptimizerConfig};
+use nimble_sources::relational::RelationalAdapter;
+use nimble_xml::to_string;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn catalog() -> Arc<Catalog> {
+    let stmts = [
+        "CREATE TABLE customers (id INT, name TEXT, region TEXT)",
+        "INSERT INTO customers VALUES (1, 'ada', 'NW')",
+        "INSERT INTO customers VALUES (2, 'bob', 'SW')",
+        "INSERT INTO customers VALUES (3, 'ada', 'NW')",
+        "INSERT INTO customers VALUES (4, '', 'SE')",
+        "CREATE TABLE orders (oid INT, cust_id INT, total FLOAT)",
+        "INSERT INTO orders VALUES (10, 1, 250.0)",
+        "INSERT INTO orders VALUES (11, 2, -40.5)",
+        "INSERT INTO orders VALUES (12, 3, 0.0)",
+        "INSERT INTO orders VALUES (13, 1, 0.0)",
+        "INSERT INTO orders VALUES (14, 4, 250.0)",
+    ];
+    let c = Catalog::new();
+    c.register_source(Arc::new(
+        RelationalAdapter::from_statements("erp", &stmts).unwrap(),
+    ))
+    .unwrap();
+    Arc::new(c)
+}
+
+/// Queries spanning the streaming path's template shapes: optional
+/// join, optional threshold, and one of four CONSTRUCT shapes (flat,
+/// multi-child, Skolem-grouped, Skolem-grouped with aggregates),
+/// optionally ordered.
+fn query_strategy() -> impl Strategy<Value = String> {
+    (
+        any::<bool>(),
+        proptest::option::of(-100i64..300),
+        0usize..4,
+        any::<bool>(),
+    )
+        .prop_map(|(join, threshold, shape, order)| {
+            let mut pats = vec![
+                "<row><id>$i</id><name>$n</name><region>$r</region></row> IN \"customers\""
+                    .to_string(),
+            ];
+            let mut preds = Vec::new();
+            if join || shape >= 2 {
+                pats.push(
+                    "<row><cust_id>$i</cust_id><total>$t</total></row> IN \"orders\"".into(),
+                );
+                if let Some(k) = threshold {
+                    preds.push(format!("$t > {}", k));
+                }
+            }
+            let construct = match shape {
+                0 => "<hit>$n</hit>".to_string(),
+                1 => "<hit><n>$n</n><r>$r</r></hit>".to_string(),
+                // Skolem grouping: duplicate names accumulate under one
+                // element and repeated (name, total) pairs dedup.
+                2 => "<cust ID=ByName($n)><n>$n</n><t>$t</t></cust>".to_string(),
+                _ => "<cust ID=C($n)><n>$n</n><k>count()</k><s>sum($t)</s></cust>".to_string(),
+            };
+            let order_by = if order && shape < 2 { " ORDER-BY $n" } else { "" };
+            format!(
+                "WHERE {} CONSTRUCT {}{}",
+                pats.into_iter().chain(preds).collect::<Vec<_>>().join(", "),
+                construct,
+                order_by
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn streamed_equals_tree_serialization(text in query_strategy()) {
+        let cat = catalog();
+        for (batch, parallel) in [(false, false), (true, false), (true, true)] {
+            let e = Engine::new(cat.clone());
+            e.set_optimizer(OptimizerConfig {
+                batch_exec: batch,
+                parallel_exec: parallel,
+                ..OptimizerConfig::default()
+            });
+            let streamed = e.query_serialized(&text).unwrap();
+            let tree = to_string(&e.query(&text).unwrap().document.root());
+            prop_assert_eq!(
+                &streamed,
+                &tree,
+                "streamed/tree disagree (batch={}, parallel={}) for {}",
+                batch,
+                parallel,
+                text
+            );
+        }
+    }
+}

@@ -251,10 +251,13 @@ fn fetch_base_rows(
             stats
                 .used_indexes
                 .push(format!("{}.{}", binding.table, column));
-            table
-                .index_on(column)
-                .expect("chosen index exists")
-                .lookup_eq(key)
+            // The planner only chooses indexed paths over indexed
+            // columns; a full scan is the safe (and correct) fallback
+            // should that invariant ever break.
+            match table.index_on(column) {
+                Some(ix) => ix.lookup_eq(key),
+                None => (0..table.row_count()).collect(),
+            }
         }
         AccessPath::IndexRange { column, low, high } => {
             stats.index_lookups += 1;
@@ -263,12 +266,13 @@ fn fetch_base_rows(
                 .push(format!("{}.{}", binding.table, column));
             table
                 .index_on(column)
-                .expect("chosen index exists")
-                .lookup_range(
-                    low.as_ref().map(|(a, inc)| (a, *inc)),
-                    high.as_ref().map(|(a, inc)| (a, *inc)),
-                )
-                .expect("range path only chosen for btree")
+                .and_then(|ix| {
+                    ix.lookup_range(
+                        low.as_ref().map(|(a, inc)| (a, *inc)),
+                        high.as_ref().map(|(a, inc)| (a, *inc)),
+                    )
+                })
+                .unwrap_or_else(|| (0..table.row_count()).collect())
         }
     };
     stats.rows_scanned += candidate_ids.len() as u64;

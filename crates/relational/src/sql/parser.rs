@@ -202,7 +202,7 @@ impl Parser {
         match self.bump() {
             SqlToken::Int(i) => Ok(Atomic::Int(if negate { -i } else { i })),
             SqlToken::Float(f) => Ok(Atomic::Float(if negate { -f } else { f })),
-            SqlToken::Str(s) if !negate => Ok(Atomic::Str(s)),
+            SqlToken::Str(s) if !negate => Ok(Atomic::Sym(nimble_xml::Sym::intern(&s))),
             SqlToken::Word { upper, .. } if !negate => match upper.as_str() {
                 "NULL" => Ok(Atomic::Null),
                 "TRUE" => Ok(Atomic::Bool(true)),

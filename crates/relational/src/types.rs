@@ -35,28 +35,35 @@ impl ColumnType {
         match (self, &value) {
             (ColumnType::Int, Atomic::Int(_))
             | (ColumnType::Float, Atomic::Float(_))
-            | (ColumnType::Text, Atomic::Str(_))
+            | (ColumnType::Text, Atomic::Str(_) | Atomic::Sym(_))
             | (ColumnType::Bool, Atomic::Bool(_)) => Ok(value),
             (ColumnType::Float, Atomic::Int(i)) => Ok(Atomic::Float(*i as f64)),
             (ColumnType::Int, Atomic::Float(f)) if f.fract() == 0.0 => {
                 Ok(Atomic::Int(*f as i64))
             }
-            (ColumnType::Int, Atomic::Str(s)) => s
-                .trim()
-                .parse::<i64>()
-                .map(Atomic::Int)
-                .map_err(|_| SqlError::new(format!("cannot coerce {:?} to INT", s))),
-            (ColumnType::Float, Atomic::Str(s)) => s
-                .trim()
-                .parse::<f64>()
-                .map(Atomic::Float)
-                .map_err(|_| SqlError::new(format!("cannot coerce {:?} to FLOAT", s))),
+            (ColumnType::Int, Atomic::Str(_) | Atomic::Sym(_)) => {
+                let s = value.as_str().unwrap_or("");
+                s.trim()
+                    .parse::<i64>()
+                    .map(Atomic::Int)
+                    .map_err(|_| SqlError::new(format!("cannot coerce {:?} to INT", s)))
+            }
+            (ColumnType::Float, Atomic::Str(_) | Atomic::Sym(_)) => {
+                let s = value.as_str().unwrap_or("");
+                s.trim()
+                    .parse::<f64>()
+                    .map(Atomic::Float)
+                    .map_err(|_| SqlError::new(format!("cannot coerce {:?} to FLOAT", s)))
+            }
             (ColumnType::Text, other) => Ok(Atomic::Str(other.lexical())),
-            (ColumnType::Bool, Atomic::Str(s)) => match s.trim() {
-                "true" | "TRUE" | "1" => Ok(Atomic::Bool(true)),
-                "false" | "FALSE" | "0" => Ok(Atomic::Bool(false)),
-                _ => Err(SqlError::new(format!("cannot coerce {:?} to BOOL", s))),
-            },
+            (ColumnType::Bool, Atomic::Str(_) | Atomic::Sym(_)) => {
+                let s = value.as_str().unwrap_or("");
+                match s.trim() {
+                    "true" | "TRUE" | "1" => Ok(Atomic::Bool(true)),
+                    "false" | "FALSE" | "0" => Ok(Atomic::Bool(false)),
+                    _ => Err(SqlError::new(format!("cannot coerce {:?} to BOOL", s))),
+                }
+            }
             (ty, other) => Err(SqlError::new(format!(
                 "cannot coerce {:?} to {:?}",
                 other, ty

@@ -120,12 +120,15 @@ fn typed(value: &str, ty: AtomicType) -> Atomic {
         return Atomic::Null;
     }
     match ty {
-        AtomicType::Int => t.parse::<i64>().map(Atomic::Int).unwrap_or_else(|_| Atomic::Str(value.to_string())),
+        AtomicType::Int => t
+            .parse::<i64>()
+            .map(Atomic::Int)
+            .unwrap_or_else(|_| Atomic::Sym(nimble_xml::Sym::intern(value))),
         AtomicType::Float => t
             .parse::<f64>()
             .map(Atomic::Float)
-            .unwrap_or_else(|_| Atomic::Str(value.to_string())),
-        _ => Atomic::Str(value.to_string()),
+            .unwrap_or_else(|_| Atomic::Sym(nimble_xml::Sym::intern(value))),
+        _ => Atomic::Sym(nimble_xml::Sym::intern(value)),
     }
 }
 

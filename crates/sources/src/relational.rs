@@ -94,6 +94,7 @@ fn sql_literal(a: &Atomic) -> String {
         Atomic::Int(i) => i.to_string(),
         Atomic::Float(f) => format!("{:?}", f),
         Atomic::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Atomic::Sym(s) => format!("'{}'", s.as_str().replace('\'', "''")),
     }
 }
 

@@ -6,6 +6,7 @@
 //! comparisons used across the engine — including the total order needed
 //! for sorting, B-tree indexing, and merge joins — live here.
 
+use crate::intern::Sym;
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -13,7 +14,13 @@ use std::fmt;
 ///
 /// `Null` models SQL `NULL` and absent optional fields; it compares equal
 /// only to itself and sorts before every other value.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Str` and `Sym` are two representations of the **same** string type:
+/// `Sym` holds an interned id (see [`crate::intern`]) and is what the
+/// ingestion paths (parser, adapters) produce, while `Str` remains for
+/// ad-hoc construction and computed strings. Every comparison, hash,
+/// and coercion in the engine treats them identically by content.
+#[derive(Debug, Clone)]
 pub enum Atomic {
     /// Absent / unknown value.
     Null,
@@ -25,8 +32,31 @@ pub enum Atomic {
     /// the engine; comparison treats `NaN` as equal to itself and greater
     /// than every other float so that a total order exists.
     Float(f64),
-    /// UTF-8 string.
+    /// UTF-8 string (owned).
     Str(String),
+    /// UTF-8 string (interned): copyable, integer equality/hash.
+    Sym(Sym),
+}
+
+/// `Str`/`Sym` compare by content; every other variant keeps the
+/// semantics the previously-derived impl had (in particular
+/// `Float(NaN) != Float(NaN)` under `==` — total order lives in
+/// [`Atomic::total_cmp`]).
+impl PartialEq for Atomic {
+    fn eq(&self, other: &Self) -> bool {
+        use Atomic::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (Int(a), Int(b)) => a == b,
+            (Float(a), Float(b)) => a == b,
+            (Sym(a), Sym(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (Str(a), Sym(b)) => a == b.as_str(),
+            (Sym(a), Str(b)) => a.as_str() == b,
+            _ => false,
+        }
+    }
 }
 
 /// The type of an [`Atomic`] value, used by shapes and schema inference.
@@ -47,7 +77,7 @@ impl Atomic {
             Atomic::Bool(_) => AtomicType::Bool,
             Atomic::Int(_) => AtomicType::Int,
             Atomic::Float(_) => AtomicType::Float,
-            Atomic::Str(_) => AtomicType::Str,
+            Atomic::Str(_) | Atomic::Sym(_) => AtomicType::Str,
         }
     }
 
@@ -65,6 +95,7 @@ impl Atomic {
             Atomic::Int(i) => *i != 0,
             Atomic::Float(f) => *f != 0.0,
             Atomic::Str(s) => !s.is_empty(),
+            Atomic::Sym(s) => *s != Sym::EMPTY,
         }
     }
 
@@ -73,7 +104,7 @@ impl Atomic {
     pub fn infer(text: &str) -> Atomic {
         let t = text.trim();
         if t.is_empty() {
-            return Atomic::Str(text.to_string());
+            return Atomic::Sym(Sym::intern(text));
         }
         if let Ok(i) = t.parse::<i64>() {
             return Atomic::Int(i);
@@ -86,7 +117,7 @@ impl Atomic {
         match t {
             "true" | "TRUE" => Atomic::Bool(true),
             "false" | "FALSE" => Atomic::Bool(false),
-            _ => Atomic::Str(text.to_string()),
+            _ => Atomic::Sym(Sym::intern(text)),
         }
     }
 
@@ -103,6 +134,7 @@ impl Atomic {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Atomic::Str(s) => Some(s),
+            Atomic::Sym(s) => Some(s.as_str()),
             _ => None,
         }
     }
@@ -115,6 +147,26 @@ impl Atomic {
             Atomic::Int(i) => i.to_string(),
             Atomic::Float(f) => format_float(*f),
             Atomic::Str(s) => s.clone(),
+            Atomic::Sym(s) => s.as_str().to_string(),
+        }
+    }
+
+    /// Append the lexical form to `out` without an intermediate
+    /// allocation (the buffer-reuse companion of
+    /// [`lexical`](Self::lexical)).
+    pub fn lexical_into(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            Atomic::Null => {}
+            Atomic::Bool(b) => {
+                let _ = write!(out, "{}", b);
+            }
+            Atomic::Int(i) => {
+                let _ = write!(out, "{}", i);
+            }
+            Atomic::Float(f) => format_float_into(out, *f),
+            Atomic::Str(s) => out.push_str(s),
+            Atomic::Sym(s) => out.push_str(s.as_str()),
         }
     }
 
@@ -133,6 +185,15 @@ impl Atomic {
             (Int(a), Float(b)) => f64_total(*a as f64, *b),
             (Float(a), Int(b)) => f64_total(*a, *b as f64),
             (Str(a), Str(b)) => a.cmp(b),
+            (Sym(a), Sym(b)) => {
+                if a == b {
+                    Ordering::Equal
+                } else {
+                    a.as_str().cmp(b.as_str())
+                }
+            }
+            (Str(a), Sym(b)) => a.as_str().cmp(b.as_str()),
+            (Sym(a), Str(b)) => a.as_str().cmp(b.as_str()),
             _ => self.type_rank().cmp(&other.type_rank()),
         }
     }
@@ -149,7 +210,7 @@ impl Atomic {
             Atomic::Null => 0,
             Atomic::Bool(_) => 1,
             Atomic::Int(_) | Atomic::Float(_) => 2,
-            Atomic::Str(_) => 3,
+            Atomic::Str(_) | Atomic::Sym(_) => 3,
         }
     }
 }
@@ -159,10 +220,17 @@ fn f64_total(a: f64, b: f64) -> Ordering {
 }
 
 fn format_float(f: f64) -> String {
+    let mut out = String::new();
+    format_float_into(&mut out, f);
+    out
+}
+
+fn format_float_into(out: &mut String, f: f64) {
+    use std::fmt::Write;
     if f == f.trunc() && f.abs() < 1e15 {
-        format!("{:.1}", f)
+        let _ = write!(out, "{:.1}", f);
     } else {
-        format!("{}", f)
+        let _ = write!(out, "{}", f);
     }
 }
 
@@ -237,9 +305,15 @@ impl std::hash::Hash for AtomicKey {
                 2u8.hash(state);
                 f.to_bits().hash(state);
             }
+            // Str and Sym are one logical type: hash by content with
+            // the same tag so cross-representation keys collide.
             Atomic::Str(s) => {
                 3u8.hash(state);
                 s.hash(state);
+            }
+            Atomic::Sym(s) => {
+                3u8.hash(state);
+                s.as_str().hash(state);
             }
         }
     }

@@ -6,6 +6,7 @@
 //! and the algebra's `Construct` operator all build through it.
 
 use crate::atomic::Atomic;
+use crate::intern::Sym;
 use crate::node::{Document, NodeData, NodeId, NodeKind, NodeRef};
 use std::sync::Arc;
 
@@ -33,7 +34,7 @@ impl DocumentBuilder {
     pub fn new(root_name: &str) -> Self {
         let root = NodeData {
             kind: NodeKind::Element {
-                name: root_name.to_string(),
+                name: Sym::intern(root_name),
                 attrs: Vec::new(),
             },
             parent: None,
@@ -60,8 +61,14 @@ impl DocumentBuilder {
     /// Open a child element; subsequent nodes nest inside it until
     /// [`end_element`](Self::end_element).
     pub fn start_element(&mut self, name: &str) -> NodeId {
+        self.start_element_sym(Sym::intern(name))
+    }
+
+    /// Open a child element by interned name (the zero-allocation path
+    /// used when copying subtrees and streaming construction).
+    pub fn start_element_sym(&mut self, name: Sym) -> NodeId {
         let id = self.push_node(NodeKind::Element {
-            name: name.to_string(),
+            name,
             attrs: Vec::new(),
         });
         self.open.push(id);
@@ -80,9 +87,14 @@ impl DocumentBuilder {
 
     /// Add an attribute to the innermost open element.
     pub fn attr(&mut self, name: &str, value: &str) {
+        self.attr_sym(Sym::intern(name), Sym::intern(value));
+    }
+
+    /// Add an attribute by interned name/value.
+    pub fn attr_sym(&mut self, name: Sym, value: Sym) {
         let cur = *self.open.last().unwrap();
         match &mut self.nodes[cur.0 as usize].kind {
-            NodeKind::Element { attrs, .. } => attrs.push((name.to_string(), value.to_string())),
+            NodeKind::Element { attrs, .. } => attrs.push((name, value)),
             _ => unreachable!("open stack only holds elements"),
         }
     }
@@ -92,9 +104,9 @@ impl DocumentBuilder {
         self.push_node(NodeKind::Text(value))
     }
 
-    /// Append a string text node.
+    /// Append a string text node (interned).
     pub fn text_str(&mut self, value: &str) -> NodeId {
-        self.text(Atomic::Str(value.to_string()))
+        self.text(Atomic::Sym(Sym::intern(value)))
     }
 
     /// Append a comment node.
@@ -126,11 +138,11 @@ impl DocumentBuilder {
     pub fn copy_subtree(&mut self, node: &NodeRef) {
         match node.kind() {
             NodeKind::Element { name, attrs } => {
-                let name = name.clone();
+                let name = *name;
                 let attrs = attrs.clone();
-                self.start_element(&name);
-                for (k, v) in &attrs {
-                    self.attr(k, v);
+                self.start_element_sym(name);
+                for (k, v) in attrs {
+                    self.attr_sym(k, v);
                 }
                 let children: Vec<NodeRef> = node.children().collect();
                 for c in &children {
@@ -155,6 +167,164 @@ impl DocumentBuilder {
         self.open.len()
     }
 
+    /// Checkpoint the current append position. Everything appended after
+    /// the mark can be inspected ([`serialize_since`](Self::serialize_since))
+    /// and undone ([`rollback`](Self::rollback)) — the speculative-render
+    /// path `Construct` uses for duplicate elimination instead of
+    /// building each candidate in a scratch document.
+    pub fn mark(&self) -> BuildMark {
+        BuildMark {
+            nodes_len: self.nodes.len(),
+            open_len: self.open.len(),
+        }
+    }
+
+    /// Discard every node appended since `mark` and restore the open
+    /// stack. The mark must come from this builder, with no intervening
+    /// rollback to an earlier mark.
+    pub fn rollback(&mut self, mark: &BuildMark) {
+        self.nodes.truncate(mark.nodes_len);
+        self.open.truncate(mark.open_len);
+        let cutoff = mark.nodes_len as u32;
+        // Only elements still open at the mark can have gained children
+        // since it was taken.
+        for &id in &self.open {
+            self.nodes[id.0 as usize]
+                .children
+                .retain(|c| c.0 < cutoff);
+        }
+    }
+
+    /// True when nothing has been appended since `mark`.
+    pub fn is_empty_since(&self, mark: &BuildMark) -> bool {
+        self.nodes.len() == mark.nodes_len
+    }
+
+    /// Compact-serialize the forest appended since `mark` into `out`
+    /// (append; caller clears). Byte-identical to running
+    /// [`crate::serialize::to_string`] over each appended root in order,
+    /// which is what makes it usable as a duplicate-elimination key.
+    pub fn serialize_since(&self, mark: &BuildMark, out: &mut String) {
+        for (i, n) in self.nodes[mark.nodes_len..].iter().enumerate() {
+            let id = NodeId((mark.nodes_len + i) as u32);
+            let root = match n.parent {
+                Some(p) => (p.0 as usize) < mark.nodes_len,
+                None => true,
+            };
+            if root {
+                self.write_raw(id, out);
+            }
+        }
+    }
+
+    /// The root children appended since `mark`, in document order —
+    /// the per-child granularity `Construct`'s duplicate elimination
+    /// works at.
+    pub fn roots_since(&self, mark: &BuildMark) -> Vec<NodeId> {
+        self.nodes[mark.nodes_len..]
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| match n.parent {
+                Some(p) => (p.0 as usize) < mark.nodes_len,
+                None => true,
+            })
+            .map(|(i, _)| NodeId((mark.nodes_len + i) as u32))
+            .collect()
+    }
+
+    /// Compact-serialize one appended subtree into `out` (append;
+    /// caller clears). Matches [`crate::serialize::to_string`] byte for
+    /// byte.
+    pub fn serialize_node_into(&self, id: NodeId, out: &mut String) {
+        self.write_raw(id, out);
+    }
+
+    /// Deep-copy a subtree of another (unfinished) builder's arena as a
+    /// child of the current element. The cross-builder analogue of
+    /// [`copy_subtree`](Self::copy_subtree); interned names make it an
+    /// id copy per node.
+    pub fn copy_from(&mut self, src: &DocumentBuilder, id: NodeId) {
+        let n = &src.nodes[id.0 as usize];
+        match &n.kind {
+            NodeKind::Element { name, attrs } => {
+                self.start_element_sym(*name);
+                for &(k, v) in attrs {
+                    self.attr_sym(k, v);
+                }
+                for &c in &n.children {
+                    self.copy_from(src, c);
+                }
+                self.end_element();
+            }
+            k => {
+                self.push_node(k.clone());
+            }
+        }
+    }
+
+    /// Compact serialization of one arena subtree, matching
+    /// `serialize::to_string` byte for byte.
+    fn write_raw(&self, id: NodeId, out: &mut String) {
+        use std::fmt::Write;
+        let n = &self.nodes[id.0 as usize];
+        match &n.kind {
+            NodeKind::Element { name, attrs } => {
+                out.push('<');
+                out.push_str(name.as_str());
+                for (k, v) in attrs {
+                    let _ = write!(
+                        out,
+                        " {}=\"{}\"",
+                        k.as_str(),
+                        crate::serialize::escape_attr(v.as_str())
+                    );
+                }
+                if n.children.is_empty() {
+                    out.push_str("/>");
+                    return;
+                }
+                out.push('>');
+                for &c in &n.children {
+                    self.write_raw(c, out);
+                }
+                out.push_str("</");
+                out.push_str(name.as_str());
+                out.push('>');
+            }
+            NodeKind::Text(a) => {
+                match a {
+                    Atomic::Str(s) => crate::serialize::escape_text_into(out, s),
+                    Atomic::Sym(s) => {
+                        crate::serialize::escape_text_into(out, s.as_str())
+                    }
+                    other => {
+                        crate::serialize::escape_text_into(out, &other.lexical())
+                    }
+                }
+            }
+            NodeKind::Comment(c) => {
+                let _ = write!(out, "<!--{}-->", c);
+            }
+            NodeKind::Pi { target, data } => {
+                if data.is_empty() {
+                    let _ = write!(out, "<?{}?>", target);
+                } else {
+                    let _ = write!(out, "<?{} {}?>", target, data);
+                }
+            }
+        }
+    }
+
+    /// Number of nodes appended so far (root included).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
     /// Close any open elements and freeze the document.
     pub fn finish(mut self) -> Arc<Document> {
         self.open.clear();
@@ -163,6 +333,14 @@ impl DocumentBuilder {
             root: NodeId(0),
         })
     }
+}
+
+/// A checkpoint of a [`DocumentBuilder`]'s append position; see
+/// [`DocumentBuilder::mark`].
+#[derive(Debug, Clone)]
+pub struct BuildMark {
+    nodes_len: usize,
+    open_len: usize,
 }
 
 #[cfg(test)]
@@ -212,5 +390,41 @@ mod tests {
     fn cannot_close_root() {
         let mut b = DocumentBuilder::new("r");
         b.end_element();
+    }
+
+    #[test]
+    fn mark_rollback_discards_speculative_nodes() {
+        let mut b = DocumentBuilder::new("r");
+        b.leaf("keep", Atomic::Int(1));
+        let m = b.mark();
+        b.start_element("spec");
+        b.leaf("x", Atomic::Int(2));
+        b.end_element();
+        assert!(!b.is_empty_since(&m));
+        b.rollback(&m);
+        assert!(b.is_empty_since(&m));
+        b.leaf("keep2", Atomic::Int(3));
+        let doc = b.finish();
+        assert_eq!(
+            to_string(&doc.root()),
+            "<r><keep>1</keep><keep2>3</keep2></r>"
+        );
+    }
+
+    #[test]
+    fn serialize_since_matches_to_string() {
+        let mut b = DocumentBuilder::new("r");
+        let m = b.mark();
+        b.start_element("a");
+        b.attr("k", "v\"q");
+        b.text_str("x < y");
+        b.end_element();
+        b.leaf("b", Atomic::Float(2.0));
+        let mut key = String::new();
+        b.serialize_since(&m, &mut key);
+        let doc = b.finish();
+        let full: String = doc.root().children().map(|c| to_string(&c)).collect();
+        assert_eq!(key, full);
+        assert_eq!(key, "<a k=\"v&quot;q\">x &lt; y</a><b>2.0</b>");
     }
 }

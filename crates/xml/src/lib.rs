@@ -38,6 +38,7 @@
 
 pub mod atomic;
 pub mod build;
+pub mod intern;
 pub mod node;
 pub mod parse;
 pub mod path;
@@ -46,10 +47,11 @@ pub mod shape;
 pub mod value;
 
 pub use atomic::{Atomic, AtomicKey, AtomicType};
-pub use build::DocumentBuilder;
+pub use build::{BuildMark, DocumentBuilder};
+pub use intern::Sym;
 pub use node::{Document, NodeId, NodeKind, NodeRef};
 pub use parse::{parse, ParseError};
 pub use path::{Path, Step};
-pub use serialize::{to_string, to_string_pretty};
+pub use serialize::{to_string, to_string_pretty, XmlWriter};
 pub use shape::{Multiplicity, Shape, ShapeError};
 pub use value::Value;

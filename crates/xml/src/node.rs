@@ -8,6 +8,7 @@
 //! binding tuples in the algebra cheap to copy.
 
 use crate::atomic::Atomic;
+use crate::intern::Sym;
 use std::fmt;
 use std::sync::Arc;
 
@@ -26,10 +27,13 @@ impl NodeId {
 /// The kind-specific payload of a node.
 #[derive(Debug, Clone, PartialEq)]
 pub enum NodeKind {
-    /// An element with a tag name and attributes (in source order).
+    /// An element with an interned tag name and attributes (in source
+    /// order). Names and attribute strings are interned [`Sym`]s, so
+    /// cloning a node's kind — and deep-copying subtrees during result
+    /// construction — copies ids, not strings.
     Element {
-        name: String,
-        attrs: Vec<(String, String)>,
+        name: Sym,
+        attrs: Vec<(Sym, Sym)>,
     },
     /// A text node holding a typed atomic value. Parsed documents store
     /// `Atomic::Str`; adapter-built documents keep source types.
@@ -133,7 +137,18 @@ impl NodeRef {
     /// Element tag name, or `None` for non-elements.
     pub fn name(&self) -> Option<&str> {
         match self.kind() {
-            NodeKind::Element { name, .. } => Some(name),
+            NodeKind::Element { name, .. } => Some(name.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Element tag name as an interned symbol, or `None` for
+    /// non-elements. Prefer this over [`name`](Self::name) when
+    /// comparing against another interned name: it is an integer
+    /// comparison.
+    pub fn name_sym(&self) -> Option<Sym> {
+        match self.kind() {
+            NodeKind::Element { name, .. } => Some(*name),
             _ => None,
         }
     }
@@ -141,16 +156,21 @@ impl NodeRef {
     /// Attribute lookup by name (elements only).
     pub fn attr(&self, name: &str) -> Option<&str> {
         match self.kind() {
-            NodeKind::Element { attrs, .. } => attrs
-                .iter()
-                .find(|(k, _)| k == name)
-                .map(|(_, v)| v.as_str()),
+            NodeKind::Element { attrs, .. } => {
+                // A name that was never interned cannot be an attribute
+                // of any document.
+                let needle = Sym::find(name)?;
+                attrs
+                    .iter()
+                    .find(|(k, _)| *k == needle)
+                    .map(|(_, v)| v.as_str())
+            }
             _ => None,
         }
     }
 
     /// All attributes in source order (empty for non-elements).
-    pub fn attrs(&self) -> &[(String, String)] {
+    pub fn attrs(&self) -> &[(Sym, Sym)] {
         match self.kind() {
             NodeKind::Element { attrs, .. } => attrs,
             _ => &[],
@@ -184,7 +204,9 @@ impl NodeRef {
 
     /// Child elements with the given tag name.
     pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = NodeRef> + 'a {
-        self.child_elements().filter(move |c| c.name() == Some(name))
+        let needle = Sym::find(name);
+        self.child_elements()
+            .filter(move |c| needle.is_some() && c.name_sym() == needle)
     }
 
     /// First child element with the given name.
@@ -240,9 +262,15 @@ impl NodeRef {
         out
     }
 
+    /// Append the concatenated text content to `out` (buffer-reuse
+    /// companion of [`text`](Self::text)).
+    pub fn text_into(&self, out: &mut String) {
+        self.collect_text(out);
+    }
+
     fn collect_text(&self, out: &mut String) {
         match self.kind() {
-            NodeKind::Text(a) => out.push_str(&a.lexical()),
+            NodeKind::Text(a) => a.lexical_into(out),
             NodeKind::Element { .. } => {
                 for c in self.children() {
                     c.collect_text(out);

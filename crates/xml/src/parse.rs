@@ -232,7 +232,7 @@ impl<'a> Parser<'a> {
                         b.comment(&text);
                     } else if self.starts_with("<![CDATA[") {
                         let text = self.parse_cdata()?;
-                        b.text(Atomic::Str(text));
+                        b.text(Atomic::Sym(crate::intern::Sym::intern(&text)));
                     } else if self.starts_with("<?") {
                         let (target, data) = self.parse_pi()?;
                         b.pi(&target, &data);
@@ -246,7 +246,7 @@ impl<'a> Parser<'a> {
                     // pragmatic default for data-oriented XML. Mixed content
                     // with real text is preserved verbatim.
                     if !text.trim().is_empty() {
-                        b.text(Atomic::Str(text));
+                        b.text(Atomic::Sym(crate::intern::Sym::intern(&text)));
                     }
                 }
             }

@@ -56,6 +56,23 @@ impl Value {
         }
     }
 
+    /// Append the display text to `out` (buffer-reuse companion of
+    /// [`lexical`](Self::lexical)).
+    pub fn lexical_into(&self, out: &mut String) {
+        match self {
+            Value::Atomic(a) => a.lexical_into(out),
+            Value::Node(n) => n.text_into(out),
+            Value::List(items) => {
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.lexical_into(out);
+                }
+            }
+        }
+    }
+
     /// Predicate truthiness (see [`Atomic::truthy`]); nodes are true,
     /// non-empty lists are true.
     pub fn truthy(&self) -> bool {

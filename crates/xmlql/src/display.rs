@@ -95,6 +95,10 @@ fn lit(a: &nimble_xml::Atomic) -> String {
     use nimble_xml::Atomic;
     match a {
         Atomic::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+        Atomic::Sym(s) => {
+            let s = s.as_str();
+            format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+        }
         Atomic::Int(i) => i.to_string(),
         Atomic::Float(x) => format!("{:?}", x),
         Atomic::Bool(b) => b.to_string(),

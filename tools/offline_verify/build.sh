@@ -67,6 +67,7 @@ R nimble $M/nimble_shim.rs nimble_xml nimble_xmlql nimble_algebra nimble_relatio
 R nimble_bench crates/bench/src/lib.rs nimble_core nimble_sources nimble_trace serde_json
 
 EXTRA='--cfg feature="profile-alloc"'
+T xml crates/xml/src/lib.rs
 T trace crates/trace/src/lib.rs
 EXTRA=
 T sources crates/sources/src/lib.rs nimble_xml nimble_relational parking_lot rand nimble_trace
@@ -83,6 +84,7 @@ T provenance tests/provenance.rs nimble serde_json
 
 B exp_observability crates/bench/src/bin/exp_observability.rs nimble_bench nimble_core nimble_trace serde_json
 B exp_vectorized crates/bench/src/bin/exp_vectorized.rs nimble_bench nimble_core nimble_trace nimble_xml serde_json
+B exp_memlayout crates/bench/src/bin/exp_memlayout.rs nimble_bench nimble_core nimble_trace nimble_xml serde_json
 B exp_provenance crates/bench/src/bin/exp_provenance.rs nimble_bench nimble_core nimble_trace nimble_xml serde_json
 B exp_costplan crates/bench/src/bin/exp_costplan.rs nimble_bench nimble_core nimble_sources nimble_trace nimble_xml serde_json
 B exp_staticcheck crates/bench/src/bin/exp_staticcheck.rs nimble_bench nimble_core nimble_sources nimble_trace nimble_xml serde_json

@@ -54,14 +54,20 @@ fn main() -> ExitCode {
 
 /// Benchmark artifacts the regression sentinel gates (basenames at the
 /// repo root, committed per PR).
-const BENCH_ARTIFACTS: [&str; 3] = [
+const BENCH_ARTIFACTS: [&str; 4] = [
     "BENCH_vectorized.json",
+    "BENCH_memlayout.json",
     "BENCH_observability.json",
     "BENCH_provenance.json",
 ];
 
 /// The bench binaries that regenerate those artifacts, in order.
-const BENCH_BINS: [&str; 3] = ["exp_vectorized", "exp_observability", "exp_provenance"];
+const BENCH_BINS: [&str; 4] = [
+    "exp_vectorized",
+    "exp_memlayout",
+    "exp_observability",
+    "exp_provenance",
+];
 
 /// Build a command for a workspace binary: the offline harness output
 /// (`target/manual/tests/<bin>`) when present — registry-less
