@@ -34,6 +34,8 @@
 //! * [`ops::NavigateOp`] — path navigation, the XML-specific operator
 //!   that flattens "up, down and sideways" traversals into bindings.
 //! * [`ops::LimitOp`] — row limiting.
+//! * [`ops::ExchangeOp`] — scatter-gather over shard-local subtrees
+//!   (parallel gather on the morsel pool, partial-merge on shard loss).
 //!
 //! ```
 //! use nimble_algebra::{ops, Schema, ScalarExpr, CmpOp, FunctionRegistry, run_to_vec};
@@ -62,7 +64,7 @@ pub mod schema;
 
 pub use error::ExecError;
 pub use expr::{AggFunc, ArithOp, CmpOp, ScalarExpr};
-pub use par::pool_stats;
+pub use par::{par_tasks, pool_stats};
 pub use funcs::FunctionRegistry;
 pub use inspect::{OpInfo, OrderEffect, SchemaRule};
 pub use lineage::LineageMask;

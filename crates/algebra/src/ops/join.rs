@@ -120,8 +120,9 @@ impl Operator for NestedLoopJoinOp {
 
     fn next(&mut self) -> Result<Option<Tuple>, ExecError> {
         loop {
-            if self.current_left.is_none() {
-                match self.left.next()? {
+            let left = match self.current_left.clone() {
+                Some(t) => t,
+                None => match self.left.next()? {
                     None => return Ok(None),
                     Some(t) => {
                         if self.lin.is_some() {
@@ -134,13 +135,13 @@ impl Operator for NestedLoopJoinOp {
                                 .copied()
                                 .unwrap_or_default();
                         }
-                        self.current_left = Some(t);
+                        self.current_left = Some(t.clone());
                         self.right_cursor = 0;
                         self.current_matched = false;
+                        t
                     }
-                }
-            }
-            let left = self.current_left.clone().unwrap();
+                },
+            };
             while self.right_cursor < self.right_rows.len() {
                 let right = &self.right_rows[self.right_cursor];
                 self.right_cursor += 1;
@@ -166,7 +167,7 @@ impl Operator for NestedLoopJoinOp {
             }
             // Exhausted right side for this left tuple.
             let emit_outer = self.join_type == JoinType::LeftOuter && !self.current_matched;
-            let left_for_outer = self.current_left.take().unwrap();
+            self.current_left = None;
             if emit_outer {
                 // A null-padded row owes its existence to the left input
                 // alone.
@@ -174,7 +175,7 @@ impl Operator for NestedLoopJoinOp {
                     lin.push(self.cur_left_mask);
                 }
                 self.rows_out += 1;
-                return Ok(Some(self.null_padded(&left_for_outer)));
+                return Ok(Some(self.null_padded(&left)));
             }
         }
     }

@@ -15,6 +15,7 @@
 //! hot built-ins override it with batch-native kernels.
 
 mod empty;
+mod exchange;
 mod filter;
 mod group;
 mod join;
@@ -27,6 +28,7 @@ mod setops;
 mod sort;
 
 pub use empty::EmptyOp;
+pub use exchange::{ExchangeOp, ShardFailure};
 pub use filter::FilterOp;
 pub use group::{AggSpec, GroupAggOp};
 pub use join::{HashJoinOp, JoinType, MergeJoinOp, NestedLoopJoinOp};

@@ -21,6 +21,10 @@ pub struct ValuesOp {
     /// Uniform provenance of every tuple this scan emits; `None`
     /// disables lineage tracking entirely (the default).
     lin_mask: Option<LineageMask>,
+    /// Per-tuple provenance, parallel to `tuples` — set when one scan
+    /// carries rows from several units (a sharded collection merged by
+    /// an Exchange). Takes precedence over `lin_mask`.
+    lin_per_tuple: Option<Vec<LineageMask>>,
     lin: Vec<LineageMask>,
 }
 
@@ -36,6 +40,7 @@ impl ValuesOp {
             est_rows: None,
             mem_bytes: 0,
             lin_mask: None,
+            lin_per_tuple: None,
             lin: Vec::new(),
         }
     }
@@ -50,6 +55,15 @@ impl ValuesOp {
     /// lineage-tracking leaf (see [`Operator::lineage`]).
     pub fn with_lineage(mut self, mask: LineageMask) -> Self {
         self.lin_mask = Some(mask);
+        self
+    }
+
+    /// Tag each tuple with its own mask (parallel to the tuple vector)
+    /// — the shape of a sharded scan, where one merged buffer carries
+    /// rows attributed to different per-shard provenance units. `masks`
+    /// shorter than the tuple vector pads with the empty mask.
+    pub fn with_lineage_masks(mut self, masks: Vec<LineageMask>) -> Self {
+        self.lin_per_tuple = Some(masks);
         self
     }
 
@@ -80,7 +94,7 @@ impl Operator for ValuesOp {
         self.cursor = 0;
         self.rows_out = 0;
         self.mem_bytes = super::tuples_mem_bytes(&self.tuples);
-        if self.lin_mask.is_some() {
+        if self.lin_mask.is_some() || self.lin_per_tuple.is_some() {
             self.lin.clear();
         }
         Ok(())
@@ -95,7 +109,10 @@ impl Operator for ValuesOp {
             };
             self.cursor += 1;
             self.rows_out += 1;
-            if let Some(mask) = self.lin_mask {
+            if let Some(masks) = &self.lin_per_tuple {
+                self.lin
+                    .push(masks.get(self.cursor - 1).copied().unwrap_or_default());
+            } else if let Some(mask) = self.lin_mask {
                 self.lin.push(mask);
             }
             Ok(Some(t))
@@ -117,7 +134,11 @@ impl Operator for ValuesOp {
         }
         self.cursor += n;
         self.rows_out += n as u64;
-        if let Some(mask) = self.lin_mask {
+        if let Some(masks) = &self.lin_per_tuple {
+            for i in self.cursor - n..self.cursor {
+                self.lin.push(masks.get(i).copied().unwrap_or_default());
+            }
+        } else if let Some(mask) = self.lin_mask {
             self.lin.resize(self.lin.len() + n, mask);
         }
         Ok(n)
@@ -154,7 +175,11 @@ impl Operator for ValuesOp {
     }
 
     fn lineage(&self) -> Option<&[LineageMask]> {
-        self.lin_mask.map(|_| self.lin.as_slice())
+        if self.lin_mask.is_some() || self.lin_per_tuple.is_some() {
+            Some(self.lin.as_slice())
+        } else {
+            None
+        }
     }
 }
 
@@ -263,6 +288,23 @@ mod tests {
         assert_eq!(run_to_vec(&mut op).unwrap().len(), 2);
         // Reopening restarts.
         assert_eq!(run_to_vec(&mut op).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn per_tuple_lineage_masks_attribute_each_row() {
+        use crate::lineage::LineageMask;
+        let schema = Schema::new(vec!["x".into()]);
+        let tuples: Vec<_> = (0..3i64).map(|i| vec![Value::from(i)]).collect();
+        let mut op = ValuesOp::new(schema, tuples)
+            .with_lineage_masks(vec![LineageMask::single(0), LineageMask::single(1)]);
+        op.open().unwrap();
+        let mut out = Vec::new();
+        while op.next_batch(&mut out, 2).unwrap() > 0 {}
+        let lin = op.lineage().unwrap();
+        assert_eq!(lin.len(), 3);
+        assert!(lin[0].contains(0) && lin[1].contains(1));
+        // Rows past the mask vector get the empty mask, not a panic.
+        assert!(lin[2].is_empty());
     }
 
     #[test]

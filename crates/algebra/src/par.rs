@@ -44,6 +44,13 @@ macro_rules! pool_lock {
     };
 }
 
+thread_local! {
+    /// True while this thread is executing a pool job — set around both
+    /// the worker-loop job call and the submitter's own slot-0 run. See
+    /// the re-entrancy guard in [`WorkerPool::run`].
+    static IN_JOB: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
 /// Worker count for this machine (1 when parallelism is unavailable).
 pub(crate) fn workers() -> usize {
     thread::available_parallelism()
@@ -150,7 +157,9 @@ impl WorkerPool {
                         .unwrap_or_else(|e| e.into_inner());
                 }
             };
+            IN_JOB.with(|f| f.set(true));
             let ok = catch_unwind(AssertUnwindSafe(|| (unsafe { &*job.0 })(slot)));
+            IN_JOB.with(|f| f.set(false));
             let mut st = pool_lock!(self.m);
             if ok.is_err() {
                 st.panicked = true;
@@ -169,6 +178,15 @@ impl WorkerPool {
     /// serial kernel. Never returns while a worker still holds the job
     /// pointer, which is what makes publishing a stack closure sound.
     pub fn run(&self, job: &(dyn Fn(usize) + Sync)) -> bool {
+        // Re-entrancy guard: a job already running on this pool must not
+        // submit another round. The submitter blocks on `submit` until
+        // the current round finishes, and the current round cannot finish
+        // while one of its participants is blocked here — a deadlock.
+        // Declining (like any other "could not parallelize" condition)
+        // sends nested sections down their serial fallback instead.
+        if IN_JOB.with(|f| f.get()) {
+            return false;
+        }
         let _turn = pool_lock!(self.submit);
         {
             // Erase the borrow lifetime: `JobPtr` defaults to `+ 'static`,
@@ -184,7 +202,9 @@ impl WorkerPool {
             st.panicked = false;
         }
         self.work_cv.notify_all();
+        IN_JOB.with(|f| f.set(true));
         let caller_ok = catch_unwind(AssertUnwindSafe(|| job(0))).is_ok();
+        IN_JOB.with(|f| f.set(false));
         let mut st = pool_lock!(self.m);
         while st.active > 0 {
             st = self
@@ -325,6 +345,64 @@ where
     Some((out, profile))
 }
 
+/// Run `n` independent coarse-grained tasks on the process-wide pool,
+/// returning their results in task order. Unlike [`par_chunks`], which
+/// carves one slice into fixed-size morsels, each *task index* here is
+/// one unit of work — the shape of scatter-gather fan-out (one task per
+/// shard) and of multi-source fetch (one task per source), where units
+/// are few and heavy rather than many and tiny.
+///
+/// Returns `None` when there is at most one task, no pool exists
+/// (single-core host), this thread is already inside a pool job (nested
+/// submission declines, see [`WorkerPool::run`]), or a participant
+/// panicked — the caller must then run its serial loop. On `None` some
+/// tasks may already have executed; callers whose tasks are not
+/// idempotent must re-run from scratch only if that is safe, or use the
+/// serial path outright.
+pub fn par_tasks<R, F>(n: usize, f: F) -> Option<Vec<R>>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n < 2 {
+        return None;
+    }
+    par_tasks_on(pool()?, n, f)
+}
+
+/// [`par_tasks`] on an explicit pool with no size gate — the building
+/// block tests use to drive the parallel path on single-core hosts.
+pub(crate) fn par_tasks_on<R, F>(pool: &WorkerPool, n: usize, f: F) -> Option<Vec<R>>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let pulled = AtomicU64::new(0);
+    let job = |_slot: usize| loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let r = f(i);
+        pulled.fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = slots.get(i) {
+            *pool_lock!(slot) = Some(r);
+        }
+    };
+    if !pool.run(&job) {
+        return None;
+    }
+    pool.morsels
+        .fetch_add(pulled.load(Ordering::Relaxed), Ordering::Relaxed);
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        out.push(slot.into_inner().unwrap_or_else(|e| e.into_inner())?);
+    }
+    Some(out)
+}
+
 /// Sort `items` on a pool: split into one contiguous run per
 /// participant, sort runs in parallel, then k-way merge on the calling
 /// thread (k ≤ [`MAX_WORKERS`], so the per-element head scan stays
@@ -402,13 +480,20 @@ where
     out
 }
 
+/// A small shared pool for exercising parallel paths deterministically
+/// on single-core hosts (crate tests only).
+#[cfg(test)]
+pub(crate) fn tests_pool() -> &'static WorkerPool {
+    static P: OnceLock<&'static WorkerPool> = OnceLock::new();
+    P.get_or_init(|| WorkerPool::new(2))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn test_pool() -> &'static WorkerPool {
-        static P: OnceLock<&'static WorkerPool> = OnceLock::new();
-        P.get_or_init(|| WorkerPool::new(2))
+        tests_pool()
     }
 
     #[test]
@@ -495,6 +580,46 @@ mod tests {
         });
         assert_eq!(got.len(), 5_000);
         assert!(got.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn par_tasks_returns_results_in_task_order() {
+        let got = par_tasks_on(test_pool(), 37, |i| i * 3).unwrap();
+        assert_eq!(got, (0..37).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_tasks_declines_on_panicked_task() {
+        let got = par_tasks_on(test_pool(), 8, |i| {
+            if i == 3 {
+                panic!("task bug");
+            }
+            i
+        });
+        assert!(got.is_none());
+        // The pool still serves the next round.
+        assert_eq!(par_tasks_on(test_pool(), 4, |i| i).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn par_tasks_declines_below_two_tasks() {
+        // The public entry gates on task count before touching the pool.
+        assert!(par_tasks(0, |i| i).is_none());
+        assert!(par_tasks(1, |i| i).is_none());
+    }
+
+    #[test]
+    fn nested_submission_declines_instead_of_deadlocking() {
+        // A task that itself tries to run a pool round must get a clean
+        // `false`/`None` (serial fallback), not a deadlock: the outer
+        // round cannot finish while its participant waits on `submit`.
+        let got = par_tasks_on(test_pool(), 6, |i| {
+            let inner = par_tasks_on(test_pool(), 4, |j| j);
+            assert!(inner.is_none(), "nested round must decline");
+            i * 10
+        })
+        .unwrap();
+        assert_eq!(got, vec![0, 10, 20, 30, 40, 50]);
     }
 
     #[test]

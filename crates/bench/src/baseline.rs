@@ -374,6 +374,19 @@ pub fn compare_memlayout(base: &Value, fresh: &Value) -> Vec<GateResult> {
                 num(base, &["sizes", size, metric]),
             ));
         }
+        // Dual-band gate on the streamed-over-tree serve ratio, in
+        // every size band: small results take the tree fallback (ratio
+        // ≈ 1), large results stream (ratio > 1). Either way a ratio
+        // ≥ SPEEDUP_OK passes outright; a real regression (the
+        // pre-threshold 0.95-at-small-sizes behavior, or streaming
+        // losing its win) must fall below both bands to hide.
+        if num(base, &["sizes", size, "streaming_speedup"]).is_some() {
+            out.push(gate_speedup(
+                format!("memlayout.{}.streaming_speedup", size),
+                num(fresh, &["sizes", size, "streaming_speedup"]),
+                num(base, &["sizes", size, "streaming_speedup"]),
+            ));
+        }
         if alloc_on(base) && alloc_on(fresh) {
             for mode in ["batch_alloc_bytes", "batch_parallel_alloc_bytes"] {
                 out.push(gate_overhead_with(
@@ -389,6 +402,40 @@ pub fn compare_memlayout(base: &Value, fresh: &Value) -> Vec<GateResult> {
     out
 }
 
+/// Gates for `BENCH_shard.json`: the sharded/unsharded differential and
+/// the shard-loss completeness probe gate hard (semantic promises, not
+/// timings); the planner must still prune at least half the shards on
+/// some query (presence gate on the measured fraction); and the
+/// selective-query speedups of the 4- and 8-shard range layouts over
+/// the 1-shard layout must hold within the speedup dual band.
+pub fn compare_shard(base: &Value, fresh: &Value) -> Vec<GateResult> {
+    let mut out = Vec::new();
+    out.push(gate_true(
+        "shard.differential_ok".to_string(),
+        flag(fresh, &["differential_ok"]),
+    ));
+    out.push(gate_true(
+        "shard.shard_loss_ok".to_string(),
+        flag(fresh, &["shard_loss", "ok"]),
+    ));
+    out.push(gate_true(
+        "shard.pruning_ok".to_string(),
+        flag(fresh, &["pruning_ok"]),
+    ));
+    out.push(gate_positive(
+        "shard.max_pruned_frac".to_string(),
+        num(fresh, &["max_pruned_frac"]),
+    ));
+    for metric in ["speedup_4_over_1", "speedup_8_over_1", "eq_speedup_4_over_1"] {
+        out.push(gate_speedup(
+            format!("shard.{}", metric),
+            num(fresh, &[metric]),
+            num(base, &[metric]),
+        ));
+    }
+    out
+}
+
 /// Dispatch on the artifact basename. Returns `None` for artifacts the
 /// sentinel has no gates for (they still get tracked by eye).
 pub fn compare(artifact: &str, base: &Value, fresh: &Value) -> Option<Vec<GateResult>> {
@@ -400,6 +447,8 @@ pub fn compare(artifact: &str, base: &Value, fresh: &Value) -> Option<Vec<GateRe
         Some(compare_observability(base, fresh))
     } else if artifact.contains("provenance") {
         Some(compare_provenance(base, fresh))
+    } else if artifact.contains("shard") {
+        Some(compare_shard(base, fresh))
     } else {
         None
     }
@@ -703,6 +752,93 @@ mod tests {
         assert!(compare("BENCH_memlayout.json", &v, &v).is_some());
         assert!(compare("BENCH_observability.json", &v, &v).is_some());
         assert!(compare("BENCH_provenance.json", &v, &v).is_some());
+        assert!(compare("BENCH_shard.json", &v, &v).is_some());
         assert!(compare("BENCH_costplan.json", &v, &v).is_none());
+    }
+
+    fn shard_artifact(
+        speedup4: f64,
+        differential_ok: bool,
+        loss_ok: bool,
+        pruning_ok: bool,
+    ) -> Value {
+        let loss = serde_json::json!({ "ok": loss_ok });
+        serde_json::json!({
+            "experiment": "shard",
+            "differential_ok": differential_ok,
+            "pruning_ok": pruning_ok,
+            "max_pruned_frac": 0.75,
+            "speedup_4_over_1": speedup4,
+            "speedup_8_over_1": speedup4 * 1.5,
+            "eq_speedup_4_over_1": speedup4,
+            "shard_loss": loss,
+        })
+    }
+
+    #[test]
+    fn shard_unchanged_run_passes() {
+        let base = shard_artifact(3.8, true, true, true);
+        let results = compare_shard(&base, &base);
+        assert!(results.iter().all(|r| r.pass), "{}", render(&results).0);
+    }
+
+    #[test]
+    fn shard_semantic_flags_gate_hard() {
+        let base = shard_artifact(3.8, true, true, true);
+        let diff = compare_shard(&base, &shard_artifact(3.8, false, true, true));
+        assert!(diff.iter().any(|r| !r.pass && r.name.contains("differential")));
+        let loss = compare_shard(&base, &shard_artifact(3.8, true, false, true));
+        assert!(loss.iter().any(|r| !r.pass && r.name.contains("shard_loss")));
+        let prune = compare_shard(&base, &shard_artifact(3.8, true, true, false));
+        assert!(prune.iter().any(|r| !r.pass && r.name.contains("pruning")));
+    }
+
+    #[test]
+    fn shard_speedup_collapse_fails() {
+        // Baseline prunes its way to 3.8x; a fresh run where sharding
+        // stopped winning at all (0.9x: slower than one shard) breaches
+        // base/RATIO_SLACK and SPEEDUP_OK.
+        let base = shard_artifact(3.8, true, true, true);
+        let bad = compare_shard(&base, &shard_artifact(0.9, true, true, true));
+        assert!(
+            bad.iter().any(|r| !r.pass && r.name.contains("speedup_4_over_1")),
+            "{}",
+            render(&bad).0
+        );
+    }
+
+    #[test]
+    fn memlayout_streaming_speedup_gated_in_both_bands() {
+        let with_streaming = |small: f64, large: f64| {
+            serde_json::json!({
+                "experiment": "memlayout",
+                "differential_ok": true,
+                "sizes": serde_json::json!({
+                    "1200": serde_json::json!({
+                        "scalar_e2e_ms": 2.0, "batch_e2e_ms": 1.5,
+                        "speedup_batch": 1.3, "speedup_batch_parallel": 1.3,
+                        "streaming_speedup": small,
+                    }),
+                    "2500": serde_json::json!({
+                        "scalar_e2e_ms": 4.0, "batch_e2e_ms": 3.0,
+                        "speedup_batch": 1.3, "speedup_batch_parallel": 1.3,
+                        "streaming_speedup": large,
+                    }),
+                }),
+            })
+        };
+        let base = with_streaming(1.0, 1.05);
+        let same = compare_memlayout(&base, &base);
+        assert!(same.iter().all(|r| r.pass), "{}", render(&same).0);
+        assert!(same.iter().any(|r| r.name.contains("streaming_speedup")));
+        // The pre-threshold regression shape (small sizes serving
+        // slower streamed than tree) must trip the small-band gate.
+        let bad = compare_memlayout(&base, &with_streaming(0.5, 1.05));
+        assert!(
+            bad.iter()
+                .any(|r| !r.pass && r.name.contains("1200.streaming_speedup")),
+            "{}",
+            render(&bad).0
+        );
     }
 }

@@ -7,11 +7,17 @@
 //! least-loaded instance. Experiment E6 measures throughput and tail
 //! latency against instance count and strategy.
 
+use crate::catalog::Resolved;
 use crate::engine::{Engine, EngineConfig, QueryResult};
 use crate::error::CoreError;
+use crate::shard::{partition_document, ShardNode, ShardRuntime};
 use crate::Catalog;
 use crossbeam::channel::{bounded, Sender};
+use nimble_sources::xmldoc::XmlDocAdapter;
+use nimble_store::stats::SampleBuilder;
+use nimble_store::{shard_stats_key, ShardSpec};
 use nimble_trace::{FlightRecord, MetricsSnapshot, QueryLogEntry};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -189,5 +195,150 @@ impl Drop for EngineCluster {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+    }
+}
+
+/// XML-parsed text stays a string atom (adapters produce typed atoms),
+/// so shard-slice sampling coerces lexically numeric values — without
+/// this, per-shard min/max bounds never exist and the planner cannot
+/// prune shards on key predicates. Matches [`ShardSpec::shard_of`]'s
+/// own lexical parse for range keys.
+fn numeric_view(a: &nimble_xml::Atomic) -> nimble_xml::Atomic {
+    use nimble_xml::Atomic;
+    if a.as_f64().is_some() || matches!(a, Atomic::Null) {
+        return a.clone();
+    }
+    match a.lexical().trim().parse::<f64>() {
+        Ok(v) => Atomic::Float(v),
+        Err(_) => a.clone(),
+    }
+}
+
+/// A coordinator engine fronting shard-local engines, each owning a
+/// slice of every partitioned collection. Unlike [`EngineCluster`]
+/// (N whole replicas, queries load-balanced across them), a
+/// `ShardedCluster` splits the *data*: one query fans its scans out to
+/// every surviving shard through an Exchange operator and merges the
+/// streams back in original document order.
+pub struct ShardedCluster {
+    coordinator: Arc<Engine>,
+    runtime: Arc<ShardRuntime>,
+}
+
+impl ShardedCluster {
+    /// Partition the named collections of `catalog` by their specs and
+    /// stand up one shard-local engine per shard. Each spec names a
+    /// collection resolvable through the catalog (`"src.items"` or a
+    /// unique bare name); views cannot be sharded. Per-shard statistics
+    /// are sampled exhaustively at partition time so their min/max
+    /// bounds are exact and safe for planner pruning.
+    pub fn build(
+        catalog: Arc<Catalog>,
+        config: EngineConfig,
+        specs: &[(&str, ShardSpec)],
+    ) -> Result<ShardedCluster, CoreError> {
+        // source name -> (collection -> shard slices)
+        let mut slices: BTreeMap<String, BTreeMap<String, Vec<Arc<nimble_xml::Document>>>> =
+            BTreeMap::new();
+        let mut parts: Vec<(String, crate::shard::Partition)> = Vec::new();
+        let mut max_shards = 0usize;
+        for (name, spec) in specs {
+            let (source, collection) = match catalog.resolve(name)? {
+                Resolved::Collection { source, collection } => (source, collection),
+                Resolved::View(v) => {
+                    return Err(CoreError::Catalog(format!(
+                        "cannot shard {:?}: it is a view, not a collection",
+                        v
+                    )))
+                }
+            };
+            let adapter = catalog.source(&source).ok_or_else(|| {
+                CoreError::Catalog(format!("source {:?} not registered", source))
+            })?;
+            let doc = adapter.fetch_collection(&collection)?;
+            let (docs, part) = partition_document(&doc, spec);
+            let coll_key = format!("{}.{}", source, collection);
+            // Exhaustive per-shard stats: every slice row observed, so
+            // exact_bounds() holds and satisfiability pruning is sound.
+            for (k, slice) in docs.iter().enumerate() {
+                let mut b = SampleBuilder::new();
+                let mut n = 0u64;
+                for row in slice.root().child_elements() {
+                    b.add_row();
+                    n += 1;
+                    for child in row.children() {
+                        if let Some(f) = child.name() {
+                            b.observe(f, &numeric_view(&child.typed_value()));
+                        }
+                    }
+                }
+                catalog.stats().set(&shard_stats_key(k, &coll_key), b.finish(n));
+            }
+            max_shards = max_shards.max(docs.len());
+            slices
+                .entry(source.clone())
+                .or_default()
+                .insert(collection.clone(), docs);
+            parts.push((coll_key, part));
+        }
+        // One shard-local engine per shard, each with its own catalog
+        // holding shard k's slice of every partitioned collection.
+        let mut nodes = Vec::with_capacity(max_shards);
+        for k in 0..max_shards {
+            let local = Arc::new(Catalog::new());
+            for (source, colls) in &slices {
+                let mut adapter = XmlDocAdapter::new(source);
+                for (collection, shard_docs) in colls {
+                    if let Some(doc) = shard_docs.get(k) {
+                        adapter = adapter.add_document(collection, Arc::clone(doc));
+                    }
+                }
+                local.register_source(Arc::new(adapter))?;
+            }
+            let engine = Arc::new(Engine::with_config(Arc::clone(&local), config.clone()));
+            nodes.push(ShardNode::new(local, engine));
+        }
+        let mut runtime = ShardRuntime::new(nodes);
+        for (coll_key, part) in parts {
+            runtime.add_partition(coll_key, part);
+        }
+        let runtime = Arc::new(runtime);
+        let coordinator = Arc::new(Engine::with_config(catalog, config));
+        coordinator.attach_shards(Arc::clone(&runtime));
+        Ok(ShardedCluster {
+            coordinator,
+            runtime,
+        })
+    }
+
+    /// The coordinator engine (plans route scans through the shards).
+    pub fn coordinator(&self) -> &Arc<Engine> {
+        &self.coordinator
+    }
+
+    /// The shard runtime (map, partitions, node liveness).
+    pub fn runtime(&self) -> &Arc<ShardRuntime> {
+        &self.runtime
+    }
+
+    /// Number of shard-local nodes.
+    pub fn shards(&self) -> usize {
+        self.runtime.nodes()
+    }
+
+    /// Mark shard `k` up or down. Down shards degrade queries to
+    /// annotated partial answers (or errors under a Fail policy).
+    pub fn set_shard_alive(&self, k: usize, alive: bool) {
+        self.runtime.set_alive(k, alive);
+    }
+
+    /// Run a query through the coordinator.
+    pub fn query(&self, text: &str) -> Result<QueryResult, CoreError> {
+        self.coordinator.query(text)
+    }
+
+    /// Run a query through the coordinator, serialized to XML text.
+    pub fn query_serialized(&self, text: &str) -> Result<String, CoreError> {
+        self.coordinator.query_serialized(text)
     }
 }

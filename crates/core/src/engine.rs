@@ -5,15 +5,17 @@ use crate::construct;
 use crate::error::CoreError;
 use crate::matcher;
 use crate::plan_cache::{CachedPlan, PlanCache, PlanStamp};
-use crate::planner::{self, AtomExec, BindPatternOp, Plan};
+use crate::planner::{self, AtomExec, BindPatternOp, Plan, ShardPlan};
+use crate::shard::ShardRuntime;
 use nimble_algebra::ops::{
-    EmptyOp, FilterOp, HashJoinOp, JoinType, MeteredOp, NestedLoopJoinOp, Operator, ProjectOp,
-    SortKey, SortOp, ValuesOp,
+    BoxedOp, EmptyOp, ExchangeOp, FilterOp, HashJoinOp, JoinType, LazySourceOp, MeteredOp,
+    NestedLoopJoinOp, Operator, ProjectOp, SortKey, SortOp, ValuesOp,
 };
 use nimble_planck::{Fingerprint, RewriteRecord};
 use nimble_algebra::{
-    explain as explain_ops, explain_analyze as explain_analyze_ops, lineage, run_to_vec,
-    run_to_vec_batched, FunctionRegistry, LineageMask, ScalarExpr, Schema, Tuple,
+    explain as explain_ops, explain_analyze as explain_analyze_ops, lineage, par_tasks,
+    run_to_vec, run_to_vec_batched, ExecError, FunctionRegistry, LineageMask, ScalarExpr, Schema,
+    Tuple,
 };
 use nimble_sources::query::{row_field, rows_of};
 use nimble_store::{LogicalClock, ResultCache, ViewStore, WorkloadMonitor};
@@ -21,8 +23,8 @@ use nimble_trace::{
     AllocScope, AllocStats, FlightRecord, FlightRecorder, MetricsRegistry, MetricsSnapshot,
     QueryCtx, QueryEvent, QueryLog, QueryLogEntry, SourceCall, SpanView, Trace,
 };
-use nimble_xml::{Document, DocumentBuilder, Value, XmlWriter};
-use nimble_xmlql::ast::Query;
+use nimble_xml::{Atomic, Document, DocumentBuilder, Value, XmlWriter};
+use nimble_xmlql::ast::{Query, TagPattern};
 use parking_lot::RwLock;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -46,6 +48,21 @@ const PARALLEL_EST_THRESHOLD: u64 = 512;
 /// into the statistics catalog instead of waiting for the next
 /// unfiltered fetch to correct it.
 const GROSS_QERROR: u64 = 16;
+
+/// Result sizes below which [`Engine::query_serialized`] renders
+/// through the tree builder instead of the streaming writer. The
+/// stream path wins on large results (no intermediate `Document` is
+/// materialized) but its per-instance writer bookkeeping is pure
+/// overhead while the result tree still fits comfortably in cache —
+/// small results fall back to the tree path the bench's dual-band
+/// streaming gate pins down.
+const STREAM_MIN_TUPLES: usize = 2048;
+
+/// Hidden leading column of a sharded scan's per-shard streams: the
+/// row's index in the *unsharded* document. The coordinator stable-sorts
+/// the merged stream by it and strips it, restoring original document
+/// order so sharded and unsharded answers are byte-identical.
+const ORIGIN_COL: &str = "__shard_origin";
 
 /// Optimizer ablation switches (experiment E5 flips these).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -393,6 +410,11 @@ pub struct Engine {
     /// differential re-plan (every [`DIFFERENTIAL_SAMPLE`]-th hit,
     /// starting with the first).
     differential_seq: AtomicU64,
+    /// Shard runtime for partitioned collections, when this engine acts
+    /// as the coordinator of a sharded cluster. Plans compiled while one
+    /// is attached route scans over its partitions through an Exchange,
+    /// and the plan-cache stamp folds in its map epoch.
+    shards: RwLock<Option<Arc<ShardRuntime>>>,
 }
 
 /// One in how many plan-cache hits is differentially re-planned when
@@ -507,6 +529,7 @@ impl Engine {
             flight: FlightRecorder::new(config.flight_capacity, config.slow_query_ms),
             plans: PlanCache::new(config.plan_cache_capacity),
             differential_seq: AtomicU64::new(0),
+            shards: RwLock::new(None),
             catalog,
             views: ViewStore::new(),
             cache: ResultCache::new(config.cache_nodes),
@@ -603,6 +626,35 @@ impl Engine {
         self.config.write().optimizer = optimizer;
     }
 
+    /// Attach a shard runtime, making this engine the coordinator of a
+    /// sharded cluster: scans over its partitioned collections fan out
+    /// to the shard-local engines through an Exchange, and compiled
+    /// plans are stamped with the shard-map epoch so re-sharding
+    /// invalidates them.
+    pub fn attach_shards(&self, rt: Arc<ShardRuntime>) {
+        *self.shards.write() = Some(rt);
+    }
+
+    /// The attached shard runtime, if any.
+    pub fn shard_runtime(&self) -> Option<Arc<ShardRuntime>> {
+        self.shards.read().clone()
+    }
+
+    /// Shard-map epoch of the attached runtime (0 when none); part of
+    /// the plan-cache validity stamp.
+    pub fn shard_epoch(&self) -> u64 {
+        self.shards.read().as_ref().map_or(0, |rt| rt.epoch())
+    }
+
+    /// Plan a query against the catalog, shard-aware when a runtime is
+    /// attached. Every planning site (fresh, subquery, differential
+    /// re-plan) goes through here so cached and fresh plans always see
+    /// the same routing.
+    fn plan(&self, query: &Query, config: &OptimizerConfig) -> Result<Plan, CoreError> {
+        let guard = self.shards.read();
+        planner::plan_query_sharded(&self.catalog, query, config, guard.as_deref())
+    }
+
     /// Toggle whole-query result caching.
     pub fn set_cache_query_results(&self, on: bool) {
         self.config.write().cache_query_results = on;
@@ -663,6 +715,7 @@ impl Engine {
             config_fp: config.optimizer.fingerprint(),
             catalog_epoch: self.catalog.epoch(),
             stats_generation: self.catalog.stats().generation(),
+            shard_epoch: self.shard_epoch(),
         };
         let plan_key = PlanCache::normalize(text);
         let lookup = self.plans.get(&plan_key, stamp);
@@ -673,7 +726,7 @@ impl Engine {
                     .map_err(|e| CoreError::Compile(e.to_string()))?;
                 nimble_xmlql::analyze(&query)
                     .map_err(|e| CoreError::Compile(e.to_string()))?;
-                let plan = planner::plan_query(&self.catalog, &query, &config.optimizer)?;
+                let plan = self.plan(&query, &config.optimizer)?;
                 if config.optimizer.verify_plans {
                     planner::verify_plan(&plan, None)?;
                 }
@@ -702,6 +755,22 @@ impl Engine {
         let (schema, tuples) = self.eval_planned(&plan, None, 0, &mut ctx, 0.0, 0.0, false)?;
         let a_construct = AllocScope::enter();
         let t_construct = Instant::now();
+        if tuples.len() < STREAM_MIN_TUPLES {
+            // Small results render faster through the tree path: the
+            // streaming writer's per-instance bookkeeping only pays for
+            // itself once construction dominates. Same bytes either way
+            // — the bench's construct differential pins that down.
+            let mut b = DocumentBuilder::new("results");
+            self.construct_into(&mut b, &query.construct, &schema, &tuples, 0, &mut ctx, None, None)?;
+            let doc = b.finish();
+            let xml = nimble_xml::to_string(&doc.root());
+            self.phase_alloc("construct", a_construct.finish());
+            self.metrics
+                .observe("engine.phase_us.construct", us(ms_since(t_construct)));
+            self.metrics.incr("engine.construct.small_fallback", 1);
+            self.queries_served.fetch_add(1, Ordering::SeqCst);
+            return Ok(xml);
+        }
         let mut w = XmlWriter::new("results");
         construct::append_instances_stream(&mut w, &query.construct, &schema, &tuples, None)?;
         let xml = w.finish();
@@ -838,6 +907,7 @@ impl Engine {
             config_fp: opt_fp,
             catalog_epoch: self.catalog.epoch(),
             stats_generation: self.catalog.stats().generation(),
+            shard_epoch: self.shard_epoch(),
         };
         let plan_key = PlanCache::normalize(text);
         let t_plan_lookup = Instant::now();
@@ -866,8 +936,7 @@ impl Engine {
                         .map_err(|e| CoreError::Compile(e.to_string()))?;
                     nimble_xmlql::analyze(&fresh)
                         .map_err(|e| CoreError::Compile(e.to_string()))?;
-                    let fresh_plan =
-                        planner::plan_query(&self.catalog, &fresh, &config.optimizer)?;
+                    let fresh_plan = self.plan(&fresh, &config.optimizer)?;
                     let cached_sig = plan_semantic_signature(&cached.plan);
                     let fresh_sig = plan_semantic_signature(&fresh_plan);
                     if cached_sig != fresh_sig {
@@ -920,7 +989,7 @@ impl Engine {
 
                 let a_plan = AllocScope::enter();
                 let t_plan = Instant::now();
-                let plan = planner::plan_query(&self.catalog, &query, &config.optimizer)?;
+                let plan = self.plan(&query, &config.optimizer)?;
                 let plan_ms = ms_since(t_plan);
                 self.phase_alloc("plan", a_plan.finish());
                 let mut verify_ms = 0.0;
@@ -1270,7 +1339,7 @@ impl Engine {
         }
         let config = self.config();
         let t_plan = Instant::now();
-        let plan = planner::plan_query(&self.catalog, query, &config.optimizer)?;
+        let plan = self.plan(query, &config.optimizer)?;
         let plan_ms = ms_since(t_plan);
         let mut verify_ms = 0.0;
         if config.optimizer.verify_plans {
@@ -1319,67 +1388,70 @@ impl Engine {
         let track = config.optimizer.track_lineage && ctx.track;
 
         // Fetch every independent unit (the Scan layer). Each slot is
-        // `(schema, tuples, lineage mask, unit label)`; the mask is
-        // `None` when tracking is off and the label feeds the rewrite
+        // `(schema, tuples, lineage masks, unit label)`; the masks are
+        // empty when tracking is off and the label feeds the rewrite
         // audit's source-set fingerprints.
-        let mut inputs: Vec<(Schema, Vec<Tuple>, Option<LineageMask>, String)> = Vec::new();
+        let mut inputs: Vec<(Schema, Vec<Tuple>, ScanMasks, String)> = Vec::new();
         if let Some((schema, tuple)) = outer {
             inputs.push((
                 schema.clone(),
                 vec![tuple.clone()],
-                track.then_some(LineageMask::EMPTY),
+                if track {
+                    ScanMasks::One(LineageMask::EMPTY)
+                } else {
+                    ScanMasks::None
+                },
                 "<outer>".to_string(),
             ));
         }
-        if config.parallel_fetch && plan.independents.len() > 1 {
-            // The Scan layer fans out: one thread per independent unit,
-            // so latency tracks the slowest source, not the sum. The
-            // query context is thread-local, so each worker re-enters
-            // it to keep source calls attributed to the query.
+        // The Scan layer fans out through the shared morsel pool: one
+        // pool task per independent unit, so latency tracks the slowest
+        // source, not the sum. The query context is thread-local, so
+        // each worker re-enters it to keep source calls attributed to
+        // the query. `par_tasks` declines (single core, no pool, nested
+        // round) into the serial loop below without having run anything.
+        let pooled = if config.parallel_fetch && plan.independents.len() > 1 {
             let qctx = QueryCtx::current();
-            let results = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = plan
-                    .independents
-                    .iter()
-                    .map(|atom| {
-                        let qctx = qctx.clone();
-                        let handle = scope.spawn(move |_| {
-                            let _g = qctx.as_ref().map(|c| c.enter());
-                            let mut local = ExecCtx::new();
-                            let fetched = self.fetch_atom(atom, depth, &mut local);
-                            (fetched, local)
-                        });
-                        (atom_name(atom), handle)
-                    })
-                    .collect();
-                // A panicking fetch thread (a bug, not a source failure)
-                // surfaces as an error for its atom instead of poisoning
-                // the whole engine process.
-                handles
-                    .into_iter()
-                    .map(|(name, h)| h.join().map_err(|_| name))
-                    .collect::<Vec<_>>()
+            par_tasks(plan.independents.len(), |i| {
+                let _g = qctx.as_ref().map(|c| c.enter());
+                let mut local = ExecCtx::new();
+                let fetched =
+                    self.fetch_atom(&plan.independents[i], shard_plan_for(plan, i), depth, &mut local);
+                (fetched, local)
             })
-            .map_err(|_| CoreError::Internal("parallel fetch scope panicked".into()))?;
-            for (joined, atom) in results.into_iter().zip(&plan.independents) {
-                let (fetched, local) = joined.map_err(|name| {
-                    CoreError::Internal(format!("fetch thread for {} panicked", name))
-                })?;
-                ctx.merge(local);
-                let (vars, tuples, prov) = fetched?;
-                ctx.rows_fetched += tuples.len() as u64;
-                // Interning stays sequential even under parallel fetch:
-                // workers only describe their unit; ids are assigned
-                // here, in atom order.
-                let mask = prov.map(|p| ctx.intern_source(p));
-                inputs.push((unit_schema(vars)?, tuples, mask, atom_name(atom)));
-            }
         } else {
-            for atom in &plan.independents {
-                let (vars, tuples, prov) = self.fetch_atom(atom, depth, ctx)?;
-                ctx.rows_fetched += tuples.len() as u64;
-                let mask = prov.map(|p| ctx.intern_source(p));
-                inputs.push((unit_schema(vars)?, tuples, mask, atom_name(atom)));
+            None
+        };
+        match pooled {
+            Some(results) => {
+                self.metrics.incr("engine.fetch.pool", 1);
+                for (i, (fetched, local)) in results.into_iter().enumerate() {
+                    ctx.merge(local);
+                    let (vars, tuples, prov) = fetched?;
+                    ctx.rows_fetched += tuples.len() as u64;
+                    // Interning stays sequential even under parallel
+                    // fetch: workers only describe their unit; ids are
+                    // assigned here, in atom order.
+                    let masks = intern_masks(ctx, prov);
+                    inputs.push((
+                        unit_schema(vars)?,
+                        tuples,
+                        masks,
+                        atom_name(&plan.independents[i]),
+                    ));
+                }
+            }
+            None => {
+                if config.parallel_fetch && plan.independents.len() > 1 {
+                    self.metrics.incr("engine.fetch.serial", 1);
+                }
+                for (i, atom) in plan.independents.iter().enumerate() {
+                    let (vars, tuples, prov) =
+                        self.fetch_atom(atom, shard_plan_for(plan, i), depth, ctx)?;
+                    ctx.rows_fetched += tuples.len() as u64;
+                    let masks = intern_masks(ctx, prov);
+                    inputs.push((unit_schema(vars)?, tuples, masks, atom_name(atom)));
+                }
             }
         }
         if inputs.is_empty() {
@@ -1439,7 +1511,7 @@ impl Engine {
         // annotations and build-side/parallelism decisions.
         let mut input_est: Vec<Option<u64>> = vec![None; inputs.len()];
         if cost_ok {
-            let mut tail: Vec<Option<(Schema, Vec<Tuple>, Option<LineageMask>, String)>> =
+            let mut tail: Vec<Option<(Schema, Vec<Tuple>, ScanMasks, String)>> =
                 inputs.drain(start..).map(Some).collect();
             for (k, &i) in plan.fold_order.iter().enumerate() {
                 if let Some(input) = tail.get_mut(i).and_then(Option::take) {
@@ -1493,9 +1565,11 @@ impl Engine {
             }
         };
         let mut first_scan = scan(ValuesOp::new(first_schema, first_tuples));
-        if let Some(m) = first_mask {
-            first_scan = first_scan.with_lineage(m);
-        }
+        first_scan = match first_mask {
+            ScanMasks::One(m) => first_scan.with_lineage(m),
+            ScanMasks::Per(v) => first_scan.with_lineage_masks(v),
+            ScanMasks::None => first_scan,
+        };
         if let Some(e) = input_est.first().copied().flatten() {
             first_scan.set_est_rows(e);
         }
@@ -1520,9 +1594,11 @@ impl Engine {
                 None
             };
             let mut right_scan = scan(ValuesOp::new(schema.clone(), tuples));
-            if let Some(m) = mask {
-                right_scan = right_scan.with_lineage(m);
-            }
+            right_scan = match mask {
+                ScanMasks::One(m) => right_scan.with_lineage(m),
+                ScanMasks::Per(v) => right_scan.with_lineage_masks(v),
+                ScanMasks::None => right_scan,
+            };
             if let Some(e) = this_est {
                 right_scan.set_est_rows(e);
             }
@@ -1977,14 +2053,17 @@ impl Engine {
 
     /// Fetch one independent unit's tuples under the unavailability
     /// policy. With lineage tracking on, the third element describes
-    /// the unit for the query's provenance table — the *caller* interns
-    /// it (sequentially, so ids stay dense even under parallel fetch).
+    /// the unit(s) for the query's provenance table — the *caller*
+    /// interns them (sequentially, so ids stay dense even under
+    /// parallel fetch). A FetchMatch atom with a [`ShardPlan`] routes
+    /// through [`Engine::fetch_sharded`] instead of the source adapter.
     fn fetch_atom(
         &self,
         atom: &AtomExec,
+        shard_plan: Option<&ShardPlan>,
         depth: usize,
         ctx: &mut ExecCtx,
-    ) -> Result<(Vec<String>, Vec<Tuple>, Option<ProvSource>), CoreError> {
+    ) -> Result<(Vec<String>, Vec<Tuple>, FetchProv), CoreError> {
         let config = self.config();
         let track = config.optimizer.track_lineage && ctx.track;
         match atom {
@@ -2040,7 +2119,7 @@ impl Engine {
                             cache_age_ms: None,
                             view: false,
                         });
-                        Ok((vars.clone(), tuples, prov))
+                        Ok((vars.clone(), tuples, FetchProv::from_opt(prov)))
                     }
                     Err(e) if e.is_unavailable() => {
                         note_source_call(
@@ -2077,6 +2156,9 @@ impl Engine {
                 pattern,
                 vars,
             } => {
+                if let Some(sp) = shard_plan {
+                    return self.fetch_sharded(sp, source, collection, pattern, vars, ctx, track);
+                }
                 let adapter = self
                     .catalog
                     .source(source)
@@ -2155,7 +2237,7 @@ impl Engine {
                     cache_age_ms: None,
                     view: false,
                 });
-                Ok((vars.clone(), tuples, prov))
+                Ok((vars.clone(), tuples, FetchProv::from_opt(prov)))
             }
             AtomExec::ViewMatch {
                 view,
@@ -2190,9 +2272,192 @@ impl Engine {
                     cache_age_ms: None,
                     view: true,
                 });
-                Ok((vars.clone(), tuples, prov))
+                Ok((vars.clone(), tuples, FetchProv::from_opt(prov)))
             }
         }
+    }
+
+    /// Fetch one sharded FetchMatch atom: fan the scan out across the
+    /// surviving shard-local nodes through an [`ExchangeOp`] — pushed
+    /// filters replicated below it — merge the shard streams, and
+    /// restore original document order from the hidden origin column,
+    /// so the answer is byte-identical to the unsharded scan's.
+    ///
+    /// A dead or failing shard degrades by policy exactly like a dead
+    /// source: `Fail` aborts (the exchange gathers fail-fast), otherwise
+    /// the shard is skipped and annotated as `{source}#shard{k}` in
+    /// `missing_sources` and — under tracking — as a missing provenance
+    /// unit (`StaleCache` keeps no per-shard cache, so for shards it
+    /// degrades to skip-and-annotate).
+    ///
+    /// Deliberately skips `note_stats_rows`: a survivor-only row count
+    /// would corrupt the whole-collection statistics the planner's
+    /// estimates come from.
+    #[allow(clippy::too_many_arguments)]
+    fn fetch_sharded(
+        &self,
+        sp: &ShardPlan,
+        source: &str,
+        collection: &str,
+        pattern: &nimble_xmlql::ast::Pattern,
+        vars: &[String],
+        ctx: &mut ExecCtx,
+        track: bool,
+    ) -> Result<(Vec<String>, Vec<Tuple>, FetchProv), CoreError> {
+        let config = self.config();
+        let rt = self
+            .shards
+            .read()
+            .clone()
+            .ok_or_else(|| CoreError::Internal("sharded plan without a shard runtime".into()))?;
+        self.metrics
+            .incr("engine.shard.pruned", (sp.shards - sp.survivors.len()) as u64);
+        if sp.survivors.is_empty() {
+            // Every shard statically pruned: an empty scan, no Exchange
+            // (the operator rejects zero children). Tracking still
+            // interns the unit so lineage stays alive above it.
+            let prov = track.then(|| ProvSource {
+                name: source.to_string(),
+                detail: format!("collection:{} (all shards pruned)", collection),
+                stale: false,
+                cache_age_ms: None,
+                view: false,
+            });
+            return Ok((vars.to_vec(), Vec::new(), FetchProv::from_opt(prov)));
+        }
+        self.metrics
+            .incr("engine.shard.fanout", sp.survivors.len() as u64);
+        ctx.source_calls += 1;
+        self.metrics.incr(&format!("source.calls.{}", source), 1);
+
+        // One lazy child per surviving shard: the producer runs at
+        // exchange-gather time (on a pool worker when one exists),
+        // fetches the shard slice from the shard-local catalog, and
+        // row-matches the pattern, prefixing every tuple with the
+        // origin column the merge sorts by.
+        let mut child_vars = vec![ORIGIN_COL.to_string()];
+        child_vars.extend(vars.iter().cloned());
+        let child_schema = unit_schema(child_vars)?;
+        let pushed: Vec<ScalarExpr> = sp
+            .pushed
+            .iter()
+            .map(|e| planner::translate_expr(e, &child_schema))
+            .collect::<Result<_, _>>()?;
+        let funcs = self.funcs.read().clone();
+        let mut children: Vec<BoxedOp> = Vec::new();
+        let mut labels: Vec<String> = Vec::new();
+        for &k in &sp.survivors {
+            let label = format!("{}#shard{}", source, k);
+            let rt = Arc::clone(&rt);
+            let source = source.to_string();
+            let collection = collection.to_string();
+            let coll_key = sp.collection.clone();
+            let pattern = pattern.clone();
+            let vars = vars.to_vec();
+            let lazy = LazySourceOp::new(child_schema.clone(), label.clone(), move || {
+                shard_scan(&rt, k, &source, &collection, &coll_key, &pattern, &vars)
+            });
+            let child: BoxedOp = if pushed.is_empty() {
+                Box::new(lazy)
+            } else {
+                Box::new(FilterOp::new(
+                    Box::new(lazy),
+                    ScalarExpr::conjunction(pushed.clone()),
+                    Arc::clone(&funcs),
+                ))
+            };
+            children.push(child);
+            labels.push(label);
+        }
+        let calls_before = QueryCtx::current().map(|c| c.calls_len());
+        let t_call = Instant::now();
+        let mut exchange = ExchangeOp::new(children, labels)
+            .map_err(CoreError::from)?
+            .fail_fast(config.unavailable == UnavailablePolicy::Fail);
+        exchange.open()?;
+        let mut merged: Vec<Tuple> = Vec::new();
+        loop {
+            let n = exchange.next_batch(&mut merged, nimble_algebra::ops::DEFAULT_BATCH_SIZE)?;
+            if n == 0 {
+                break;
+            }
+        }
+        exchange.close();
+        let call_ms = ms_since(t_call);
+        self.metrics
+            .observe(&format!("source.latency_us.{}", source), us(call_ms));
+        self.metrics.incr(
+            if exchange.gathered_parallel() {
+                "engine.exchange.gather.parallel"
+            } else {
+                "engine.exchange.gather.serial"
+            },
+            1,
+        );
+
+        // Shard attribution: the merged stream is contiguous per child,
+        // so the gathered counts map each tuple to its shard. Failed
+        // shards degrade to annotated partial answers.
+        let counts = exchange.gathered_counts();
+        let failures = exchange.failures();
+        for f in failures {
+            self.metrics.incr("engine.shard.lost", 1);
+            self.metrics.incr(&format!("source.failures.{}", source), 1);
+            ctx.miss(&f.label);
+        }
+        let mut tuple_src: Vec<u32> = Vec::with_capacity(merged.len());
+        for (i, &c) in counts.iter().enumerate() {
+            tuple_src.extend(std::iter::repeat(i as u32).take(c));
+        }
+        note_source_call(
+            calls_before,
+            source,
+            "fetch-sharded",
+            failures.is_empty(),
+            call_ms,
+            merged.len() as u64,
+            failures.first().map(|f| f.error.to_string()),
+        );
+
+        // Restore original document order: stable-sort by the origin
+        // column, permuting the shard attribution identically, then
+        // strip the column.
+        let mut rows: Vec<(Tuple, u32)> = merged.into_iter().zip(tuple_src).collect();
+        rows.sort_by_key(|(t, _)| origin_of(t));
+        let mut tuples: Vec<Tuple> = Vec::with_capacity(rows.len());
+        let mut tuple_src: Vec<u32> = Vec::with_capacity(rows.len());
+        for (mut t, s) in rows {
+            t.remove(0);
+            tuples.push(t);
+            tuple_src.push(s);
+        }
+        self.metrics.incr("engine.shard.rows", tuples.len() as u64);
+
+        let prov = if track {
+            let sources: Vec<ProvSource> = sp
+                .survivors
+                .iter()
+                .map(|&k| {
+                    let label = format!("{}#shard{}", source, k);
+                    let lost = failures.iter().any(|f| f.label == label);
+                    ProvSource {
+                        name: label,
+                        detail: if lost {
+                            format!("missing:collection:{}", collection)
+                        } else {
+                            format!("collection:{}", collection)
+                        },
+                        stale: false,
+                        cache_age_ms: None,
+                        view: false,
+                    }
+                })
+                .collect();
+            FetchProv::Per { sources, tuple_src }
+        } else {
+            FetchProv::None
+        };
+        Ok((vars.to_vec(), tuples, prov))
     }
 
     /// Apply the unavailability policy for a failed source call.
@@ -2212,14 +2477,18 @@ impl Engine {
         ctx: &mut ExecCtx,
         track: bool,
         to_tuples: &dyn Fn(&Arc<Document>) -> Vec<Tuple>,
-    ) -> Result<(Vec<String>, Vec<Tuple>, Option<ProvSource>), CoreError> {
+    ) -> Result<(Vec<String>, Vec<Tuple>, FetchProv), CoreError> {
         let config = self.config();
         self.metrics.incr(&format!("source.failures.{}", source), 1);
         match config.unavailable {
             UnavailablePolicy::Fail => Err(CoreError::Source(err)),
             UnavailablePolicy::SkipAndAnnotate => {
                 ctx.miss(source);
-                Ok((vars.to_vec(), Vec::new(), missing_prov(track, source, detail)))
+                Ok((
+                    vars.to_vec(),
+                    Vec::new(),
+                    FetchProv::from_opt(missing_prov(track, source, detail)),
+                ))
             }
             UnavailablePolicy::StaleCache => {
                 if config.cache_nodes > 0 {
@@ -2234,11 +2503,15 @@ impl Engine {
                             cache_age_ms: Some(age.as_secs_f64() * 1e3),
                             view: false,
                         });
-                        return Ok((vars.to_vec(), to_tuples(&doc), prov));
+                        return Ok((vars.to_vec(), to_tuples(&doc), FetchProv::from_opt(prov)));
                     }
                 }
                 ctx.miss(source);
-                Ok((vars.to_vec(), Vec::new(), missing_prov(track, source, detail)))
+                Ok((
+                    vars.to_vec(),
+                    Vec::new(),
+                    FetchProv::from_opt(missing_prov(track, source, detail)),
+                ))
             }
         }
     }
@@ -2297,6 +2570,137 @@ impl Engine {
     }
 }
 
+/// Lineage annotation of one fetched scan, as handed to the operator
+/// tree: nothing (tracking off), one mask for the whole unit, or a
+/// per-tuple mask vector — the shape of a sharded scan, where one
+/// merged buffer carries rows attributed to different per-shard
+/// provenance units.
+enum ScanMasks {
+    None,
+    One(LineageMask),
+    Per(Vec<LineageMask>),
+}
+
+/// Provenance description a fetch returns to the sequential interning
+/// loop: at most one entry for ordinary units, or one entry per
+/// contacted shard plus a per-tuple shard attribution for sharded
+/// scans (`tuple_src[i]` indexes `sources`).
+enum FetchProv {
+    None,
+    One(ProvSource),
+    Per {
+        sources: Vec<ProvSource>,
+        tuple_src: Vec<u32>,
+    },
+}
+
+impl FetchProv {
+    fn from_opt(p: Option<ProvSource>) -> FetchProv {
+        match p {
+            Some(p) => FetchProv::One(p),
+            None => FetchProv::None,
+        }
+    }
+}
+
+/// Intern a fetch's provenance into the query context (sequentially,
+/// in atom order, so lineage ids stay dense) and produce the scan's
+/// mask annotation.
+fn intern_masks(ctx: &mut ExecCtx, prov: FetchProv) -> ScanMasks {
+    match prov {
+        FetchProv::None => ScanMasks::None,
+        FetchProv::One(p) => ScanMasks::One(ctx.intern_source(p)),
+        FetchProv::Per { sources, tuple_src } => {
+            let masks: Vec<LineageMask> =
+                sources.into_iter().map(|p| ctx.intern_source(p)).collect();
+            ScanMasks::Per(
+                tuple_src
+                    .into_iter()
+                    .map(|s| masks.get(s as usize).copied().unwrap_or(LineageMask::EMPTY))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// The plan's shard routing for independent atom `i`, if any.
+fn shard_plan_for(plan: &Plan, i: usize) -> Option<&ShardPlan> {
+    plan.shards.iter().find(|s| s.atom == i)
+}
+
+/// Original document index carried in a sharded tuple's hidden leading
+/// origin column (malformed tuples sort last instead of panicking).
+fn origin_of(t: &Tuple) -> i64 {
+    match t.first() {
+        Some(Value::Atomic(Atomic::Int(v))) => *v,
+        _ => i64::MAX,
+    }
+}
+
+/// Shard-local half of a sharded scan, run inside the exchange's gather
+/// (one call per surviving shard): fetch the shard slice from the
+/// shard-local catalog and match the row pattern against each row
+/// element, prefixing tuples with the row's original document index.
+///
+/// Per-row matching reproduces the unsharded match set exactly for the
+/// row-routable patterns the planner admits: a `Name(n)` pattern binds
+/// a row iff the row element is named `n` (the unsharded matcher
+/// enumerates the root's children of that name), and a `Descendant(n)`
+/// pattern binds the row itself plus its descendants named `n` — the
+/// union over all rows is the root's descendant set, since the planner
+/// rejects patterns naming the collection root.
+fn shard_scan(
+    rt: &ShardRuntime,
+    k: usize,
+    source: &str,
+    collection: &str,
+    coll_key: &str,
+    pattern: &nimble_xmlql::ast::Pattern,
+    vars: &[String],
+) -> Result<Vec<Tuple>, ExecError> {
+    let shard_err = |message: String| ExecError::Source {
+        source: format!("{}#shard{}", source, k),
+        message,
+    };
+    if !rt.alive(k) {
+        return Err(shard_err("shard node down".into()));
+    }
+    let node = rt
+        .node(k)
+        .ok_or_else(|| shard_err("no such shard node".into()))?;
+    let part = rt
+        .partition(coll_key)
+        .ok_or_else(|| shard_err("collection not partitioned".into()))?;
+    let origins = part
+        .origins
+        .get(k)
+        .ok_or_else(|| shard_err("no origin map for shard".into()))?;
+    let adapter = node
+        .catalog
+        .source(source)
+        .ok_or_else(|| shard_err("unknown source on shard".into()))?;
+    let doc = adapter
+        .fetch_collection(collection)
+        .map_err(|e| shard_err(e.to_string()))?;
+    let mut out = Vec::new();
+    for (j, row) in doc.root().child_elements().enumerate() {
+        let origin = origins.get(j).copied().unwrap_or(usize::MAX) as i64;
+        let bindings = match &pattern.tag {
+            TagPattern::Name(n) if row.name() != Some(n.as_str()) => Vec::new(),
+            _ => matcher::match_pattern(&row, pattern),
+        };
+        for b in bindings {
+            let mut t: Tuple = Vec::with_capacity(vars.len() + 1);
+            t.push(Value::from(origin));
+            for v in vars {
+                t.push(b.get(v).cloned().unwrap_or_else(Value::null));
+            }
+            out.push(t);
+        }
+    }
+    Ok(out)
+}
+
 /// Provenance entry for a unit that contributed nothing (skipped after
 /// an unavailability, no stale copy). Interning it keeps the lineage
 /// pipeline alive — an untagged scan would disable tracking for every
@@ -2350,12 +2754,14 @@ fn note_source_call(
 /// differently.
 fn plan_semantic_signature(plan: &Plan) -> String {
     format!(
-        "independents: {:?}; dependents: {:?}; residuals: {:?}; order_by: {:?}; pruned: {:?}",
+        "independents: {:?}; dependents: {:?}; residuals: {:?}; order_by: {:?}; pruned: {:?}; \
+         shards: {:?}",
         plan.independents,
         plan.dependents,
         plan.residual_predicates,
         plan.order_by,
-        plan.pruned
+        plan.pruned,
+        plan.shards
     )
 }
 

@@ -824,6 +824,7 @@ fn differential_replan_catches_poisoned_cache_hit() {
         config_fp: config.optimizer.fingerprint(),
         catalog_epoch: e.catalog().epoch(),
         stats_generation: e.catalog().stats().generation(),
+        shard_epoch: e.shard_epoch(),
     };
     e.plan_cache().put(
         &PlanCache::normalize(q),
@@ -1178,6 +1179,8 @@ fn streamed_serialization_matches_tree_in_every_mode() {
 #[test]
 fn streamed_serialization_reports_its_path() {
     let e = engine();
+    // Small results take the tree-construct path: below the streaming
+    // threshold the per-batch machinery costs more than it saves.
     e.query_serialized(
         r#"WHERE <row><name>$n</name></row> IN "customers" CONSTRUCT <c>$n</c>"#,
     )
@@ -1194,6 +1197,31 @@ fn streamed_serialization_reports_its_path() {
     )
     .unwrap();
     let snap = e.metrics_snapshot();
-    assert_eq!(snap.counter("engine.construct.streamed"), 1);
+    assert_eq!(snap.counter("engine.construct.streamed"), 0);
+    assert_eq!(snap.counter("engine.construct.small_fallback"), 1);
     assert_eq!(snap.counter("engine.construct.tree_fallback"), 1);
+}
+
+#[test]
+fn streamed_serialization_engages_above_the_threshold() {
+    // 3000 rows clears STREAM_MIN_TUPLES, so the streaming construct
+    // path fires and agrees byte-for-byte with the tree path.
+    let mut xml = String::from("<items>");
+    for i in 0..3000 {
+        xml.push_str(&format!("<item><id>{}</id></item>", i));
+    }
+    xml.push_str("</items>");
+    let c = Catalog::new();
+    c.register_source(Arc::new(
+        XmlDocAdapter::new("big").add_xml("items", &xml).unwrap(),
+    ))
+    .unwrap();
+    let e = Engine::new(Arc::new(c));
+    let q = r#"WHERE <item><id>$i</id></item> IN "items" CONSTRUCT <v>$i</v>"#;
+    let streamed = e.query_serialized(q).unwrap();
+    let tree = to_string(&e.query(q).unwrap().document.root());
+    assert_eq!(streamed, tree);
+    let snap = e.metrics_snapshot();
+    assert_eq!(snap.counter("engine.construct.streamed"), 1);
+    assert_eq!(snap.counter("engine.construct.small_fallback"), 0);
 }

@@ -50,9 +50,12 @@ pub mod error;
 pub mod matcher;
 pub mod plan_cache;
 pub mod planner;
+pub mod shard;
 
 pub use catalog::Catalog;
-pub use cluster::{DispatchStrategy, EngineCluster};
+pub use cluster::{DispatchStrategy, EngineCluster, ShardedCluster};
+pub use nimble_store::{ShardScheme, ShardSpec};
+pub use shard::{Partition, ShardNode, ShardRuntime};
 pub use engine::{
     Engine, EngineConfig, OptimizerConfig, ProvSource, Provenance, QueryResult, QueryStats,
     UnavailablePolicy,

@@ -31,6 +31,10 @@ pub struct PlanStamp {
     pub catalog_epoch: u64,
     /// [`nimble_store::StatsCatalog::generation`] at plan time.
     pub stats_generation: u64,
+    /// [`nimble_store::shard::ShardMap::epoch`] of the engine's shard
+    /// runtime at plan time (0 when no runtime is attached). Re-sharding
+    /// bakes different routing into plans, so it must re-stamp them.
+    pub shard_epoch: u64,
 }
 
 /// A compiled query: checked AST plus its decomposed plan.
@@ -250,7 +254,22 @@ mod tests {
             config_fp: 7,
             catalog_epoch: n,
             stats_generation: 0,
+            shard_epoch: 0,
         }
+    }
+
+    #[test]
+    fn shard_epoch_participates_in_the_stamp() {
+        let cache = PlanCache::new(4);
+        cache.put("q", stamp(1), cached());
+        // Re-sharding (shard epoch moved) invalidates like any other
+        // stamp component.
+        let resharded = PlanStamp {
+            shard_epoch: 1,
+            ..stamp(1)
+        };
+        let lookup = cache.get("q", resharded);
+        assert!(lookup.value.is_none() && lookup.invalidated);
     }
 
     #[test]

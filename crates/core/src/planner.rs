@@ -26,7 +26,7 @@ use nimble_sources::query::PredOp;
 use nimble_sources::relational::RelationalAdapter;
 use nimble_sources::{SourceKind, SourceQuery};
 use nimble_xml::Value;
-use nimble_xmlql::ast::{BinOp, Condition, Expr, OrderKey, Pattern, Query, SourceRef};
+use nimble_xmlql::ast::{BinOp, Condition, Expr, OrderKey, Pattern, Query, SourceRef, TagPattern};
 
 /// One independent execution unit.
 #[derive(Debug, Clone)]
@@ -114,6 +114,35 @@ pub struct Plan {
     /// by `nimble_planck::audit` together with the engine's
     /// execution-time rewrites.
     pub rewrites: Vec<RewriteRecord>,
+    /// Scatter-gather routing for independent atoms over partitioned
+    /// collections (one entry per sharded scan). Empty when no shard
+    /// runtime is attached or no scanned collection is partitioned.
+    pub shards: Vec<ShardPlan>,
+}
+
+/// Routing decision for one sharded scan: which shards of a partitioned
+/// collection the Exchange must contact, and which residual predicates
+/// are replicated below it (shard-local filtering; the same predicates
+/// stay central, so the rewrite is idempotent).
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// Index into [`Plan::independents`] of the sharded FetchMatch atom.
+    pub atom: usize,
+    /// `source.collection` key in the shard map.
+    pub collection: String,
+    /// Declared shard key (row field).
+    pub key_field: String,
+    /// Query variable bound to the shard key field, when the pattern
+    /// exposes it (enables equality routing and bounds pruning).
+    pub key_var: Option<String>,
+    /// Declared shard count.
+    pub shards: usize,
+    /// Shards that can still contribute rows after stats-bounds pruning
+    /// and equality routing, ascending. May be empty (statically empty
+    /// scan) — the engine then skips the Exchange entirely.
+    pub survivors: Vec<usize>,
+    /// Residual predicates pushed below the Exchange.
+    pub pushed: Vec<Expr>,
 }
 
 fn dedup_vars(pattern: &Pattern) -> Vec<String> {
@@ -127,11 +156,26 @@ fn dedup_vars(pattern: &Pattern) -> Vec<String> {
 }
 
 /// Decompose a query against the catalog under the given optimizer
-/// configuration.
+/// configuration (no shard routing — see [`plan_query_sharded`]).
 pub fn plan_query(
     catalog: &Catalog,
     query: &Query,
     config: &OptimizerConfig,
+) -> Result<Plan, CoreError> {
+    plan_query_sharded(catalog, query, config, None)
+}
+
+/// [`plan_query`] plus partition-aware routing: when a shard runtime is
+/// attached and a scanned collection is declared partitioned, the plan
+/// records a [`ShardPlan`] per sharded scan — surviving shards after
+/// stats-bounds pruning (planck's satisfiability pass run per shard
+/// against the exhaustive per-shard statistics) and equality routing,
+/// plus the residual predicates replicated below the Exchange.
+pub fn plan_query_sharded(
+    catalog: &Catalog,
+    query: &Query,
+    config: &OptimizerConfig,
+    shards: Option<&crate::shard::ShardRuntime>,
 ) -> Result<Plan, CoreError> {
     let mut plan = Plan {
         order_by: query.order_by.clone(),
@@ -302,6 +346,14 @@ pub fn plan_query(
         prune_unsatisfiable(catalog, &mut plan);
     }
 
+    // Phase 6: shard routing over partitioned collections (skipped when
+    // phase 5 already proved the whole plan empty).
+    if plan.pruned.is_none() {
+        if let Some(rt) = shards {
+            plan_shards(catalog, &mut plan, rt);
+        }
+    }
+
     // Final pass: surface the exact per-source query text that will be
     // shipped — for relational sources, the generated SQL (the paper's
     // "if an RDB is being queried, then the compiler generates SQL").
@@ -441,6 +493,203 @@ fn prune_unsatisfiable(catalog: &Catalog, plan: &mut Plan) {
     if let Some(reason) = hit {
         plan.notes.push(format!("pruned: {}", reason));
         plan.pruned = Some(reason);
+    }
+}
+
+/// Phase 6 of planning: partition-aware shard routing.
+///
+/// For every independent FetchMatch atom over a collection the shard
+/// runtime declares partitioned, decide which shards the Exchange must
+/// contact:
+///
+/// * **Bounds pruning** — re-run planck's satisfiability pass once per
+///   shard, with the bounds callback answering from the *per-shard*
+///   statistics entries (`shard:{k}:{source.collection}`, sampled
+///   exhaustively at partition time, so min/max are exact). A shard
+///   whose bounds contradict the pushed predicate interval can prove no
+///   rows and is dropped.
+/// * **Equality routing** — a pushed `$key = literal` predicate on the
+///   shard-key variable routes to exactly `shard_of(literal)` under
+///   both hash and range schemes.
+///
+/// Predicates fully covered by the atom's variables are replicated
+/// below the Exchange (shard-local filtering) *and* kept central —
+/// filters are idempotent, so correctness never depends on the copy.
+/// Both decisions are audited: `shard-prune` is a narrowing rewrite
+/// (payload/sources may shrink to the survivor set), `exchange-pushdown`
+/// a strict substitution.
+fn plan_shards(catalog: &Catalog, plan: &mut Plan, rt: &crate::shard::ShardRuntime) {
+    use nimble_planck::satisfy::{self, Verdict};
+    use nimble_store::shard::shard_stats_key;
+
+    for i in 0..plan.independents.len() {
+        let AtomExec::FetchMatch {
+            source,
+            collection,
+            pattern,
+            vars,
+        } = &plan.independents[i]
+        else {
+            continue;
+        };
+        let coll_key = format!("{}.{}", source, collection);
+        let Some(part) = rt.partition(&coll_key) else {
+            continue;
+        };
+        // Row-level gate: the pattern must address row elements (by
+        // name), not the collection root or arbitrary wildcards — only
+        // then does matching each shard slice independently reproduce
+        // the unsharded match set.
+        let routable = match &pattern.tag {
+            TagPattern::Name(n) | TagPattern::Descendant(n) => n != &part.root_name,
+            _ => false,
+        };
+        if !routable {
+            plan.notes.push(format!(
+                "shard: {} pattern not row-routable, scanning unsharded",
+                coll_key
+            ));
+            continue;
+        }
+        let source = source.clone();
+        let vars = vars.clone();
+        let spec = part.spec.clone();
+        let shard_rows: Vec<u64> = part.rows.clone();
+        let n = spec.shards();
+        let rp = compiler::recognize_row_pattern(pattern);
+        let key_var = rp.as_ref().and_then(|rp| {
+            rp.fields
+                .iter()
+                .find(|(_, f)| f == &spec.key)
+                .map(|(v, _)| v.clone())
+        });
+
+        // Residual predicates this atom can evaluate alone.
+        let pushed: Vec<Expr> = plan
+            .residual_predicates
+            .iter()
+            .filter(|p| {
+                let pv = p.vars();
+                !pv.is_empty() && pv.iter().all(|v| vars.contains(v))
+            })
+            .cloned()
+            .collect();
+
+        // Per-shard satisfiability of the pushed conjunction.
+        let schema = Schema::try_new(vars.clone()).ok();
+        let conjuncts: Vec<ScalarExpr> = match &schema {
+            Some(s) => pushed
+                .iter()
+                .filter_map(|p| translate_expr(p, s).ok())
+                .collect(),
+            None => Vec::new(),
+        };
+        // `$key = literal` routes to one shard under any scheme.
+        let mut eq_routes: Vec<usize> = Vec::new();
+        if let Some(kv) = &key_var {
+            for p in &pushed {
+                if let Expr::Binary(BinOp::Eq, l, r) = p {
+                    let lit = match (l.as_ref(), r.as_ref()) {
+                        (Expr::Var(v), Expr::Lit(a)) if v == kv => Some(a),
+                        (Expr::Lit(a), Expr::Var(v)) if v == kv => Some(a),
+                        _ => None,
+                    };
+                    if let Some(a) = lit {
+                        let route = spec.shard_of(a);
+                        if !eq_routes.contains(&route) {
+                            eq_routes.push(route);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut survivors: Vec<usize> = Vec::new();
+        for k in 0..n {
+            // Two distinct equality routes contradict each other; a
+            // single route admits only its own shard.
+            if eq_routes.len() > 1 || (eq_routes.len() == 1 && eq_routes[0] != k) {
+                continue;
+            }
+            let alive = if conjuncts.is_empty() {
+                true
+            } else {
+                let stats_key = shard_stats_key(k, &coll_key);
+                let bounds = |col: usize| -> Option<(f64, f64)> {
+                    let v = schema.as_ref()?.vars().get(col)?;
+                    let field = rp
+                        .as_ref()?
+                        .fields
+                        .iter()
+                        .find(|(var, _)| var == v)
+                        .map(|(_, f)| f.clone())?;
+                    catalog.stats().exact_bounds(&stats_key, &field)
+                };
+                satisfy::analyze(&ScalarExpr::conjunction(conjuncts.clone()), &bounds)
+                    != Verdict::Unsatisfiable
+            };
+            if alive {
+                survivors.push(k);
+            }
+        }
+
+        let shard_label = |k: usize| format!("{}#shard{}", source, k);
+        if survivors.len() < n {
+            let before_rows: u64 = shard_rows.iter().sum();
+            let after_rows: u64 = survivors.iter().map(|&k| shard_rows[k]).sum();
+            plan.notes.push(format!(
+                "shard: {} pruned to {}/{} shards ({} of {} rows)",
+                coll_key,
+                survivors.len(),
+                n,
+                after_rows,
+                before_rows
+            ));
+            plan.rewrites.push(RewriteRecord::new(
+                "shard-prune",
+                false,
+                Fingerprint::new(vars.clone())
+                    .with_extra((0..n).map(|k| format!("shard:{}", k)).collect())
+                    .with_sources((0..n).map(shard_label).collect())
+                    .with_card_bound(before_rows),
+                Fingerprint::new(vars.clone())
+                    .with_extra(survivors.iter().map(|k| format!("shard:{}", k)).collect())
+                    .with_sources(survivors.iter().copied().map(shard_label).collect())
+                    .with_card_bound(after_rows),
+            ));
+            // Tighten the scan's row estimate to the surviving slices.
+            if let Some(est) = plan.est_rows.get_mut(i) {
+                *est = (*est).min(after_rows.max(1));
+            }
+        } else {
+            plan.notes.push(format!(
+                "shard: {} fanned out to {} shards",
+                coll_key, n
+            ));
+        }
+        if !pushed.is_empty() && !survivors.is_empty() {
+            let rendered: Vec<String> = pushed.iter().map(|p| format!("{:?}", p)).collect();
+            let srcs: Vec<String> = survivors.iter().copied().map(shard_label).collect();
+            plan.rewrites.push(RewriteRecord::new(
+                "exchange-pushdown",
+                true,
+                Fingerprint::new(vars.clone())
+                    .with_extra(rendered.clone())
+                    .with_sources(srcs.clone()),
+                Fingerprint::new(vars.clone())
+                    .with_extra(rendered)
+                    .with_sources(srcs),
+            ));
+        }
+        plan.shards.push(ShardPlan {
+            atom: i,
+            collection: coll_key,
+            key_field: spec.key.clone(),
+            key_var,
+            shards: n,
+            survivors,
+            pushed,
+        });
     }
 }
 

@@ -1,0 +1,231 @@
+//! Shard runtime: partitioned collections served by shard-local
+//! engines, the mediator half of the store's [`ShardMap`] declaration.
+//!
+//! "Multiple instances of the integration engine can be run
+//! simultaneously" (§4) — here those instances each own a *slice* of a
+//! collection, split by the declared shard key, and the coordinator
+//! fans a plan's scan subtree out to them through an Exchange operator.
+//! The [`ShardRuntime`] holds what the coordinator needs to do that:
+//! the shard map (specs + epoch for plan stamping), the per-collection
+//! [`Partition`] bookkeeping that lets merged shard streams be restored
+//! to original document order, and the shard-local nodes with their
+//! liveness flags (a dead node degrades the query to an annotated
+//! partial answer instead of failing it).
+
+use crate::catalog::Catalog;
+use crate::engine::Engine;
+use nimble_sources::query::row_field;
+use nimble_store::shard::{ShardMap, ShardSpec};
+use nimble_xml::{Document, DocumentBuilder};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// One collection split into per-shard documents, plus the origin
+/// bookkeeping that makes the split reversible: `origins[k][j]` is the
+/// index (in the original document's row order) of shard `k`'s `j`-th
+/// row. Rows keep their relative order inside each shard, so a merge
+/// that stable-sorts by origin reproduces the unsharded row order
+/// exactly.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    pub spec: ShardSpec,
+    /// Tag name of the collection's root element (shard documents reuse
+    /// it, so shard-local matching sees the same shape as unsharded).
+    pub root_name: String,
+    pub origins: Vec<Vec<usize>>,
+    /// Rows per shard (`origins[k].len()`, cached for stats and plans).
+    pub rows: Vec<u64>,
+}
+
+impl Partition {
+    /// Number of shards this collection was split into.
+    pub fn shards(&self) -> usize {
+        self.origins.len()
+    }
+}
+
+/// Split one collection document into per-shard documents by the
+/// declared key. Total: every row lands in exactly one shard (nulls and
+/// unparseable range keys go to shard 0 via [`ShardSpec::shard_of`]),
+/// and per-shard relative order is original document order.
+pub fn partition_document(doc: &Arc<Document>, spec: &ShardSpec) -> (Vec<Arc<Document>>, Partition) {
+    let root = doc.root();
+    let root_name = root.name().unwrap_or("rows").to_string();
+    let n = spec.shards();
+    let mut builders: Vec<DocumentBuilder> =
+        (0..n).map(|_| DocumentBuilder::new(&root_name)).collect();
+    let mut origins: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, row) in root.child_elements().enumerate() {
+        let k = spec.shard_of(&row_field(&row, &spec.key)).min(n - 1);
+        builders[k].copy_subtree(&row);
+        origins[k].push(i);
+    }
+    let docs = builders.into_iter().map(|b| b.finish()).collect();
+    let rows = origins.iter().map(|o| o.len() as u64).collect();
+    (
+        docs,
+        Partition {
+            spec: spec.clone(),
+            root_name,
+            origins,
+            rows,
+        },
+    )
+}
+
+/// One shard-local engine instance: its own catalog (holding the shard
+/// slices of every partitioned collection) and engine, plus a liveness
+/// flag the partial-results machinery consults.
+pub struct ShardNode {
+    pub catalog: Arc<Catalog>,
+    pub engine: Arc<Engine>,
+    alive: AtomicBool,
+}
+
+impl ShardNode {
+    pub fn new(catalog: Arc<Catalog>, engine: Arc<Engine>) -> ShardNode {
+        ShardNode {
+            catalog,
+            engine,
+            alive: AtomicBool::new(true),
+        }
+    }
+
+    pub fn alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    pub fn set_alive(&self, alive: bool) {
+        self.alive.store(alive, Ordering::SeqCst);
+    }
+}
+
+/// Everything the coordinator engine needs to route scans over
+/// partitioned collections. Attached to an [`Engine`] via
+/// [`Engine::attach_shards`]; plans compiled against it stamp the map
+/// epoch so re-sharding invalidates them.
+pub struct ShardRuntime {
+    map: ShardMap,
+    parts: BTreeMap<String, Partition>,
+    nodes: Vec<ShardNode>,
+}
+
+impl ShardRuntime {
+    pub fn new(nodes: Vec<ShardNode>) -> ShardRuntime {
+        ShardRuntime {
+            map: ShardMap::new(),
+            parts: BTreeMap::new(),
+            nodes,
+        }
+    }
+
+    /// Record a partitioned collection (keyed `source.collection`).
+    /// Declares the spec in the shard map, advancing its epoch.
+    pub fn add_partition(&mut self, collection: impl Into<String>, part: Partition) {
+        let collection = collection.into();
+        self.map.declare(collection.clone(), part.spec.clone());
+        self.parts.insert(collection, part);
+    }
+
+    /// The declared shard map (specs + epoch).
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The partitioning of `source.collection`, if declared.
+    pub fn partition(&self, collection: &str) -> Option<&Partition> {
+        self.parts.get(collection)
+    }
+
+    /// Shard-local node `k`.
+    pub fn node(&self, k: usize) -> Option<&ShardNode> {
+        self.nodes.get(k)
+    }
+
+    /// Number of shard-local nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Liveness of node `k` (missing nodes are dead).
+    pub fn alive(&self, k: usize) -> bool {
+        self.nodes.get(k).is_some_and(ShardNode::alive)
+    }
+
+    /// Mark node `k` up or down (down nodes degrade queries over their
+    /// shards to annotated partial answers).
+    pub fn set_alive(&self, k: usize, alive: bool) {
+        if let Some(n) = self.nodes.get(k) {
+            n.set_alive(alive);
+        }
+    }
+
+    /// Shard-map epoch, folded into plan-cache stamps.
+    pub fn epoch(&self) -> u64 {
+        self.map.epoch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimble_xml::parse;
+
+    fn doc(xml: &str) -> Arc<Document> {
+        parse(xml).expect("test doc")
+    }
+
+    #[test]
+    fn partition_is_total_and_order_preserving() {
+        let d = doc(
+            "<items><item><id>1</id></item><item><id>2</id></item>\
+             <item><id>3</id></item><item><id>4</id></item><item><id>5</id></item></items>",
+        );
+        let spec = ShardSpec::range("id", vec![3.0]);
+        let (docs, part) = partition_document(&d, &spec);
+        assert_eq!(docs.len(), 2);
+        assert_eq!(part.root_name, "items");
+        assert_eq!(part.rows, vec![2, 3]);
+        // Shard 0: ids 1,2 (origins 0,1); shard 1: ids 3,4,5 (2,3,4).
+        assert_eq!(part.origins[0], vec![0, 1]);
+        assert_eq!(part.origins[1], vec![2, 3, 4]);
+        let ids: Vec<String> = docs[1]
+            .root()
+            .child_elements()
+            .map(|r| row_field(&r, "id").lexical())
+            .collect();
+        assert_eq!(ids, vec!["3", "4", "5"]);
+        // Every row landed exactly once.
+        let total: usize = part.origins.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn hash_partition_co_locates_equal_keys() {
+        let d = doc(
+            "<orders><order><cust>a</cust></order><order><cust>b</cust></order>\
+             <order><cust>a</cust></order></orders>",
+        );
+        let spec = ShardSpec::hash("cust", 4);
+        let (docs, part) = partition_document(&d, &spec);
+        assert_eq!(docs.len(), 4);
+        let a_shard = spec.shard_of(&nimble_xml::Atomic::Str("a".into()));
+        assert!(part.origins[a_shard].contains(&0));
+        assert!(part.origins[a_shard].contains(&2));
+    }
+
+    #[test]
+    fn runtime_tracks_liveness_and_epoch() {
+        let mut rt = ShardRuntime::new(Vec::new());
+        assert_eq!(rt.epoch(), 0);
+        assert!(!rt.alive(0), "missing nodes are dead");
+        let d = doc("<items><item><id>1</id></item></items>");
+        let spec = ShardSpec::hash("id", 2);
+        let (_, part) = partition_document(&d, &spec);
+        rt.add_partition("src.items", part);
+        assert!(rt.epoch() > 0);
+        assert_eq!(rt.partition("src.items").map(Partition::shards), Some(2));
+        assert!(rt.map().get("src.items").is_some());
+    }
+}

@@ -1,0 +1,237 @@
+//! Differential test for sharded execution: for every query in the
+//! shared grammar (optional join, literal and variable region bindings,
+//! threshold predicate, ORDER-BY) and every shard layout (1/2/4/8
+//! shards, hash and range), a [`ShardedCluster`] constructs the
+//! **byte-identical result document** to an unsharded engine over the
+//! same catalog. Partitioning changes where rows live and how scans
+//! fan out, never which tuples exist or their order.
+//!
+//! Mirrors `batch_differential.rs` but hand-rolls the enumeration: the
+//! grammar axes are small enough to sweep exhaustively, which keeps the
+//! offline harness free of the proptest dependency.
+
+use nimble_core::{
+    Catalog, Engine, EngineConfig, ShardSpec, ShardedCluster, UnavailablePolicy,
+};
+use nimble_sources::xmldoc::XmlDocAdapter;
+use nimble_xml::to_string;
+use std::sync::Arc;
+
+/// Customers and orders as XML collections (sharding splits XML
+/// documents; the relational twin of this fixture lives in
+/// `batch_differential.rs`).
+fn catalog() -> Arc<Catalog> {
+    let mut customers = String::from("<customers>");
+    let regions = ["NW", "SW", "NW", "SE", "NW", "SW", "NE", "SE"];
+    let names = ["ada", "bob", "cyd", "dee", "eve", "fay", "gus", "hal"];
+    for i in 0..8 {
+        customers.push_str(&format!(
+            "<row><id>{}</id><name>{}</name><region>{}</region></row>",
+            i + 1,
+            names[i],
+            regions[i]
+        ));
+    }
+    customers.push_str("</customers>");
+    let mut orders = String::from("<orders>");
+    // cust_id cycles 1..=8, totals spread across the 0..300 domain so
+    // threshold predicates select strict subsets.
+    for j in 0..20 {
+        orders.push_str(&format!(
+            "<row><oid>{}</oid><cust_id>{}</cust_id><total>{}</total></row>",
+            100 + j,
+            (j % 8) + 1,
+            (j * 37) % 300
+        ));
+    }
+    orders.push_str("</orders>");
+    let c = Catalog::new();
+    c.register_source(Arc::new(
+        XmlDocAdapter::new("shop")
+            .add_xml("customers", &customers)
+            .unwrap()
+            .add_xml("orders", &orders)
+            .unwrap(),
+    ))
+    .unwrap();
+    Arc::new(c)
+}
+
+/// Every query in the grammar: optional join, literal/variable region
+/// binding, threshold predicate over the join total, ORDER-BY.
+fn all_queries() -> Vec<String> {
+    let mut queries = Vec::new();
+    for join in [false, true] {
+        for lit_region in [false, true] {
+            for bind_region in [false, true] {
+                for threshold in [None, Some(50i64), Some(150)] {
+                    for order in 0..3usize {
+                        if threshold.is_some() && !join {
+                            continue; // $t only exists under the join
+                        }
+                        let mut pats = vec![format!(
+                            "<row><id>$i</id><name>$n</name>{}{}</row> IN \"customers\"",
+                            if lit_region { "<region>\"NW\"</region>" } else { "" },
+                            if bind_region { "<region>$r</region>" } else { "" },
+                        )];
+                        let mut preds = Vec::new();
+                        let mut construct = String::from("<n>$n</n>");
+                        if join {
+                            pats.push(
+                                "<row><cust_id>$i</cust_id><total>$t</total></row> IN \"orders\""
+                                    .into(),
+                            );
+                            construct.push_str("<t>$t</t>");
+                            if let Some(k) = threshold {
+                                preds.push(format!("$t > {}", k));
+                            }
+                        }
+                        if bind_region {
+                            construct.push_str("<r>$r</r>");
+                        }
+                        let order_by = match order {
+                            1 => " ORDER-BY $n",
+                            2 => " ORDER-BY $i",
+                            _ => "",
+                        };
+                        queries.push(format!(
+                            "WHERE {} CONSTRUCT <hit>{}</hit>{}",
+                            pats.iter().chain(preds.iter()).cloned().collect::<Vec<_>>().join(", "),
+                            construct,
+                            order_by
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    queries
+}
+
+/// The shard layouts under test: customers split on `id`, orders
+/// co-split on `cust_id` (same key domain, 1..=8).
+fn layouts() -> Vec<(String, Vec<(&'static str, ShardSpec)>)> {
+    let mut layouts = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        layouts.push((
+            format!("hash/{}", shards),
+            vec![
+                ("customers", ShardSpec::hash("id", shards)),
+                ("orders", ShardSpec::hash("cust_id", shards)),
+            ],
+        ));
+        // Range bounds split the 1..=8 id domain evenly.
+        let bounds: Vec<f64> = (1..shards).map(|k| (k * 8 / shards) as f64 + 0.5).collect();
+        layouts.push((
+            format!("range/{}", shards),
+            vec![
+                ("customers", ShardSpec::range("id", bounds.clone())),
+                ("orders", ShardSpec::range("cust_id", bounds)),
+            ],
+        ));
+    }
+    layouts
+}
+
+#[test]
+fn sharded_matches_unsharded_exactly() {
+    let queries = all_queries();
+    let unsharded = Engine::new(catalog());
+    let expected: Vec<String> = queries
+        .iter()
+        .map(|q| to_string(&unsharded.query(q).unwrap().document.root()))
+        .collect();
+    for (layout, specs) in layouts() {
+        let cluster =
+            ShardedCluster::build(catalog(), EngineConfig::default(), &specs).unwrap();
+        for (q, want) in queries.iter().zip(&expected) {
+            let r = cluster.query(q).unwrap();
+            assert!(r.complete, "sharded result incomplete ({}) for {:?}", layout, q);
+            let got = to_string(&r.document.root());
+            assert_eq!(&got, want, "sharded execution diverged ({}) for {:?}", layout, q);
+        }
+    }
+}
+
+#[test]
+fn serialized_path_matches_under_sharding() {
+    // The streaming/small-fallback serializer must agree with the tree
+    // path when scans fan out through the Exchange.
+    let queries = all_queries();
+    let unsharded = Engine::new(catalog());
+    let specs = vec![
+        ("customers", ShardSpec::hash("id", 4)),
+        ("orders", ShardSpec::hash("cust_id", 4)),
+    ];
+    let cluster = ShardedCluster::build(catalog(), EngineConfig::default(), &specs).unwrap();
+    for q in queries.iter().step_by(7) {
+        let want = unsharded.query_serialized(q).unwrap();
+        let got = cluster.query_serialized(q).unwrap();
+        assert_eq!(got, want, "serialized sharded execution diverged for {:?}", q);
+    }
+}
+
+#[test]
+fn dead_shard_degrades_to_annotated_partial_answer() {
+    let specs = vec![
+        ("customers", ShardSpec::range("id", vec![2.5, 4.5, 6.5])),
+        ("orders", ShardSpec::range("cust_id", vec![2.5, 4.5, 6.5])),
+    ];
+    let config = EngineConfig {
+        unavailable: UnavailablePolicy::SkipAndAnnotate,
+        ..EngineConfig::default()
+    };
+    let cluster = ShardedCluster::build(catalog(), config, &specs).unwrap();
+    cluster.set_shard_alive(2, false);
+    let r = cluster
+        .query(r#"WHERE <row><id>$i</id><name>$n</name></row> IN "customers" CONSTRUCT <c>$n</c> ORDER-BY $i"#)
+        .unwrap();
+    assert!(!r.complete, "a dead shard must mark the answer partial");
+    assert!(
+        r.missing_sources.iter().any(|s| s == "shop#shard2"),
+        "missing_sources must pin the lost shard, got {:?}",
+        r.missing_sources
+    );
+    // Shard 2 holds ids 5..=6; every other row still answers, in order.
+    let got = to_string(&r.document.root());
+    assert_eq!(
+        got,
+        "<results><c>ada</c><c>bob</c><c>cyd</c><c>dee</c><c>gus</c><c>hal</c></results>"
+    );
+}
+
+#[test]
+fn dead_shard_fails_under_fail_policy() {
+    let specs = vec![("customers", ShardSpec::hash("id", 4))];
+    let config = EngineConfig {
+        unavailable: UnavailablePolicy::Fail,
+        ..EngineConfig::default()
+    };
+    let cluster = ShardedCluster::build(catalog(), config, &specs).unwrap();
+    cluster.set_shard_alive(1, false);
+    let err = cluster
+        .query(r#"WHERE <row><name>$n</name></row> IN "customers" CONSTRUCT <c>$n</c>"#)
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("shard"),
+        "error should name the shard: {}",
+        err
+    );
+}
+
+#[test]
+fn pruned_shards_still_answer_exactly() {
+    // A shard-key predicate lets the planner drop shards whose stats
+    // bounds contradict it; the answer must not change.
+    let specs = vec![("customers", ShardSpec::range("id", vec![2.5, 4.5, 6.5]))];
+    let cluster = ShardedCluster::build(catalog(), EngineConfig::default(), &specs).unwrap();
+    let unsharded = Engine::new(catalog());
+    let q = r#"WHERE <row><id>$i</id><name>$n</name></row> IN "customers", $i > 6
+               CONSTRUCT <c>$n</c> ORDER-BY $i"#;
+    let want = to_string(&unsharded.query(q).unwrap().document.root());
+    let got_r = cluster.query(q).unwrap();
+    let got = to_string(&got_r.document.root());
+    assert_eq!(got, want);
+    let pruned = cluster.coordinator().metrics_snapshot().counter("engine.shard.pruned");
+    assert!(pruned >= 2, "expected at least half the shards pruned, got {}", pruned);
+}

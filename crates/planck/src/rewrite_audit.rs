@@ -110,6 +110,22 @@ fn as_set(items: &[String]) -> Vec<&String> {
     v
 }
 
+/// Rules whose *payload and source set may shrink* (never grow): a
+/// narrowing rewrite proves some inputs cannot contribute answers and
+/// drops them. Shard pruning is the canonical case — `extra` carries
+/// the shard set and `after` keeps only the survivors, and the pruned
+/// shards' source labels legitimately leave the plan with them. Every
+/// other rule keeps strict set equality: silently losing a payload
+/// entry or a source there means the rewrite changed meaning.
+fn narrowing_rule(rule: &str) -> bool {
+    rule == "shard-prune"
+}
+
+/// `subset ⊆ superset` over string multiset keys (set semantics).
+fn is_subset(subset: &[String], superset: &[String]) -> bool {
+    subset.iter().all(|s| superset.contains(s))
+}
+
 /// Check every recorded rewrite for invariant violations.
 pub fn audit(records: &[RewriteRecord]) -> Vec<PlanIssue> {
     let mut issues = Vec::new();
@@ -157,21 +173,41 @@ pub fn audit(records: &[RewriteRecord]) -> Vec<PlanIssue> {
             }
         }
 
-        if as_set(&r.before.extra) != as_set(&r.after.extra) {
-            report(format!(
-                "rewrite payload changed: {{{}}} became {{{}}}",
-                r.before.extra.join(", "),
-                r.after.extra.join(", ")
-            ));
-        }
+        if narrowing_rule(&r.rule) {
+            if !is_subset(&r.after.extra, &r.before.extra) {
+                report(format!(
+                    "narrowing rewrite invented payload entries: {{{}}} is not \
+                     a subset of {{{}}}",
+                    r.after.extra.join(", "),
+                    r.before.extra.join(", ")
+                ));
+            }
+            if !is_subset(&r.after.sources, &r.before.sources) {
+                report(format!(
+                    "narrowing rewrite invented sources: {{{}}} is not a \
+                     subset of {{{}}} — answers would claim provenance the \
+                     plan never read",
+                    r.after.sources.join(", "),
+                    r.before.sources.join(", ")
+                ));
+            }
+        } else {
+            if as_set(&r.before.extra) != as_set(&r.after.extra) {
+                report(format!(
+                    "rewrite payload changed: {{{}}} became {{{}}}",
+                    r.before.extra.join(", "),
+                    r.after.extra.join(", ")
+                ));
+            }
 
-        if as_set(&r.before.sources) != as_set(&r.after.sources) {
-            report(format!(
-                "source set changed across the rewrite: {{{}}} became {{{}}} \
-                 — provenance would misattribute answers",
-                r.before.sources.join(", "),
-                r.after.sources.join(", ")
-            ));
+            if as_set(&r.before.sources) != as_set(&r.after.sources) {
+                report(format!(
+                    "source set changed across the rewrite: {{{}}} became {{{}}} \
+                     — provenance would misattribute answers",
+                    r.before.sources.join(", "),
+                    r.after.sources.join(", ")
+                ));
+            }
         }
     }
     issues
@@ -297,6 +333,65 @@ mod tests {
             Fingerprint::new(cols(&["b", "a"])).with_sources(cols(&["billing", "crm"])),
         );
         assert!(audit(&[r]).is_empty());
+    }
+
+    #[test]
+    fn shard_prune_may_narrow_payload_and_sources() {
+        // Pruning drops shards whose stats bounds contradict the
+        // predicate: payload (shard set) and per-shard source labels
+        // legitimately shrink.
+        let r = RewriteRecord::new(
+            "shard-prune",
+            false,
+            Fingerprint::new(cols(&["a", "b"]))
+                .with_extra(cols(&["shard:0", "shard:1", "shard:2", "shard:3"]))
+                .with_sources(cols(&["erp#0", "erp#1", "erp#2", "erp#3"]))
+                .with_card_bound(1000),
+            Fingerprint::new(cols(&["a", "b"]))
+                .with_extra(cols(&["shard:1", "shard:3"]))
+                .with_sources(cols(&["erp#1", "erp#3"]))
+                .with_card_bound(500),
+        );
+        assert!(audit(&[r]).is_empty());
+    }
+
+    #[test]
+    fn shard_prune_must_not_invent_shards() {
+        let r = RewriteRecord::new(
+            "shard-prune",
+            false,
+            Fingerprint::new(cols(&["a"])).with_extra(cols(&["shard:0", "shard:1"])),
+            Fingerprint::new(cols(&["a"])).with_extra(cols(&["shard:0", "shard:7"])),
+        );
+        let issues = audit(&[r]);
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].detail.contains("invented payload"));
+        // Inventing a source label is caught independently.
+        let r = RewriteRecord::new(
+            "shard-prune",
+            false,
+            Fingerprint::new(cols(&["a"])).with_sources(cols(&["erp#0"])),
+            Fingerprint::new(cols(&["a"])).with_sources(cols(&["erp#0", "erp#9"])),
+        );
+        let issues = audit(&[r]);
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].detail.contains("invented sources"));
+    }
+
+    #[test]
+    fn shard_prune_still_subject_to_column_and_bound_checks() {
+        // Narrowing relaxes only payload/sources — a pruned plan must
+        // still bind the same columns and never loosen its bound.
+        let r = RewriteRecord::new(
+            "shard-prune",
+            false,
+            Fingerprint::new(cols(&["a", "b"])).with_card_bound(100),
+            Fingerprint::new(cols(&["a"])).with_card_bound(400),
+        );
+        let issues = audit(&[r]);
+        assert_eq!(issues.len(), 2);
+        assert!(issues.iter().any(|i| i.detail.contains("column set changed")));
+        assert!(issues.iter().any(|i| i.detail.contains("cardinality bound grew")));
     }
 
     #[test]

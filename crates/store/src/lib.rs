@@ -28,11 +28,13 @@
 pub mod cache;
 pub mod clock;
 pub mod selection;
+pub mod shard;
 pub mod stats;
 pub mod views;
 
 pub use cache::ResultCache;
 pub use clock::LogicalClock;
+pub use shard::{shard_stats_key, ShardMap, ShardScheme, ShardSpec};
 pub use stats::{CollectionStats, ColumnStats, SampleBuilder, StatsCatalog};
 pub use selection::{select_views, CandidateView, SelectionPolicy, WorkloadMonitor};
 pub use views::{Freshness, MaterializedView, ViewStore};

@@ -81,6 +81,7 @@ T planck crates/planck/src/lib.rs nimble_algebra
 T bench crates/bench/src/lib.rs nimble_core nimble_sources nimble_trace serde_json
 T observability tests/observability.rs nimble serde_json
 T provenance tests/provenance.rs nimble serde_json
+T shard_differential crates/core/tests/shard_differential.rs nimble_core nimble_sources nimble_xml
 
 B exp_observability crates/bench/src/bin/exp_observability.rs nimble_bench nimble_core nimble_trace serde_json
 B exp_vectorized crates/bench/src/bin/exp_vectorized.rs nimble_bench nimble_core nimble_trace nimble_xml serde_json
@@ -88,6 +89,7 @@ B exp_memlayout crates/bench/src/bin/exp_memlayout.rs nimble_bench nimble_core n
 B exp_provenance crates/bench/src/bin/exp_provenance.rs nimble_bench nimble_core nimble_trace nimble_xml serde_json
 B exp_costplan crates/bench/src/bin/exp_costplan.rs nimble_bench nimble_core nimble_sources nimble_trace nimble_xml serde_json
 B exp_staticcheck crates/bench/src/bin/exp_staticcheck.rs nimble_bench nimble_core nimble_sources nimble_trace nimble_xml serde_json
+B exp_shard crates/bench/src/bin/exp_shard.rs nimble_bench nimble_core nimble_sources nimble_trace nimble_xml serde_json
 B bench_check crates/bench/src/bin/bench_check.rs nimble_bench nimble_core nimble_trace serde_json
 B quickstart examples/quickstart.rs nimble
 B web_portal examples/web_portal.rs nimble
